@@ -1,0 +1,63 @@
+// Tables 3 and 4: achieved memory bandwidth for each input/output access
+// pattern combination of the 16-point multirow copy over V(256,16,16,16,16)
+// — 42 blocks x 64 threads on the 8800 GT, 48 x 64 on the 8800 GTX.
+#include "bench_util.h"
+#include "gpufft/copy_kernels.h"
+
+namespace repro::bench {
+namespace {
+
+using gpufft::Pattern;
+
+// Paper values, rows = input pattern A..D, cols = output pattern A..D.
+constexpr double kPaperGT[4][4] = {{47.4, 47.9, 46.8, 47.1},
+                                   {48.2, 48.3, 46.8, 47.1},
+                                   {47.3, 47.1, 34.4, 33.3},
+                                   {45.6, 45.2, 32.6, 27.8}};
+constexpr double kPaperGTX[4][4] = {{71.5, 71.5, 67.7, 66.8},
+                                    {71.3, 71.3, 67.6, 67.0},
+                                    {68.7, 68.5, 51.3, 50.4},
+                                    {67.5, 66.7, 50.0, 43.7}};
+
+void run_table(const sim::GpuSpec& spec, const double paper[4][4],
+               const char* table_name) {
+  sim::Device dev(spec);
+  const unsigned grid = gpufft::default_grid_blocks(spec);
+  std::cout << table_name << " — " << spec.name << " (" << grid
+            << " blocks x 64 threads), GB/s, measured (paper)\n";
+  TextTable t;
+  t.header({"in\\out", "A", "B", "C", "D"});
+  const Pattern pats[4] = {Pattern::A, Pattern::B, Pattern::C, Pattern::D};
+  for (int i = 0; i < 4; ++i) {
+    std::vector<std::string> cells{gpufft::pattern_name(pats[i])};
+    for (int o = 0; o < 4; ++o) {
+      auto in = dev.alloc<cxf>(gpufft::pattern_shape().volume());
+      auto out = dev.alloc<cxf>(gpufft::pattern_shape().volume());
+      gpufft::PatternCopyKernel k(in, out, pats[i], pats[o], grid);
+      const auto r = dev.launch(k);
+      const double gbs = 2.0 * gpufft::pattern_shape().volume() *
+                         sizeof(cxf) / (r.total_ms * 1e6);
+      cells.push_back(TextTable::fmt(gbs) + " (" +
+                      TextTable::fmt(paper[i][o]) + ")");
+      add_row({std::string("copy/") + spec.name + "/" +
+                   gpufft::pattern_name(pats[i]) + "_to_" +
+                   gpufft::pattern_name(pats[o]),
+               r.total_ms,
+               {{"GBps", gbs}, {"paper_GBps", paper[i][o]}}});
+    }
+    t.row(cells);
+  }
+  t.print(std::cout);
+  std::cout << '\n';
+}
+
+}  // namespace
+}  // namespace repro::bench
+
+int main(int argc, char** argv) {
+  using namespace repro;
+  bench::banner("Tables 3 & 4 — access-pattern bandwidth of the 16-point copy");
+  bench::run_table(sim::geforce_8800_gt(), bench::kPaperGT, "Table 3");
+  bench::run_table(sim::geforce_8800_gtx(), bench::kPaperGTX, "Table 4");
+  return repro::bench::run_benchmarks(argc, argv);
+}

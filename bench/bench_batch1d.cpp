@@ -1,0 +1,72 @@
+// Table 8: 65536 sets of 256-point 1-D FFTs — the paper's fine-grained
+// kernel against the CUFFT1D-class baseline, on all three cards.
+#include "bench_util.h"
+#include "gpufft/fine_kernel.h"
+#include "gpufft/naive.h"
+
+namespace repro::bench {
+namespace {
+
+struct PaperRow {
+  double ours_ms, ours_gflops, cufft_ms, cufft_gflops;
+};
+const PaperRow kPaper[3] = {{5.72, 117.0, 13.7, 49.0},
+                            {5.17, 130.0, 11.4, 58.9},
+                            {5.52, 122.0, 13.2, 50.8}};
+
+}  // namespace
+}  // namespace repro::bench
+
+int main(int argc, char** argv) {
+  using namespace repro;
+  bench::banner("Table 8 — 65536 x 256-point 1-D FFTs");
+
+  const std::size_t n = 256;
+  const std::size_t count = 65536;
+  const double flops = 5.0 * static_cast<double>(n * count) *
+                       std::log2(static_cast<double>(n));
+
+  TextTable t;
+  t.header({"Model", "Ours ms (paper)", "GFLOPS (paper)",
+            "CUFFT1D-like ms (paper)", "GFLOPS (paper)"});
+  int gi = 0;
+  for (const auto& spec : sim::all_gpus()) {
+    const auto& paper = bench::kPaper[gi++];
+    sim::Device dev(spec);
+    auto data = dev.alloc<cxf>(n * count);
+    auto tw = dev.alloc<cxf>(n);
+    const auto roots =
+        gpufft::make_roots<float>(n, gpufft::Direction::Forward);
+    dev.h2d(tw, std::span<const cxf>(roots));
+
+    gpufft::FineKernelParams p;
+    p.n = n;
+    p.count = count;
+    p.grid_blocks = gpufft::default_grid_blocks(spec);
+    gpufft::FineFftKernel ours(data, data, p, &tw);
+    const auto r_ours = dev.launch(ours);
+    const double g_ours = flops / (r_ours.total_ms * 1e6);
+
+    gpufft::Naive1DFftKernel naive(data, data, n, count,
+                                   gpufft::Direction::Forward,
+                                   gpufft::default_grid_blocks(spec));
+    const auto r_naive = dev.launch(naive);
+    const double g_naive = flops / (r_naive.total_ms * 1e6);
+
+    t.row({spec.name,
+           TextTable::fmt(r_ours.total_ms, 2) + " (" +
+               TextTable::fmt(paper.ours_ms, 2) + ")",
+           TextTable::fmt(g_ours, 0) + " (" +
+               TextTable::fmt(paper.ours_gflops, 0) + ")",
+           TextTable::fmt(r_naive.total_ms, 2) + " (" +
+               TextTable::fmt(paper.cufft_ms, 2) + ")",
+           TextTable::fmt(g_naive, 0) + " (" +
+               TextTable::fmt(paper.cufft_gflops, 0) + ")"});
+    bench::add_row({"batch1d/" + spec.name + "/ours", r_ours.total_ms,
+                    {{"GFLOPS", g_ours}}});
+    bench::add_row({"batch1d/" + spec.name + "/naive", r_naive.total_ms,
+                    {{"GFLOPS", g_naive}}});
+  }
+  t.print(std::cout);
+  return bench::run_benchmarks(argc, argv);
+}

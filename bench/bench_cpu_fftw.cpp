@@ -1,0 +1,54 @@
+// Table 11: single-precision 256^3 3-D FFT with an FFTW-class library on
+// the evaluation CPUs (4 cores, OpenMP + SSE) — the CPU baseline the GPU
+// kernel is compared against. Times come from the calibrated roofline
+// model; the host FFT library is additionally run (for correctness, not
+// timing) to show the code path is real.
+#include "bench_util.h"
+#include "common/metrics.h"
+#include "common/rng.h"
+#include "fft/dft_ref.h"
+#include "fft/plan.h"
+
+int main(int argc, char** argv) {
+  using namespace repro;
+  bench::banner("Table 11 — FFTW-class 256^3 on the evaluation CPUs");
+
+  const Shape3 shape = cube(256);
+  struct Row {
+    sim::CpuSpec cpu;
+    double paper_ms;
+    double paper_gflops;
+  };
+  const Row rows[] = {{sim::amd_phenom_9500(), 195.0, 10.3},
+                      {sim::intel_core2_q6700(), 188.0, 10.7}};
+
+  TextTable t;
+  t.header({"Processor", "Clock", "Cores", "Time ms (paper)",
+            "GFLOPS (paper)"});
+  for (const Row& row : rows) {
+    const auto timing = sim::cpu_fft3d_time(row.cpu, shape);
+    t.row({row.cpu.name, TextTable::fmt(row.cpu.clock_ghz, 2) + " GHz",
+           std::to_string(row.cpu.cores),
+           TextTable::fmt(timing.total_ms, 0) + " (" +
+               TextTable::fmt(row.paper_ms, 0) + ")",
+           TextTable::fmt(timing.gflops) + " (" +
+               TextTable::fmt(row.paper_gflops) + ")"});
+    bench::add_row({"cpu_fftw/" + row.cpu.name, timing.total_ms,
+                    {{"GFLOPS", timing.gflops}}});
+  }
+  t.print(std::cout);
+
+  // Functional sanity of the host library standing in for FFTW: a small
+  // volume against the O(N^2) reference.
+  {
+    const Shape3 small = cube(16);
+    auto data = random_complex<float>(small.volume(), 1);
+    const auto ref = fft::dft_3d<float>(std::span<const cxf>(data), small,
+                                        fft::Direction::Forward);
+    fft::Plan3D<float> plan(small, fft::Direction::Forward);
+    plan.execute(data);
+    std::cout << "\nHost library check vs reference DFT (16^3): rel L2 err = "
+              << rel_l2_error<float>(data, ref) << "\n";
+  }
+  return bench::run_benchmarks(argc, argv);
+}

@@ -1,0 +1,102 @@
+// Figures 1, 2 and 3: on-board GFLOPS of the 3-D FFT at 256^3, 64^3 and
+// 128^3 — bandwidth-intensive kernel vs the conventional transpose
+// algorithm vs the CUFFT3D-class naive baseline, on all three cards.
+#include "bench_util.h"
+#include "gpufft/conventional3d.h"
+#include "gpufft/naive.h"
+#include "gpufft/plan.h"
+
+namespace repro::bench {
+namespace {
+
+struct PaperBars {
+  double ours[3];  // GT, GTS, GTX
+  double conv[3];
+  double cufft[3];
+};
+
+// Bar heights read off the paper's figures (approximate by nature).
+const PaperBars kFig1_256 = {{62.2, 67.1, 84.4},
+                             {35.0, 38.0, 43.0},
+                             {18.0, 20.0, 22.0}};
+const PaperBars kFig2_64 = {{38.0, 42.0, 50.0},
+                            {20.0, 22.0, 27.0},
+                            {8.0, 9.0, 10.0}};
+const PaperBars kFig3_128 = {{55.0, 60.0, 72.0},
+                             {30.0, 33.0, 38.0},
+                             {13.0, 14.0, 16.0}};
+
+void run_figure(const char* fig, std::size_t n, const PaperBars& paper) {
+  const Shape3 shape = cube(n);
+  std::cout << fig << " — 3-D FFT of size " << n << "^3, GFLOPS "
+            << "(15*N^3*log2 N convention), measured (paper approx.)\n";
+  TextTable t;
+  t.header({"Model", "Bandwidth-intensive", "Conventional", "CUFFT3D-like"});
+  int gi = 0;
+  for (const auto& spec : sim::all_gpus()) {
+    // Each algorithm gets its own device so the plans' work buffers do not
+    // have to coexist (data + three work volumes would blow the 512 MB
+    // cards at 256^3, as it would in real life).
+    double g_ours = 0.0;
+    double ms_ours = 0.0;
+    {
+      sim::Device dev(spec);
+      auto data = dev.alloc<cxf>(shape.volume());
+      gpufft::BandwidthFft3D ours(dev, shape, gpufft::Direction::Forward);
+      ours.execute(data);
+      ms_ours = ours.last_total_ms();
+      g_ours = reported_gflops(shape, ms_ours);
+    }
+    double g_conv = 0.0;
+    double ms_conv = 0.0;
+    {
+      sim::Device dev(spec);
+      auto data = dev.alloc<cxf>(shape.volume());
+      gpufft::ConventionalFft3D conv(dev, shape, gpufft::Direction::Forward);
+      conv.execute(data);
+      ms_conv = conv.last_total_ms();
+      g_conv = reported_gflops(shape, ms_conv);
+    }
+    double g_naive = 0.0;
+    double ms_naive = 0.0;
+    {
+      sim::Device dev(spec);
+      auto data = dev.alloc<cxf>(shape.volume());
+      gpufft::NaiveFft3D naive(dev, shape, gpufft::Direction::Forward);
+      naive.execute(data);
+      ms_naive = naive.last_total_ms();
+      g_naive = reported_gflops(shape, ms_naive);
+    }
+
+    t.row({spec.name,
+           TextTable::fmt(g_ours) + " (" + TextTable::fmt(paper.ours[gi]) +
+               ")",
+           TextTable::fmt(g_conv) + " (" + TextTable::fmt(paper.conv[gi]) +
+               ")",
+           TextTable::fmt(g_naive) + " (" + TextTable::fmt(paper.cufft[gi]) +
+               ")"});
+    const std::string sz = std::to_string(n);
+    bench::add_row({"fft3d/" + sz + "/" + spec.name + "/bandwidth", ms_ours,
+                    {{"GFLOPS", g_ours}}});
+    bench::add_row({"fft3d/" + sz + "/" + spec.name + "/conventional",
+                    ms_conv,
+                    {{"GFLOPS", g_conv}}});
+    bench::add_row({"fft3d/" + sz + "/" + spec.name + "/naive", ms_naive,
+                    {{"GFLOPS", g_naive}}});
+    ++gi;
+  }
+  t.print(std::cout);
+  std::cout << '\n';
+}
+
+}  // namespace
+}  // namespace repro::bench
+
+int main(int argc, char** argv) {
+  using namespace repro;
+  bench::banner("Figures 1-3 — on-board 3-D FFT GFLOPS, three algorithms");
+  bench::run_figure("Figure 2", 64, bench::kFig2_64);
+  bench::run_figure("Figure 3", 128, bench::kFig3_128);
+  bench::run_figure("Figure 1", 256, bench::kFig1_256);
+  return bench::run_benchmarks(argc, argv);
+}

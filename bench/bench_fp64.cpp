@@ -1,0 +1,60 @@
+// Section 4.5 future work, realized: "GPUs with double precision support
+// are starting to appear. We plan on implementing a double precision
+// version and making comparative analysis." Comparative analysis of the
+// five-step kernel in fp32 vs fp64 on a GT200-class card (GTX 280,
+// 1/8-rate DP units), with the fp32 8800 GTX for reference.
+#include "bench_util.h"
+#include "gpufft/plan.h"
+
+int main(int argc, char** argv) {
+  using namespace repro;
+  bench::banner("Section 4.5 future work — double precision (256^3)");
+
+  const Shape3 shape = cube(256);
+  TextTable t;
+  t.header({"Card / precision", "ms", "GFLOPS", "bound"});
+
+  auto run32 = [&](const sim::GpuSpec& spec) {
+    sim::Device dev(spec);
+    auto data = dev.alloc<cxf>(shape.volume());
+    gpufft::BandwidthFft3D plan(dev, shape, gpufft::Direction::Forward);
+    plan.execute(data);
+    const auto& h = dev.history();
+    const bool mem_bound = h.back().memory_bound();
+    t.row({spec.name + " fp32", TextTable::fmt(plan.last_total_ms()),
+           TextTable::fmt(bench::reported_gflops(shape,
+                                                 plan.last_total_ms())),
+           mem_bound ? "memory" : "compute"});
+    bench::add_row({"fp64_study/" + spec.name + "/fp32",
+                    plan.last_total_ms(),
+                    {{"GFLOPS", bench::reported_gflops(
+                                    shape, plan.last_total_ms())}}});
+  };
+  auto run64 = [&](const sim::GpuSpec& spec) {
+    sim::Device dev(spec);
+    auto data = dev.alloc<cxd>(shape.volume());
+    gpufft::BandwidthFft3DT<double> plan(dev, shape,
+                                         gpufft::Direction::Forward);
+    plan.execute(data);
+    const auto& h = dev.history();
+    const bool mem_bound = h.back().memory_bound();
+    t.row({spec.name + " fp64", TextTable::fmt(plan.last_total_ms()),
+           TextTable::fmt(bench::reported_gflops(shape,
+                                                 plan.last_total_ms())),
+           mem_bound ? "memory" : "compute"});
+    bench::add_row({"fp64_study/" + spec.name + "/fp64",
+                    plan.last_total_ms(),
+                    {{"GFLOPS", bench::reported_gflops(
+                                    shape, plan.last_total_ms())}}});
+  };
+
+  run32(sim::geforce_8800_gtx());
+  run32(sim::geforce_gtx_280());
+  run64(sim::geforce_gtx_280());
+
+  t.print(std::cout);
+  std::cout << "\nfp64 moves twice the bytes and runs its flops on 1/8-rate "
+               "DP units: the fine X-axis step turns compute-bound while "
+               "the coarse steps stay bandwidth-bound.\n";
+  return bench::run_benchmarks(argc, argv);
+}

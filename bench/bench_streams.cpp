@@ -1,0 +1,33 @@
+// Section 2.1's stream-count measurement: multirow copy bandwidth on the
+// 8800 GTX as the number of concurrent streams grows. The paper quotes the
+// endpoints: 71.7 GB/s for a single stream down to 30.7 GB/s for 256.
+#include "bench_util.h"
+#include "gpufft/copy_kernels.h"
+
+int main(int argc, char** argv) {
+  using namespace repro;
+  bench::banner("Section 2.1 — copy bandwidth vs number of streams (GTX)");
+
+  sim::Device dev(sim::geforce_8800_gtx());
+  const std::size_t n = 1u << 23;  // 64 MB in + 64 MB out
+  auto in = dev.alloc<cxf>(n);
+  auto out = dev.alloc<cxf>(n);
+
+  TextTable t;
+  t.header({"streams", "GB/s", "paper"});
+  for (std::size_t streams : {1, 2, 4, 8, 16, 32, 64, 128, 256}) {
+    gpufft::MultiStreamCopyKernel k(in, out, streams,
+                                    gpufft::default_grid_blocks(dev.spec()));
+    const auto r = dev.launch(k);
+    const double gbs = 2.0 * n * sizeof(cxf) / (r.total_ms * 1e6);
+    std::string paper = "-";
+    if (streams == 1) paper = "71.7";
+    if (streams == 256) paper = "30.7";
+    t.row({std::to_string(streams), TextTable::fmt(gbs), paper});
+    bench::add_row({"stream_copy/GTX/streams:" + std::to_string(streams),
+                    r.total_ms,
+                    {{"GBps", gbs}}});
+  }
+  t.print(std::cout);
+  return bench::run_benchmarks(argc, argv);
+}

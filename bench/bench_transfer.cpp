@@ -1,0 +1,69 @@
+// Table 10: the 256^3 FFT as a pure offload — host-to-device transfer,
+// on-board transform, device-to-host transfer — showing how PCI-Express
+// erodes the on-board advantage (and inverts the card ranking: the PCIe
+// 1.1 GTX wins on-board but loses end-to-end).
+#include "bench_util.h"
+#include "gpufft/plan.h"
+
+namespace repro::bench {
+namespace {
+
+struct PaperRow {
+  double h2d_ms, h2d_gbs, fft_ms, fft_gflops, d2h_ms, d2h_gbs, total_ms,
+      total_gflops;
+};
+const PaperRow kPaper[3] = {
+    {25.9, 5.18, 32.3, 62.2, 26.1, 5.14, 84.3, 23.9},
+    {25.7, 5.21, 30.0, 67.1, 27.3, 4.91, 83.1, 24.2},
+    {47.6, 2.82, 23.8, 84.4, 40.1, 3.35, 112.0, 18.0}};
+
+}  // namespace
+}  // namespace repro::bench
+
+int main(int argc, char** argv) {
+  using namespace repro;
+  bench::banner("Table 10 — 256^3 FFT including host<->device transfers");
+
+  const Shape3 shape = cube(256);
+  const std::uint64_t bytes = shape.volume() * sizeof(cxf);
+
+  TextTable t;
+  t.header({"Model", "PCIe", "H2D ms (paper)", "FFT ms (paper)",
+            "D2H ms (paper)", "Total ms (paper)", "GFLOPS (paper)"});
+  int gi = 0;
+  for (const auto& spec : sim::all_gpus()) {
+    const auto& paper = bench::kPaper[gi++];
+    sim::Device dev(spec);
+    auto data = dev.alloc<cxf>(shape.volume());
+    gpufft::BandwidthFft3D plan(dev, shape, gpufft::Direction::Forward);
+    std::vector<cxf> host(shape.volume());
+
+    dev.reset_clock();
+    dev.h2d(data, std::span<const cxf>(host));
+    const double h2d_ms = dev.elapsed_ms();
+    plan.execute(data);
+    const double fft_end = dev.elapsed_ms();
+    dev.d2h(std::span<cxf>(host), data);
+    const double total_ms = dev.elapsed_ms();
+    const double fft_ms = fft_end - h2d_ms;
+    const double d2h_ms = total_ms - fft_end;
+
+    t.row({spec.name,
+           spec.pcie.gen == sim::PcieGen::Gen2_0 ? "2.0 x16" : "1.1 x16",
+           TextTable::fmt(h2d_ms) + " (" + TextTable::fmt(paper.h2d_ms) + ")",
+           TextTable::fmt(fft_ms) + " (" + TextTable::fmt(paper.fft_ms) + ")",
+           TextTable::fmt(d2h_ms) + " (" + TextTable::fmt(paper.d2h_ms) + ")",
+           TextTable::fmt(total_ms) + " (" + TextTable::fmt(paper.total_ms) +
+               ")",
+           TextTable::fmt(bench::reported_gflops(shape, total_ms)) + " (" +
+               TextTable::fmt(paper.total_gflops) + ")"});
+    bench::add_row({"transfer/" + spec.name + "/total", total_ms,
+                    {{"GFLOPS", bench::reported_gflops(shape, total_ms)},
+                     {"h2d_GBps", bytes / (h2d_ms * 1e6)},
+                     {"d2h_GBps", bytes / (d2h_ms * 1e6)}}});
+  }
+  t.print(std::cout);
+  std::cout << "\nNote the inversion: the GTX has the best on-board time "
+               "but the worst end-to-end time (PCIe 1.1).\n";
+  return bench::run_benchmarks(argc, argv);
+}

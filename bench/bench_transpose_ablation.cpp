@@ -1,0 +1,60 @@
+// Ablation (extension beyond the paper): how much of the six-step
+// algorithm's deficit is the naive transpose, and how much is fundamental?
+// Compares the 256^3 conventional plan with the paper-era naive
+// thread-per-element transpose against an SDK-style 16x16 tiled
+// shared-memory transpose, next to the five-step kernel. Even the tiled
+// variant cannot catch the five-step algorithm: three zero-flop passes
+// over the volume remain three extra round trips to DRAM.
+#include "bench_util.h"
+#include "gpufft/conventional3d.h"
+#include "gpufft/plan.h"
+
+int main(int argc, char** argv) {
+  using namespace repro;
+  bench::banner("Transpose ablation — naive vs tiled six-step vs five-step "
+                "(256^3)");
+
+  const Shape3 shape = cube(256);
+  TextTable t;
+  t.header({"Model", "six-step naive ms", "six-step tiled ms",
+            "five-step ms", "tiled/five-step"});
+  for (const auto& spec : sim::all_gpus()) {
+    double naive_ms = 0.0;
+    double tiled_ms = 0.0;
+    double ours_ms = 0.0;
+    {
+      sim::Device dev(spec);
+      auto data = dev.alloc<cxf>(shape.volume());
+      gpufft::ConventionalFft3D plan(dev, shape, gpufft::Direction::Forward,
+                                     0, gpufft::TransposeStrategy::Naive);
+      plan.execute(data);
+      naive_ms = plan.last_total_ms();
+    }
+    {
+      sim::Device dev(spec);
+      auto data = dev.alloc<cxf>(shape.volume());
+      gpufft::ConventionalFft3D plan(dev, shape, gpufft::Direction::Forward,
+                                     0, gpufft::TransposeStrategy::Tiled);
+      plan.execute(data);
+      tiled_ms = plan.last_total_ms();
+    }
+    {
+      sim::Device dev(spec);
+      auto data = dev.alloc<cxf>(shape.volume());
+      gpufft::BandwidthFft3D plan(dev, shape, gpufft::Direction::Forward);
+      plan.execute(data);
+      ours_ms = plan.last_total_ms();
+    }
+    t.row({spec.name, TextTable::fmt(naive_ms), TextTable::fmt(tiled_ms),
+           TextTable::fmt(ours_ms),
+           TextTable::fmt(tiled_ms / ours_ms, 2) + "x"});
+    bench::add_row({"transpose_ablation/" + spec.name + "/sixstep_naive",
+                    naive_ms, {}});
+    bench::add_row({"transpose_ablation/" + spec.name + "/sixstep_tiled",
+                    tiled_ms, {}});
+    bench::add_row({"transpose_ablation/" + spec.name + "/fivestep",
+                    ours_ms, {}});
+  }
+  t.print(std::cout);
+  return bench::run_benchmarks(argc, argv);
+}

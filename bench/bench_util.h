@@ -1,0 +1,75 @@
+// Shared plumbing for the reproduction benches.
+//
+// Every bench binary reproduces one table or figure of the paper: it runs
+// the simulation once, prints a paper-vs-measured text table, and registers
+// the measured (simulated) times with google-benchmark via manual timing so
+// the standard benchmark output carries the same numbers. All reported
+// times are SIMULATED device time — deterministic and host-independent.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <functional>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/table.h"
+#include "common/tensor.h"
+#include "sim/cpumodel.h"
+#include "sim/device.h"
+
+namespace repro::bench {
+
+/// The paper's GFLOPS convention for an N^3 transform: 15*N^3*log2(N).
+inline double reported_gflops(Shape3 shape, double ms) {
+  return sim::reported_fft_flops(shape) / (ms * 1e6);
+}
+
+/// One measured row to hand to google-benchmark.
+struct BenchRow {
+  std::string name;
+  double sim_ms{};
+  std::vector<std::pair<std::string, double>> counters;
+};
+
+/// Registry filled by the bench body and drained by run_benchmarks().
+inline std::vector<BenchRow>& rows() {
+  static std::vector<BenchRow> r;
+  return r;
+}
+
+inline void add_row(BenchRow row) { rows().push_back(std::move(row)); }
+
+/// Register each collected row as a manual-time benchmark and run the
+/// google-benchmark machinery.
+inline int run_benchmarks(int argc, char** argv) {
+  for (const BenchRow& row : rows()) {
+    benchmark::RegisterBenchmark(
+        row.name.c_str(),
+        [row](benchmark::State& state) {
+          for (auto _ : state) {
+            state.SetIterationTime(row.sim_ms * 1e-3);
+          }
+          for (const auto& [k, v] : row.counters) {
+            state.counters[k] = v;
+          }
+        })
+        ->UseManualTime()
+        ->Iterations(1)
+        ->Unit(benchmark::kMillisecond);
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
+
+/// Banner helper.
+inline void banner(const std::string& title) {
+  std::cout << "\n=== " << title << " ===\n";
+  std::cout << "(simulated GeForce 8800-series devices; paper values from "
+               "Nukada et al., SC'08)\n\n";
+}
+
+}  // namespace repro::bench

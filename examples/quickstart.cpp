@@ -1,0 +1,53 @@
+// Quickstart: plan and run a 3-D FFT on a simulated GeForce 8800 GTX,
+// verify the result against the host library, and look at the per-step
+// timing the paper's Table 7 reports.
+//
+//   $ ./quickstart [n]        (default n = 128; power of two in [16,256])
+#include <cstdlib>
+#include <iostream>
+
+#include "common/metrics.h"
+#include "common/rng.h"
+#include "common/table.h"
+#include "fft/plan.h"
+#include "gpufft/plan.h"
+#include "sim/cpumodel.h"
+
+int main(int argc, char** argv) {
+  using namespace repro;
+  const std::size_t n = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 128;
+  const Shape3 shape = cube(n);
+  std::cout << "3-D FFT of size " << n << "^3 on a simulated 8800 GTX\n\n";
+
+  // 1. Make a device and upload a random volume.
+  sim::Device dev(sim::geforce_8800_gtx());
+  auto data = dev.alloc<cxf>(shape.volume());
+  const auto input = random_complex<float>(shape.volume(), 2008);
+  dev.h2d(data, std::span<const cxf>(input));
+
+  // 2. Plan once, execute (the plan owns work buffers and twiddles).
+  gpufft::BandwidthFft3D plan(dev, shape, gpufft::Direction::Forward);
+  const auto steps = plan.execute(data);
+
+  // 3. Download and verify against the host FFT library.
+  std::vector<cxf> out(shape.volume());
+  dev.d2h(std::span<cxf>(out), data);
+  std::vector<cxf> ref = input;
+  fft::Plan3D<float> host_plan(shape, fft::Direction::Forward);
+  host_plan.execute(ref);
+  const double err = rel_l2_error<float>(out, ref);
+
+  // 4. Report.
+  TextTable t;
+  t.header({"step", "sim ms", "GB/s"});
+  for (const auto& s : steps) {
+    t.row({s.name, TextTable::fmt(s.ms, 2), TextTable::fmt(s.gbs)});
+  }
+  t.print(std::cout);
+  const double gflops =
+      sim::reported_fft_flops(shape) / (plan.last_total_ms() * 1e6);
+  std::cout << "\ntotal " << TextTable::fmt(plan.last_total_ms(), 2)
+            << " ms  ->  " << TextTable::fmt(gflops) << " GFLOPS"
+            << "   (relative L2 error vs host FFT: " << err << ")\n";
+  return err < fft_error_bound<float>(shape.volume()) ? 0 : 1;
+}

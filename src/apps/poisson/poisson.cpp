@@ -1,0 +1,127 @@
+#include "apps/poisson/poisson.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/check.h"
+#include "fft/plan.h"
+
+namespace repro::apps::poisson {
+namespace {
+
+/// 1 / eigenvalue of -laplacian for wavenumber index k of an n-point axis
+/// (0 for the zero mode; caller sums the three axis terms first).
+double axis_eigenvalue(std::size_t k, std::size_t n, Eigenvalues eig) {
+  // Signed wavenumber in [-n/2, n/2).
+  const double ks = k <= n / 2 ? static_cast<double>(k)
+                               : static_cast<double>(k) -
+                                     static_cast<double>(n);
+  if (eig == Eigenvalues::Spectral) {
+    const double w = 2.0 * std::numbers::pi * ks;
+    return w * w;
+  }
+  // 7-point stencil with h = 1/n: (2 - 2cos(2*pi*k/n)) / h^2.
+  const double c =
+      std::cos(2.0 * std::numbers::pi * static_cast<double>(k) /
+               static_cast<double>(n));
+  return (2.0 - 2.0 * c) * static_cast<double>(n) * static_cast<double>(n);
+}
+
+/// Divide the spectrum by the Laplacian eigenvalues in place (host side);
+/// zero mode is zeroed.
+void apply_inverse_laplacian(std::vector<cxf>& hat, Shape3 shape,
+                             Eigenvalues eig) {
+  for (std::size_t kz = 0; kz < shape.nz; ++kz) {
+    for (std::size_t ky = 0; ky < shape.ny; ++ky) {
+      for (std::size_t kx = 0; kx < shape.nx; ++kx) {
+        const double lam = axis_eigenvalue(kx, shape.nx, eig) +
+                           axis_eigenvalue(ky, shape.ny, eig) +
+                           axis_eigenvalue(kz, shape.nz, eig);
+        auto& v = hat[shape.at(kx, ky, kz)];
+        if (lam == 0.0) {
+          v = {0.0f, 0.0f};
+        } else {
+          v = v * static_cast<float>(1.0 / lam);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<cxf> solve_poisson_gpu(sim::Device& dev, Shape3 shape,
+                                   std::span<const cxf> f, Eigenvalues eig) {
+  REPRO_CHECK(f.size() == shape.volume());
+  auto data = dev.alloc<cxf>(shape.volume());
+  dev.h2d(data, f);
+
+  gpufft::BandwidthFft3D fwd(dev, shape, gpufft::Direction::Forward);
+  fwd.execute(data);
+
+  // The eigenvalue multiply is a small elementwise pass; we stage it via
+  // the host table here (a dedicated device kernel would hide the
+  // transfer; the FFTs dominate either way).
+  std::vector<cxf> hat(shape.volume());
+  dev.d2h(std::span<cxf>(hat), data);
+  apply_inverse_laplacian(hat, shape, eig);
+  dev.h2d(data, std::span<const cxf>(hat));
+
+  gpufft::BandwidthFft3D inv(dev, shape, gpufft::Direction::Inverse);
+  inv.execute(data);
+  gpufft::ScaleKernel scale(data, shape.volume(),
+                            1.0f / static_cast<float>(shape.volume()),
+                            gpufft::default_grid_blocks(dev.spec()));
+  dev.launch(scale);
+
+  std::vector<cxf> u(shape.volume());
+  dev.d2h(std::span<cxf>(u), data);
+  return u;
+}
+
+std::vector<cxf> solve_poisson_host(Shape3 shape, std::span<const cxf> f,
+                                    Eigenvalues eig) {
+  REPRO_CHECK(f.size() == shape.volume());
+  std::vector<cxf> hat(f.begin(), f.end());
+  fft::Plan3D<float> fwd(shape, fft::Direction::Forward);
+  fwd.execute(hat);
+  apply_inverse_laplacian(hat, shape, eig);
+  fft::Plan3D<float> inv(shape, fft::Direction::Inverse,
+                         fft::Scaling::ByN);
+  inv.execute(hat);
+  return hat;
+}
+
+double discrete_residual(Shape3 shape, std::span<const cxf> u,
+                         std::span<const cxf> f) {
+  REPRO_CHECK(u.size() == shape.volume() && f.size() == shape.volume());
+  const double h2 = 1.0 / (static_cast<double>(shape.nx) *
+                           static_cast<double>(shape.nx));
+  double num = 0.0;
+  double den = 0.0;
+  for (std::size_t z = 0; z < shape.nz; ++z) {
+    for (std::size_t y = 0; y < shape.ny; ++y) {
+      for (std::size_t x = 0; x < shape.nx; ++x) {
+        const auto at = [&](std::size_t a, std::size_t b, std::size_t c) {
+          return static_cast<double>(u[shape.at(a, b, c)].re);
+        };
+        const double lap =
+            (at((x + 1) % shape.nx, y, z) +
+             at((x + shape.nx - 1) % shape.nx, y, z) +
+             at(x, (y + 1) % shape.ny, z) +
+             at(x, (y + shape.ny - 1) % shape.ny, z) +
+             at(x, y, (z + 1) % shape.nz) +
+             at(x, y, (z + shape.nz - 1) % shape.nz) -
+             6.0 * at(x, y, z)) /
+            h2;
+        const double r = lap + f[shape.at(x, y, z)].re;
+        num += r * r;
+        den += static_cast<double>(f[shape.at(x, y, z)].re) *
+               f[shape.at(x, y, z)].re;
+      }
+    }
+  }
+  return den > 0.0 ? std::sqrt(num / den) : std::sqrt(num);
+}
+
+}  // namespace repro::apps::poisson

@@ -1,0 +1,40 @@
+// Spectral Poisson solver on the simulated GPU.
+//
+// The paper motivates 3-D FFTs with spectral-method HPC workloads (the
+// Earth Simulator turbulence run of [15]); this module is a compact such
+// consumer: solve  -laplacian(u) = f  with periodic boundary conditions on
+// the unit cube by forward FFT, division by the Laplacian eigenvalues, and
+// inverse FFT — all transforms on the device, the working set confined to
+// the card between the two transforms.
+#pragma once
+
+#include <vector>
+
+#include "common/complex.h"
+#include "common/tensor.h"
+#include "gpufft/plan.h"
+
+namespace repro::apps::poisson {
+
+/// Eigenvalue convention for the Laplacian.
+enum class Eigenvalues {
+  Spectral,  ///< (2*pi*k)^2 — exact for band-limited f
+  Discrete,  ///< 7-point stencil: (2 - 2*cos(2*pi*k/n)) * n^2
+};
+
+/// Solve -lap(u) = f on [0,1)^3 with periodic BCs. `f` must have zero
+/// mean (the k=0 mode is set to zero). Returns u with zero mean.
+std::vector<cxf> solve_poisson_gpu(sim::Device& dev, Shape3 shape,
+                                   std::span<const cxf> f,
+                                   Eigenvalues eig = Eigenvalues::Spectral);
+
+/// Host reference solver (same math through the host FFT library).
+std::vector<cxf> solve_poisson_host(Shape3 shape, std::span<const cxf> f,
+                                    Eigenvalues eig = Eigenvalues::Spectral);
+
+/// Residual ||lap(u) + f||_2 / ||f||_2 with the 7-point discrete
+/// Laplacian (grid spacing 1/n per axis).
+double discrete_residual(Shape3 shape, std::span<const cxf> u,
+                         std::span<const cxf> f);
+
+}  // namespace repro::apps::poisson

@@ -1,0 +1,55 @@
+#include "apps/zdock/docking.h"
+
+namespace repro::apps::zdock {
+
+DockingEngine::DockingEngine(sim::Device& dev, Shape3 shape,
+                             GridParams params)
+    : dev_(dev), shape_(shape), params_(params), conv_(dev, shape) {}
+
+void DockingEngine::set_receptor(const Molecule& receptor) {
+  const auto grid = rasterize_receptor(receptor, shape_, params_);
+  conv_.set_filter(grid);
+  receptor_set_ = true;
+}
+
+DockingResult DockingEngine::dock(const Molecule& ligand,
+                                  const std::vector<Rotation>& rotations) {
+  REPRO_CHECK_MSG(receptor_set_, "set_receptor must be called first");
+  REPRO_CHECK(!rotations.empty());
+
+  // Correlation direction: with the receptor as the resident filter and
+  // the per-rotation ligand grid as the signal, Convolution3D computes
+  // out[d] = sum_s ligand[s] * receptor[s - d] — the score of translating
+  // the ligand by -d (see the pose conversion below).
+  dev_.reset_clock();
+  DockingResult result;
+  result.best.score = -std::numeric_limits<double>::infinity();
+  for (std::size_t r = 0; r < rotations.size(); ++r) {
+    const Molecule rotated = rotate(ligand, rotations[r]);
+    const auto grid = rasterize_ligand(rotated, shape_);
+    const gpufft::BestMatch m = conv_.best_translation(grid);
+
+    // The correlation volume holds out[d] = sum_s lig[s] * rec[s - d],
+    // i.e. the score of translating the ligand by -d; negate the argmax
+    // index (mod n) to report the ligand translation itself.
+    const std::size_t ix = m.index % shape_.nx;
+    const std::size_t iy = (m.index / shape_.nx) % shape_.ny;
+    const std::size_t iz = m.index / (shape_.nx * shape_.ny);
+    Pose pose;
+    pose.rotation_index = r;
+    pose.score = m.score;
+    pose.tx = (shape_.nx - ix) % shape_.nx;
+    pose.ty = (shape_.ny - iy) % shape_.ny;
+    pose.tz = (shape_.nz - iz) % shape_.nz;
+    result.per_rotation.push_back(pose);
+    if (pose.score > result.best.score) {
+      result.best = pose;
+    }
+  }
+  result.device_ms = dev_.elapsed_ms();
+  result.h2d_bytes = dev_.h2d_bytes();
+  result.d2h_bytes = dev_.d2h_bytes();
+  return result;
+}
+
+}  // namespace repro::apps::zdock

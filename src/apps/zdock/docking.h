@@ -1,0 +1,56 @@
+// The docking driver: rotation sweep over on-card FFT correlations
+// (Section 4.4's application-confinement showcase).
+//
+// Per rotation: rasterize the rotated ligand on the host, ship it to the
+// device once, run forward FFT -> pointwise conj-multiply with the
+// resident receptor spectrum -> inverse FFT -> on-device argmax, and read
+// back only the best (score, translation) candidate. The receptor grid is
+// uploaded and transformed exactly once for the whole run.
+#pragma once
+
+#include <optional>
+
+#include "apps/zdock/grid.h"
+#include "gpufft/convolution.h"
+
+namespace repro::apps::zdock {
+
+/// One pose candidate.
+struct Pose {
+  std::size_t rotation_index{};
+  std::size_t tx{}, ty{}, tz{};  ///< circular translation of the ligand
+  double score{};
+};
+
+/// Summary of a docking run.
+struct DockingResult {
+  Pose best;
+  std::vector<Pose> per_rotation;  ///< best pose of each rotation
+  double device_ms{};              ///< simulated device time of the run
+  std::uint64_t h2d_bytes{};
+  std::uint64_t d2h_bytes{};
+};
+
+/// Rigid docking engine on one simulated GPU.
+class DockingEngine {
+ public:
+  DockingEngine(sim::Device& dev, Shape3 shape, GridParams params = {});
+
+  /// Fix the receptor (uploads + transforms its grid once).
+  void set_receptor(const Molecule& receptor);
+
+  /// Sweep `rotations` poses of `ligand`; returns the global best.
+  DockingResult dock(const Molecule& ligand,
+                     const std::vector<Rotation>& rotations);
+
+  [[nodiscard]] Shape3 shape() const { return shape_; }
+
+ private:
+  sim::Device& dev_;
+  Shape3 shape_;
+  GridParams params_;
+  gpufft::Convolution3D conv_;
+  bool receptor_set_ = false;
+};
+
+}  // namespace repro::apps::zdock

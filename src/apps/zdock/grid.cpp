@@ -1,0 +1,144 @@
+#include "apps/zdock/grid.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace repro::apps::zdock {
+namespace {
+
+/// Boolean occupancy of every voxel (center sampling), molecule shifted to
+/// the grid center.
+std::vector<std::uint8_t> occupancy(const Molecule& mol, Shape3 shape) {
+  std::vector<std::uint8_t> occ(shape.volume(), 0);
+  const double cx = static_cast<double>(shape.nx) / 2.0;
+  const double cy = static_cast<double>(shape.ny) / 2.0;
+  const double cz = static_cast<double>(shape.nz) / 2.0;
+  // Rasterize atom by atom over its bounding box — O(atoms * r^3), far
+  // cheaper than testing every voxel against every atom.
+  for (const Atom& a : mol.atoms) {
+    const double ax = a.x + cx;
+    const double ay = a.y + cy;
+    const double az = a.z + cz;
+    const auto lo = [](double v) {
+      return static_cast<long>(std::floor(v));
+    };
+    const auto hi = [](double v) { return static_cast<long>(std::ceil(v)); };
+    for (long z = lo(az - a.r); z <= hi(az + a.r); ++z) {
+      for (long y = lo(ay - a.r); y <= hi(ay + a.r); ++y) {
+        for (long x = lo(ax - a.r); x <= hi(ax + a.r); ++x) {
+          if (x < 0 || y < 0 || z < 0 ||
+              x >= static_cast<long>(shape.nx) ||
+              y >= static_cast<long>(shape.ny) ||
+              z >= static_cast<long>(shape.nz)) {
+            continue;
+          }
+          const double dx = (static_cast<double>(x) + 0.5) - ax;
+          const double dy = (static_cast<double>(y) + 0.5) - ay;
+          const double dz = (static_cast<double>(z) + 0.5) - az;
+          if (dx * dx + dy * dy + dz * dz <= a.r * a.r) {
+            occ[shape.at(static_cast<std::size_t>(x),
+                         static_cast<std::size_t>(y),
+                         static_cast<std::size_t>(z))] = 1;
+          }
+        }
+      }
+    }
+  }
+  return occ;
+}
+
+}  // namespace
+
+bool voxel_inside(const Molecule& mol, double vx, double vy, double vz) {
+  for (const Atom& a : mol.atoms) {
+    const double dx = vx - a.x;
+    const double dy = vy - a.y;
+    const double dz = vz - a.z;
+    if (dx * dx + dy * dy + dz * dz <= a.r * a.r) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<cxf> rasterize_receptor(const Molecule& mol, Shape3 shape,
+                                    const GridParams& params) {
+  const auto occ = occupancy(mol, shape);
+  std::vector<cxf> grid(shape.volume());
+  const long t = std::max(1L, std::lround(params.surface_thickness));
+  for (std::size_t z = 0; z < shape.nz; ++z) {
+    for (std::size_t y = 0; y < shape.ny; ++y) {
+      for (std::size_t x = 0; x < shape.nx; ++x) {
+        if (!occ[shape.at(x, y, z)]) continue;
+        // Surface voxel: some axis neighbour within the shell thickness is
+        // empty (clamped at the grid border).
+        bool surface = false;
+        for (long d = 1; d <= t && !surface; ++d) {
+          const long xs[2] = {static_cast<long>(x) - d,
+                              static_cast<long>(x) + d};
+          const long ys[2] = {static_cast<long>(y) - d,
+                              static_cast<long>(y) + d};
+          const long zs[2] = {static_cast<long>(z) - d,
+                              static_cast<long>(z) + d};
+          for (long nx2 : xs) {
+            if (nx2 >= 0 && nx2 < static_cast<long>(shape.nx) &&
+                !occ[shape.at(static_cast<std::size_t>(nx2), y, z)]) {
+              surface = true;
+            }
+          }
+          for (long ny2 : ys) {
+            if (ny2 >= 0 && ny2 < static_cast<long>(shape.ny) &&
+                !occ[shape.at(x, static_cast<std::size_t>(ny2), z)]) {
+              surface = true;
+            }
+          }
+          for (long nz2 : zs) {
+            if (nz2 >= 0 && nz2 < static_cast<long>(shape.nz) &&
+                !occ[shape.at(x, y, static_cast<std::size_t>(nz2))]) {
+              surface = true;
+            }
+          }
+        }
+        grid[shape.at(x, y, z)] = {
+            static_cast<float>(surface ? params.surface_weight
+                                       : params.core_penalty),
+            0.0f};
+      }
+    }
+  }
+  return grid;
+}
+
+std::vector<cxf> rasterize_ligand(const Molecule& mol, Shape3 shape) {
+  const auto occ = occupancy(mol, shape);
+  std::vector<cxf> grid(shape.volume());
+  for (std::size_t i = 0; i < occ.size(); ++i) {
+    if (occ[i]) grid[i] = {1.0f, 0.0f};
+  }
+  return grid;
+}
+
+double direct_score(const std::vector<cxf>& receptor,
+                    const std::vector<cxf>& ligand, Shape3 shape,
+                    std::size_t dx, std::size_t dy, std::size_t dz) {
+  REPRO_CHECK(receptor.size() == shape.volume());
+  REPRO_CHECK(ligand.size() == shape.volume());
+  double score = 0.0;
+  for (std::size_t z = 0; z < shape.nz; ++z) {
+    for (std::size_t y = 0; y < shape.ny; ++y) {
+      for (std::size_t x = 0; x < shape.nx; ++x) {
+        const float lig = ligand[shape.at(x, y, z)].re;
+        if (lig == 0.0f) continue;
+        const float rec =
+            receptor[shape.at((x + dx) % shape.nx, (y + dy) % shape.ny,
+                              (z + dz) % shape.nz)]
+                .re;
+        score += static_cast<double>(lig) * rec;
+      }
+    }
+  }
+  return score;
+}
+
+}  // namespace repro::apps::zdock

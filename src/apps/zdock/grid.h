@@ -1,0 +1,46 @@
+// Voxelization and complementarity scoring grids (Katchalski-Katzir style,
+// as used by ZDock-class FFT docking codes).
+//
+// Receptor grid: surface voxels get +1, interior voxels a large negative
+// penalty (overlap with the receptor core is forbidden), empty space 0.
+// Ligand grid: all molecule voxels +1. The docking score of a relative
+// translation is the real part of the circular correlation of the two
+// grids: surface-surface contact scores +1 per voxel, core clashes score
+// the penalty. The best rigid pose maximizes the correlation — computed
+// on the simulated GPU via gpufft::Convolution3D.
+#pragma once
+
+#include <vector>
+
+#include "apps/zdock/shape.h"
+#include "common/complex.h"
+#include "common/tensor.h"
+
+namespace repro::apps::zdock {
+
+/// Scoring weights.
+struct GridParams {
+  double surface_weight{1.0};
+  double core_penalty{-15.0};
+  double surface_thickness{1.5};  ///< shell thickness in voxels
+};
+
+/// Rasterize `mol` (coordinates in voxel units, molecule roughly centered
+/// at shape/2 after the `offset` shift) into a complex grid:
+/// re = score weight, im = 0.
+std::vector<cxf> rasterize_receptor(const Molecule& mol, Shape3 shape,
+                                    const GridParams& params = {});
+
+/// Ligand grid: every molecule voxel has weight +1.
+std::vector<cxf> rasterize_ligand(const Molecule& mol, Shape3 shape);
+
+/// Occupancy helper shared by both rasterizers: true if voxel center is
+/// inside any atom.
+bool voxel_inside(const Molecule& mol, double vx, double vy, double vz);
+
+/// Direct O(V^2) correlation score for one translation (test oracle).
+double direct_score(const std::vector<cxf>& receptor,
+                    const std::vector<cxf>& ligand, Shape3 shape,
+                    std::size_t dx, std::size_t dy, std::size_t dz);
+
+}  // namespace repro::apps::zdock

@@ -1,0 +1,136 @@
+#include "apps/zdock/shape.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace repro::apps::zdock {
+
+std::array<double, 3> Molecule::centroid() const {
+  std::array<double, 3> c{0.0, 0.0, 0.0};
+  if (atoms.empty()) return c;
+  for (const Atom& a : atoms) {
+    c[0] += a.x;
+    c[1] += a.y;
+    c[2] += a.z;
+  }
+  const double inv = 1.0 / static_cast<double>(atoms.size());
+  c[0] *= inv;
+  c[1] *= inv;
+  c[2] *= inv;
+  return c;
+}
+
+Molecule make_chain_molecule(std::size_t n_atoms, double extent,
+                             std::uint64_t seed, double atom_radius) {
+  REPRO_CHECK(n_atoms > 0 && extent > 0.0);
+  SplitMix64 rng(seed);
+  Molecule mol;
+  mol.atoms.reserve(n_atoms);
+  Atom cur{0.0, 0.0, 0.0, atom_radius};
+  mol.atoms.push_back(cur);
+  const double step = atom_radius * 1.2;  // overlapping chain
+  for (std::size_t i = 1; i < n_atoms; ++i) {
+    // Random step direction; re-draw if we would leave the extent ball.
+    for (int attempt = 0; attempt < 32; ++attempt) {
+      const double theta = rng.uniform(0.0, 2.0 * 3.14159265358979323846);
+      const double u = rng.uniform(-1.0, 1.0);
+      const double s = std::sqrt(std::max(0.0, 1.0 - u * u));
+      Atom next = cur;
+      next.x += step * s * std::cos(theta);
+      next.y += step * s * std::sin(theta);
+      next.z += step * u;
+      if (next.x * next.x + next.y * next.y + next.z * next.z <=
+          extent * extent) {
+        cur = next;
+        break;
+      }
+    }
+    mol.atoms.push_back(cur);
+  }
+  return mol;
+}
+
+Rotation identity_rotation() {
+  return {1, 0, 0, 0, 1, 0, 0, 0, 1};
+}
+
+Rotation axis_rotation(int axis, double radians) {
+  const double c = std::cos(radians);
+  const double s = std::sin(radians);
+  switch (axis) {
+    case 0:
+      return {1, 0, 0, 0, c, -s, 0, s, c};
+    case 1:
+      return {c, 0, s, 0, 1, 0, -s, 0, c};
+    default:
+      return {c, -s, 0, s, c, 0, 0, 0, 1};
+  }
+}
+
+Rotation compose(const Rotation& a, const Rotation& b) {
+  Rotation r{};
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 3; ++j) {
+      double acc = 0.0;
+      for (int k = 0; k < 3; ++k) {
+        acc += b[static_cast<std::size_t>(3 * i + k)] *
+               a[static_cast<std::size_t>(3 * k + j)];
+      }
+      r[static_cast<std::size_t>(3 * i + j)] = acc;
+    }
+  }
+  return r;
+}
+
+std::vector<Rotation> rotation_sweep(std::size_t n) {
+  std::vector<Rotation> rots;
+  rots.reserve(n);
+  rots.push_back(identity_rotation());
+  // Cycle axes with increasing angles — a deterministic coarse sweep.
+  std::size_t i = 1;
+  for (std::size_t ring = 1; rots.size() < n; ++ring) {
+    for (int axis = 0; axis < 3 && rots.size() < n; ++axis) {
+      const double angle =
+          2.0 * 3.14159265358979323846 * static_cast<double>(ring) /
+          (3.0 + static_cast<double>(n) / 3.0);
+      Rotation r = axis_rotation(axis, angle);
+      if (i % 2 == 0) {
+        r = compose(r, axis_rotation((axis + 1) % 3, angle * 0.5));
+      }
+      rots.push_back(r);
+      ++i;
+    }
+  }
+  rots.resize(n);
+  return rots;
+}
+
+Molecule rotate(const Molecule& mol, const Rotation& rot) {
+  const auto c = mol.centroid();
+  Molecule out;
+  out.atoms.reserve(mol.atoms.size());
+  for (const Atom& a : mol.atoms) {
+    const double x = a.x - c[0];
+    const double y = a.y - c[1];
+    const double z = a.z - c[2];
+    Atom b = a;
+    b.x = c[0] + rot[0] * x + rot[1] * y + rot[2] * z;
+    b.y = c[1] + rot[3] * x + rot[4] * y + rot[5] * z;
+    b.z = c[2] + rot[6] * x + rot[7] * y + rot[8] * z;
+    out.atoms.push_back(b);
+  }
+  return out;
+}
+
+Molecule translate(const Molecule& mol, double dx, double dy, double dz) {
+  Molecule out = mol;
+  for (Atom& a : out.atoms) {
+    a.x += dx;
+    a.y += dy;
+    a.z += dz;
+  }
+  return out;
+}
+
+}  // namespace repro::apps::zdock

@@ -1,0 +1,63 @@
+// Synthetic rigid-body "protein" shapes for the docking application.
+//
+// The paper accelerates ZDock (Chen & Weng 2003), whose kernel is a 3-D
+// FFT correlation between voxelized receptor and ligand grids. We have no
+// PDB data, so we generate molecule-like blobs — self-avoiding chains of
+// overlapping spheres ("residues") — which exercise the identical code
+// path: rasterization, complementarity scoring, FFT correlation, rotation
+// sweep. A ligand carved out of the receptor's surface gives a docking
+// problem with a known best pose for validation.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace repro::apps::zdock {
+
+/// One pseudo-atom: center (in grid units) and radius.
+struct Atom {
+  double x{};
+  double y{};
+  double z{};
+  double r{1.8};
+};
+
+/// A rigid molecule = a bag of atoms.
+struct Molecule {
+  std::vector<Atom> atoms;
+
+  /// Geometric center of the atom centers.
+  [[nodiscard]] std::array<double, 3> centroid() const;
+};
+
+/// Random-walk chain of `n_atoms` overlapping spheres within a ball of
+/// radius `extent` around the origin. Deterministic in `seed`.
+Molecule make_chain_molecule(std::size_t n_atoms, double extent,
+                             std::uint64_t seed, double atom_radius = 1.8);
+
+/// 3x3 rotation matrix (row-major).
+using Rotation = std::array<double, 9>;
+
+/// Identity rotation.
+Rotation identity_rotation();
+
+/// Rotation about the given axis (0=x, 1=y, 2=z) by `radians`.
+Rotation axis_rotation(int axis, double radians);
+
+/// Compose two rotations (a then b).
+Rotation compose(const Rotation& a, const Rotation& b);
+
+/// A deterministic sweep of `n` rotations covering the three axes
+/// (the rotation search of the docking run).
+std::vector<Rotation> rotation_sweep(std::size_t n);
+
+/// Apply `rot` to every atom about the molecule's centroid.
+Molecule rotate(const Molecule& mol, const Rotation& rot);
+
+/// Translate every atom by (dx, dy, dz).
+Molecule translate(const Molecule& mol, double dx, double dy, double dz);
+
+}  // namespace repro::apps::zdock

@@ -1,0 +1,47 @@
+// Error-handling primitives shared by every module.
+//
+// Library code reports contract violations and unrecoverable conditions by
+// throwing repro::Error (a std::runtime_error) via REPRO_CHECK / REPRO_FAIL.
+// Per the C++ Core Guidelines (E.2, I.5) we prefer exceptions over error
+// codes for conditions the immediate caller cannot handle, and we keep the
+// throwing slow-path out of line so the checks stay cheap in hot loops.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace repro {
+
+/// Exception type thrown by all REPRO_CHECK failures.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+/// Out-of-line throw helper; keeps check sites small.
+[[noreturn]] void throw_error(const char* file, int line, const char* expr,
+                              const std::string& msg);
+}  // namespace detail
+
+}  // namespace repro
+
+/// Check a precondition/invariant; throws repro::Error on failure.
+#define REPRO_CHECK(expr)                                              \
+  do {                                                                 \
+    if (!(expr)) {                                                     \
+      ::repro::detail::throw_error(__FILE__, __LINE__, #expr, "");     \
+    }                                                                  \
+  } while (0)
+
+/// Check with an explanatory message (streamed std::string expression).
+#define REPRO_CHECK_MSG(expr, msg)                                     \
+  do {                                                                 \
+    if (!(expr)) {                                                     \
+      ::repro::detail::throw_error(__FILE__, __LINE__, #expr, (msg));  \
+    }                                                                  \
+  } while (0)
+
+/// Unconditional failure.
+#define REPRO_FAIL(msg) \
+  ::repro::detail::throw_error(__FILE__, __LINE__, "failure", (msg))

@@ -1,0 +1,84 @@
+// Plain-old-data complex number used throughout the library.
+//
+// We deliberately do not use std::complex: the simulator moves complex
+// values through untyped device memory and per-thread "register" arrays, and
+// a trivially-copyable aggregate with explicit real/imag members keeps that
+// code simple, keeps layout guarantees explicit (2*sizeof(T), no padding),
+// and avoids std::complex's special arithmetic semantics (NaN handling in
+// operator* etc.) interfering with FLOP accounting.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <type_traits>
+
+namespace repro {
+
+/// Trivially-copyable complex value. T is float or double.
+template <typename T>
+struct cx {
+  T re{};
+  T im{};
+
+  constexpr cx() = default;
+  constexpr cx(T r, T i) : re(r), im(i) {}
+  explicit constexpr cx(T r) : re(r), im(0) {}
+
+  friend constexpr cx operator+(cx a, cx b) {
+    return {a.re + b.re, a.im + b.im};
+  }
+  friend constexpr cx operator-(cx a, cx b) {
+    return {a.re - b.re, a.im - b.im};
+  }
+  friend constexpr cx operator*(cx a, cx b) {
+    return {a.re * b.re - a.im * b.im, a.re * b.im + a.im * b.re};
+  }
+  friend constexpr cx operator*(T s, cx a) { return {s * a.re, s * a.im}; }
+  friend constexpr cx operator*(cx a, T s) { return {s * a.re, s * a.im}; }
+  friend constexpr cx operator/(cx a, T s) { return {a.re / s, a.im / s}; }
+
+  constexpr cx& operator+=(cx b) {
+    re += b.re;
+    im += b.im;
+    return *this;
+  }
+  constexpr cx& operator-=(cx b) {
+    re -= b.re;
+    im -= b.im;
+    return *this;
+  }
+  constexpr cx& operator*=(cx b) {
+    *this = *this * b;
+    return *this;
+  }
+
+  friend constexpr bool operator==(cx a, cx b) {
+    return a.re == b.re && a.im == b.im;
+  }
+
+  /// Complex conjugate.
+  [[nodiscard]] constexpr cx conj() const { return {re, -im}; }
+  /// Multiply by i (90-degree rotation), exact — no rounding.
+  [[nodiscard]] constexpr cx mul_i() const { return {-im, re}; }
+  /// Multiply by -i.
+  [[nodiscard]] constexpr cx mul_neg_i() const { return {im, -re}; }
+  /// Squared magnitude.
+  [[nodiscard]] constexpr T norm2() const { return re * re + im * im; }
+  /// Magnitude.
+  [[nodiscard]] T abs() const { return std::hypot(re, im); }
+};
+
+static_assert(std::is_trivially_copyable_v<cx<float>>);
+static_assert(sizeof(cx<float>) == 8);
+static_assert(sizeof(cx<double>) == 16);
+
+using cxf = cx<float>;
+using cxd = cx<double>;
+
+/// exp(i*theta) computed in double and rounded to T.
+template <typename T>
+inline cx<T> polar_unit(double theta) {
+  return {static_cast<T>(std::cos(theta)), static_cast<T>(std::sin(theta))};
+}
+
+}  // namespace repro

@@ -1,0 +1,56 @@
+// Numerical-accuracy metrics used by tests and the verification paths of the
+// examples: relative L2 error and max absolute error between complex arrays.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <span>
+
+#include "common/check.h"
+#include "common/complex.h"
+
+namespace repro {
+
+/// ||a - b||_2 / ||b||_2 (b is the reference). Accumulates in double.
+template <typename T>
+double rel_l2_error(std::span<const cx<T>> a, std::span<const cx<T>> b) {
+  REPRO_CHECK(a.size() == b.size());
+  double num = 0.0;
+  double den = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double dr = static_cast<double>(a[i].re) - b[i].re;
+    const double di = static_cast<double>(a[i].im) - b[i].im;
+    num += dr * dr + di * di;
+    den += static_cast<double>(b[i].re) * b[i].re +
+           static_cast<double>(b[i].im) * b[i].im;
+  }
+  if (den == 0.0) {
+    return std::sqrt(num);
+  }
+  return std::sqrt(num / den);
+}
+
+/// max_i |a_i - b_i| (complex modulus of the difference).
+template <typename T>
+double max_abs_error(std::span<const cx<T>> a, std::span<const cx<T>> b) {
+  REPRO_CHECK(a.size() == b.size());
+  double m = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double dr = static_cast<double>(a[i].re) - b[i].re;
+    const double di = static_cast<double>(a[i].im) - b[i].im;
+    m = std::max(m, std::hypot(dr, di));
+  }
+  return m;
+}
+
+/// Error bound for an N-point FFT in precision T: c * sqrt(log2 N) * eps.
+/// Standard forward-error model for Cooley-Tukey style transforms.
+template <typename T>
+double fft_error_bound(std::size_t n, double safety = 32.0) {
+  const double eps =
+      static_cast<double>(std::numeric_limits<T>::epsilon());
+  const double lg = std::max(1.0, std::log2(static_cast<double>(n)));
+  return safety * std::sqrt(lg) * eps;
+}
+
+}  // namespace repro

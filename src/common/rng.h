@@ -1,0 +1,58 @@
+// Deterministic pseudo-random generation for tests, benches and workload
+// synthesis. All experiment inputs are derived from explicit 64-bit seeds so
+// every run of every binary is reproducible bit-for-bit.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/complex.h"
+
+namespace repro {
+
+/// splitmix64: tiny, high-quality seeder/generator (public-domain algorithm).
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  constexpr std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [0, n).
+  std::uint64_t below(std::uint64_t n) { return next() % n; }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Fill a complex vector with uniform values in [-1, 1)^2.
+template <typename T>
+void fill_random(std::vector<cx<T>>& v, std::uint64_t seed) {
+  SplitMix64 rng(seed);
+  for (auto& z : v) {
+    z.re = static_cast<T>(rng.uniform(-1.0, 1.0));
+    z.im = static_cast<T>(rng.uniform(-1.0, 1.0));
+  }
+}
+
+/// Generate n random complex values.
+template <typename T>
+std::vector<cx<T>> random_complex(std::size_t n, std::uint64_t seed) {
+  std::vector<cx<T>> v(n);
+  fill_random(v, seed);
+  return v;
+}
+
+}  // namespace repro

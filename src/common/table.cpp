@@ -1,0 +1,52 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace repro {
+
+void TextTable::header(std::vector<std::string> cells) {
+  header_ = std::move(cells);
+}
+
+void TextTable::row(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::fmt(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+void TextTable::print(std::ostream& os) const {
+  // Column widths over header + all rows.
+  std::vector<std::size_t> width;
+  auto widen = [&width](const std::vector<std::string>& cells) {
+    if (cells.size() > width.size()) width.resize(cells.size(), 0);
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      width[i] = std::max(width[i], cells[i].size());
+    }
+  };
+  widen(header_);
+  for (const auto& r : rows_) widen(r);
+
+  auto emit = [&os, &width](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      os << std::left << std::setw(static_cast<int>(width[i]) + 2) << cells[i];
+    }
+    os << '\n';
+  };
+
+  if (!header_.empty()) {
+    emit(header_);
+    std::size_t total = 0;
+    for (std::size_t w : width) total += w + 2;
+    os << std::string(total, '-') << '\n';
+  }
+  for (const auto& r : rows_) emit(r);
+}
+
+}  // namespace repro

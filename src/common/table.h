@@ -1,0 +1,29 @@
+// Minimal fixed-width text-table writer used by the bench binaries to print
+// rows in the same layout as the paper's tables (EXPERIMENTS.md quotes both).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace repro {
+
+/// Accumulates rows of strings and prints them with aligned columns.
+class TextTable {
+ public:
+  /// Set the header row.
+  void header(std::vector<std::string> cells);
+  /// Append a data row.
+  void row(std::vector<std::string> cells);
+  /// Render with padded columns; header separated by a dashed rule.
+  void print(std::ostream& os) const;
+
+  /// Format helpers used by benches.
+  static std::string fmt(double v, int precision = 1);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace repro

@@ -1,0 +1,73 @@
+// Small dense-tensor indexing helpers.
+//
+// The paper's algorithm views a 256x256x256 volume as the 5-D array
+// V(256,16,16,16,16) with the FIRST index fastest (Fortran/column-major
+// order, as in the paper's pseudo code). These helpers make that explicit so
+// kernel index arithmetic reads like the paper.
+#pragma once
+
+#include <array>
+#include <cstddef>
+
+#include "common/check.h"
+
+namespace repro {
+
+/// Shape of a 3-D volume, nx fastest-varying in memory.
+struct Shape3 {
+  std::size_t nx{};
+  std::size_t ny{};
+  std::size_t nz{};
+
+  [[nodiscard]] constexpr std::size_t volume() const { return nx * ny * nz; }
+
+  /// Linear index of (x, y, z) with x fastest.
+  [[nodiscard]] constexpr std::size_t at(std::size_t x, std::size_t y,
+                                         std::size_t z) const {
+    return x + nx * (y + ny * z);
+  }
+
+  friend constexpr bool operator==(Shape3 a, Shape3 b) {
+    return a.nx == b.nx && a.ny == b.ny && a.nz == b.nz;
+  }
+};
+
+/// Cube helper.
+constexpr Shape3 cube(std::size_t n) { return {n, n, n}; }
+
+/// Column-major linear index into a 5-D array with extents e0..e4
+/// (index i0 fastest). Mirrors the paper's V(256,16,16,16,16) notation.
+struct Shape5 {
+  std::array<std::size_t, 5> extent{};
+
+  [[nodiscard]] constexpr std::size_t volume() const {
+    return extent[0] * extent[1] * extent[2] * extent[3] * extent[4];
+  }
+
+  [[nodiscard]] constexpr std::size_t at(std::size_t i0, std::size_t i1,
+                                         std::size_t i2, std::size_t i3,
+                                         std::size_t i4) const {
+    return i0 +
+           extent[0] *
+               (i1 + extent[1] * (i2 + extent[2] * (i3 + extent[3] * i4)));
+  }
+
+  /// Stride (in elements) of dimension d.
+  [[nodiscard]] constexpr std::size_t stride(std::size_t d) const {
+    std::size_t s = 1;
+    for (std::size_t k = 0; k < d; ++k) s *= extent[k];
+    return s;
+  }
+};
+
+/// True iff n is a power of two (and nonzero).
+constexpr bool is_pow2(std::size_t n) { return n != 0 && (n & (n - 1)) == 0; }
+
+/// log2 of a power of two.
+constexpr unsigned log2_exact(std::size_t n) {
+  unsigned l = 0;
+  while ((std::size_t{1} << l) < n) ++l;
+  return l;
+}
+
+}  // namespace repro

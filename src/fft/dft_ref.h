@@ -1,0 +1,94 @@
+// O(N^2) reference DFT.
+//
+// This is the ground-truth oracle for every fast transform in the repository
+// (host Stockham plans, every simulated GPU kernel, full 3-D pipelines). It
+// accumulates in double regardless of the storage precision so that oracle
+// error is negligible next to the fast transforms' O(sqrt(log N) * eps).
+#pragma once
+
+#include <cstddef>
+#include <numbers>
+#include <span>
+#include <vector>
+
+#include "common/complex.h"
+#include "common/tensor.h"
+#include "fft/twiddle.h"
+
+namespace repro::fft {
+
+/// Direct 1-D DFT of `in`; returns the transform. O(N^2), double accumulate.
+template <typename T>
+std::vector<cx<T>> dft_1d(std::span<const cx<T>> in, Direction dir) {
+  const std::size_t n = in.size();
+  const double sign = direction_sign(dir);
+  std::vector<cx<T>> out(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    double sr = 0.0;
+    double si = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      const double theta = sign * 2.0 * std::numbers::pi *
+                           static_cast<double>(k * j % n) /
+                           static_cast<double>(n);
+      const double c = std::cos(theta);
+      const double s = std::sin(theta);
+      sr += c * in[j].re - s * in[j].im;
+      si += c * in[j].im + s * in[j].re;
+    }
+    out[k] = {static_cast<T>(sr), static_cast<T>(si)};
+  }
+  return out;
+}
+
+/// Direct 3-D DFT (separable application of dft_1d along each axis).
+/// O(N^4) for an N^3 cube — use only for small test volumes.
+template <typename T>
+std::vector<cx<T>> dft_3d(std::span<const cx<T>> in, Shape3 shape,
+                          Direction dir) {
+  REPRO_CHECK(in.size() == shape.volume());
+  std::vector<cx<T>> data(in.begin(), in.end());
+  std::vector<cx<T>> line;
+
+  // X axis.
+  line.resize(shape.nx);
+  for (std::size_t z = 0; z < shape.nz; ++z) {
+    for (std::size_t y = 0; y < shape.ny; ++y) {
+      for (std::size_t x = 0; x < shape.nx; ++x) {
+        line[x] = data[shape.at(x, y, z)];
+      }
+      auto t = dft_1d<T>(line, dir);
+      for (std::size_t x = 0; x < shape.nx; ++x) {
+        data[shape.at(x, y, z)] = t[x];
+      }
+    }
+  }
+  // Y axis.
+  line.resize(shape.ny);
+  for (std::size_t z = 0; z < shape.nz; ++z) {
+    for (std::size_t x = 0; x < shape.nx; ++x) {
+      for (std::size_t y = 0; y < shape.ny; ++y) {
+        line[y] = data[shape.at(x, y, z)];
+      }
+      auto t = dft_1d<T>(line, dir);
+      for (std::size_t y = 0; y < shape.ny; ++y) {
+        data[shape.at(x, y, z)] = t[y];
+      }
+    }
+  }
+  // Z axis.
+  line.resize(shape.nz);
+  for (std::size_t y = 0; y < shape.ny; ++y) {
+    for (std::size_t x = 0; x < shape.nx; ++x) {
+      for (std::size_t z = 0; z < shape.nz; ++z) {
+        line[z] = data[shape.at(x, y, z)];
+      }
+      auto t = dft_1d<T>(line, dir);
+      for (std::size_t z = 0; z < shape.nz; ++z) {
+        data[shape.at(x, y, z)] = t[z];
+      }
+    }
+  }
+  return data;
+}
+
+}  // namespace repro::fft

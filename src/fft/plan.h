@@ -1,0 +1,85 @@
+// User-facing host FFT plans (1-D, 2-D, 3-D; float and double; power-of-two
+// sizes). A plan owns its twiddle tables and scratch so repeated executions
+// allocate nothing — the FFTW-style "plan once, execute many" idiom.
+//
+// Conventions: Forward = exp(-2*pi*i*...), unscaled. Inverse = conjugate
+// kernel; Scaling::ByN divides by the transform volume so that
+// inverse(forward(x)) == x.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/complex.h"
+#include "common/tensor.h"
+#include "fft/stockham.h"
+#include "fft/twiddle.h"
+
+namespace repro::fft {
+
+/// Output scaling applied after the transform.
+enum class Scaling {
+  None,  ///< raw transform
+  ByN,   ///< divide by the total number of points (conventional for inverse)
+};
+
+/// 1-D complex-to-complex plan, optionally batched (contiguous rows).
+template <typename T>
+class Plan1D {
+ public:
+  Plan1D(std::size_t n, Direction dir, Scaling scaling = Scaling::None);
+
+  /// Transform `batch` contiguous rows of length n, in place.
+  void execute(std::span<cx<T>> data, std::size_t batch = 1);
+
+  [[nodiscard]] std::size_t size() const { return n_; }
+  [[nodiscard]] Direction direction() const { return tw_.direction(); }
+
+ private:
+  std::size_t n_;
+  Scaling scaling_;
+  TwiddleTable<T> tw_;
+  std::vector<cx<T>> scratch_;
+};
+
+/// 3-D complex-to-complex plan over a Shape3 volume (x fastest in memory).
+template <typename T>
+class Plan3D {
+ public:
+  Plan3D(Shape3 shape, Direction dir, Scaling scaling = Scaling::None);
+
+  /// Transform the volume in place. data.size() must equal shape.volume().
+  void execute(std::span<cx<T>> data);
+
+  [[nodiscard]] Shape3 shape() const { return shape_; }
+  [[nodiscard]] Direction direction() const { return twx_.direction(); }
+
+ private:
+  Shape3 shape_;
+  Scaling scaling_;
+  TwiddleTable<T> twx_;
+  TwiddleTable<T> twy_;
+  TwiddleTable<T> twz_;
+  std::vector<cx<T>> scratch_;
+};
+
+/// Convenience one-shot helpers (plan + execute).
+template <typename T>
+void fft_1d_inplace(std::span<cx<T>> data, Direction dir,
+                    Scaling scaling = Scaling::None) {
+  Plan1D<T>(data.size(), dir, scaling).execute(data);
+}
+
+template <typename T>
+void fft_3d_inplace(std::span<cx<T>> data, Shape3 shape, Direction dir,
+                    Scaling scaling = Scaling::None) {
+  Plan3D<T>(shape, dir, scaling).execute(data);
+}
+
+extern template class Plan1D<float>;
+extern template class Plan1D<double>;
+extern template class Plan3D<float>;
+extern template class Plan3D<double>;
+
+}  // namespace repro::fft

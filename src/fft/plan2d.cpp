@@ -1,0 +1,42 @@
+#include "fft/plan2d.h"
+
+#include "common/check.h"
+
+namespace repro::fft {
+
+template <typename T>
+Plan2D<T>::Plan2D(Shape2 shape, Direction dir, Scaling scaling)
+    : shape_(shape),
+      scaling_(scaling),
+      twx_(shape.nx, dir),
+      twy_(shape.ny, dir),
+      scratch_(shape.area()) {
+  REPRO_CHECK_MSG(is_pow2(shape.nx) && is_pow2(shape.ny),
+                  "Plan2D requires power-of-two extents");
+}
+
+template <typename T>
+void Plan2D<T>::execute(std::span<cx<T>> data) {
+  REPRO_CHECK(data.size() == shape_.area());
+  cx<T>* d = data.data();
+  cx<T>* s = scratch_.data();
+
+  // X axis: unit-stride points, one multirow call over all rows.
+  stockham_multirow<T>(d, s, MultirowLayout{shape_.nx, 1, shape_.ny,
+                                            shape_.nx},
+                       twx_);
+  // Y axis: points stride nx, rows down x (multirow).
+  stockham_multirow<T>(d, s, MultirowLayout{shape_.ny, shape_.nx, shape_.nx,
+                                            1},
+                       twy_);
+
+  if (scaling_ == Scaling::ByN) {
+    const T f = static_cast<T>(1.0 / static_cast<double>(shape_.area()));
+    for (auto& z : data) z = z * f;
+  }
+}
+
+template class Plan2D<float>;
+template class Plan2D<double>;
+
+}  // namespace repro::fft

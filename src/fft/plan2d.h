@@ -1,0 +1,49 @@
+// 2-D complex-to-complex host plans (row-major x-fastest layout), rounding
+// out the host library's plan family. Built on the same multirow Stockham
+// engine as the 1-D/3-D plans.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/complex.h"
+#include "common/tensor.h"
+#include "fft/plan.h"
+#include "fft/stockham.h"
+
+namespace repro::fft {
+
+/// Shape of a 2-D field, nx fastest-varying.
+struct Shape2 {
+  std::size_t nx{};
+  std::size_t ny{};
+  [[nodiscard]] constexpr std::size_t area() const { return nx * ny; }
+  [[nodiscard]] constexpr std::size_t at(std::size_t x, std::size_t y) const {
+    return x + nx * y;
+  }
+};
+
+/// 2-D complex-to-complex plan.
+template <typename T>
+class Plan2D {
+ public:
+  Plan2D(Shape2 shape, Direction dir, Scaling scaling = Scaling::None);
+
+  /// Transform in place; data.size() must equal shape.area().
+  void execute(std::span<cx<T>> data);
+
+  [[nodiscard]] Shape2 shape() const { return shape_; }
+
+ private:
+  Shape2 shape_;
+  Scaling scaling_;
+  TwiddleTable<T> twx_;
+  TwiddleTable<T> twy_;
+  std::vector<cx<T>> scratch_;
+};
+
+extern template class Plan2D<float>;
+extern template class Plan2D<double>;
+
+}  // namespace repro::fft

@@ -1,0 +1,133 @@
+// Fixed-size in-register FFT butterflies.
+//
+// These are the arithmetic cores shared by the host Stockham engine and the
+// simulated GPU kernels. The 4-point and 16-point transforms are written
+// exactly the way the paper's coarse-grained kernels compute them: natural
+// order in, natural order out, all state in "registers" (locals), twiddles
+// multiplied in explicitly. Operation counts are exposed as constants so the
+// simulator's compute-time model uses the real instruction mix rather than
+// the 5*N*log2(N) reporting convention.
+#pragma once
+
+#include <cstddef>
+
+#include "common/complex.h"
+#include "fft/twiddle.h"
+
+namespace repro::fft {
+
+/// Natural-order 2-point DFT (no twiddles; direction-independent).
+template <typename T>
+inline void fft2(cx<T>& a, cx<T>& b) {
+  const cx<T> t = a;
+  a = t + b;
+  b = t - b;
+}
+
+/// omega_4^1 * z for the given direction sign: -i*z forward, +i*z inverse.
+template <typename T>
+inline cx<T> rot90(cx<T> z, int sign) {
+  return sign < 0 ? z.mul_neg_i() : z.mul_i();
+}
+
+/// Natural-order 4-point DFT of v[0..3], in place.
+/// X_k = sum_n v_n * exp(sign*2*pi*i*n*k/4).
+template <typename T>
+inline void fft4(cx<T> v[4], int sign) {
+  const cx<T> t0 = v[0] + v[2];
+  const cx<T> t1 = v[0] - v[2];
+  const cx<T> t2 = v[1] + v[3];
+  const cx<T> u = rot90(v[1] - v[3], sign);
+  v[0] = t0 + t2;
+  v[1] = t1 + u;
+  v[2] = t0 - t2;
+  v[3] = t1 - u;
+}
+
+/// Real additions performed by fft4 (rot90 is a sign flip, not arithmetic).
+inline constexpr std::size_t kFft4Flops = 16;
+
+/// Natural-order 8-point DFT, via 2x4 Cooley-Tukey with the size-8 twiddle
+/// table `w8` (w8[k] = exp(sign*2*pi*i*k/8)).
+template <typename T>
+inline void fft8(cx<T> v[8], int sign, const cx<T> w8[8]) {
+  // Split into even/odd 4-point transforms (decimation in time).
+  cx<T> even[4] = {v[0], v[2], v[4], v[6]};
+  cx<T> odd[4] = {v[1], v[3], v[5], v[7]};
+  fft4(even, sign);
+  fft4(odd, sign);
+  for (std::size_t k = 0; k < 4; ++k) {
+    const cx<T> t = w8[k] * odd[k];
+    v[k] = even[k] + t;
+    v[k + 4] = even[k] - t;
+  }
+}
+
+inline constexpr std::size_t kFft8Flops = 2 * kFft4Flops + 4 * 6 + 8 * 2;
+
+/// Natural-order 16-point DFT via 4x4 Cooley-Tukey (two radix-4 ranks with
+/// an internal twiddle rank). `w16[k] = exp(sign*2*pi*i*k/16)`.
+///
+/// This is the register footprint the paper engineers around: the kernel
+/// state is 16 complex values + a handful of temporaries, compiling (on G80)
+/// to 51-52 registers so 128 threads fit on an SM.
+template <typename T>
+inline void fft16(cx<T> v[16], int sign, const cx<T> w16[16]) {
+  // Rank 1: for each residue n1, transform the 4 elements {n1 + 4*n2}.
+  cx<T> a[4][4];
+  for (std::size_t n1 = 0; n1 < 4; ++n1) {
+    cx<T> t[4] = {v[n1], v[n1 + 4], v[n1 + 8], v[n1 + 12]};
+    fft4(t, sign);
+    // Twiddle rank: multiply by omega_16^(n1*k1).
+    for (std::size_t k1 = 0; k1 < 4; ++k1) {
+      a[n1][k1] = (n1 * k1 == 0) ? t[k1] : w16[(n1 * k1) % 16] * t[k1];
+    }
+  }
+  // Rank 2: for each k1, transform over n1; output index k1 + 4*k2.
+  for (std::size_t k1 = 0; k1 < 4; ++k1) {
+    cx<T> t[4] = {a[0][k1], a[1][k1], a[2][k1], a[3][k1]};
+    fft4(t, sign);
+    for (std::size_t k2 = 0; k2 < 4; ++k2) {
+      v[k1 + 4 * k2] = t[k2];
+    }
+  }
+}
+
+/// fft16 arithmetic: 8 fft4 ranks + 9 nontrivial twiddle multiplies.
+inline constexpr std::size_t kFft16Flops = 8 * kFft4Flops + 9 * 6;
+
+/// Natural-order 32-point DFT via 8x4 Cooley-Tukey.
+/// `w32[k] = exp(sign*2*pi*i*k/32)`. Used by the 512-length axes of the
+/// out-of-core slabs; on G80-class hardware this kernel's ~70 registers
+/// halve the resident thread count, which the occupancy model charges.
+template <typename T>
+inline void fft32(cx<T> v[32], int sign, const cx<T> w32[32]) {
+  // Extract the size-8 subtable w8[k] = w32[4k].
+  cx<T> w8[8];
+  for (std::size_t k = 0; k < 8; ++k) w8[k] = w32[4 * k];
+
+  // Rank 1: for each residue n1 (mod 8), 4-point transform over n2.
+  cx<T> a[8][4];
+  for (std::size_t n1 = 0; n1 < 8; ++n1) {
+    cx<T> t[4] = {v[n1], v[n1 + 8], v[n1 + 16], v[n1 + 24]};
+    fft4(t, sign);
+    for (std::size_t k1 = 0; k1 < 4; ++k1) {
+      a[n1][k1] = (n1 * k1 == 0) ? t[k1] : w32[(n1 * k1) % 32] * t[k1];
+    }
+  }
+  // Rank 2: for each k1, 8-point transform over n1; output k1 + 4*k2.
+  for (std::size_t k1 = 0; k1 < 4; ++k1) {
+    cx<T> t[8];
+    for (std::size_t n1 = 0; n1 < 8; ++n1) t[n1] = a[n1][k1];
+    fft8(t, sign, w8);
+    for (std::size_t k2 = 0; k2 < 8; ++k2) {
+      v[k1 + 4 * k2] = t[k2];
+    }
+  }
+}
+
+/// fft32 arithmetic: 8 fft4 + 4 fft8 ranks + 21 nontrivial twiddles.
+inline constexpr std::size_t kFft32Flops =
+    8 * kFft4Flops + 4 * kFft8Flops + 21 * 6;
+
+}  // namespace repro::fft

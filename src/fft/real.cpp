@@ -1,0 +1,84 @@
+#include "fft/real.h"
+
+#include "common/check.h"
+#include "common/tensor.h"
+
+namespace repro::fft {
+
+template <typename T>
+PlanR2C<T>::PlanR2C(std::size_t n)
+    : n_(n),
+      half_plan_(n / 2, Direction::Forward),
+      tw_(n, Direction::Forward),
+      packed_(n / 2) {
+  REPRO_CHECK_MSG(is_pow2(n) && n >= 2, "PlanR2C needs a power of two >= 2");
+}
+
+template <typename T>
+void PlanR2C<T>::execute(std::span<const T> in, std::span<cx<T>> out) {
+  REPRO_CHECK(in.size() == n_);
+  REPRO_CHECK(out.size() == spectrum_size());
+  const std::size_t m = n_ / 2;
+
+  // Pack even samples into the real parts, odd samples into the imaginary
+  // parts, and run one half-length complex transform.
+  for (std::size_t j = 0; j < m; ++j) {
+    packed_[j] = {in[2 * j], in[2 * j + 1]};
+  }
+  half_plan_.execute(packed_);
+
+  // Unpack: X[k] = E[k] + w_n^k * O[k], where E/O are the spectra of the
+  // even/odd sample streams recovered from Z and conj(Z[m-k]).
+  for (std::size_t k = 0; k <= m; ++k) {
+    const cx<T> zk = packed_[k % m];
+    const cx<T> zmk = packed_[(m - k) % m].conj();
+    const cx<T> e = (zk + zmk) * static_cast<T>(0.5);
+    const cx<T> o = ((zk - zmk) * static_cast<T>(0.5)).mul_neg_i();
+    out[k] = e + tw_[k % n_] * o;
+    if (k == m) {
+      // w_n^m = -1 exactly; recompute to avoid table rounding at the
+      // Nyquist bin (its imaginary part must vanish for real input).
+      out[k] = e - o;
+    }
+  }
+}
+
+template <typename T>
+PlanC2R<T>::PlanC2R(std::size_t n)
+    : n_(n),
+      half_plan_(n / 2, Direction::Inverse, Scaling::ByN),
+      tw_(n, Direction::Inverse),
+      packed_(n / 2) {
+  REPRO_CHECK_MSG(is_pow2(n) && n >= 2, "PlanC2R needs a power of two >= 2");
+}
+
+template <typename T>
+void PlanC2R<T>::execute(std::span<const cx<T>> in, std::span<T> out) {
+  REPRO_CHECK(in.size() == spectrum_size());
+  REPRO_CHECK(out.size() == n_);
+  const std::size_t m = n_ / 2;
+
+  // Re-pack the half spectrum into the half-length complex spectrum:
+  // Z[k] = E[k] + i*O[k] with E/O recovered from X[k] and conj(X[m-k]).
+  for (std::size_t k = 0; k < m; ++k) {
+    const cx<T> xk = in[k];
+    const cx<T> xmk = in[m - k].conj();
+    const cx<T> e = (xk + xmk) * static_cast<T>(0.5);
+    // tw_ holds inverse roots: tw_[k] == w_n^{-k} for the forward root.
+    const cx<T> o = tw_[k % n_] * ((xk - xmk) * static_cast<T>(0.5));
+    packed_[k] = e + o.mul_i();
+  }
+  half_plan_.execute(packed_);
+
+  for (std::size_t j = 0; j < m; ++j) {
+    out[2 * j] = packed_[j].re;
+    out[2 * j + 1] = packed_[j].im;
+  }
+}
+
+template class PlanR2C<float>;
+template class PlanR2C<double>;
+template class PlanC2R<float>;
+template class PlanC2R<double>;
+
+}  // namespace repro::fft

@@ -1,0 +1,65 @@
+// Real-input transforms (r2c / c2r) via the classic half-length packing
+// trick: a real signal of even length n is packed into a complex signal of
+// length n/2, transformed once, and unpacked with one twiddle pass — half
+// the work of a complex transform. The forward transform returns the
+// non-redundant half-spectrum X[0..n/2] (n/2+1 bins); the inverse consumes
+// it and reconstructs the real signal.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/complex.h"
+#include "fft/plan.h"
+
+namespace repro::fft {
+
+/// Forward real-to-complex plan for even power-of-two n (n >= 2).
+template <typename T>
+class PlanR2C {
+ public:
+  explicit PlanR2C(std::size_t n);
+
+  /// Number of output bins: n/2 + 1.
+  [[nodiscard]] std::size_t spectrum_size() const { return n_ / 2 + 1; }
+  [[nodiscard]] std::size_t size() const { return n_; }
+
+  /// Transform `in` (n reals) into `out` (n/2+1 bins).
+  void execute(std::span<const T> in, std::span<cx<T>> out);
+
+ private:
+  std::size_t n_;
+  Plan1D<T> half_plan_;
+  TwiddleTable<T> tw_;        ///< forward n-th roots for the unpack pass
+  std::vector<cx<T>> packed_;
+};
+
+/// Inverse complex-to-real plan; consumes the half-spectrum produced by
+/// PlanR2C and returns the real signal scaled by 1 (i.e. a true inverse).
+template <typename T>
+class PlanC2R {
+ public:
+  explicit PlanC2R(std::size_t n);
+
+  [[nodiscard]] std::size_t spectrum_size() const { return n_ / 2 + 1; }
+  [[nodiscard]] std::size_t size() const { return n_; }
+
+  /// Reconstruct `out` (n reals) from `in` (n/2+1 bins). The input's
+  /// X[0] and X[n/2] must be (numerically) real, as conjugate symmetry
+  /// requires.
+  void execute(std::span<const cx<T>> in, std::span<T> out);
+
+ private:
+  std::size_t n_;
+  Plan1D<T> half_plan_;
+  TwiddleTable<T> tw_;        ///< inverse n-th roots for the pack pass
+  std::vector<cx<T>> packed_;
+};
+
+extern template class PlanR2C<float>;
+extern template class PlanR2C<double>;
+extern template class PlanC2R<float>;
+extern template class PlanC2R<double>;
+
+}  // namespace repro::fft

@@ -1,0 +1,104 @@
+#include "fft/stockham.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.h"
+#include "common/tensor.h"
+#include "fft/radix.h"
+
+namespace repro::fft {
+namespace {
+
+// One Stockham stage of radix R over all rows:
+//   y[k + m*(R*j + r)] = W(j, R*l)^r * sum_q omega_R^(r*q) * x[k + m*(j + l*q)]
+// with n = R*l*m, W(j, N) = tw[j * n/N] and indices scaled by point_stride.
+template <typename T, std::size_t R>
+void stage(const cx<T>* src, cx<T>* dst, const MultirowLayout& lo,
+           std::size_t l, std::size_t m, const TwiddleTable<T>& tw,
+           int sign) {
+  const std::size_t ps = lo.point_stride;
+  for (std::size_t j = 0; j < l; ++j) {
+    // Twiddles W^r = tw[j*m*r]; r*j*m < n always (r < R, j < l, R*l*m = n).
+    cx<T> w[R];
+    w[0] = cx<T>{1, 0};
+    for (std::size_t r = 1; r < R; ++r) {
+      w[r] = tw[j * m * r];
+    }
+    for (std::size_t k = 0; k < m; ++k) {
+      const std::size_t in0 = ps * (k + m * j);
+      const std::size_t out0 = ps * (k + m * R * j);
+      const std::size_t qs = ps * (m * l);   // stride between the R inputs
+      const std::size_t rs = ps * m;         // stride between the R outputs
+      for (std::size_t row = 0; row < lo.nrows; ++row) {
+        const std::size_t ro = row * lo.row_stride;
+        if constexpr (R == 2) {
+          const cx<T> a = src[ro + in0];
+          const cx<T> b = src[ro + in0 + qs];
+          dst[ro + out0] = a + b;
+          dst[ro + out0 + rs] = w[1] * (a - b);
+        } else {
+          cx<T> v[4] = {src[ro + in0], src[ro + in0 + qs],
+                        src[ro + in0 + 2 * qs], src[ro + in0 + 3 * qs]};
+          fft4(v, sign);
+          dst[ro + out0] = v[0];
+          dst[ro + out0 + rs] = w[1] * v[1];
+          dst[ro + out0 + 2 * rs] = w[2] * v[2];
+          dst[ro + out0 + 3 * rs] = w[3] * v[3];
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+template <typename T>
+void stockham_multirow(cx<T>* data, cx<T>* scratch, const MultirowLayout& lo,
+                       const TwiddleTable<T>& tw) {
+  REPRO_CHECK(is_pow2(lo.n));
+  REPRO_CHECK(tw.size() == lo.n);
+  if (lo.n == 1) {
+    return;
+  }
+  const int sign = direction_sign(tw.direction());
+
+  const cx<T>* src = data;
+  cx<T>* dst = scratch;
+  cx<T>* ping = data;
+  cx<T>* pong = scratch;
+
+  std::size_t m = 1;
+  while (m < lo.n) {
+    const std::size_t rem = lo.n / m;
+    if (rem % 4 == 0) {
+      stage<T, 4>(src, dst, lo, rem / 4, m, tw, sign);
+      m *= 4;
+    } else {
+      stage<T, 2>(src, dst, lo, rem / 2, m, tw, sign);
+      m *= 2;
+    }
+    std::swap(ping, pong);
+    src = ping;
+    dst = pong;
+  }
+
+  if (src != data) {
+    // Odd number of stages: copy the result back into data.
+    for (std::size_t row = 0; row < lo.nrows; ++row) {
+      const std::size_t ro = row * lo.row_stride;
+      for (std::size_t p = 0; p < lo.n; ++p) {
+        data[ro + p * lo.point_stride] = src[ro + p * lo.point_stride];
+      }
+    }
+  }
+}
+
+template void stockham_multirow<float>(cx<float>*, cx<float>*,
+                                       const MultirowLayout&,
+                                       const TwiddleTable<float>&);
+template void stockham_multirow<double>(cx<double>*, cx<double>*,
+                                        const MultirowLayout&,
+                                        const TwiddleTable<double>&);
+
+}  // namespace repro::fft

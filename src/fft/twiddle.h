@@ -1,0 +1,59 @@
+// Twiddle-factor tables.
+//
+// A TwiddleTable<T> holds W_n^k = exp(sign * 2*pi*i * k / n) for k in [0, n).
+// Tables are computed once per (n, direction) and shared by the host plans;
+// the GPU-side kernels own their own tables because the paper treats twiddle
+// *placement* (registers / constant / texture / recompute) as a tuning knob.
+#pragma once
+
+#include <cstddef>
+#include <numbers>
+#include <vector>
+
+#include "common/check.h"
+#include "common/complex.h"
+#include "common/tensor.h"
+
+namespace repro::fft {
+
+/// Transform direction. Forward uses exp(-2*pi*i*k*n/N) (engineering/FFTW
+/// convention); Inverse uses the conjugate kernel and no scaling unless the
+/// caller asks for it.
+enum class Direction { Forward, Inverse };
+
+/// Sign of the exponent for a direction: -1 forward, +1 inverse.
+constexpr int direction_sign(Direction d) {
+  return d == Direction::Forward ? -1 : +1;
+}
+
+/// Dense table of the n-th roots of unity for one direction.
+template <typename T>
+class TwiddleTable {
+ public:
+  TwiddleTable(std::size_t n, Direction dir) : n_(n), dir_(dir), w_(n) {
+    REPRO_CHECK(n > 0);
+    const double sign = direction_sign(dir);
+    for (std::size_t k = 0; k < n; ++k) {
+      const double theta =
+          sign * 2.0 * std::numbers::pi * static_cast<double>(k) /
+          static_cast<double>(n);
+      w_[k] = polar_unit<T>(theta);
+    }
+  }
+
+  [[nodiscard]] std::size_t size() const { return n_; }
+  [[nodiscard]] Direction direction() const { return dir_; }
+
+  /// W_n^k; k must be < n.
+  [[nodiscard]] cx<T> operator[](std::size_t k) const { return w_[k]; }
+
+  /// W_n^k for arbitrary k (reduced mod n).
+  [[nodiscard]] cx<T> at_mod(std::size_t k) const { return w_[k % n_]; }
+
+ private:
+  std::size_t n_;
+  Direction dir_;
+  std::vector<cx<T>> w_;
+};
+
+}  // namespace repro::fft

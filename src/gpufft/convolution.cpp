@@ -1,0 +1,152 @@
+#include "gpufft/convolution.h"
+
+#include <limits>
+
+namespace repro::gpufft {
+
+PointwiseMultiplyKernel::PointwiseMultiplyKernel(
+    DeviceBuffer<cxf>& a, DeviceBuffer<cxf>& b, DeviceBuffer<cxf>& out,
+    std::size_t count, bool conjugate_b, unsigned grid_blocks)
+    : a_(a), b_(b), out_(out), count_(count), conj_b_(conjugate_b),
+      grid_(grid_blocks) {
+  REPRO_CHECK(a_.size() >= count_ && b_.size() >= count_ &&
+              out_.size() >= count_);
+}
+
+sim::LaunchConfig PointwiseMultiplyKernel::config() const {
+  sim::LaunchConfig c;
+  c.name = conj_b_ ? "pointwise_mul_conj" : "pointwise_mul";
+  c.grid_blocks = grid_;
+  c.threads_per_block = kDefaultThreadsPerBlock;
+  c.regs_per_thread = 12;
+  c.total_flops = 6.0 * static_cast<double>(count_);
+  c.fma_fraction = 0.5;
+  return c;
+}
+
+void PointwiseMultiplyKernel::run_block(sim::BlockCtx& ctx) {
+  auto a = ctx.global(a_);
+  auto b = ctx.global(b_);
+  auto out = ctx.global(out_);
+  ctx.threads([&](sim::ThreadCtx& t) {
+    for (std::size_t i = t.global_id(); i < count_; i += t.total_threads()) {
+      const cxf vb = b.load(t, i);
+      out.store(t, i, a.load(t, i) * (conj_b_ ? vb.conj() : vb));
+    }
+  });
+}
+
+ArgmaxRealKernel::ArgmaxRealKernel(DeviceBuffer<cxf>& data, std::size_t count,
+                                   DeviceBuffer<cxf>& partial,
+                                   unsigned grid_blocks)
+    : data_(data), count_(count), partial_(partial), grid_(grid_blocks) {
+  REPRO_CHECK(data_.size() >= count_);
+  REPRO_CHECK(partial_.size() >= grid_);
+  // Candidate indices travel in a float's mantissa (as on the real card's
+  // float2 reductions): exact only below 2^24.
+  REPRO_CHECK_MSG(count_ <= (1u << 24),
+                  "argmax index exceeds float mantissa range");
+}
+
+sim::LaunchConfig ArgmaxRealKernel::config() const {
+  sim::LaunchConfig c;
+  c.name = "argmax_real";
+  c.grid_blocks = grid_;
+  c.threads_per_block = kDefaultThreadsPerBlock;
+  c.regs_per_thread = 12;
+  c.shmem_per_block = kDefaultThreadsPerBlock * sizeof(cxf);
+  c.total_flops = static_cast<double>(count_);  // compares
+  c.fma_fraction = 0.0;
+  return c;
+}
+
+void ArgmaxRealKernel::run_block(sim::BlockCtx& ctx) {
+  auto d = ctx.global(data_);
+  auto p = ctx.global(partial_);
+  auto sh = ctx.shared<cxf>(0, kDefaultThreadsPerBlock);
+
+  // Per-thread scan, then a shared-memory tree reduction.
+  ctx.threads([&](sim::ThreadCtx& t) {
+    float best = -std::numeric_limits<float>::infinity();
+    std::size_t best_i = 0;
+    for (std::size_t i = t.global_id(); i < count_; i += t.total_threads()) {
+      const float v = d.load(t, i).re;
+      if (v > best) {
+        best = v;
+        best_i = i;
+      }
+    }
+    sh.store(t, t.tid, cxf{best, static_cast<float>(best_i)});
+  });
+  const unsigned nthreads = ctx.config().threads_per_block;
+  for (unsigned stride = nthreads / 2; stride > 0; stride /= 2) {
+    ctx.threads([&](sim::ThreadCtx& t) {
+      if (t.tid < stride) {
+        const cxf a = sh.load(t, t.tid);
+        const cxf b = sh.load(t, t.tid + stride);
+        sh.store(t, t.tid, b.re > a.re ? b : a);
+      }
+    });
+  }
+  ctx.threads([&](sim::ThreadCtx& t) {
+    if (t.tid == 0) {
+      p.store(t, ctx.block_index(), sh.load(t, 0));
+    }
+  });
+}
+
+Convolution3D::Convolution3D(Device& dev, Shape3 shape)
+    : dev_(dev),
+      shape_(shape),
+      grid_(default_grid_blocks(dev.spec())),
+      filter_hat_(dev.alloc<cxf>(shape.volume())),
+      signal_(dev.alloc<cxf>(shape.volume())),
+      partial_(dev.alloc<cxf>(grid_)),
+      fwd_(dev, shape, Direction::Forward),
+      inv_(dev, shape, Direction::Inverse) {}
+
+void Convolution3D::set_filter(std::span<const cxf> filter) {
+  REPRO_CHECK(filter.size() == shape_.volume());
+  dev_.h2d(filter_hat_, filter);
+  fwd_.execute(filter_hat_);
+  filter_set_ = true;
+}
+
+void Convolution3D::correlate_on_device(std::span<const cxf> signal) {
+  REPRO_CHECK_MSG(filter_set_, "set_filter must be called first");
+  REPRO_CHECK(signal.size() == shape_.volume());
+  dev_.h2d(signal_, signal);
+  fwd_.execute(signal_);
+  PointwiseMultiplyKernel mul(signal_, filter_hat_, signal_,
+                              shape_.volume(), /*conjugate_b=*/true, grid_);
+  dev_.launch(mul);
+  inv_.execute(signal_);
+  ScaleKernel scale(signal_, shape_.volume(),
+                    1.0f / static_cast<float>(shape_.volume()), grid_);
+  dev_.launch(scale);
+}
+
+std::vector<cxf> Convolution3D::correlate(std::span<const cxf> signal) {
+  correlate_on_device(signal);
+  std::vector<cxf> out(shape_.volume());
+  dev_.d2h(std::span<cxf>(out), signal_);
+  return out;
+}
+
+BestMatch Convolution3D::best_translation(std::span<const cxf> signal) {
+  correlate_on_device(signal);
+  ArgmaxRealKernel argmax(signal_, shape_.volume(), partial_, grid_);
+  dev_.launch(argmax);
+  std::vector<cxf> candidates(grid_);
+  dev_.d2h(std::span<cxf>(candidates), partial_);
+  BestMatch best{0, -std::numeric_limits<float>::infinity()};
+  for (const auto& c : candidates) {
+    if (c.re > best.score) {
+      best.score = c.re;
+      best.index = static_cast<std::size_t>(c.im);
+    }
+  }
+  return best;
+}
+
+}  // namespace repro::gpufft

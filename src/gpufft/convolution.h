@@ -1,0 +1,91 @@
+// On-card 3-D convolution/correlation (Section 4.4).
+//
+// The paper's answer to the PCIe bottleneck is application confinement:
+// keep the working set on the card, run FFT -> pointwise multiply ->
+// inverse FFT -> score reduction there, and ship only the small result
+// back. This module implements that pipeline; the ZDock-style docking
+// application in src/apps/zdock is built on it.
+#pragma once
+
+#include "gpufft/plan.h"
+#include "gpufft/types.h"
+
+namespace repro::gpufft {
+
+/// out[i] = a[i] * b[i], or a[i] * conj(b[i]) for correlation.
+class PointwiseMultiplyKernel final : public sim::Kernel {
+ public:
+  PointwiseMultiplyKernel(DeviceBuffer<cxf>& a, DeviceBuffer<cxf>& b,
+                          DeviceBuffer<cxf>& out, std::size_t count,
+                          bool conjugate_b, unsigned grid_blocks);
+
+  [[nodiscard]] sim::LaunchConfig config() const override;
+  void run_block(sim::BlockCtx& ctx) override;
+
+ private:
+  DeviceBuffer<cxf>& a_;
+  DeviceBuffer<cxf>& b_;
+  DeviceBuffer<cxf>& out_;
+  std::size_t count_;
+  bool conj_b_;
+  unsigned grid_;
+};
+
+/// Per-block argmax over the real parts; each block writes one (index,
+/// value) candidate so the host only reads back grid_blocks entries — the
+/// "small data about the best docking positions" of Section 4.4.
+class ArgmaxRealKernel final : public sim::Kernel {
+ public:
+  ArgmaxRealKernel(DeviceBuffer<cxf>& data, std::size_t count,
+                   DeviceBuffer<cxf>& partial, unsigned grid_blocks);
+
+  [[nodiscard]] sim::LaunchConfig config() const override;
+  void run_block(sim::BlockCtx& ctx) override;
+
+ private:
+  DeviceBuffer<cxf>& data_;
+  std::size_t count_;
+  DeviceBuffer<cxf>& partial_;  ///< re = best value, im = index as float
+  unsigned grid_;
+};
+
+/// Best translation found by a correlation pass.
+struct BestMatch {
+  std::size_t index{};  ///< linear index into the volume
+  float score{};
+};
+
+/// FFT-based circular convolution/correlation engine with a resident
+/// filter. All heavy data stays on the device between calls.
+class Convolution3D {
+ public:
+  Convolution3D(Device& dev, Shape3 shape);
+
+  /// Upload and forward-transform the filter (done once per filter).
+  void set_filter(std::span<const cxf> filter);
+
+  /// Correlate `signal` against the resident filter and return the full
+  /// score volume (downloads the whole volume: the non-confined path).
+  std::vector<cxf> correlate(std::span<const cxf> signal);
+
+  /// Confined path: correlate and return only the best translation.
+  BestMatch best_translation(std::span<const cxf> signal);
+
+  [[nodiscard]] Shape3 shape() const { return shape_; }
+
+ private:
+  /// Shared pipeline: leaves the score volume in signal_.
+  void correlate_on_device(std::span<const cxf> signal);
+
+  Device& dev_;
+  Shape3 shape_;
+  unsigned grid_;
+  DeviceBuffer<cxf> filter_hat_;
+  DeviceBuffer<cxf> signal_;
+  DeviceBuffer<cxf> partial_;
+  BandwidthFft3D fwd_;
+  BandwidthFft3D inv_;
+  bool filter_set_ = false;
+};
+
+}  // namespace repro::gpufft

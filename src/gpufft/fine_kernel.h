@@ -1,0 +1,76 @@
+// Fine-grained X-axis kernel: step 5 of the paper's algorithm.
+//
+// One n-point transform is computed cooperatively by n/4 threads, each
+// holding four complex values in registers (8 registers of data — the
+// paper's fine-grained parallelism). Stages are radix-4 (radix-2 fixup for
+// n = 2*4^k) Stockham ranks; between stages the values cross threads
+// through on-chip shared memory, exchanging all real parts first and then
+// all imaginary parts so only n floats (+ anti-bank-conflict padding) of
+// shared memory are needed — both tricks straight from Section 3.2.
+// Twiddle factors come from texture memory by default (the paper's pick
+// for this kernel).
+//
+// The same kernel is the paper's batched 1-D FFT of Table 8 and the
+// compute step of the conventional six-step baseline.
+#pragma once
+
+#include "gpufft/smallfft.h"
+#include "gpufft/types.h"
+
+namespace repro::gpufft {
+
+struct FineKernelParams {
+  std::size_t n{256};          ///< transform length (power of two, >= 16)
+  std::size_t count{};         ///< number of transforms (contiguous lines)
+  Direction dir{Direction::Forward};
+  TwiddleSource twiddles{TwiddleSource::Texture};
+  unsigned grid_blocks{48};
+  unsigned threads_per_block{kDefaultThreadsPerBlock};
+};
+
+/// Cooperative n-point FFT over `count` contiguous lines; in-place when
+/// `out == in`. Templated over the scalar type (double = the paper's
+/// Section 4.5 future work; its wider shared-memory words pay real bank
+/// conflicts and its flops run on the scarce DP units).
+template <typename T>
+class FineFftKernelT final : public sim::Kernel {
+ public:
+  FineFftKernelT(DeviceBuffer<cx<T>>& in, DeviceBuffer<cx<T>>& out,
+                 const FineKernelParams& params,
+                 const DeviceBuffer<cx<T>>* device_twiddles = nullptr);
+
+  [[nodiscard]] sim::LaunchConfig config() const override;
+  void run_block(sim::BlockCtx& ctx) override;
+
+  /// Shared-memory bytes one transform group needs (n scalars + padding).
+  [[nodiscard]] static std::size_t shmem_bytes_per_transform(std::size_t n);
+
+  /// FP operations of one n-point transform as implemented (all stages).
+  [[nodiscard]] static double flops_per_transform(std::size_t n);
+
+ private:
+  struct Stage {
+    std::size_t radix;
+    std::size_t l;  ///< twiddle groups
+    std::size_t m;  ///< butterfly span
+  };
+  [[nodiscard]] std::vector<Stage> stages() const;
+
+  DeviceBuffer<cx<T>>& in_;
+  DeviceBuffer<cx<T>>& out_;
+  FineKernelParams params_;
+  std::vector<cx<T>> roots_n_;
+  const DeviceBuffer<cx<T>>* device_tw_;
+};
+
+extern template class FineFftKernelT<float>;
+extern template class FineFftKernelT<double>;
+
+/// Single-precision alias (the paper's configuration).
+using FineFftKernel = FineFftKernelT<float>;
+
+/// Padded shared-memory index: insert one word every 16 so that the
+/// power-of-two strides of the butterfly exchange spread across banks.
+constexpr std::size_t shmem_pad(std::size_t i) { return i + i / 16; }
+
+}  // namespace repro::gpufft

@@ -1,0 +1,80 @@
+// Section 4.3 / Table 9: what the X-axis transform costs without shared
+// memory.
+//
+// Without on-chip exchange, the X transform must also be split into two
+// 16-point multirow passes. Pass A (rank 1 within each line) reads and
+// writes coalesced. Pass B (rank 2) fundamentally needs each thread to
+// gather 16 values that pass A scattered across the line — lanes of a
+// half-warp end up 128 bytes apart, so the reads cannot coalesce. The two
+// options the paper measures are reading them through the texture cache or
+// taking the raw non-coalesced hit; both lose badly to the shared-memory
+// kernel of fine_kernel.h.
+#pragma once
+
+#include "gpufft/smallfft.h"
+#include "gpufft/types.h"
+
+namespace repro::gpufft {
+
+/// Pass A: per line of length n = f1*f2, 16-point FFTs over the high digit
+/// with the inter-rank twiddle; layout within the line stays (X1, K2).
+class XAxisPassAKernel final : public sim::Kernel {
+ public:
+  XAxisPassAKernel(DeviceBuffer<cxf>& in, DeviceBuffer<cxf>& out,
+                   std::size_t n, std::size_t count, Direction dir,
+                   unsigned grid_blocks);
+
+  [[nodiscard]] sim::LaunchConfig config() const override;
+  void run_block(sim::BlockCtx& ctx) override;
+
+ private:
+  DeviceBuffer<cxf>& in_;
+  DeviceBuffer<cxf>& out_;
+  std::size_t n_;
+  std::size_t count_;
+  Direction dir_;
+  AxisSplit split_;
+  std::vector<cxf> roots_f2_;
+  std::vector<cxf> roots_n_;
+  unsigned grid_;
+};
+
+/// Pass B: 16-point FFTs over the low digit; reads are strided within the
+/// line (through texture or plain global per `mode`), writes coalesce.
+class XAxisPassBKernel final : public sim::Kernel {
+ public:
+  XAxisPassBKernel(DeviceBuffer<cxf>& in, DeviceBuffer<cxf>& out,
+                   std::size_t n, std::size_t count, Direction dir,
+                   ExchangeMode mode, unsigned grid_blocks);
+
+  [[nodiscard]] sim::LaunchConfig config() const override;
+  void run_block(sim::BlockCtx& ctx) override;
+
+ private:
+  DeviceBuffer<cxf>& in_;
+  DeviceBuffer<cxf>& out_;
+  std::size_t n_;
+  std::size_t count_;
+  Direction dir_;
+  ExchangeMode mode_;
+  AxisSplit split_;
+  std::vector<cxf> roots_f1_;
+  unsigned grid_;
+};
+
+/// Timing rows of one X-axis transform variant (Table 9 columns).
+struct XAxisAblationResult {
+  ExchangeMode mode;
+  std::vector<StepTiming> steps;  ///< 1 step (shared) or 2 (two-pass)
+  double total_ms{};
+};
+
+/// Run the X-axis transform of a (n x count) line batch under `mode` and
+/// return per-pass timings. `data` is transformed in place (a scratch
+/// buffer of the same size is allocated internally for the two-pass
+/// variants).
+XAxisAblationResult run_x_axis_variant(Device& dev, DeviceBuffer<cxf>& data,
+                                       std::size_t n, std::size_t count,
+                                       Direction dir, ExchangeMode mode);
+
+}  // namespace repro::gpufft

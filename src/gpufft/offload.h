@@ -1,0 +1,49 @@
+// Asynchronous-transfer offload pipeline (Section 4.4, last paragraph):
+// "The latest devices support asynchronous transfers, which enable overlap
+// between data transfer and computation on the device."
+//
+// For a stream of independent 3-D FFT offload jobs, this models the
+// double-buffered pipeline where the DMA engine moves job i+1 up and job
+// i-1 down while the SMs transform job i. G8x-class cards have a single
+// copy engine, so uploads and downloads share it (the paper's cards);
+// later parts gained a second engine, which the model also exposes.
+// Per-phase times come from the simulated device; the pipeline algebra is
+// the standard steady-state bound.
+#pragma once
+
+#include "gpufft/plan.h"
+#include "gpufft/types.h"
+
+namespace repro::gpufft {
+
+/// Per-job phase times plus synchronous/overlapped totals for a batch.
+struct OffloadTiming {
+  double h2d_ms{};   ///< one job's upload
+  double fft_ms{};   ///< one job's on-board transform
+  double d2h_ms{};   ///< one job's download
+  std::size_t jobs{};
+  double sync_ms{};         ///< jobs * (h2d + fft + d2h)
+  double overlap_1dma_ms{}; ///< double-buffered, single copy engine
+  double overlap_2dma_ms{}; ///< double-buffered, separate up/down engines
+
+  [[nodiscard]] double speedup_1dma() const {
+    return overlap_1dma_ms > 0.0 ? sync_ms / overlap_1dma_ms : 0.0;
+  }
+  [[nodiscard]] double speedup_2dma() const {
+    return overlap_2dma_ms > 0.0 ? sync_ms / overlap_2dma_ms : 0.0;
+  }
+};
+
+/// Pipeline totals from one job's phase times.
+///  - synchronous: serial sum.
+///  - 1 DMA engine: copy work per job is h2d+d2h on one engine, overlapped
+///    with compute: total = (h2d+d2h) + jobs' steady state + drain.
+///  - 2 DMA engines: each direction has its own engine.
+OffloadTiming offload_pipeline(double h2d_ms, double fft_ms, double d2h_ms,
+                               std::size_t jobs);
+
+/// Measure one 3-D FFT offload job's phases on `dev` (fresh plan) and fill
+/// the pipeline model for `jobs` independent volumes.
+OffloadTiming measure_offload(Device& dev, Shape3 shape, std::size_t jobs);
+
+}  // namespace repro::gpufft

@@ -1,0 +1,163 @@
+#include "gpufft/outofcore.h"
+
+#include <algorithm>
+
+namespace repro::gpufft {
+
+ZPencilFftKernel::ZPencilFftKernel(DeviceBuffer<cxf>& data, Shape3 slab,
+                                   Direction dir, unsigned grid_blocks)
+    : data_(data),
+      slab_(slab),
+      dir_(dir),
+      roots_(make_roots<float>(slab.nz, dir)),
+      grid_(grid_blocks) {
+  REPRO_CHECK(data_.size() >= slab_.volume());
+  REPRO_CHECK(slab_.nz >= 2 && slab_.nz <= kMaxFactor);
+}
+
+sim::LaunchConfig ZPencilFftKernel::config() const {
+  const std::size_t items = slab_.nx * slab_.ny;
+  sim::LaunchConfig c;
+  c.name = "zpencil_fft" + std::to_string(slab_.nz);
+  c.grid_blocks = grid_;
+  c.threads_per_block = kDefaultThreadsPerBlock;
+  c.regs_per_thread = 28;
+  c.total_flops = static_cast<double>(items) * fft_small_flops(slab_.nz);
+  c.fma_fraction = 0.5;
+  c.extra_cycles_per_thread =
+      32.0 * static_cast<double>(items) /
+      (static_cast<double>(grid_) * c.threads_per_block);
+  return c;
+}
+
+void ZPencilFftKernel::run_block(sim::BlockCtx& ctx) {
+  const std::size_t items = slab_.nx * slab_.ny;
+  const int sign = fft::direction_sign(dir_);
+  auto d = ctx.global(data_);
+  ctx.threads([&](sim::ThreadCtx& t) {
+    cxf v[kMaxFactor];
+    for (std::size_t w = t.global_id(); w < items; w += t.total_threads()) {
+      // w is already (x + nx*y): x innermost keeps half-warps sequential.
+      for (std::size_t q = 0; q < slab_.nz; ++q) {
+        v[q] = d.load(t, w + items * q);
+      }
+      fft_small(v, slab_.nz, sign, roots_.data());
+      for (std::size_t q = 0; q < slab_.nz; ++q) {
+        d.store(t, w + items * q, v[q]);
+      }
+    }
+  });
+}
+
+SlabTwiddleKernel::SlabTwiddleKernel(DeviceBuffer<cxf>& data, Shape3 slab,
+                                     std::size_t n, std::size_t residue,
+                                     Direction dir, unsigned grid_blocks)
+    : data_(data),
+      slab_(slab),
+      roots_n_(make_roots<float>(n, dir)),
+      residue_(residue),
+      grid_(grid_blocks) {
+  REPRO_CHECK(data_.size() >= slab_.volume());
+  REPRO_CHECK(residue_ * (slab_.nz - 1) < n);
+}
+
+sim::LaunchConfig SlabTwiddleKernel::config() const {
+  sim::LaunchConfig c;
+  c.name = "slab_twiddle";
+  c.grid_blocks = grid_;
+  c.threads_per_block = kDefaultThreadsPerBlock;
+  c.regs_per_thread = 10;
+  c.total_flops = 6.0 * static_cast<double>(slab_.volume());
+  c.fma_fraction = 0.5;
+  return c;
+}
+
+void SlabTwiddleKernel::run_block(sim::BlockCtx& ctx) {
+  const std::size_t plane = slab_.nx * slab_.ny;
+  const std::size_t volume = slab_.volume();
+  auto d = ctx.global(data_);
+  ctx.threads([&](sim::ThreadCtx& t) {
+    for (std::size_t i = t.global_id(); i < volume;
+         i += t.total_threads()) {
+      const std::size_t kz = i / plane;
+      d.store(t, i, roots_n_[residue_ * kz] * d.load(t, i));
+    }
+  });
+}
+
+OutOfCoreFft3D::OutOfCoreFft3D(Device& dev, std::size_t n, std::size_t splits,
+                               Direction dir)
+    : dev_(dev),
+      n_(n),
+      splits_(splits),
+      dir_(dir),
+      slab_shape_{n, n, n / splits},
+      // Phase 1 stages n/splits planes, phase 2 stages `splits` planes;
+      // one buffer serves both.
+      slab_(dev.alloc<cxf>(n * n * std::max(n / splits, splits))),
+      slab_plan_(dev, slab_shape_, dir),
+      host_work_(n * n * n) {
+  REPRO_CHECK_MSG(n % splits == 0, "splits must divide n");
+  REPRO_CHECK_MSG(splits >= 2 && splits <= kMaxFactor,
+                  "splits must be a supported small-FFT factor");
+  REPRO_CHECK(is_pow2(n) && is_pow2(splits));
+}
+
+OutOfCoreTiming OutOfCoreFft3D::execute(std::span<cxf> host_data) {
+  REPRO_CHECK(host_data.size() == n_ * n_ * n_);
+  const std::size_t plane = n_ * n_;
+  const std::size_t local_nz = n_ / splits_;
+  const unsigned grid = default_grid_blocks(dev_.spec());
+  OutOfCoreTiming timing;
+  auto lap = [this, last = dev_.elapsed_ms()](double& bucket) mutable {
+    const double now = dev_.elapsed_ms();
+    bucket += now - last;
+    last = now;
+  };
+
+  // ---- Phase 1: per Z residue, slab FFT + twiddle ----
+  for (std::size_t residue = 0; residue < splits_; ++residue) {
+    for (std::size_t j = 0; j < local_nz; ++j) {
+      const std::size_t z = residue + splits_ * j;
+      const std::span<const cxf> src = host_data.subspan(z * plane, plane);
+      dev_.h2d(slab_, src, j * plane);
+    }
+    lap(timing.h2d1_ms);
+
+    slab_plan_.execute(slab_);
+    lap(timing.fft1_ms);
+
+    SlabTwiddleKernel tw(slab_, slab_shape_, n_, residue, dir_, grid);
+    dev_.launch(tw);
+    lap(timing.twiddle_ms);
+
+    for (std::size_t k = 0; k < local_nz; ++k) {
+      const std::size_t z = residue + splits_ * k;
+      dev_.d2h(std::span<cxf>(host_work_).subspan(z * plane, plane), slab_,
+               k * plane);
+    }
+    lap(timing.d2h1_ms);
+  }
+
+  // ---- Phase 2: splits-point FFTs across the residues ----
+  const Shape3 pencil_slab{n_, n_, splits_};
+  for (std::size_t k = 0; k < local_nz; ++k) {
+    dev_.h2d(slab_,
+             std::span<const cxf>(host_work_)
+                 .subspan(splits_ * k * plane, splits_ * plane));
+    lap(timing.h2d2_ms);
+
+    ZPencilFftKernel fft(slab_, pencil_slab, dir_, grid);
+    dev_.launch(fft);
+    lap(timing.fft2_ms);
+
+    for (std::size_t k2 = 0; k2 < splits_; ++k2) {
+      const std::size_t z = k + local_nz * k2;
+      dev_.d2h(host_data.subspan(z * plane, plane), slab_, k2 * plane);
+    }
+    lap(timing.d2h2_ms);
+  }
+  return timing;
+}
+
+}  // namespace repro::gpufft

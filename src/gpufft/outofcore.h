@@ -1,0 +1,96 @@
+// Section 3.3: 3-D FFTs larger than the device memory.
+//
+// An n^3 volume (n = 512 in the paper) that cannot fit on the card is
+// processed in two streamed phases over PCI-Express, decimating the Z axis
+// into `splits` interleaved slabs (8 for 512^3):
+//
+//   Phase 1, for each residue I in [0, splits):
+//     1A. send the n x n x (n/splits) slab of planes z = I + splits*j
+//     1B. 3-D FFT of the slab (full X and Y, n/splits-point partial Z)
+//     1C. multiply the inter-rank twiddles W_n^(I * k')
+//     1D. receive the slab into WORK at planes z' = I + splits*k'
+//   Phase 2, for each k' in [0, n/splits):
+//     2A. send the `splits` contiguous planes starting at splits*k'
+//     2B. splits-point FFTs along Z for every (x, y) ("1 x 1 x 8 FFTs")
+//     2C. receive into the result at planes z = k' + (n/splits)*k''
+//
+// The data crosses the PCIe link twice in each direction, which is what
+// Table 12 quantifies.
+#pragma once
+
+#include "gpufft/plan.h"
+#include "gpufft/types.h"
+
+namespace repro::gpufft {
+
+/// splits-point FFTs along the local Z axis of an (nx, ny, splits) slab,
+/// one per (x, y) pencil.
+class ZPencilFftKernel final : public sim::Kernel {
+ public:
+  ZPencilFftKernel(DeviceBuffer<cxf>& data, Shape3 slab, Direction dir,
+                   unsigned grid_blocks);
+
+  [[nodiscard]] sim::LaunchConfig config() const override;
+  void run_block(sim::BlockCtx& ctx) override;
+
+ private:
+  DeviceBuffer<cxf>& data_;
+  Shape3 slab_;
+  Direction dir_;
+  std::vector<cxf> roots_;
+  unsigned grid_;
+};
+
+/// Multiply plane k' of an (nx, ny, nk) slab by W_n^(residue * k')
+/// (step 1C).
+class SlabTwiddleKernel final : public sim::Kernel {
+ public:
+  SlabTwiddleKernel(DeviceBuffer<cxf>& data, Shape3 slab, std::size_t n,
+                    std::size_t residue, Direction dir, unsigned grid_blocks);
+
+  [[nodiscard]] sim::LaunchConfig config() const override;
+  void run_block(sim::BlockCtx& ctx) override;
+
+ private:
+  DeviceBuffer<cxf>& data_;
+  Shape3 slab_;
+  std::vector<cxf> roots_n_;
+  std::size_t residue_;
+  unsigned grid_;
+};
+
+/// Phase-level timing breakdown (Table 12 columns).
+struct OutOfCoreTiming {
+  double h2d1_ms{}, fft1_ms{}, twiddle_ms{}, d2h1_ms{};
+  double h2d2_ms{}, fft2_ms{}, d2h2_ms{};
+  [[nodiscard]] double total_ms() const {
+    return h2d1_ms + fft1_ms + twiddle_ms + d2h1_ms + h2d2_ms + fft2_ms +
+           d2h2_ms;
+  }
+};
+
+/// Out-of-core 3-D FFT of a host-resident cube of side n, streaming slabs
+/// of n/splits planes through the device. Transforms `host_data` in place.
+class OutOfCoreFft3D {
+ public:
+  /// `splits` must divide n; the slab (2 buffers) must fit on the card.
+  OutOfCoreFft3D(Device& dev, std::size_t n, std::size_t splits,
+                 Direction dir);
+
+  OutOfCoreTiming execute(std::span<cxf> host_data);
+
+  [[nodiscard]] std::size_t n() const { return n_; }
+  [[nodiscard]] std::size_t splits() const { return splits_; }
+
+ private:
+  Device& dev_;
+  std::size_t n_;
+  std::size_t splits_;
+  Direction dir_;
+  Shape3 slab_shape_;
+  DeviceBuffer<cxf> slab_;
+  BandwidthFft3D slab_plan_;
+  std::vector<cxf> host_work_;
+};
+
+}  // namespace repro::gpufft

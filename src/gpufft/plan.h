@@ -1,0 +1,96 @@
+// The paper's contribution: the bandwidth-intensive five-step 3-D FFT plan.
+//
+// For a volume (nx, ny, nz) with each axis split n = f1*f2 (f1, f2 <= 16):
+//   Step 1  rank-1 16-point FFTs, first half of the Z-axis transform
+//           (reads pattern D, writes pattern A)
+//   Step 2  rank-2 16-point FFTs, second half of the Z-axis transform
+//           (reads pattern D, writes pattern B)
+//   Step 3  same as step 1 for the Y axis
+//   Step 4  same as step 2 for the Y axis
+//   Step 5  fine-grained nx-point FFTs along X through shared memory
+// The digit permutations of the four coarse steps compose so that both the
+// input and the output of the full plan are plain natural-order volumes —
+// the transposes the conventional algorithm pays for explicitly are folded
+// into the store patterns of steps 1-4, every one of which keeps at least
+// one side of the traffic in the fast A/B patterns of Table 3/4.
+#pragma once
+
+#include <array>
+
+#include "gpufft/fine_kernel.h"
+#include "gpufft/rank_kernels.h"
+#include "gpufft/types.h"
+
+namespace repro::gpufft {
+
+/// Options of the bandwidth-intensive plan.
+struct BandwidthPlanOptions {
+  TwiddleSource coarse_twiddles{TwiddleSource::Registers};  // steps 1-4
+  TwiddleSource fine_twiddles{TwiddleSource::Texture};      // step 5
+  unsigned grid_blocks{0};  ///< 0 = 3 blocks per SM (the paper's choice)
+};
+
+/// Five-step 3-D FFT executing on a simulated device. Plan once, execute
+/// many; the plan owns its work buffer and device twiddle tables.
+/// Templated over the scalar type: float is the paper's configuration;
+/// double (its Section 4.5 future work) requires an fp64-capable spec
+/// such as geforce_gtx_280().
+template <typename T>
+class BandwidthFft3DT {
+ public:
+  BandwidthFft3DT(Device& dev, Shape3 shape, Direction dir,
+                  BandwidthPlanOptions options = {});
+
+  /// Transform `data` (natural x-fastest volume on the device) in place.
+  /// Returns per-step timings (Table 7 rows).
+  std::vector<StepTiming> execute(DeviceBuffer<cx<T>>& data);
+
+  [[nodiscard]] Shape3 shape() const { return shape_; }
+  [[nodiscard]] Direction direction() const { return dir_; }
+
+  /// Total simulated milliseconds of the last execute().
+  [[nodiscard]] double last_total_ms() const { return last_total_ms_; }
+
+ private:
+  Device& dev_;
+  Shape3 shape_;
+  Direction dir_;
+  BandwidthPlanOptions opt_;
+  AxisSplit sy_;
+  AxisSplit sz_;
+  DeviceBuffer<cx<T>> work_;
+  DeviceBuffer<cx<T>> tw_x_;   ///< step-5 texture twiddles (nx roots)
+  DeviceBuffer<cx<T>> tw_y_;   ///< step-3 texture twiddles when requested
+  DeviceBuffer<cx<T>> tw_z_;   ///< step-1 texture twiddles when requested
+  double last_total_ms_ = 0.0;
+};
+
+extern template class BandwidthFft3DT<float>;
+extern template class BandwidthFft3DT<double>;
+
+/// Single-precision alias (the paper's configuration).
+using BandwidthFft3D = BandwidthFft3DT<float>;
+
+/// Elementwise scale kernel (used for inverse normalization and the
+/// out-of-core twiddle pass).
+template <typename T>
+class ScaleKernelT final : public sim::Kernel {
+ public:
+  ScaleKernelT(DeviceBuffer<cx<T>>& data, std::size_t count, T factor,
+               unsigned grid_blocks);
+  [[nodiscard]] sim::LaunchConfig config() const override;
+  void run_block(sim::BlockCtx& ctx) override;
+
+ private:
+  DeviceBuffer<cx<T>>& data_;
+  std::size_t count_;
+  T factor_;
+  unsigned grid_;
+};
+
+extern template class ScaleKernelT<float>;
+extern template class ScaleKernelT<double>;
+
+using ScaleKernel = ScaleKernelT<float>;
+
+}  // namespace repro::gpufft

@@ -1,0 +1,48 @@
+// 2-D FFT on the simulated GPU, built from the same three kernel launches
+// the 3-D plan uses per axis: the Y axis as a rank-1/rank-2 16-point pair
+// (reads pattern D, writes A then B) and the X axis through the
+// fine-grained shared-memory kernel. Batched execution loops fields (one
+// field per plan invocation keeps each launch's access patterns identical
+// to the 3-D case).
+#pragma once
+
+#include "fft/plan2d.h"
+#include "gpufft/plan.h"
+#include "gpufft/fine_kernel.h"
+#include "gpufft/rank_kernels.h"
+
+namespace repro::gpufft {
+
+using fft::Shape2;
+
+/// Three-launch 2-D FFT plan (nx in [16,512], ny in [4,512], powers of 2).
+template <typename T>
+class BandwidthFft2DT {
+ public:
+  BandwidthFft2DT(Device& dev, Shape2 shape, Direction dir,
+                  BandwidthPlanOptions options = {});
+
+  /// Transform one field (natural x-fastest layout) in place.
+  std::vector<StepTiming> execute(DeviceBuffer<cx<T>>& data);
+
+  [[nodiscard]] Shape2 shape() const { return shape_; }
+  [[nodiscard]] double last_total_ms() const { return last_total_ms_; }
+
+ private:
+  Device& dev_;
+  Shape2 shape_;
+  Direction dir_;
+  BandwidthPlanOptions opt_;
+  AxisSplit sy_;
+  DeviceBuffer<cx<T>> work_;
+  DeviceBuffer<cx<T>> tw_x_;
+  DeviceBuffer<cx<T>> tw_y_;
+  double last_total_ms_ = 0.0;
+};
+
+extern template class BandwidthFft2DT<float>;
+extern template class BandwidthFft2DT<double>;
+
+using BandwidthFft2D = BandwidthFft2DT<float>;
+
+}  // namespace repro::gpufft

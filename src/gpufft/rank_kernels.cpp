@@ -1,0 +1,225 @@
+#include "gpufft/rank_kernels.h"
+
+#include <numbers>
+#include <type_traits>
+
+namespace repro::gpufft {
+namespace {
+
+/// Addressing/control cycles per 16-point work item beyond FP and memory
+/// (index decomposition of the fused 4-level loop, loop bookkeeping).
+constexpr double kAddressingCyclesPerItem = 48.0;
+
+/// Register budgets matching Section 3.1: the 16-point kernels compile to
+/// 51-52 registers; the texture/constant variants need fewer.
+int regs_for(TwiddleSource tw, std::size_t factor, bool fp64) {
+  // Data + temporaries: ~3.5 registers per complex value held; double
+  // precision needs two 32-bit registers per word.
+  const int base = factor == 32 ? 72 : (factor == 16 ? 40 : 24);
+  const int regs = tw == TwiddleSource::Registers ? base + 12 : base + 4;
+  return fp64 ? 2 * regs : regs;
+}
+
+}  // namespace
+
+template <typename T>
+Rank1KernelT<T>::Rank1KernelT(DeviceBuffer<cx<T>>& in,
+                              DeviceBuffer<cx<T>>& out,
+                              const RankKernelParams& params, std::size_t n,
+                              const DeviceBuffer<cx<T>>* device_twiddles)
+    : in_(in),
+      out_(out),
+      params_(params),
+      n_(n),
+      roots_l_(make_roots<T>(params.in_shape.extent[4], params.dir)),
+      roots_n_(make_roots<T>(n, params.dir)),
+      device_tw_(device_twiddles) {
+  REPRO_CHECK(in_.size() >= params_.in_shape.volume());
+  REPRO_CHECK(out_.size() >= params_.in_shape.volume());
+  // Twiddle indexing uses c*k < n: c < extent[3], k < extent[4].
+  REPRO_CHECK((params_.in_shape.extent[3] - 1) *
+                  (params_.in_shape.extent[4] - 1) <
+              n_);
+  if (params_.twiddles == TwiddleSource::Texture) {
+    REPRO_CHECK_MSG(device_tw_ != nullptr && device_tw_->size() >= n_,
+                    "texture twiddles need a device table");
+  }
+}
+
+template <typename T>
+Shape5 Rank1KernelT<T>::out_shape() const {
+  const auto& e = params_.in_shape.extent;
+  return Shape5{{e[0], e[4], e[1], e[2], e[3]}};
+}
+
+template <typename T>
+sim::LaunchConfig Rank1KernelT<T>::config() const {
+  const std::size_t L = params_.in_shape.extent[4];
+  const std::size_t items = params_.in_shape.volume() / L;
+  sim::LaunchConfig c;
+  c.name = "rank1_fft" + std::to_string(L);
+  c.grid_blocks = params_.grid_blocks;
+  c.threads_per_block = params_.threads_per_block;
+  c.regs_per_thread =
+      regs_for(params_.twiddles, L, std::is_same_v<T, double>);
+  c.fp64 = std::is_same_v<T, double>;
+  c.shmem_per_block = 0;
+  // fft_L + (L-1) twiddle multiplies per item (k = 0 is unity).
+  double per_item = fft_small_flops(L) + 6.0 * static_cast<double>(L - 1);
+  if (params_.twiddles == TwiddleSource::Recompute) {
+    per_item += 32.0 * static_cast<double>(L);  // sincos per twiddle
+  }
+  c.total_flops = static_cast<double>(items) * per_item;
+  c.fma_fraction = 0.5;
+  c.extra_cycles_per_thread =
+      kAddressingCyclesPerItem *
+      (static_cast<double>(items) /
+       (static_cast<double>(c.grid_blocks) * c.threads_per_block));
+  return c;
+}
+
+template <typename T>
+void Rank1KernelT<T>::run_block(sim::BlockCtx& ctx) {
+  const Shape5 in_s = params_.in_shape;
+  const Shape5 out_s = out_shape();
+  const std::size_t L = in_s.extent[4];
+  const std::size_t nx = in_s.extent[0];
+  const std::size_t na = in_s.extent[1];
+  const std::size_t nb = in_s.extent[2];
+  const std::size_t nc = in_s.extent[3];
+  const std::size_t items = nx * na * nb * nc;
+  const int sign = fft::direction_sign(params_.dir);
+
+  auto in = ctx.global(in_);
+  auto out = ctx.global(out_);
+  auto tex_tw = params_.twiddles == TwiddleSource::Texture
+                    ? ctx.texture(*device_tw_)
+                    : sim::TextureView<cx<T>>(nullptr, nullptr, 0);
+  auto const_tw = ctx.constant(roots_n_);
+
+  ctx.threads([&](sim::ThreadCtx& t) {
+    cx<T> v[kMaxFactor];
+    for (std::size_t w = t.global_id(); w < items; w += t.total_threads()) {
+      // Paper loop "for c,b,a,X": X innermost so half-warps stay on
+      // consecutive addresses.
+      const std::size_t x = w % nx;
+      const std::size_t a = (w / nx) % na;
+      const std::size_t b = (w / (nx * na)) % nb;
+      const std::size_t c = w / (nx * na * nb);
+
+      for (std::size_t q = 0; q < L; ++q) {
+        v[q] = in.load(t, in_s.at(x, a, b, c, q));
+      }
+      fft_small(v, L, sign, roots_l_.data());
+
+      // Inter-rank twiddle W_n^(c*k).
+      for (std::size_t k = 1; k < L; ++k) {
+        const std::size_t idx = c * k;  // < n by construction
+        cx<T> w_ck;
+        switch (params_.twiddles) {
+          case TwiddleSource::Registers:
+            w_ck = roots_n_[idx];
+            break;
+          case TwiddleSource::Constant:
+            w_ck = const_tw.load(t, idx);
+            break;
+          case TwiddleSource::Texture:
+            w_ck = tex_tw.fetch(t, idx);
+            break;
+          case TwiddleSource::Recompute: {
+            const double theta = sign * 2.0 * std::numbers::pi *
+                                 static_cast<double>(idx) /
+                                 static_cast<double>(n_);
+            w_ck = polar_unit<T>(theta);
+            break;
+          }
+        }
+        v[k] = w_ck * v[k];
+      }
+
+      for (std::size_t k = 0; k < L; ++k) {
+        out.store(t, out_s.at(x, k, a, b, c), v[k]);
+      }
+    }
+  });
+}
+
+template <typename T>
+Rank2KernelT<T>::Rank2KernelT(DeviceBuffer<cx<T>>& in,
+                              DeviceBuffer<cx<T>>& out,
+                              const RankKernelParams& params)
+    : in_(in),
+      out_(out),
+      params_(params),
+      roots_l_(make_roots<T>(params.in_shape.extent[4], params.dir)) {
+  REPRO_CHECK(in_.size() >= params_.in_shape.volume());
+  REPRO_CHECK(out_.size() >= params_.in_shape.volume());
+}
+
+template <typename T>
+Shape5 Rank2KernelT<T>::out_shape() const {
+  const auto& e = params_.in_shape.extent;
+  return Shape5{{e[0], e[1], e[4], e[2], e[3]}};
+}
+
+template <typename T>
+sim::LaunchConfig Rank2KernelT<T>::config() const {
+  const std::size_t L = params_.in_shape.extent[4];
+  const std::size_t items = params_.in_shape.volume() / L;
+  sim::LaunchConfig c;
+  c.name = "rank2_fft" + std::to_string(L);
+  c.grid_blocks = params_.grid_blocks;
+  c.threads_per_block = params_.threads_per_block;
+  c.regs_per_thread = regs_for(TwiddleSource::Registers, L,
+                               std::is_same_v<T, double>);
+  c.fp64 = std::is_same_v<T, double>;
+  c.shmem_per_block = 0;
+  c.total_flops = static_cast<double>(items) * fft_small_flops(L);
+  c.fma_fraction = 0.5;
+  c.extra_cycles_per_thread =
+      kAddressingCyclesPerItem *
+      (static_cast<double>(items) /
+       (static_cast<double>(c.grid_blocks) * c.threads_per_block));
+  return c;
+}
+
+template <typename T>
+void Rank2KernelT<T>::run_block(sim::BlockCtx& ctx) {
+  const Shape5 in_s = params_.in_shape;
+  const Shape5 out_s = out_shape();
+  const std::size_t L = in_s.extent[4];
+  const std::size_t nx = in_s.extent[0];
+  const std::size_t na = in_s.extent[1];
+  const std::size_t nb = in_s.extent[2];
+  const std::size_t nc = in_s.extent[3];
+  const std::size_t items = nx * na * nb * nc;
+  const int sign = fft::direction_sign(params_.dir);
+
+  auto in = ctx.global(in_);
+  auto out = ctx.global(out_);
+
+  ctx.threads([&](sim::ThreadCtx& t) {
+    cx<T> v[kMaxFactor];
+    for (std::size_t w = t.global_id(); w < items; w += t.total_threads()) {
+      const std::size_t x = w % nx;
+      const std::size_t a = (w / nx) % na;
+      const std::size_t b = (w / (nx * na)) % nb;
+      const std::size_t c = w / (nx * na * nb);
+
+      for (std::size_t q = 0; q < L; ++q) {
+        v[q] = in.load(t, in_s.at(x, a, b, c, q));
+      }
+      fft_small(v, L, sign, roots_l_.data());
+      for (std::size_t k = 0; k < L; ++k) {
+        out.store(t, out_s.at(x, a, k, b, c), v[k]);
+      }
+    }
+  });
+}
+
+template class Rank1KernelT<float>;
+template class Rank1KernelT<double>;
+template class Rank2KernelT<float>;
+template class Rank2KernelT<double>;
+
+}  // namespace repro::gpufft

@@ -1,0 +1,90 @@
+// Coarse-grained multirow kernels: steps 1-4 of the paper's algorithm.
+//
+// Each thread computes one small (8/16-point) FFT entirely in registers —
+// the paper's FFT256_1 / FFT256_2 kernels. The transform always runs along
+// dimension 4 of the current 5-D view (the paper's trailing `*`), and the
+// two kernel shapes differ only in where the output digit lands:
+//
+//   Rank1:  out(x, k, a, b, c) = W_n^(c*k) * FFT_L( in(x, a, b, c, *) )[k]
+//           (reads pattern D, writes pattern A, applies the inter-rank
+//            twiddle; the paper's FFT256_1)
+//   Rank2:  out(x, a, k, b, c) = FFT_L( in(x, a, b, c, *) )[k]
+//           (reads pattern D, writes pattern B; the paper's FFT256_2)
+//
+// Work items iterate with X innermost ("for Z1,Y2,Y1,X"), cyclically over
+// threads and blocks, so half-warps always touch 16 consecutive X values —
+// the coalescing the whole design revolves around.
+#pragma once
+
+#include "common/tensor.h"
+#include "gpufft/smallfft.h"
+#include "gpufft/types.h"
+
+namespace repro::gpufft {
+
+/// Configuration shared by both rank kernels.
+struct RankKernelParams {
+  Shape5 in_shape;        ///< dims (nx, a, b, c, L); transform along dim 4
+  Direction dir{Direction::Forward};
+  TwiddleSource twiddles{TwiddleSource::Registers};
+  unsigned grid_blocks{48};
+  unsigned threads_per_block{kDefaultThreadsPerBlock};
+};
+
+/// Step 1/3 kernel (rank 1 with inter-rank twiddle). Templated over the
+/// scalar type: float reproduces the paper; double is its Section 4.5
+/// future work and only runs on fp64-capable specs (GTX 280).
+template <typename T>
+class Rank1KernelT final : public sim::Kernel {
+ public:
+  /// `n` is the full axis length f1*f2; the twiddle table has n entries.
+  Rank1KernelT(DeviceBuffer<cx<T>>& in, DeviceBuffer<cx<T>>& out,
+               const RankKernelParams& params, std::size_t n,
+               const DeviceBuffer<cx<T>>* device_twiddles = nullptr);
+
+  [[nodiscard]] sim::LaunchConfig config() const override;
+  void run_block(sim::BlockCtx& ctx) override;
+
+  /// Output view shape: (nx, L, a, b, c).
+  [[nodiscard]] Shape5 out_shape() const;
+
+ private:
+  DeviceBuffer<cx<T>>& in_;
+  DeviceBuffer<cx<T>>& out_;
+  RankKernelParams params_;
+  std::size_t n_;                          ///< full axis length
+  std::vector<cx<T>> roots_l_;             ///< factor-size roots
+  std::vector<cx<T>> roots_n_;             ///< inter-rank twiddles (size n)
+  const DeviceBuffer<cx<T>>* device_tw_;   ///< for TwiddleSource::Texture
+};
+
+/// Step 2/4 kernel (rank 2, no twiddle).
+template <typename T>
+class Rank2KernelT final : public sim::Kernel {
+ public:
+  Rank2KernelT(DeviceBuffer<cx<T>>& in, DeviceBuffer<cx<T>>& out,
+               const RankKernelParams& params);
+
+  [[nodiscard]] sim::LaunchConfig config() const override;
+  void run_block(sim::BlockCtx& ctx) override;
+
+  /// Output view shape: (nx, a, L, b, c).
+  [[nodiscard]] Shape5 out_shape() const;
+
+ private:
+  DeviceBuffer<cx<T>>& in_;
+  DeviceBuffer<cx<T>>& out_;
+  RankKernelParams params_;
+  std::vector<cx<T>> roots_l_;
+};
+
+extern template class Rank1KernelT<float>;
+extern template class Rank1KernelT<double>;
+extern template class Rank2KernelT<float>;
+extern template class Rank2KernelT<double>;
+
+/// Single-precision aliases (the paper's configuration).
+using Rank1Kernel = Rank1KernelT<float>;
+using Rank2Kernel = Rank2KernelT<float>;
+
+}  // namespace repro::gpufft

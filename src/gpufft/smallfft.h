@@ -1,0 +1,96 @@
+// Small fixed-size FFT dispatch shared by the GPU kernels.
+//
+// The paper's kernels are built from 8/16-point register transforms (the
+// per-thread "multirow" unit) and radix-2/4 butterflies (the fine-grained
+// X-axis kernel). This header maps a runtime factor size onto the fixed
+// kernels of fft/radix.h and exposes their arithmetic cost to the timing
+// model.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/check.h"
+#include "common/complex.h"
+#include "fft/radix.h"
+#include "fft/twiddle.h"
+
+namespace repro::gpufft {
+
+/// Largest per-thread transform factor the kernels support.
+inline constexpr std::size_t kMaxFactor = 32;
+
+/// In-place natural-order FFT of v[0..len) for len in {2,4,8,16}.
+/// `w` must hold the len-th roots for the direction (w[k] = omega_len^k);
+/// unused for len <= 4.
+template <typename T>
+inline void fft_small(cx<T>* v, std::size_t len, int sign, const cx<T>* w) {
+  switch (len) {
+    case 2:
+      fft::fft2(v[0], v[1]);
+      break;
+    case 4:
+      fft::fft4(v, sign);
+      break;
+    case 8:
+      fft::fft8(v, sign, w);
+      break;
+    case 16:
+      fft::fft16(v, sign, w);
+      break;
+    case 32:
+      fft::fft32(v, sign, w);
+      break;
+    default:
+      REPRO_FAIL("unsupported small-FFT factor");
+  }
+}
+
+/// Real-operation count of fft_small for the timing model.
+inline double fft_small_flops(std::size_t len) {
+  switch (len) {
+    case 2:
+      return 4.0;
+    case 4:
+      return static_cast<double>(fft::kFft4Flops);
+    case 8:
+      return static_cast<double>(fft::kFft8Flops);
+    case 16:
+      return static_cast<double>(fft::kFft16Flops);
+    case 32:
+      return static_cast<double>(fft::kFft32Flops);
+    default:
+      REPRO_FAIL("unsupported small-FFT factor");
+  }
+}
+
+/// Dense root table w[k] = omega_n^k as a plain vector (kernel-friendly).
+template <typename T>
+std::vector<cx<T>> make_roots(std::size_t n, fft::Direction dir) {
+  const fft::TwiddleTable<T> tw(n, dir);
+  std::vector<cx<T>> w(n);
+  for (std::size_t k = 0; k < n; ++k) w[k] = tw[k];
+  return w;
+}
+
+/// Split an axis length into (f1, f2) with f1*f2 == n and both factors in
+/// {8, 16} where possible — the per-thread register budget of the paper's
+/// coarse kernels (Section 3.1) dictates factors of at most 16.
+struct AxisSplit {
+  std::size_t f1;  ///< low digit (rank-2 factor)
+  std::size_t f2;  ///< high digit (rank-1 factor)
+};
+
+inline AxisSplit split_axis(std::size_t n) {
+  REPRO_CHECK_MSG(n >= 4 && n <= 512,
+                  "axis length must be in [4, 512] for the two-rank split");
+  for (std::size_t f1 :
+       {std::size_t{16}, std::size_t{8}, std::size_t{4}, std::size_t{2}}) {
+    if (n % f1 == 0 && n / f1 <= kMaxFactor && n / f1 >= 2) {
+      return {f1, n / f1};
+    }
+  }
+  REPRO_FAIL("no valid factor split");
+}
+
+}  // namespace repro::gpufft

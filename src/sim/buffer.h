@@ -1,0 +1,72 @@
+// Device-memory allocations.
+//
+// A DeviceBuffer<T> is an RAII allocation in the simulated card's memory:
+// it owns host backing storage for the functional data and a virtual device
+// address used by the DRAM model. Capacity is enforced against the card's
+// real memory size — which is what forces the out-of-core 512^3 path, just
+// as on the paper's 512 MB cards.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+
+namespace repro::sim {
+
+class Device;
+
+/// Untyped allocation record managed by Device.
+struct Allocation {
+  std::uint64_t base_addr{};
+  std::size_t bytes{};
+};
+
+/// Typed RAII device allocation (move-only).
+template <typename T>
+class DeviceBuffer {
+ public:
+  DeviceBuffer() = default;
+  DeviceBuffer(Device* dev, Allocation alloc, std::size_t n)
+      : dev_(dev), alloc_(alloc), host_(n) {}
+
+  DeviceBuffer(const DeviceBuffer&) = delete;
+  DeviceBuffer& operator=(const DeviceBuffer&) = delete;
+  DeviceBuffer(DeviceBuffer&& o) noexcept { swap(o); }
+  DeviceBuffer& operator=(DeviceBuffer&& o) noexcept {
+    if (this != &o) {
+      release();
+      swap(o);
+    }
+    return *this;
+  }
+  ~DeviceBuffer() { release(); }
+
+  [[nodiscard]] std::size_t size() const { return host_.size(); }
+  [[nodiscard]] bool valid() const { return dev_ != nullptr; }
+  [[nodiscard]] std::uint64_t base_addr() const { return alloc_.base_addr; }
+
+  /// Functional storage. Direct host access is for test setup/verification
+  /// and transfer plumbing; kernels go through GlobalView accessors.
+  [[nodiscard]] T* data() { return host_.data(); }
+  [[nodiscard]] const T* data() const { return host_.data(); }
+  [[nodiscard]] std::span<T> span() { return host_; }
+  [[nodiscard]] std::span<const T> span() const { return host_; }
+
+ private:
+  void release();
+  void swap(DeviceBuffer& o) noexcept {
+    std::swap(dev_, o.dev_);
+    std::swap(alloc_, o.alloc_);
+    host_.swap(o.host_);
+  }
+
+  Device* dev_ = nullptr;
+  Allocation alloc_{};
+  std::vector<T> host_;
+};
+
+}  // namespace repro::sim

@@ -1,0 +1,77 @@
+#include "sim/coalesce.h"
+
+#include <algorithm>
+
+namespace repro::sim {
+namespace {
+
+bool size_can_coalesce(std::uint32_t bytes) {
+  return bytes == 4 || bytes == 8 || bytes == 16;
+}
+
+}  // namespace
+
+CoalesceResult coalesce_half_warp(std::span<const LaneAccess> accesses) {
+  CoalesceResult result;
+  if (accesses.empty()) {
+    result.coalesced = true;
+    return result;
+  }
+
+  // All threads must use the same (coalescable) width.
+  const std::uint32_t width = accesses[0].bytes;
+  bool ok = size_can_coalesce(width);
+  for (const auto& a : accesses) {
+    ok = ok && a.bytes == width;
+  }
+
+  // Rule (a): addr == base + lane*width, with base from any lane.
+  std::uint64_t base = 0;
+  if (ok) {
+    base = accesses[0].addr - static_cast<std::uint64_t>(accesses[0].lane) *
+                                  width;
+    for (const auto& a : accesses) {
+      if (a.addr != base + static_cast<std::uint64_t>(a.lane) * width) {
+        ok = false;
+        break;
+      }
+    }
+  }
+
+  // Rule (c): segment alignment to 16*width.
+  if (ok && base % (16ull * width) != 0) {
+    ok = false;
+  }
+
+  if (ok) {
+    result.coalesced = true;
+    // 4-byte -> one 64 B segment; 8-byte -> one 128 B segment;
+    // 16-byte -> two 128 B segments.
+    const std::uint32_t segment = 16u * std::min<std::uint32_t>(width, 8);
+    const std::uint32_t n_segments = width == 16 ? 2 : 1;
+    for (std::uint32_t s = 0; s < n_segments; ++s) {
+      result.transactions.push_back(
+          Transaction{base + static_cast<std::uint64_t>(s) * segment,
+                      segment});
+    }
+    return result;
+  }
+
+  // Uncoalesced: one transaction per thread, padded to the 32-byte minimum
+  // burst, issued in lane order.
+  result.coalesced = false;
+  std::vector<LaneAccess> sorted(accesses.begin(), accesses.end());
+  std::sort(sorted.begin(), sorted.end(),
+            [](const LaneAccess& a, const LaneAccess& b) {
+              return a.lane < b.lane;
+            });
+  for (const auto& a : sorted) {
+    const std::uint32_t bytes = std::max(a.bytes, kMinTransactionBytes);
+    // Align the padded transaction down to its own granularity.
+    const std::uint64_t addr = a.addr / bytes * bytes;
+    result.transactions.push_back(Transaction{addr, bytes});
+  }
+  return result;
+}
+
+}  // namespace repro::sim

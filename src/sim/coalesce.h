@@ -1,0 +1,43 @@
+// G80 half-warp memory coalescing (CUDA 1.x rules, Section 2.1 of the
+// paper):
+//   (a) thread k of the half-warp must access address base + k*size, in
+//       thread order (inactive threads may leave gaps),
+//   (b) only 32-, 64- or 128-bit per-thread accesses coalesce,
+//   (c) the base address must be aligned to 16*size (64/128/256 bytes).
+// When the conditions hold, the 16 accesses become one 64/128-byte segment
+// transfer (two 128-byte transfers for 16-byte accesses). Otherwise the
+// hardware issues one transaction per thread, each padded to the 32-byte
+// minimum DRAM burst — the "substantial degradation" the paper engineers
+// around.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "sim/dram.h"
+
+namespace repro::sim {
+
+/// One per-thread access within a half-warp instruction slot.
+struct LaneAccess {
+  int lane{};             ///< 0..15, position within the half-warp
+  std::uint64_t addr{};   ///< device byte address
+  std::uint32_t bytes{};  ///< per-thread access width
+};
+
+/// Result of coalescing one half-warp slot.
+struct CoalesceResult {
+  bool coalesced{};  ///< true if the slot collapsed into segment transfers
+  std::vector<Transaction> transactions;
+};
+
+/// Apply the G80 rules to the accesses of one half-warp instruction slot.
+/// `accesses` need not be sorted and may cover fewer than 16 lanes.
+CoalesceResult coalesce_half_warp(std::span<const LaneAccess> accesses);
+
+/// Minimum DRAM transaction granularity for uncoalesced accesses.
+inline constexpr std::uint32_t kMinTransactionBytes = 32;
+
+}  // namespace repro::sim

@@ -1,0 +1,51 @@
+#include "sim/cpumodel.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace repro::sim {
+
+double reported_fft_flops(Shape3 shape) {
+  const double v = static_cast<double>(shape.volume());
+  const double n_total = static_cast<double>(shape.nx) * shape.ny * shape.nz;
+  return 5.0 * v * std::log2(n_total);
+}
+
+CpuFftTiming cpu_fft3d_time(const CpuSpec& cpu, Shape3 shape) {
+  CpuFftTiming t;
+  const double volume_bytes = static_cast<double>(shape.volume()) * 8.0;
+
+  // FFTW-class code reaches roughly a third of SSE peak on FFT kernels.
+  constexpr double kFftComputeEfficiency = 0.33;
+  const double gflops_eff = cpu.peak_gflops() * kFftComputeEfficiency;
+
+  const std::array<double, 3> axis_eff = {cpu.axis_eff_x, cpu.axis_eff_y,
+                                          cpu.axis_eff_z};
+  const std::array<std::size_t, 3> axis_n = {shape.nx, shape.ny, shape.nz};
+
+  double total_ns = 0.0;
+  for (int a = 0; a < 3; ++a) {
+    const double mem_ns =
+        2.0 * volume_bytes / (cpu.stream_bw_gbs * axis_eff[a]);
+    const double flops = 5.0 * static_cast<double>(shape.volume()) *
+                         std::log2(static_cast<double>(axis_n[a]));
+    const double compute_ns = flops / gflops_eff;
+    t.axis_ms[a] = std::max(mem_ns, compute_ns) * 1e-6;
+    total_ns += std::max(mem_ns, compute_ns);
+  }
+
+  // Cache/TLB penalty for volumes beyond the calibrated 256^3 point.
+  const double doublings =
+      std::max(0.0, std::log2(static_cast<double>(shape.volume()) /
+                              (256.0 * 256.0 * 256.0)) /
+                        3.0);
+  const double penalty = std::pow(cpu.large_size_penalty, doublings);
+  total_ns *= penalty;
+  for (auto& ms : t.axis_ms) ms *= penalty;
+
+  t.total_ms = total_ns * 1e-6;
+  t.gflops = reported_fft_flops(shape) / total_ns;
+  return t;
+}
+
+}  // namespace repro::sim

@@ -1,0 +1,34 @@
+// Calibrated roofline model of an FFTW-style multithreaded 3-D FFT on the
+// evaluation CPUs (Table 11 / Table 12 "FFTW" rows).
+//
+// Each axis pass reads and writes the full volume; the X pass streams while
+// the Y/Z passes stride through the cache hierarchy at reduced effective
+// bandwidth (the classic reason 3-D FFTs disappoint on cache CPUs). Compute
+// is charged against a fraction of SSE peak and the pass takes
+// max(mem, compute). Sizes beyond 256^3 pay an additional per-doubling
+// cache/TLB penalty. Constants live in CpuSpec and are calibrated once
+// against Table 11.
+#pragma once
+
+#include <array>
+
+#include "common/tensor.h"
+#include "sim/spec.h"
+
+namespace repro::sim {
+
+/// Timing of one 3-D FFT on the CPU model.
+struct CpuFftTiming {
+  double total_ms{};
+  std::array<double, 3> axis_ms{};  ///< X, Y, Z passes
+  double gflops{};                  ///< 15*N^3*log2(N) convention
+};
+
+/// Single-precision complex 3-D FFT of `shape` on `cpu`.
+CpuFftTiming cpu_fft3d_time(const CpuSpec& cpu, Shape3 shape);
+
+/// Reported flops of a 3-D transform by the paper's 15*N^3*log2(N)
+/// convention, generalized to non-cubic shapes as 5*V*log2(nx*ny*nz).
+double reported_fft_flops(Shape3 shape);
+
+}  // namespace repro::sim

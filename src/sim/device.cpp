@@ -1,0 +1,70 @@
+#include "sim/device.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace repro::sim {
+
+Device::Device(GpuSpec spec) : spec_(std::move(spec)) {}
+
+Allocation Device::allocate_raw(std::size_t bytes) {
+  if (allocated_bytes_ + bytes > spec_.device_memory_bytes) {
+    std::ostringstream os;
+    os << spec_.name << ": device memory exhausted (" << allocated_bytes_
+       << " + " << bytes << " > " << spec_.device_memory_bytes << " bytes)";
+    throw OutOfDeviceMemory(os.str());
+  }
+  // Bump allocator over a virtual address space, 256-byte aligned so the
+  // coalescing alignment rules behave as on real allocations.
+  Allocation a;
+  a.base_addr = (next_addr_ + 255) / 256 * 256;
+  a.bytes = bytes;
+  next_addr_ = a.base_addr + bytes;
+  allocated_bytes_ += bytes;
+  return a;
+}
+
+void Device::free_raw(const Allocation& a) {
+  REPRO_CHECK(allocated_bytes_ >= a.bytes);
+  allocated_bytes_ -= a.bytes;
+}
+
+LaunchResult Device::launch(Kernel& kernel) {
+  const LaunchConfig cfg = kernel.config();
+  REPRO_CHECK(cfg.grid_blocks > 0 && cfg.threads_per_block > 0);
+
+  LaunchStats stats;
+  stats.total_threads =
+      static_cast<std::uint64_t>(cfg.grid_blocks) * cfg.threads_per_block;
+
+  const unsigned warps_per_block = (cfg.threads_per_block + 31) / 32;
+  const unsigned sampled_blocks =
+      std::min<unsigned>(cfg.grid_blocks, options_.max_sampled_blocks);
+  stats.warp_streams.resize(static_cast<std::size_t>(sampled_blocks) *
+                            warps_per_block);
+  const auto tex_lines = static_cast<std::size_t>(
+      spec_.texture_cache_bytes / kMinTransactionBytes);
+
+  for (unsigned b = 0; b < cfg.grid_blocks; ++b) {
+    const bool recording = b < sampled_blocks;
+    BlockCtx ctx(cfg, stats, options_, b, recording,
+                 static_cast<std::size_t>(b) * warps_per_block, tex_lines);
+    kernel.run_block(ctx);
+  }
+
+  LaunchResult result = estimate_launch(spec_, cfg, stats);
+  clock_ns_ += result.total_ms * 1e6;
+  history_.push_back(result);
+  return result;
+}
+
+void Device::reset_clock() {
+  clock_ns_ = 0.0;
+  h2d_ns_ = 0.0;
+  d2h_ns_ = 0.0;
+  h2d_bytes_ = 0;
+  d2h_bytes_ = 0;
+  history_.clear();
+}
+
+}  // namespace repro::sim

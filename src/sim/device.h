@@ -1,0 +1,125 @@
+// The simulated CUDA device.
+//
+// Owns the virtual device address space, enforces the card's memory
+// capacity, accounts PCIe transfer time on h2d/d2h, and runs kernel
+// launches: every block executes functionally (block 0 .. grid-1), sampled
+// blocks are instrumented, and the timing model converts the observed
+// statistics into simulated time on the device clock.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "sim/buffer.h"
+#include "sim/kernel.h"
+#include "sim/pcie.h"
+#include "sim/spec.h"
+#include "sim/timing.h"
+
+namespace repro::sim {
+
+/// Thrown when an allocation exceeds the card's device memory — the
+/// condition that forces the paper's out-of-core 512^3 algorithm.
+class OutOfDeviceMemory : public Error {
+ public:
+  using Error::Error;
+};
+
+class Device {
+ public:
+  explicit Device(GpuSpec spec);
+
+  [[nodiscard]] const GpuSpec& spec() const { return spec_; }
+  [[nodiscard]] SimOptions& options() { return options_; }
+
+  /// Allocate n elements of T; throws OutOfDeviceMemory past capacity.
+  template <typename T>
+  DeviceBuffer<T> alloc(std::size_t n) {
+    return DeviceBuffer<T>(this, allocate_raw(n * sizeof(T)), n);
+  }
+
+  [[nodiscard]] std::size_t allocated_bytes() const {
+    return allocated_bytes_;
+  }
+  [[nodiscard]] std::size_t memory_capacity() const {
+    return spec_.device_memory_bytes;
+  }
+
+  /// Host-to-device copy into `dst` starting at element `dst_offset`;
+  /// advances the simulated clock by the PCIe transfer time.
+  template <typename T>
+  void h2d(DeviceBuffer<T>& dst, std::span<const T> src,
+           std::size_t dst_offset = 0) {
+    REPRO_CHECK(dst_offset + src.size() <= dst.size());
+    std::copy(src.begin(), src.end(), dst.data() + dst_offset);
+    const double ns = pcie_transfer_ns(spec_.pcie, TransferDir::HostToDevice,
+                                       src.size() * sizeof(T));
+    clock_ns_ += ns;
+    h2d_ns_ += ns;
+    h2d_bytes_ += src.size() * sizeof(T);
+  }
+
+  /// Device-to-host copy from `src` starting at element `src_offset`.
+  template <typename T>
+  void d2h(std::span<T> dst, const DeviceBuffer<T>& src,
+           std::size_t src_offset = 0) {
+    REPRO_CHECK(src_offset + dst.size() <= src.size());
+    std::copy(src.data() + src_offset, src.data() + src_offset + dst.size(),
+              dst.begin());
+    const double ns = pcie_transfer_ns(spec_.pcie, TransferDir::DeviceToHost,
+                                       dst.size() * sizeof(T));
+    clock_ns_ += ns;
+    d2h_ns_ += ns;
+    d2h_bytes_ += dst.size() * sizeof(T);
+  }
+
+  /// Run a kernel: functional execution of every block + timing estimate.
+  /// Advances the simulated clock and appends to the launch history.
+  LaunchResult launch(Kernel& kernel);
+
+  /// Simulated clock (kernels + transfers since the last reset).
+  [[nodiscard]] double elapsed_ms() const { return clock_ns_ * 1e-6; }
+  [[nodiscard]] double h2d_ms() const { return h2d_ns_ * 1e-6; }
+  [[nodiscard]] double d2h_ms() const { return d2h_ns_ * 1e-6; }
+  [[nodiscard]] std::uint64_t h2d_bytes() const { return h2d_bytes_; }
+  [[nodiscard]] std::uint64_t d2h_bytes() const { return d2h_bytes_; }
+  void reset_clock();
+
+  /// Per-launch records since the last reset (for per-step tables).
+  [[nodiscard]] const std::vector<LaunchResult>& history() const {
+    return history_;
+  }
+
+ private:
+  friend struct AllocationAccess;
+  template <typename T>
+  friend class DeviceBuffer;
+
+  Allocation allocate_raw(std::size_t bytes);
+  void free_raw(const Allocation& a);
+
+  GpuSpec spec_;
+  SimOptions options_;
+  std::uint64_t next_addr_ = 512;  // leave address 0 unused
+  std::size_t allocated_bytes_ = 0;
+  double clock_ns_ = 0.0;
+  double h2d_ns_ = 0.0;
+  double d2h_ns_ = 0.0;
+  std::uint64_t h2d_bytes_ = 0;
+  std::uint64_t d2h_bytes_ = 0;
+  std::vector<LaunchResult> history_;
+};
+
+template <typename T>
+void DeviceBuffer<T>::release() {
+  if (dev_ != nullptr) {
+    dev_->free_raw(alloc_);
+    dev_ = nullptr;
+    host_.clear();
+  }
+}
+
+}  // namespace repro::sim

@@ -1,0 +1,152 @@
+#include "sim/kernel.h"
+
+#include <algorithm>
+
+namespace repro::sim {
+
+BlockCtx::BlockCtx(const LaunchConfig& cfg, LaunchStats& stats,
+                   const SimOptions& opt, unsigned block_index,
+                   bool recording, std::size_t warp_stream_base,
+                   std::size_t tex_cache_lines)
+    : cfg_(cfg),
+      stats_(stats),
+      opt_(opt),
+      block_(block_index),
+      recording_(recording),
+      warp_stream_base_(warp_stream_base),
+      shmem_(cfg.shmem_per_block) {
+  if (recording_) {
+    const std::size_t n = cfg.threads_per_block;
+    glog_.resize(n);
+    slog_.resize(n);
+    clog_.resize(n);
+    gcount_.assign(n, 0);
+    scount_.assign(n, 0);
+    ccount_.assign(n, 0);
+    tcount_.assign(n, 0);
+    tex_tags_.assign(tex_cache_lines, -1);
+  }
+}
+
+void BlockCtx::record_texture_impl(unsigned tid, std::uint64_t addr,
+                                   std::uint32_t bytes) {
+  // Direct-mapped per-SM texture cache with 32-byte lines; every missed
+  // line becomes a DRAM transaction on this thread's warp stream.
+  stats_.sampled_tex_elem_bytes += bytes;
+  if (tex_tags_.empty()) {
+    return;
+  }
+  const std::uint64_t first_line = addr / kMinTransactionBytes;
+  const std::uint64_t last_line =
+      (addr + bytes - 1) / kMinTransactionBytes;
+  const std::size_t warp =
+      warp_stream_base_ + tid / 32;
+  for (std::uint64_t line = first_line; line <= last_line; ++line) {
+    auto& tag = tex_tags_[line % tex_tags_.size()];
+    if (tag != static_cast<std::int64_t>(line)) {
+      tag = static_cast<std::int64_t>(line);
+      stats_.sampled_tex_miss_bytes += kMinTransactionBytes;
+      if (warp < stats_.warp_streams.size()) {
+        stats_.warp_streams[warp].push_back(
+            Transaction{line * kMinTransactionBytes, kMinTransactionBytes});
+      }
+    }
+  }
+}
+
+void BlockCtx::end_phase() {
+  if (!recording_) {
+    return;
+  }
+  const unsigned nthreads = cfg_.threads_per_block;
+  const unsigned n_halfwarps = (nthreads + 15) / 16;
+
+  // --- global memory: coalesce per half-warp instruction slot ---
+  std::vector<LaneAccess> lanes;
+  for (unsigned hw = 0; hw < n_halfwarps; ++hw) {
+    const unsigned t0 = hw * 16;
+    const unsigned t1 = std::min(t0 + 16, nthreads);
+    std::size_t max_slots = 0;
+    for (unsigned t = t0; t < t1; ++t) {
+      max_slots = std::max(max_slots, glog_[t].size());
+    }
+    const std::size_t warp = warp_stream_base_ + t0 / 32;
+    for (std::size_t s = 0; s < max_slots; ++s) {
+      lanes.clear();
+      for (unsigned t = t0; t < t1; ++t) {
+        if (s < glog_[t].size()) {
+          const GlobalAccess& a = glog_[t][s];
+          lanes.push_back(
+              LaneAccess{static_cast<int>(t - t0), a.addr, a.bytes});
+          stats_.sampled_elem_bytes += a.bytes;
+        }
+      }
+      CoalesceResult r = coalesce_half_warp(lanes);
+      if (r.coalesced) {
+        ++stats_.coalesced_slots;
+      } else {
+        ++stats_.uncoalesced_slots;
+      }
+      for (const Transaction& txn : r.transactions) {
+        stats_.sampled_txn_bytes += txn.bytes;
+        if (warp < stats_.warp_streams.size()) {
+          stats_.warp_streams[warp].push_back(txn);
+        }
+      }
+    }
+  }
+
+  // --- shared memory: bank-conflict degree per half-warp slot ---
+  std::vector<ShmemLaneAccess> sh_lanes;
+  for (unsigned hw = 0; hw < n_halfwarps; ++hw) {
+    const unsigned t0 = hw * 16;
+    const unsigned t1 = std::min(t0 + 16, nthreads);
+    std::size_t max_slots = 0;
+    for (unsigned t = t0; t < t1; ++t) {
+      max_slots = std::max(max_slots, slog_[t].size());
+    }
+    for (std::size_t s = 0; s < max_slots; ++s) {
+      sh_lanes.clear();
+      for (unsigned t = t0; t < t1; ++t) {
+        if (s < slog_[t].size()) {
+          sh_lanes.push_back(ShmemLaneAccess{static_cast<int>(t - t0),
+                                             slog_[t][s].word,
+                                             slog_[t][s].words});
+        }
+      }
+      const int degree = shmem_conflict_degree(sh_lanes);
+      ++stats_.shmem_slots;
+      stats_.shmem_thread_cycles +=
+          static_cast<std::uint64_t>(degree) * sh_lanes.size();
+    }
+  }
+
+  // --- constant memory: distinct addresses serialize within a slot ---
+  for (unsigned hw = 0; hw < n_halfwarps; ++hw) {
+    const unsigned t0 = hw * 16;
+    const unsigned t1 = std::min(t0 + 16, nthreads);
+    std::size_t max_slots = 0;
+    for (unsigned t = t0; t < t1; ++t) {
+      max_slots = std::max(max_slots, clog_[t].size());
+    }
+    std::vector<std::uint64_t> addrs;
+    for (std::size_t s = 0; s < max_slots; ++s) {
+      addrs.clear();
+      for (unsigned t = t0; t < t1; ++t) {
+        if (s < clog_[t].size()) {
+          addrs.push_back(clog_[t][s]);
+        }
+      }
+      const std::size_t lanes_in_slot = addrs.size();
+      std::sort(addrs.begin(), addrs.end());
+      addrs.erase(std::unique(addrs.begin(), addrs.end()), addrs.end());
+      stats_.const_thread_cycles += addrs.size() * lanes_in_slot;
+    }
+  }
+
+  for (auto& v : glog_) v.clear();
+  for (auto& v : slog_) v.clear();
+  for (auto& v : clog_) v.clear();
+}
+
+}  // namespace repro::sim

@@ -1,0 +1,80 @@
+#include "sim/occupancy.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace repro::sim {
+namespace {
+
+std::size_t round_up(std::size_t v, std::size_t granule) {
+  return (v + granule - 1) / granule * granule;
+}
+
+}  // namespace
+
+std::size_t allocated_registers(const GpuSpec& gpu,
+                                const BlockResources& req) {
+  // The register file is allocated per block in 256-register granules
+  // (CUDA occupancy calculator, CC 1.x). We charge per launched thread, so
+  // the paper's extreme case — a 256-point multirow kernel at ~1024
+  // registers/thread leaving only 8 resident threads — comes out exactly.
+  (void)gpu;
+  return round_up(static_cast<std::size_t>(req.threads_per_block) *
+                      static_cast<std::size_t>(req.regs_per_thread),
+                  256);
+}
+
+std::size_t allocated_shmem(const BlockResources& req) {
+  return round_up(req.shmem_per_block, 512);
+}
+
+Occupancy compute_occupancy(const GpuSpec& gpu, const BlockResources& req) {
+  REPRO_CHECK(req.threads_per_block > 0);
+  REPRO_CHECK(req.regs_per_thread > 0);
+  REPRO_CHECK_MSG(req.threads_per_block <= gpu.max_threads_per_sm,
+                  "block larger than an SM's thread capacity");
+
+  const std::size_t regs = allocated_registers(gpu, req);
+  const std::size_t shmem = allocated_shmem(req);
+  REPRO_CHECK_MSG(regs <= static_cast<std::size_t>(gpu.registers_per_sm),
+                  "block needs more registers than the SM has");
+  REPRO_CHECK_MSG(shmem <= gpu.shmem_per_sm,
+                  "block needs more shared memory than the SM has");
+
+  const int kUnlimited = 1 << 20;
+  struct Cap {
+    int blocks;
+    Occupancy::Limiter limiter;
+  };
+  const Cap caps[] = {
+      {gpu.max_blocks_per_sm, Occupancy::Limiter::Blocks},
+      {gpu.max_threads_per_sm / req.threads_per_block,
+       Occupancy::Limiter::Threads},
+      {static_cast<int>(static_cast<std::size_t>(gpu.registers_per_sm) /
+                        regs),
+       Occupancy::Limiter::Registers},
+      {shmem == 0 ? kUnlimited : static_cast<int>(gpu.shmem_per_sm / shmem),
+       Occupancy::Limiter::SharedMemory},
+  };
+
+  Occupancy out;
+  out.blocks_per_sm = kUnlimited;
+  for (const Cap& c : caps) {
+    if (c.blocks < out.blocks_per_sm) {
+      out.blocks_per_sm = c.blocks;
+      out.limiter = c.limiter;
+    }
+  }
+  REPRO_CHECK(out.blocks_per_sm >= 1);
+
+  out.active_threads = out.blocks_per_sm * req.threads_per_block;
+  const int warps_per_block =
+      (req.threads_per_block + gpu.warp_size - 1) / gpu.warp_size;
+  out.active_warps = out.blocks_per_sm * warps_per_block;
+  const int max_warps = gpu.max_threads_per_sm / gpu.warp_size;
+  out.occupancy = static_cast<double>(out.active_warps) / max_warps;
+  return out;
+}
+
+}  // namespace repro::sim

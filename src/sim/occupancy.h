@@ -1,0 +1,46 @@
+// CUDA 1.x occupancy calculation.
+//
+// "The number of active thread blocks on each SM is automatically determined
+// from the resources requested by a thread block such as registers, shared
+// memory, and number of threads" (Section 2). This module reproduces that
+// calculation for compute capability 1.0/1.1: it is what makes the paper's
+// 51-52-register 16-point kernels run 128 threads/SM while a 256-point
+// multirow kernel (~512 registers/thread) would drop to 8.
+#pragma once
+
+#include <cstddef>
+
+#include "sim/spec.h"
+
+namespace repro::sim {
+
+/// Resource request of one thread block.
+struct BlockResources {
+  int threads_per_block{64};
+  int regs_per_thread{16};
+  std::size_t shmem_per_block{0};
+};
+
+/// Resident-resource outcome on one SM.
+struct Occupancy {
+  int blocks_per_sm{};      ///< resident blocks
+  int active_threads{};     ///< resident threads on the SM
+  int active_warps{};       ///< resident warps on the SM
+  double occupancy{};       ///< active_warps / max warps
+
+  /// Which resource capped residency (for diagnostics/benches).
+  enum class Limiter { Blocks, Threads, Registers, SharedMemory } limiter{};
+};
+
+/// Compute residency for `req` on `gpu`. Throws if the block cannot run at
+/// all (e.g. more registers than the SM has).
+Occupancy compute_occupancy(const GpuSpec& gpu, const BlockResources& req);
+
+/// Registers actually allocated for a block: G80 allocates per block in
+/// 256-register granules over warp-padded thread counts.
+std::size_t allocated_registers(const GpuSpec& gpu, const BlockResources& req);
+
+/// Shared memory actually allocated: 512-byte granularity.
+std::size_t allocated_shmem(const BlockResources& req);
+
+}  // namespace repro::sim

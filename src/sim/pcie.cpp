@@ -1,0 +1,15 @@
+#include "sim/pcie.h"
+
+namespace repro::sim {
+
+double pcie_bandwidth_gbs(const PcieSpec& pcie, TransferDir dir) {
+  return dir == TransferDir::HostToDevice ? pcie.h2d_gbs : pcie.d2h_gbs;
+}
+
+double pcie_transfer_ns(const PcieSpec& pcie, TransferDir dir,
+                        std::uint64_t bytes) {
+  const double bw = pcie_bandwidth_gbs(pcie, dir);  // GB/s == bytes/ns
+  return pcie.latency_us * 1e3 + static_cast<double>(bytes) / bw;
+}
+
+}  // namespace repro::sim

@@ -1,0 +1,24 @@
+// PCI-Express transfer model (Table 10/12 substrate).
+//
+// Transfers are modelled as latency + size/effective-bandwidth, with
+// per-direction sustained rates from the card spec (the paper's GT/GTS ride
+// PCIe 2.0 x16 at ~5.2 GB/s, the older GTX only PCIe 1.1 at ~2.8-3.4 GB/s,
+// which is why the fastest on-board card is the slowest end-to-end).
+#pragma once
+
+#include <cstdint>
+
+#include "sim/spec.h"
+
+namespace repro::sim {
+
+enum class TransferDir { HostToDevice, DeviceToHost };
+
+/// Simulated time in nanoseconds to move `bytes` across the link.
+double pcie_transfer_ns(const PcieSpec& pcie, TransferDir dir,
+                        std::uint64_t bytes);
+
+/// Sustained bandwidth (GB/s) for the direction.
+double pcie_bandwidth_gbs(const PcieSpec& pcie, TransferDir dir);
+
+}  // namespace repro::sim

@@ -1,0 +1,17 @@
+#include "sim/power.h"
+
+namespace repro::sim {
+
+PowerReport make_power_report(const PowerSpec& spec, double gflops) {
+  PowerReport r;
+  r.config = spec.config;
+  r.idle_watts = spec.idle_watts;
+  r.load_watts = spec.fft_load_watts;
+  r.gflops = gflops;
+  r.gflops_per_watt = spec.fft_load_watts > 0.0
+                          ? gflops / spec.fft_load_watts
+                          : 0.0;
+  return r;
+}
+
+}  // namespace repro::sim

@@ -1,0 +1,29 @@
+// Whole-system power model (Table 13).
+//
+// The paper measured wall power of the whole box at idle and while looping
+// the 256^3 FFT, for the CPU configuration (with an old RIVA128 installed
+// to minimize GPU draw) and for each 8800-series card. We model exactly
+// those two operating points per configuration and derive GFLOPS/Watt from
+// the simulated FFT throughput.
+#pragma once
+
+#include <string>
+
+#include "sim/spec.h"
+
+namespace repro::sim {
+
+/// Power summary of one configuration running the 256^3 FFT benchmark.
+struct PowerReport {
+  std::string config;
+  double idle_watts{};
+  double load_watts{};
+  double gflops{};
+  double gflops_per_watt{};
+};
+
+/// Build the report from a configuration's power spec and the measured
+/// (simulated) GFLOPS of its 3-D FFT.
+PowerReport make_power_report(const PowerSpec& spec, double gflops);
+
+}  // namespace repro::sim

@@ -1,0 +1,28 @@
+#include "sim/shmem.h"
+
+#include <algorithm>
+#include <array>
+
+namespace repro::sim {
+
+int shmem_conflict_degree(std::span<const ShmemLaneAccess> accesses) {
+  // Distinct words per bank; identical words broadcast.
+  std::array<std::vector<std::uint64_t>, kShmemBanks> words_per_bank;
+  for (const auto& a : accesses) {
+    for (std::uint32_t w = 0; w < a.words; ++w) {
+      const std::uint64_t word = a.word + w;
+      auto& v = words_per_bank[static_cast<std::size_t>(
+          shmem_bank_of_word(word))];
+      if (std::find(v.begin(), v.end(), word) == v.end()) {
+        v.push_back(word);
+      }
+    }
+  }
+  std::size_t degree = 1;
+  for (const auto& v : words_per_bank) {
+    degree = std::max(degree, v.size());
+  }
+  return static_cast<int>(degree);
+}
+
+}  // namespace repro::sim

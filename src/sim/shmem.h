@@ -1,0 +1,39 @@
+// On-chip shared memory with bank-conflict accounting.
+//
+// Each SM's 16 KB shared memory has 16 banks of 4-byte words; a half-warp
+// access completes in one step unless two lanes hit different words of the
+// same bank, in which case the access serializes by the conflict degree
+// (broadcast of one identical word is conflict-free). The paper's step-5
+// kernel pads its exchange buffers and splits real/imaginary parts to stay
+// conflict-free; the simulator counts conflict cycles so that tests can
+// verify the padding actually works.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace repro::sim {
+
+inline constexpr int kShmemBanks = 16;
+inline constexpr std::uint32_t kShmemWordBytes = 4;
+
+/// Banks touched by a 4-byte word address (element offset in words).
+constexpr int shmem_bank_of_word(std::uint64_t word_index) {
+  return static_cast<int>(word_index % kShmemBanks);
+}
+
+/// One lane's shared-memory access within a half-warp slot, in words.
+struct ShmemLaneAccess {
+  int lane{};
+  std::uint64_t word{};   ///< word index (byte address / 4)
+  std::uint32_t words{};  ///< access width in words (1 for float)
+};
+
+/// Serialization degree of one half-warp shared access: the maximum number
+/// of distinct words mapped to any single bank (>= 1). Lanes reading the
+/// exact same word broadcast and count once.
+int shmem_conflict_degree(std::span<const ShmemLaneAccess> accesses);
+
+}  // namespace repro::sim

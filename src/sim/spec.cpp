@@ -1,0 +1,148 @@
+#include "sim/spec.h"
+
+namespace repro::sim {
+namespace {
+
+/// Common G80/G92 architectural constants (compute capability 1.0/1.1).
+GpuSpec base_g8x() {
+  GpuSpec g;
+  g.registers_per_sm = 8192;
+  g.shmem_per_sm = 16 * 1024;
+  g.max_threads_per_sm = 768;
+  g.max_blocks_per_sm = 8;
+  g.warp_size = 32;
+  g.threads_to_saturate_mem = 128;
+  g.launch_overhead_us = 10.0;
+  g.compute_efficiency = 0.9;
+  return g;
+}
+
+DramSpec dram_for_bus(int bus_width_bits) {
+  DramSpec d;
+  d.channels = bus_width_bits / 64;
+  d.banks_per_channel = 8;
+  d.row_bytes = 2048;
+  d.interleave = 256;
+  d.row_miss_ns = 28.0;
+  d.row_cycle_ns = 14.0;
+  d.lookahead_ns = 32.0;
+  d.activate_channel_ns = 1.0;
+  d.spread_threshold_bytes = 1 << 20;
+  d.spread_penalty_ns = 8.0;
+  d.spread_log_range = 7.0;
+  d.peak_efficiency = 0.88;
+  return d;
+}
+
+}  // namespace
+
+GpuSpec geforce_8800_gt() {
+  GpuSpec g = base_g8x();
+  g.name = "8800 GT";
+  g.core = "G92";
+  g.num_sms = 14;
+  g.sps_per_sm = 8;
+  g.sp_clock_ghz = 1.500;
+  g.device_memory_bytes = 512ull << 20;
+  g.mem_clock_mhz = 1800.0;
+  g.bus_width_bits = 256;
+  g.dram = dram_for_bus(g.bus_width_bits);
+  g.pcie = PcieSpec{PcieGen::Gen2_0, 5.18, 5.14, 20.0};
+  return g;
+}
+
+GpuSpec geforce_8800_gts() {
+  GpuSpec g = base_g8x();
+  g.name = "8800 GTS";
+  g.core = "G92";
+  g.num_sms = 16;
+  g.sps_per_sm = 8;
+  g.sp_clock_ghz = 1.625;
+  g.device_memory_bytes = 512ull << 20;
+  g.mem_clock_mhz = 1940.0;
+  g.bus_width_bits = 256;
+  g.dram = dram_for_bus(g.bus_width_bits);
+  g.pcie = PcieSpec{PcieGen::Gen2_0, 5.21, 4.91, 20.0};
+  return g;
+}
+
+GpuSpec geforce_8800_gtx() {
+  GpuSpec g = base_g8x();
+  g.name = "8800 GTX";
+  g.core = "G80";
+  g.num_sms = 16;
+  g.sps_per_sm = 8;
+  g.sp_clock_ghz = 1.350;
+  g.device_memory_bytes = 768ull << 20;
+  g.mem_clock_mhz = 1800.0;
+  g.bus_width_bits = 384;
+  g.dram = dram_for_bus(g.bus_width_bits);
+  g.pcie = PcieSpec{PcieGen::Gen1_1, 2.82, 3.35, 20.0};
+  return g;
+}
+
+GpuSpec geforce_gtx_280() {
+  GpuSpec g = base_g8x();
+  g.name = "GTX 280";
+  g.core = "GT200";
+  g.num_sms = 30;
+  g.sps_per_sm = 8;
+  g.sp_clock_ghz = 1.296;
+  g.registers_per_sm = 16384;
+  g.max_threads_per_sm = 1024;
+  g.device_memory_bytes = 1024ull << 20;
+  g.mem_clock_mhz = 2214.0;
+  g.bus_width_bits = 512;
+  g.dram = dram_for_bus(g.bus_width_bits);
+  g.pcie = PcieSpec{PcieGen::Gen2_0, 5.4, 5.2, 20.0};
+  g.fp64_ratio = 1.0 / 8.0;  // one DP unit per SM
+  return g;
+}
+
+const std::vector<GpuSpec>& all_gpus() {
+  static const std::vector<GpuSpec> gpus = {
+      geforce_8800_gt(), geforce_8800_gts(), geforce_8800_gtx()};
+  return gpus;
+}
+
+CpuSpec amd_phenom_9500() {
+  CpuSpec c;
+  c.name = "AMD Phenom 9500";
+  c.clock_ghz = 2.2;
+  c.cores = 4;
+  c.sp_flops_per_cycle_per_core = 8;  // 70.4 GFLOPS peak, as in Section 2
+  c.stream_bw_gbs = 9.5;              // "less than 10 GB/s under STREAM"
+  c.axis_eff_x = 0.80;
+  c.axis_eff_y = 0.40;
+  c.axis_eff_z = 0.30;
+  c.large_size_penalty = 1.20;
+  return c;
+}
+
+CpuSpec intel_core2_q6700() {
+  CpuSpec c;
+  c.name = "Intel Core 2 Quad Q6700";
+  c.clock_ghz = 2.66;
+  c.cores = 4;
+  c.sp_flops_per_cycle_per_core = 8;  // 85.1 GFLOPS peak
+  c.stream_bw_gbs = 9.8;
+  c.axis_eff_x = 0.80;
+  c.axis_eff_y = 0.40;
+  c.axis_eff_z = 0.30;
+  c.large_size_penalty = 1.20;
+  return c;
+}
+
+PowerSpec power_cpu_riva128() {
+  // Table 13 row 1: old low-power GPU installed, FFT runs on the CPU.
+  return PowerSpec{"RIVA128 (CPU compute)", 126.0, 140.0};
+}
+
+PowerSpec power_for_gpu(const GpuSpec& gpu) {
+  // Table 13 rows 2-4: whole-system idle and FFT-load watts.
+  if (gpu.name == "8800 GT") return PowerSpec{gpu.name, 180.0, 215.0};
+  if (gpu.name == "8800 GTS") return PowerSpec{gpu.name, 196.0, 238.0};
+  return PowerSpec{gpu.name, 224.0, 290.0};
+}
+
+}  // namespace repro::sim

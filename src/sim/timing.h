@@ -1,0 +1,45 @@
+// Per-launch timing model.
+//
+// Combines the observed launch statistics with the GPU spec:
+//   t_launch = overhead + max(t_mem, t_compute)
+// where t_mem replays the sampled per-warp transaction streams through the
+// DRAM model (in resident-window batches) to get effective bandwidth, then
+// scales to the launch's exact (amplification-corrected) byte total; and
+// t_compute charges FP cycles (MAD-aware), shared/constant serialization
+// cycles and declared addressing overhead across the card's SPs.
+// Occupancy throttles both sides: too few resident threads cannot keep the
+// memory system saturated (the paper's 128-threads-per-SM rule), and idle
+// SMs cannot contribute compute.
+#pragma once
+
+#include <string>
+
+#include "sim/dram.h"
+#include "sim/kernel.h"
+#include "sim/occupancy.h"
+#include "sim/spec.h"
+
+namespace repro::sim {
+
+/// Outcome of one kernel launch (simulated time plus diagnostics).
+struct LaunchResult {
+  std::string name;
+  double total_ms{};
+  double mem_ms{};
+  double compute_ms{};
+  std::uint64_t dram_bytes{};     ///< amplification-corrected DRAM traffic
+  double achieved_gbs{};          ///< dram_bytes / total kernel time
+  double effective_gbs{};         ///< dram_bytes / mem time (memory phase)
+  double coalesced_fraction{};
+  Occupancy occupancy{};
+  double gflops{};                ///< declared flops / total time
+
+  /// Whether the launch was memory-bound (t_mem >= t_compute).
+  [[nodiscard]] bool memory_bound() const { return mem_ms >= compute_ms; }
+};
+
+/// Estimate the time of a launch from its stats.
+LaunchResult estimate_launch(const GpuSpec& gpu, const LaunchConfig& cfg,
+                             const LaunchStats& stats);
+
+}  // namespace repro::sim

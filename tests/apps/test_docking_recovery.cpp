@@ -1,0 +1,70 @@
+// End-to-end docking recovery: when the ligand is a carved, rotated piece
+// of the receptor, the rotation sweep must prefer the matching rotation.
+#include <gtest/gtest.h>
+
+#include "apps/zdock/docking.h"
+
+namespace repro::apps::zdock {
+namespace {
+
+TEST(DockingRecovery, CorrectRotationScoresBest) {
+  // Score by pure overlap (every occupied receptor voxel +1, no core
+  // penalty): the carved fragment's maximum overlap is its own footprint,
+  // achieved exactly when the sweep undoes the applied rotation.
+  const Shape3 shape = cube(32);
+  GridParams overlap_params;
+  overlap_params.surface_weight = 1.0;
+  overlap_params.core_penalty = 1.0;   // core counts like surface
+  const auto receptor = make_chain_molecule(28, 8.0, 404, 2.0);
+
+  // Ligand = a fragment of the receptor, rotated by a known rotation.
+  Molecule fragment;
+  for (std::size_t i = 8; i < 16; ++i) {
+    fragment.atoms.push_back(receptor.atoms[i]);
+  }
+  const Rotation applied = axis_rotation(1, 1.1);
+  const Molecule ligand = rotate(fragment, applied);
+
+  // Candidate set: the inverse of the applied rotation (which restores the
+  // fragment's receptor-frame orientation) plus decoys.
+  const Rotation inverse = axis_rotation(1, -1.1);
+  const std::vector<Rotation> candidates = {
+      axis_rotation(0, 0.9),  // decoy
+      inverse,                // the right answer
+      axis_rotation(2, 2.0),  // decoy
+      identity_rotation(),    // decoy (still rotated by `applied`)
+  };
+
+  sim::Device dev(sim::geforce_8800_gts());
+  DockingEngine engine(dev, shape, overlap_params);
+  engine.set_receptor(receptor);
+  const auto result = engine.dock(ligand, candidates);
+
+  EXPECT_EQ(result.best.rotation_index, 1u)
+      << "expected the inverse rotation to win; scores: "
+      << result.per_rotation[0].score << ", " << result.per_rotation[1].score
+      << ", " << result.per_rotation[2].score << ", "
+      << result.per_rotation[3].score;
+}
+
+TEST(DockingRecovery, ScoresAreRotationSensitive) {
+  // Sanity: a docking score landscape should not be flat across rotations.
+  const Shape3 shape = cube(32);
+  const auto receptor = make_chain_molecule(30, 8.0, 7, 2.0);
+  const auto ligand = make_chain_molecule(10, 4.0, 8, 2.0);
+
+  sim::Device dev(sim::geforce_8800_gt());
+  DockingEngine engine(dev, shape);
+  engine.set_receptor(receptor);
+  const auto result = engine.dock(ligand, rotation_sweep(6));
+  double lo = result.per_rotation[0].score;
+  double hi = lo;
+  for (const auto& p : result.per_rotation) {
+    lo = std::min(lo, p.score);
+    hi = std::max(hi, p.score);
+  }
+  EXPECT_GT(hi - lo, 1.0);
+}
+
+}  // namespace
+}  // namespace repro::apps::zdock

@@ -1,0 +1,62 @@
+#include "common/complex.h"
+
+#include <gtest/gtest.h>
+
+#include <numbers>
+
+namespace repro {
+namespace {
+
+TEST(Complex, ArithmeticBasics) {
+  const cxd a{1.0, 2.0};
+  const cxd b{3.0, -4.0};
+  EXPECT_EQ(a + b, (cxd{4.0, -2.0}));
+  EXPECT_EQ(a - b, (cxd{-2.0, 6.0}));
+  // (1+2i)(3-4i) = 3 - 4i + 6i + 8 = 11 + 2i
+  EXPECT_EQ(a * b, (cxd{11.0, 2.0}));
+  EXPECT_EQ(2.0 * a, (cxd{2.0, 4.0}));
+  EXPECT_EQ(a / 2.0, (cxd{0.5, 1.0}));
+}
+
+TEST(Complex, CompoundAssignment) {
+  cxd z{1.0, 1.0};
+  z += cxd{1.0, -1.0};
+  EXPECT_EQ(z, (cxd{2.0, 0.0}));
+  z -= cxd{1.0, 0.0};
+  EXPECT_EQ(z, (cxd{1.0, 0.0}));
+  z *= cxd{0.0, 1.0};
+  EXPECT_EQ(z, (cxd{0.0, 1.0}));
+}
+
+TEST(Complex, RotationsAreExact) {
+  const cxd z{3.0, 5.0};
+  EXPECT_EQ(z.mul_i(), (cxd{-5.0, 3.0}));
+  EXPECT_EQ(z.mul_neg_i(), (cxd{5.0, -3.0}));
+  EXPECT_EQ(z.mul_i().mul_neg_i(), z);
+  EXPECT_EQ(z.conj(), (cxd{3.0, -5.0}));
+}
+
+TEST(Complex, NormAndAbs) {
+  const cxd z{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(z.norm2(), 25.0);
+  EXPECT_DOUBLE_EQ(z.abs(), 5.0);
+}
+
+TEST(Complex, PolarUnit) {
+  const auto z = polar_unit<double>(std::numbers::pi / 2.0);
+  EXPECT_NEAR(z.re, 0.0, 1e-15);
+  EXPECT_NEAR(z.im, 1.0, 1e-15);
+  const auto w = polar_unit<float>(std::numbers::pi);
+  EXPECT_NEAR(w.re, -1.0f, 1e-6);
+  EXPECT_NEAR(w.im, 0.0f, 1e-6);
+}
+
+TEST(Complex, MulIMatchesMultiplicationByI) {
+  const cxd i{0.0, 1.0};
+  const cxd z{-2.5, 7.25};
+  EXPECT_EQ(z.mul_i(), z * i);
+  EXPECT_EQ(z.mul_neg_i(), z * i.conj());
+}
+
+}  // namespace
+}  // namespace repro

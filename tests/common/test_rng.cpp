@@ -1,0 +1,61 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+namespace repro {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  SplitMix64 a(42);
+  SplitMix64 b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next(), b.next());
+  }
+}
+
+TEST(Rng, SeedsDiffer) {
+  SplitMix64 a(1);
+  SplitMix64 b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() == b.next()) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(Rng, UniformInRange) {
+  SplitMix64 rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    const double v = rng.uniform(-3.0, 5.0);
+    EXPECT_GE(v, -3.0);
+    EXPECT_LT(v, 5.0);
+  }
+}
+
+TEST(Rng, UniformMeanIsCentered) {
+  SplitMix64 rng(99);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(Rng, FillRandomReproducible) {
+  auto a = random_complex<float>(64, 123);
+  auto b = random_complex<float>(64, 123);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i], b[i]);
+  }
+  // Values are in [-1, 1).
+  for (const auto& z : a) {
+    EXPECT_GE(z.re, -1.0f);
+    EXPECT_LT(z.re, 1.0f);
+  }
+}
+
+}  // namespace
+}  // namespace repro

@@ -1,0 +1,47 @@
+#include "common/table.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace repro {
+namespace {
+
+TEST(TextTable, AlignsColumns) {
+  TextTable t;
+  t.header({"Model", "GFLOPS"});
+  t.row({"8800 GT", "62.2"});
+  t.row({"8800 GTX", "84.4"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("Model"), std::string::npos);
+  EXPECT_NE(s.find("8800 GTX"), std::string::npos);
+  // Every data line starts at the same column for field 2.
+  const auto p1 = s.find("62.2");
+  const auto p2 = s.find("84.4");
+  ASSERT_NE(p1, std::string::npos);
+  ASSERT_NE(p2, std::string::npos);
+  const auto col = [&s](std::size_t pos) {
+    const auto nl = s.rfind('\n', pos);
+    return pos - (nl == std::string::npos ? 0 : nl + 1);
+  };
+  EXPECT_EQ(col(p1), col(p2));
+}
+
+TEST(TextTable, FormatsFixedPrecision) {
+  EXPECT_EQ(TextTable::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::fmt(84.4), "84.4");
+  EXPECT_EQ(TextTable::fmt(1.0, 0), "1");
+}
+
+TEST(TextTable, EmptyTablePrintsNothingButHeader) {
+  TextTable t;
+  t.header({"a"});
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_NE(os.str().find('a'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace repro

@@ -1,0 +1,69 @@
+#include "common/tensor.h"
+
+#include <gtest/gtest.h>
+
+namespace repro {
+namespace {
+
+TEST(Shape3, VolumeAndIndexing) {
+  const Shape3 s{4, 8, 16};
+  EXPECT_EQ(s.volume(), 4u * 8u * 16u);
+  EXPECT_EQ(s.at(0, 0, 0), 0u);
+  EXPECT_EQ(s.at(1, 0, 0), 1u);          // x fastest
+  EXPECT_EQ(s.at(0, 1, 0), 4u);          // then y
+  EXPECT_EQ(s.at(0, 0, 1), 32u);         // then z
+  EXPECT_EQ(s.at(3, 7, 15), s.volume() - 1);
+}
+
+TEST(Shape3, IndexIsBijective) {
+  const Shape3 s{2, 3, 4};
+  std::vector<int> seen(s.volume(), 0);
+  for (std::size_t z = 0; z < s.nz; ++z) {
+    for (std::size_t y = 0; y < s.ny; ++y) {
+      for (std::size_t x = 0; x < s.nx; ++x) {
+        seen[s.at(x, y, z)]++;
+      }
+    }
+  }
+  for (int c : seen) EXPECT_EQ(c, 1);
+}
+
+TEST(Shape5, MatchesPaperLayout) {
+  // V(256,16,16,16,16): first index fastest, as in the paper's pseudo code.
+  const Shape5 v{{256, 16, 16, 16, 16}};
+  EXPECT_EQ(v.volume(), 256u * 16 * 16 * 16 * 16);
+  EXPECT_EQ(v.at(1, 0, 0, 0, 0), 1u);
+  EXPECT_EQ(v.at(0, 1, 0, 0, 0), 256u);
+  EXPECT_EQ(v.at(0, 0, 1, 0, 0), 256u * 16);
+  EXPECT_EQ(v.at(0, 0, 0, 1, 0), 256u * 16 * 16);
+  EXPECT_EQ(v.at(0, 0, 0, 0, 1), 256u * 16 * 16 * 16);
+  EXPECT_EQ(v.stride(0), 1u);
+  EXPECT_EQ(v.stride(4), 256u * 16 * 16 * 16);
+}
+
+TEST(Shape5, Equals3DIndexWhenSplit) {
+  // Splitting y = y1 + 16*y2, z = z1 + 16*z2 must address the same element.
+  const Shape3 s3{256, 256, 256};
+  const Shape5 s5{{256, 16, 16, 16, 16}};
+  for (std::size_t z = 0; z < 256; z += 37) {
+    for (std::size_t y = 0; y < 256; y += 41) {
+      for (std::size_t x = 0; x < 256; x += 59) {
+        EXPECT_EQ(s3.at(x, y, z),
+                  s5.at(x, y % 16, y / 16, z % 16, z / 16));
+      }
+    }
+  }
+}
+
+TEST(Pow2Helpers, Basics) {
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(256));
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_FALSE(is_pow2(24));
+  EXPECT_EQ(log2_exact(1), 0u);
+  EXPECT_EQ(log2_exact(256), 8u);
+  EXPECT_EQ(log2_exact(1u << 20), 20u);
+}
+
+}  // namespace
+}  // namespace repro

@@ -1,0 +1,204 @@
+// Property-based checks of mathematical FFT invariants, parameterized over
+// transform size. These guard the plan layer against subtle twiddle/ordering
+// bugs that pointwise reference comparisons at a few sizes might miss.
+#include <gtest/gtest.h>
+
+#include <numbers>
+
+#include "common/metrics.h"
+#include "common/rng.h"
+#include "fft/plan.h"
+
+namespace repro::fft {
+namespace {
+
+class FftProperty : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FftProperty, Linearity) {
+  const std::size_t n = GetParam();
+  auto a = random_complex<double>(n, n + 1);
+  auto b = random_complex<double>(n, n + 2);
+  const cx<double> alpha{1.25, -0.5};
+  std::vector<cx<double>> combo(n);
+  for (std::size_t i = 0; i < n; ++i) combo[i] = a[i] + alpha * b[i];
+
+  Plan1D<double> plan(n, Direction::Forward);
+  plan.execute(a);
+  plan.execute(b);
+  plan.execute(combo);
+  std::vector<cx<double>> expect(n);
+  for (std::size_t i = 0; i < n; ++i) expect[i] = a[i] + alpha * b[i];
+  EXPECT_LT(rel_l2_error<double>(combo, expect), fft_error_bound<double>(n));
+}
+
+TEST_P(FftProperty, ParsevalEnergyConservation) {
+  const std::size_t n = GetParam();
+  auto x = random_complex<double>(n, n + 3);
+  double e_time = 0.0;
+  for (const auto& z : x) e_time += z.norm2();
+
+  Plan1D<double> plan(n, Direction::Forward);
+  plan.execute(x);
+  double e_freq = 0.0;
+  for (const auto& z : x) e_freq += z.norm2();
+
+  // ||X||^2 = N * ||x||^2 for the unscaled transform.
+  EXPECT_NEAR(e_freq / (static_cast<double>(n) * e_time), 1.0, 1e-12);
+}
+
+TEST_P(FftProperty, RoundTripIdentity) {
+  const std::size_t n = GetParam();
+  const auto orig = random_complex<double>(n, n + 4);
+  auto x = orig;
+  Plan1D<double> fwd(n, Direction::Forward);
+  Plan1D<double> inv(n, Direction::Inverse, Scaling::ByN);
+  fwd.execute(x);
+  inv.execute(x);
+  EXPECT_LT(rel_l2_error<double>(x, orig), fft_error_bound<double>(n));
+}
+
+TEST_P(FftProperty, DeltaTransformsToConstant) {
+  const std::size_t n = GetParam();
+  std::vector<cx<double>> x(n);
+  x[0] = {1.0, 0.0};
+  Plan1D<double> plan(n, Direction::Forward);
+  plan.execute(x);
+  for (const auto& z : x) {
+    EXPECT_NEAR(z.re, 1.0, 1e-12);
+    EXPECT_NEAR(z.im, 0.0, 1e-12);
+  }
+}
+
+TEST_P(FftProperty, ConstantTransformsToDelta) {
+  const std::size_t n = GetParam();
+  std::vector<cx<double>> x(n, cx<double>{1.0, 0.0});
+  Plan1D<double> plan(n, Direction::Forward);
+  plan.execute(x);
+  EXPECT_NEAR(x[0].re, static_cast<double>(n), 1e-9);
+  for (std::size_t k = 1; k < n; ++k) {
+    EXPECT_NEAR(x[k].abs(), 0.0, 1e-9) << "k=" << k;
+  }
+}
+
+TEST_P(FftProperty, ShiftTheorem) {
+  // x[(i+s) mod n] <-> X[k] * exp(+2*pi*i*s*k/n) for the forward transform.
+  const std::size_t n = GetParam();
+  if (n < 4) GTEST_SKIP();
+  const std::size_t s = n / 4 + 1;
+  const auto x = random_complex<double>(n, n + 5);
+  std::vector<cx<double>> shifted(n);
+  for (std::size_t i = 0; i < n; ++i) shifted[i] = x[(i + s) % n];
+
+  auto fx = x;
+  auto fs = shifted;
+  Plan1D<double> plan(n, Direction::Forward);
+  plan.execute(fx);
+  plan.execute(fs);
+  for (std::size_t k = 0; k < n; ++k) {
+    const double theta = 2.0 * std::numbers::pi *
+                         static_cast<double>(s * k % n) /
+                         static_cast<double>(n);
+    const auto phase = polar_unit<double>(theta);
+    const auto expect = fx[k] * phase;
+    EXPECT_NEAR(fs[k].re, expect.re, 1e-8 * (1.0 + expect.abs()));
+    EXPECT_NEAR(fs[k].im, expect.im, 1e-8 * (1.0 + expect.abs()));
+  }
+}
+
+TEST_P(FftProperty, ConvolutionTheorem) {
+  // circular_conv(a, b) == IFFT(FFT(a) .* FFT(b)).
+  const std::size_t n = GetParam();
+  const auto a = random_complex<double>(n, n + 6);
+  const auto b = random_complex<double>(n, n + 7);
+
+  // Direct O(n^2) circular convolution.
+  std::vector<cx<double>> direct(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    cx<double> acc{0, 0};
+    for (std::size_t j = 0; j < n; ++j) {
+      acc += a[j] * b[(k + n - j) % n];
+    }
+    direct[k] = acc;
+  }
+
+  auto fa = a;
+  auto fb = b;
+  Plan1D<double> fwd(n, Direction::Forward);
+  Plan1D<double> inv(n, Direction::Inverse, Scaling::ByN);
+  fwd.execute(fa);
+  fwd.execute(fb);
+  std::vector<cx<double>> prod(n);
+  for (std::size_t k = 0; k < n; ++k) prod[k] = fa[k] * fb[k];
+  inv.execute(prod);
+  EXPECT_LT(rel_l2_error<double>(prod, direct),
+            fft_error_bound<double>(n, 64.0));
+}
+
+TEST_P(FftProperty, ConjugateSymmetryOfRealInput) {
+  // Real input => X[n-k] == conj(X[k]).
+  const std::size_t n = GetParam();
+  SplitMix64 rng(n + 8);
+  std::vector<cx<double>> x(n);
+  for (auto& z : x) z = {rng.uniform(-1, 1), 0.0};
+  Plan1D<double> plan(n, Direction::Forward);
+  plan.execute(x);
+  for (std::size_t k = 1; k < n; ++k) {
+    EXPECT_NEAR(x[n - k].re, x[k].re, 1e-9);
+    EXPECT_NEAR(x[n - k].im, -x[k].im, 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Pow2Sizes, FftProperty,
+                         ::testing::Values(2, 4, 8, 16, 32, 64, 128, 256,
+                                           512));
+
+class Fft3DProperty : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(Fft3DProperty, SeparabilityAgainstAxisByAxis1D) {
+  // The 3-D plan must equal three passes of batched 1-D transforms.
+  const std::size_t n = GetParam();
+  const Shape3 shape = cube(n);
+  auto data = random_complex<double>(shape.volume(), n * 13);
+  auto expect = data;
+
+  // Reference via Plan1D on gathered pencils, axis by axis.
+  Plan1D<double> p(n, Direction::Forward);
+  std::vector<cx<double>> pencil(n);
+  auto axis_pass = [&](auto coord_of) {
+    for (std::size_t u = 0; u < n; ++u) {
+      for (std::size_t v = 0; v < n; ++v) {
+        for (std::size_t w = 0; w < n; ++w) pencil[w] = expect[coord_of(u, v, w)];
+        p.execute(pencil);
+        for (std::size_t w = 0; w < n; ++w) expect[coord_of(u, v, w)] = pencil[w];
+      }
+    }
+  };
+  axis_pass([&](auto u, auto v, auto w) { return shape.at(w, u, v); });  // X
+  axis_pass([&](auto u, auto v, auto w) { return shape.at(u, w, v); });  // Y
+  axis_pass([&](auto u, auto v, auto w) { return shape.at(u, v, w); });  // Z
+
+  Plan3D<double> plan(shape, Direction::Forward);
+  plan.execute(data);
+  EXPECT_LT(rel_l2_error<double>(data, expect),
+            fft_error_bound<double>(shape.volume()));
+}
+
+TEST_P(Fft3DProperty, ParsevalIn3D) {
+  const std::size_t n = GetParam();
+  const Shape3 shape = cube(n);
+  auto x = random_complex<double>(shape.volume(), n * 17);
+  double e_time = 0.0;
+  for (const auto& z : x) e_time += z.norm2();
+  Plan3D<double> plan(shape, Direction::Forward);
+  plan.execute(x);
+  double e_freq = 0.0;
+  for (const auto& z : x) e_freq += z.norm2();
+  EXPECT_NEAR(e_freq / (static_cast<double>(shape.volume()) * e_time), 1.0,
+              1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(SmallCubes, Fft3DProperty,
+                         ::testing::Values(4, 8, 16, 32));
+
+}  // namespace
+}  // namespace repro::fft

@@ -1,0 +1,110 @@
+#include "fft/plan.h"
+
+#include <gtest/gtest.h>
+
+#include "common/metrics.h"
+#include "common/rng.h"
+#include "fft/dft_ref.h"
+
+namespace repro::fft {
+namespace {
+
+TEST(Plan1D, MatchesReference) {
+  for (std::size_t n : {8u, 64u, 256u, 1024u}) {
+    auto data = random_complex<double>(n, n);
+    const auto ref =
+        dft_1d<double>(std::span<const cx<double>>(data), Direction::Forward);
+    Plan1D<double> plan(n, Direction::Forward);
+    plan.execute(data);
+    EXPECT_LT(rel_l2_error<double>(data, ref), fft_error_bound<double>(n));
+  }
+}
+
+TEST(Plan1D, RoundTripWithScaling) {
+  const std::size_t n = 512;
+  const auto orig = random_complex<float>(n, 404);
+  auto data = orig;
+  Plan1D<float> fwd(n, Direction::Forward);
+  Plan1D<float> inv(n, Direction::Inverse, Scaling::ByN);
+  fwd.execute(data);
+  inv.execute(data);
+  EXPECT_LT(rel_l2_error<float>(data, orig), fft_error_bound<float>(n));
+}
+
+TEST(Plan1D, BatchedExecution) {
+  const std::size_t n = 64;
+  const std::size_t batch = 16;
+  auto data = random_complex<double>(n * batch, 8);
+  auto expect = data;
+  for (std::size_t b = 0; b < batch; ++b) {
+    auto t = dft_1d<double>(
+        std::span<const cx<double>>(expect).subspan(b * n, n),
+        Direction::Forward);
+    std::copy(t.begin(), t.end(), expect.begin() + b * n);
+  }
+  Plan1D<double> plan(n, Direction::Forward);
+  plan.execute(data, batch);
+  EXPECT_LT(rel_l2_error<double>(data, expect), fft_error_bound<double>(n));
+}
+
+TEST(Plan1D, RejectsNonPow2) {
+  EXPECT_THROW(Plan1D<float>(24, Direction::Forward), Error);
+}
+
+TEST(Plan1D, RejectsWrongSpanSize) {
+  Plan1D<float> plan(16, Direction::Forward);
+  std::vector<cx<float>> data(17);
+  EXPECT_THROW(plan.execute(data), Error);
+}
+
+TEST(Plan3D, MatchesReferenceSmallCubes) {
+  for (std::size_t n : {4u, 8u, 16u}) {
+    const Shape3 shape = cube(n);
+    auto data = random_complex<double>(shape.volume(), n * 31);
+    const auto ref = dft_3d<double>(std::span<const cx<double>>(data), shape,
+                                    Direction::Forward);
+    Plan3D<double> plan(shape, Direction::Forward);
+    plan.execute(data);
+    EXPECT_LT(rel_l2_error<double>(data, ref),
+              fft_error_bound<double>(shape.volume()));
+  }
+}
+
+TEST(Plan3D, NonCubicVolume) {
+  const Shape3 shape{16, 4, 8};
+  auto data = random_complex<double>(shape.volume(), 12345);
+  const auto ref = dft_3d<double>(std::span<const cx<double>>(data), shape,
+                                  Direction::Forward);
+  Plan3D<double> plan(shape, Direction::Forward);
+  plan.execute(data);
+  EXPECT_LT(rel_l2_error<double>(data, ref),
+            fft_error_bound<double>(shape.volume()));
+}
+
+TEST(Plan3D, RoundTrip) {
+  const Shape3 shape = cube(32);
+  const auto orig = random_complex<float>(shape.volume(), 777);
+  auto data = orig;
+  Plan3D<float> fwd(shape, Direction::Forward);
+  Plan3D<float> inv(shape, Direction::Inverse, Scaling::ByN);
+  fwd.execute(data);
+  inv.execute(data);
+  EXPECT_LT(rel_l2_error<float>(data, orig),
+            fft_error_bound<float>(shape.volume()));
+}
+
+TEST(Plan3D, RejectsNonPow2Extent) {
+  EXPECT_THROW(Plan3D<float>(Shape3{12, 16, 16}, Direction::Forward), Error);
+}
+
+TEST(OneShotHelpers, Work) {
+  auto a = random_complex<double>(64, 2);
+  auto b = a;
+  fft_1d_inplace<double>(a, Direction::Forward);
+  Plan1D<double> plan(64, Direction::Forward);
+  plan.execute(b);
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+}
+
+}  // namespace
+}  // namespace repro::fft

@@ -1,0 +1,80 @@
+#include "fft/plan2d.h"
+
+#include <gtest/gtest.h>
+
+#include "common/metrics.h"
+#include "common/rng.h"
+#include "fft/dft_ref.h"
+
+namespace repro::fft {
+namespace {
+
+/// Reference 2-D DFT via row/column 1-D reference transforms.
+std::vector<cxd> dft_2d(std::span<const cxd> in, Shape2 s, Direction dir) {
+  std::vector<cxd> data(in.begin(), in.end());
+  std::vector<cxd> line;
+  line.resize(s.nx);
+  for (std::size_t y = 0; y < s.ny; ++y) {
+    for (std::size_t x = 0; x < s.nx; ++x) line[x] = data[s.at(x, y)];
+    auto t = dft_1d<double>(std::span<const cxd>(line), dir);
+    for (std::size_t x = 0; x < s.nx; ++x) data[s.at(x, y)] = t[x];
+  }
+  line.resize(s.ny);
+  for (std::size_t x = 0; x < s.nx; ++x) {
+    for (std::size_t y = 0; y < s.ny; ++y) line[y] = data[s.at(x, y)];
+    auto t = dft_1d<double>(std::span<const cxd>(line), dir);
+    for (std::size_t y = 0; y < s.ny; ++y) data[s.at(x, y)] = t[y];
+  }
+  return data;
+}
+
+class Plan2DSizes
+    : public ::testing::TestWithParam<std::pair<std::size_t, std::size_t>> {
+};
+
+TEST_P(Plan2DSizes, MatchesReference) {
+  const auto [nx, ny] = GetParam();
+  const Shape2 s{nx, ny};
+  auto data = random_complex<double>(s.area(), nx * 100 + ny);
+  const auto ref = dft_2d(std::span<const cxd>(data), s, Direction::Forward);
+  Plan2D<double> plan(s, Direction::Forward);
+  plan.execute(data);
+  EXPECT_LT(rel_l2_error<double>(data, ref), fft_error_bound<double>(s.area()));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, Plan2DSizes,
+    ::testing::Values(std::pair<std::size_t, std::size_t>{8, 8},
+                      std::pair<std::size_t, std::size_t>{16, 4},
+                      std::pair<std::size_t, std::size_t>{4, 64},
+                      std::pair<std::size_t, std::size_t>{128, 32}));
+
+TEST(Plan2D, RoundTrip) {
+  const Shape2 s{64, 32};
+  const auto orig = random_complex<float>(s.area(), 9);
+  auto data = orig;
+  Plan2D<float> fwd(s, Direction::Forward);
+  Plan2D<float> inv(s, Direction::Inverse, Scaling::ByN);
+  fwd.execute(data);
+  inv.execute(data);
+  EXPECT_LT(rel_l2_error<float>(data, orig), fft_error_bound<float>(s.area()));
+}
+
+TEST(Plan2D, ParsevalHolds) {
+  const Shape2 s{32, 32};
+  auto data = random_complex<double>(s.area(), 4);
+  double e_in = 0.0;
+  for (const auto& z : data) e_in += z.norm2();
+  Plan2D<double> plan(s, Direction::Forward);
+  plan.execute(data);
+  double e_out = 0.0;
+  for (const auto& z : data) e_out += z.norm2();
+  EXPECT_NEAR(e_out / (static_cast<double>(s.area()) * e_in), 1.0, 1e-12);
+}
+
+TEST(Plan2D, RejectsNonPow2) {
+  EXPECT_THROW(Plan2D<float>(Shape2{12, 8}, Direction::Forward), Error);
+}
+
+}  // namespace
+}  // namespace repro::fft

@@ -1,0 +1,110 @@
+// The fixed-size register kernels are the arithmetic heart of the simulated
+// GPU kernels; verify each against the O(N^2) reference DFT.
+#include "fft/radix.h"
+
+#include <gtest/gtest.h>
+
+#include "common/metrics.h"
+#include "common/rng.h"
+#include "fft/dft_ref.h"
+
+namespace repro::fft {
+namespace {
+
+template <typename T>
+void check_fixed(std::size_t n, Direction dir, std::uint64_t seed) {
+  const int sign = direction_sign(dir);
+  auto in = random_complex<T>(n, seed);
+  auto ref = dft_1d<T>(std::span<const cx<T>>(in), dir);
+
+  std::vector<cx<T>> v = in;
+  const TwiddleTable<T> tw(n, dir);
+  std::vector<cx<T>> twv(n);
+  for (std::size_t k = 0; k < n; ++k) twv[k] = tw[k];
+
+  switch (n) {
+    case 2:
+      fft2(v[0], v[1]);
+      break;
+    case 4:
+      fft4(v.data(), sign);
+      break;
+    case 8:
+      fft8(v.data(), sign, twv.data());
+      break;
+    case 16:
+      fft16(v.data(), sign, twv.data());
+      break;
+    default:
+      FAIL() << "unsupported size";
+  }
+  EXPECT_LT(rel_l2_error<T>(v, ref), fft_error_bound<T>(n))
+      << "n=" << n << " dir=" << (sign < 0 ? "fwd" : "inv");
+}
+
+TEST(Radix, Fft2MatchesDft) {
+  check_fixed<double>(2, Direction::Forward, 1);
+  check_fixed<double>(2, Direction::Inverse, 2);
+}
+
+TEST(Radix, Fft4MatchesDft) {
+  check_fixed<double>(4, Direction::Forward, 3);
+  check_fixed<double>(4, Direction::Inverse, 4);
+  check_fixed<float>(4, Direction::Forward, 5);
+}
+
+TEST(Radix, Fft8MatchesDft) {
+  check_fixed<double>(8, Direction::Forward, 6);
+  check_fixed<double>(8, Direction::Inverse, 7);
+  check_fixed<float>(8, Direction::Forward, 8);
+}
+
+TEST(Radix, Fft16MatchesDft) {
+  check_fixed<double>(16, Direction::Forward, 9);
+  check_fixed<double>(16, Direction::Inverse, 10);
+  check_fixed<float>(16, Direction::Forward, 11);
+  check_fixed<float>(16, Direction::Inverse, 12);
+}
+
+TEST(Radix, Fft4DeltaGivesConstant) {
+  cx<double> v[4] = {{1, 0}, {0, 0}, {0, 0}, {0, 0}};
+  fft4(v, -1);
+  for (const auto& z : v) {
+    EXPECT_DOUBLE_EQ(z.re, 1.0);
+    EXPECT_DOUBLE_EQ(z.im, 0.0);
+  }
+}
+
+TEST(Radix, Fft16Linearity) {
+  const TwiddleTable<double> tw(16, Direction::Forward);
+  cx<double> w[16];
+  for (int k = 0; k < 16; ++k) w[k] = tw[k];
+
+  auto a = random_complex<double>(16, 21);
+  auto b = random_complex<double>(16, 22);
+  const cx<double> alpha{0.7, -1.3};
+
+  std::vector<cx<double>> combo(16);
+  for (int i = 0; i < 16; ++i) combo[i] = a[i] + alpha * b[i];
+
+  auto fa = a;
+  auto fb = b;
+  auto fc = combo;
+  fft16(fa.data(), -1, w);
+  fft16(fb.data(), -1, w);
+  fft16(fc.data(), -1, w);
+  for (int i = 0; i < 16; ++i) {
+    const auto expect = fa[i] + alpha * fb[i];
+    EXPECT_NEAR(fc[i].re, expect.re, 1e-12);
+    EXPECT_NEAR(fc[i].im, expect.im, 1e-12);
+  }
+}
+
+TEST(Radix, FlopCountsArePositiveAndOrdered) {
+  EXPECT_GT(kFft4Flops, 0u);
+  EXPECT_GT(kFft8Flops, kFft4Flops);
+  EXPECT_GT(kFft16Flops, kFft8Flops);
+}
+
+}  // namespace
+}  // namespace repro::fft

@@ -1,0 +1,118 @@
+#include "fft/real.h"
+
+#include <gtest/gtest.h>
+
+#include "common/metrics.h"
+#include "common/rng.h"
+#include "fft/dft_ref.h"
+
+namespace repro::fft {
+namespace {
+
+template <typename T>
+std::vector<T> random_reals(std::size_t n, std::uint64_t seed) {
+  SplitMix64 rng(seed);
+  std::vector<T> v(n);
+  for (auto& x : v) x = static_cast<T>(rng.uniform(-1.0, 1.0));
+  return v;
+}
+
+class R2CSizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(R2CSizes, MatchesComplexTransformOfRealInput) {
+  const std::size_t n = GetParam();
+  const auto x = random_reals<double>(n, n);
+
+  // Reference: complex DFT of the real signal.
+  std::vector<cxd> cin(n);
+  for (std::size_t i = 0; i < n; ++i) cin[i] = {x[i], 0.0};
+  const auto ref =
+      dft_1d<double>(std::span<const cxd>(cin), Direction::Forward);
+
+  PlanR2C<double> plan(n);
+  std::vector<cxd> half(plan.spectrum_size());
+  plan.execute(x, half);
+  for (std::size_t k = 0; k < half.size(); ++k) {
+    EXPECT_NEAR(half[k].re, ref[k].re, 1e-9 * (1.0 + std::abs(ref[k].re)))
+        << "k=" << k;
+    EXPECT_NEAR(half[k].im, ref[k].im, 1e-9 * (1.0 + std::abs(ref[k].im)))
+        << "k=" << k;
+  }
+}
+
+TEST_P(R2CSizes, RoundTripIsIdentity) {
+  const std::size_t n = GetParam();
+  const auto x = random_reals<float>(n, n + 1);
+  PlanR2C<float> fwd(n);
+  PlanC2R<float> inv(n);
+  std::vector<cxf> half(fwd.spectrum_size());
+  std::vector<float> back(n);
+  fwd.execute(x, half);
+  inv.execute(half, back);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(back[i], x[i], 1e-5f) << "i=" << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Pow2, R2CSizes,
+                         ::testing::Values(2, 4, 8, 16, 64, 256, 1024));
+
+TEST(R2C, DcAndNyquistAreReal) {
+  const std::size_t n = 128;
+  const auto x = random_reals<double>(n, 7);
+  PlanR2C<double> plan(n);
+  std::vector<cxd> half(plan.spectrum_size());
+  plan.execute(x, half);
+  EXPECT_NEAR(half[0].im, 0.0, 1e-12);
+  EXPECT_NEAR(half[n / 2].im, 0.0, 1e-12);
+}
+
+TEST(R2C, ParsevalWithHalfSpectrum) {
+  const std::size_t n = 256;
+  const auto x = random_reals<double>(n, 8);
+  double e_time = 0.0;
+  for (double v : x) e_time += v * v;
+
+  PlanR2C<double> plan(n);
+  std::vector<cxd> half(plan.spectrum_size());
+  plan.execute(x, half);
+  // ||X||^2 over the full spectrum = |X0|^2 + |Xn/2|^2 + 2*sum interior.
+  double e_freq = half[0].norm2() + half[n / 2].norm2();
+  for (std::size_t k = 1; k < n / 2; ++k) e_freq += 2.0 * half[k].norm2();
+  EXPECT_NEAR(e_freq / (static_cast<double>(n) * e_time), 1.0, 1e-12);
+}
+
+TEST(R2C, CosineHitsSingleBin) {
+  const std::size_t n = 64;
+  const std::size_t k0 = 5;
+  std::vector<double> x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = std::cos(2.0 * 3.14159265358979323846 * static_cast<double>(k0) *
+                    static_cast<double>(i) / static_cast<double>(n));
+  }
+  PlanR2C<double> plan(n);
+  std::vector<cxd> half(plan.spectrum_size());
+  plan.execute(x, half);
+  for (std::size_t k = 0; k <= n / 2; ++k) {
+    if (k == k0) {
+      EXPECT_NEAR(half[k].re, static_cast<double>(n) / 2.0, 1e-9);
+    } else {
+      EXPECT_NEAR(half[k].abs(), 0.0, 1e-9) << "k=" << k;
+    }
+  }
+}
+
+TEST(R2C, RejectsBadSizes) {
+  EXPECT_THROW(PlanR2C<float>(12), Error);
+  EXPECT_THROW(PlanC2R<float>(0), Error);
+}
+
+TEST(R2C, RejectsWrongSpans) {
+  PlanR2C<float> plan(16);
+  std::vector<float> in(16);
+  std::vector<cxf> out(8);  // needs 9
+  EXPECT_THROW(plan.execute(in, out), Error);
+}
+
+}  // namespace
+}  // namespace repro::fft

@@ -1,0 +1,63 @@
+#include "fft/twiddle.h"
+
+#include <gtest/gtest.h>
+
+#include <numbers>
+
+namespace repro::fft {
+namespace {
+
+TEST(Twiddle, ForwardSignIsNegative) {
+  EXPECT_EQ(direction_sign(Direction::Forward), -1);
+  EXPECT_EQ(direction_sign(Direction::Inverse), +1);
+}
+
+TEST(Twiddle, UnitCircleValues) {
+  const TwiddleTable<double> w(4, Direction::Forward);
+  EXPECT_NEAR(w[0].re, 1.0, 1e-15);
+  EXPECT_NEAR(w[0].im, 0.0, 1e-15);
+  EXPECT_NEAR(w[1].re, 0.0, 1e-15);
+  EXPECT_NEAR(w[1].im, -1.0, 1e-15);  // exp(-i*pi/2)
+  EXPECT_NEAR(w[2].re, -1.0, 1e-15);
+  EXPECT_NEAR(w[3].im, 1.0, 1e-15);
+}
+
+TEST(Twiddle, InverseIsConjugate) {
+  const TwiddleTable<double> f(64, Direction::Forward);
+  const TwiddleTable<double> i(64, Direction::Inverse);
+  for (std::size_t k = 0; k < 64; ++k) {
+    EXPECT_NEAR(f[k].re, i[k].re, 1e-15);
+    EXPECT_NEAR(f[k].im, -i[k].im, 1e-15);
+  }
+}
+
+TEST(Twiddle, AllOnUnitCircle) {
+  const TwiddleTable<float> w(256, Direction::Forward);
+  for (std::size_t k = 0; k < 256; ++k) {
+    EXPECT_NEAR(w[k].norm2(), 1.0f, 1e-6f);
+  }
+}
+
+TEST(Twiddle, GroupProperty) {
+  // W^a * W^b == W^(a+b mod n).
+  const TwiddleTable<double> w(128, Direction::Forward);
+  for (std::size_t a : {3u, 17u, 99u}) {
+    for (std::size_t b : {5u, 60u, 127u}) {
+      const auto p = w[a] * w[b];
+      const auto q = w.at_mod(a + b);
+      EXPECT_NEAR(p.re, q.re, 1e-14);
+      EXPECT_NEAR(p.im, q.im, 1e-14);
+    }
+  }
+}
+
+TEST(Twiddle, AtModWraps) {
+  const TwiddleTable<double> w(16, Direction::Inverse);
+  for (std::size_t k = 0; k < 64; ++k) {
+    EXPECT_EQ(w.at_mod(k).re, w[k % 16].re);
+    EXPECT_EQ(w.at_mod(k).im, w[k % 16].im);
+  }
+}
+
+}  // namespace
+}  // namespace repro::fft

@@ -1,0 +1,175 @@
+// The two baseline 3-D FFTs (conventional six-step, CUFFT-like naive) must
+// be functionally exact and measurably slower than the bandwidth-intensive
+// plan — the paper's central comparison (Figure 1).
+#include <gtest/gtest.h>
+
+#include "common/metrics.h"
+#include "common/rng.h"
+#include "fft/plan.h"
+#include "gpufft/conventional3d.h"
+#include "gpufft/naive.h"
+#include "gpufft/plan.h"
+
+namespace repro::gpufft {
+namespace {
+
+std::vector<cxf> host_fft3d(const std::vector<cxf>& input, Shape3 shape) {
+  std::vector<cxf> ref = input;
+  fft::Plan3D<float> plan(shape, Direction::Forward);
+  plan.execute(ref);
+  return ref;
+}
+
+class BaselineCubes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BaselineCubes, ConventionalMatchesHost) {
+  const Shape3 shape = cube(GetParam());
+  const auto input = random_complex<float>(shape.volume(), GetParam() + 1);
+  Device dev(sim::geforce_8800_gts());
+  auto data = dev.alloc<cxf>(shape.volume());
+  dev.h2d(data, std::span<const cxf>(input));
+  ConventionalFft3D plan(dev, shape, Direction::Forward);
+  const auto steps = plan.execute(data);
+  EXPECT_EQ(steps.size(), 6u);
+  std::vector<cxf> out(shape.volume());
+  dev.d2h(std::span<cxf>(out), data);
+  EXPECT_LT(rel_l2_error<float>(out, host_fft3d(input, shape)),
+            fft_error_bound<float>(shape.volume()));
+}
+
+TEST_P(BaselineCubes, NaiveMatchesHost) {
+  const Shape3 shape = cube(GetParam());
+  const auto input = random_complex<float>(shape.volume(), GetParam() + 2);
+  Device dev(sim::geforce_8800_gt());
+  auto data = dev.alloc<cxf>(shape.volume());
+  dev.h2d(data, std::span<const cxf>(input));
+  NaiveFft3D plan(dev, shape, Direction::Forward);
+  plan.execute(data);
+  std::vector<cxf> out(shape.volume());
+  dev.d2h(std::span<cxf>(out), data);
+  EXPECT_LT(rel_l2_error<float>(out, host_fft3d(input, shape)),
+            fft_error_bound<float>(shape.volume()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BaselineCubes, ::testing::Values(16, 32, 64));
+
+TEST(Baselines, InverseDirectionsWork) {
+  const Shape3 shape = cube(32);
+  const auto input = random_complex<float>(shape.volume(), 77);
+  std::vector<cxf> ref = input;
+  fft::Plan3D<float> hp(shape, Direction::Inverse);
+  hp.execute(ref);
+
+  Device dev(sim::geforce_8800_gtx());
+  auto data = dev.alloc<cxf>(shape.volume());
+  dev.h2d(data, std::span<const cxf>(input));
+  ConventionalFft3D plan(dev, shape, Direction::Inverse);
+  plan.execute(data);
+  std::vector<cxf> out(shape.volume());
+  dev.d2h(std::span<cxf>(out), data);
+  EXPECT_LT(rel_l2_error<float>(out, ref),
+            fft_error_bound<float>(shape.volume()));
+}
+
+TEST(Baselines, OrderingMatchesFigure1) {
+  // On the same card and volume: ours < conventional < naive in time.
+  // (128^3: at tiny volumes the launch overheads blur the ordering.)
+  const Shape3 shape = cube(128);
+  Device dev(sim::geforce_8800_gtx());
+  auto data = dev.alloc<cxf>(shape.volume());
+
+  BandwidthFft3D ours(dev, shape, Direction::Forward);
+  ConventionalFft3D conv(dev, shape, Direction::Forward);
+  NaiveFft3D naive(dev, shape, Direction::Forward);
+  ours.execute(data);
+  conv.execute(data);
+  naive.execute(data);
+
+  EXPECT_LT(ours.last_total_ms(), conv.last_total_ms());
+  EXPECT_LT(conv.last_total_ms(), naive.last_total_ms());
+  // Paper: ours is "more than three times faster than CUFFT" and "about
+  // twice faster than conventional algorithm using transposes".
+  EXPECT_GT(naive.last_total_ms() / ours.last_total_ms(), 2.5);
+  EXPECT_GT(conv.last_total_ms() / ours.last_total_ms(), 1.3);
+}
+
+TEST(Baselines, TransposeIsTheBottleneck) {
+  // Table 6: the transpose steps run at roughly half the bandwidth of the
+  // FFT steps.
+  const Shape3 shape = cube(64);
+  Device dev(sim::geforce_8800_gt());
+  auto data = dev.alloc<cxf>(shape.volume());
+  ConventionalFft3D plan(dev, shape, Direction::Forward);
+  const auto steps = plan.execute(data);
+  ASSERT_EQ(steps.size(), 6u);
+  const double fft_gbs = (steps[0].gbs + steps[2].gbs + steps[4].gbs) / 3.0;
+  const double tr_gbs = (steps[1].gbs + steps[3].gbs + steps[5].gbs) / 3.0;
+  EXPECT_LT(tr_gbs, 0.7 * fft_gbs);
+}
+
+TEST(Baselines, TransposeKernelIsExact) {
+  const Shape3 s{8, 4, 2};
+  Device dev(sim::geforce_8800_gt());
+  auto in = dev.alloc<cxf>(s.volume());
+  auto out = dev.alloc<cxf>(s.volume());
+  const auto data = random_complex<float>(s.volume(), 5);
+  dev.h2d(in, std::span<const cxf>(data));
+  TransposeKernel k(in, out, s, 4);
+  dev.launch(k);
+  std::vector<cxf> result(s.volume());
+  dev.d2h(std::span<cxf>(result), out);
+  for (std::size_t z = 0; z < s.nz; ++z) {
+    for (std::size_t y = 0; y < s.ny; ++y) {
+      for (std::size_t x = 0; x < s.nx; ++x) {
+        // out(z, x, y) == in(x, y, z)
+        EXPECT_EQ(result[z + s.nz * (x + s.nx * y)], data[s.at(x, y, z)]);
+      }
+    }
+  }
+}
+
+TEST(Baselines, Naive1DMatchesHostBatch) {
+  const std::size_t n = 128;
+  const std::size_t count = 32;
+  const auto input = random_complex<float>(n * count, 9);
+  Device dev(sim::geforce_8800_gts());
+  auto data = dev.alloc<cxf>(n * count);
+  dev.h2d(data, std::span<const cxf>(input));
+  Naive1DFftKernel k(data, data, n, count, Direction::Forward, 16);
+  dev.launch(k);
+  std::vector<cxf> out(n * count);
+  dev.d2h(std::span<cxf>(out), data);
+  std::vector<cxf> ref = input;
+  fft::Plan1D<float> plan(n, Direction::Forward);
+  plan.execute(ref, count);
+  EXPECT_LT(rel_l2_error<float>(out, ref), fft_error_bound<float>(n));
+}
+
+TEST(Baselines, Table8OursBeatsNaive1D) {
+  // 65536 x 256-point: ours vs CUFFT1D-like, roughly 2-3x apart (Table 8).
+  // Use a reduced batch for test speed; the ratio is batch-independent.
+  const std::size_t n = 256;
+  const std::size_t count = 8192;
+  Device dev(sim::geforce_8800_gt());
+  auto data = dev.alloc<cxf>(n * count);
+  auto tw = dev.alloc<cxf>(n);
+
+  FineKernelParams p;
+  p.n = n;
+  p.count = count;
+  p.grid_blocks = default_grid_blocks(dev.spec());
+  const auto roots = make_roots<float>(n, Direction::Forward);
+  dev.h2d(tw, std::span<const cxf>(roots));
+  FineFftKernel ours(data, data, p, &tw);
+  const auto r_ours = dev.launch(ours);
+
+  Naive1DFftKernel naive(data, data, n, count, Direction::Forward,
+                         default_grid_blocks(dev.spec()));
+  const auto r_naive = dev.launch(naive);
+
+  EXPECT_GT(r_naive.total_ms / r_ours.total_ms, 1.6);
+  EXPECT_LT(r_naive.total_ms / r_ours.total_ms, 5.0);
+}
+
+}  // namespace
+}  // namespace repro::gpufft

@@ -1,0 +1,89 @@
+// Property tests of the on-card correlation engine.
+#include <gtest/gtest.h>
+
+#include "common/metrics.h"
+#include "common/rng.h"
+#include "gpufft/convolution.h"
+
+namespace repro::gpufft {
+namespace {
+
+TEST(ConvolutionProperties, DeltaFilterIsIdentity) {
+  // Correlating against delta(0) returns the signal itself.
+  const Shape3 shape = cube(16);
+  std::vector<cxf> delta(shape.volume());
+  delta[0] = {1.0f, 0.0f};
+  const auto signal = random_complex<float>(shape.volume(), 9);
+
+  Device dev(sim::geforce_8800_gt());
+  Convolution3D conv(dev, shape);
+  conv.set_filter(delta);
+  const auto out = conv.correlate(signal);
+  EXPECT_LT(rel_l2_error<float>(out, signal), 1e-4);
+}
+
+TEST(ConvolutionProperties, ShiftedDeltaShiftsTheSignal) {
+  const Shape3 shape = cube(16);
+  std::vector<cxf> delta(shape.volume());
+  delta[shape.at(3, 0, 0)] = {1.0f, 0.0f};
+  const auto signal = random_complex<float>(shape.volume(), 10);
+
+  Device dev(sim::geforce_8800_gts());
+  Convolution3D conv(dev, shape);
+  conv.set_filter(delta);
+  const auto out = conv.correlate(signal);
+  // out[d] = sum_t s[t+d] conj(f[t]) = s[d + (3,0,0)].
+  for (std::size_t z = 0; z < shape.nz; z += 5) {
+    for (std::size_t x = 0; x < shape.nx; ++x) {
+      const auto expect = signal[shape.at((x + 3) % shape.nx, 0, z)];
+      const auto got = out[shape.at(x, 0, z)];
+      EXPECT_NEAR(got.re, expect.re, 1e-3f);
+      EXPECT_NEAR(got.im, expect.im, 1e-3f);
+    }
+  }
+}
+
+TEST(ConvolutionProperties, LinearInTheSignal) {
+  const Shape3 shape = cube(16);
+  const auto filter = random_complex<float>(shape.volume(), 11);
+  const auto a = random_complex<float>(shape.volume(), 12);
+  const auto b = random_complex<float>(shape.volume(), 13);
+  std::vector<cxf> sum(shape.volume());
+  for (std::size_t i = 0; i < sum.size(); ++i) sum[i] = a[i] + b[i];
+
+  Device dev(sim::geforce_8800_gtx());
+  Convolution3D conv(dev, shape);
+  conv.set_filter(filter);
+  const auto ca = conv.correlate(a);
+  const auto cb = conv.correlate(b);
+  const auto cs = conv.correlate(sum);
+  std::vector<cxf> expect(shape.volume());
+  for (std::size_t i = 0; i < expect.size(); ++i) expect[i] = ca[i] + cb[i];
+  EXPECT_LT(rel_l2_error<float>(cs, expect), 1e-3);
+}
+
+TEST(ConvolutionProperties, FilterSwapChangesResults) {
+  // set_filter must actually replace the resident spectrum.
+  const Shape3 shape = cube(16);
+  const auto f1 = random_complex<float>(shape.volume(), 14);
+  const auto f2 = random_complex<float>(shape.volume(), 15);
+  const auto signal = random_complex<float>(shape.volume(), 16);
+
+  Device dev(sim::geforce_8800_gt());
+  Convolution3D conv(dev, shape);
+  conv.set_filter(f1);
+  const auto out1 = conv.correlate(signal);
+  conv.set_filter(f2);
+  const auto out2 = conv.correlate(signal);
+  EXPECT_GT(rel_l2_error<float>(out1, out2), 1e-2);
+}
+
+TEST(ConvolutionProperties, RequiresFilterBeforeUse) {
+  Device dev(sim::geforce_8800_gt());
+  Convolution3D conv(dev, cube(16));
+  const auto signal = random_complex<float>(16 * 16 * 16, 17);
+  EXPECT_THROW(conv.correlate(signal), Error);
+}
+
+}  // namespace
+}  // namespace repro::gpufft

@@ -1,0 +1,141 @@
+// Double precision on the GPU (the paper's Section 4.5 future work):
+// correctness against the double host library, the hardware gating (the
+// 8800 series has no DP units), and the expected fp64 performance
+// characteristics on a GT200-class card.
+#include <gtest/gtest.h>
+
+#include "common/metrics.h"
+#include "common/rng.h"
+#include "fft/plan.h"
+#include "gpufft/plan.h"
+
+namespace repro::gpufft {
+namespace {
+
+TEST(Fp64, GpuPlanMatchesDoubleHostLibrary) {
+  const Shape3 shape = cube(32);
+  const auto input = random_complex<double>(shape.volume(), 1);
+  std::vector<cxd> ref = input;
+  fft::Plan3D<double> host(shape, fft::Direction::Forward);
+  host.execute(ref);
+
+  Device dev(sim::geforce_gtx_280());
+  auto data = dev.alloc<cxd>(shape.volume());
+  dev.h2d(data, std::span<const cxd>(input));
+  BandwidthFft3DT<double> plan(dev, shape, Direction::Forward);
+  plan.execute(data);
+  std::vector<cxd> out(shape.volume());
+  dev.d2h(std::span<cxd>(out), data);
+  EXPECT_LT(rel_l2_error<double>(out, ref),
+            fft_error_bound<double>(shape.volume()));
+}
+
+TEST(Fp64, DoublePrecisionRefusedOn8800) {
+  // "Currently available CUDA GPUs support only single precision
+  // operations" — launching an fp64 kernel on a G80/G92 must fail.
+  Device dev(sim::geforce_8800_gtx());
+  const Shape3 shape = cube(16);
+  auto data = dev.alloc<cxd>(shape.volume());
+  BandwidthFft3DT<double> plan(dev, shape, Direction::Forward);
+  EXPECT_THROW(plan.execute(data), Error);
+}
+
+TEST(Fp64, SinglePrecisionStillRunsOnGtx280) {
+  Device dev(sim::geforce_gtx_280());
+  const Shape3 shape = cube(32);
+  const auto input = random_complex<float>(shape.volume(), 2);
+  std::vector<cxf> ref = input;
+  fft::Plan3D<float> host(shape, fft::Direction::Forward);
+  host.execute(ref);
+  auto data = dev.alloc<cxf>(shape.volume());
+  dev.h2d(data, std::span<const cxf>(input));
+  BandwidthFft3D plan(dev, shape, Direction::Forward);
+  plan.execute(data);
+  std::vector<cxf> out(shape.volume());
+  dev.d2h(std::span<cxf>(out), data);
+  EXPECT_LT(rel_l2_error<float>(out, ref),
+            fft_error_bound<float>(shape.volume()));
+}
+
+TEST(Fp64, DoubleIsSlowerThanSingleOnSameCard) {
+  const Shape3 shape = cube(128);
+  Device dev(sim::geforce_gtx_280());
+  double ms32 = 0.0;
+  double ms64 = 0.0;
+  {
+    auto data = dev.alloc<cxf>(shape.volume());
+    BandwidthFft3D plan(dev, shape, Direction::Forward);
+    plan.execute(data);
+    ms32 = plan.last_total_ms();
+  }
+  {
+    auto data = dev.alloc<cxd>(shape.volume());
+    BandwidthFft3DT<double> plan(dev, shape, Direction::Forward);
+    plan.execute(data);
+    ms64 = plan.last_total_ms();
+  }
+  // Twice the bytes at minimum; DP-unit pressure adds more on top.
+  EXPECT_GT(ms64, 1.8 * ms32);
+  EXPECT_LT(ms64, 10.0 * ms32);
+}
+
+TEST(Fp64, DoubleRoundTrip) {
+  const Shape3 shape = cube(32);
+  const auto orig = random_complex<double>(shape.volume(), 3);
+  Device dev(sim::geforce_gtx_280());
+  auto data = dev.alloc<cxd>(shape.volume());
+  dev.h2d(data, std::span<const cxd>(orig));
+  BandwidthFft3DT<double> fwd(dev, shape, Direction::Forward);
+  BandwidthFft3DT<double> inv(dev, shape, Direction::Inverse);
+  fwd.execute(data);
+  inv.execute(data);
+  ScaleKernelT<double> scale(data, shape.volume(),
+                             1.0 / static_cast<double>(shape.volume()), 48);
+  dev.launch(scale);
+  std::vector<cxd> out(shape.volume());
+  dev.d2h(std::span<cxd>(out), data);
+  EXPECT_LT(rel_l2_error<double>(out, orig),
+            fft_error_bound<double>(shape.volume()));
+}
+
+TEST(Fp64, DoublePrecisionIsActuallyMoreAccurate) {
+  // The point of the future work: fp64 beats fp32 accuracy by orders of
+  // magnitude on the same transform.
+  const Shape3 shape = cube(32);
+  const auto input64 = random_complex<double>(shape.volume(), 4);
+  std::vector<cxf> input32(shape.volume());
+  for (std::size_t i = 0; i < input32.size(); ++i) {
+    input32[i] = {static_cast<float>(input64[i].re),
+                  static_cast<float>(input64[i].im)};
+  }
+  // Oracle in double on the host.
+  std::vector<cxd> oracle = input64;
+  fft::Plan3D<double> host(shape, fft::Direction::Forward);
+  host.execute(oracle);
+
+  Device dev(sim::geforce_gtx_280());
+  auto d64 = dev.alloc<cxd>(shape.volume());
+  dev.h2d(d64, std::span<const cxd>(input64));
+  BandwidthFft3DT<double> p64(dev, shape, Direction::Forward);
+  p64.execute(d64);
+  std::vector<cxd> out64(shape.volume());
+  dev.d2h(std::span<cxd>(out64), d64);
+
+  auto d32 = dev.alloc<cxf>(shape.volume());
+  dev.h2d(d32, std::span<const cxf>(input32));
+  BandwidthFft3D p32(dev, shape, Direction::Forward);
+  p32.execute(d32);
+  std::vector<cxf> out32f(shape.volume());
+  dev.d2h(std::span<cxf>(out32f), d32);
+  std::vector<cxd> out32(shape.volume());
+  for (std::size_t i = 0; i < out32.size(); ++i) {
+    out32[i] = {out32f[i].re, out32f[i].im};
+  }
+
+  const double err64 = rel_l2_error<double>(out64, oracle);
+  const double err32 = rel_l2_error<double>(out32, oracle);
+  EXPECT_LT(err64 * 1e4, err32);
+}
+
+}  // namespace
+}  // namespace repro::gpufft

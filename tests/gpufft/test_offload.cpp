@@ -1,0 +1,65 @@
+#include "gpufft/offload.h"
+
+#include <gtest/gtest.h>
+
+namespace repro::gpufft {
+namespace {
+
+TEST(Offload, SingleJobHasNoOverlapWin) {
+  const auto t = offload_pipeline(10.0, 20.0, 10.0, 1);
+  EXPECT_DOUBLE_EQ(t.sync_ms, 40.0);
+  EXPECT_DOUBLE_EQ(t.overlap_1dma_ms, 40.0);
+  EXPECT_DOUBLE_EQ(t.overlap_2dma_ms, 40.0);
+}
+
+TEST(Offload, ComputeBoundPipelineHidesTransfers) {
+  // fft dominates: steady state is one fft per job.
+  const auto t = offload_pipeline(5.0, 30.0, 5.0, 10);
+  EXPECT_DOUBLE_EQ(t.sync_ms, 400.0);
+  // 1 DMA: 5 + 9*max(10,30) + max(30,5) + 5 = 5+270+30+5 = 310.
+  EXPECT_DOUBLE_EQ(t.overlap_1dma_ms, 310.0);
+  // 2 DMA: 5 + 30 + 9*30 + 5 = 310.
+  EXPECT_DOUBLE_EQ(t.overlap_2dma_ms, 310.0);
+  EXPECT_GT(t.speedup_1dma(), 1.25);
+}
+
+TEST(Offload, TransferBoundPipelineIsCopyLimited) {
+  // Copies dominate (the paper's Table 10 regime).
+  const auto t = offload_pipeline(25.0, 30.0, 25.0, 8);
+  // 1 DMA: copies (50/job) exceed fft (30): steady state 50.
+  EXPECT_NEAR(t.overlap_1dma_ms, 25.0 + 7 * 50.0 + 30.0 + 25.0, 1e-9);
+  // 2 DMA: slowest stage is fft (30).
+  EXPECT_NEAR(t.overlap_2dma_ms, 25.0 + 30.0 + 7 * 30.0 + 25.0, 1e-9);
+  EXPECT_LT(t.overlap_2dma_ms, t.overlap_1dma_ms);
+}
+
+TEST(Offload, OverlapNeverSlowerThanSync) {
+  for (double h : {1.0, 10.0, 100.0}) {
+    for (double f : {1.0, 10.0, 100.0}) {
+      for (double d : {1.0, 10.0, 100.0}) {
+        for (std::size_t n : {1u, 2u, 7u, 64u}) {
+          const auto t = offload_pipeline(h, f, d, n);
+          EXPECT_LE(t.overlap_1dma_ms, t.sync_ms + 1e-9);
+          EXPECT_LE(t.overlap_2dma_ms, t.overlap_1dma_ms + 1e-9);
+          EXPECT_GE(t.overlap_2dma_ms,
+                    f * static_cast<double>(n) - 1e-9);  // compute floor
+        }
+      }
+    }
+  }
+}
+
+TEST(Offload, MeasuredPhasesMatchTable10Regime) {
+  Device dev(sim::geforce_8800_gts());
+  const auto t = measure_offload(dev, cube(128), 16);
+  EXPECT_GT(t.h2d_ms, 0.0);
+  EXPECT_GT(t.fft_ms, 0.0);
+  EXPECT_GT(t.d2h_ms, 0.0);
+  // At 128^3 on PCIe 2.0, transfers and compute are of the same order, so
+  // overlap buys a solid factor.
+  EXPECT_GT(t.speedup_1dma(), 1.2);
+  EXPECT_LT(t.speedup_1dma(), 3.0);
+}
+
+}  // namespace
+}  // namespace repro::gpufft

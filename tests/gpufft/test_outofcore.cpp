@@ -1,0 +1,121 @@
+// Section 3.3 out-of-core FFT: correctness against the host plan and the
+// structural properties of the streamed two-phase algorithm.
+#include "gpufft/outofcore.h"
+
+#include <gtest/gtest.h>
+
+#include "common/metrics.h"
+#include "common/rng.h"
+#include "fft/plan.h"
+
+namespace repro::gpufft {
+namespace {
+
+TEST(OutOfCore, MatchesHostPlan128) {
+  const std::size_t n = 128;
+  const Shape3 shape = cube(n);
+  auto data = random_complex<float>(shape.volume(), 11);
+  std::vector<cxf> ref = data;
+  fft::Plan3D<float> host_plan(shape, Direction::Forward);
+  host_plan.execute(ref);
+
+  Device dev(sim::geforce_8800_gts());
+  OutOfCoreFft3D plan(dev, n, /*splits=*/8, Direction::Forward);
+  plan.execute(std::span<cxf>(data));
+  EXPECT_LT(rel_l2_error<float>(data, ref),
+            fft_error_bound<float>(shape.volume()));
+}
+
+TEST(OutOfCore, MatchesHostPlanSplits4) {
+  const std::size_t n = 64;
+  const Shape3 shape = cube(n);
+  auto data = random_complex<float>(shape.volume(), 12);
+  std::vector<cxf> ref = data;
+  fft::Plan3D<float> host_plan(shape, Direction::Forward);
+  host_plan.execute(ref);
+
+  Device dev(sim::geforce_8800_gt());
+  OutOfCoreFft3D plan(dev, n, /*splits=*/4, Direction::Forward);
+  plan.execute(std::span<cxf>(data));
+  EXPECT_LT(rel_l2_error<float>(data, ref),
+            fft_error_bound<float>(shape.volume()));
+}
+
+TEST(OutOfCore, InverseDirection) {
+  const std::size_t n = 64;
+  auto data = random_complex<float>(n * n * n, 13);
+  std::vector<cxf> ref = data;
+  fft::Plan3D<float> host_plan(cube(n), Direction::Inverse);
+  host_plan.execute(ref);
+
+  Device dev(sim::geforce_8800_gtx());
+  OutOfCoreFft3D plan(dev, n, 4, Direction::Inverse);
+  plan.execute(std::span<cxf>(data));
+  EXPECT_LT(rel_l2_error<float>(data, ref),
+            fft_error_bound<float>(n * n * n));
+}
+
+TEST(OutOfCore, TimingBucketsAllPositive) {
+  const std::size_t n = 64;
+  auto data = random_complex<float>(n * n * n, 14);
+  Device dev(sim::geforce_8800_gt());
+  OutOfCoreFft3D plan(dev, n, 4, Direction::Forward);
+  const auto t = plan.execute(std::span<cxf>(data));
+  EXPECT_GT(t.h2d1_ms, 0.0);
+  EXPECT_GT(t.fft1_ms, 0.0);
+  EXPECT_GT(t.twiddle_ms, 0.0);
+  EXPECT_GT(t.d2h1_ms, 0.0);
+  EXPECT_GT(t.h2d2_ms, 0.0);
+  EXPECT_GT(t.fft2_ms, 0.0);
+  EXPECT_GT(t.d2h2_ms, 0.0);
+  EXPECT_NEAR(t.total_ms(),
+              t.h2d1_ms + t.fft1_ms + t.twiddle_ms + t.d2h1_ms + t.h2d2_ms +
+                  t.fft2_ms + t.d2h2_ms,
+              1e-9);
+}
+
+TEST(OutOfCore, TransferDominatedOnGen1) {
+  // Table 12: on the PCIe 1.1 GTX, transfers dwarf the on-device FFT time.
+  const std::size_t n = 64;
+  auto data = random_complex<float>(n * n * n, 15);
+  Device dev(sim::geforce_8800_gtx());
+  OutOfCoreFft3D plan(dev, n, 4, Direction::Forward);
+  const auto t = plan.execute(std::span<cxf>(data));
+  const double transfer =
+      t.h2d1_ms + t.d2h1_ms + t.h2d2_ms + t.d2h2_ms;
+  EXPECT_GT(transfer, t.fft1_ms + t.fft2_ms);
+}
+
+TEST(OutOfCore, DataCrossesTheLinkTwiceEachWay) {
+  const std::size_t n = 64;
+  auto data = random_complex<float>(n * n * n, 16);
+  Device dev(sim::geforce_8800_gt());
+  OutOfCoreFft3D plan(dev, n, 4, Direction::Forward);
+  dev.reset_clock();
+  plan.execute(std::span<cxf>(data));
+  const std::uint64_t volume_bytes = n * n * n * sizeof(cxf);
+  EXPECT_EQ(dev.h2d_bytes(), 2 * volume_bytes);
+  EXPECT_EQ(dev.d2h_bytes(), 2 * volume_bytes);
+}
+
+TEST(OutOfCore, RejectsBadGeometry) {
+  Device dev(sim::geforce_8800_gt());
+  EXPECT_THROW(OutOfCoreFft3D(dev, 63, 4, Direction::Forward), Error);
+  EXPECT_THROW(OutOfCoreFft3D(dev, 64, 3, Direction::Forward), Error);
+}
+
+TEST(OutOfCore, FullVolumeWouldNotFitButSlabDoes) {
+  // The honest reason this algorithm exists: a 512^3 in-core plan cannot
+  // allocate on a 512 MB card, but the 512x512x64 slab machinery can.
+  Device dev(sim::geforce_8800_gts());
+  EXPECT_THROW(
+      {
+        auto buf = dev.alloc<cxf>(std::size_t{512} * 512 * 512);
+        (void)buf;
+      },
+      sim::OutOfDeviceMemory);
+  EXPECT_NO_THROW(OutOfCoreFft3D(dev, 512, 8, Direction::Forward));
+}
+
+}  // namespace
+}  // namespace repro::gpufft

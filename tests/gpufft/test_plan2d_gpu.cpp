@@ -1,0 +1,99 @@
+// The GPU 2-D plan against the host 2-D library.
+#include "gpufft/plan2d.h"
+
+#include <gtest/gtest.h>
+
+#include "common/metrics.h"
+#include "common/rng.h"
+
+namespace repro::gpufft {
+namespace {
+
+using fft::Shape2;
+
+class Gpu2DShapes
+    : public ::testing::TestWithParam<std::pair<std::size_t, std::size_t>> {
+};
+
+TEST_P(Gpu2DShapes, MatchesHostPlan) {
+  const auto [nx, ny] = GetParam();
+  const Shape2 shape{nx, ny};
+  const auto input = random_complex<float>(shape.area(), nx + ny);
+  std::vector<cxf> ref = input;
+  fft::Plan2D<float> host(shape, fft::Direction::Forward);
+  host.execute(ref);
+
+  Device dev(sim::geforce_8800_gts());
+  auto data = dev.alloc<cxf>(shape.area());
+  dev.h2d(data, std::span<const cxf>(input));
+  BandwidthFft2D plan(dev, shape, Direction::Forward);
+  const auto steps = plan.execute(data);
+  EXPECT_EQ(steps.size(), 3u);
+  std::vector<cxf> out(shape.area());
+  dev.d2h(std::span<cxf>(out), data);
+  EXPECT_LT(rel_l2_error<float>(out, ref),
+            fft_error_bound<float>(shape.area()));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, Gpu2DShapes,
+    ::testing::Values(std::pair<std::size_t, std::size_t>{16, 16},
+                      std::pair<std::size_t, std::size_t>{64, 64},
+                      std::pair<std::size_t, std::size_t>{256, 64},
+                      std::pair<std::size_t, std::size_t>{32, 256},
+                      std::pair<std::size_t, std::size_t>{128, 8}));
+
+TEST(Gpu2D, RoundTrip) {
+  const Shape2 shape{64, 64};
+  const auto orig = random_complex<float>(shape.area(), 4);
+  Device dev(sim::geforce_8800_gt());
+  auto data = dev.alloc<cxf>(shape.area());
+  dev.h2d(data, std::span<const cxf>(orig));
+  BandwidthFft2D fwd(dev, shape, Direction::Forward);
+  BandwidthFft2D inv(dev, shape, Direction::Inverse);
+  fwd.execute(data);
+  inv.execute(data);
+  ScaleKernel scale(data, shape.area(),
+                    1.0f / static_cast<float>(shape.area()), 42);
+  dev.launch(scale);
+  std::vector<cxf> out(shape.area());
+  dev.d2h(std::span<cxf>(out), data);
+  EXPECT_LT(rel_l2_error<float>(out, orig),
+            fft_error_bound<float>(shape.area()));
+}
+
+TEST(Gpu2D, DoublePrecisionOnGtx280) {
+  const Shape2 shape{64, 32};
+  const auto input = random_complex<double>(shape.area(), 5);
+  std::vector<cxd> ref = input;
+  fft::Plan2D<double> host(shape, fft::Direction::Forward);
+  host.execute(ref);
+
+  Device dev(sim::geforce_gtx_280());
+  auto data = dev.alloc<cxd>(shape.area());
+  dev.h2d(data, std::span<const cxd>(input));
+  BandwidthFft2DT<double> plan(dev, shape, Direction::Forward);
+  plan.execute(data);
+  std::vector<cxd> out(shape.area());
+  dev.d2h(std::span<cxd>(out), data);
+  EXPECT_LT(rel_l2_error<double>(out, ref),
+            fft_error_bound<double>(shape.area()));
+}
+
+TEST(Gpu2D, StepsAreCoalescedAndTimed) {
+  const Shape2 shape{256, 256};
+  Device dev(sim::geforce_8800_gtx());
+  auto data = dev.alloc<cxf>(shape.area());
+  BandwidthFft2D plan(dev, shape, Direction::Forward);
+  dev.reset_clock();
+  const auto steps = plan.execute(data);
+  for (const auto& s : steps) {
+    EXPECT_GT(s.ms, 0.0) << s.name;
+  }
+  for (const auto& r : dev.history()) {
+    EXPECT_GT(r.coalesced_fraction, 0.99) << r.name;
+  }
+}
+
+}  // namespace
+}  // namespace repro::gpufft

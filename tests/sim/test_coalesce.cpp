@@ -1,0 +1,120 @@
+// Truth table of the G80 half-warp coalescing rules (CUDA 1.x).
+#include "sim/coalesce.h"
+
+#include <gtest/gtest.h>
+
+namespace repro::sim {
+namespace {
+
+std::vector<LaneAccess> sequential(std::uint64_t base, std::uint32_t width,
+                                   int lanes = 16) {
+  std::vector<LaneAccess> v;
+  for (int l = 0; l < lanes; ++l) {
+    v.push_back({l, base + static_cast<std::uint64_t>(l) * width, width});
+  }
+  return v;
+}
+
+std::uint64_t total_bytes(const CoalesceResult& r) {
+  std::uint64_t b = 0;
+  for (const auto& t : r.transactions) b += t.bytes;
+  return b;
+}
+
+TEST(Coalesce, Sequential4ByteCoalescesTo64B) {
+  const auto r = coalesce_half_warp(sequential(0, 4));
+  EXPECT_TRUE(r.coalesced);
+  ASSERT_EQ(r.transactions.size(), 1u);
+  EXPECT_EQ(r.transactions[0].bytes, 64u);
+  EXPECT_EQ(r.transactions[0].addr, 0u);
+}
+
+TEST(Coalesce, Sequential8ByteCoalescesTo128B) {
+  const auto r = coalesce_half_warp(sequential(1024, 8));
+  EXPECT_TRUE(r.coalesced);
+  ASSERT_EQ(r.transactions.size(), 1u);
+  EXPECT_EQ(r.transactions[0].bytes, 128u);
+  EXPECT_EQ(r.transactions[0].addr, 1024u);
+}
+
+TEST(Coalesce, Sequential16ByteCoalescesToTwo128B) {
+  const auto r = coalesce_half_warp(sequential(4096, 16));
+  EXPECT_TRUE(r.coalesced);
+  ASSERT_EQ(r.transactions.size(), 2u);
+  EXPECT_EQ(r.transactions[0].bytes, 128u);
+  EXPECT_EQ(r.transactions[1].addr, 4096u + 128u);
+}
+
+TEST(Coalesce, MisalignedBaseDoesNotCoalesce) {
+  // Rule (c): base must align to 16*size. 8-byte accesses from offset 8.
+  const auto r = coalesce_half_warp(sequential(8, 8));
+  EXPECT_FALSE(r.coalesced);
+  EXPECT_EQ(r.transactions.size(), 16u);
+  // Each padded to the 32-byte minimum burst.
+  EXPECT_EQ(total_bytes(r), 16u * 32u);
+}
+
+TEST(Coalesce, PermutedLanesDoNotCoalesce) {
+  // Rule (a): thread k must access base + k*size in thread order. Swap two
+  // lanes' addresses: same footprint, but the G80 still serializes.
+  auto v = sequential(0, 4);
+  std::swap(v[3].addr, v[4].addr);
+  const auto r = coalesce_half_warp(v);
+  EXPECT_FALSE(r.coalesced);
+  EXPECT_EQ(r.transactions.size(), 16u);
+}
+
+TEST(Coalesce, StridedAccessDoesNotCoalesce) {
+  std::vector<LaneAccess> v;
+  for (int l = 0; l < 16; ++l) {
+    v.push_back({l, static_cast<std::uint64_t>(l) * 2048, 8});
+  }
+  const auto r = coalesce_half_warp(v);
+  EXPECT_FALSE(r.coalesced);
+  EXPECT_EQ(total_bytes(r), 16u * 32u);  // 16x amplification vs 128 useful B
+}
+
+TEST(Coalesce, NonPow2WidthDoesNotCoalesce) {
+  // Rule (b): only 32/64/128-bit accesses coalesce.
+  const auto r = coalesce_half_warp(sequential(0, 12));
+  EXPECT_FALSE(r.coalesced);
+}
+
+TEST(Coalesce, MixedWidthsDoNotCoalesce) {
+  auto v = sequential(0, 4);
+  v[7].bytes = 8;
+  const auto r = coalesce_half_warp(v);
+  EXPECT_FALSE(r.coalesced);
+}
+
+TEST(Coalesce, InactiveLanesMayLeaveGaps) {
+  // Divergent half-warp: only even lanes access; addresses still satisfy
+  // addr == base + lane*size, so the slot coalesces.
+  std::vector<LaneAccess> v;
+  for (int l = 0; l < 16; l += 2) {
+    v.push_back({l, static_cast<std::uint64_t>(l) * 8, 8});
+  }
+  const auto r = coalesce_half_warp(v);
+  EXPECT_TRUE(r.coalesced);
+  ASSERT_EQ(r.transactions.size(), 1u);
+  EXPECT_EQ(r.transactions[0].bytes, 128u);  // full segment still moves
+}
+
+TEST(Coalesce, EmptySlotIsTrivial) {
+  const auto r = coalesce_half_warp({});
+  EXPECT_TRUE(r.coalesced);
+  EXPECT_TRUE(r.transactions.empty());
+}
+
+TEST(Coalesce, UncoalescedTransactionsAlignedToBurst) {
+  auto v = sequential(4, 8);  // misaligned
+  const auto r = coalesce_half_warp(v);
+  ASSERT_FALSE(r.coalesced);
+  for (const auto& t : r.transactions) {
+    EXPECT_EQ(t.addr % t.bytes, 0u);
+    EXPECT_GE(t.bytes, kMinTransactionBytes);
+  }
+}
+
+}  // namespace
+}  // namespace repro::sim

@@ -1,0 +1,62 @@
+#include "sim/cpumodel.h"
+
+#include <gtest/gtest.h>
+
+namespace repro::sim {
+namespace {
+
+TEST(CpuModel, ReportedFlopsConvention) {
+  // 15 * N^3 * log2(N) for a cube (Section 4.1).
+  const double f = reported_fft_flops(cube(256));
+  EXPECT_NEAR(f, 15.0 * 256.0 * 256.0 * 256.0 * 8.0, 1.0);
+}
+
+TEST(CpuModel, Table11Phenom256) {
+  // Paper: 195 ms, 10.3 GFLOPS for FFTW on the Phenom 9500.
+  const CpuFftTiming t = cpu_fft3d_time(amd_phenom_9500(), cube(256));
+  EXPECT_NEAR(t.total_ms, 195.0, 30.0);
+  EXPECT_NEAR(t.gflops, 10.3, 1.7);
+}
+
+TEST(CpuModel, Table11Core2_256) {
+  // Paper: 188 ms, 10.7 GFLOPS.
+  const CpuFftTiming t = cpu_fft3d_time(intel_core2_q6700(), cube(256));
+  EXPECT_NEAR(t.total_ms, 188.0, 30.0);
+}
+
+TEST(CpuModel, Table12Phenom512) {
+  // Paper: 1.93 s, 9.40 GFLOPS for 512^3.
+  const CpuFftTiming t = cpu_fft3d_time(amd_phenom_9500(), cube(512));
+  EXPECT_NEAR(t.total_ms, 1930.0, 350.0);
+  EXPECT_NEAR(t.gflops, 9.4, 1.8);
+}
+
+TEST(CpuModel, StridedAxesDominante) {
+  const CpuFftTiming t = cpu_fft3d_time(amd_phenom_9500(), cube(256));
+  EXPECT_LT(t.axis_ms[0], t.axis_ms[1]);  // X streams, Y strides
+  EXPECT_LT(t.axis_ms[1], t.axis_ms[2]);  // Z strides worst
+}
+
+TEST(CpuModel, TimeScalesSuperlinearlyPastCalibration) {
+  const CpuFftTiming small = cpu_fft3d_time(amd_phenom_9500(), cube(256));
+  const CpuFftTiming large = cpu_fft3d_time(amd_phenom_9500(), cube(512));
+  EXPECT_GT(large.total_ms, 8.0 * small.total_ms);  // 8x data + penalty
+}
+
+TEST(CpuModel, SmallSizesNoPenalty) {
+  const CpuFftTiming t64 = cpu_fft3d_time(amd_phenom_9500(), cube(64));
+  const CpuFftTiming t128 = cpu_fft3d_time(amd_phenom_9500(), cube(128));
+  // Pure memory-bound scaling: 8x volume -> ~8x time (log factor absorbed
+  // by the bandwidth bound).
+  EXPECT_NEAR(t128.total_ms / t64.total_ms, 8.0, 0.8);
+}
+
+TEST(CpuModel, NonCubicShapes) {
+  const CpuFftTiming t = cpu_fft3d_time(amd_phenom_9500(),
+                                        Shape3{512, 512, 64});
+  EXPECT_GT(t.total_ms, 0.0);
+  EXPECT_GT(t.gflops, 0.0);
+}
+
+}  // namespace
+}  // namespace repro::sim

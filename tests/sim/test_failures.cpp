@@ -1,0 +1,96 @@
+// Failure injection: every guarded error path of the simulator must throw
+// the documented exception rather than corrupt state or crash.
+#include <gtest/gtest.h>
+
+#include "sim/device.h"
+
+namespace repro::sim {
+namespace {
+
+class NullKernel final : public Kernel {
+ public:
+  explicit NullKernel(LaunchConfig cfg) : cfg_(std::move(cfg)) {}
+  [[nodiscard]] LaunchConfig config() const override { return cfg_; }
+  void run_block(BlockCtx&) override {}
+
+ private:
+  LaunchConfig cfg_;
+};
+
+TEST(Failures, TransferBoundsChecked) {
+  Device dev(geforce_8800_gt());
+  auto buf = dev.alloc<float>(16);
+  std::vector<float> big(17);
+  EXPECT_THROW(dev.h2d(buf, std::span<const float>(big)), Error);
+  std::vector<float> host(8);
+  EXPECT_THROW(dev.d2h(std::span<float>(host), buf, 9), Error);
+  EXPECT_NO_THROW(dev.d2h(std::span<float>(host), buf, 8));
+}
+
+TEST(Failures, LaunchRejectsEmptyGrid) {
+  Device dev(geforce_8800_gt());
+  LaunchConfig cfg;
+  cfg.grid_blocks = 0;
+  NullKernel k(cfg);
+  EXPECT_THROW(dev.launch(k), Error);
+}
+
+TEST(Failures, LaunchRejectsOversizedBlock) {
+  Device dev(geforce_8800_gt());
+  LaunchConfig cfg;
+  cfg.threads_per_block = 1024;  // > 768 on CC 1.x
+  NullKernel k(cfg);
+  EXPECT_THROW(dev.launch(k), Error);
+}
+
+TEST(Failures, LaunchRejectsImpossibleShmem) {
+  Device dev(geforce_8800_gt());
+  LaunchConfig cfg;
+  cfg.shmem_per_block = 32 * 1024;  // > 16 KB
+  NullKernel k(cfg);
+  EXPECT_THROW(dev.launch(k), Error);
+}
+
+TEST(Failures, OomMessageNamesTheCard) {
+  Device dev(geforce_8800_gts());
+  try {
+    auto b = dev.alloc<float>(1ull << 30);  // 4 GB
+    FAIL() << "expected OutOfDeviceMemory";
+  } catch (const OutOfDeviceMemory& e) {
+    EXPECT_NE(std::string(e.what()).find("8800 GTS"), std::string::npos);
+  }
+}
+
+TEST(Failures, DeviceUsableAfterOom) {
+  Device dev(geforce_8800_gt());
+  EXPECT_THROW(dev.alloc<float>(1ull << 30), OutOfDeviceMemory);
+  // The failed allocation must not leak accounting.
+  EXPECT_EQ(dev.allocated_bytes(), 0u);
+  auto ok = dev.alloc<float>(1024);
+  EXPECT_EQ(dev.allocated_bytes(), 4096u);
+}
+
+TEST(Failures, MovedFromBufferIsInert) {
+  Device dev(geforce_8800_gt());
+  auto a = dev.alloc<float>(256);
+  const auto addr = a.base_addr();
+  DeviceBuffer<float> b = std::move(a);
+  EXPECT_FALSE(a.valid());
+  EXPECT_TRUE(b.valid());
+  EXPECT_EQ(b.base_addr(), addr);
+  EXPECT_EQ(dev.allocated_bytes(), 1024u);
+  b = DeviceBuffer<float>();
+  EXPECT_EQ(dev.allocated_bytes(), 0u);
+}
+
+TEST(Failures, SelfMoveAssignIsSafe) {
+  Device dev(geforce_8800_gt());
+  auto a = dev.alloc<float>(64);
+  auto* pa = &a;
+  a = std::move(*pa);
+  EXPECT_TRUE(a.valid());
+  EXPECT_EQ(dev.allocated_bytes(), 256u);
+}
+
+}  // namespace
+}  // namespace repro::sim

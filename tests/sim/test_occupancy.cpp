@@ -1,0 +1,86 @@
+// Occupancy calculation vs known CUDA occupancy-calculator outcomes for
+// compute capability 1.0/1.1, including the paper's two kernel classes.
+#include "sim/occupancy.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+
+namespace repro::sim {
+namespace {
+
+TEST(Occupancy, PaperCoarseGrainedKernel) {
+  // Steps 1-4: 16-point FFT per thread, 51-52 registers, 64 threads/block.
+  // The paper sustains 128 threads per SM.
+  const GpuSpec gpu = geforce_8800_gtx();
+  const Occupancy o =
+      compute_occupancy(gpu, BlockResources{64, 52, 0});
+  EXPECT_EQ(o.blocks_per_sm, 2);  // 2*64*52 = 6656 regs; 3 blocks won't fit
+  EXPECT_EQ(o.active_threads, 128);
+  EXPECT_EQ(o.limiter, Occupancy::Limiter::Registers);
+}
+
+TEST(Occupancy, PaperFineGrainedKernel) {
+  // Step 5: 64 threads, 8 registers each (4 complex values), shared memory
+  // for the 256-point exchange.
+  const GpuSpec gpu = geforce_8800_gtx();
+  const Occupancy o = compute_occupancy(gpu, BlockResources{64, 10, 2112});
+  EXPECT_GE(o.active_threads, 384);  // plenty of residency
+}
+
+TEST(Occupancy, MultirowFFT256CollapsesResidency) {
+  // Section 3.1: a direct 256-point multirow FFT needs ~512+ registers per
+  // thread, "only eight threads can be executed on each SM".
+  const GpuSpec gpu = geforce_8800_gtx();
+  const Occupancy o = compute_occupancy(gpu, BlockResources{8, 1024, 0});
+  EXPECT_EQ(o.blocks_per_sm, 1);
+  EXPECT_EQ(o.active_threads, 8);
+  EXPECT_EQ(o.limiter, Occupancy::Limiter::Registers);
+}
+
+TEST(Occupancy, ThreadLimit) {
+  const GpuSpec gpu = geforce_8800_gtx();
+  // Tiny footprint: 256 threads/block, 4 regs -> capped by 768 threads/SM.
+  const Occupancy o = compute_occupancy(gpu, BlockResources{256, 4, 0});
+  EXPECT_EQ(o.blocks_per_sm, 3);
+  EXPECT_EQ(o.active_threads, 768);
+  EXPECT_DOUBLE_EQ(o.occupancy, 1.0);
+}
+
+TEST(Occupancy, BlockLimit) {
+  const GpuSpec gpu = geforce_8800_gtx();
+  const Occupancy o = compute_occupancy(gpu, BlockResources{32, 4, 0});
+  EXPECT_EQ(o.blocks_per_sm, 8);  // max blocks per SM
+  EXPECT_EQ(o.limiter, Occupancy::Limiter::Blocks);
+}
+
+TEST(Occupancy, SharedMemoryLimit) {
+  const GpuSpec gpu = geforce_8800_gtx();
+  const Occupancy o = compute_occupancy(gpu, BlockResources{64, 8, 9000});
+  EXPECT_EQ(o.blocks_per_sm, 1);  // 2x9KB > 16KB
+  EXPECT_EQ(o.limiter, Occupancy::Limiter::SharedMemory);
+}
+
+TEST(Occupancy, RegisterAllocationGranularity) {
+  const GpuSpec gpu = geforce_8800_gtx();
+  // 65 threads * 20 regs = 1300 -> 1536 (256-register granule).
+  EXPECT_EQ(allocated_registers(gpu, BlockResources{65, 20, 0}), 1536u);
+  EXPECT_EQ(allocated_shmem(BlockResources{64, 8, 100}), 512u);
+  EXPECT_EQ(allocated_shmem(BlockResources{64, 8, 513}), 1024u);
+}
+
+TEST(Occupancy, ImpossibleBlocksThrow) {
+  const GpuSpec gpu = geforce_8800_gtx();
+  EXPECT_THROW(compute_occupancy(gpu, BlockResources{1024, 8, 0}), Error);
+  EXPECT_THROW(compute_occupancy(gpu, BlockResources{64, 200, 0}), Error);
+  EXPECT_THROW(compute_occupancy(gpu, BlockResources{64, 8, 20000}), Error);
+}
+
+TEST(Occupancy, WarpCount) {
+  const GpuSpec gpu = geforce_8800_gts();
+  const Occupancy o = compute_occupancy(gpu, BlockResources{96, 10, 0});
+  EXPECT_EQ(o.active_warps, o.blocks_per_sm * 3);
+}
+
+}  // namespace
+}  // namespace repro::sim

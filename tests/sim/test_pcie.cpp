@@ -1,0 +1,48 @@
+#include "sim/pcie.h"
+
+#include <gtest/gtest.h>
+
+namespace repro::sim {
+namespace {
+
+TEST(Pcie, Gen2TransferRatesMatchTable10) {
+  // Table 10: 128 MB moves host-to-device in ~25.9 ms on the 8800 GT.
+  const PcieSpec pcie = geforce_8800_gt().pcie;
+  const std::uint64_t bytes = 128ull << 20;
+  const double ms =
+      pcie_transfer_ns(pcie, TransferDir::HostToDevice, bytes) * 1e-6;
+  EXPECT_NEAR(ms, 25.9, 1.0);
+}
+
+TEST(Pcie, Gen1IsRoughlyHalfOfGen2) {
+  const PcieSpec g2 = geforce_8800_gts().pcie;
+  const PcieSpec g1 = geforce_8800_gtx().pcie;
+  EXPECT_GT(pcie_bandwidth_gbs(g2, TransferDir::HostToDevice),
+            1.5 * pcie_bandwidth_gbs(g1, TransferDir::HostToDevice));
+}
+
+TEST(Pcie, LatencyDominatesSmallTransfers) {
+  const PcieSpec pcie = geforce_8800_gt().pcie;
+  const double ns4 = pcie_transfer_ns(pcie, TransferDir::DeviceToHost, 4);
+  EXPECT_GT(ns4, pcie.latency_us * 1e3 * 0.99);
+  EXPECT_LT(ns4, pcie.latency_us * 1e3 * 1.01 + 10);
+}
+
+TEST(Pcie, TimeScalesLinearlyInSize) {
+  const PcieSpec pcie = geforce_8800_gtx().pcie;
+  const double t1 =
+      pcie_transfer_ns(pcie, TransferDir::HostToDevice, 1 << 20);
+  const double t2 =
+      pcie_transfer_ns(pcie, TransferDir::HostToDevice, 2 << 20);
+  const double lat = pcie.latency_us * 1e3;
+  EXPECT_NEAR(t2 - lat, 2.0 * (t1 - lat), 1.0);
+}
+
+TEST(Pcie, DirectionsDiffer) {
+  const PcieSpec pcie = geforce_8800_gtx().pcie;
+  EXPECT_NE(pcie_bandwidth_gbs(pcie, TransferDir::HostToDevice),
+            pcie_bandwidth_gbs(pcie, TransferDir::DeviceToHost));
+}
+
+}  // namespace
+}  // namespace repro::sim

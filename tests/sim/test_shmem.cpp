@@ -1,0 +1,78 @@
+#include "sim/shmem.h"
+
+#include <gtest/gtest.h>
+
+namespace repro::sim {
+namespace {
+
+std::vector<ShmemLaneAccess> lanes_with_stride(std::uint64_t stride,
+                                               int n = 16) {
+  std::vector<ShmemLaneAccess> v;
+  for (int l = 0; l < n; ++l) {
+    v.push_back({l, static_cast<std::uint64_t>(l) * stride, 1});
+  }
+  return v;
+}
+
+TEST(Shmem, SequentialWordsConflictFree) {
+  EXPECT_EQ(shmem_conflict_degree(lanes_with_stride(1)), 1);
+}
+
+TEST(Shmem, Stride16HitsOneBank) {
+  // All 16 lanes map to bank 0: fully serialized.
+  EXPECT_EQ(shmem_conflict_degree(lanes_with_stride(16)), 16);
+}
+
+TEST(Shmem, Stride2TwoWayConflict) {
+  EXPECT_EQ(shmem_conflict_degree(lanes_with_stride(2)), 2);
+}
+
+TEST(Shmem, Stride8EightWayConflict) {
+  EXPECT_EQ(shmem_conflict_degree(lanes_with_stride(8)), 8);
+}
+
+TEST(Shmem, PaddedStride17ConflictFree) {
+  // The paper's padding technique: stride 16+1 rotates lanes across banks.
+  EXPECT_EQ(shmem_conflict_degree(lanes_with_stride(17)), 1);
+}
+
+TEST(Shmem, BroadcastIsFree) {
+  std::vector<ShmemLaneAccess> v;
+  for (int l = 0; l < 16; ++l) v.push_back({l, 42, 1});
+  EXPECT_EQ(shmem_conflict_degree(v), 1);
+}
+
+TEST(Shmem, TwoWordAccessesUseTwoBanks) {
+  // 8 lanes each touching 2 consecutive words with stride 2: covers all 16
+  // banks exactly once -> conflict-free.
+  std::vector<ShmemLaneAccess> v;
+  for (int l = 0; l < 8; ++l) {
+    v.push_back({l, static_cast<std::uint64_t>(l) * 2, 2});
+  }
+  EXPECT_EQ(shmem_conflict_degree(v), 1);
+}
+
+TEST(Shmem, ComplexInterleavedIsTwoWay) {
+  // cx<float> stored as interleaved re/im and accessed as 2 words per lane
+  // at stride 2 words across 16 lanes: words 0..31 across 16 banks = 2 per
+  // bank.
+  std::vector<ShmemLaneAccess> v;
+  for (int l = 0; l < 16; ++l) {
+    v.push_back({l, static_cast<std::uint64_t>(l) * 2, 2});
+  }
+  EXPECT_EQ(shmem_conflict_degree(v), 2);
+}
+
+TEST(Shmem, EmptySlot) {
+  EXPECT_EQ(shmem_conflict_degree({}), 1);
+}
+
+TEST(Shmem, BankOfWordWraps) {
+  EXPECT_EQ(shmem_bank_of_word(0), 0);
+  EXPECT_EQ(shmem_bank_of_word(15), 15);
+  EXPECT_EQ(shmem_bank_of_word(16), 0);
+  EXPECT_EQ(shmem_bank_of_word(33), 1);
+}
+
+}  // namespace
+}  // namespace repro::sim

@@ -1,0 +1,71 @@
+// Table 1 of the paper, verified against the spec constructors.
+#include "sim/spec.h"
+
+#include <gtest/gtest.h>
+
+namespace repro::sim {
+namespace {
+
+TEST(Spec, Table1_8800GT) {
+  const GpuSpec g = geforce_8800_gt();
+  EXPECT_EQ(g.core, "G92");
+  EXPECT_EQ(g.num_sms, 14);
+  EXPECT_EQ(g.total_sps(), 112);
+  EXPECT_NEAR(g.peak_gflops(), 336.0, 0.5);
+  EXPECT_NEAR(g.peak_bandwidth_gbs(), 57.6, 0.1);
+  EXPECT_EQ(g.device_memory_bytes, 512ull << 20);
+  EXPECT_EQ(g.pcie.gen, PcieGen::Gen2_0);
+}
+
+TEST(Spec, Table1_8800GTS) {
+  const GpuSpec g = geforce_8800_gts();
+  EXPECT_EQ(g.core, "G92");
+  EXPECT_EQ(g.total_sps(), 128);
+  EXPECT_NEAR(g.peak_gflops(), 416.0, 0.5);
+  EXPECT_NEAR(g.peak_bandwidth_gbs(), 62.0, 0.1);
+}
+
+TEST(Spec, Table1_8800GTX) {
+  const GpuSpec g = geforce_8800_gtx();
+  EXPECT_EQ(g.core, "G80");
+  EXPECT_EQ(g.total_sps(), 128);
+  EXPECT_NEAR(g.peak_gflops(), 345.6, 0.5);
+  EXPECT_NEAR(g.peak_bandwidth_gbs(), 86.4, 0.1);
+  EXPECT_EQ(g.device_memory_bytes, 768ull << 20);
+  EXPECT_EQ(g.pcie.gen, PcieGen::Gen1_1);
+  EXPECT_EQ(g.dram.channels, 6);  // 384-bit bus
+}
+
+TEST(Spec, ArchitecturalConstantsCC1x) {
+  for (const auto& g : all_gpus()) {
+    EXPECT_EQ(g.registers_per_sm, 8192) << g.name;
+    EXPECT_EQ(g.shmem_per_sm, 16u * 1024) << g.name;
+    EXPECT_EQ(g.max_threads_per_sm, 768) << g.name;
+    EXPECT_EQ(g.warp_size, 32) << g.name;
+  }
+}
+
+TEST(Spec, GpuOrderMatchesPaper) {
+  const auto& gpus = all_gpus();
+  ASSERT_EQ(gpus.size(), 3u);
+  EXPECT_EQ(gpus[0].name, "8800 GT");
+  EXPECT_EQ(gpus[1].name, "8800 GTS");
+  EXPECT_EQ(gpus[2].name, "8800 GTX");
+}
+
+TEST(Spec, CpuPeaks) {
+  // Section 2: "peak performance of the latest AMD Phenom 9500 ... is
+  // 70.4 GFLOPS in single precision".
+  EXPECT_NEAR(amd_phenom_9500().peak_gflops(), 70.4, 0.1);
+  EXPECT_LT(amd_phenom_9500().stream_bw_gbs, 10.0);
+}
+
+TEST(Spec, PowerTable13Values) {
+  EXPECT_EQ(power_cpu_riva128().idle_watts, 126.0);
+  EXPECT_EQ(power_cpu_riva128().fft_load_watts, 140.0);
+  EXPECT_EQ(power_for_gpu(geforce_8800_gtx()).fft_load_watts, 290.0);
+  EXPECT_EQ(power_for_gpu(geforce_8800_gt()).idle_watts, 180.0);
+}
+
+}  // namespace
+}  // namespace repro::sim
