@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_batch1d.dir/bench_batch1d.cpp.o"
+  "CMakeFiles/bench_batch1d.dir/bench_batch1d.cpp.o.d"
+  "bench_batch1d"
+  "bench_batch1d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_batch1d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

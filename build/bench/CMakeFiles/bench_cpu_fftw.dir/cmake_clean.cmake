@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cpu_fftw.dir/bench_cpu_fftw.cpp.o"
+  "CMakeFiles/bench_cpu_fftw.dir/bench_cpu_fftw.cpp.o.d"
+  "bench_cpu_fftw"
+  "bench_cpu_fftw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cpu_fftw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig_gflops.dir/bench_fig_gflops.cpp.o"
+  "CMakeFiles/bench_fig_gflops.dir/bench_fig_gflops.cpp.o.d"
+  "bench_fig_gflops"
+  "bench_fig_gflops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig_gflops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

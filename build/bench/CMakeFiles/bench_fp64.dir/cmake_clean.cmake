@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fp64.dir/bench_fp64.cpp.o"
+  "CMakeFiles/bench_fp64.dir/bench_fp64.cpp.o.d"
+  "bench_fp64"
+  "bench_fp64.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fp64.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_multirow_registers.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_outofcore.dir/bench_outofcore.cpp.o"
+  "CMakeFiles/bench_outofcore.dir/bench_outofcore.cpp.o.d"
+  "bench_outofcore"
+  "bench_outofcore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_outofcore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

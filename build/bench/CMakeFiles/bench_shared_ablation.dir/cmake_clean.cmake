@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_shared_ablation.dir/bench_shared_ablation.cpp.o"
+  "CMakeFiles/bench_shared_ablation.dir/bench_shared_ablation.cpp.o.d"
+  "bench_shared_ablation"
+  "bench_shared_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_shared_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

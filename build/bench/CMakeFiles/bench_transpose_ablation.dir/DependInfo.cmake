@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_transpose_ablation.cpp" "bench/CMakeFiles/bench_transpose_ablation.dir/bench_transpose_ablation.cpp.o" "gcc" "bench/CMakeFiles/bench_transpose_ablation.dir/bench_transpose_ablation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gpufft/CMakeFiles/repro_gpufft.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/repro_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/fft/CMakeFiles/repro_fft.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/repro_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/repro_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

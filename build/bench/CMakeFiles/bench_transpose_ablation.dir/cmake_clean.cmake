@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_transpose_ablation.dir/bench_transpose_ablation.cpp.o"
+  "CMakeFiles/bench_transpose_ablation.dir/bench_transpose_ablation.cpp.o.d"
+  "bench_transpose_ablation"
+  "bench_transpose_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_transpose_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_twiddle_sources.dir/bench_twiddle_sources.cpp.o"
+  "CMakeFiles/bench_twiddle_sources.dir/bench_twiddle_sources.cpp.o.d"
+  "bench_twiddle_sources"
+  "bench_twiddle_sources.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_twiddle_sources.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

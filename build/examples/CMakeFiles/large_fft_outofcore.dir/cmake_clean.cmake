@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/large_fft_outofcore.dir/large_fft_outofcore.cpp.o"
+  "CMakeFiles/large_fft_outofcore.dir/large_fft_outofcore.cpp.o.d"
+  "large_fft_outofcore"
+  "large_fft_outofcore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/large_fft_outofcore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for large_fft_outofcore.
+# This may be replaced when dependencies are built.

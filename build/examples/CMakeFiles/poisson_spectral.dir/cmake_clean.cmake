@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/poisson_spectral.dir/poisson_spectral.cpp.o"
+  "CMakeFiles/poisson_spectral.dir/poisson_spectral.cpp.o.d"
+  "poisson_spectral"
+  "poisson_spectral.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/poisson_spectral.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/turbulence_spectrum.dir/turbulence_spectrum.cpp.o"
+  "CMakeFiles/turbulence_spectrum.dir/turbulence_spectrum.cpp.o.d"
+  "turbulence_spectrum"
+  "turbulence_spectrum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/turbulence_spectrum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zdock_docking.dir/zdock_docking.cpp.o"
+  "CMakeFiles/zdock_docking.dir/zdock_docking.cpp.o.d"
+  "zdock_docking"
+  "zdock_docking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zdock_docking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/poisson/poisson.cpp" "src/apps/CMakeFiles/repro_apps.dir/poisson/poisson.cpp.o" "gcc" "src/apps/CMakeFiles/repro_apps.dir/poisson/poisson.cpp.o.d"
+  "/root/repo/src/apps/zdock/docking.cpp" "src/apps/CMakeFiles/repro_apps.dir/zdock/docking.cpp.o" "gcc" "src/apps/CMakeFiles/repro_apps.dir/zdock/docking.cpp.o.d"
+  "/root/repo/src/apps/zdock/grid.cpp" "src/apps/CMakeFiles/repro_apps.dir/zdock/grid.cpp.o" "gcc" "src/apps/CMakeFiles/repro_apps.dir/zdock/grid.cpp.o.d"
+  "/root/repo/src/apps/zdock/shape.cpp" "src/apps/CMakeFiles/repro_apps.dir/zdock/shape.cpp.o" "gcc" "src/apps/CMakeFiles/repro_apps.dir/zdock/shape.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gpufft/CMakeFiles/repro_gpufft.dir/DependInfo.cmake"
+  "/root/repo/build/src/fft/CMakeFiles/repro_fft.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/repro_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/repro_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_apps.dir/poisson/poisson.cpp.o"
+  "CMakeFiles/repro_apps.dir/poisson/poisson.cpp.o.d"
+  "CMakeFiles/repro_apps.dir/zdock/docking.cpp.o"
+  "CMakeFiles/repro_apps.dir/zdock/docking.cpp.o.d"
+  "CMakeFiles/repro_apps.dir/zdock/grid.cpp.o"
+  "CMakeFiles/repro_apps.dir/zdock/grid.cpp.o.d"
+  "CMakeFiles/repro_apps.dir/zdock/shape.cpp.o"
+  "CMakeFiles/repro_apps.dir/zdock/shape.cpp.o.d"
+  "librepro_apps.a"
+  "librepro_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_common.dir/check.cpp.o"
+  "CMakeFiles/repro_common.dir/check.cpp.o.d"
+  "CMakeFiles/repro_common.dir/table.cpp.o"
+  "CMakeFiles/repro_common.dir/table.cpp.o.d"
+  "librepro_common.a"
+  "librepro_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

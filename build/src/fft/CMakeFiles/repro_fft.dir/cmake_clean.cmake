@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_fft.dir/plan.cpp.o"
+  "CMakeFiles/repro_fft.dir/plan.cpp.o.d"
+  "CMakeFiles/repro_fft.dir/plan2d.cpp.o"
+  "CMakeFiles/repro_fft.dir/plan2d.cpp.o.d"
+  "CMakeFiles/repro_fft.dir/real.cpp.o"
+  "CMakeFiles/repro_fft.dir/real.cpp.o.d"
+  "CMakeFiles/repro_fft.dir/stockham.cpp.o"
+  "CMakeFiles/repro_fft.dir/stockham.cpp.o.d"
+  "librepro_fft.a"
+  "librepro_fft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_fft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gpufft/conventional3d.cpp" "src/gpufft/CMakeFiles/repro_gpufft.dir/conventional3d.cpp.o" "gcc" "src/gpufft/CMakeFiles/repro_gpufft.dir/conventional3d.cpp.o.d"
+  "/root/repo/src/gpufft/convolution.cpp" "src/gpufft/CMakeFiles/repro_gpufft.dir/convolution.cpp.o" "gcc" "src/gpufft/CMakeFiles/repro_gpufft.dir/convolution.cpp.o.d"
+  "/root/repo/src/gpufft/copy_kernels.cpp" "src/gpufft/CMakeFiles/repro_gpufft.dir/copy_kernels.cpp.o" "gcc" "src/gpufft/CMakeFiles/repro_gpufft.dir/copy_kernels.cpp.o.d"
+  "/root/repo/src/gpufft/fine_kernel.cpp" "src/gpufft/CMakeFiles/repro_gpufft.dir/fine_kernel.cpp.o" "gcc" "src/gpufft/CMakeFiles/repro_gpufft.dir/fine_kernel.cpp.o.d"
+  "/root/repo/src/gpufft/naive.cpp" "src/gpufft/CMakeFiles/repro_gpufft.dir/naive.cpp.o" "gcc" "src/gpufft/CMakeFiles/repro_gpufft.dir/naive.cpp.o.d"
+  "/root/repo/src/gpufft/noshared.cpp" "src/gpufft/CMakeFiles/repro_gpufft.dir/noshared.cpp.o" "gcc" "src/gpufft/CMakeFiles/repro_gpufft.dir/noshared.cpp.o.d"
+  "/root/repo/src/gpufft/offload.cpp" "src/gpufft/CMakeFiles/repro_gpufft.dir/offload.cpp.o" "gcc" "src/gpufft/CMakeFiles/repro_gpufft.dir/offload.cpp.o.d"
+  "/root/repo/src/gpufft/outofcore.cpp" "src/gpufft/CMakeFiles/repro_gpufft.dir/outofcore.cpp.o" "gcc" "src/gpufft/CMakeFiles/repro_gpufft.dir/outofcore.cpp.o.d"
+  "/root/repo/src/gpufft/plan.cpp" "src/gpufft/CMakeFiles/repro_gpufft.dir/plan.cpp.o" "gcc" "src/gpufft/CMakeFiles/repro_gpufft.dir/plan.cpp.o.d"
+  "/root/repo/src/gpufft/plan2d.cpp" "src/gpufft/CMakeFiles/repro_gpufft.dir/plan2d.cpp.o" "gcc" "src/gpufft/CMakeFiles/repro_gpufft.dir/plan2d.cpp.o.d"
+  "/root/repo/src/gpufft/rank_kernels.cpp" "src/gpufft/CMakeFiles/repro_gpufft.dir/rank_kernels.cpp.o" "gcc" "src/gpufft/CMakeFiles/repro_gpufft.dir/rank_kernels.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fft/CMakeFiles/repro_fft.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/repro_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/repro_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_gpufft.dir/conventional3d.cpp.o"
+  "CMakeFiles/repro_gpufft.dir/conventional3d.cpp.o.d"
+  "CMakeFiles/repro_gpufft.dir/convolution.cpp.o"
+  "CMakeFiles/repro_gpufft.dir/convolution.cpp.o.d"
+  "CMakeFiles/repro_gpufft.dir/copy_kernels.cpp.o"
+  "CMakeFiles/repro_gpufft.dir/copy_kernels.cpp.o.d"
+  "CMakeFiles/repro_gpufft.dir/fine_kernel.cpp.o"
+  "CMakeFiles/repro_gpufft.dir/fine_kernel.cpp.o.d"
+  "CMakeFiles/repro_gpufft.dir/naive.cpp.o"
+  "CMakeFiles/repro_gpufft.dir/naive.cpp.o.d"
+  "CMakeFiles/repro_gpufft.dir/noshared.cpp.o"
+  "CMakeFiles/repro_gpufft.dir/noshared.cpp.o.d"
+  "CMakeFiles/repro_gpufft.dir/offload.cpp.o"
+  "CMakeFiles/repro_gpufft.dir/offload.cpp.o.d"
+  "CMakeFiles/repro_gpufft.dir/outofcore.cpp.o"
+  "CMakeFiles/repro_gpufft.dir/outofcore.cpp.o.d"
+  "CMakeFiles/repro_gpufft.dir/plan.cpp.o"
+  "CMakeFiles/repro_gpufft.dir/plan.cpp.o.d"
+  "CMakeFiles/repro_gpufft.dir/plan2d.cpp.o"
+  "CMakeFiles/repro_gpufft.dir/plan2d.cpp.o.d"
+  "CMakeFiles/repro_gpufft.dir/rank_kernels.cpp.o"
+  "CMakeFiles/repro_gpufft.dir/rank_kernels.cpp.o.d"
+  "librepro_gpufft.a"
+  "librepro_gpufft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_gpufft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

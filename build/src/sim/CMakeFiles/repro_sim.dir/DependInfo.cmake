@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/coalesce.cpp" "src/sim/CMakeFiles/repro_sim.dir/coalesce.cpp.o" "gcc" "src/sim/CMakeFiles/repro_sim.dir/coalesce.cpp.o.d"
+  "/root/repo/src/sim/cpumodel.cpp" "src/sim/CMakeFiles/repro_sim.dir/cpumodel.cpp.o" "gcc" "src/sim/CMakeFiles/repro_sim.dir/cpumodel.cpp.o.d"
+  "/root/repo/src/sim/device.cpp" "src/sim/CMakeFiles/repro_sim.dir/device.cpp.o" "gcc" "src/sim/CMakeFiles/repro_sim.dir/device.cpp.o.d"
+  "/root/repo/src/sim/dram.cpp" "src/sim/CMakeFiles/repro_sim.dir/dram.cpp.o" "gcc" "src/sim/CMakeFiles/repro_sim.dir/dram.cpp.o.d"
+  "/root/repo/src/sim/kernel.cpp" "src/sim/CMakeFiles/repro_sim.dir/kernel.cpp.o" "gcc" "src/sim/CMakeFiles/repro_sim.dir/kernel.cpp.o.d"
+  "/root/repo/src/sim/occupancy.cpp" "src/sim/CMakeFiles/repro_sim.dir/occupancy.cpp.o" "gcc" "src/sim/CMakeFiles/repro_sim.dir/occupancy.cpp.o.d"
+  "/root/repo/src/sim/pcie.cpp" "src/sim/CMakeFiles/repro_sim.dir/pcie.cpp.o" "gcc" "src/sim/CMakeFiles/repro_sim.dir/pcie.cpp.o.d"
+  "/root/repo/src/sim/power.cpp" "src/sim/CMakeFiles/repro_sim.dir/power.cpp.o" "gcc" "src/sim/CMakeFiles/repro_sim.dir/power.cpp.o.d"
+  "/root/repo/src/sim/shmem.cpp" "src/sim/CMakeFiles/repro_sim.dir/shmem.cpp.o" "gcc" "src/sim/CMakeFiles/repro_sim.dir/shmem.cpp.o.d"
+  "/root/repo/src/sim/spec.cpp" "src/sim/CMakeFiles/repro_sim.dir/spec.cpp.o" "gcc" "src/sim/CMakeFiles/repro_sim.dir/spec.cpp.o.d"
+  "/root/repo/src/sim/timing.cpp" "src/sim/CMakeFiles/repro_sim.dir/timing.cpp.o" "gcc" "src/sim/CMakeFiles/repro_sim.dir/timing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/repro_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

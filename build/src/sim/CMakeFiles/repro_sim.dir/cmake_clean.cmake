@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_sim.dir/coalesce.cpp.o"
+  "CMakeFiles/repro_sim.dir/coalesce.cpp.o.d"
+  "CMakeFiles/repro_sim.dir/cpumodel.cpp.o"
+  "CMakeFiles/repro_sim.dir/cpumodel.cpp.o.d"
+  "CMakeFiles/repro_sim.dir/device.cpp.o"
+  "CMakeFiles/repro_sim.dir/device.cpp.o.d"
+  "CMakeFiles/repro_sim.dir/dram.cpp.o"
+  "CMakeFiles/repro_sim.dir/dram.cpp.o.d"
+  "CMakeFiles/repro_sim.dir/kernel.cpp.o"
+  "CMakeFiles/repro_sim.dir/kernel.cpp.o.d"
+  "CMakeFiles/repro_sim.dir/occupancy.cpp.o"
+  "CMakeFiles/repro_sim.dir/occupancy.cpp.o.d"
+  "CMakeFiles/repro_sim.dir/pcie.cpp.o"
+  "CMakeFiles/repro_sim.dir/pcie.cpp.o.d"
+  "CMakeFiles/repro_sim.dir/power.cpp.o"
+  "CMakeFiles/repro_sim.dir/power.cpp.o.d"
+  "CMakeFiles/repro_sim.dir/shmem.cpp.o"
+  "CMakeFiles/repro_sim.dir/shmem.cpp.o.d"
+  "CMakeFiles/repro_sim.dir/spec.cpp.o"
+  "CMakeFiles/repro_sim.dir/spec.cpp.o.d"
+  "CMakeFiles/repro_sim.dir/timing.cpp.o"
+  "CMakeFiles/repro_sim.dir/timing.cpp.o.d"
+  "librepro_sim.a"
+  "librepro_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

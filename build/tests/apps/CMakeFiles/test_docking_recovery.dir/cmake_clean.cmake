@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_docking_recovery.dir/test_docking_recovery.cpp.o"
+  "CMakeFiles/test_docking_recovery.dir/test_docking_recovery.cpp.o.d"
+  "test_docking_recovery"
+  "test_docking_recovery.pdb"
+  "test_docking_recovery[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_docking_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_zdock.dir/test_zdock.cpp.o"
+  "CMakeFiles/test_zdock.dir/test_zdock.cpp.o.d"
+  "test_zdock"
+  "test_zdock.pdb"
+  "test_zdock[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_zdock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

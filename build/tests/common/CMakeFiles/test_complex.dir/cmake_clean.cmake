@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_complex.dir/test_complex.cpp.o"
+  "CMakeFiles/test_complex.dir/test_complex.cpp.o.d"
+  "test_complex"
+  "test_complex.pdb"
+  "test_complex[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_complex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fft_properties.dir/test_fft_properties.cpp.o"
+  "CMakeFiles/test_fft_properties.dir/test_fft_properties.cpp.o.d"
+  "test_fft_properties"
+  "test_fft_properties.pdb"
+  "test_fft_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fft_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_plan2d.dir/test_plan2d.cpp.o"
+  "CMakeFiles/test_plan2d.dir/test_plan2d.cpp.o.d"
+  "test_plan2d"
+  "test_plan2d.pdb"
+  "test_plan2d[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_plan2d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_real.dir/test_real.cpp.o"
+  "CMakeFiles/test_real.dir/test_real.cpp.o.d"
+  "test_real"
+  "test_real.pdb"
+  "test_real[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_real.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

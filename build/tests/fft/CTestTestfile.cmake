@@ -1,0 +1,13 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/fft
+# Build directory: /root/repo/build/tests/fft
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/fft/test_twiddle[1]_include.cmake")
+include("/root/repo/build/tests/fft/test_radix[1]_include.cmake")
+include("/root/repo/build/tests/fft/test_stockham[1]_include.cmake")
+include("/root/repo/build/tests/fft/test_plan[1]_include.cmake")
+include("/root/repo/build/tests/fft/test_fft_properties[1]_include.cmake")
+include("/root/repo/build/tests/fft/test_plan2d[1]_include.cmake")
+include("/root/repo/build/tests/fft/test_real[1]_include.cmake")

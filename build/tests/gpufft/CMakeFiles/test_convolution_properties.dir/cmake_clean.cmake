@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_convolution_properties.dir/test_convolution_properties.cpp.o"
+  "CMakeFiles/test_convolution_properties.dir/test_convolution_properties.cpp.o.d"
+  "test_convolution_properties"
+  "test_convolution_properties.pdb"
+  "test_convolution_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_convolution_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

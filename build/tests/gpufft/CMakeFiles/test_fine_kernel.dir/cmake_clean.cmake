@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fine_kernel.dir/test_fine_kernel.cpp.o"
+  "CMakeFiles/test_fine_kernel.dir/test_fine_kernel.cpp.o.d"
+  "test_fine_kernel"
+  "test_fine_kernel.pdb"
+  "test_fine_kernel[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fine_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

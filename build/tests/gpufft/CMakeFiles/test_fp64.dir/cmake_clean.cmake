@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fp64.dir/test_fp64.cpp.o"
+  "CMakeFiles/test_fp64.dir/test_fp64.cpp.o.d"
+  "test_fp64"
+  "test_fp64.pdb"
+  "test_fp64[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fp64.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

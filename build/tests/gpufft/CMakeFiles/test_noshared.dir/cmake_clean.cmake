@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_noshared.dir/test_noshared.cpp.o"
+  "CMakeFiles/test_noshared.dir/test_noshared.cpp.o.d"
+  "test_noshared"
+  "test_noshared.pdb"
+  "test_noshared[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_noshared.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_outofcore.dir/test_outofcore.cpp.o"
+  "CMakeFiles/test_outofcore.dir/test_outofcore.cpp.o.d"
+  "test_outofcore"
+  "test_outofcore.pdb"
+  "test_outofcore[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_outofcore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

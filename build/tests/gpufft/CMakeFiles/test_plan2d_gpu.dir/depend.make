@@ -1,0 +1,2 @@
+# Empty dependencies file for test_plan2d_gpu.
+# This may be replaced when dependencies are built.

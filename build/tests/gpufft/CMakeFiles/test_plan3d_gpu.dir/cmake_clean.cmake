@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_plan3d_gpu.dir/test_plan3d_gpu.cpp.o"
+  "CMakeFiles/test_plan3d_gpu.dir/test_plan3d_gpu.cpp.o.d"
+  "test_plan3d_gpu"
+  "test_plan3d_gpu.pdb"
+  "test_plan3d_gpu[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_plan3d_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_plan_sweep.dir/test_plan_sweep.cpp.o"
+  "CMakeFiles/test_plan_sweep.dir/test_plan_sweep.cpp.o.d"
+  "test_plan_sweep"
+  "test_plan_sweep.pdb"
+  "test_plan_sweep[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_plan_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tiled_transpose.dir/test_tiled_transpose.cpp.o"
+  "CMakeFiles/test_tiled_transpose.dir/test_tiled_transpose.cpp.o.d"
+  "test_tiled_transpose"
+  "test_tiled_transpose.pdb"
+  "test_tiled_transpose[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tiled_transpose.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/gpufft
+# Build directory: /root/repo/build/tests/gpufft
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/gpufft/test_rank_kernels[1]_include.cmake")
+include("/root/repo/build/tests/gpufft/test_fine_kernel[1]_include.cmake")
+include("/root/repo/build/tests/gpufft/test_plan3d_gpu[1]_include.cmake")
+include("/root/repo/build/tests/gpufft/test_baselines[1]_include.cmake")
+include("/root/repo/build/tests/gpufft/test_copy_kernels[1]_include.cmake")
+include("/root/repo/build/tests/gpufft/test_noshared[1]_include.cmake")
+include("/root/repo/build/tests/gpufft/test_outofcore[1]_include.cmake")
+include("/root/repo/build/tests/gpufft/test_convolution[1]_include.cmake")
+include("/root/repo/build/tests/gpufft/test_tiled_transpose[1]_include.cmake")
+include("/root/repo/build/tests/gpufft/test_offload[1]_include.cmake")
+include("/root/repo/build/tests/gpufft/test_fp64[1]_include.cmake")
+include("/root/repo/build/tests/gpufft/test_plan_sweep[1]_include.cmake")
+include("/root/repo/build/tests/gpufft/test_plan2d_gpu[1]_include.cmake")
+include("/root/repo/build/tests/gpufft/test_convolution_properties[1]_include.cmake")

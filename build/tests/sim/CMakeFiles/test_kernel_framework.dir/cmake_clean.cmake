@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kernel_framework.dir/test_kernel_framework.cpp.o"
+  "CMakeFiles/test_kernel_framework.dir/test_kernel_framework.cpp.o.d"
+  "test_kernel_framework"
+  "test_kernel_framework.pdb"
+  "test_kernel_framework[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kernel_framework.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

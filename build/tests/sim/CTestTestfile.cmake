@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/sim
+# Build directory: /root/repo/build/tests/sim
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/sim/test_spec[1]_include.cmake")
+include("/root/repo/build/tests/sim/test_coalesce[1]_include.cmake")
+include("/root/repo/build/tests/sim/test_occupancy[1]_include.cmake")
+include("/root/repo/build/tests/sim/test_shmem[1]_include.cmake")
+include("/root/repo/build/tests/sim/test_dram[1]_include.cmake")
+include("/root/repo/build/tests/sim/test_pcie[1]_include.cmake")
+include("/root/repo/build/tests/sim/test_device[1]_include.cmake")
+include("/root/repo/build/tests/sim/test_cpumodel[1]_include.cmake")
+include("/root/repo/build/tests/sim/test_kernel_framework[1]_include.cmake")
+include("/root/repo/build/tests/sim/test_failures[1]_include.cmake")
