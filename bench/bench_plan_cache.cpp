@@ -1,0 +1,111 @@
+// Plan registry / resource cache: what a cached plan handle costs versus
+// building the plan cold, and how much device memory twiddle sharing
+// saves. Not a paper table — this benchmarks the plan-management layer
+// that the application confinement argument (Section 4.4) relies on when
+// one process keeps many transforms resident.
+#include <chrono>
+
+#include "bench_util.h"
+#include "gpufft/cache.h"
+#include "gpufft/registry.h"
+
+namespace repro::bench {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double us_since(Clock::time_point t0) {
+  return std::chrono::duration<double, std::micro>(Clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+}  // namespace repro::bench
+
+int main(int argc, char** argv) {
+  using namespace repro;
+  using gpufft::Direction;
+  using gpufft::PlanDesc;
+  bench::banner("Plan registry & resource cache");
+
+  sim::Device dev(sim::geforce_8800_gtx());
+  auto& registry = gpufft::PlanRegistry::of(dev);
+  auto& cache = gpufft::ResourceCache::of(dev);
+
+  // A workload of distinct transforms: both directions of four cube
+  // sizes, a 2-D plan, a batched 1-D plan, and the two baselines.
+  std::vector<PlanDesc> descs;
+  for (const std::size_t n : {16u, 32u, 64u, 128u}) {
+    descs.push_back(PlanDesc::bandwidth3d(cube(n), Direction::Forward));
+    descs.push_back(PlanDesc::bandwidth3d(cube(n), Direction::Inverse));
+  }
+  descs.push_back(PlanDesc::bandwidth2d(256, 256, Direction::Forward));
+  descs.push_back(PlanDesc::batch1d(256, 4096, Direction::Forward));
+  descs.push_back(
+      PlanDesc::conventional3d(cube(64), Direction::Forward));
+  descs.push_back(PlanDesc::naive3d(cube(64), Direction::Forward));
+
+  // Cold: every description is a miss (twiddle generation + PCIe upload +
+  // plan construction). Simulated time advances only on the cold path.
+  const double sim_ms0 = dev.elapsed_ms();
+  const auto t_cold = bench::Clock::now();
+  std::vector<std::shared_ptr<gpufft::FftPlan>> plans;
+  plans.reserve(descs.size());
+  for (const auto& d : descs) {
+    plans.push_back(registry.get_or_create(d));
+  }
+  const double cold_us = bench::us_since(t_cold);
+  const double cold_sim_ms = dev.elapsed_ms() - sim_ms0;
+
+  // Warm: the same workload again, many times — every lookup is a hit.
+  const int kRounds = 100;
+  const auto t_warm = bench::Clock::now();
+  for (int r = 0; r < kRounds; ++r) {
+    for (const auto& d : descs) {
+      benchmark::DoNotOptimize(registry.get_or_create(d));
+    }
+  }
+  const double warm_us = bench::us_since(t_warm) / kRounds;
+  const double warm_sim_ms = dev.elapsed_ms() - sim_ms0 - cold_sim_ms;
+
+  // Twiddle sharing: what the same plans would hold if each had uploaded
+  // its own tables (three per 3-D plan, two per 2-D, one per 1-D batch).
+  std::size_t private_bytes = 0;
+  for (const auto& d : descs) {
+    const std::size_t tables =
+        d.kind == gpufft::PlanKind::Bandwidth2D
+            ? 2
+            : (d.kind == gpufft::PlanKind::Batch1D ? 1 : 3);
+    private_bytes += tables * d.shape.nx * sizeof(cxf);
+  }
+
+  TextTable t;
+  t.header({"path", "host us / workload", "sim ms (PCIe)", "notes"});
+  t.row({"cold (all misses)", TextTable::fmt(cold_us, 1),
+         TextTable::fmt(cold_sim_ms, 3),
+         std::to_string(registry.misses()) + " misses"});
+  t.row({"cached (all hits)", TextTable::fmt(warm_us, 1),
+         TextTable::fmt(warm_sim_ms, 3),
+         std::to_string(registry.hits()) + " hits"});
+  t.row({"speedup", TextTable::fmt(cold_us / warm_us, 1) + "x", "-",
+         "acceptance: >= 10x"});
+  t.print(std::cout);
+
+  std::cout << "\ntwiddle tables: " << cache.twiddle_tables()
+            << " resident (" << cache.twiddle_bytes()
+            << " B shared vs " << private_bytes
+            << " B if per-plan), uploads " << cache.twiddle_uploads()
+            << ", hits " << cache.twiddle_hits() << "\n";
+
+  bench::add_row({"plan_cache/cold", cold_us * 1e-3,
+                  {{"misses", static_cast<double>(registry.misses())}}});
+  bench::add_row({"plan_cache/cached", warm_us * 1e-3,
+                  {{"hits", static_cast<double>(registry.hits())}}});
+  const bool ok = cold_us / warm_us >= 10.0 &&
+                  cache.twiddle_bytes() < private_bytes;
+  if (!ok) {
+    std::cout << "FAILED: cached path not >=10x cheaper or no sharing\n";
+    return 1;
+  }
+  return bench::run_benchmarks(argc, argv);
+}

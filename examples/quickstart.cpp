@@ -10,7 +10,8 @@
 #include "common/rng.h"
 #include "common/table.h"
 #include "fft/plan.h"
-#include "gpufft/plan.h"
+#include "gpufft/cache.h"
+#include "gpufft/registry.h"
 #include "sim/cpumodel.h"
 
 int main(int argc, char** argv) {
@@ -25,9 +26,13 @@ int main(int argc, char** argv) {
   const auto input = random_complex<float>(shape.volume(), 2008);
   dev.h2d(data, std::span<const cxf>(input));
 
-  // 2. Plan once, execute (the plan owns work buffers and twiddles).
-  gpufft::BandwidthFft3D plan(dev, shape, gpufft::Direction::Forward);
-  const auto steps = plan.execute(data);
+  // 2. Get a plan from the per-device registry and execute. A second
+  // get_or_create with the same description is a cache hit — twiddle
+  // tables and workspace are shared across every plan on the device.
+  auto& registry = gpufft::PlanRegistry::of(dev);
+  auto plan = registry.get_or_create(
+      gpufft::PlanDesc::bandwidth3d(shape, gpufft::Direction::Forward));
+  const auto steps = plan->execute(data);
 
   // 3. Download and verify against the host FFT library.
   std::vector<cxf> out(shape.volume());
@@ -45,9 +50,15 @@ int main(int argc, char** argv) {
   }
   t.print(std::cout);
   const double gflops =
-      sim::reported_fft_flops(shape) / (plan.last_total_ms() * 1e6);
-  std::cout << "\ntotal " << TextTable::fmt(plan.last_total_ms(), 2)
+      sim::reported_fft_flops(shape) / (plan->last_total_ms() * 1e6);
+  std::cout << "\ntotal " << TextTable::fmt(plan->last_total_ms(), 2)
             << " ms  ->  " << TextTable::fmt(gflops) << " GFLOPS"
             << "   (relative L2 error vs host FFT: " << err << ")\n";
+
+  const auto& cache = gpufft::ResourceCache::of(dev);
+  std::cout << "registry: " << registry.size() << " plan(s), "
+            << registry.hits() << " hit(s); cache: "
+            << cache.twiddle_tables() << " twiddle table(s), "
+            << cache.workspace_pool_bytes() / 1024 << " KiB workspace\n";
   return err < fft_error_bound<float>(shape.volume()) ? 0 : 1;
 }

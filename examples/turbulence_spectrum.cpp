@@ -13,7 +13,7 @@
 
 #include "common/rng.h"
 #include "common/table.h"
-#include "gpufft/plan.h"
+#include "gpufft/registry.h"
 
 int main(int argc, char** argv) {
   using namespace repro;
@@ -55,15 +55,20 @@ int main(int argc, char** argv) {
   sim::Device dev(sim::geforce_8800_gtx());
   auto data = dev.alloc<cxf>(shape.volume());
   dev.h2d(data, std::span<const cxf>(u_hat));
-  gpufft::BandwidthFft3D inv(dev, shape, gpufft::Direction::Inverse);
-  inv.execute(data);
+  // Both directions come from the per-device registry; they share one
+  // twiddle table for the cube's common axis length.
+  auto& registry = gpufft::PlanRegistry::of(dev);
+  auto inv = registry.get_or_create(
+      gpufft::PlanDesc::bandwidth3d(shape, gpufft::Direction::Inverse));
+  inv->execute(data);
   std::vector<cxf> field(shape.volume());
   dev.d2h(std::span<cxf>(field), data);
   for (auto& v : field) v.im = 0.0f;
 
   dev.h2d(data, std::span<const cxf>(field));
-  gpufft::BandwidthFft3D fwd(dev, shape, gpufft::Direction::Forward);
-  fwd.execute(data);
+  auto fwd = registry.get_or_create(
+      gpufft::PlanDesc::bandwidth3d(shape, gpufft::Direction::Forward));
+  fwd->execute(data);
   std::vector<cxf> back(shape.volume());
   dev.d2h(std::span<cxf>(back), data);
 

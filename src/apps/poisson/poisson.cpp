@@ -5,6 +5,7 @@
 
 #include "common/check.h"
 #include "fft/plan.h"
+#include "gpufft/registry.h"
 
 namespace repro::apps::poisson {
 namespace {
@@ -56,8 +57,12 @@ std::vector<cxf> solve_poisson_gpu(sim::Device& dev, Shape3 shape,
   auto data = dev.alloc<cxf>(shape.volume());
   dev.h2d(data, f);
 
-  gpufft::BandwidthFft3D fwd(dev, shape, gpufft::Direction::Forward);
-  fwd.execute(data);
+  // Repeated solves on the same grid reuse one pair of cached plans (and
+  // one shared twiddle table) through the per-device registry.
+  auto& registry = gpufft::PlanRegistry::of(dev);
+  auto fwd = registry.get_or_create(
+      gpufft::PlanDesc::bandwidth3d(shape, gpufft::Direction::Forward));
+  fwd->execute(data);
 
   // The eigenvalue multiply is a small elementwise pass; we stage it via
   // the host table here (a dedicated device kernel would hide the
@@ -67,8 +72,9 @@ std::vector<cxf> solve_poisson_gpu(sim::Device& dev, Shape3 shape,
   apply_inverse_laplacian(hat, shape, eig);
   dev.h2d(data, std::span<const cxf>(hat));
 
-  gpufft::BandwidthFft3D inv(dev, shape, gpufft::Direction::Inverse);
-  inv.execute(data);
+  auto inv = registry.get_or_create(
+      gpufft::PlanDesc::bandwidth3d(shape, gpufft::Direction::Inverse));
+  inv->execute(data);
   gpufft::ScaleKernel scale(data, shape.volume(),
                             1.0f / static_cast<float>(shape.volume()),
                             gpufft::default_grid_blocks(dev.spec()));

@@ -1,0 +1,57 @@
+#include "gpufft/batch1d.h"
+
+#include <algorithm>
+
+namespace repro::gpufft {
+
+template <typename T>
+Batch1DFftT<T>::Batch1DFftT(Device& dev, std::size_t n, std::size_t count,
+                            Direction dir, BandwidthPlanOptions options)
+    : PlanBaseT<T>(dev,
+                   PlanDesc::batch1d(n, count, dir,
+                                     std::is_same_v<T, float>
+                                         ? Precision::F32
+                                         : Precision::F64)),
+      opt_(options),
+      tw_(ResourceCache::of(dev).twiddles<T>(n, dir)) {
+  REPRO_CHECK_MSG(is_pow2(n) && n >= 16 && n <= 512,
+                  "line length must be a power of two in [16, 512]");
+  REPRO_CHECK(count > 0);
+  this->desc_.coarse_twiddles = opt_.coarse_twiddles;
+  this->desc_.fine_twiddles = opt_.fine_twiddles;
+  this->desc_.grid_blocks = opt_.grid_blocks;
+  if (opt_.grid_blocks == 0) {
+    opt_.grid_blocks = default_grid_blocks(dev.spec());
+  }
+}
+
+template <typename T>
+std::vector<StepTiming> Batch1DFftT<T>::execute(DeviceBuffer<cx<T>>& data) {
+  const std::size_t n = this->n();
+  const std::size_t count = this->count();
+  REPRO_CHECK(data.size() >= n * count);
+
+  FineKernelParams p;
+  p.n = n;
+  p.count = count;
+  p.dir = this->desc_.dir;
+  p.twiddles = opt_.fine_twiddles;
+  p.grid_blocks = opt_.grid_blocks;
+  p.threads_per_block = static_cast<unsigned>(
+      std::max<std::size_t>(n / 4, kDefaultThreadsPerBlock));
+  FineFftKernelT<T> k(data, data, p, tw_.get());
+  const auto r = this->dev_.launch(k);
+
+  std::vector<StepTiming> steps;
+  steps.push_back(StepTiming{
+      "batch1d (fine)", r.total_ms,
+      2.0 * static_cast<double>(n * count) * sizeof(cx<T>) /
+          (r.total_ms * 1e6)});
+  this->finish(steps);
+  return steps;
+}
+
+template class Batch1DFftT<float>;
+template class Batch1DFftT<double>;
+
+}  // namespace repro::gpufft

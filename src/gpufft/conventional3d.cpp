@@ -1,17 +1,12 @@
 #include "gpufft/conventional3d.h"
 
+#include "gpufft/cache.h"
+
 namespace repro::gpufft {
 namespace {
 
 double useful_gbs(std::size_t volume, double ms) {
   return 2.0 * static_cast<double>(volume) * sizeof(cxf) / (ms * 1e6);
-}
-
-DeviceBuffer<cxf> upload_roots(Device& dev, std::size_t n, Direction dir) {
-  auto w = make_roots<float>(n, dir);
-  auto buf = dev.alloc<cxf>(n);
-  dev.h2d(buf, std::span<const cxf>(w));
-  return buf;
 }
 
 }  // namespace
@@ -126,23 +121,26 @@ void TiledTransposeKernel::run_block(sim::BlockCtx& ctx) {
 ConventionalFft3D::ConventionalFft3D(Device& dev, Shape3 shape, Direction dir,
                                      unsigned grid_blocks,
                                      TransposeStrategy transpose)
-    : dev_(dev),
-      shape_(shape),
-      dir_(dir),
+    : PlanBaseT<float>(dev,
+                       PlanDesc::conventional3d(shape, dir, transpose)),
       grid_(grid_blocks == 0 ? default_grid_blocks(dev.spec()) : grid_blocks),
       transpose_(transpose),
-      work_(dev.alloc<cxf>(shape.volume())),
-      tw_x_(upload_roots(dev, shape.nx, dir)),
-      tw_y_(upload_roots(dev, shape.ny, dir)),
-      tw_z_(upload_roots(dev, shape.nz, dir)) {}
+      tw_x_(ResourceCache::of(dev).twiddles<float>(shape.nx, dir)),
+      tw_y_(ResourceCache::of(dev).twiddles<float>(shape.ny, dir)),
+      tw_z_(ResourceCache::of(dev).twiddles<float>(shape.nz, dir)) {
+  desc_.grid_blocks = grid_blocks;
+}
 
 std::vector<StepTiming> ConventionalFft3D::execute(DeviceBuffer<cxf>& data) {
-  REPRO_CHECK(data.size() == shape_.volume());
-  const auto [nx, ny, nz] = shape_;
+  const Shape3 shape = desc_.shape;
+  REPRO_CHECK(data.size() >= shape.volume());
+  auto ws = ResourceCache::of(dev_).lease<float>(shape.volume());
+  auto& work = ws.buffer();
+  const auto [nx, ny, nz] = shape;
   std::vector<StepTiming> steps;
   auto record = [&](const char* name, const LaunchResult& r) {
     steps.push_back(
-        StepTiming{name, r.total_ms, useful_gbs(shape_.volume(), r.total_ms)});
+        StepTiming{name, r.total_ms, useful_gbs(shape.volume(), r.total_ms)});
   };
 
   auto fft_lines = [&](DeviceBuffer<cxf>& in, DeviceBuffer<cxf>& out,
@@ -150,8 +148,8 @@ std::vector<StepTiming> ConventionalFft3D::execute(DeviceBuffer<cxf>& data) {
                        const char* name) {
     FineKernelParams p;
     p.n = n;
-    p.count = shape_.volume() / n;
-    p.dir = dir_;
+    p.count = shape.volume() / n;
+    p.dir = desc_.dir;
     p.grid_blocks = grid_;
     p.threads_per_block =
         static_cast<unsigned>(std::max<std::size_t>(n / 4, 64));
@@ -171,15 +169,14 @@ std::vector<StepTiming> ConventionalFft3D::execute(DeviceBuffer<cxf>& data) {
 
   // data starts as (x,y,z); ping-pong with the work buffer so the result
   // lands back in `data` after step 6.
-  fft_lines(data, work_, nx, tw_x_, "step1 (FFT X)");
-  transpose(work_, data, Shape3{nx, ny, nz}, "step2 (transpose->zxy)");
-  fft_lines(data, work_, nz, tw_z_, "step3 (FFT Z)");
-  transpose(work_, data, Shape3{nz, nx, ny}, "step4 (transpose->yzx)");
-  fft_lines(data, work_, ny, tw_y_, "step5 (FFT Y)");
-  transpose(work_, data, Shape3{ny, nz, nx}, "step6 (transpose->xyz)");
+  fft_lines(data, work, nx, *tw_x_, "step1 (FFT X)");
+  transpose(work, data, Shape3{nx, ny, nz}, "step2 (transpose->zxy)");
+  fft_lines(data, work, nz, *tw_z_, "step3 (FFT Z)");
+  transpose(work, data, Shape3{nz, nx, ny}, "step4 (transpose->yzx)");
+  fft_lines(data, work, ny, *tw_y_, "step5 (FFT Y)");
+  transpose(work, data, Shape3{ny, nz, nx}, "step6 (transpose->xyz)");
 
-  last_total_ms_ = 0.0;
-  for (const auto& s : steps) last_total_ms_ += s.ms;
+  finish(steps);
   return steps;
 }
 

@@ -10,6 +10,9 @@
 // five-step algorithm folds the reordering into the FFT passes instead.
 #pragma once
 
+#include <memory>
+
+#include "gpufft/fft_plan.h"
 #include "gpufft/fine_kernel.h"
 #include "gpufft/types.h"
 
@@ -57,32 +60,29 @@ class TiledTransposeKernel final : public sim::Kernel {
   unsigned grid_;
 };
 
-/// Transpose implementation selector for the six-step plan.
-enum class TransposeStrategy { Naive, Tiled };
-
-/// The six-step plan. Owns its work buffer; executes in place on `data`.
-class ConventionalFft3D {
+/// The six-step plan (TransposeStrategy selects the transpose kernel; the
+/// enum lives in plan_desc.h). Twiddles come shared from the
+/// ResourceCache; the ping-pong buffer is leased per execute.
+class ConventionalFft3D final : public PlanBaseT<float> {
  public:
   ConventionalFft3D(Device& dev, Shape3 shape, Direction dir,
                     unsigned grid_blocks = 0,
                     TransposeStrategy transpose = TransposeStrategy::Naive);
 
-  std::vector<StepTiming> execute(DeviceBuffer<cxf>& data);
+  std::vector<StepTiming> execute(DeviceBuffer<cxf>& data) override;
 
-  [[nodiscard]] Shape3 shape() const { return shape_; }
-  [[nodiscard]] double last_total_ms() const { return last_total_ms_; }
+  [[nodiscard]] std::size_t workspace_bytes() const override {
+    return desc_.shape.volume() * sizeof(cxf);
+  }
+
+  [[nodiscard]] Shape3 shape() const { return desc_.shape; }
 
  private:
-  Device& dev_;
-  Shape3 shape_;
-  Direction dir_;
   unsigned grid_;
   TransposeStrategy transpose_;
-  DeviceBuffer<cxf> work_;
-  DeviceBuffer<cxf> tw_x_;
-  DeviceBuffer<cxf> tw_y_;
-  DeviceBuffer<cxf> tw_z_;
-  double last_total_ms_ = 0.0;
+  std::shared_ptr<const DeviceBuffer<cxf>> tw_x_;
+  std::shared_ptr<const DeviceBuffer<cxf>> tw_y_;
+  std::shared_ptr<const DeviceBuffer<cxf>> tw_z_;
 };
 
 }  // namespace repro::gpufft

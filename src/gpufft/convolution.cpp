@@ -2,6 +2,8 @@
 
 #include <limits>
 
+#include "gpufft/registry.h"
+
 namespace repro::gpufft {
 
 PointwiseMultiplyKernel::PointwiseMultiplyKernel(
@@ -96,46 +98,66 @@ void ArgmaxRealKernel::run_block(sim::BlockCtx& ctx) {
 }
 
 Convolution3D::Convolution3D(Device& dev, Shape3 shape)
-    : dev_(dev),
-      shape_(shape),
+    : PlanBaseT<float>(dev, PlanDesc::convolution(shape)),
       grid_(default_grid_blocks(dev.spec())),
       filter_hat_(dev.alloc<cxf>(shape.volume())),
       signal_(dev.alloc<cxf>(shape.volume())),
       partial_(dev.alloc<cxf>(grid_)),
-      fwd_(dev, shape, Direction::Forward),
-      inv_(dev, shape, Direction::Inverse) {}
+      fwd_(PlanRegistry::of(dev).get_or_create(
+          PlanDesc::bandwidth3d(shape, Direction::Forward, Precision::F32))),
+      inv_(PlanRegistry::of(dev).get_or_create(
+          PlanDesc::bandwidth3d(shape, Direction::Inverse, Precision::F32))) {}
 
 void Convolution3D::set_filter(std::span<const cxf> filter) {
-  REPRO_CHECK(filter.size() == shape_.volume());
+  REPRO_CHECK(filter.size() == desc_.shape.volume());
   dev_.h2d(filter_hat_, filter);
-  fwd_.execute(filter_hat_);
+  fwd_->execute(filter_hat_);
   filter_set_ = true;
 }
 
-void Convolution3D::correlate_on_device(std::span<const cxf> signal) {
+std::vector<StepTiming> Convolution3D::execute(DeviceBuffer<cxf>& data) {
   REPRO_CHECK_MSG(filter_set_, "set_filter must be called first");
-  REPRO_CHECK(signal.size() == shape_.volume());
+  const std::size_t volume = desc_.shape.volume();
+  REPRO_CHECK(data.size() >= volume);
+  std::vector<StepTiming> steps;
+  auto record = [&](const char* name, const LaunchResult& r) {
+    const double gbs =
+        2.0 * static_cast<double>(volume) * sizeof(cxf) / (r.total_ms * 1e6);
+    steps.push_back(StepTiming{name, r.total_ms, gbs});
+  };
+
+  for (const auto& s : fwd_->execute(data)) {
+    steps.push_back(s);
+  }
+  PointwiseMultiplyKernel mul(data, filter_hat_, data, volume,
+                              /*conjugate_b=*/true, grid_);
+  record("pointwise multiply", dev_.launch(mul));
+  for (const auto& s : inv_->execute(data)) {
+    steps.push_back(s);
+  }
+  ScaleKernel scale(data, volume, 1.0f / static_cast<float>(volume), grid_);
+  record("scale 1/N", dev_.launch(scale));
+
+  finish(steps);
+  return steps;
+}
+
+void Convolution3D::correlate_on_device(std::span<const cxf> signal) {
+  REPRO_CHECK(signal.size() == desc_.shape.volume());
   dev_.h2d(signal_, signal);
-  fwd_.execute(signal_);
-  PointwiseMultiplyKernel mul(signal_, filter_hat_, signal_,
-                              shape_.volume(), /*conjugate_b=*/true, grid_);
-  dev_.launch(mul);
-  inv_.execute(signal_);
-  ScaleKernel scale(signal_, shape_.volume(),
-                    1.0f / static_cast<float>(shape_.volume()), grid_);
-  dev_.launch(scale);
+  execute(signal_);
 }
 
 std::vector<cxf> Convolution3D::correlate(std::span<const cxf> signal) {
   correlate_on_device(signal);
-  std::vector<cxf> out(shape_.volume());
+  std::vector<cxf> out(desc_.shape.volume());
   dev_.d2h(std::span<cxf>(out), signal_);
   return out;
 }
 
 BestMatch Convolution3D::best_translation(std::span<const cxf> signal) {
   correlate_on_device(signal);
-  ArgmaxRealKernel argmax(signal_, shape_.volume(), partial_, grid_);
+  ArgmaxRealKernel argmax(signal_, desc_.shape.volume(), partial_, grid_);
   dev_.launch(argmax);
   std::vector<cxf> candidates(grid_);
   dev_.d2h(std::span<cxf>(candidates), partial_);

@@ -7,6 +7,9 @@
 // application in src/apps/zdock is built on it.
 #pragma once
 
+#include <memory>
+
+#include "gpufft/fft_plan.h"
 #include "gpufft/plan.h"
 #include "gpufft/types.h"
 
@@ -56,13 +59,22 @@ struct BestMatch {
 };
 
 /// FFT-based circular convolution/correlation engine with a resident
-/// filter. All heavy data stays on the device between calls.
-class Convolution3D {
+/// filter. All heavy data stays on the device between calls. As an
+/// FftPlan, execute() correlates a device-resident signal against the
+/// resident filter in place (FFT, conjugate multiply, inverse FFT,
+/// 1/N scale); the forward/inverse sub-plans are shared through the
+/// PlanRegistry. Stateful (the filter), so the registry never constructs
+/// one — build it directly and set_filter() before executing.
+class Convolution3D final : public PlanBaseT<float> {
  public:
   Convolution3D(Device& dev, Shape3 shape);
 
   /// Upload and forward-transform the filter (done once per filter).
   void set_filter(std::span<const cxf> filter);
+
+  /// In-place correlation of a device-resident signal against the
+  /// resident filter: leaves the score volume in `data`.
+  std::vector<StepTiming> execute(DeviceBuffer<cxf>& data) override;
 
   /// Correlate `signal` against the resident filter and return the full
   /// score volume (downloads the whole volume: the non-confined path).
@@ -71,20 +83,23 @@ class Convolution3D {
   /// Confined path: correlate and return only the best translation.
   BestMatch best_translation(std::span<const cxf> signal);
 
-  [[nodiscard]] Shape3 shape() const { return shape_; }
+  [[nodiscard]] Shape3 shape() const { return desc_.shape; }
+
+  /// Resident filter spectrum + signal staging + argmax partials.
+  [[nodiscard]] std::size_t workspace_bytes() const override {
+    return (2 * desc_.shape.volume() + grid_) * sizeof(cxf);
+  }
 
  private:
   /// Shared pipeline: leaves the score volume in signal_.
   void correlate_on_device(std::span<const cxf> signal);
 
-  Device& dev_;
-  Shape3 shape_;
   unsigned grid_;
   DeviceBuffer<cxf> filter_hat_;
   DeviceBuffer<cxf> signal_;
   DeviceBuffer<cxf> partial_;
-  BandwidthFft3D fwd_;
-  BandwidthFft3D inv_;
+  std::shared_ptr<FftPlan> fwd_;
+  std::shared_ptr<FftPlan> inv_;
   bool filter_set_ = false;
 };
 

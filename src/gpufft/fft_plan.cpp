@@ -1,0 +1,54 @@
+#include "gpufft/fft_plan.h"
+
+#include "gpufft/cache.h"
+
+namespace repro::gpufft {
+
+template <typename T>
+std::vector<StepTiming> FftPlanT<T>::execute_batch(
+    std::span<DeviceBuffer<cx<T>>* const> volumes) {
+  REPRO_CHECK(!volumes.empty());
+  // One plan, one set of leased resources, volumes back-to-back. Steps of
+  // every volume line up (same plan), so per-step times accumulate.
+  std::vector<StepTiming> total;
+  std::vector<double> traffic;  // gbs * ms accumulator per step
+  for (auto* volume : volumes) {
+    REPRO_CHECK(volume != nullptr);
+    const auto steps = execute(*volume);
+    if (total.empty()) {
+      total = steps;
+      traffic.resize(steps.size());
+      for (std::size_t i = 0; i < steps.size(); ++i) {
+        traffic[i] = steps[i].gbs * steps[i].ms;
+      }
+    } else {
+      REPRO_CHECK(steps.size() == total.size());
+      for (std::size_t i = 0; i < steps.size(); ++i) {
+        total[i].ms += steps[i].ms;
+        traffic[i] += steps[i].gbs * steps[i].ms;
+      }
+    }
+  }
+  for (std::size_t i = 0; i < total.size(); ++i) {
+    total[i].gbs = total[i].ms > 0.0 ? traffic[i] / total[i].ms : 0.0;
+  }
+  return total;
+}
+
+template <typename T>
+std::vector<StepTiming> FftPlanT<T>::execute_host(std::span<cx<T>> data) {
+  Device& dev = device();
+  auto lease = ResourceCache::of(dev).template lease<T>(data.size());
+  auto& staging = lease.buffer();
+  dev.h2d(staging, std::span<const cx<T>>(data.data(), data.size()));
+  auto steps = execute(staging);
+  dev.d2h(data, staging);
+  return steps;
+}
+
+template class FftPlanT<float>;
+template class FftPlanT<double>;
+template class PlanBaseT<float>;
+template class PlanBaseT<double>;
+
+}  // namespace repro::gpufft

@@ -1,0 +1,101 @@
+// The abstract plan/executor seam every transform implements.
+//
+// A plan is described by a PlanDesc (shape, direction, precision,
+// algorithm — see plan_desc.h) and executed against caller-owned device
+// buffers; its twiddle tables come shared from the ResourceCache and its
+// workspace is leased per-execute from the cache's arena, so a plan holds
+// no heavy resources while idle. Obtain plans through the PlanRegistry
+// (registry.h) so equal descriptions share one instance.
+//
+// Entry points:
+//   execute        one device-resident volume, in place
+//   execute_batch  many same-shape volumes back-to-back through one
+//                  plan's resources (per-step times summed over the batch)
+//   execute_host   a host-resident volume, staged through a leased device
+//                  buffer (overridden by the out-of-core plan, whose
+//                  volumes never fit on the card at once)
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "gpufft/plan_desc.h"
+#include "gpufft/types.h"
+
+namespace repro::gpufft {
+
+template <typename T>
+class FftPlanT {
+ public:
+  virtual ~FftPlanT() = default;
+
+  /// Transform `data` (device-resident, natural x-fastest layout) in
+  /// place. Returns per-step timings (Table 6/7 rows).
+  virtual std::vector<StepTiming> execute(DeviceBuffer<cx<T>>& data) = 0;
+
+  /// Run every volume through this one plan's resources back-to-back.
+  /// Returned steps carry per-step times summed across the batch.
+  virtual std::vector<StepTiming> execute_batch(
+      std::span<DeviceBuffer<cx<T>>* const> volumes);
+
+  /// Transform a host-resident volume: upload into a leased staging
+  /// buffer, execute, download. The out-of-core plan overrides this with
+  /// its streamed two-phase algorithm.
+  virtual std::vector<StepTiming> execute_host(std::span<cx<T>> data);
+
+  /// The description this plan was built from.
+  [[nodiscard]] virtual const PlanDesc& desc() const = 0;
+
+  /// Device the plan executes on.
+  [[nodiscard]] virtual Device& device() const = 0;
+
+  /// Workspace bytes one execute() leases from the cache arena.
+  [[nodiscard]] virtual std::size_t workspace_bytes() const = 0;
+
+  /// Total simulated milliseconds of the last execute()/execute_batch().
+  [[nodiscard]] virtual double last_total_ms() const = 0;
+};
+
+using FftPlan = FftPlanT<float>;
+
+extern template class FftPlanT<float>;
+extern template class FftPlanT<double>;
+
+/// Shared boilerplate of the concrete plans: description, device, and the
+/// last-execute timing accumulator.
+template <typename T>
+class PlanBaseT : public FftPlanT<T> {
+ public:
+  std::vector<StepTiming> execute_batch(
+      std::span<DeviceBuffer<cx<T>>* const> volumes) override {
+    auto steps = FftPlanT<T>::execute_batch(volumes);
+    finish(steps);
+    return steps;
+  }
+
+  [[nodiscard]] const PlanDesc& desc() const override { return desc_; }
+  [[nodiscard]] Device& device() const override { return dev_; }
+  [[nodiscard]] double last_total_ms() const override {
+    return last_total_ms_;
+  }
+
+ protected:
+  PlanBaseT(Device& dev, const PlanDesc& desc) : dev_(dev), desc_(desc) {}
+
+  /// Sum `steps` into last_total_ms_ and return it.
+  double finish(const std::vector<StepTiming>& steps) {
+    last_total_ms_ = 0.0;
+    for (const auto& s : steps) last_total_ms_ += s.ms;
+    return last_total_ms_;
+  }
+
+  Device& dev_;
+  PlanDesc desc_;
+  double last_total_ms_ = 0.0;
+};
+
+extern template class PlanBaseT<float>;
+extern template class PlanBaseT<double>;
+
+}  // namespace repro::gpufft

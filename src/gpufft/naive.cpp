@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "gpufft/cache.h"
+
 namespace repro::gpufft {
 namespace {
 
@@ -48,7 +50,6 @@ sim::LaunchConfig Naive1DFftKernel::config() const {
 void Naive1DFftKernel::run_block(sim::BlockCtx& ctx) {
   const std::size_t n = n_;
   const std::size_t tpt = n / 2;
-  const int sign = fft::direction_sign(dir_);
   const unsigned stages = log2_exact(n);
 
   auto in = ctx.global(in_);
@@ -215,50 +216,52 @@ void DeviceCopyKernel::run_block(sim::BlockCtx& ctx) {
 
 NaiveFft3D::NaiveFft3D(Device& dev, Shape3 shape, Direction dir,
                        unsigned grid_blocks)
-    : dev_(dev),
-      shape_(shape),
-      dir_(dir),
-      grid_(grid_blocks == 0 ? default_grid_blocks(dev.spec()) : grid_blocks),
-      work_(dev.alloc<cxf>(shape.volume())) {}
+    : PlanBaseT<float>(dev, PlanDesc::naive3d(shape, dir)),
+      grid_(grid_blocks == 0 ? default_grid_blocks(dev.spec())
+                             : grid_blocks) {
+  desc_.grid_blocks = grid_blocks;
+}
 
 std::vector<StepTiming> NaiveFft3D::execute(DeviceBuffer<cxf>& data) {
-  REPRO_CHECK(data.size() == shape_.volume());
+  const Shape3 shape = desc_.shape;
+  REPRO_CHECK(data.size() >= shape.volume());
+  auto ws = ResourceCache::of(dev_).lease<float>(shape.volume());
+  auto& work = ws.buffer();
   std::vector<StepTiming> steps;
   auto record = [&](const std::string& name, const LaunchResult& r) {
     steps.push_back(
-        StepTiming{name, r.total_ms, useful_gbs(shape_.volume(), r.total_ms)});
+        StepTiming{name, r.total_ms, useful_gbs(shape.volume(), r.total_ms)});
   };
 
   // X axis: batched shared-memory FFT over contiguous lines (in place).
   {
-    Naive1DFftKernel k(data, data, shape_.nx,
-                       shape_.volume() / shape_.nx, dir_, grid_);
+    Naive1DFftKernel k(data, data, shape.nx, shape.volume() / shape.nx,
+                       desc_.dir, grid_);
     record("X (naive shared-memory FFT)", dev_.launch(k));
   }
 
   // Y and Z axes: one global radix-2 pass per stage, ping-ponging.
   for (Axis axis : {Axis::Y, Axis::Z}) {
-    const std::size_t n_ax = axis == Axis::Y ? shape_.ny : shape_.nz;
+    const std::size_t n_ax = axis == Axis::Y ? shape.ny : shape.nz;
     const unsigned stages = log2_exact(n_ax);
     DeviceBuffer<cxf>* src = &data;
-    DeviceBuffer<cxf>* dst = &work_;
+    DeviceBuffer<cxf>* dst = &work;
     for (unsigned s = 0; s < stages; ++s) {
       const std::size_t m = std::size_t{1} << s;
       const std::size_t l = n_ax / (2 * m);
-      GlobalRadix2Pass k(*src, *dst, shape_, axis, l, m, dir_, grid_);
+      GlobalRadix2Pass k(*src, *dst, shape, axis, l, m, desc_.dir, grid_);
       record(std::string(axis == Axis::Y ? "Y" : "Z") + " radix-2 pass " +
                  std::to_string(s + 1),
              dev_.launch(k));
       std::swap(src, dst);
     }
     if (src != &data) {
-      DeviceCopyKernel k(*src, data, shape_.volume(), grid_);
+      DeviceCopyKernel k(*src, data, shape.volume(), grid_);
       record("copy back", dev_.launch(k));
     }
   }
 
-  last_total_ms_ = 0.0;
-  for (const auto& s : steps) last_total_ms_ += s.ms;
+  finish(steps);
   return steps;
 }
 

@@ -17,6 +17,7 @@
 //   patterns — the CUFFT3D behaviour that loses 3x+ to the paper's kernel.
 #pragma once
 
+#include "gpufft/fft_plan.h"
 #include "gpufft/smallfft.h"
 #include "gpufft/types.h"
 
@@ -86,23 +87,21 @@ class DeviceCopyKernel final : public sim::Kernel {
 };
 
 /// CUFFT3D-like plan: shared-memory batched FFT along X, then log2(n)
-/// strided global radix-2 passes for Y and for Z.
-class NaiveFft3D {
+/// strided global radix-2 passes for Y and for Z. The ping-pong buffer is
+/// leased from the ResourceCache arena per execute.
+class NaiveFft3D final : public PlanBaseT<float> {
  public:
   NaiveFft3D(Device& dev, Shape3 shape, Direction dir,
              unsigned grid_blocks = 0);
 
-  std::vector<StepTiming> execute(DeviceBuffer<cxf>& data);
+  std::vector<StepTiming> execute(DeviceBuffer<cxf>& data) override;
 
-  [[nodiscard]] double last_total_ms() const { return last_total_ms_; }
+  [[nodiscard]] std::size_t workspace_bytes() const override {
+    return desc_.shape.volume() * sizeof(cxf);
+  }
 
  private:
-  Device& dev_;
-  Shape3 shape_;
-  Direction dir_;
   unsigned grid_;
-  DeviceBuffer<cxf> work_;
-  double last_total_ms_ = 0.0;
 };
 
 }  // namespace repro::gpufft

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "gpufft/cache.h"
+#include "gpufft/registry.h"
+
 namespace repro::gpufft {
 
 ZPencilFftKernel::ZPencilFftKernel(DeviceBuffer<cxf>& data, Shape3 slab,
@@ -87,15 +90,12 @@ void SlabTwiddleKernel::run_block(sim::BlockCtx& ctx) {
 
 OutOfCoreFft3D::OutOfCoreFft3D(Device& dev, std::size_t n, std::size_t splits,
                                Direction dir)
-    : dev_(dev),
+    : PlanBaseT<float>(dev, PlanDesc::out_of_core(n, splits, dir)),
       n_(n),
       splits_(splits),
-      dir_(dir),
       slab_shape_{n, n, n / splits},
-      // Phase 1 stages n/splits planes, phase 2 stages `splits` planes;
-      // one buffer serves both.
-      slab_(dev.alloc<cxf>(n * n * std::max(n / splits, splits))),
-      slab_plan_(dev, slab_shape_, dir),
+      slab_plan_(PlanRegistry::of(dev).get_or_create(
+          PlanDesc::bandwidth3d(slab_shape_, dir, Precision::F32))),
       host_work_(n * n * n) {
   REPRO_CHECK_MSG(n % splits == 0, "splits must divide n");
   REPRO_CHECK_MSG(splits >= 2 && splits <= kMaxFactor,
@@ -103,11 +103,24 @@ OutOfCoreFft3D::OutOfCoreFft3D(Device& dev, std::size_t n, std::size_t splits,
   REPRO_CHECK(is_pow2(n) && is_pow2(splits));
 }
 
+std::vector<StepTiming> OutOfCoreFft3D::execute(DeviceBuffer<cxf>&) {
+  REPRO_FAIL(
+      "out-of-core plans transform host-resident volumes that exceed device "
+      "memory; use execute_host()");
+}
+
 OutOfCoreTiming OutOfCoreFft3D::execute(std::span<cxf> host_data) {
   REPRO_CHECK(host_data.size() == n_ * n_ * n_);
   const std::size_t plane = n_ * n_;
   const std::size_t local_nz = n_ / splits_;
   const unsigned grid = default_grid_blocks(dev_.spec());
+
+  // Phase 1 stages n/splits planes, phase 2 stages `splits` planes; one
+  // arena lease (held only for the duration of the run) serves both.
+  auto ws = ResourceCache::of(dev_).lease<float>(
+      plane * std::max(local_nz, splits_));
+  auto& slab = ws.buffer();
+
   OutOfCoreTiming timing;
   auto lap = [this, last = dev_.elapsed_ms()](double& bucket) mutable {
     const double now = dev_.elapsed_ms();
@@ -120,20 +133,20 @@ OutOfCoreTiming OutOfCoreFft3D::execute(std::span<cxf> host_data) {
     for (std::size_t j = 0; j < local_nz; ++j) {
       const std::size_t z = residue + splits_ * j;
       const std::span<const cxf> src = host_data.subspan(z * plane, plane);
-      dev_.h2d(slab_, src, j * plane);
+      dev_.h2d(slab, src, j * plane);
     }
     lap(timing.h2d1_ms);
 
-    slab_plan_.execute(slab_);
+    slab_plan_->execute(slab);
     lap(timing.fft1_ms);
 
-    SlabTwiddleKernel tw(slab_, slab_shape_, n_, residue, dir_, grid);
+    SlabTwiddleKernel tw(slab, slab_shape_, n_, residue, desc_.dir, grid);
     dev_.launch(tw);
     lap(timing.twiddle_ms);
 
     for (std::size_t k = 0; k < local_nz; ++k) {
       const std::size_t z = residue + splits_ * k;
-      dev_.d2h(std::span<cxf>(host_work_).subspan(z * plane, plane), slab_,
+      dev_.d2h(std::span<cxf>(host_work_).subspan(z * plane, plane), slab,
                k * plane);
     }
     lap(timing.d2h1_ms);
@@ -142,22 +155,40 @@ OutOfCoreTiming OutOfCoreFft3D::execute(std::span<cxf> host_data) {
   // ---- Phase 2: splits-point FFTs across the residues ----
   const Shape3 pencil_slab{n_, n_, splits_};
   for (std::size_t k = 0; k < local_nz; ++k) {
-    dev_.h2d(slab_,
+    dev_.h2d(slab,
              std::span<const cxf>(host_work_)
                  .subspan(splits_ * k * plane, splits_ * plane));
     lap(timing.h2d2_ms);
 
-    ZPencilFftKernel fft(slab_, pencil_slab, dir_, grid);
+    ZPencilFftKernel fft(slab, pencil_slab, desc_.dir, grid);
     dev_.launch(fft);
     lap(timing.fft2_ms);
 
     for (std::size_t k2 = 0; k2 < splits_; ++k2) {
       const std::size_t z = k + local_nz * k2;
-      dev_.d2h(host_data.subspan(z * plane, plane), slab_, k2 * plane);
+      dev_.d2h(host_data.subspan(z * plane, plane), slab, k2 * plane);
     }
     lap(timing.d2h2_ms);
   }
+  last_timing_ = timing;
   return timing;
+}
+
+std::vector<StepTiming> OutOfCoreFft3D::execute_host(std::span<cxf> data) {
+  const OutOfCoreTiming t = execute(data);
+  const double bytes = static_cast<double>(n_ * n_ * n_) * sizeof(cxf);
+  auto row = [&](const char* name, double ms) {
+    // Each phase touches the full volume once in each direction.
+    return StepTiming{name, ms, ms > 0.0 ? 2.0 * bytes / (ms * 1e6) : 0.0};
+  };
+  std::vector<StepTiming> steps{
+      row("phase1 send", t.h2d1_ms),    row("phase1 slab FFT", t.fft1_ms),
+      row("phase1 twiddle", t.twiddle_ms), row("phase1 receive", t.d2h1_ms),
+      row("phase2 send", t.h2d2_ms),    row("phase2 pencil FFT", t.fft2_ms),
+      row("phase2 receive", t.d2h2_ms),
+  };
+  finish(steps);
+  return steps;
 }
 
 }  // namespace repro::gpufft

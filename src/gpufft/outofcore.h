@@ -18,6 +18,9 @@
 // Table 12 quantifies.
 #pragma once
 
+#include <memory>
+
+#include "gpufft/fft_plan.h"
 #include "gpufft/plan.h"
 #include "gpufft/types.h"
 
@@ -70,8 +73,12 @@ struct OutOfCoreTiming {
 };
 
 /// Out-of-core 3-D FFT of a host-resident cube of side n, streaming slabs
-/// of n/splits planes through the device. Transforms `host_data` in place.
-class OutOfCoreFft3D {
+/// of n/splits planes through the device. Transforms `host_data` in
+/// place. As an FftPlan it supports execute_host only — the volume never
+/// fits on the card, so execute(DeviceBuffer&) fails by design. The slab
+/// staging buffer is leased from the cache arena per run; the inner slab
+/// plan is shared through the registry.
+class OutOfCoreFft3D final : public PlanBaseT<float> {
  public:
   /// `splits` must divide n; the slab (2 buffers) must fit on the card.
   OutOfCoreFft3D(Device& dev, std::size_t n, std::size_t splits,
@@ -79,18 +86,33 @@ class OutOfCoreFft3D {
 
   OutOfCoreTiming execute(std::span<cxf> host_data);
 
+  /// Unsupported: the whole point of this plan is that the volume does
+  /// not fit in device memory.
+  std::vector<StepTiming> execute(DeviceBuffer<cxf>& data) override;
+
+  /// The FftPlan host entry point (phase-level rows of Table 12).
+  std::vector<StepTiming> execute_host(std::span<cxf> data) override;
+
+  /// Slab staging buffer leased during execute.
+  [[nodiscard]] std::size_t workspace_bytes() const override {
+    return n_ * n_ * std::max(n_ / splits_, splits_) * sizeof(cxf);
+  }
+
   [[nodiscard]] std::size_t n() const { return n_; }
   [[nodiscard]] std::size_t splits() const { return splits_; }
 
+  /// Phase breakdown of the last execute()/execute_host().
+  [[nodiscard]] const OutOfCoreTiming& last_timing() const {
+    return last_timing_;
+  }
+
  private:
-  Device& dev_;
   std::size_t n_;
   std::size_t splits_;
-  Direction dir_;
   Shape3 slab_shape_;
-  DeviceBuffer<cxf> slab_;
-  BandwidthFft3D slab_plan_;
+  std::shared_ptr<FftPlan> slab_plan_;
   std::vector<cxf> host_work_;
+  OutOfCoreTiming last_timing_{};
 };
 
 }  // namespace repro::gpufft

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <type_traits>
 
+#include "gpufft/cache.h"
+
 namespace repro::gpufft {
 namespace {
 
@@ -13,31 +15,27 @@ double useful_gbs(std::size_t volume, double ms, std::size_t elem_bytes) {
   return bytes / (ms * 1e6);  // bytes/ns == GB/s
 }
 
-template <typename T>
-DeviceBuffer<cx<T>> upload_roots(Device& dev, std::size_t n, Direction dir) {
-  auto w = make_roots<T>(n, dir);
-  auto buf = dev.alloc<cx<T>>(n);
-  dev.h2d(buf, std::span<const cx<T>>(w));
-  return buf;
-}
-
 }  // namespace
 
 template <typename T>
 BandwidthFft3DT<T>::BandwidthFft3DT(Device& dev, Shape3 shape, Direction dir,
                                     BandwidthPlanOptions options)
-    : dev_(dev),
-      shape_(shape),
-      dir_(dir),
+    : PlanBaseT<T>(dev,
+                   PlanDesc::bandwidth3d(shape, dir,
+                                         std::is_same_v<T, float>
+                                             ? Precision::F32
+                                             : Precision::F64)),
       opt_(options),
       sy_(split_axis(shape.ny)),
       sz_(split_axis(shape.nz)),
-      work_(dev.alloc<cx<T>>(shape.volume())),
-      tw_x_(upload_roots<T>(dev, shape.nx, dir)),
-      tw_y_(upload_roots<T>(dev, shape.ny, dir)),
-      tw_z_(upload_roots<T>(dev, shape.nz, dir)) {
+      tw_x_(ResourceCache::of(dev).twiddles<T>(shape.nx, dir)),
+      tw_y_(ResourceCache::of(dev).twiddles<T>(shape.ny, dir)),
+      tw_z_(ResourceCache::of(dev).twiddles<T>(shape.nz, dir)) {
   REPRO_CHECK_MSG(is_pow2(shape.nx) && shape.nx >= 16 && shape.nx <= 512,
                   "X extent must be a power of two in [16, 512]");
+  this->desc_.coarse_twiddles = opt_.coarse_twiddles;
+  this->desc_.fine_twiddles = opt_.fine_twiddles;
+  this->desc_.grid_blocks = opt_.grid_blocks;
   if (opt_.grid_blocks == 0) {
     opt_.grid_blocks = default_grid_blocks(dev.spec());
   }
@@ -46,10 +44,13 @@ BandwidthFft3DT<T>::BandwidthFft3DT(Device& dev, Shape3 shape, Direction dir,
 template <typename T>
 std::vector<StepTiming> BandwidthFft3DT<T>::execute(
     DeviceBuffer<cx<T>>& data) {
+  const Shape3 shape = this->desc_.shape;
   // >= rather than ==: the out-of-core driver reuses one oversized staging
   // buffer for differently-shaped phases.
-  REPRO_CHECK(data.size() >= shape_.volume());
-  const std::size_t nx = shape_.nx;
+  REPRO_CHECK(data.size() >= shape.volume());
+  auto ws = ResourceCache::of(this->dev_).template lease<T>(shape.volume());
+  auto& work = ws.buffer();
+  const std::size_t nx = shape.nx;
   const auto [f1y, f2y] = sy_;
   const auto [f1z, f2z] = sz_;
   std::vector<StepTiming> steps;
@@ -57,60 +58,59 @@ std::vector<StepTiming> BandwidthFft3DT<T>::execute(
   auto record = [&](const char* name, const LaunchResult& r) {
     steps.push_back(StepTiming{
         name, r.total_ms,
-        useful_gbs(shape_.volume(), r.total_ms, sizeof(cx<T>))});
+        useful_gbs(shape.volume(), r.total_ms, sizeof(cx<T>))});
   };
 
   RankKernelParams p;
-  p.dir = dir_;
+  p.dir = this->desc_.dir;
   p.twiddles = opt_.coarse_twiddles;
   p.grid_blocks = opt_.grid_blocks;
 
   // Step 1: Z-axis rank 1.  (nx, f1y, f2y, f1z, f2z) -> (nx, f2z, f1y, f2y, f1z)
   p.in_shape = Shape5{{nx, f1y, f2y, f1z, f2z}};
   {
-    Rank1KernelT<T> k(data, work_, p, shape_.nz, &tw_z_);
-    record("step1 (Z rank1)", dev_.launch(k));
+    Rank1KernelT<T> k(data, work, p, shape.nz, tw_z_.get());
+    record("step1 (Z rank1)", this->dev_.launch(k));
   }
 
   // Step 2: Z-axis rank 2.  -> (nx, f2z, f1z, f1y, f2y)
   p.in_shape = Shape5{{nx, f2z, f1y, f2y, f1z}};
   {
-    Rank2KernelT<T> k(work_, data, p);
-    record("step2 (Z rank2)", dev_.launch(k));
+    Rank2KernelT<T> k(work, data, p);
+    record("step2 (Z rank2)", this->dev_.launch(k));
   }
 
   // Step 3: Y-axis rank 1.  -> (nx, f2y, f2z, f1z, f1y)
   p.in_shape = Shape5{{nx, f2z, f1z, f1y, f2y}};
   {
-    Rank1KernelT<T> k(data, work_, p, shape_.ny, &tw_y_);
-    record("step3 (Y rank1)", dev_.launch(k));
+    Rank1KernelT<T> k(data, work, p, shape.ny, tw_y_.get());
+    record("step3 (Y rank1)", this->dev_.launch(k));
   }
 
   // Step 4: Y-axis rank 2.  -> (nx, f2y, f1y, f2z, f1z) == natural order.
   p.in_shape = Shape5{{nx, f2y, f2z, f1z, f1y}};
   {
-    Rank2KernelT<T> k(work_, data, p);
-    record("step4 (Y rank2)", dev_.launch(k));
+    Rank2KernelT<T> k(work, data, p);
+    record("step4 (Y rank2)", this->dev_.launch(k));
   }
 
   // Step 5: X-axis fine-grained in-place transform.
   {
     FineKernelParams fp;
     fp.n = nx;
-    fp.count = shape_.ny * shape_.nz;
-    fp.dir = dir_;
+    fp.count = shape.ny * shape.nz;
+    fp.dir = this->desc_.dir;
     fp.twiddles = opt_.fine_twiddles;
     fp.grid_blocks = opt_.grid_blocks;
     // A block must hold whole transform groups: 512-point lines need
     // 128-thread blocks (nx/4 threads per transform).
     fp.threads_per_block = static_cast<unsigned>(
         std::max<std::size_t>(nx / 4, kDefaultThreadsPerBlock));
-    FineFftKernelT<T> k(data, data, fp, &tw_x_);
-    record("step5 (X fine)", dev_.launch(k));
+    FineFftKernelT<T> k(data, data, fp, tw_x_.get());
+    record("step5 (X fine)", this->dev_.launch(k));
   }
 
-  last_total_ms_ = 0.0;
-  for (const auto& s : steps) last_total_ms_ += s.ms;
+  this->finish(steps);
   return steps;
 }
 

@@ -16,7 +16,9 @@
 #pragma once
 
 #include <array>
+#include <memory>
 
+#include "gpufft/fft_plan.h"
 #include "gpufft/fine_kernel.h"
 #include "gpufft/rank_kernels.h"
 #include "gpufft/types.h"
@@ -31,38 +33,37 @@ struct BandwidthPlanOptions {
 };
 
 /// Five-step 3-D FFT executing on a simulated device. Plan once, execute
-/// many; the plan owns its work buffer and device twiddle tables.
-/// Templated over the scalar type: float is the paper's configuration;
-/// double (its Section 4.5 future work) requires an fp64-capable spec
-/// such as geforce_gtx_280().
+/// many; twiddle tables are shared through the ResourceCache and the work
+/// buffer is leased from its arena per execute, so idle plans hold no
+/// full-volume memory. Templated over the scalar type: float is the
+/// paper's configuration; double (its Section 4.5 future work) requires
+/// an fp64-capable spec such as geforce_gtx_280().
 template <typename T>
-class BandwidthFft3DT {
+class BandwidthFft3DT final : public PlanBaseT<T> {
  public:
   BandwidthFft3DT(Device& dev, Shape3 shape, Direction dir,
                   BandwidthPlanOptions options = {});
 
   /// Transform `data` (natural x-fastest volume on the device) in place.
   /// Returns per-step timings (Table 7 rows).
-  std::vector<StepTiming> execute(DeviceBuffer<cx<T>>& data);
+  std::vector<StepTiming> execute(DeviceBuffer<cx<T>>& data) override;
 
-  [[nodiscard]] Shape3 shape() const { return shape_; }
-  [[nodiscard]] Direction direction() const { return dir_; }
+  /// One full-volume ping-pong buffer, leased during execute().
+  [[nodiscard]] std::size_t workspace_bytes() const override {
+    return this->desc_.shape.volume() * sizeof(cx<T>);
+  }
 
-  /// Total simulated milliseconds of the last execute().
-  [[nodiscard]] double last_total_ms() const { return last_total_ms_; }
+  [[nodiscard]] Shape3 shape() const { return this->desc_.shape; }
+  [[nodiscard]] Direction direction() const { return this->desc_.dir; }
 
  private:
-  Device& dev_;
-  Shape3 shape_;
-  Direction dir_;
   BandwidthPlanOptions opt_;
   AxisSplit sy_;
   AxisSplit sz_;
-  DeviceBuffer<cx<T>> work_;
-  DeviceBuffer<cx<T>> tw_x_;   ///< step-5 texture twiddles (nx roots)
-  DeviceBuffer<cx<T>> tw_y_;   ///< step-3 texture twiddles when requested
-  DeviceBuffer<cx<T>> tw_z_;   ///< step-1 texture twiddles when requested
-  double last_total_ms_ = 0.0;
+  /// Shared device twiddle tables (one per distinct axis length).
+  std::shared_ptr<const DeviceBuffer<cx<T>>> tw_x_;  ///< step-5 (nx roots)
+  std::shared_ptr<const DeviceBuffer<cx<T>>> tw_y_;  ///< step-3 texture
+  std::shared_ptr<const DeviceBuffer<cx<T>>> tw_z_;  ///< step-1 texture
 };
 
 extern template class BandwidthFft3DT<float>;

@@ -1,75 +1,82 @@
 #include "gpufft/plan2d.h"
 
+#include <algorithm>
+
+#include "gpufft/cache.h"
+
 namespace repro::gpufft {
 
 template <typename T>
 BandwidthFft2DT<T>::BandwidthFft2DT(Device& dev, Shape2 shape, Direction dir,
                                     BandwidthPlanOptions options)
-    : dev_(dev),
-      shape_(shape),
-      dir_(dir),
+    : PlanBaseT<T>(dev,
+                   PlanDesc::bandwidth2d(shape.nx, shape.ny, dir,
+                                         std::is_same_v<T, float>
+                                             ? Precision::F32
+                                             : Precision::F64)),
       opt_(options),
       sy_(split_axis(shape.ny)),
-      work_(dev.alloc<cx<T>>(shape.area())),
-      tw_x_(dev.alloc<cx<T>>(shape.nx)),
-      tw_y_(dev.alloc<cx<T>>(shape.ny)) {
+      tw_x_(ResourceCache::of(dev).twiddles<T>(shape.nx, dir)),
+      tw_y_(ResourceCache::of(dev).twiddles<T>(shape.ny, dir)) {
   REPRO_CHECK_MSG(is_pow2(shape.nx) && shape.nx >= 16 && shape.nx <= 512,
                   "X extent must be a power of two in [16, 512]");
+  this->desc_.coarse_twiddles = opt_.coarse_twiddles;
+  this->desc_.fine_twiddles = opt_.fine_twiddles;
+  this->desc_.grid_blocks = opt_.grid_blocks;
   if (opt_.grid_blocks == 0) {
     opt_.grid_blocks = default_grid_blocks(dev.spec());
   }
-  const auto roots_x = make_roots<T>(shape.nx, dir);
-  dev.h2d(tw_x_, std::span<const cx<T>>(roots_x));
-  const auto roots_y = make_roots<T>(shape.ny, dir);
-  dev.h2d(tw_y_, std::span<const cx<T>>(roots_y));
 }
 
 template <typename T>
 std::vector<StepTiming> BandwidthFft2DT<T>::execute(
     DeviceBuffer<cx<T>>& data) {
-  REPRO_CHECK(data.size() >= shape_.area());
-  const std::size_t nx = shape_.nx;
+  const std::size_t nx = this->desc_.shape.nx;
+  const std::size_t ny = this->desc_.shape.ny;
+  const std::size_t area = nx * ny;
+  REPRO_CHECK(data.size() >= area);
+  auto ws = ResourceCache::of(this->dev_).template lease<T>(area);
+  auto& work = ws.buffer();
   const auto [f1, f2] = sy_;
   std::vector<StepTiming> steps;
   auto record = [&](const char* name, const LaunchResult& r) {
-    const double gbs = 2.0 * static_cast<double>(shape_.area()) *
-                       sizeof(cx<T>) / (r.total_ms * 1e6);
+    const double gbs = 2.0 * static_cast<double>(area) * sizeof(cx<T>) /
+                       (r.total_ms * 1e6);
     steps.push_back(StepTiming{name, r.total_ms, gbs});
   };
 
   RankKernelParams p;
-  p.dir = dir_;
+  p.dir = this->desc_.dir;
   p.twiddles = opt_.coarse_twiddles;
   p.grid_blocks = opt_.grid_blocks;
 
   // Y axis rank 1: view (nx, 1, 1, f1, f2), transform the high digit.
   p.in_shape = Shape5{{nx, 1, 1, f1, f2}};
   {
-    Rank1KernelT<T> k(data, work_, p, shape_.ny, &tw_y_);
-    record("Y rank1", dev_.launch(k));
+    Rank1KernelT<T> k(data, work, p, ny, tw_y_.get());
+    record("Y rank1", this->dev_.launch(k));
   }
   // Y axis rank 2: view (nx, f2, 1, 1, f1), transform the low digit.
   p.in_shape = Shape5{{nx, f2, 1, 1, f1}};
   {
-    Rank2KernelT<T> k(work_, data, p);
-    record("Y rank2", dev_.launch(k));
+    Rank2KernelT<T> k(work, data, p);
+    record("Y rank2", this->dev_.launch(k));
   }
   // X axis: fine-grained shared-memory transform over ny lines.
   {
     FineKernelParams fp;
     fp.n = nx;
-    fp.count = shape_.ny;
-    fp.dir = dir_;
+    fp.count = ny;
+    fp.dir = this->desc_.dir;
     fp.twiddles = opt_.fine_twiddles;
     fp.grid_blocks = opt_.grid_blocks;
     fp.threads_per_block = static_cast<unsigned>(
         std::max<std::size_t>(nx / 4, kDefaultThreadsPerBlock));
-    FineFftKernelT<T> k(data, data, fp, &tw_x_);
-    record("X fine", dev_.launch(k));
+    FineFftKernelT<T> k(data, data, fp, tw_x_.get());
+    record("X fine", this->dev_.launch(k));
   }
 
-  last_total_ms_ = 0.0;
-  for (const auto& s : steps) last_total_ms_ += s.ms;
+  this->finish(steps);
   return steps;
 }
 

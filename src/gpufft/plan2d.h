@@ -6,7 +6,10 @@
 // to the 3-D case).
 #pragma once
 
+#include <memory>
+
 #include "fft/plan2d.h"
+#include "gpufft/fft_plan.h"
 #include "gpufft/plan.h"
 #include "gpufft/fine_kernel.h"
 #include "gpufft/rank_kernels.h"
@@ -17,27 +20,27 @@ using fft::Shape2;
 
 /// Three-launch 2-D FFT plan (nx in [16,512], ny in [4,512], powers of 2).
 template <typename T>
-class BandwidthFft2DT {
+class BandwidthFft2DT final : public PlanBaseT<T> {
  public:
   BandwidthFft2DT(Device& dev, Shape2 shape, Direction dir,
                   BandwidthPlanOptions options = {});
 
   /// Transform one field (natural x-fastest layout) in place.
-  std::vector<StepTiming> execute(DeviceBuffer<cx<T>>& data);
+  std::vector<StepTiming> execute(DeviceBuffer<cx<T>>& data) override;
 
-  [[nodiscard]] Shape2 shape() const { return shape_; }
-  [[nodiscard]] double last_total_ms() const { return last_total_ms_; }
+  [[nodiscard]] std::size_t workspace_bytes() const override {
+    return this->desc_.shape.volume() * sizeof(cx<T>);
+  }
+
+  [[nodiscard]] Shape2 shape() const {
+    return Shape2{this->desc_.shape.nx, this->desc_.shape.ny};
+  }
 
  private:
-  Device& dev_;
-  Shape2 shape_;
-  Direction dir_;
   BandwidthPlanOptions opt_;
   AxisSplit sy_;
-  DeviceBuffer<cx<T>> work_;
-  DeviceBuffer<cx<T>> tw_x_;
-  DeviceBuffer<cx<T>> tw_y_;
-  double last_total_ms_ = 0.0;
+  std::shared_ptr<const DeviceBuffer<cx<T>>> tw_x_;
+  std::shared_ptr<const DeviceBuffer<cx<T>>> tw_y_;
 };
 
 extern template class BandwidthFft2DT<float>;

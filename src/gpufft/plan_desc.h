@@ -1,0 +1,188 @@
+// Plan descriptions: the value type that identifies a transform.
+//
+// A PlanDesc carries everything needed to (re)construct a plan — kind,
+// shape, direction, precision, and the algorithm options that change the
+// generated kernels — and nothing that is an execution resource. Two plans
+// with equal descriptions are interchangeable, which is what lets the
+// PlanRegistry hand out one shared instance and the ResourceCache share
+// twiddle tables between them (cuFFT-style plan handles: the description
+// is the key, the executor owns no irreplaceable state).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+
+#include "gpufft/types.h"
+
+namespace repro::gpufft {
+
+/// Which transform algorithm a plan runs.
+enum class PlanKind {
+  Bandwidth3D,     ///< the paper's five-step kernel (plan.h)
+  Conventional3D,  ///< six-step FFT+transpose baseline (conventional3d.h)
+  Naive3D,         ///< CUFFT 1.1-class baseline (naive.h)
+  Bandwidth2D,     ///< three-launch 2-D plan (plan2d.h)
+  Batch1D,         ///< batched fine-grained 1-D lines (batch1d.h, Table 8)
+  OutOfCore,       ///< host-resident streamed 3-D FFT (outofcore.h)
+  Convolution,     ///< FFT convolution/correlation pipeline (convolution.h)
+};
+
+inline const char* plan_kind_name(PlanKind k) {
+  switch (k) {
+    case PlanKind::Bandwidth3D: return "bandwidth3d";
+    case PlanKind::Conventional3D: return "conventional3d";
+    case PlanKind::Naive3D: return "naive3d";
+    case PlanKind::Bandwidth2D: return "bandwidth2d";
+    case PlanKind::Batch1D: return "batch1d";
+    case PlanKind::OutOfCore: return "outofcore";
+    default: return "convolution";
+  }
+}
+
+/// Scalar precision of a plan (the paper runs float; double is its
+/// Section 4.5 future work).
+enum class Precision { F32, F64 };
+
+inline const char* precision_name(Precision p) {
+  return p == Precision::F32 ? "f32" : "f64";
+}
+
+/// Transpose implementation selector for the six-step plan.
+enum class TransposeStrategy { Naive, Tiled };
+
+/// Immutable description of a transform. Hashable and equality-comparable
+/// so it can key the plan registry and the twiddle/workspace caches.
+struct PlanDesc {
+  PlanKind kind{PlanKind::Bandwidth3D};
+  /// 3-D extents. Bandwidth2D uses (nx, ny, 1); Batch1D uses
+  /// (n, count, 1); OutOfCore uses cube(n).
+  Shape3 shape{};
+  Direction dir{Direction::Forward};
+  Precision precision{Precision::F32};
+  TwiddleSource coarse_twiddles{TwiddleSource::Registers};  ///< steps 1-4
+  TwiddleSource fine_twiddles{TwiddleSource::Texture};      ///< step 5
+  unsigned grid_blocks{0};  ///< 0 = 3 blocks per SM (the paper's choice)
+  TransposeStrategy transpose{TransposeStrategy::Naive};  ///< Conventional3D
+  std::size_t splits{0};                                  ///< OutOfCore
+
+  friend bool operator==(const PlanDesc& a, const PlanDesc& b) {
+    return a.kind == b.kind && a.shape == b.shape && a.dir == b.dir &&
+           a.precision == b.precision &&
+           a.coarse_twiddles == b.coarse_twiddles &&
+           a.fine_twiddles == b.fine_twiddles &&
+           a.grid_blocks == b.grid_blocks && a.transpose == b.transpose &&
+           a.splits == b.splits;
+  }
+  friend bool operator!=(const PlanDesc& a, const PlanDesc& b) {
+    return !(a == b);
+  }
+
+  [[nodiscard]] std::size_t hash() const {
+    // FNV-1a over the description fields.
+    std::uint64_t h = 1469598103934665603ull;
+    auto mix = [&h](std::uint64_t v) {
+      h ^= v;
+      h *= 1099511628211ull;
+    };
+    mix(static_cast<std::uint64_t>(kind));
+    mix(shape.nx);
+    mix(shape.ny);
+    mix(shape.nz);
+    mix(static_cast<std::uint64_t>(dir));
+    mix(static_cast<std::uint64_t>(precision));
+    mix(static_cast<std::uint64_t>(coarse_twiddles));
+    mix(static_cast<std::uint64_t>(fine_twiddles));
+    mix(grid_blocks);
+    mix(static_cast<std::uint64_t>(transpose));
+    mix(splits);
+    return static_cast<std::size_t>(h);
+  }
+
+  [[nodiscard]] std::string to_string() const {
+    std::string s = plan_kind_name(kind);
+    s += " " + std::to_string(shape.nx) + "x" + std::to_string(shape.ny) +
+         "x" + std::to_string(shape.nz);
+    s += dir == Direction::Forward ? " fwd " : " inv ";
+    s += precision_name(precision);
+    if (kind == PlanKind::OutOfCore) {
+      s += " splits=" + std::to_string(splits);
+    }
+    return s;
+  }
+
+  // ---- Factories for the supported transform kinds ----
+
+  static PlanDesc bandwidth3d(Shape3 shape, Direction dir,
+                              Precision prec = Precision::F32) {
+    PlanDesc d;
+    d.kind = PlanKind::Bandwidth3D;
+    d.shape = shape;
+    d.dir = dir;
+    d.precision = prec;
+    return d;
+  }
+
+  static PlanDesc conventional3d(
+      Shape3 shape, Direction dir,
+      TransposeStrategy transpose = TransposeStrategy::Naive) {
+    PlanDesc d;
+    d.kind = PlanKind::Conventional3D;
+    d.shape = shape;
+    d.dir = dir;
+    d.transpose = transpose;
+    return d;
+  }
+
+  static PlanDesc naive3d(Shape3 shape, Direction dir) {
+    PlanDesc d;
+    d.kind = PlanKind::Naive3D;
+    d.shape = shape;
+    d.dir = dir;
+    return d;
+  }
+
+  static PlanDesc bandwidth2d(std::size_t nx, std::size_t ny, Direction dir,
+                              Precision prec = Precision::F32) {
+    PlanDesc d;
+    d.kind = PlanKind::Bandwidth2D;
+    d.shape = Shape3{nx, ny, 1};
+    d.dir = dir;
+    d.precision = prec;
+    return d;
+  }
+
+  static PlanDesc batch1d(std::size_t n, std::size_t count, Direction dir,
+                          Precision prec = Precision::F32) {
+    PlanDesc d;
+    d.kind = PlanKind::Batch1D;
+    d.shape = Shape3{n, count, 1};
+    d.dir = dir;
+    d.precision = prec;
+    return d;
+  }
+
+  static PlanDesc out_of_core(std::size_t n, std::size_t splits,
+                              Direction dir) {
+    PlanDesc d;
+    d.kind = PlanKind::OutOfCore;
+    d.shape = cube(n);
+    d.dir = dir;
+    d.splits = splits;
+    return d;
+  }
+
+  static PlanDesc convolution(Shape3 shape) {
+    PlanDesc d;
+    d.kind = PlanKind::Convolution;
+    d.shape = shape;
+    d.dir = Direction::Forward;
+    return d;
+  }
+};
+
+struct PlanDescHash {
+  std::size_t operator()(const PlanDesc& d) const { return d.hash(); }
+};
+
+}  // namespace repro::gpufft

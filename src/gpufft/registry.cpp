@@ -1,0 +1,112 @@
+#include "gpufft/registry.h"
+
+#include "gpufft/batch1d.h"
+#include "gpufft/conventional3d.h"
+#include "gpufft/naive.h"
+#include "gpufft/outofcore.h"
+#include "gpufft/plan.h"
+#include "gpufft/plan2d.h"
+
+namespace repro::gpufft {
+
+template <typename T>
+std::shared_ptr<FftPlanT<T>> make_plan(Device& dev, const PlanDesc& desc) {
+  constexpr bool is_f32 = std::is_same_v<T, float>;
+  REPRO_CHECK_MSG(desc.precision ==
+                      (is_f32 ? Precision::F32 : Precision::F64),
+                  "plan description precision does not match the request");
+  BandwidthPlanOptions opt;
+  opt.coarse_twiddles = desc.coarse_twiddles;
+  opt.fine_twiddles = desc.fine_twiddles;
+  opt.grid_blocks = desc.grid_blocks;
+
+  switch (desc.kind) {
+    case PlanKind::Bandwidth3D:
+      return std::make_shared<BandwidthFft3DT<T>>(dev, desc.shape, desc.dir,
+                                                  opt);
+    case PlanKind::Bandwidth2D:
+      return std::make_shared<BandwidthFft2DT<T>>(
+          dev, Shape2{desc.shape.nx, desc.shape.ny}, desc.dir, opt);
+    case PlanKind::Batch1D:
+      return std::make_shared<Batch1DFftT<T>>(dev, desc.shape.nx,
+                                              desc.shape.ny, desc.dir, opt);
+    default:
+      break;
+  }
+  // The remaining kinds are implemented in single precision only.
+  if constexpr (is_f32) {
+    switch (desc.kind) {
+      case PlanKind::Conventional3D:
+        return std::make_shared<ConventionalFft3D>(
+            dev, desc.shape, desc.dir, desc.grid_blocks, desc.transpose);
+      case PlanKind::Naive3D:
+        return std::make_shared<NaiveFft3D>(dev, desc.shape, desc.dir,
+                                            desc.grid_blocks);
+      case PlanKind::OutOfCore:
+        return std::make_shared<OutOfCoreFft3D>(dev, desc.shape.nx,
+                                                desc.splits, desc.dir);
+      default:
+        REPRO_FAIL(
+            "convolution plans hold a resident filter; construct "
+            "Convolution3D directly");
+    }
+  } else {
+    REPRO_FAIL("this plan kind is implemented in single precision only");
+  }
+}
+
+template <typename T>
+std::shared_ptr<FftPlanT<T>> PlanRegistry::get_or_create_as(
+    const PlanDesc& desc) {
+  if (auto* slot = find(desc)) {
+    ++hits_;
+    return std::static_pointer_cast<FftPlanT<T>>(*slot);
+  }
+  ++misses_;
+  auto plan = make_plan<T>(dev_, desc);
+  insert(desc, plan);
+  return plan;
+}
+
+std::shared_ptr<void>* PlanRegistry::find(const PlanDesc& desc) {
+  const auto it = index_.find(desc);
+  if (it == index_.end()) return nullptr;
+  lru_.splice(lru_.begin(), lru_, it->second);  // refresh to MRU
+  return &it->second->plan;
+}
+
+void PlanRegistry::insert(const PlanDesc& desc, std::shared_ptr<void> plan) {
+  lru_.push_front(Entry{desc, std::move(plan)});
+  index_[desc] = lru_.begin();
+  evict_to_capacity();
+}
+
+void PlanRegistry::evict_to_capacity() {
+  while (index_.size() > capacity_) {
+    index_.erase(lru_.back().desc);
+    lru_.pop_back();
+    ++evictions_;
+  }
+}
+
+void PlanRegistry::set_capacity(std::size_t capacity) {
+  REPRO_CHECK(capacity > 0);
+  capacity_ = capacity;
+  evict_to_capacity();
+}
+
+void PlanRegistry::clear() {
+  index_.clear();
+  lru_.clear();
+}
+
+template std::shared_ptr<FftPlanT<float>> make_plan<float>(Device&,
+                                                           const PlanDesc&);
+template std::shared_ptr<FftPlanT<double>> make_plan<double>(
+    Device&, const PlanDesc&);
+template std::shared_ptr<FftPlanT<float>>
+PlanRegistry::get_or_create_as<float>(const PlanDesc&);
+template std::shared_ptr<FftPlanT<double>>
+PlanRegistry::get_or_create_as<double>(const PlanDesc&);
+
+}  // namespace repro::gpufft

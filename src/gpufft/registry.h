@@ -1,0 +1,100 @@
+// The front door for obtaining plans.
+//
+//   auto plan = PlanRegistry::of(dev).get_or_create(
+//       PlanDesc::bandwidth3d(cube(256), Direction::Forward));
+//   plan->execute(data);
+//
+// Equal descriptions share one plan instance (cuFFT-style plan handles):
+// a registry hit costs a hash lookup instead of twiddle-table generation,
+// PCIe uploads, and device allocations. The registry keeps at most
+// `capacity()` plans, evicting the least-recently-used — holders of an
+// evicted shared_ptr keep a working plan; the registry just stops handing
+// it out. Hit/miss/eviction counters feed the bench_plan_cache report.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <unordered_map>
+
+#include "gpufft/fft_plan.h"
+#include "gpufft/plan_desc.h"
+
+namespace repro::gpufft {
+
+class PlanRegistry {
+ public:
+  explicit PlanRegistry(Device& dev) : dev_(dev) {}
+
+  PlanRegistry(const PlanRegistry&) = delete;
+  PlanRegistry& operator=(const PlanRegistry&) = delete;
+
+  /// The registry of `dev` (created on first use, device lifetime).
+  static PlanRegistry& of(Device& dev) {
+    return dev.local<PlanRegistry>();
+  }
+
+  /// Single-precision front door (the paper's configuration). The
+  /// description must have precision F32.
+  std::shared_ptr<FftPlan> get_or_create(const PlanDesc& desc) {
+    return get_or_create_as<float>(desc);
+  }
+
+  /// Precision-typed lookup; desc.precision must match T.
+  template <typename T>
+  std::shared_ptr<FftPlanT<T>> get_or_create_as(const PlanDesc& desc);
+
+  [[nodiscard]] std::uint64_t hits() const { return hits_; }
+  [[nodiscard]] std::uint64_t misses() const { return misses_; }
+  [[nodiscard]] std::uint64_t evictions() const { return evictions_; }
+  [[nodiscard]] std::size_t size() const { return index_.size(); }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+  /// Shrink/grow the LRU window (evicts immediately when shrinking).
+  void set_capacity(std::size_t capacity);
+
+  /// Whether a plan for `desc` is currently resident (does not touch the
+  /// LRU order or counters).
+  [[nodiscard]] bool contains(const PlanDesc& desc) const {
+    return index_.find(desc) != index_.end();
+  }
+
+  /// Drop every cached plan (outstanding shared_ptrs stay valid).
+  void clear();
+
+ private:
+  struct Entry {
+    PlanDesc desc;
+    std::shared_ptr<void> plan;  // FftPlanT<float> or FftPlanT<double>
+  };
+
+  /// Find `desc`, refreshing LRU order; nullptr when absent.
+  std::shared_ptr<void>* find(const PlanDesc& desc);
+  void insert(const PlanDesc& desc, std::shared_ptr<void> plan);
+  void evict_to_capacity();
+
+  Device& dev_;
+  std::list<Entry> lru_;  // most-recently-used first
+  std::unordered_map<PlanDesc, std::list<Entry>::iterator, PlanDescHash>
+      index_;
+  std::size_t capacity_ = 32;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+};
+
+/// Construct a fresh plan for `desc` outside the registry (the registry's
+/// factory; exposed for cold-path benchmarking).
+template <typename T>
+std::shared_ptr<FftPlanT<T>> make_plan(Device& dev, const PlanDesc& desc);
+
+extern template std::shared_ptr<FftPlanT<float>> make_plan<float>(
+    Device&, const PlanDesc&);
+extern template std::shared_ptr<FftPlanT<double>> make_plan<double>(
+    Device&, const PlanDesc&);
+extern template std::shared_ptr<FftPlanT<float>>
+PlanRegistry::get_or_create_as<float>(const PlanDesc&);
+extern template std::shared_ptr<FftPlanT<double>>
+PlanRegistry::get_or_create_as<double>(const PlanDesc&);
+
+}  // namespace repro::gpufft

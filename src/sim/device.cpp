@@ -21,6 +21,8 @@ Allocation Device::allocate_raw(std::size_t bytes) {
   a.bytes = bytes;
   next_addr_ = a.base_addr + bytes;
   allocated_bytes_ += bytes;
+  peak_allocated_bytes_ = std::max(peak_allocated_bytes_, allocated_bytes_);
+  ++alloc_count_;
   return a;
 }
 

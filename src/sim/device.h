@@ -8,8 +8,11 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <string>
+#include <typeindex>
+#include <unordered_map>
 #include <vector>
 
 #include "common/check.h"
@@ -44,8 +47,27 @@ class Device {
   [[nodiscard]] std::size_t allocated_bytes() const {
     return allocated_bytes_;
   }
+  /// Largest concurrently-allocated footprint since construction.
+  [[nodiscard]] std::size_t peak_allocated_bytes() const {
+    return peak_allocated_bytes_;
+  }
+  /// Number of alloc<T>() calls since construction.
+  [[nodiscard]] std::uint64_t alloc_count() const { return alloc_count_; }
   [[nodiscard]] std::size_t memory_capacity() const {
     return spec_.device_memory_bytes;
+  }
+
+  /// Device-lifetime singleton slot for higher layers (e.g. the gpufft
+  /// resource cache): one instance of T per device, created on first use
+  /// with T(Device&). Keeps sim free of dependencies on those layers.
+  template <typename T>
+  T& local() {
+    const std::type_index key(typeid(T));
+    auto it = locals_.find(key);
+    if (it == locals_.end()) {
+      it = locals_.emplace(key, std::make_shared<T>(*this)).first;
+    }
+    return *static_cast<T*>(it->second.get());
   }
 
   /// Host-to-device copy into `dst` starting at element `dst_offset`;
@@ -110,7 +132,12 @@ class Device {
   double d2h_ns_ = 0.0;
   std::uint64_t h2d_bytes_ = 0;
   std::uint64_t d2h_bytes_ = 0;
+  std::size_t peak_allocated_bytes_ = 0;
+  std::uint64_t alloc_count_ = 0;
   std::vector<LaunchResult> history_;
+  // Last member so the slots (which may own DeviceBuffers) are destroyed
+  // while the allocator bookkeeping above is still alive.
+  std::unordered_map<std::type_index, std::shared_ptr<void>> locals_;
 };
 
 template <typename T>

@@ -1,0 +1,235 @@
+// The plan/executor core: PlanRegistry LRU behaviour, ResourceCache
+// twiddle sharing and workspace-arena accounting, and the batched
+// execution path.
+#include "gpufft/registry.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "gpufft/batch1d.h"
+#include "gpufft/cache.h"
+#include "gpufft/conventional3d.h"
+#include "gpufft/plan.h"
+#include "fft/plan.h"
+
+namespace repro::gpufft {
+namespace {
+
+TEST(PlanRegistry, SameDescriptionIsAHit) {
+  Device dev(sim::geforce_8800_gtx());
+  auto& reg = PlanRegistry::of(dev);
+  const auto desc = PlanDesc::bandwidth3d(cube(32), Direction::Forward);
+
+  auto a = reg.get_or_create(desc);
+  EXPECT_EQ(reg.misses(), 1u);
+  EXPECT_EQ(reg.hits(), 0u);
+
+  auto b = reg.get_or_create(desc);
+  EXPECT_EQ(reg.misses(), 1u);
+  EXPECT_EQ(reg.hits(), 1u);
+  EXPECT_EQ(a.get(), b.get()) << "equal descs must share one plan";
+
+  // A different direction is a different plan.
+  auto c = reg.get_or_create(
+      PlanDesc::bandwidth3d(cube(32), Direction::Inverse));
+  EXPECT_NE(a.get(), c.get());
+  EXPECT_EQ(reg.misses(), 2u);
+  EXPECT_EQ(reg.size(), 2u);
+}
+
+TEST(PlanRegistry, DistinctKindsDistinctPlans) {
+  Device dev(sim::geforce_8800_gtx());
+  auto& reg = PlanRegistry::of(dev);
+  const Shape3 shape = cube(32);
+  auto bw = reg.get_or_create(
+      PlanDesc::bandwidth3d(shape, Direction::Forward));
+  auto conv = reg.get_or_create(
+      PlanDesc::conventional3d(shape, Direction::Forward));
+  auto naive = reg.get_or_create(PlanDesc::naive3d(shape, Direction::Forward));
+  EXPECT_NE(bw.get(), conv.get());
+  EXPECT_NE(conv.get(), naive.get());
+  EXPECT_EQ(reg.misses(), 3u);
+}
+
+TEST(PlanRegistry, LruEvictionKeepsOutstandingPlansAlive) {
+  Device dev(sim::geforce_8800_gtx());
+  auto& reg = PlanRegistry::of(dev);
+  reg.set_capacity(2);
+
+  const auto d16 = PlanDesc::bandwidth3d(cube(16), Direction::Forward);
+  const auto d32 = PlanDesc::bandwidth3d(cube(32), Direction::Forward);
+  const auto d64 = PlanDesc::bandwidth3d(cube(64), Direction::Forward);
+
+  auto p16 = reg.get_or_create(d16);
+  reg.get_or_create(d32);
+  // Touch d16 so d32 is the least recently used.
+  reg.get_or_create(d16);
+  reg.get_or_create(d64);
+
+  EXPECT_EQ(reg.size(), 2u);
+  EXPECT_EQ(reg.evictions(), 1u);
+  EXPECT_TRUE(reg.contains(d16));
+  EXPECT_FALSE(reg.contains(d32));
+  EXPECT_TRUE(reg.contains(d64));
+
+  // An evicted-then-recreated desc is a miss, and the held handle of a
+  // still-resident plan keeps working after evictions.
+  auto data = dev.alloc<cxf>(cube(16).volume());
+  const auto input = random_complex<float>(cube(16).volume(), 7);
+  dev.h2d(data, std::span<const cxf>(input));
+  EXPECT_NO_THROW(p16->execute(data));
+}
+
+TEST(PlanRegistry, ConvolutionPlansAreNotRegistryConstructible) {
+  Device dev(sim::geforce_8800_gtx());
+  EXPECT_THROW(PlanRegistry::of(dev).get_or_create(
+                   PlanDesc::convolution(cube(16))),
+               repro::Error);
+}
+
+TEST(ResourceCache, TwiddleTablesAreSharedAcrossLivePlans) {
+  Device dev(sim::geforce_8800_gtx());
+  auto& cache = ResourceCache::of(dev);
+  const Shape3 shape = cube(64);
+
+  {
+    BandwidthFft3D p1(dev, shape, Direction::Forward);
+    // A cube shares ONE table across its three axes: one upload, three
+    // outstanding handles.
+    EXPECT_EQ(cache.twiddle_uploads(), 1u);
+    EXPECT_EQ(cache.twiddle_use_count<float>(64, Direction::Forward), 3);
+
+    {
+      ConventionalFft3D p2(dev, shape, Direction::Forward);
+      EXPECT_EQ(cache.twiddle_uploads(), 1u)
+          << "second plan must reuse the resident table";
+      EXPECT_EQ(cache.twiddle_use_count<float>(64, Direction::Forward), 6);
+      EXPECT_GT(cache.twiddle_hits(), 0u);
+    }
+    EXPECT_EQ(cache.twiddle_use_count<float>(64, Direction::Forward), 3);
+  }
+  // Table stays resident for future plans even with no outstanding users.
+  EXPECT_EQ(cache.twiddle_use_count<float>(64, Direction::Forward), 0);
+  EXPECT_EQ(cache.twiddle_tables(), 1u);
+}
+
+TEST(ResourceCache, WorkspaceArenaAccountsHighWater) {
+  Device dev(sim::geforce_8800_gtx());
+  auto& cache = ResourceCache::of(dev);
+  constexpr std::size_t kSmall = 1024;
+  constexpr std::size_t kLarge = 4096;
+
+  {
+    auto a = cache.lease<float>(kSmall);
+    auto b = cache.lease<float>(kLarge);
+    EXPECT_EQ(cache.workspace_in_use_bytes(),
+              (kSmall + kLarge) * sizeof(cxf));
+  }
+  EXPECT_EQ(cache.workspace_in_use_bytes(), 0u);
+  EXPECT_EQ(cache.workspace_high_water_bytes(),
+            (kSmall + kLarge) * sizeof(cxf));
+  EXPECT_EQ(cache.workspace_allocs(), 2u);
+
+  // A later lease that fits reuses a pooled block: no new device memory.
+  {
+    auto c = cache.lease<float>(kSmall);
+    EXPECT_GE(c.buffer().size(), kSmall);
+  }
+  EXPECT_EQ(cache.workspace_allocs(), 2u);
+  EXPECT_EQ(cache.workspace_leases(), 3u);
+  EXPECT_EQ(cache.workspace_pool_bytes(),
+            (kSmall + kLarge) * sizeof(cxf));
+  EXPECT_EQ(cache.workspace_high_water_bytes(),
+            (kSmall + kLarge) * sizeof(cxf));
+}
+
+TEST(ResourceCache, IdlePlansHoldNoWorkspace) {
+  Device dev(sim::geforce_8800_gtx());
+  const Shape3 shape = cube(32);
+  const std::size_t before = dev.allocated_bytes();
+  BandwidthFft3D plan(dev, shape, Direction::Forward);
+  // Construction cost is the twiddle table, not a work volume.
+  EXPECT_LT(dev.allocated_bytes() - before, shape.volume() * sizeof(cxf));
+
+  auto data = dev.alloc<cxf>(shape.volume());
+  const auto input = random_complex<float>(shape.volume(), 3);
+  dev.h2d(data, std::span<const cxf>(input));
+  plan.execute(data);
+  EXPECT_EQ(ResourceCache::of(dev).workspace_in_use_bytes(), 0u)
+      << "workspace must return to the arena after execute";
+  EXPECT_GE(ResourceCache::of(dev).workspace_pool_bytes(),
+            shape.volume() * sizeof(cxf));
+}
+
+TEST(FftPlan, ExecuteBatchMatchesSerialExecuteBitExactly) {
+  const Shape3 shape = cube(16);
+  const auto in0 = random_complex<float>(shape.volume(), 100);
+  const auto in1 = random_complex<float>(shape.volume(), 101);
+
+  // Serial reference on one device...
+  Device dev_a(sim::geforce_8800_gtx());
+  auto plan_a = PlanRegistry::of(dev_a).get_or_create(
+      PlanDesc::bandwidth3d(shape, Direction::Forward));
+  std::vector<cxf> ref0(shape.volume());
+  std::vector<cxf> ref1(shape.volume());
+  {
+    auto buf = dev_a.alloc<cxf>(shape.volume());
+    dev_a.h2d(buf, std::span<const cxf>(in0));
+    plan_a->execute(buf);
+    dev_a.d2h(std::span<cxf>(ref0), buf);
+    dev_a.h2d(buf, std::span<const cxf>(in1));
+    plan_a->execute(buf);
+    dev_a.d2h(std::span<cxf>(ref1), buf);
+  }
+
+  // ...the batched path on another.
+  Device dev_b(sim::geforce_8800_gtx());
+  auto plan_b = PlanRegistry::of(dev_b).get_or_create(
+      PlanDesc::bandwidth3d(shape, Direction::Forward));
+  auto b0 = dev_b.alloc<cxf>(shape.volume());
+  auto b1 = dev_b.alloc<cxf>(shape.volume());
+  dev_b.h2d(b0, std::span<const cxf>(in0));
+  dev_b.h2d(b1, std::span<const cxf>(in1));
+  std::array<DeviceBuffer<cxf>*, 2> volumes{&b0, &b1};
+  const auto steps = plan_b->execute_batch(volumes);
+  EXPECT_FALSE(steps.empty());
+  EXPECT_GT(plan_b->last_total_ms(), 0.0);
+
+  std::vector<cxf> out0(shape.volume());
+  std::vector<cxf> out1(shape.volume());
+  dev_b.d2h(std::span<cxf>(out0), b0);
+  dev_b.d2h(std::span<cxf>(out1), b1);
+  for (std::size_t i = 0; i < shape.volume(); ++i) {
+    ASSERT_EQ(out0[i].re, ref0[i].re);
+    ASSERT_EQ(out0[i].im, ref0[i].im);
+    ASSERT_EQ(out1[i].re, ref1[i].re);
+    ASSERT_EQ(out1[i].im, ref1[i].im);
+  }
+}
+
+TEST(FftPlan, ExecuteHostRoundTripsThroughLeasedStaging) {
+  const std::size_t n = 64;
+  const std::size_t count = 8;
+  Device dev(sim::geforce_8800_gtx());
+  Batch1DFft plan(dev, n, count, Direction::Forward);
+
+  auto data = random_complex<float>(n * count, 55);
+  std::vector<cxf> ref = data;
+  fft::Plan1D<float> host_plan(n, fft::Direction::Forward);
+  host_plan.execute(std::span<cxf>(ref), count);
+
+  plan.execute_host(std::span<cxf>(data));
+  double err = 0.0;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    err = std::max(err, static_cast<double>((data[i] - ref[i]).abs()));
+  }
+  EXPECT_LT(err, 1e-3);
+  EXPECT_EQ(ResourceCache::of(dev).workspace_in_use_bytes(), 0u);
+}
+
+}  // namespace
+}  // namespace repro::gpufft
