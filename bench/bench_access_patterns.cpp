@@ -28,7 +28,8 @@ void run_table(const sim::GpuSpec& spec, const double paper[4][4],
   TextTable t;
   t.header({"in\\out", "A", "B", "C", "D"});
   const Pattern pats[4] = {Pattern::A, Pattern::B, Pattern::C, Pattern::D};
-  for (int i = 0; i < 4; ++i) {
+  const int in_rows = pick(4, 1);  // smoke: one input-pattern row
+  for (int i = 0; i < in_rows; ++i) {
     std::vector<std::string> cells{gpufft::pattern_name(pats[i])};
     for (int o = 0; o < 4; ++o) {
       auto in = dev.alloc<cxf>(gpufft::pattern_shape().volume());
@@ -56,8 +57,11 @@ void run_table(const sim::GpuSpec& spec, const double paper[4][4],
 
 int main(int argc, char** argv) {
   using namespace repro;
+  bench::init(&argc, argv);
   bench::banner("Tables 3 & 4 — access-pattern bandwidth of the 16-point copy");
   bench::run_table(sim::geforce_8800_gt(), bench::kPaperGT, "Table 3");
-  bench::run_table(sim::geforce_8800_gtx(), bench::kPaperGTX, "Table 4");
+  if (!bench::smoke()) {
+    bench::run_table(sim::geforce_8800_gtx(), bench::kPaperGTX, "Table 4");
+  }
   return repro::bench::run_benchmarks(argc, argv);
 }

@@ -3,39 +3,58 @@
 // between data transfer and computation". For a stream of 16 independent
 // 256^3 FFT offload jobs, compare the synchronous schedule the paper
 // measured with double-buffered pipelines (single copy engine, as on the
-// 8800 series, and dual engines as on later parts).
+// 8800 series, and dual engines as on later parts) — and cross-check the
+// closed-form pipeline algebra against the sim's event-driven stream
+// scheduler: the "rate err" columns report how far the scheduler's
+// steady-state per-job period is from the algebraic bound (must be < 1%).
 #include "bench_util.h"
 #include "gpufft/offload.h"
 
 int main(int argc, char** argv) {
   using namespace repro;
-  bench::banner("Section 4.4 extension — async transfer overlap (16 x "
-                "256^3 offload jobs)");
+  bench::init(&argc, argv);
 
-  const Shape3 shape = cube(256);
-  const std::size_t jobs = 16;
+  const Shape3 shape = cube(bench::pick<std::size_t>(256, 32));
+  const std::size_t jobs = bench::pick<std::size_t>(16, 3);
+  bench::banner("Section 4.4 extension — async transfer overlap (" +
+                std::to_string(jobs) + " x " + std::to_string(shape.nx) +
+                "^3 offload jobs)");
+
   TextTable t;
-  t.header({"Model", "sync ms", "overlap 1 DMA ms", "overlap 2 DMA ms",
-            "speedup (1 DMA)", "GFLOPS sync -> overlapped"});
+  t.header({"Model", "sync ms", "algebra 1 DMA ms", "sched 1 DMA ms",
+            "rate err 1 DMA", "algebra 2 DMA ms", "sched 2 DMA ms",
+            "rate err 2 DMA", "speedup (1 DMA)"});
   for (const auto& spec : sim::all_gpus()) {
     sim::Device dev(spec);
     const auto o = gpufft::measure_offload(dev, shape, jobs);
-    const double flops = sim::reported_fft_flops(shape) * jobs;
+    const double err1 =
+        100.0 * (o.sched_rate_1dma_ms / o.algebra_rate_1dma_ms() - 1.0);
+    const double err2 =
+        100.0 * (o.sched_rate_2dma_ms / o.algebra_rate_2dma_ms() - 1.0);
     t.row({spec.name, TextTable::fmt(o.sync_ms, 0),
            TextTable::fmt(o.overlap_1dma_ms, 0),
+           TextTable::fmt(o.sched_1dma_ms, 0),
+           TextTable::fmt(err1, 2) + "%",
            TextTable::fmt(o.overlap_2dma_ms, 0),
-           TextTable::fmt(o.speedup_1dma(), 2) + "x",
-           TextTable::fmt(flops / (o.sync_ms * 1e6)) + " -> " +
-               TextTable::fmt(flops / (o.overlap_1dma_ms * 1e6))});
+           TextTable::fmt(o.sched_2dma_ms, 0),
+           TextTable::fmt(err2, 2) + "%",
+           TextTable::fmt(o.sync_ms / o.sched_1dma_ms, 2) + "x"});
     bench::add_row({"overlap/" + spec.name + "/sync", o.sync_ms, {}});
-    bench::add_row({"overlap/" + spec.name + "/pipelined_1dma",
-                    o.overlap_1dma_ms,
-                    {{"speedup", o.speedup_1dma()}}});
+    bench::add_row({"overlap/" + spec.name + "/sched_1dma", o.sched_1dma_ms,
+                    {{"speedup", o.sync_ms / o.sched_1dma_ms},
+                     {"rate_err_pct", err1}}});
+    bench::add_row({"overlap/" + spec.name + "/sched_2dma", o.sched_2dma_ms,
+                    {{"speedup", o.sync_ms / o.sched_2dma_ms},
+                     {"rate_err_pct", err2}}});
   }
   t.print(std::cout);
-  std::cout << "\nOverlap recovers part of the PCIe loss, but copies still "
-               "bound the single-engine cards — the paper's conclusion that "
-               "confinement (keeping the working set on the card) is the "
-               "real fix stands.\n";
+  std::cout << "\nThe event-driven scheduler (sim/stream.h) and the "
+               "closed-form pipeline algebra agree on the steady-state "
+               "per-job rate to within 1%; the scheduler's makespans run "
+               "slightly below the closed form because the greedy schedule "
+               "overlaps part of the fill/drain. Overlap recovers part of "
+               "the PCIe loss, but copies still bound the single-engine "
+               "cards — the paper's conclusion that confinement (keeping "
+               "the working set on the card) is the real fix stands.\n";
   return bench::run_benchmarks(argc, argv);
 }

@@ -19,10 +19,11 @@ const PaperRow kPaper[3] = {{5.72, 117.0, 13.7, 49.0},
 
 int main(int argc, char** argv) {
   using namespace repro;
+  bench::init(&argc, argv);
   bench::banner("Table 8 — 65536 x 256-point 1-D FFTs");
 
   const std::size_t n = 256;
-  const std::size_t count = 65536;
+  const std::size_t count = bench::pick<std::size_t>(65536, 2048);
   const double flops = 5.0 * static_cast<double>(n * count) *
                        std::log2(static_cast<double>(n));
 

@@ -11,6 +11,7 @@
 
 int main(int argc, char** argv) {
   using namespace repro;
+  bench::init(&argc, argv);
   bench::banner("Table 11 — FFTW-class 256^3 on the evaluation CPUs");
 
   const Shape3 shape = cube(256);

@@ -94,9 +94,12 @@ void run_figure(const char* fig, std::size_t n, const PaperBars& paper) {
 
 int main(int argc, char** argv) {
   using namespace repro;
+  bench::init(&argc, argv);
   bench::banner("Figures 1-3 — on-board 3-D FFT GFLOPS, three algorithms");
   bench::run_figure("Figure 2", 64, bench::kFig2_64);
-  bench::run_figure("Figure 3", 128, bench::kFig3_128);
-  bench::run_figure("Figure 1", 256, bench::kFig1_256);
+  if (!bench::smoke()) {
+    bench::run_figure("Figure 3", 128, bench::kFig3_128);
+    bench::run_figure("Figure 1", 256, bench::kFig1_256);
+  }
   return bench::run_benchmarks(argc, argv);
 }

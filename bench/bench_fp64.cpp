@@ -8,9 +8,10 @@
 
 int main(int argc, char** argv) {
   using namespace repro;
+  bench::init(&argc, argv);
   bench::banner("Section 4.5 future work — double precision (256^3)");
 
-  const Shape3 shape = cube(256);
+  const Shape3 shape = cube(bench::pick<std::size_t>(256, 64));
   TextTable t;
   t.header({"Card / precision", "ms", "GFLOPS", "bound"});
 

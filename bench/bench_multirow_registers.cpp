@@ -10,6 +10,7 @@
 
 int main(int argc, char** argv) {
   using namespace repro;
+  bench::init(&argc, argv);
   bench::banner(
       "Section 3.1 — 16-point vs direct 256-point multirow FFT (GTX)");
 

@@ -21,9 +21,10 @@ const PaperRow kPaper[3] = {
 
 int main(int argc, char** argv) {
   using namespace repro;
+  bench::init(&argc, argv);
   bench::banner("Table 12 — out-of-core 512^3 FFT (times in seconds)");
 
-  const std::size_t n = 512;
+  const std::size_t n = bench::pick<std::size_t>(512, 64);
   const Shape3 shape = cube(n);
   std::vector<cxf> host(shape.volume());  // 1 GB host volume (zeros are
                                           // fine: timing is data-blind)

@@ -26,6 +26,7 @@ int main(int argc, char** argv) {
   using namespace repro;
   using gpufft::Direction;
   using gpufft::PlanDesc;
+  bench::init(&argc, argv);
   bench::banner("Plan registry & resource cache");
 
   sim::Device dev(sim::geforce_8800_gtx());
@@ -58,7 +59,7 @@ int main(int argc, char** argv) {
   const double cold_sim_ms = dev.elapsed_ms() - sim_ms0;
 
   // Warm: the same workload again, many times — every lookup is a hit.
-  const int kRounds = 100;
+  const int kRounds = bench::pick(100, 5);
   const auto t_warm = bench::Clock::now();
   for (int r = 0; r < kRounds; ++r) {
     for (const auto& d : descs) {

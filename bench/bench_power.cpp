@@ -8,9 +8,10 @@
 
 int main(int argc, char** argv) {
   using namespace repro;
+  bench::init(&argc, argv);
   bench::banner("Table 13 — whole-system power efficiency (256^3 FFT)");
 
-  const Shape3 shape = cube(256);
+  const Shape3 shape = cube(bench::pick<std::size_t>(256, 64));
 
   struct PaperRow {
     double idle, load, gflops, gpw;

@@ -10,9 +10,10 @@
 int main(int argc, char** argv) {
   using namespace repro;
   using gpufft::ExchangeMode;
+  bench::init(&argc, argv);
   bench::banner("Table 9 — X-axis exchange without shared memory (GTS)");
 
-  const Shape3 shape = cube(256);
+  const Shape3 shape = cube(bench::pick<std::size_t>(256, 64));
   const std::size_t lines = shape.ny * shape.nz;
   const sim::GpuSpec spec = sim::geforce_8800_gts();
 

@@ -8,12 +8,16 @@
 
 int main(int argc, char** argv) {
   using namespace repro;
+  bench::init(&argc, argv);
   bench::banner("Size sweep — five-step kernel, 16^3 .. 256^3");
 
   TextTable t;
   t.header({"N", "GT GFLOPS / GB/s", "GTS GFLOPS / GB/s",
             "GTX GFLOPS / GB/s"});
-  for (std::size_t n : {16, 32, 64, 128, 256}) {
+  const std::vector<std::size_t> sizes =
+      bench::smoke() ? std::vector<std::size_t>{16, 32}
+                     : std::vector<std::size_t>{16, 32, 64, 128, 256};
+  for (std::size_t n : sizes) {
     const Shape3 shape = cube(n);
     std::vector<std::string> cells{std::to_string(n) + "^3"};
     for (const auto& spec : sim::all_gpus()) {

@@ -29,8 +29,9 @@ const PaperSteps kPaper[3] = {
 int main(int argc, char** argv) {
   using namespace repro;
   using gpufft::StepTiming;
+  bench::init(&argc, argv);
   bench::banner("Tables 6 & 7 — per-step time/bandwidth of 256^3");
-  const Shape3 shape = cube(256);
+  const Shape3 shape = cube(bench::pick<std::size_t>(256, 64));
 
   TextTable t6;
   t6.header({"Model", "FFT steps 1,3,5 ms (paper)", "GB/s (paper)",

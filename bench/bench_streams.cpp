@@ -6,10 +6,12 @@
 
 int main(int argc, char** argv) {
   using namespace repro;
+  bench::init(&argc, argv);
   bench::banner("Section 2.1 — copy bandwidth vs number of streams (GTX)");
 
   sim::Device dev(sim::geforce_8800_gtx());
-  const std::size_t n = 1u << 23;  // 64 MB in + 64 MB out
+  // 64 MB in + 64 MB out (smoke: 4 MB each)
+  const std::size_t n = bench::pick<std::size_t>(1u << 23, 1u << 19);
   auto in = dev.alloc<cxf>(n);
   auto out = dev.alloc<cxf>(n);
 

@@ -22,9 +22,10 @@ const PaperRow kPaper[3] = {
 
 int main(int argc, char** argv) {
   using namespace repro;
+  bench::init(&argc, argv);
   bench::banner("Table 10 — 256^3 FFT including host<->device transfers");
 
-  const Shape3 shape = cube(256);
+  const Shape3 shape = cube(bench::pick<std::size_t>(256, 64));
   const std::uint64_t bytes = shape.volume() * sizeof(cxf);
 
   TextTable t;

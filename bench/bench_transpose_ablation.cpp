@@ -11,10 +11,11 @@
 
 int main(int argc, char** argv) {
   using namespace repro;
+  bench::init(&argc, argv);
   bench::banner("Transpose ablation — naive vs tiled six-step vs five-step "
                 "(256^3)");
 
-  const Shape3 shape = cube(256);
+  const Shape3 shape = cube(bench::pick<std::size_t>(256, 64));
   TextTable t;
   t.header({"Model", "six-step naive ms", "six-step tiled ms",
             "five-step ms", "tiled/five-step"});

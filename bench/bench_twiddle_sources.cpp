@@ -10,21 +10,26 @@
 int main(int argc, char** argv) {
   using namespace repro;
   using gpufft::TwiddleSource;
+  bench::init(&argc, argv);
   bench::banner("Section 3.2 ablation — twiddle factor placement (GTS)");
 
   const sim::GpuSpec spec = sim::geforce_8800_gts();
-  const struct {
+  struct Source {
     TwiddleSource src;
     const char* name;
-  } sources[] = {{TwiddleSource::Registers, "registers"},
-                 {TwiddleSource::Constant, "constant"},
-                 {TwiddleSource::Texture, "texture"},
-                 {TwiddleSource::Recompute, "recompute"}};
+  };
+  const Source all_sources[] = {{TwiddleSource::Registers, "registers"},
+                                {TwiddleSource::Constant, "constant"},
+                                {TwiddleSource::Texture, "texture"},
+                                {TwiddleSource::Recompute, "recompute"}};
+  // Smoke: first two sources only.
+  const std::size_t n_sources = bench::pick<std::size_t>(4, 2);
 
   TextTable t;
   t.header({"Twiddle source", "rank1 16-pt ms", "fine 256-pt ms",
             "paper's pick"});
-  for (const auto& s : sources) {
+  for (std::size_t si = 0; si < n_sources; ++si) {
+    const Source& s = all_sources[si];
     sim::Device dev(spec);
     // Coarse kernel: one Z rank-1 pass of the 256^3 problem.
     const Shape5 shape{{256, 16, 16, 16, 16}};

@@ -9,6 +9,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstring>
 #include <functional>
 #include <iostream>
 #include <string>
@@ -20,6 +21,37 @@
 #include "sim/device.h"
 
 namespace repro::bench {
+
+/// Smoke mode: run the bench's machinery end-to-end on tiny shapes with
+/// one iteration so CI can exercise every binary in seconds. Enabled by
+/// the --smoke flag (the ctest "<bench>_smoke" targets pass it).
+inline bool& smoke_flag() {
+  static bool f = false;
+  return f;
+}
+
+[[nodiscard]] inline bool smoke() { return smoke_flag(); }
+
+/// Pick the full-size parameter or its smoke-mode stand-in.
+template <typename T>
+[[nodiscard]] T pick(T full, T tiny) {
+  return smoke() ? tiny : full;
+}
+
+/// Parse and strip bench-level flags (--smoke) before google-benchmark
+/// sees the command line — it rejects flags it does not know. Call first
+/// thing in every bench main.
+inline void init(int* argc, char** argv) {
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke_flag() = true;
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  *argc = out;
+}
 
 /// The paper's GFLOPS convention for an N^3 transform: 15*N^3*log2(N).
 inline double reported_gflops(Shape3 shape, double ms) {

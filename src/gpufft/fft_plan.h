@@ -8,12 +8,18 @@
 // (registry.h) so equal descriptions share one instance.
 //
 // Entry points:
-//   execute        one device-resident volume, in place
-//   execute_batch  many same-shape volumes back-to-back through one
-//                  plan's resources (per-step times summed over the batch)
-//   execute_host   a host-resident volume, staged through a leased device
-//                  buffer (overridden by the out-of-core plan, whose
-//                  volumes never fit on the card at once)
+//   execute             one device-resident volume, in place
+//   execute_async       same, enqueued on a sim::Stream so transfers and
+//                       other streams' work can overlap it
+//   execute_batch       many same-shape volumes back-to-back through one
+//                       plan's resources (per-step times summed)
+//   execute_host        a host-resident volume, staged through a leased
+//                       device buffer (overridden by the out-of-core
+//                       plan, whose volumes never fit on the card)
+//   execute_batch_host  many host-resident volumes double-buffered across
+//                       two streams: job i's transform overlaps job
+//                       i+1's upload and job i-1's download wherever the
+//                       card's engines allow (Section 4.4's suggestion)
 #pragma once
 
 #include <memory>
@@ -34,6 +40,17 @@ class FftPlanT {
   /// place. Returns per-step timings (Table 6/7 rows).
   virtual std::vector<StepTiming> execute(DeviceBuffer<cx<T>>& data) = 0;
 
+  /// Enqueue the transform's kernels on `stream` instead of the serial
+  /// default queue. Functional effects are immediate (results are
+  /// bit-identical to execute()); the returned steps carry the same
+  /// per-kernel durations, while the *schedule* — and hence the device's
+  /// elapsed makespan — is resolved against other streams by the engine
+  /// scheduler. The default implementation routes every h2d/d2h/launch of
+  /// execute() to `stream` via Device::StreamGuard, so all plans are
+  /// stream-capable without bespoke code.
+  virtual std::vector<StepTiming> execute_async(DeviceBuffer<cx<T>>& data,
+                                                sim::Stream& stream);
+
   /// Run every volume through this one plan's resources back-to-back.
   /// Returned steps carry per-step times summed across the batch.
   virtual std::vector<StepTiming> execute_batch(
@@ -43,6 +60,17 @@ class FftPlanT {
   /// buffer, execute, download. The out-of-core plan overrides this with
   /// its streamed two-phase algorithm.
   virtual std::vector<StepTiming> execute_host(std::span<cx<T>> data);
+
+  /// Transform many host-resident same-shape volumes, double-buffering
+  /// uploads/downloads across two streams (two staging leases) so that
+  /// transfers overlap the on-card transforms exactly as the card's DMA
+  /// engines allow: a 1-engine G8x serializes the up/down copies, a
+  /// 2-engine part pipelines all three phases. Returned steps are the
+  /// per-kernel sums (as execute_batch); last_total_ms() reports the
+  /// overlapped makespan. Overridden by the out-of-core plan, whose
+  /// volumes cannot be staged on the card.
+  virtual std::vector<StepTiming> execute_batch_host(
+      std::span<const std::span<cx<T>>> volumes);
 
   /// The description this plan was built from.
   [[nodiscard]] virtual const PlanDesc& desc() const = 0;
@@ -71,6 +99,16 @@ class PlanBaseT : public FftPlanT<T> {
       std::span<DeviceBuffer<cx<T>>* const> volumes) override {
     auto steps = FftPlanT<T>::execute_batch(volumes);
     finish(steps);
+    return steps;
+  }
+
+  std::vector<StepTiming> execute_batch_host(
+      std::span<const std::span<cx<T>>> volumes) override {
+    // The steps sum per-kernel durations; the batch's cost is the
+    // overlapped makespan the stream scheduler resolved.
+    const double t0 = dev_.elapsed_ms();
+    auto steps = FftPlanT<T>::execute_batch_host(volumes);
+    last_total_ms_ = dev_.elapsed_ms() - t0;
     return steps;
   }
 

@@ -7,9 +7,21 @@
 // i-1 down while the SMs transform job i. G8x-class cards have a single
 // copy engine, so uploads and downloads share it (the paper's cards);
 // later parts gained a second engine, which the model also exposes.
-// Per-phase times come from the simulated device; the pipeline algebra is
-// the standard steady-state bound.
+//
+// Two models cross-validate each other here:
+//   * offload_pipeline — the closed-form steady-state pipeline algebra
+//     (per-job period max(h2d+d2h, fft) on one copy engine, or the
+//     slowest single stage on two).
+//   * schedule_offload — the same job stream replayed through the sim's
+//     real event-driven stream scheduler (sim/stream.h): one stream per
+//     in-flight job, depth-3 software pipelining, engine contention
+//     resolved exactly as Device does for real transfers and launches.
+// In steady state the two must agree (the bench and tests hold them to
+// ~1%); the closed form keeps an analytical check on the scheduler and
+// the scheduler keeps the algebra honest about fill/drain effects.
 #pragma once
+
+#include <algorithm>
 
 #include "gpufft/plan.h"
 #include "gpufft/types.h"
@@ -23,8 +35,21 @@ struct OffloadTiming {
   double d2h_ms{};   ///< one job's download
   std::size_t jobs{};
   double sync_ms{};         ///< jobs * (h2d + fft + d2h)
-  double overlap_1dma_ms{}; ///< double-buffered, single copy engine
-  double overlap_2dma_ms{}; ///< double-buffered, separate up/down engines
+  double overlap_1dma_ms{}; ///< closed form, single copy engine
+  double overlap_2dma_ms{}; ///< closed form, separate up/down engines
+  // Event-driven scheduler results (filled by measure_offload):
+  double sched_1dma_ms{};      ///< scheduler makespan, single copy engine
+  double sched_2dma_ms{};      ///< scheduler makespan, two copy engines
+  double sched_rate_1dma_ms{}; ///< scheduler steady-state per-job period
+  double sched_rate_2dma_ms{};
+
+  /// Closed-form steady-state per-job periods the scheduler must match.
+  [[nodiscard]] double algebra_rate_1dma_ms() const {
+    return std::max(h2d_ms + d2h_ms, fft_ms);
+  }
+  [[nodiscard]] double algebra_rate_2dma_ms() const {
+    return std::max({h2d_ms, fft_ms, d2h_ms});
+  }
 
   [[nodiscard]] double speedup_1dma() const {
     return overlap_1dma_ms > 0.0 ? sync_ms / overlap_1dma_ms : 0.0;
@@ -34,16 +59,28 @@ struct OffloadTiming {
   }
 };
 
-/// Pipeline totals from one job's phase times.
+/// Pipeline totals from one job's phase times (closed-form algebra).
 ///  - synchronous: serial sum.
 ///  - 1 DMA engine: copy work per job is h2d+d2h on one engine, overlapped
 ///    with compute: total = (h2d+d2h) + jobs' steady state + drain.
 ///  - 2 DMA engines: each direction has its own engine.
+/// Edge cases: jobs == 0 returns all-zero totals (there is no fill or
+/// drain to pay); jobs == 1 has no overlap partner, so every schedule
+/// equals the serial sum.
 OffloadTiming offload_pipeline(double h2d_ms, double fft_ms, double d2h_ms,
                                std::size_t jobs);
 
-/// Measure one 3-D FFT offload job's phases on `dev` (fresh plan) and fill
-/// the pipeline model for `jobs` independent volumes.
+/// Replay `jobs` identical (h2d, fft, d2h) jobs through the real stream
+/// scheduler on a throwaway device with `dma_engines` copy engines and
+/// return the makespan in ms. Jobs are software-pipelined three deep
+/// (three streams, round-robin), the depth at which the steady-state rate
+/// reaches the engine bound for any phase mix.
+double schedule_offload(double h2d_ms, double fft_ms, double d2h_ms,
+                        std::size_t jobs, int dma_engines);
+
+/// Measure one 3-D FFT offload job's phases on `dev` (fresh plan), fill
+/// the closed-form pipeline model for `jobs` independent volumes, and
+/// cross-check it against the stream scheduler (sched_* fields).
 OffloadTiming measure_offload(Device& dev, Shape3 shape, std::size_t jobs);
 
 }  // namespace repro::gpufft

@@ -6,7 +6,11 @@
 //
 // Equal descriptions share one plan instance (cuFFT-style plan handles):
 // a registry hit costs a hash lookup instead of twiddle-table generation,
-// PCIe uploads, and device allocations. The registry keeps at most
+// PCIe uploads, and device allocations. Sharing is stream-safe: a shared
+// plan may be driven through execute() or execute_async() on any
+// sim::Stream — kernels serialize on the device's single compute engine,
+// so the shared workspace lease is never live on two overlapping
+// timelines. The registry keeps at most
 // `capacity()` plans, evicting the least-recently-used — holders of an
 // evicted shared_ptr keep a working plan; the registry just stops handing
 // it out. Hit/miss/eviction counters feed the bench_plan_cache report.

@@ -5,7 +5,16 @@
 
 namespace repro::sim {
 
-Device::Device(GpuSpec spec) : spec_(std::move(spec)) {}
+Device::Device(GpuSpec spec) : spec_(std::move(spec)) {
+  REPRO_CHECK_MSG(spec_.dma_engines == 1 || spec_.dma_engines == 2,
+                  "GpuSpec.dma_engines must be 1 or 2");
+}
+
+Device::~Device() {
+  // Detach any streams that outlive the device (their destructors become
+  // no-ops instead of touching freed memory).
+  for (Stream* s : streams_) s->dev_ = nullptr;
+}
 
 Allocation Device::allocate_raw(std::size_t bytes) {
   if (allocated_bytes_ + bytes > spec_.device_memory_bytes) {
@@ -29,6 +38,64 @@ Allocation Device::allocate_raw(std::size_t bytes) {
 void Device::free_raw(const Allocation& a) {
   REPRO_CHECK(allocated_bytes_ >= a.bytes);
   allocated_bytes_ -= a.bytes;
+}
+
+void Device::register_stream(Stream* s) { streams_.push_back(s); }
+
+void Device::unregister_stream(Stream* s) {
+  // Destroying a stream synchronizes it: its timeline folds into the
+  // serial clock so the makespan survives the stream object.
+  clock_ns_ = std::max(clock_ns_, s->ready_ns_);
+  std::erase(streams_, s);
+}
+
+double& Device::engine_free_ns(Engine e) {
+  switch (e) {
+    case Engine::Compute: return compute_free_ns_;
+    case Engine::DmaH2D: return dma_free_ns_[0];
+    default:
+      // A second copy engine serves downloads only where the spec has one;
+      // G8x-class cards share the single engine between directions.
+      return dma_free_ns_[spec_.dma_engines == 2 ? 1 : 0];
+  }
+}
+
+double Device::schedule(Stream* stream, Engine engine, double ns,
+                        std::string name) {
+  double& engine_free = engine_free_ns(engine);
+  last_op_ms_ = ns * 1e-6;
+  if (stream == nullptr) {
+    // Serial default queue: legacy default-stream semantics — join every
+    // live stream, run, and advance the clock synchronously. With no
+    // streams in flight this is exactly the pre-stream serial behaviour.
+    double start = clock_ns_;
+    for (const Stream* s : streams_) start = std::max(start, s->ready_ns_);
+    clock_ns_ = start + ns;
+    engine_free = std::max(engine_free, clock_ns_);
+    return start;
+  }
+  // Async op: starts when the stream's prior work, the engine's FIFO, and
+  // the submitting (serial) timeline all permit.
+  const double start =
+      std::max({stream->ready_ns_, engine_free, clock_ns_});
+  stream->ready_ns_ = start + ns;
+  engine_free = start + ns;
+  stream->ops_.push_back(StreamOp{std::move(name), engine, start,
+                                  start + ns});
+  return start;
+}
+
+void Device::record_transfer(TransferDir dir, std::uint64_t bytes) {
+  const double ns = pcie_transfer_ns(spec_.pcie, dir, bytes);
+  if (dir == TransferDir::HostToDevice) {
+    schedule(active_stream_, Engine::DmaH2D, ns, "h2d");
+    h2d_ns_ += ns;
+    h2d_bytes_ += bytes;
+  } else {
+    schedule(active_stream_, Engine::DmaD2H, ns, "d2h");
+    d2h_ns_ += ns;
+    d2h_bytes_ += bytes;
+  }
 }
 
 LaunchResult Device::launch(Kernel& kernel) {
@@ -55,9 +122,32 @@ LaunchResult Device::launch(Kernel& kernel) {
   }
 
   LaunchResult result = estimate_launch(spec_, cfg, stats);
-  clock_ns_ += result.total_ms * 1e6;
+  schedule(active_stream_, Engine::Compute, result.total_ms * 1e6,
+           cfg.name);
   history_.push_back(result);
   return result;
+}
+
+double Device::submit_timed(Stream& stream, Engine engine, double ms,
+                            std::string name) {
+  REPRO_CHECK(ms >= 0.0);
+  return schedule(&stream, engine, ms * 1e6, std::move(name)) * 1e-6;
+}
+
+void Device::sync(Stream& stream) {
+  clock_ns_ = std::max(clock_ns_, stream.ready_ns_);
+}
+
+void Device::sync_all() {
+  for (const Stream* s : streams_) {
+    clock_ns_ = std::max(clock_ns_, s->ready_ns_);
+  }
+}
+
+double Device::elapsed_ms() const {
+  double ns = clock_ns_;
+  for (const Stream* s : streams_) ns = std::max(ns, s->ready_ns_);
+  return ns * 1e-6;
 }
 
 void Device::reset_clock() {
@@ -67,6 +157,17 @@ void Device::reset_clock() {
   h2d_bytes_ = 0;
   d2h_bytes_ = 0;
   history_.clear();
+  compute_free_ns_ = 0.0;
+  dma_free_ns_[0] = dma_free_ns_[1] = 0.0;
+  for (Stream* s : streams_) {
+    s->ready_ns_ = 0.0;
+    s->ops_.clear();
+  }
+}
+
+void Device::reset_peak_stats() {
+  peak_allocated_bytes_ = allocated_bytes_;
+  alloc_count_ = 0;
 }
 
 }  // namespace repro::sim

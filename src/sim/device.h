@@ -5,6 +5,22 @@
 // launches: every block executes functionally (block 0 .. grid-1), sampled
 // blocks are instrumented, and the timing model converts the observed
 // statistics into simulated time on the device clock.
+//
+// Execution model (see stream.h): transfers and launches are timed
+// operations on one of the device's engines — a single compute engine plus
+// spec().dma_engines copy engines (1 on the G8x cards, where uploads and
+// downloads share the engine; 2 on later parts). By default operations run
+// on the serial default queue, advancing the clock synchronously exactly
+// as before streams existed. The *_async variants (or an active
+// StreamGuard) enqueue the operation on a Stream instead: the functional
+// effect is still immediate, but the operation's simulated time is
+// resolved by the event-driven scheduler — it starts at
+// max(stream tail, engine free, submission clock) — so concurrent streams
+// overlap exactly where the hardware has engines for it and serialize
+// where it does not. elapsed_ms() reports the makespan across the default
+// queue and every live stream. Default-queue operations synchronize with
+// all streams first (CUDA legacy default-stream semantics), which reduces
+// to the old serial behaviour bit-for-bit when no streams are in flight.
 #pragma once
 
 #include <cstdint>
@@ -20,6 +36,7 @@
 #include "sim/kernel.h"
 #include "sim/pcie.h"
 #include "sim/spec.h"
+#include "sim/stream.h"
 #include "sim/timing.h"
 
 namespace repro::sim {
@@ -34,6 +51,7 @@ class OutOfDeviceMemory : public Error {
 class Device {
  public:
   explicit Device(GpuSpec spec);
+  ~Device();
 
   [[nodiscard]] const GpuSpec& spec() const { return spec_; }
   [[nodiscard]] SimOptions& options() { return options_; }
@@ -47,12 +65,20 @@ class Device {
   [[nodiscard]] std::size_t allocated_bytes() const {
     return allocated_bytes_;
   }
-  /// Largest concurrently-allocated footprint since construction.
+  /// Largest concurrently-allocated footprint since construction (or the
+  /// last reset_peak_stats()). NOT cleared by reset_clock(): the clock
+  /// reset is a timing concern, while the allocator statistics are
+  /// device-lifetime counters — benches that reuse one device across
+  /// configurations call reset_peak_stats() explicitly.
   [[nodiscard]] std::size_t peak_allocated_bytes() const {
     return peak_allocated_bytes_;
   }
-  /// Number of alloc<T>() calls since construction.
+  /// Number of alloc<T>() calls since construction (or the last
+  /// reset_peak_stats()); device-lifetime, see peak_allocated_bytes().
   [[nodiscard]] std::uint64_t alloc_count() const { return alloc_count_; }
+  /// Restart the allocator statistics: the peak footprint re-anchors to
+  /// the bytes currently allocated and the alloc counter zeroes.
+  void reset_peak_stats();
   [[nodiscard]] std::size_t memory_capacity() const {
     return spec_.device_memory_bytes;
   }
@@ -71,17 +97,14 @@ class Device {
   }
 
   /// Host-to-device copy into `dst` starting at element `dst_offset`;
-  /// advances the simulated clock by the PCIe transfer time.
+  /// the PCIe transfer time lands on the active stream (default: the
+  /// serial queue, advancing the clock synchronously).
   template <typename T>
   void h2d(DeviceBuffer<T>& dst, std::span<const T> src,
            std::size_t dst_offset = 0) {
     REPRO_CHECK(dst_offset + src.size() <= dst.size());
     std::copy(src.begin(), src.end(), dst.data() + dst_offset);
-    const double ns = pcie_transfer_ns(spec_.pcie, TransferDir::HostToDevice,
-                                       src.size() * sizeof(T));
-    clock_ns_ += ns;
-    h2d_ns_ += ns;
-    h2d_bytes_ += src.size() * sizeof(T);
+    record_transfer(TransferDir::HostToDevice, src.size() * sizeof(T));
   }
 
   /// Device-to-host copy from `src` starting at element `src_offset`.
@@ -91,23 +114,63 @@ class Device {
     REPRO_CHECK(src_offset + dst.size() <= src.size());
     std::copy(src.data() + src_offset, src.data() + src_offset + dst.size(),
               dst.begin());
-    const double ns = pcie_transfer_ns(spec_.pcie, TransferDir::DeviceToHost,
-                                       dst.size() * sizeof(T));
-    clock_ns_ += ns;
-    d2h_ns_ += ns;
-    d2h_bytes_ += dst.size() * sizeof(T);
+    record_transfer(TransferDir::DeviceToHost, dst.size() * sizeof(T));
+  }
+
+  /// Asynchronous copies: enqueue the transfer on `stream` (the data
+  /// still moves immediately — see stream.h). Returns the transfer's
+  /// simulated duration in ms.
+  template <typename T>
+  double h2d_async(DeviceBuffer<T>& dst, std::span<const T> src,
+                   Stream& stream, std::size_t dst_offset = 0) {
+    const StreamGuard g(*this, stream);
+    h2d(dst, src, dst_offset);
+    return last_op_ms_;
+  }
+  template <typename T>
+  double d2h_async(std::span<T> dst, const DeviceBuffer<T>& src,
+                   Stream& stream, std::size_t src_offset = 0) {
+    const StreamGuard g(*this, stream);
+    d2h(dst, src, src_offset);
+    return last_op_ms_;
   }
 
   /// Run a kernel: functional execution of every block + timing estimate.
-  /// Advances the simulated clock and appends to the launch history.
+  /// The launch occupies the compute engine on the active stream (default:
+  /// the serial queue) and is appended to the launch history.
   LaunchResult launch(Kernel& kernel);
 
-  /// Simulated clock (kernels + transfers since the last reset).
-  [[nodiscard]] double elapsed_ms() const { return clock_ns_ * 1e-6; }
+  /// Enqueue the launch on `stream` instead of the serial queue.
+  LaunchResult launch_async(Kernel& kernel, Stream& stream) {
+    const StreamGuard g(*this, stream);
+    return launch(kernel);
+  }
+
+  /// Enqueue a purely-timed operation (no functional work) of `ms`
+  /// simulated milliseconds on `stream`'s `engine`. This is the modelling
+  /// primitive used to replay measured phase times through the real
+  /// scheduler (see gpufft::measure_offload). Returns the op's start ms.
+  double submit_timed(Stream& stream, Engine engine, double ms,
+                      std::string name);
+
+  /// Block the default queue until `stream`'s work completes: the clock
+  /// advances to the stream's tail (cudaStreamSynchronize).
+  void sync(Stream& stream);
+  /// Synchronize every live stream (cudaDeviceSynchronize).
+  void sync_all();
+
+  /// Makespan of everything submitted since the last reset: the serial
+  /// clock joined with every live stream's timeline. Identical to the old
+  /// serial clock when no streams are used.
+  [[nodiscard]] double elapsed_ms() const;
   [[nodiscard]] double h2d_ms() const { return h2d_ns_ * 1e-6; }
   [[nodiscard]] double d2h_ms() const { return d2h_ns_ * 1e-6; }
   [[nodiscard]] std::uint64_t h2d_bytes() const { return h2d_bytes_; }
   [[nodiscard]] std::uint64_t d2h_bytes() const { return d2h_bytes_; }
+  /// Reset the timing state: clock, engines, transfer totals, launch
+  /// history, and the timeline of every live stream. Allocator statistics
+  /// (peak_allocated_bytes, alloc_count) are device-lifetime counters and
+  /// are NOT touched — use reset_peak_stats() for those.
   void reset_clock();
 
   /// Per-launch records since the last reset (for per-step tables).
@@ -115,13 +178,43 @@ class Device {
     return history_;
   }
 
+  /// RAII scope that routes h2d/d2h/launch on `dev` to `stream` — the
+  /// mechanism FftPlan::execute_async uses to thread a stream through an
+  /// arbitrary plan without changing its kernel call sites.
+  class StreamGuard {
+   public:
+    StreamGuard(Device& dev, Stream& stream)
+        : dev_(dev), prev_(dev.active_stream_) {
+      REPRO_CHECK(&stream.device() == &dev);
+      dev_.active_stream_ = &stream;
+    }
+    ~StreamGuard() { dev_.active_stream_ = prev_; }
+    StreamGuard(const StreamGuard&) = delete;
+    StreamGuard& operator=(const StreamGuard&) = delete;
+
+   private:
+    Device& dev_;
+    Stream* prev_;
+  };
+
  private:
   friend struct AllocationAccess;
+  friend class Stream;
   template <typename T>
   friend class DeviceBuffer;
 
   Allocation allocate_raw(std::size_t bytes);
   void free_raw(const Allocation& a);
+
+  void register_stream(Stream* s);
+  void unregister_stream(Stream* s);
+
+  /// The scheduler: place an `ns`-long op on `engine` for `stream`
+  /// (nullptr = the serial default queue). Returns the start time in ns.
+  double schedule(Stream* stream, Engine engine, double ns,
+                  std::string name);
+  void record_transfer(TransferDir dir, std::uint64_t bytes);
+  [[nodiscard]] double& engine_free_ns(Engine e);
 
   GpuSpec spec_;
   SimOptions options_;
@@ -135,6 +228,12 @@ class Device {
   std::size_t peak_allocated_bytes_ = 0;
   std::uint64_t alloc_count_ = 0;
   std::vector<LaunchResult> history_;
+  // Engine FIFOs: when each engine finishes its queued work.
+  double compute_free_ns_ = 0.0;
+  double dma_free_ns_[2] = {0.0, 0.0};
+  Stream* active_stream_ = nullptr;
+  std::vector<Stream*> streams_;
+  double last_op_ms_ = 0.0;  ///< duration of the last scheduled op
   // Last member so the slots (which may own DeviceBuffers) are destroyed
   // while the allocator bookkeeping above is still alive.
   std::unordered_map<std::type_index, std::shared_ptr<void>> locals_;

@@ -1,0 +1,32 @@
+// Events: recorded points on a stream's timeline (cudaEvent analogue).
+//
+// An Event is recorded at a stream's current tail (Stream::record) and
+// later waited on from another stream (Stream::wait), which orders all of
+// that stream's subsequent operations after the recorded point. Waiting on
+// a never-recorded event is a no-op, exactly as in CUDA.
+#pragma once
+
+namespace repro::sim {
+
+class Stream;
+
+class Event {
+ public:
+  Event() = default;
+
+  /// Whether record() has captured a timeline position yet.
+  [[nodiscard]] bool recorded() const { return recorded_; }
+
+  /// Timeline position (simulated ns / ms) of the last record(). Only
+  /// meaningful when recorded().
+  [[nodiscard]] double time_ns() const { return time_ns_; }
+  [[nodiscard]] double time_ms() const { return time_ns_ * 1e-6; }
+
+ private:
+  friend class Stream;
+
+  double time_ns_ = 0.0;
+  bool recorded_ = false;
+};
+
+}  // namespace repro::sim

@@ -14,6 +14,7 @@ GpuSpec base_g8x() {
   g.threads_to_saturate_mem = 128;
   g.launch_overhead_us = 10.0;
   g.compute_efficiency = 0.9;
+  g.dma_engines = 1;  // one copy engine shared by both transfer directions
   return g;
 }
 
@@ -95,6 +96,7 @@ GpuSpec geforce_gtx_280() {
   g.bus_width_bits = 512;
   g.dram = dram_for_bus(g.bus_width_bits);
   g.pcie = PcieSpec{PcieGen::Gen2_0, 5.4, 5.2, 20.0};
+  g.dma_engines = 2;  // GT200 added a second copy engine (one per direction)
   g.fp64_ratio = 1.0 / 8.0;  // one DP unit per SM
   return g;
 }

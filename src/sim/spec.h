@@ -79,6 +79,13 @@ struct GpuSpec {
 
   PcieSpec pcie{};
 
+  /// Copy (DMA) engines for PCIe transfers. The G8x generation has a
+  /// single engine shared by both directions, so concurrent uploads and
+  /// downloads serialize on it; later parts (GT200 onwards) dedicate one
+  /// engine per direction. Drives the stream scheduler's contention model
+  /// (sim/stream.h) and the Section 4.4 overlap extension.
+  int dma_engines{1};
+
   /// Double-precision throughput as a fraction of single-precision ops
   /// per cycle. 0 = no DP units (every GeForce 8800: "currently available
   /// CUDA GPUs support only single precision operations", Section 4.5);

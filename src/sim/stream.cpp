@@ -1,0 +1,23 @@
+#include "sim/stream.h"
+
+#include <algorithm>
+
+#include "sim/device.h"
+
+namespace repro::sim {
+
+const char* engine_name(Engine e) {
+  switch (e) {
+    case Engine::Compute: return "compute";
+    case Engine::DmaH2D: return "dma_h2d";
+    default: return "dma_d2h";
+  }
+}
+
+Stream::Stream(Device& dev) : dev_(&dev) { dev.register_stream(this); }
+
+Stream::~Stream() {
+  if (dev_ != nullptr) dev_->unregister_stream(this);
+}
+
+}  // namespace repro::sim

@@ -1,0 +1,90 @@
+// Streams: ordered queues of timed device operations (cudaStream
+// analogue), the substrate of the Section 4.4 asynchronous-transfer model.
+//
+// Ops within one stream execute in submission order; ops on different
+// streams may overlap, but only where the hardware has an engine for each:
+// the device has ONE compute engine (kernels from all streams serialize on
+// it, in submission order) and one or two DMA engines per GpuSpec
+// (`dma_engines`; G8x parts have a single copy engine shared by both
+// directions, later parts dedicate one per direction). Each engine serves
+// the operations submitted to it strictly in submission order (a FIFO, as
+// on real queues), so a stream's op starts at
+//
+//   max(stream tail, engine free time, submission-time clock, event waits)
+//
+// and the schedule is resolved eagerly at enqueue. Functional effects
+// (data movement, kernel math) always happen immediately in program
+// order, so results are bit-identical to a serial run — streams change
+// only the simulated timeline.
+//
+// Destroying a Stream synchronizes it: its timeline folds into the
+// device's default clock, so no simulated time is ever lost.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/event.h"
+
+namespace repro::sim {
+
+class Device;
+
+/// Which hardware engine an operation occupies.
+enum class Engine { Compute, DmaH2D, DmaD2H };
+
+[[nodiscard]] const char* engine_name(Engine e);
+
+/// One operation scheduled on a stream's timeline.
+struct StreamOp {
+  std::string name;
+  Engine engine{Engine::Compute};
+  double start_ns{};
+  double end_ns{};
+
+  [[nodiscard]] double duration_ms() const {
+    return (end_ns - start_ns) * 1e-6;
+  }
+  [[nodiscard]] double start_ms() const { return start_ns * 1e-6; }
+  [[nodiscard]] double end_ms() const { return end_ns * 1e-6; }
+};
+
+class Stream {
+ public:
+  /// Create a stream on `dev`; the device tracks it until destruction.
+  explicit Stream(Device& dev);
+  ~Stream();
+
+  Stream(const Stream&) = delete;
+  Stream& operator=(const Stream&) = delete;
+
+  [[nodiscard]] Device& device() const { return *dev_; }
+
+  /// Time the last enqueued operation completes (the stream's tail).
+  [[nodiscard]] double ready_ms() const { return ready_ns_ * 1e-6; }
+
+  /// Record `e` at the stream's current tail.
+  void record(Event& e) {
+    e.time_ns_ = ready_ns_;
+    e.recorded_ = true;
+  }
+
+  /// Order all subsequently enqueued work on this stream after `e`.
+  /// No-op when `e` was never recorded (CUDA semantics).
+  void wait(const Event& e) {
+    if (e.recorded_ && e.time_ns_ > ready_ns_) ready_ns_ = e.time_ns_;
+  }
+
+  /// Operations scheduled on this stream since the last
+  /// Device::reset_clock() (start/end resolved against engine contention).
+  [[nodiscard]] const std::vector<StreamOp>& ops() const { return ops_; }
+
+ private:
+  friend class Device;
+
+  Device* dev_;
+  double ready_ns_ = 0.0;
+  std::vector<StreamOp> ops_;
+};
+
+}  // namespace repro::sim

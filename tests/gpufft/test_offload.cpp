@@ -5,11 +5,26 @@
 namespace repro::gpufft {
 namespace {
 
+TEST(Offload, ZeroJobsIsAllZeroTimings) {
+  // No jobs: no fill, no drain, no negative terms from the n-1 algebra.
+  const auto t = offload_pipeline(10.0, 20.0, 10.0, 0);
+  EXPECT_DOUBLE_EQ(t.sync_ms, 0.0);
+  EXPECT_DOUBLE_EQ(t.overlap_1dma_ms, 0.0);
+  EXPECT_DOUBLE_EQ(t.overlap_2dma_ms, 0.0);
+  EXPECT_DOUBLE_EQ(t.speedup_1dma(), 0.0);
+  EXPECT_DOUBLE_EQ(t.speedup_2dma(), 0.0);
+  EXPECT_DOUBLE_EQ(schedule_offload(10.0, 20.0, 10.0, 0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(schedule_offload(10.0, 20.0, 10.0, 0, 2), 0.0);
+}
+
 TEST(Offload, SingleJobHasNoOverlapWin) {
   const auto t = offload_pipeline(10.0, 20.0, 10.0, 1);
   EXPECT_DOUBLE_EQ(t.sync_ms, 40.0);
   EXPECT_DOUBLE_EQ(t.overlap_1dma_ms, 40.0);
   EXPECT_DOUBLE_EQ(t.overlap_2dma_ms, 40.0);
+  // The scheduler agrees: one job is strictly sequential on any card.
+  EXPECT_NEAR(schedule_offload(10.0, 20.0, 10.0, 1, 1), 40.0, 1e-9);
+  EXPECT_NEAR(schedule_offload(10.0, 20.0, 10.0, 1, 2), 40.0, 1e-9);
 }
 
 TEST(Offload, ComputeBoundPipelineHidesTransfers) {
@@ -59,6 +74,49 @@ TEST(Offload, MeasuredPhasesMatchTable10Regime) {
   // overlap buys a solid factor.
   EXPECT_GT(t.speedup_1dma(), 1.2);
   EXPECT_LT(t.speedup_1dma(), 3.0);
+  // The scheduler replay agrees with the algebra: its makespan sits
+  // between the engine lower bounds and the closed form (the closed form
+  // over-counts fill/drain slightly), and the steady-state per-job rate
+  // matches within 1%.
+  EXPECT_GT(t.sched_1dma_ms, 0.0);
+  EXPECT_LE(t.sched_1dma_ms, t.overlap_1dma_ms + 1e-9);
+  EXPECT_LE(t.sched_2dma_ms, t.sched_1dma_ms + 1e-9);
+  EXPECT_NEAR(t.sched_rate_1dma_ms, t.algebra_rate_1dma_ms(),
+              0.01 * t.algebra_rate_1dma_ms());
+  EXPECT_NEAR(t.sched_rate_2dma_ms, t.algebra_rate_2dma_ms(),
+              0.01 * t.algebra_rate_2dma_ms());
+}
+
+TEST(Offload, SchedulerMatchesAlgebraRateAcrossRegimes) {
+  // Sweep compute-bound, upload-bound, download-bound, and balanced
+  // phase mixes: the event-driven replay's steady-state per-job period
+  // must match the closed-form bound within 1% in every regime.
+  const double mixes[][3] = {
+      {5.0, 30.0, 5.0},    // compute-bound
+      {30.0, 5.0, 10.0},   // upload-bound
+      {10.0, 5.0, 30.0},   // download-bound
+      {20.0, 20.0, 20.0},  // balanced
+      {25.0, 30.0, 25.0},  // copy-bound on one engine, fft-bound on two
+  };
+  const std::size_t n = 16;
+  for (const auto& m : mixes) {
+    const auto t = offload_pipeline(m[0], m[1], m[2], n);
+    for (int engines : {1, 2}) {
+      const double total = schedule_offload(m[0], m[1], m[2], n, engines);
+      const double twice =
+          schedule_offload(m[0], m[1], m[2], 2 * n, engines);
+      const double rate = (twice - total) / static_cast<double>(n);
+      const double bound = engines == 1 ? t.algebra_rate_1dma_ms()
+                                        : t.algebra_rate_2dma_ms();
+      EXPECT_NEAR(rate, bound, 0.01 * bound)
+          << "engines=" << engines << " mix=(" << m[0] << "," << m[1]
+          << "," << m[2] << ")";
+      // Makespan sanity: never below the engine-work lower bound, never
+      // above the serial schedule.
+      EXPECT_GE(total, static_cast<double>(n) * bound - 1e-9);
+      EXPECT_LE(total, t.sync_ms + 1e-9);
+    }
+  }
 }
 
 }  // namespace

@@ -128,6 +128,27 @@ TEST(Device, AllocationTracking) {
   EXPECT_EQ(dev.allocated_bytes(), 0u);
 }
 
+TEST(Device, PeakStatsAreDeviceLifetimeUntilReset) {
+  Device dev(geforce_8800_gt());
+  auto a = dev.alloc<float>(1 << 20);  // 4 MB
+  {
+    auto b = dev.alloc<float>(1 << 20);
+    EXPECT_EQ(dev.peak_allocated_bytes(), 8u << 20);
+    EXPECT_EQ(dev.alloc_count(), 2u);
+  }
+  // reset_clock is a timing concern: allocator stats survive it.
+  dev.reset_clock();
+  EXPECT_EQ(dev.peak_allocated_bytes(), 8u << 20);
+  EXPECT_EQ(dev.alloc_count(), 2u);
+  // reset_peak_stats re-anchors the peak to what is still allocated.
+  dev.reset_peak_stats();
+  EXPECT_EQ(dev.peak_allocated_bytes(), 4u << 20);
+  EXPECT_EQ(dev.alloc_count(), 0u);
+  auto c = dev.alloc<float>(2 << 20);
+  EXPECT_EQ(dev.peak_allocated_bytes(), 12u << 20);
+  EXPECT_EQ(dev.alloc_count(), 1u);
+}
+
 TEST(Device, DistinctBuffersDistinctAddresses) {
   Device dev(geforce_8800_gt());
   auto a = dev.alloc<float>(100);

@@ -1,0 +1,198 @@
+// Stream/event scheduler: engine contention, overlap, default-stream
+// legacy semantics, event ordering, and timeline bookkeeping.
+#include "sim/stream.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "sim/device.h"
+
+namespace repro::sim {
+namespace {
+
+GpuSpec spec_with_engines(int dma_engines) {
+  GpuSpec g = geforce_8800_gt();
+  g.dma_engines = dma_engines;
+  return g;
+}
+
+TEST(Stream, SpecsDeclareTheirCopyEngines) {
+  EXPECT_EQ(geforce_8800_gt().dma_engines, 1);
+  EXPECT_EQ(geforce_8800_gts().dma_engines, 1);
+  EXPECT_EQ(geforce_8800_gtx().dma_engines, 1);
+  EXPECT_EQ(geforce_gtx_280().dma_engines, 2);
+}
+
+TEST(Stream, DefaultQueueStaysSerial) {
+  // With no streams in flight the device is the old serial machine: the
+  // clock is exactly the sum of the operations' durations.
+  Device dev(geforce_8800_gt());
+  auto buf = dev.alloc<float>(1 << 16);
+  std::vector<float> host(buf.size());
+  std::iota(host.begin(), host.end(), 0.0f);
+  dev.h2d(buf, std::span<const float>(host));
+  std::vector<float> back(buf.size());
+  dev.d2h(std::span<float>(back), buf);
+  EXPECT_EQ(back, host);
+  EXPECT_NEAR(dev.elapsed_ms(), dev.h2d_ms() + dev.d2h_ms(), 1e-12);
+}
+
+TEST(Stream, ComputeOverlapsCopyOnSeparateEngines) {
+  Device dev(spec_with_engines(1));
+  Stream s0(dev);
+  Stream s1(dev);
+  dev.submit_timed(s0, Engine::DmaH2D, 10.0, "upload");
+  dev.submit_timed(s1, Engine::Compute, 10.0, "kernel");
+  EXPECT_NEAR(dev.elapsed_ms(), 10.0, 1e-12);  // full overlap
+}
+
+TEST(Stream, SingleCopyEngineSerializesDirections) {
+  Device dev(spec_with_engines(1));
+  Stream s0(dev);
+  Stream s1(dev);
+  dev.submit_timed(s0, Engine::DmaH2D, 10.0, "upload");
+  dev.submit_timed(s1, Engine::DmaD2H, 10.0, "download");
+  // One engine serves both directions: the download queues behind.
+  EXPECT_NEAR(dev.elapsed_ms(), 20.0, 1e-12);
+  EXPECT_NEAR(s1.ops().front().start_ms(), 10.0, 1e-12);
+}
+
+TEST(Stream, DualCopyEnginesRunDirectionsConcurrently) {
+  Device dev(spec_with_engines(2));
+  Stream s0(dev);
+  Stream s1(dev);
+  dev.submit_timed(s0, Engine::DmaH2D, 10.0, "upload");
+  dev.submit_timed(s1, Engine::DmaD2H, 10.0, "download");
+  EXPECT_NEAR(dev.elapsed_ms(), 10.0, 1e-12);
+  EXPECT_NEAR(s1.ops().front().start_ms(), 0.0, 1e-12);
+}
+
+TEST(Stream, ComputeEngineIsSingleAcrossStreams) {
+  Device dev(spec_with_engines(2));
+  Stream s0(dev);
+  Stream s1(dev);
+  dev.submit_timed(s0, Engine::Compute, 7.0, "k0");
+  dev.submit_timed(s1, Engine::Compute, 5.0, "k1");
+  // Kernels from different streams serialize in submission order.
+  EXPECT_NEAR(s1.ops().front().start_ms(), 7.0, 1e-12);
+  EXPECT_NEAR(dev.elapsed_ms(), 12.0, 1e-12);
+}
+
+TEST(Stream, OpsWithinAStreamKeepSubmissionOrder) {
+  Device dev(spec_with_engines(2));
+  Stream s(dev);
+  dev.submit_timed(s, Engine::DmaH2D, 4.0, "upload");
+  dev.submit_timed(s, Engine::Compute, 6.0, "kernel");
+  dev.submit_timed(s, Engine::DmaD2H, 3.0, "download");
+  ASSERT_EQ(s.ops().size(), 3u);
+  EXPECT_NEAR(s.ops()[1].start_ms(), 4.0, 1e-12);
+  EXPECT_NEAR(s.ops()[2].start_ms(), 10.0, 1e-12);
+  EXPECT_NEAR(s.ready_ms(), 13.0, 1e-12);
+}
+
+TEST(Stream, EventOrdersAcrossStreams) {
+  Device dev(spec_with_engines(2));
+  Stream s0(dev);
+  Stream s1(dev);
+  dev.submit_timed(s0, Engine::Compute, 10.0, "producer");
+  Event done;
+  s0.record(done);
+  EXPECT_TRUE(done.recorded());
+  EXPECT_NEAR(done.time_ms(), 10.0, 1e-12);
+  s1.wait(done);
+  dev.submit_timed(s1, Engine::DmaH2D, 5.0, "consumer");
+  EXPECT_NEAR(s1.ops().front().start_ms(), 10.0, 1e-12);
+  EXPECT_NEAR(dev.elapsed_ms(), 15.0, 1e-12);
+}
+
+TEST(Stream, WaitOnUnrecordedEventIsNoOp) {
+  Device dev(spec_with_engines(2));
+  Stream s(dev);
+  Event never;
+  s.wait(never);  // CUDA semantics: no-op
+  dev.submit_timed(s, Engine::Compute, 3.0, "k");
+  EXPECT_NEAR(s.ops().front().start_ms(), 0.0, 1e-12);
+}
+
+TEST(Stream, DefaultQueueJoinsLiveStreams) {
+  // Legacy default-stream semantics: serial-queue work starts only after
+  // every live stream's tail.
+  Device dev(spec_with_engines(1));
+  auto buf = dev.alloc<float>(1 << 14);
+  std::vector<float> host(buf.size());
+  {
+    Stream s(dev);
+    dev.submit_timed(s, Engine::Compute, 25.0, "async-kernel");
+    dev.h2d(buf, std::span<const float>(host));  // default queue
+    EXPECT_NEAR(dev.elapsed_ms(), 25.0 + dev.h2d_ms(), 1e-9);
+  }
+}
+
+TEST(Stream, DestructorSynchronizes) {
+  Device dev(spec_with_engines(1));
+  {
+    Stream s(dev);
+    dev.submit_timed(s, Engine::Compute, 12.0, "k");
+  }
+  // The stream's timeline folded into the clock at destruction.
+  EXPECT_NEAR(dev.elapsed_ms(), 12.0, 1e-12);
+}
+
+TEST(Stream, SyncAdvancesTheClockToTheTail) {
+  Device dev(spec_with_engines(1));
+  Stream s(dev);
+  dev.submit_timed(s, Engine::Compute, 8.0, "k");
+  dev.sync(s);
+  EXPECT_NEAR(dev.elapsed_ms(), 8.0, 1e-12);
+  dev.sync_all();
+  EXPECT_NEAR(dev.elapsed_ms(), 8.0, 1e-12);
+}
+
+TEST(Stream, ResetClockClearsStreamTimelines) {
+  Device dev(spec_with_engines(2));
+  Stream s(dev);
+  dev.submit_timed(s, Engine::Compute, 9.0, "k");
+  dev.reset_clock();
+  EXPECT_EQ(dev.elapsed_ms(), 0.0);
+  EXPECT_EQ(s.ready_ms(), 0.0);
+  EXPECT_TRUE(s.ops().empty());
+}
+
+TEST(Stream, AsyncTransfersMoveDataImmediately) {
+  // Functional effects are eager: the bytes land regardless of where the
+  // op sits on the timeline.
+  Device dev(spec_with_engines(2));
+  auto buf = dev.alloc<float>(4096);
+  std::vector<float> host(buf.size());
+  std::iota(host.begin(), host.end(), 1.0f);
+  Stream s(dev);
+  const double up = dev.h2d_async(buf, std::span<const float>(host), s);
+  std::vector<float> back(buf.size());
+  const double down = dev.d2h_async(std::span<float>(back), buf, s);
+  EXPECT_EQ(back, host);
+  EXPECT_GT(up, 0.0);
+  EXPECT_GT(down, 0.0);
+  ASSERT_EQ(s.ops().size(), 2u);
+  EXPECT_EQ(s.ops()[0].engine, Engine::DmaH2D);
+  EXPECT_EQ(s.ops()[1].engine, Engine::DmaD2H);
+  dev.sync(s);
+  EXPECT_NEAR(dev.elapsed_ms(), up + down, 1e-9);  // same-stream: serial
+}
+
+TEST(Stream, SubmitTimedReturnsStartTime) {
+  Device dev(spec_with_engines(1));
+  Stream s0(dev);
+  Stream s1(dev);
+  EXPECT_NEAR(dev.submit_timed(s0, Engine::DmaH2D, 6.0, "a"), 0.0, 1e-12);
+  EXPECT_NEAR(dev.submit_timed(s1, Engine::DmaH2D, 6.0, "b"), 6.0, 1e-12);
+}
+
+TEST(Stream, EngineNamesAreStable) {
+  EXPECT_STREQ(engine_name(Engine::Compute), "compute");
+  EXPECT_STREQ(engine_name(Engine::DmaH2D), "dma_h2d");
+  EXPECT_STREQ(engine_name(Engine::DmaD2H), "dma_d2h");
+}
+
+}  // namespace
+}  // namespace repro::sim
