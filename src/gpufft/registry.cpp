@@ -6,11 +6,13 @@
 #include "gpufft/outofcore.h"
 #include "gpufft/plan.h"
 #include "gpufft/plan2d.h"
+#include "gpufft/sharded.h"
 
 namespace repro::gpufft {
 
 template <typename T>
-std::shared_ptr<FftPlanT<T>> make_plan(Device& dev, const PlanDesc& desc) {
+std::shared_ptr<FftPlanT<T>> make_plan(Device& dev, const PlanDesc& desc,
+                                       sim::DeviceGroup* group) {
   constexpr bool is_f32 = std::is_same_v<T, float>;
   REPRO_CHECK_MSG(desc.precision ==
                       (is_f32 ? Precision::F32 : Precision::F64),
@@ -45,6 +47,12 @@ std::shared_ptr<FftPlanT<T>> make_plan(Device& dev, const PlanDesc& desc) {
       case PlanKind::OutOfCore:
         return std::make_shared<OutOfCoreFft3D>(dev, desc.shape.nx,
                                                 desc.splits, desc.dir);
+      case PlanKind::Sharded3D:
+        REPRO_CHECK_MSG(group != nullptr,
+                        "sharded plans span a device fleet; obtain them "
+                        "through PlanRegistry::of(sim::DeviceGroup&)");
+        return std::make_shared<ShardedFft3DPlan>(*group, desc.shape.nx,
+                                                  desc.splits, desc.dir);
       default:
         REPRO_FAIL(
             "convolution plans hold a resident filter; construct "
@@ -63,7 +71,7 @@ std::shared_ptr<FftPlanT<T>> PlanRegistry::get_or_create_as(
     return std::static_pointer_cast<FftPlanT<T>>(*slot);
   }
   ++misses_;
-  auto plan = make_plan<T>(dev_, desc);
+  auto plan = make_plan<T>(dev_, desc, group_);
   insert(desc, plan);
   return plan;
 }
@@ -100,10 +108,10 @@ void PlanRegistry::clear() {
   lru_.clear();
 }
 
-template std::shared_ptr<FftPlanT<float>> make_plan<float>(Device&,
-                                                           const PlanDesc&);
+template std::shared_ptr<FftPlanT<float>> make_plan<float>(
+    Device&, const PlanDesc&, sim::DeviceGroup*);
 template std::shared_ptr<FftPlanT<double>> make_plan<double>(
-    Device&, const PlanDesc&);
+    Device&, const PlanDesc&, sim::DeviceGroup*);
 template std::shared_ptr<FftPlanT<float>>
 PlanRegistry::get_or_create_as<float>(const PlanDesc&);
 template std::shared_ptr<FftPlanT<double>>

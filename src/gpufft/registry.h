@@ -23,6 +23,7 @@
 
 #include "gpufft/fft_plan.h"
 #include "gpufft/plan_desc.h"
+#include "sim/device_group.h"
 
 namespace repro::gpufft {
 
@@ -30,12 +31,26 @@ class PlanRegistry {
  public:
   explicit PlanRegistry(Device& dev) : dev_(dev) {}
 
+  /// A group-attached registry: behaves exactly like the single-device
+  /// one but can additionally serve PlanKind::Sharded3D descriptions,
+  /// which need the whole fleet. Non-sharded descriptions build on the
+  /// group's first device.
+  explicit PlanRegistry(sim::DeviceGroup& group)
+      : dev_(group.device(0)), group_(&group) {}
+
   PlanRegistry(const PlanRegistry&) = delete;
   PlanRegistry& operator=(const PlanRegistry&) = delete;
 
   /// The registry of `dev` (created on first use, device lifetime).
   static PlanRegistry& of(Device& dev) {
     return dev.local<PlanRegistry>();
+  }
+
+  /// The registry of `group` (created on first use, group lifetime).
+  /// Distinct from the members' own registries: sharded plans live here,
+  /// per-device plans (e.g. the shards' slab FFTs) live on the members.
+  static PlanRegistry& of(sim::DeviceGroup& group) {
+    return group.local<PlanRegistry>();
   }
 
   /// Single-precision front door (the paper's configuration). The
@@ -78,6 +93,7 @@ class PlanRegistry {
   void evict_to_capacity();
 
   Device& dev_;
+  sim::DeviceGroup* group_ = nullptr;  // non-null for group registries
   std::list<Entry> lru_;  // most-recently-used first
   std::unordered_map<PlanDesc, std::list<Entry>::iterator, PlanDescHash>
       index_;
@@ -88,14 +104,16 @@ class PlanRegistry {
 };
 
 /// Construct a fresh plan for `desc` outside the registry (the registry's
-/// factory; exposed for cold-path benchmarking).
+/// factory; exposed for cold-path benchmarking). Sharded3D descriptions
+/// additionally need the device group the plan spans.
 template <typename T>
-std::shared_ptr<FftPlanT<T>> make_plan(Device& dev, const PlanDesc& desc);
+std::shared_ptr<FftPlanT<T>> make_plan(Device& dev, const PlanDesc& desc,
+                                       sim::DeviceGroup* group = nullptr);
 
 extern template std::shared_ptr<FftPlanT<float>> make_plan<float>(
-    Device&, const PlanDesc&);
+    Device&, const PlanDesc&, sim::DeviceGroup*);
 extern template std::shared_ptr<FftPlanT<double>> make_plan<double>(
-    Device&, const PlanDesc&);
+    Device&, const PlanDesc&, sim::DeviceGroup*);
 extern template std::shared_ptr<FftPlanT<float>>
 PlanRegistry::get_or_create_as<float>(const PlanDesc&);
 extern template std::shared_ptr<FftPlanT<double>>

@@ -1,0 +1,300 @@
+#include "gpufft/sharded.h"
+
+#include <algorithm>
+
+#include "gpufft/cache.h"
+#include "gpufft/registry.h"
+#include "gpufft/smallfft.h"
+
+namespace repro::gpufft {
+
+ShardedFft3DPlan::ShardedFft3DPlan(sim::DeviceGroup& group, std::size_t n,
+                                   std::size_t shards, Direction dir)
+    : PlanBaseT<float>(group.device(0), PlanDesc::sharded3d(n, shards, dir)),
+      group_(&group),
+      n_(n),
+      shards_(shards),
+      slab_shape_{n, n, n / shards},
+      host_work_(n * n * n),
+      staging_lease_(group, n * n * n * sizeof(cxf)) {
+  REPRO_CHECK_MSG(n % shards == 0, "shards must divide n");
+  REPRO_CHECK_MSG(shards >= 2 && shards <= kMaxFactor,
+                  "shards must be a supported small-FFT factor");
+  REPRO_CHECK(is_pow2(n) && is_pow2(shards));
+  REPRO_CHECK_MSG(shards % group.size() == 0,
+                  "the group size must divide the shard count");
+  REPRO_CHECK_MSG((n / shards) % group.size() == 0,
+                  "the group size must divide n/shards");
+  slab_plans_.reserve(group.size());
+  for (std::size_t d = 0; d < group.size(); ++d) {
+    slab_plans_.push_back(PlanRegistry::of(group.device(d))
+                              .get_or_create(PlanDesc::bandwidth3d(
+                                  slab_shape_, dir, Precision::F32)));
+  }
+}
+
+std::vector<StepTiming> ShardedFft3DPlan::execute(DeviceBuffer<cxf>&) {
+  REPRO_FAIL(
+      "sharded plans transform host-resident volumes distributed across a "
+      "device group; use execute_host()");
+}
+
+ShardedTiming ShardedFft3DPlan::execute(std::span<cxf> host_data) {
+  REPRO_CHECK(host_data.size() == n_ * n_ * n_);
+  const std::size_t plane = n_ * n_;
+  const std::size_t local_nz = n_ / shards_;
+  const std::size_t nd = group_->size();
+
+  // Per device: two slab leases + two streams, exactly the out-of-core
+  // double-buffering — each card overlaps its own iterations as its DMA
+  // engines allow, independent of the other cards' engines.
+  const std::size_t slab_elems = plane * std::max(local_nz, shards_);
+  std::vector<ResourceCache::Lease<float>> leases;
+  std::vector<std::unique_ptr<sim::Stream>> streams;
+  leases.reserve(2 * nd);
+  streams.reserve(2 * nd);
+  for (std::size_t d = 0; d < nd; ++d) {
+    auto& dev = group_->device(d);
+    leases.push_back(ResourceCache::of(dev).lease<float>(slab_elems));
+    leases.push_back(ResourceCache::of(dev).lease<float>(slab_elems));
+    streams.push_back(std::make_unique<sim::Stream>(dev));
+    streams.push_back(std::make_unique<sim::Stream>(dev));
+  }
+  auto slab_of = [&](std::size_t d, std::size_t i) -> DeviceBuffer<cxf>& {
+    return leases[2 * d + i].buffer();
+  };
+  auto stream_of = [&](std::size_t d, std::size_t i) -> sim::Stream& {
+    return *streams[2 * d + i];
+  };
+
+  const double start_ms = group_->elapsed_ms();
+  ShardedTiming timing;
+  timing.devices.resize(nd);
+
+  // ---- Phase 1: residue I on device I mod N (slab FFT + twiddle) ----
+  for (std::size_t residue = 0; residue < shards_; ++residue) {
+    const std::size_t d = residue % nd;
+    const std::size_t local = residue / nd;
+    auto& dev = group_->device(d);
+    ShardTiming& t = timing.devices[d];
+    sim::Stream& s = stream_of(d, local % 2);
+    auto& slab = slab_of(d, local % 2);
+    const unsigned grid = default_grid_blocks(dev.spec());
+
+    for (std::size_t j = 0; j < local_nz; ++j) {
+      const std::size_t z = residue + shards_ * j;
+      const std::span<const cxf> src = host_data.subspan(z * plane, plane);
+      t.h2d1_ms += dev.h2d_async(slab, src, s, j * plane);
+    }
+
+    for (const auto& step : slab_plans_[d]->execute_async(slab, s)) {
+      t.fft1_ms += step.ms;
+    }
+
+    SlabTwiddleKernel tw(slab, slab_shape_, n_, residue, desc_.dir, grid);
+    t.twiddle_ms += dev.launch_async(tw, s).total_ms;
+
+    // The download IS the all-to-all send: the planes land in the host
+    // staging volume that every card's phase 2 reads back.
+    for (std::size_t k = 0; k < local_nz; ++k) {
+      const std::size_t z = residue + shards_ * k;
+      t.d2h1_ms += dev.d2h_async(
+          std::span<cxf>(host_work_).subspan(z * plane, plane), slab, s,
+          k * plane);
+      t.exchange_bytes += plane * sizeof(cxf);
+    }
+  }
+
+  // Group-wide phase boundary: every phase-2 group gathers one plane from
+  // each phase-1 residue — i.e. from every card — so all streams fence at
+  // the maximum stream tail. The members share one time origin, which is
+  // what makes the absolute wait_until meaningful across devices; for a
+  // group of one this degenerates to the out-of-core event pair exactly.
+  double barrier = start_ms;
+  for (const auto& s : streams) barrier = std::max(barrier, s->ready_ms());
+  for (auto& s : streams) s->wait_until_ms(barrier);
+  timing.barrier_ms = barrier - start_ms;
+
+  // ---- Phase 2: contiguous block of plane groups per device ----
+  const Shape3 pencil_slab{n_, n_, shards_};
+  const std::size_t groups_per_dev = local_nz / nd;
+  for (std::size_t e = 0; e < nd; ++e) {
+    auto& dev = group_->device(e);
+    ShardTiming& t = timing.devices[e];
+    const unsigned grid = default_grid_blocks(dev.spec());
+    for (std::size_t g = 0; g < groups_per_dev; ++g) {
+      const std::size_t k = e * groups_per_dev + g;
+      sim::Stream& s = stream_of(e, g % 2);
+      auto& slab = slab_of(e, g % 2);
+
+      t.h2d2_ms += dev.h2d_async(
+          slab,
+          std::span<const cxf>(host_work_)
+              .subspan(shards_ * k * plane, shards_ * plane),
+          s);
+      t.exchange_bytes += shards_ * plane * sizeof(cxf);
+
+      ZPencilFftKernel fft(slab, pencil_slab, desc_.dir, grid);
+      t.fft2_ms += dev.launch_async(fft, s).total_ms;
+
+      for (std::size_t k2 = 0; k2 < shards_; ++k2) {
+        const std::size_t z = k + local_nz * k2;
+        t.d2h2_ms += dev.d2h_async(host_data.subspan(z * plane, plane),
+                                   slab, s, k2 * plane);
+      }
+    }
+  }
+
+  group_->sync_all();
+  timing.makespan_ms = group_->elapsed_ms() - start_ms;
+  last_timing_ = timing;
+  last_total_ms_ = timing.makespan_ms;
+  return timing;
+}
+
+std::vector<StepTiming> ShardedFft3DPlan::execute_host(std::span<cxf> data) {
+  const ShardedTiming t = execute(data);
+  ShardTiming sum;
+  for (const auto& d : t.devices) {
+    sum.h2d1_ms += d.h2d1_ms;
+    sum.fft1_ms += d.fft1_ms;
+    sum.twiddle_ms += d.twiddle_ms;
+    sum.d2h1_ms += d.d2h1_ms;
+    sum.h2d2_ms += d.h2d2_ms;
+    sum.fft2_ms += d.fft2_ms;
+    sum.d2h2_ms += d.d2h2_ms;
+  }
+  const double bytes = static_cast<double>(n_ * n_ * n_) * sizeof(cxf);
+  auto row = [&](const char* name, double ms) {
+    // Each phase touches the full volume once in each direction.
+    return StepTiming{name, ms, ms > 0.0 ? 2.0 * bytes / (ms * 1e6) : 0.0};
+  };
+  std::vector<StepTiming> steps{
+      row("phase1 send", sum.h2d1_ms),
+      row("phase1 slab FFT", sum.fft1_ms),
+      row("phase1 twiddle", sum.twiddle_ms),
+      row("exchange receive", sum.d2h1_ms),
+      row("exchange send", sum.h2d2_ms),
+      row("phase2 pencil FFT", sum.fft2_ms),
+      row("phase2 receive", sum.d2h2_ms),
+  };
+  finish(steps);
+  // The rows are schedule-independent duration sums across the fleet; the
+  // cost of the run is the overlapped group makespan.
+  last_total_ms_ = t.makespan_ms;
+  return steps;
+}
+
+std::vector<StepTiming> ShardedFft3DPlan::execute_batch_host(
+    std::span<const std::span<cxf>> volumes) {
+  REPRO_CHECK(!volumes.empty());
+  // Each volume occupies the whole fleet, so volumes run back-to-back;
+  // every run already overlaps internally on each card.
+  const double t0 = group_->elapsed_ms();
+  std::vector<StepTiming> total;
+  std::vector<double> traffic;
+  for (const auto& volume : volumes) {
+    const auto steps = execute_host(volume);
+    if (total.empty()) {
+      total = steps;
+      traffic.resize(steps.size());
+      for (std::size_t i = 0; i < steps.size(); ++i) {
+        traffic[i] = steps[i].gbs * steps[i].ms;
+      }
+      continue;
+    }
+    for (std::size_t i = 0; i < steps.size(); ++i) {
+      total[i].ms += steps[i].ms;
+      traffic[i] += steps[i].gbs * steps[i].ms;
+    }
+  }
+  for (std::size_t i = 0; i < total.size(); ++i) {
+    total[i].gbs = total[i].ms > 0.0 ? traffic[i] / total[i].ms : 0.0;
+  }
+  last_total_ms_ = group_->elapsed_ms() - t0;
+  return total;
+}
+
+ShardPhases probe_shard_phases(const sim::GpuSpec& spec, std::size_t n,
+                               std::size_t shards, Direction dir) {
+  Device dev(spec);
+  const std::size_t plane = n * n;
+  const std::size_t local_nz = n / shards;
+  const Shape3 slab_shape{n, n, local_nz};
+  const unsigned grid = default_grid_blocks(spec);
+  const std::size_t slab_elems = plane * std::max(local_nz, shards);
+
+  auto slab = dev.alloc<cxf>(slab_elems);
+  std::vector<cxf> host(slab_elems);
+  // Build the slab plan (twiddle uploads etc.) before the stopwatch.
+  auto plan = PlanRegistry::of(dev).get_or_create(
+      PlanDesc::bandwidth3d(slab_shape, dir, Precision::F32));
+
+  // Timing is data-value independent, so each phase is measured once,
+  // serially, with reset_clock deltas (the measure_offload pattern).
+  ShardPhases p;
+  dev.reset_clock();
+  for (std::size_t j = 0; j < local_nz; ++j) {
+    dev.h2d(slab, std::span<const cxf>(host).subspan(j * plane, plane),
+            j * plane);
+  }
+  p.up1_ms = dev.elapsed_ms();
+
+  dev.reset_clock();
+  plan->execute(slab);
+  p.fft1_ms = dev.elapsed_ms();
+
+  dev.reset_clock();
+  SlabTwiddleKernel tw(slab, slab_shape, n, 0, dir, grid);
+  dev.launch(tw);
+  p.twiddle_ms = dev.elapsed_ms();
+
+  dev.reset_clock();
+  for (std::size_t k = 0; k < local_nz; ++k) {
+    dev.d2h(std::span<cxf>(host).subspan(k * plane, plane), slab,
+            k * plane);
+  }
+  p.dn1_ms = dev.elapsed_ms();
+
+  dev.reset_clock();
+  dev.h2d(slab, std::span<const cxf>(host).subspan(0, shards * plane));
+  p.up2_ms = dev.elapsed_ms();
+
+  dev.reset_clock();
+  ZPencilFftKernel fft(slab, Shape3{n, n, shards}, dir, grid);
+  dev.launch(fft);
+  p.fft2_ms = dev.elapsed_ms();
+
+  dev.reset_clock();
+  for (std::size_t k2 = 0; k2 < shards; ++k2) {
+    dev.d2h(std::span<cxf>(host).subspan(k2 * plane, plane), slab,
+            k2 * plane);
+  }
+  p.dn2_ms = dev.elapsed_ms();
+  return p;
+}
+
+double sharded_model_ms(const ShardPhases& p, const sim::GpuSpec& spec,
+                        std::size_t n, std::size_t shards,
+                        std::size_t devices) {
+  const double residues = static_cast<double>(shards / devices);
+  const double groups = static_cast<double>((n / shards) / devices);
+  const double chain1 = p.up1_ms + p.fft1_ms + p.twiddle_ms + p.dn1_ms;
+  const double chain2 = p.up2_ms + p.fft2_ms + p.dn2_ms;
+  if (spec.dma_engines == 1) {
+    // The single copy engine's FIFO queues residue r+1's upload behind
+    // residue r's download, which stream order places after residue r's
+    // compute — every chain runs start-to-finish with no overlap.
+    return residues * chain1 + groups * chain2;
+  }
+  // Two copy engines: the double-buffered steady state is limited by the
+  // slowest engine, or by chain/2 when only two slabs bound the depth.
+  const double rate1 = std::max(
+      {p.up1_ms, p.fft1_ms + p.twiddle_ms, p.dn1_ms, chain1 / 2.0});
+  const double rate2 =
+      std::max({p.up2_ms, p.fft2_ms, p.dn2_ms, chain2 / 2.0});
+  return chain1 + (residues - 1.0) * rate1 + chain2 +
+         (groups - 1.0) * rate2;
+}
+
+}  // namespace repro::gpufft

@@ -1,0 +1,177 @@
+// Multi-device 3-D FFT: the Section 3.3 Z-decimation sharded across a
+// sim::DeviceGroup.
+//
+// The out-of-core algorithm already splits an n^3 volume into `splits`
+// interleaved Z slabs that stream over PCIe — "one card, eight slabs"
+// generalizes directly to "N cards, splits/N slabs each". Device d runs
+// phase 1 (full X/Y FFT + partial-Z + inter-rank twiddle) for the residues
+// congruent to d mod N, then the volume is re-bucketed across cards for
+// phase 2's splits-point Z FFTs, device e taking a contiguous block of
+// plane groups:
+//
+//   Phase 1 (device d = I mod N, residue I):   as out-of-core steps 1A-1D
+//   all-to-all exchange:                        host-staged (see below)
+//   Phase 2 (device e, groups k' in e's block): as out-of-core steps 2A-2C
+//
+// Every phase-2 group gathers one plane from each phase-1 residue, i.e.
+// from every card — an all-to-all. The simulated G8x cards have no
+// peer-to-peer path (as in 2008), so the exchange is host-staged: phase
+// 1's downloads land in one host work volume and phase 2's uploads read it
+// back, each leg costed through the owning card's (bridge-derated) PCIe
+// model. No extra copies are needed beyond what out-of-core already does —
+// the exchange is the d2h1/h2d2 traffic itself, so its cost is those two
+// buckets and the phase-boundary fence.
+//
+// Per device the schedule is exactly the out-of-core one: two slab leases,
+// two streams, residues (and phase-2 groups) alternating between them, so
+// each card overlaps its own transfers and compute as its DMA engines
+// allow. The phase boundary is a group-wide fence at the maximum of all
+// stream tails (Stream::wait_until_ms; the members share one time
+// origin). A group of one therefore reproduces the single-device
+// OutOfCoreFft3D timeline *exactly* — the degenerate path is pinned by
+// test, and decimation arithmetic depends only on `shards`, so results are
+// bit-identical across any device count and any spec mix.
+//
+// probe_shard_phases/sharded_model_ms give the closed-form pipeline model
+// the bench cross-checks the scheduler against (the bench_async_overlap
+// pattern): serial chains on 1-DMA cards, depth-2 double-buffered rates on
+// 2-DMA cards.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "gpufft/fft_plan.h"
+#include "gpufft/outofcore.h"
+#include "gpufft/types.h"
+#include "sim/device_group.h"
+
+namespace repro::gpufft {
+
+/// Per-device timing buckets of one sharded run (duration sums, schedule
+/// independent; the exchange is the d2h1 + h2d2 legs).
+struct ShardTiming {
+  double h2d1_ms{}, fft1_ms{}, twiddle_ms{}, d2h1_ms{};
+  double h2d2_ms{}, fft2_ms{}, d2h2_ms{};
+  std::uint64_t exchange_bytes{};  ///< bytes through the host staging
+
+  [[nodiscard]] double busy_ms() const {
+    return h2d1_ms + fft1_ms + twiddle_ms + d2h1_ms + h2d2_ms + fft2_ms +
+           d2h2_ms;
+  }
+  [[nodiscard]] double exchange_ms() const { return d2h1_ms + h2d2_ms; }
+};
+
+/// Group-level timing of one sharded run.
+struct ShardedTiming {
+  std::vector<ShardTiming> devices;  ///< one entry per group member
+  double barrier_ms{};   ///< phase-1 -> phase-2 fence (max stream tail)
+  double makespan_ms{};  ///< overlapped wall-clock across the fleet
+
+  [[nodiscard]] std::uint64_t exchange_bytes() const {
+    std::uint64_t b = 0;
+    for (const auto& d : devices) b += d.exchange_bytes;
+    return b;
+  }
+  [[nodiscard]] double max_busy_ms() const {
+    double ms = 0.0;
+    for (const auto& d : devices) ms = std::max(ms, d.busy_ms());
+    return ms;
+  }
+  /// Fraction of the fleet's busy time spent on the all-to-all legs.
+  [[nodiscard]] double exchange_fraction() const {
+    double busy = 0.0;
+    double exch = 0.0;
+    for (const auto& d : devices) {
+      busy += d.busy_ms();
+      exch += d.exchange_ms();
+    }
+    return busy > 0.0 ? exch / busy : 0.0;
+  }
+};
+
+/// 3-D FFT of a host-resident cube sharded across the devices of a group.
+/// `shards` is the Z-decimation factor S (the out-of-core `splits`,
+/// decoupled from the device count so results are bit-identical for every
+/// N); each device owns shards/N residues in phase 1 and a contiguous
+/// (n/shards)/N block of plane groups in phase 2. As an FftPlan it
+/// supports the host entry points only — the volume is never resident on
+/// any single card. Obtain through a group-attached PlanRegistry:
+///
+///   sim::DeviceGroup group(4, sim::geforce_8800_gts());
+///   auto plan = gpufft::PlanRegistry::of(group).get_or_create(
+///       gpufft::PlanDesc::sharded3d(256, 8, gpufft::Direction::Forward));
+///   plan->execute_host(volume);
+class ShardedFft3DPlan final : public PlanBaseT<float> {
+ public:
+  /// Requires shards | n, shards a supported small-FFT factor, and the
+  /// group size dividing both `shards` and `n/shards` (so both phases
+  /// split evenly across the cards).
+  ShardedFft3DPlan(sim::DeviceGroup& group, std::size_t n,
+                   std::size_t shards, Direction dir);
+
+  ShardedTiming execute(std::span<cxf> host_data);
+
+  /// Unsupported: the volume is distributed, never on one card.
+  std::vector<StepTiming> execute(DeviceBuffer<cxf>& data) override;
+
+  /// The FftPlan host entry point (phase rows summed across devices).
+  /// last_total_ms() afterwards reports the fleet makespan.
+  std::vector<StepTiming> execute_host(std::span<cxf> data) override;
+
+  /// Volumes run back-to-back; each already overlaps internally per card.
+  std::vector<StepTiming> execute_batch_host(
+      std::span<const std::span<cxf>> volumes) override;
+
+  /// Two slab staging buffers per member device.
+  [[nodiscard]] std::size_t workspace_bytes() const override {
+    return group_->size() * 2 * n_ * n_ * std::max(n_ / shards_, shards_) *
+           sizeof(cxf);
+  }
+
+  [[nodiscard]] sim::DeviceGroup& group() const { return *group_; }
+  [[nodiscard]] std::size_t n() const { return n_; }
+  [[nodiscard]] std::size_t shards() const { return shards_; }
+
+  /// Breakdown of the last execute()/execute_host().
+  [[nodiscard]] const ShardedTiming& last_timing() const {
+    return last_timing_;
+  }
+
+ private:
+  sim::DeviceGroup* group_;
+  std::size_t n_;
+  std::size_t shards_;
+  Shape3 slab_shape_;
+  std::vector<std::shared_ptr<FftPlan>> slab_plans_;  ///< one per device
+  std::vector<cxf> host_work_;
+  sim::DeviceGroup::HostStagingLease staging_lease_;
+  ShardedTiming last_timing_{};
+};
+
+/// Serially-measured durations of the seven per-iteration phases of the
+/// sharded schedule, probed on a scratch device (pass the group member's
+/// bridge-derated spec). up1/fft1/twiddle/dn1 are per phase-1 residue;
+/// up2/fft2/dn2 per phase-2 plane group.
+struct ShardPhases {
+  double up1_ms{}, fft1_ms{}, twiddle_ms{}, dn1_ms{};
+  double up2_ms{}, fft2_ms{}, dn2_ms{};
+};
+
+ShardPhases probe_shard_phases(const sim::GpuSpec& spec, std::size_t n,
+                               std::size_t shards, Direction dir);
+
+/// Closed-form makespan of the sharded schedule on a homogeneous group of
+/// `devices` cards with phase durations `p`: per device, shards/devices
+/// residue chains then (n/shards)/devices group chains. On a 1-DMA card
+/// the engine FIFOs serialize each chain exactly (the next residue's
+/// upload queues behind this residue's download on the single copy
+/// engine); a 2-DMA card pipelines at the depth-2 double-buffered rate
+/// max(up, compute, down, chain/2). Cross-checked against the scheduler
+/// by bench_sharded (<= 5%).
+double sharded_model_ms(const ShardPhases& p, const sim::GpuSpec& spec,
+                        std::size_t n, std::size_t shards,
+                        std::size_t devices);
+
+}  // namespace repro::gpufft

@@ -1,0 +1,78 @@
+#include "sim/device_group.h"
+
+namespace repro::sim {
+
+namespace {
+
+/// Derate one card's PCIe link against the shared bridge: with `n` cards
+/// active, each can sustain at most aggregate/n per direction.
+GpuSpec derate_for_bridge(GpuSpec spec, const GroupTopology& topo,
+                          std::size_t n) {
+  const double share_h2d = topo.aggregate_h2d_gbs / static_cast<double>(n);
+  const double share_d2h = topo.aggregate_d2h_gbs / static_cast<double>(n);
+  spec.pcie.h2d_gbs = std::min(spec.pcie.h2d_gbs, share_h2d);
+  spec.pcie.d2h_gbs = std::min(spec.pcie.d2h_gbs, share_d2h);
+  return spec;
+}
+
+std::vector<GpuSpec> replicate(std::size_t count, const GpuSpec& spec) {
+  REPRO_CHECK(count >= 1);
+  return std::vector<GpuSpec>(count, spec);
+}
+
+}  // namespace
+
+DeviceGroup::DeviceGroup(std::vector<GpuSpec> specs, GroupTopology topo)
+    : topo_(topo) {
+  REPRO_CHECK(!specs.empty());
+  REPRO_CHECK(topo_.aggregate_h2d_gbs > 0.0 && topo_.aggregate_d2h_gbs > 0.0);
+  devices_.reserve(specs.size());
+  for (const GpuSpec& s : specs) {
+    devices_.push_back(
+        std::make_unique<Device>(derate_for_bridge(s, topo_, specs.size())));
+  }
+}
+
+DeviceGroup::DeviceGroup(std::size_t count, const GpuSpec& spec,
+                         GroupTopology topo)
+    : DeviceGroup(replicate(count, spec), topo) {}
+
+double DeviceGroup::elapsed_ms() const {
+  double ms = 0.0;
+  for (const auto& d : devices_) ms = std::max(ms, d->elapsed_ms());
+  return ms;
+}
+
+void DeviceGroup::reset_clocks() {
+  for (auto& d : devices_) d->reset_clock();
+}
+
+void DeviceGroup::sync_all() {
+  for (auto& d : devices_) d->sync_all();
+}
+
+void DeviceGroup::reset_peak_stats() {
+  for (auto& d : devices_) d->reset_peak_stats();
+  peak_host_staging_bytes_ = host_staging_bytes_;
+}
+
+void DeviceGroup::add_host_staging(std::size_t bytes) {
+  host_staging_bytes_ += bytes;
+  peak_host_staging_bytes_ =
+      std::max(peak_host_staging_bytes_, host_staging_bytes_);
+}
+
+void DeviceGroup::remove_host_staging(std::size_t bytes) {
+  REPRO_CHECK(bytes <= host_staging_bytes_);
+  host_staging_bytes_ -= bytes;
+}
+
+std::size_t DeviceGroup::peak_bytes_in_flight() const {
+  std::size_t device_peak = 0;
+  for (const auto& d : devices_) {
+    device_peak = std::max(device_peak, d->peak_allocated_bytes());
+  }
+  return device_peak + peak_host_staging_bytes_;
+}
+
+}  // namespace repro::sim

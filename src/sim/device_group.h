@@ -1,0 +1,175 @@
+// A fleet of simulated devices behind one host bridge.
+//
+// DeviceGroup owns N sim::Device instances (homogeneous or mixed GpuSpecs)
+// that share a single simulated timeline: every member's clock starts at
+// the same origin, so "time t on card A" and "time t on card B" name the
+// same instant and cross-device ordering reduces to
+// Stream::wait_until_ms. There is no peer-to-peer link between the
+// simulated cards — G8x-era CUDA had none — so all inter-device traffic is
+// host-staged: a d2h on the producer, host memory, an h2d on the consumer,
+// each costed through the per-card PCIe model.
+//
+// The cards do share the host's chipset, and N concurrent PCIe links
+// cannot each sustain their full rate through one bridge. GroupTopology
+// models that: each member's effective per-direction PCIe bandwidth is
+// derated at construction to min(card rate, aggregate rate / N). With the
+// default PCIe-2.0 chipset (12.8 GB/s per direction) a single 8800-class
+// card (≈5.2 GB/s) is unaffected — a group of one is bit- and
+// timeline-identical to a bare Device — while four cards are bridge-bound
+// at 3.2 GB/s each, which is exactly the honest sublinearity the sharded
+// FFT benches report.
+//
+// The group also accounts host staging buffers (the exchange volumes a
+// sharded plan keeps in host memory) so peak_bytes_in_flight() can check
+// the 512 MB-card constraint per shard: it is the largest per-member
+// device footprint plus the peak host staging footprint.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <memory>
+#include <typeindex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/check.h"
+#include "sim/device.h"
+#include "sim/spec.h"
+
+namespace repro::sim {
+
+/// Host-side interconnect shared by the members of a group: the chipset's
+/// aggregate PCIe throughput per direction, split evenly across members.
+struct GroupTopology {
+  double aggregate_h2d_gbs{12.8};  ///< bridge-wide host-to-device GB/s
+  double aggregate_d2h_gbs{12.8};  ///< bridge-wide device-to-host GB/s
+
+  /// A 2008-era PCIe 2.0 chipset: 32 lanes of usable upstream capacity,
+  /// ~12.8 GB/s sustained per direction shared by all slots.
+  [[nodiscard]] static GroupTopology pcie2_chipset() { return {}; }
+
+  /// No shared-bridge contention: every card keeps its full link rate
+  /// regardless of group size (an idealized topology for A/B studies).
+  [[nodiscard]] static GroupTopology unshared() { return {1e12, 1e12}; }
+};
+
+class DeviceGroup {
+ public:
+  /// One Device per spec, PCIe rates derated against `topo`. Specs may be
+  /// mixed (e.g. an 8800 GT next to an 8800 GTX).
+  explicit DeviceGroup(std::vector<GpuSpec> specs,
+                       GroupTopology topo = GroupTopology::pcie2_chipset());
+
+  /// Homogeneous convenience: `count` copies of `spec`.
+  DeviceGroup(std::size_t count, const GpuSpec& spec,
+              GroupTopology topo = GroupTopology::pcie2_chipset());
+
+  DeviceGroup(const DeviceGroup&) = delete;
+  DeviceGroup& operator=(const DeviceGroup&) = delete;
+
+  [[nodiscard]] std::size_t size() const { return devices_.size(); }
+  [[nodiscard]] Device& device(std::size_t i) {
+    REPRO_CHECK(i < devices_.size());
+    return *devices_[i];
+  }
+  [[nodiscard]] const Device& device(std::size_t i) const {
+    REPRO_CHECK(i < devices_.size());
+    return *devices_[i];
+  }
+  [[nodiscard]] const GroupTopology& topology() const { return topo_; }
+
+  /// Makespan across the fleet: the members share one time origin, so the
+  /// group's elapsed time is the slowest member's.
+  [[nodiscard]] double elapsed_ms() const;
+
+  /// Reset every member's clock (timelines re-anchor to a common zero).
+  void reset_clocks();
+  /// cudaDeviceSynchronize on every member.
+  void sync_all();
+  /// Restart every member's allocator statistics and the group's host
+  /// staging peak (see Device::reset_peak_stats()).
+  void reset_peak_stats();
+
+  /// Host staging accounting: sharded plans register the exchange buffers
+  /// they keep in host memory so the group can report a complete
+  /// working-set figure. Prefer the RAII HostStagingLease below.
+  void add_host_staging(std::size_t bytes);
+  void remove_host_staging(std::size_t bytes);
+  [[nodiscard]] std::size_t host_staging_bytes() const {
+    return host_staging_bytes_;
+  }
+  [[nodiscard]] std::size_t peak_host_staging_bytes() const {
+    return peak_host_staging_bytes_;
+  }
+
+  /// The 512 MB-constraint check for sharded plans: the largest
+  /// per-member device footprint (max over members' peak_allocated_bytes,
+  /// since each card has its own memory) plus the peak host staging
+  /// footprint held on behalf of the group.
+  [[nodiscard]] std::size_t peak_bytes_in_flight() const;
+
+  /// Group-lifetime singleton slot, the group analogue of
+  /// Device::local<T>(): one instance of T per group, created on first
+  /// use with T(DeviceGroup&). This is how PlanRegistry attaches to a
+  /// group without sim/ depending on gpufft/.
+  template <typename T>
+  T& local() {
+    const std::type_index key(typeid(T));
+    auto it = locals_.find(key);
+    if (it == locals_.end()) {
+      it = locals_.emplace(key, std::make_shared<T>(*this)).first;
+    }
+    return *static_cast<T*>(it->second.get());
+  }
+
+  /// RAII registration of a host staging buffer with the group.
+  class HostStagingLease {
+   public:
+    HostStagingLease() = default;
+    HostStagingLease(DeviceGroup& group, std::size_t bytes)
+        : group_(&group), bytes_(bytes) {
+      group_->add_host_staging(bytes_);
+    }
+    ~HostStagingLease() { release(); }
+    HostStagingLease(HostStagingLease&& o) noexcept
+        : group_(o.group_), bytes_(o.bytes_) {
+      o.group_ = nullptr;
+      o.bytes_ = 0;
+    }
+    HostStagingLease& operator=(HostStagingLease&& o) noexcept {
+      if (this != &o) {
+        release();
+        group_ = o.group_;
+        bytes_ = o.bytes_;
+        o.group_ = nullptr;
+        o.bytes_ = 0;
+      }
+      return *this;
+    }
+    HostStagingLease(const HostStagingLease&) = delete;
+    HostStagingLease& operator=(const HostStagingLease&) = delete;
+
+    void release() {
+      if (group_ != nullptr) {
+        group_->remove_host_staging(bytes_);
+        group_ = nullptr;
+        bytes_ = 0;
+      }
+    }
+
+   private:
+    DeviceGroup* group_ = nullptr;
+    std::size_t bytes_ = 0;
+  };
+
+ private:
+  GroupTopology topo_;
+  // unique_ptr: Device is pinned (streams and buffers hold raw pointers).
+  std::vector<std::unique_ptr<Device>> devices_;
+  std::size_t host_staging_bytes_ = 0;
+  std::size_t peak_host_staging_bytes_ = 0;
+  // Last member so slots holding plans/buffers die before the devices.
+  std::unordered_map<std::type_index, std::shared_ptr<void>> locals_;
+};
+
+}  // namespace repro::sim

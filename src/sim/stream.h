@@ -75,6 +75,16 @@ class Stream {
     if (e.recorded_ && e.time_ns_ > ready_ns_) ready_ns_ = e.time_ns_;
   }
 
+  /// Order all subsequently enqueued work after the absolute timeline
+  /// point `ms` (device-clock milliseconds). This is the cross-device
+  /// fencing primitive of sim::DeviceGroup: member devices share one time
+  /// origin, so "wait until another card's download has landed in host
+  /// memory" is a wait-until on the destination stream. A point already
+  /// in the past is a no-op (as Event::wait).
+  void wait_until_ms(double ms) {
+    ready_ns_ = std::max(ready_ns_, ms * 1e6);
+  }
+
   /// Operations scheduled on this stream since the last
   /// Device::reset_clock() (start/end resolved against engine contention).
   [[nodiscard]] const std::vector<StreamOp>& ops() const { return ops_; }

@@ -1,0 +1,283 @@
+// Multi-device sharded 3-D FFT: bit-exact equivalence with the
+// single-device out-of-core plan, the pinned degenerate group-of-one
+// timeline, exchange accounting, the closed-form pipeline model, and the
+// registry front door.
+#include "gpufft/sharded.h"
+
+#include <gtest/gtest.h>
+
+#include "common/metrics.h"
+#include "common/rng.h"
+#include "fft/plan.h"
+#include "gpufft/registry.h"
+
+namespace repro::gpufft {
+namespace {
+
+bool bit_identical(const std::vector<cxf>& a, const std::vector<cxf>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].re != b[i].re || a[i].im != b[i].im) return false;
+  }
+  return true;
+}
+
+/// The single-device reference: the registry's out-of-core plan with the
+/// same decimation factor (the arithmetic the sharded plan distributes).
+std::vector<cxf> out_of_core_reference(std::size_t n, std::size_t shards,
+                                       Direction dir,
+                                       const std::vector<cxf>& input) {
+  Device dev(sim::geforce_8800_gts());
+  auto plan = PlanRegistry::of(dev).get_or_create(
+      PlanDesc::out_of_core(n, shards, dir));
+  std::vector<cxf> data = input;
+  plan->execute_host(std::span<cxf>(data));
+  return data;
+}
+
+std::vector<cxf> sharded_run(sim::DeviceGroup& group, std::size_t n,
+                             std::size_t shards, Direction dir,
+                             const std::vector<cxf>& input) {
+  ShardedFft3DPlan plan(group, n, shards, dir);
+  std::vector<cxf> data = input;
+  plan.execute(std::span<cxf>(data));
+  return data;
+}
+
+TEST(Sharded, BitIdenticalToOutOfCore64AllDeviceCounts) {
+  const std::size_t n = 64;
+  const std::size_t shards = 4;
+  const auto input = random_complex<float>(n * n * n, 21);
+  for (const Direction dir : {Direction::Forward, Direction::Inverse}) {
+    const auto ref = out_of_core_reference(n, shards, dir, input);
+    for (const std::size_t devices : {1u, 2u, 4u}) {
+      sim::DeviceGroup group(devices, sim::geforce_8800_gts());
+      const auto out = sharded_run(group, n, shards, dir, input);
+      EXPECT_TRUE(bit_identical(out, ref))
+          << "devices=" << devices
+          << " dir=" << (dir == Direction::Forward ? "fwd" : "inv");
+    }
+  }
+}
+
+TEST(Sharded, BitIdenticalToOutOfCore128AllDeviceCounts) {
+  const std::size_t n = 128;
+  const std::size_t shards = 4;
+  const auto input = random_complex<float>(n * n * n, 22);
+  for (const Direction dir : {Direction::Forward, Direction::Inverse}) {
+    const auto ref = out_of_core_reference(n, shards, dir, input);
+    for (const std::size_t devices : {1u, 2u, 4u}) {
+      sim::DeviceGroup group(devices, sim::geforce_8800_gts());
+      const auto out = sharded_run(group, n, shards, dir, input);
+      EXPECT_TRUE(bit_identical(out, ref))
+          << "devices=" << devices
+          << " dir=" << (dir == Direction::Forward ? "fwd" : "inv");
+    }
+  }
+}
+
+TEST(Sharded, MixedSpecGroupIsBitIdenticalToo) {
+  // An 8800 GT (14 SMs) next to an 8800 GTX (16 SMs): grid sizes differ
+  // per card but the kernels' functional math is partition-independent,
+  // so a heterogeneous fleet still reproduces the reference bit for bit.
+  const std::size_t n = 64;
+  const std::size_t shards = 4;
+  const auto input = random_complex<float>(n * n * n, 23);
+  for (const Direction dir : {Direction::Forward, Direction::Inverse}) {
+    const auto ref = out_of_core_reference(n, shards, dir, input);
+    sim::DeviceGroup group({sim::geforce_8800_gt(), sim::geforce_8800_gtx()});
+    const auto out = sharded_run(group, n, shards, dir, input);
+    EXPECT_TRUE(bit_identical(out, ref));
+  }
+}
+
+TEST(Sharded, MatchesHostPlanL2) {
+  // Independent anchor: agreement with the host oracle, not just with the
+  // out-of-core plan.
+  const std::size_t n = 64;
+  const Shape3 shape = cube(n);
+  auto data = random_complex<float>(shape.volume(), 24);
+  std::vector<cxf> ref = data;
+  fft::Plan3D<float> host_plan(shape, Direction::Forward);
+  host_plan.execute(ref);
+
+  sim::DeviceGroup group(2, sim::geforce_8800_gts());
+  ShardedFft3DPlan plan(group, n, 4, Direction::Forward);
+  plan.execute(std::span<cxf>(data));
+  EXPECT_LT(rel_l2_error<float>(data, ref),
+            fft_error_bound<float>(shape.volume()));
+}
+
+TEST(Sharded, GroupOfOnePinsTheOutOfCoreTimeline) {
+  // The degenerate-path guard: one device in a group must produce the
+  // exact event timeline of the bare-device out-of-core plan — same
+  // makespan, same transfer times and bytes, same launch sequence.
+  const std::size_t n = 64;
+  const std::size_t shards = 4;
+  const auto input = random_complex<float>(n * n * n, 25);
+
+  sim::DeviceGroup group(1, sim::geforce_8800_gts());
+  ShardedFft3DPlan sharded(group, n, shards, Direction::Forward);
+  Device bare(sim::geforce_8800_gts());
+  OutOfCoreFft3D reference(bare, n, shards, Direction::Forward);
+
+  group.device(0).reset_clock();
+  bare.reset_clock();
+  std::vector<cxf> a = input;
+  std::vector<cxf> b = input;
+  const auto ta = sharded.execute(std::span<cxf>(a));
+  const auto tb = reference.execute(std::span<cxf>(b));
+
+  EXPECT_TRUE(bit_identical(a, b));
+  EXPECT_DOUBLE_EQ(ta.makespan_ms, tb.makespan_ms);
+  Device& d = group.device(0);
+  EXPECT_DOUBLE_EQ(d.elapsed_ms(), bare.elapsed_ms());
+  EXPECT_DOUBLE_EQ(d.h2d_ms(), bare.h2d_ms());
+  EXPECT_DOUBLE_EQ(d.d2h_ms(), bare.d2h_ms());
+  EXPECT_EQ(d.h2d_bytes(), bare.h2d_bytes());
+  EXPECT_EQ(d.d2h_bytes(), bare.d2h_bytes());
+  ASSERT_EQ(d.history().size(), bare.history().size());
+  for (std::size_t i = 0; i < d.history().size(); ++i) {
+    EXPECT_EQ(d.history()[i].name, bare.history()[i].name);
+    EXPECT_DOUBLE_EQ(d.history()[i].total_ms, bare.history()[i].total_ms);
+  }
+  // And the per-bucket sums coincide with the out-of-core buckets.
+  ASSERT_EQ(ta.devices.size(), 1u);
+  EXPECT_DOUBLE_EQ(ta.devices[0].h2d1_ms, tb.h2d1_ms);
+  EXPECT_DOUBLE_EQ(ta.devices[0].fft1_ms, tb.fft1_ms);
+  EXPECT_DOUBLE_EQ(ta.devices[0].twiddle_ms, tb.twiddle_ms);
+  EXPECT_DOUBLE_EQ(ta.devices[0].d2h1_ms, tb.d2h1_ms);
+  EXPECT_DOUBLE_EQ(ta.devices[0].h2d2_ms, tb.h2d2_ms);
+  EXPECT_DOUBLE_EQ(ta.devices[0].fft2_ms, tb.fft2_ms);
+  EXPECT_DOUBLE_EQ(ta.devices[0].d2h2_ms, tb.d2h2_ms);
+}
+
+TEST(Sharded, ExchangeAndByteAccounting) {
+  const std::size_t n = 64;
+  const std::uint64_t volume_bytes = n * n * n * sizeof(cxf);
+  auto data = random_complex<float>(n * n * n, 26);
+  sim::DeviceGroup group(2, sim::geforce_8800_gts());
+  ShardedFft3DPlan plan(group, n, 4, Direction::Forward);
+  group.reset_clocks();
+  const auto t = plan.execute(std::span<cxf>(data));
+
+  // Across the fleet the data crosses PCIe twice each way, exactly as on
+  // one card; the exchange is the inner d2h + h2d pair.
+  std::uint64_t up = 0;
+  std::uint64_t down = 0;
+  for (std::size_t d = 0; d < group.size(); ++d) {
+    up += group.device(d).h2d_bytes();
+    down += group.device(d).d2h_bytes();
+  }
+  EXPECT_EQ(up, 2 * volume_bytes);
+  EXPECT_EQ(down, 2 * volume_bytes);
+  EXPECT_EQ(t.exchange_bytes(), 2 * volume_bytes);
+  EXPECT_GT(t.exchange_fraction(), 0.0);
+  EXPECT_LT(t.exchange_fraction(), 1.0);
+  EXPECT_GT(t.barrier_ms, 0.0);
+  EXPECT_GE(t.makespan_ms, t.max_busy_ms() / 2.0);
+
+  // The host staging volume is part of the in-flight footprint.
+  EXPECT_GE(group.peak_bytes_in_flight(), volume_bytes);
+}
+
+TEST(Sharded, MakespanMatchesClosedFormModelSerialCards) {
+  // On 1-DMA cards the engine FIFOs serialize each chain exactly, so the
+  // closed-form model should agree with the scheduler to rounding.
+  const std::size_t n = 64;
+  const std::size_t shards = 4;
+  auto data = random_complex<float>(n * n * n, 27);
+  for (const std::size_t devices : {1u, 2u}) {
+    sim::DeviceGroup group(devices, sim::geforce_8800_gts());
+    ShardedFft3DPlan plan(group, n, shards, Direction::Forward);
+    const auto t = plan.execute(std::span<cxf>(data));
+    const auto phases = probe_shard_phases(group.device(0).spec(), n,
+                                           shards, Direction::Forward);
+    const double model = sharded_model_ms(phases, group.device(0).spec(), n,
+                                          shards, devices);
+    EXPECT_NEAR(t.makespan_ms, model, 1e-3 * model) << "devices=" << devices;
+  }
+}
+
+TEST(Sharded, MakespanWithinModelToleranceOnDualEngineCards) {
+  // The GTX 280 has two copy engines: the double-buffered pipeline model
+  // is approximate there; the acceptance tolerance is 5%.
+  const std::size_t n = 64;
+  const std::size_t shards = 4;
+  auto data = random_complex<float>(n * n * n, 28);
+  sim::DeviceGroup group(2, sim::geforce_gtx_280());
+  ShardedFft3DPlan plan(group, n, shards, Direction::Forward);
+  const auto t = plan.execute(std::span<cxf>(data));
+  const auto phases = probe_shard_phases(group.device(0).spec(), n, shards,
+                                         Direction::Forward);
+  const double model = sharded_model_ms(phases, group.device(0).spec(), n,
+                                        shards, 2);
+  EXPECT_NEAR(t.makespan_ms, model, 0.05 * model);
+}
+
+TEST(Sharded, RejectsBadGeometry) {
+  sim::DeviceGroup group(2, sim::geforce_8800_gt());
+  // Non-pow2 n, bad factor: as out-of-core.
+  EXPECT_THROW(ShardedFft3DPlan(group, 63, 4, Direction::Forward), Error);
+  EXPECT_THROW(ShardedFft3DPlan(group, 64, 3, Direction::Forward), Error);
+  // The fleet must divide both phases' work.
+  sim::DeviceGroup three(3, sim::geforce_8800_gt());
+  EXPECT_THROW(ShardedFft3DPlan(three, 64, 4, Direction::Forward), Error);
+  sim::DeviceGroup four(4, sim::geforce_8800_gt());
+  EXPECT_THROW(ShardedFft3DPlan(four, 64, 2, Direction::Forward), Error);
+  // Device-resident execute is not a thing for a distributed volume.
+  ShardedFft3DPlan plan(group, 64, 4, Direction::Forward);
+  auto buf = group.device(0).alloc<cxf>(64);
+  EXPECT_THROW(plan.execute(buf), Error);
+}
+
+TEST(Sharded, RegistryFrontDoorServesShardedPlans) {
+  sim::DeviceGroup group(2, sim::geforce_8800_gts());
+  auto& reg = PlanRegistry::of(group);
+  const auto desc = PlanDesc::sharded3d(64, 4, Direction::Forward);
+  auto plan = reg.get_or_create(desc);
+  ASSERT_NE(plan, nullptr);
+  EXPECT_EQ(plan->desc().kind, PlanKind::Sharded3D);
+  EXPECT_EQ(reg.misses(), 1u);
+  EXPECT_EQ(reg.get_or_create(desc), plan);  // shared instance
+  EXPECT_EQ(reg.hits(), 1u);
+
+  // The front-door plan runs through the generic host entry point.
+  auto data = random_complex<float>(64 * 64 * 64, 29);
+  const auto steps = plan->execute_host(std::span<cxf>(data));
+  EXPECT_EQ(steps.size(), 7u);
+  EXPECT_GT(plan->last_total_ms(), 0.0);
+
+  // A single-device registry cannot serve a fleet-spanning description.
+  EXPECT_THROW(PlanRegistry::of(group.device(0)).get_or_create(desc), Error);
+
+  // Non-sharded descriptions still work through a group registry (built
+  // on the group's first device).
+  auto small = reg.get_or_create(
+      PlanDesc::bandwidth3d(cube(32), Direction::Forward));
+  ASSERT_NE(small, nullptr);
+  EXPECT_EQ(&small->device(), &group.device(0));
+}
+
+TEST(Sharded, BatchHostRunsVolumesBackToBack) {
+  const std::size_t n = 32;
+  sim::DeviceGroup group(2, sim::geforce_8800_gts());
+  ShardedFft3DPlan plan(group, n, 4, Direction::Forward);
+  auto v0 = random_complex<float>(n * n * n, 30);
+  auto v1 = random_complex<float>(n * n * n, 31);
+  auto s0 = random_complex<float>(n * n * n, 30);
+  auto s1 = random_complex<float>(n * n * n, 31);
+  plan.execute(std::span<cxf>(s0));
+  plan.execute(std::span<cxf>(s1));
+
+  std::vector<std::span<cxf>> volumes{std::span<cxf>(v0),
+                                      std::span<cxf>(v1)};
+  const auto steps = plan.execute_batch_host(volumes);
+  EXPECT_EQ(steps.size(), 7u);
+  EXPECT_TRUE(bit_identical(v0, s0));
+  EXPECT_TRUE(bit_identical(v1, s1));
+  EXPECT_GT(plan.last_total_ms(), 0.0);
+}
+
+}  // namespace
+}  // namespace repro::gpufft

@@ -1,0 +1,164 @@
+// DeviceGroup: construction, bridge derating, the shared timeline, host
+// staging accounting, and the degenerate group-of-one guarantees.
+#include "sim/device_group.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "sim/pcie.h"
+
+namespace repro::sim {
+namespace {
+
+TEST(DeviceGroup, HomogeneousConstructionReplicatesTheSpec) {
+  DeviceGroup group(4, geforce_8800_gts());
+  ASSERT_EQ(group.size(), 4u);
+  for (std::size_t d = 0; d < group.size(); ++d) {
+    EXPECT_EQ(group.device(d).spec().name, geforce_8800_gts().name);
+    EXPECT_EQ(group.device(d).spec().device_memory_bytes,
+              geforce_8800_gts().device_memory_bytes);
+  }
+}
+
+TEST(DeviceGroup, MixedSpecsKeepTheirIdentity) {
+  DeviceGroup group({geforce_8800_gt(), geforce_8800_gtx()});
+  ASSERT_EQ(group.size(), 2u);
+  EXPECT_EQ(group.device(0).spec().name, geforce_8800_gt().name);
+  EXPECT_EQ(group.device(1).spec().name, geforce_8800_gtx().name);
+  EXPECT_NE(group.device(0).spec().num_sms, group.device(1).spec().num_sms);
+}
+
+TEST(DeviceGroup, BridgeDeratesPerCardPcieBandwidth) {
+  const GpuSpec gts = geforce_8800_gts();  // 5.2 / 5.0 GB/s
+  const GroupTopology topo = GroupTopology::pcie2_chipset();  // 12.8 GB/s
+
+  // One or two cards: each card's own link is the bottleneck.
+  for (std::size_t n : {1u, 2u}) {
+    DeviceGroup group(n, gts, topo);
+    for (std::size_t d = 0; d < n; ++d) {
+      EXPECT_DOUBLE_EQ(group.device(d).spec().pcie.h2d_gbs, gts.pcie.h2d_gbs);
+      EXPECT_DOUBLE_EQ(group.device(d).spec().pcie.d2h_gbs, gts.pcie.d2h_gbs);
+    }
+  }
+  // Four and eight cards: the shared bridge is, at aggregate/N.
+  DeviceGroup four(4, gts, topo);
+  EXPECT_DOUBLE_EQ(four.device(0).spec().pcie.h2d_gbs, 12.8 / 4.0);
+  EXPECT_DOUBLE_EQ(four.device(0).spec().pcie.d2h_gbs, 12.8 / 4.0);
+  DeviceGroup eight(8, gts, topo);
+  EXPECT_DOUBLE_EQ(eight.device(0).spec().pcie.h2d_gbs, 12.8 / 8.0);
+
+  // An unshared topology never derates.
+  DeviceGroup ideal(8, gts, GroupTopology::unshared());
+  EXPECT_DOUBLE_EQ(ideal.device(0).spec().pcie.h2d_gbs, gts.pcie.h2d_gbs);
+}
+
+TEST(DeviceGroup, DeratedLinkSlowsSimulatedTransfers) {
+  const std::size_t bytes = 8 << 20;
+  DeviceGroup one(1, geforce_8800_gts());
+  DeviceGroup four(4, geforce_8800_gts());
+  const double t1 = pcie_transfer_ns(one.device(0).spec().pcie,
+                                     TransferDir::HostToDevice, bytes);
+  const double t4 = pcie_transfer_ns(four.device(0).spec().pcie,
+                                     TransferDir::HostToDevice, bytes);
+  EXPECT_GT(t4, t1 * 1.5);  // 5.2 -> 3.2 GB/s
+}
+
+TEST(DeviceGroup, ElapsedIsTheSlowestMember) {
+  DeviceGroup group(2, geforce_8800_gts());
+  auto b0 = group.device(0).alloc<float>(1 << 16);
+  auto b1 = group.device(1).alloc<float>(1 << 10);
+  std::vector<float> big(b0.size());
+  std::vector<float> small(b1.size());
+  group.device(0).h2d(b0, std::span<const float>(big));
+  group.device(1).h2d(b1, std::span<const float>(small));
+  EXPECT_DOUBLE_EQ(group.elapsed_ms(), group.device(0).elapsed_ms());
+  EXPECT_GT(group.device(0).elapsed_ms(), group.device(1).elapsed_ms());
+
+  group.reset_clocks();
+  EXPECT_EQ(group.elapsed_ms(), 0.0);
+  EXPECT_EQ(group.device(0).elapsed_ms(), 0.0);
+}
+
+TEST(DeviceGroup, SyncAllReachesEveryMember) {
+  DeviceGroup group(2, geforce_8800_gts());
+  Stream s0(group.device(0));
+  Stream s1(group.device(1));
+  group.device(0).submit_timed(s0, Engine::Compute, 5.0, "k0");
+  group.device(1).submit_timed(s1, Engine::Compute, 9.0, "k1");
+  group.sync_all();
+  EXPECT_NEAR(group.device(0).elapsed_ms(), 5.0, 1e-12);
+  EXPECT_NEAR(group.device(1).elapsed_ms(), 9.0, 1e-12);
+  EXPECT_NEAR(group.elapsed_ms(), 9.0, 1e-12);
+}
+
+TEST(DeviceGroup, PeakBytesInFlightCombinesDevicesAndHostStaging) {
+  DeviceGroup group(2, geforce_8800_gts());
+  {
+    auto a = group.device(0).alloc<float>(1 << 20);  // 4 MB on card 0
+    auto b = group.device(1).alloc<float>(1 << 18);  // 1 MB on card 1
+    // Per-card memories are independent: the device part is the max.
+    EXPECT_EQ(group.peak_bytes_in_flight(), std::size_t{4} << 20);
+  }
+  {
+    const DeviceGroup::HostStagingLease lease(group, 3 << 20);
+    EXPECT_EQ(group.host_staging_bytes(), std::size_t{3} << 20);
+    EXPECT_EQ(group.peak_bytes_in_flight(), std::size_t{7} << 20);
+  }
+  // The lease is released but the peak persists (a high-water mark).
+  EXPECT_EQ(group.host_staging_bytes(), 0u);
+  EXPECT_EQ(group.peak_bytes_in_flight(), std::size_t{7} << 20);
+
+  group.reset_peak_stats();
+  EXPECT_EQ(group.peak_host_staging_bytes(), 0u);
+  EXPECT_EQ(group.peak_bytes_in_flight(), 0u);
+}
+
+TEST(DeviceGroup, HostStagingLeaseMovesSafely) {
+  DeviceGroup group(1, geforce_8800_gt());
+  DeviceGroup::HostStagingLease outer;
+  {
+    DeviceGroup::HostStagingLease inner(group, 1024);
+    outer = std::move(inner);
+  }
+  EXPECT_EQ(group.host_staging_bytes(), 1024u);
+  outer.release();
+  EXPECT_EQ(group.host_staging_bytes(), 0u);
+}
+
+TEST(DeviceGroup, GroupOfOneKeepsTheBareDeviceTimeline) {
+  // The degenerate-path guard at the sim layer: a group of one performs
+  // identically to a bare Device (no bridge derate below the card rate, no
+  // scheduling overhead). The gpufft layer extends this to the full
+  // sharded-vs-out-of-core timeline (test_sharded.cpp).
+  const GpuSpec spec = geforce_8800_gts();
+  DeviceGroup group(1, spec);
+  Device bare(spec);
+  EXPECT_DOUBLE_EQ(group.device(0).spec().pcie.h2d_gbs, spec.pcie.h2d_gbs);
+  EXPECT_DOUBLE_EQ(group.device(0).spec().pcie.d2h_gbs, spec.pcie.d2h_gbs);
+
+  auto run = [](Device& dev) {
+    auto buf = dev.alloc<float>(1 << 16);
+    std::vector<float> host(buf.size());
+    std::iota(host.begin(), host.end(), 0.0f);
+    Stream s0(dev);
+    Stream s1(dev);
+    dev.h2d_async(buf, std::span<const float>(host), s0);
+    dev.submit_timed(s1, Engine::Compute, 2.5, "k");
+    std::vector<float> back(buf.size());
+    dev.d2h_async(std::span<float>(back), buf, s1);
+    dev.sync_all();
+    return dev.elapsed_ms();
+  };
+  EXPECT_DOUBLE_EQ(run(group.device(0)), run(bare));
+}
+
+TEST(DeviceGroup, RejectsEmptyAndBadTopology) {
+  EXPECT_THROW(DeviceGroup(std::vector<GpuSpec>{}), Error);
+  EXPECT_THROW(DeviceGroup(0, geforce_8800_gt()), Error);
+  EXPECT_THROW(DeviceGroup(2, geforce_8800_gt(), GroupTopology{0.0, 1.0}),
+               Error);
+}
+
+}  // namespace
+}  // namespace repro::sim

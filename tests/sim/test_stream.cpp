@@ -106,6 +106,17 @@ TEST(Stream, EventOrdersAcrossStreams) {
   EXPECT_NEAR(dev.elapsed_ms(), 15.0, 1e-12);
 }
 
+TEST(Stream, WaitUntilFencesAnAbsoluteTimelinePoint) {
+  Device dev(spec_with_engines(2));
+  Stream s(dev);
+  s.wait_until_ms(14.0);  // e.g. another device's download completing
+  dev.submit_timed(s, Engine::Compute, 3.0, "k");
+  EXPECT_NEAR(s.ops().front().start_ms(), 14.0, 1e-12);
+  // A point already in the past is a no-op, like waiting a passed event.
+  s.wait_until_ms(5.0);
+  EXPECT_NEAR(s.ready_ms(), 17.0, 1e-12);
+}
+
 TEST(Stream, WaitOnUnrecordedEventIsNoOp) {
   Device dev(spec_with_engines(2));
   Stream s(dev);
