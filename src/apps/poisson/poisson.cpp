@@ -5,6 +5,7 @@
 
 #include "common/check.h"
 #include "fft/plan.h"
+#include "gpufft/real3d.h"
 #include "gpufft/registry.h"
 
 namespace repro::apps::poisson {
@@ -49,6 +50,27 @@ void apply_inverse_laplacian(std::vector<cxf>& hat, Shape3 shape,
   }
 }
 
+/// Half-spectrum variant: a real f has a conjugate-symmetric spectrum, so
+/// only the stored kx <= nx/2 bins of the split layout need dividing.
+void apply_inverse_laplacian_half(std::vector<cxf>& hat, Shape3 shape,
+                                  Eigenvalues eig) {
+  for (std::size_t kz = 0; kz < shape.nz; ++kz) {
+    for (std::size_t ky = 0; ky < shape.ny; ++ky) {
+      for (std::size_t kx = 0; kx <= shape.nx / 2; ++kx) {
+        const double lam = axis_eigenvalue(kx, shape.nx, eig) +
+                           axis_eigenvalue(ky, shape.ny, eig) +
+                           axis_eigenvalue(kz, shape.nz, eig);
+        auto& v = hat[gpufft::half_spectrum_index(shape, kx, ky, kz)];
+        if (lam == 0.0) {
+          v = {0.0f, 0.0f};
+        } else {
+          v = v * static_cast<float>(1.0 / lam);
+        }
+      }
+    }
+  }
+}
+
 }  // namespace
 
 std::vector<cxf> solve_poisson_gpu(sim::Device& dev, Shape3 shape,
@@ -83,6 +105,34 @@ std::vector<cxf> solve_poisson_gpu(sim::Device& dev, Shape3 shape,
   std::vector<cxf> u(shape.volume());
   dev.d2h(std::span<cxf>(u), data);
   return u;
+}
+
+std::vector<float> solve_poisson_gpu_real(sim::Device& dev, Shape3 shape,
+                                          std::span<const float> f,
+                                          Eigenvalues eig) {
+  REPRO_CHECK(f.size() == shape.volume());
+  const auto packed_in = gpufft::pack_real_volume(f, shape);
+  auto data = dev.alloc<cxf>(packed_in.size());
+  dev.h2d(data, std::span<const cxf>(packed_in));
+
+  auto& registry = gpufft::PlanRegistry::of(dev);
+  auto fwd = registry.get_or_create(
+      gpufft::PlanDesc::real3d(shape, gpufft::Direction::Forward));
+  fwd->execute(data);
+
+  std::vector<cxf> hat(packed_in.size());
+  dev.d2h(std::span<cxf>(hat), data);
+  apply_inverse_laplacian_half(hat, shape, eig);
+  dev.h2d(data, std::span<const cxf>(hat));
+
+  // The c2r pass folds the full 1/N normalization: no ScaleKernel.
+  auto inv = registry.get_or_create(
+      gpufft::PlanDesc::real3d(shape, gpufft::Direction::Inverse));
+  inv->execute(data);
+
+  std::vector<cxf> packed_out(packed_in.size());
+  dev.d2h(std::span<cxf>(packed_out), data);
+  return gpufft::unpack_real_volume(std::span<const cxf>(packed_out), shape);
 }
 
 std::vector<cxf> solve_poisson_host(Shape3 shape, std::span<const cxf> f,

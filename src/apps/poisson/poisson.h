@@ -28,6 +28,14 @@ std::vector<cxf> solve_poisson_gpu(sim::Device& dev, Shape3 shape,
                                    std::span<const cxf> f,
                                    Eigenvalues eig = Eigenvalues::Spectral);
 
+/// Same solve for a real-valued f through the registry's r2c/c2r plans:
+/// the transforms move ~half the device bytes, the eigenvalue divide runs
+/// over the non-redundant kx <= nx/2 half-spectrum only, and the c2r
+/// inverse needs no separate 1/N scale pass.
+std::vector<float> solve_poisson_gpu_real(
+    sim::Device& dev, Shape3 shape, std::span<const float> f,
+    Eigenvalues eig = Eigenvalues::Spectral);
+
 /// Host reference solver (same math through the host FFT library).
 std::vector<cxf> solve_poisson_host(Shape3 shape, std::span<const cxf> f,
                                     Eigenvalues eig = Eigenvalues::Spectral);

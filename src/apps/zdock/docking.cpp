@@ -1,14 +1,42 @@
 #include "apps/zdock/docking.h"
 
 namespace repro::apps::zdock {
+namespace {
+
+/// Extents the r2c/c2r device plan accepts (real3d.h); anything else
+/// (e.g. small debug cubes) falls back to the complex pipeline.
+bool real_plan_supported(Shape3 shape) {
+  return is_pow2(shape.nx) && shape.nx >= 32 && shape.nx <= 512 &&
+         is_pow2(shape.ny) && is_pow2(shape.nz);
+}
+
+/// The rasterizers produce purely real grids (im = 0); the real pipeline
+/// feeds on the re parts directly.
+std::vector<float> real_parts(const std::vector<cxf>& grid) {
+  std::vector<float> out(grid.size());
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    out[i] = grid[i].re;
+  }
+  return out;
+}
+
+}  // namespace
 
 DockingEngine::DockingEngine(sim::Device& dev, Shape3 shape,
-                             GridParams params)
-    : dev_(dev), shape_(shape), params_(params), conv_(dev, shape) {}
+                             GridParams params, bool use_real)
+    : dev_(dev), shape_(shape), params_(params),
+      conv_(dev, shape,
+            use_real && real_plan_supported(shape)
+                ? gpufft::Layout::RealHalfSpectrum
+                : gpufft::Layout::Complex) {}
 
 void DockingEngine::set_receptor(const Molecule& receptor) {
   const auto grid = rasterize_receptor(receptor, shape_, params_);
-  conv_.set_filter(grid);
+  if (uses_real_plans()) {
+    conv_.set_filter_real(real_parts(grid));
+  } else {
+    conv_.set_filter(grid);
+  }
   receptor_set_ = true;
 }
 
@@ -27,7 +55,9 @@ DockingResult DockingEngine::dock(const Molecule& ligand,
   for (std::size_t r = 0; r < rotations.size(); ++r) {
     const Molecule rotated = rotate(ligand, rotations[r]);
     const auto grid = rasterize_ligand(rotated, shape_);
-    const gpufft::BestMatch m = conv_.best_translation(grid);
+    const gpufft::BestMatch m =
+        uses_real_plans() ? conv_.best_translation_real(real_parts(grid))
+                          : conv_.best_translation(grid);
 
     // The correlation volume holds out[d] = sum_s lig[s] * rec[s - d],
     // i.e. the score of translating the ligand by -d; negate the argmax

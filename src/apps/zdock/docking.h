@@ -31,10 +31,15 @@ struct DockingResult {
   std::uint64_t d2h_bytes{};
 };
 
-/// Rigid docking engine on one simulated GPU.
+/// Rigid docking engine on one simulated GPU. The scoring grids are
+/// real-valued, so `use_real` (the default for supported extents) runs
+/// the pipeline on the registry's r2c/c2r half-spectrum plans — ~half the
+/// device traffic per rotation with identical pose arithmetic; pass
+/// false to force the original complex pipeline.
 class DockingEngine {
  public:
-  DockingEngine(sim::Device& dev, Shape3 shape, GridParams params = {});
+  DockingEngine(sim::Device& dev, Shape3 shape, GridParams params = {},
+                bool use_real = true);
 
   /// Fix the receptor (uploads + transforms its grid once).
   void set_receptor(const Molecule& receptor);
@@ -44,6 +49,9 @@ class DockingEngine {
                      const std::vector<Rotation>& rotations);
 
   [[nodiscard]] Shape3 shape() const { return shape_; }
+  [[nodiscard]] bool uses_real_plans() const {
+    return conv_.layout() == gpufft::Layout::RealHalfSpectrum;
+  }
 
  private:
   sim::Device& dev_;

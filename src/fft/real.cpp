@@ -1,18 +1,31 @@
 #include "fft/real.h"
 
+#include <algorithm>
+#include <string>
+
 #include "common/check.h"
 #include "common/tensor.h"
 
 namespace repro::fft {
+namespace {
+
+/// Validate n before any member plan is built, so a bad length fails with
+/// this message rather than whichever sub-plan check trips first.
+std::size_t checked_real_size(std::size_t n, const char* plan) {
+  REPRO_CHECK_MSG(is_pow2(n) && n >= 2,
+                  std::string(plan) + " needs a power of two >= 2, got " +
+                      std::to_string(n));
+  return n;
+}
+
+}  // namespace
 
 template <typename T>
 PlanR2C<T>::PlanR2C(std::size_t n)
-    : n_(n),
+    : n_(checked_real_size(n, "PlanR2C")),
       half_plan_(n / 2, Direction::Forward),
       tw_(n, Direction::Forward),
-      packed_(n / 2) {
-  REPRO_CHECK_MSG(is_pow2(n) && n >= 2, "PlanR2C needs a power of two >= 2");
-}
+      packed_(n / 2) {}
 
 template <typename T>
 void PlanR2C<T>::execute(std::span<const T> in, std::span<cx<T>> out) {
@@ -45,12 +58,10 @@ void PlanR2C<T>::execute(std::span<const T> in, std::span<cx<T>> out) {
 
 template <typename T>
 PlanC2R<T>::PlanC2R(std::size_t n)
-    : n_(n),
+    : n_(checked_real_size(n, "PlanC2R")),
       half_plan_(n / 2, Direction::Inverse, Scaling::ByN),
       tw_(n, Direction::Inverse),
-      packed_(n / 2) {
-  REPRO_CHECK_MSG(is_pow2(n) && n >= 2, "PlanC2R needs a power of two >= 2");
-}
+      packed_(n / 2) {}
 
 template <typename T>
 void PlanC2R<T>::execute(std::span<const cx<T>> in, std::span<T> out) {
@@ -76,9 +87,137 @@ void PlanC2R<T>::execute(std::span<const cx<T>> in, std::span<T> out) {
   }
 }
 
+namespace {
+
+/// Flat index of bin (kx, ky, kz) in the split half-spectrum layout —
+/// main block with power-of-two pitch nx/2 plus a Nyquist tail plane.
+/// Mirrors gpufft::half_spectrum_index (real3d.h), the device layout
+/// this module is the bit-for-bit reference for.
+constexpr std::size_t split_index(Shape3 s, std::size_t kx, std::size_t ky,
+                                  std::size_t kz) {
+  const std::size_t m = s.nx / 2;
+  return kx < m ? (kz * s.ny + ky) * m + kx
+                : m * s.ny * s.nz + kz * s.ny + ky;
+}
+
+}  // namespace
+
+template <typename T>
+PlanR2C3D<T>::PlanR2C3D(Shape3 shape)
+    : shape_(shape),
+      row_(shape.nx),
+      py_(shape.ny, Direction::Forward),
+      pz_(shape.nz, Direction::Forward),
+      line_(std::max(shape.ny, shape.nz)),
+      rowbuf_(shape.nx / 2 + 1) {
+  REPRO_CHECK_MSG(is_pow2(shape.ny) && is_pow2(shape.nz),
+                  "PlanR2C3D needs power-of-two Y/Z extents");
+}
+
+template <typename T>
+void PlanR2C3D<T>::execute(std::span<const T> in, std::span<cx<T>> out) {
+  REPRO_CHECK(in.size() == shape_.volume());
+  REPRO_CHECK(out.size() == spectrum_elems());
+  const std::size_t m = shape_.nx / 2;
+  const std::size_t ny = shape_.ny;
+  const std::size_t nz = shape_.nz;
+
+  // X: per-row r2c, scattered into the split layout (bins [0, m) at the
+  // row's main-block pitch, bin m into the tail plane).
+  for (std::size_t r = 0; r < ny * nz; ++r) {
+    row_.execute(in.subspan(r * shape_.nx, shape_.nx),
+                 std::span<cx<T>>(rowbuf_));
+    std::copy(rowbuf_.begin(), rowbuf_.begin() + m, out.begin() + r * m);
+    out[m * ny * nz + r] = rowbuf_[m];
+  }
+  // Y then Z: ordinary complex line transforms of each half-spectrum
+  // column (gather strided, transform, scatter back).
+  for (std::size_t z = 0; z < nz; ++z) {
+    for (std::size_t kx = 0; kx <= m; ++kx) {
+      for (std::size_t y = 0; y < ny; ++y) {
+        line_[y] = out[split_index(shape_, kx, y, z)];
+      }
+      py_.execute(std::span<cx<T>>(line_.data(), ny));
+      for (std::size_t y = 0; y < ny; ++y) {
+        out[split_index(shape_, kx, y, z)] = line_[y];
+      }
+    }
+  }
+  for (std::size_t y = 0; y < ny; ++y) {
+    for (std::size_t kx = 0; kx <= m; ++kx) {
+      for (std::size_t z = 0; z < nz; ++z) {
+        line_[z] = out[split_index(shape_, kx, y, z)];
+      }
+      pz_.execute(std::span<cx<T>>(line_.data(), nz));
+      for (std::size_t z = 0; z < nz; ++z) {
+        out[split_index(shape_, kx, y, z)] = line_[z];
+      }
+    }
+  }
+}
+
+template <typename T>
+PlanC2R3D<T>::PlanC2R3D(Shape3 shape)
+    : shape_(shape),
+      row_(shape.nx),
+      py_(shape.ny, Direction::Inverse, Scaling::ByN),
+      pz_(shape.nz, Direction::Inverse, Scaling::ByN),
+      line_(std::max(shape.ny, shape.nz)),
+      rowbuf_(shape.nx / 2 + 1),
+      spectrum_((shape.nx / 2 + 1) * shape.ny * shape.nz) {
+  REPRO_CHECK_MSG(is_pow2(shape.ny) && is_pow2(shape.nz),
+                  "PlanC2R3D needs power-of-two Y/Z extents");
+}
+
+template <typename T>
+void PlanC2R3D<T>::execute(std::span<const cx<T>> in, std::span<T> out) {
+  REPRO_CHECK(in.size() == spectrum_elems());
+  REPRO_CHECK(out.size() == shape_.volume());
+  const std::size_t m = shape_.nx / 2;
+  const std::size_t ny = shape_.ny;
+  const std::size_t nz = shape_.nz;
+  std::copy(in.begin(), in.end(), spectrum_.begin());
+
+  // Z then Y inverse (scaled) line transforms, then the per-row c2r
+  // gathering each row's dense bins out of the split layout.
+  for (std::size_t y = 0; y < ny; ++y) {
+    for (std::size_t kx = 0; kx <= m; ++kx) {
+      for (std::size_t z = 0; z < nz; ++z) {
+        line_[z] = spectrum_[split_index(shape_, kx, y, z)];
+      }
+      pz_.execute(std::span<cx<T>>(line_.data(), nz));
+      for (std::size_t z = 0; z < nz; ++z) {
+        spectrum_[split_index(shape_, kx, y, z)] = line_[z];
+      }
+    }
+  }
+  for (std::size_t z = 0; z < nz; ++z) {
+    for (std::size_t kx = 0; kx <= m; ++kx) {
+      for (std::size_t y = 0; y < ny; ++y) {
+        line_[y] = spectrum_[split_index(shape_, kx, y, z)];
+      }
+      py_.execute(std::span<cx<T>>(line_.data(), ny));
+      for (std::size_t y = 0; y < ny; ++y) {
+        spectrum_[split_index(shape_, kx, y, z)] = line_[y];
+      }
+    }
+  }
+  for (std::size_t r = 0; r < ny * nz; ++r) {
+    std::copy(spectrum_.begin() + r * m, spectrum_.begin() + (r + 1) * m,
+              rowbuf_.begin());
+    rowbuf_[m] = spectrum_[m * ny * nz + r];
+    row_.execute(std::span<const cx<T>>(rowbuf_),
+                 out.subspan(r * shape_.nx, shape_.nx));
+  }
+}
+
 template class PlanR2C<float>;
 template class PlanR2C<double>;
 template class PlanC2R<float>;
 template class PlanC2R<double>;
+template class PlanR2C3D<float>;
+template class PlanR2C3D<double>;
+template class PlanC2R3D<float>;
+template class PlanC2R3D<double>;
 
 }  // namespace repro::fft

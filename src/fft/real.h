@@ -62,4 +62,64 @@ extern template class PlanR2C<double>;
 extern template class PlanC2R<float>;
 extern template class PlanC2R<double>;
 
+/// Forward 3-D real-to-complex transform: per-row r2c along X followed by
+/// complex transforms along Y and Z. Output is the non-redundant
+/// half-spectrum, (nx/2+1)*ny*nz bins, in the *split* layout the device
+/// real plan (gpufft/real3d.h) uses: bins kx < nx/2 in a main block with
+/// power-of-two row pitch nx/2 (bin (kx, ky, kz) at (kz*ny+ky)*(nx/2)+kx)
+/// and the Nyquist bins kx = nx/2 in a tail plane at offset (nx/2)*ny*nz
+/// (row (ky, kz) at kz*ny+ky). This is the bit-for-bit layout reference
+/// for the device plan.
+template <typename T>
+class PlanR2C3D {
+ public:
+  explicit PlanR2C3D(Shape3 shape);
+
+  [[nodiscard]] std::size_t spectrum_elems() const {
+    return (shape_.nx / 2 + 1) * shape_.ny * shape_.nz;
+  }
+  [[nodiscard]] Shape3 shape() const { return shape_; }
+
+  /// Transform `in` (nx*ny*nz reals) into `out` (spectrum_elems() bins).
+  void execute(std::span<const T> in, std::span<cx<T>> out);
+
+ private:
+  Shape3 shape_;
+  PlanR2C<T> row_;
+  Plan1D<T> py_;
+  Plan1D<T> pz_;
+  std::vector<cx<T>> line_;
+  std::vector<cx<T>> rowbuf_;  ///< dense nx/2+1 bins of one X row
+};
+
+/// Inverse of PlanR2C3D: a *true* inverse (scaled by 1/(nx*ny*nz) overall
+/// via the ByN line plans and the c2r half plan).
+template <typename T>
+class PlanC2R3D {
+ public:
+  explicit PlanC2R3D(Shape3 shape);
+
+  [[nodiscard]] std::size_t spectrum_elems() const {
+    return (shape_.nx / 2 + 1) * shape_.ny * shape_.nz;
+  }
+  [[nodiscard]] Shape3 shape() const { return shape_; }
+
+  /// Reconstruct `out` (nx*ny*nz reals) from `in` (spectrum_elems() bins).
+  void execute(std::span<const cx<T>> in, std::span<T> out);
+
+ private:
+  Shape3 shape_;
+  PlanC2R<T> row_;
+  Plan1D<T> py_;
+  Plan1D<T> pz_;
+  std::vector<cx<T>> line_;
+  std::vector<cx<T>> rowbuf_;    ///< dense nx/2+1 bins of one X row
+  std::vector<cx<T>> spectrum_;  ///< Y/Z-inverted copy of the input
+};
+
+extern template class PlanR2C3D<float>;
+extern template class PlanR2C3D<double>;
+extern template class PlanC2R3D<float>;
+extern template class PlanC2R3D<double>;
+
 }  // namespace repro::fft

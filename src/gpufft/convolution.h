@@ -52,6 +52,26 @@ class ArgmaxRealKernel final : public sim::Kernel {
   unsigned grid_;
 };
 
+/// Argmax over a *packed real* volume in the split half-spectrum layout
+/// (real3d.h): main-block slot j of row r holds scores x[r*nx + 2j] in .re
+/// and x[r*nx + 2j + 1] in .im, so each candidate carries its reconstructed
+/// real linear index. The Nyquist tail plane holds no time-domain data and
+/// is skipped.
+class ArgmaxPackedRealKernel final : public sim::Kernel {
+ public:
+  ArgmaxPackedRealKernel(DeviceBuffer<cxf>& data, Shape3 shape,
+                         DeviceBuffer<cxf>& partial, unsigned grid_blocks);
+
+  [[nodiscard]] sim::LaunchConfig config() const override;
+  void run_block(sim::BlockCtx& ctx) override;
+
+ private:
+  DeviceBuffer<cxf>& data_;
+  Shape3 shape_;                ///< logical real extent
+  DeviceBuffer<cxf>& partial_;  ///< re = best value, im = real index
+  unsigned grid_;
+};
+
 /// Best translation found by a correlation pass.
 struct BestMatch {
   std::size_t index{};  ///< linear index into the volume
@@ -61,16 +81,28 @@ struct BestMatch {
 /// FFT-based circular convolution/correlation engine with a resident
 /// filter. All heavy data stays on the device between calls. As an
 /// FftPlan, execute() correlates a device-resident signal against the
-/// resident filter in place (FFT, conjugate multiply, inverse FFT,
-/// 1/N scale); the forward/inverse sub-plans are shared through the
-/// PlanRegistry. Stateful (the filter), so the registry never constructs
-/// one — build it directly and set_filter() before executing.
+/// resident filter in place (FFT, conjugate multiply, inverse FFT, and —
+/// in Complex layout — a 1/N scale); the forward/inverse sub-plans are
+/// shared through the PlanRegistry. Stateful (the filter), so the
+/// registry never constructs one — build it directly and set_filter()
+/// before executing.
+///
+/// With Layout::RealHalfSpectrum the engine runs on the r2c/c2r plans
+/// over the split half-spectrum layout instead: real-valued grids, ~half
+/// the device traffic per pass, and no separate scale pass (the c2r
+/// inverse is a true inverse). Use the *_real entry points; the product
+/// of two Hermitian half-spectra is Hermitian, so the conjugate multiply
+/// needs only the stored (nx/2+1)*ny*nz bins.
 class Convolution3D final : public PlanBaseT<float> {
  public:
-  Convolution3D(Device& dev, Shape3 shape);
+  Convolution3D(Device& dev, Shape3 shape, Layout layout = Layout::Complex);
 
   /// Upload and forward-transform the filter (done once per filter).
   void set_filter(std::span<const cxf> filter);
+
+  /// Real-layout filter upload: packs `filter` (shape.volume() reals)
+  /// into the split layout and r2c-transforms it.
+  void set_filter_real(std::span<const float> filter);
 
   /// In-place correlation of a device-resident signal against the
   /// resident filter: leaves the score volume in `data`.
@@ -80,19 +112,28 @@ class Convolution3D final : public PlanBaseT<float> {
   /// score volume (downloads the whole volume: the non-confined path).
   std::vector<cxf> correlate(std::span<const cxf> signal);
 
+  /// Real-layout correlate: returns the real score volume.
+  std::vector<float> correlate_real(std::span<const float> signal);
+
   /// Confined path: correlate and return only the best translation.
   BestMatch best_translation(std::span<const cxf> signal);
 
+  /// Real-layout confined path; BestMatch.index is the real linear index.
+  BestMatch best_translation_real(std::span<const float> signal);
+
   [[nodiscard]] Shape3 shape() const { return desc_.shape; }
+  [[nodiscard]] Layout layout() const { return desc_.layout; }
 
   /// Resident filter spectrum + signal staging + argmax partials.
   [[nodiscard]] std::size_t workspace_bytes() const override {
-    return (2 * desc_.shape.volume() + grid_) * sizeof(cxf);
+    return (2 * desc_.buffer_elements() + grid_) * sizeof(cxf);
   }
 
  private:
   /// Shared pipeline: leaves the score volume in signal_.
   void correlate_on_device(std::span<const cxf> signal);
+  void correlate_real_on_device(std::span<const float> signal);
+  BestMatch reduce_candidates();
 
   unsigned grid_;
   DeviceBuffer<cxf> filter_hat_;

@@ -78,6 +78,13 @@ class FftPlanT {
   /// Device the plan executes on.
   [[nodiscard]] virtual Device& device() const = 0;
 
+  /// Elements of the complex device buffer execute() expects — the plan's
+  /// layout made first-class: shape.volume() for Complex plans, the
+  /// padded (nx/2+1)*ny*nz rows for RealHalfSpectrum plans.
+  [[nodiscard]] virtual std::size_t buffer_elements() const {
+    return desc().buffer_elements();
+  }
+
   /// Workspace bytes one execute() leases from the cache arena.
   [[nodiscard]] virtual std::size_t workspace_bytes() const = 0;
 

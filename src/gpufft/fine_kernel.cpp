@@ -4,12 +4,6 @@
 #include <type_traits>
 
 namespace repro::gpufft {
-namespace {
-
-/// Addressing/loop cycles per thread per stage of one transform.
-constexpr double kAddressingCyclesPerStage = 22.0;
-
-}  // namespace
 
 template <typename T>
 FineFftKernelT<T>::FineFftKernelT(DeviceBuffer<cx<T>>& in,
@@ -33,35 +27,13 @@ FineFftKernelT<T>::FineFftKernelT(DeviceBuffer<cx<T>>& in,
 }
 
 template <typename T>
-auto FineFftKernelT<T>::stages() const -> std::vector<Stage> {
-  std::vector<Stage> sts;
-  std::size_t m = 1;
-  while (m < params_.n) {
-    const std::size_t rem = params_.n / m;
-    const std::size_t radix = rem % 4 == 0 ? 4 : 2;
-    sts.push_back(Stage{radix, rem / radix, m});
-    m *= radix;
-  }
-  return sts;
-}
-
-template <typename T>
 std::size_t FineFftKernelT<T>::shmem_bytes_per_transform(std::size_t n) {
-  return (shmem_pad(n - 1) + 1) * sizeof(T);
+  return fine_min_sh_stride(n) * sizeof(T);
 }
 
 template <typename T>
 double FineFftKernelT<T>::flops_per_transform(std::size_t n) {
-  double flops = 0.0;
-  std::size_t m = 1;
-  while (m < n) {
-    const std::size_t radix = (n / m) % 4 == 0 ? 4 : 2;
-    const double butterflies = static_cast<double>(n / radix);
-    flops += butterflies * (radix == 4 ? fft::kFft4Flops + 3.0 * 6.0
-                                       : 4.0 + 6.0);
-    m *= radix;
-  }
-  return flops;
+  return fine_flops_per_transform(n);
 }
 
 template <typename T>
@@ -84,8 +56,8 @@ sim::LaunchConfig FineFftKernelT<T>::config() const {
   const double iterations =
       std::ceil(static_cast<double>(params_.count) / groups_per_wave);
   c.extra_cycles_per_thread =
-      iterations * static_cast<double>(stages().size()) *
-      kAddressingCyclesPerStage;
+      iterations * static_cast<double>(fine_stages(params_.n).size()) *
+      kFineAddressingCyclesPerStage;
   return c;
 }
 
@@ -95,10 +67,9 @@ void FineFftKernelT<T>::run_block(sim::BlockCtx& ctx) {
   const std::size_t tpt = n / 4;
   const unsigned block_dim = params_.threads_per_block;
   const std::size_t txs_pb = block_dim / tpt;
-  const std::size_t sh_per_tx = shmem_pad(n - 1) + 1;
+  const std::size_t sh_per_tx = fine_min_sh_stride(n);
   const int sign = fft::direction_sign(params_.dir);
-  const auto sts = stages();
-  const std::size_t n_stages = sts.size();
+  const auto sts = fine_stages(n);
 
   auto in = ctx.global(in_);
   auto out = ctx.global(out_);
@@ -112,7 +83,7 @@ void FineFftKernelT<T>::run_block(sim::BlockCtx& ctx) {
   std::vector<cx<T>> vals(static_cast<std::size_t>(block_dim) * 4);
   std::vector<T> tmp(static_cast<std::size_t>(block_dim) * 4);
 
-  // Twiddle W_n^(j*m*r) through the configured path.
+  // Twiddle W_n^idx through the configured path.
   auto twiddle = [&](sim::ThreadCtx& t, std::size_t idx) -> cx<T> {
     switch (params_.twiddles) {
       case TwiddleSource::Registers:
@@ -131,154 +102,20 @@ void FineFftKernelT<T>::run_block(sim::BlockCtx& ctx) {
     }
   };
 
-  // Butterfly of stage `st` for work unit u, reading from v[0..radix) and
-  // writing the twiddled outputs back into v.
-  auto butterfly = [&](sim::ThreadCtx& t, const Stage& st, std::size_t u,
-                       cx<T>* v) {
-    const std::size_t j = u / st.m;
-    if (st.radix == 4) {
-      fft::fft4(v, sign);
-      for (std::size_t r = 1; r < 4; ++r) {
-        v[r] = twiddle(t, j * st.m * r) * v[r];
-      }
-    } else {
-      const cx<T> d = v[0] - v[1];
-      v[0] = v[0] + v[1];
-      v[1] = twiddle(t, j * st.m) * d;
-    }
-  };
-
   const std::size_t groups_per_wave =
       static_cast<std::size_t>(params_.grid_blocks) * txs_pb;
   for (std::size_t base = static_cast<std::size_t>(ctx.block_index()) * txs_pb;
        base < params_.count;
        base += groups_per_wave) {
-    // ---- stage 0: load from global (coalesced: lane-consecutive) ----
-    {
-      const Stage& st = sts[0];
-      const std::size_t bpt = 4 / st.radix;
-      ctx.threads([&](sim::ThreadCtx& t) {
-        const std::size_t sub = t.tid / tpt;
-        const std::size_t lane = t.tid % tpt;
-        const std::size_t tx = base + sub;
-        if (tx >= params_.count) return;
-        const std::size_t gbase = tx * n;
-        for (std::size_t b = 0; b < bpt; ++b) {
-          const std::size_t u = lane + b * tpt;
-          const std::size_t j = u / st.m;
-          const std::size_t k = u % st.m;
-          cx<T> v[4];
-          for (std::size_t q = 0; q < st.radix; ++q) {
-            v[q] = in.load(t, gbase + k + st.m * (j + st.l * q));
-          }
-          butterfly(t, st, u, v);
-          for (std::size_t r = 0; r < st.radix; ++r) {
-            vals[t.tid * 4 + b * st.radix + r] = v[r];
-          }
-        }
-      });
-    }
-
-    // ---- inter-stage exchanges through shared memory ----
-    for (std::size_t si = 1; si < n_stages; ++si) {
-      const Stage& prev = sts[si - 1];
-      const Stage& st = sts[si];
-      const std::size_t bpt_prev = 4 / prev.radix;
-      const std::size_t bpt = 4 / st.radix;
-
-      // Positions this thread's current values occupy (previous stage's
-      // outputs) and the positions it needs next.
-      auto out_pos = [&](std::size_t lane, std::size_t slot) {
-        const std::size_t b = slot / prev.radix;
-        const std::size_t r = slot % prev.radix;
-        const std::size_t u = lane + b * tpt;
-        const std::size_t j = u / prev.m;
-        const std::size_t k = u % prev.m;
-        return k + prev.m * (prev.radix * j + r);
-      };
-      auto in_pos = [&](std::size_t lane, std::size_t slot) {
-        const std::size_t b = slot / st.radix;
-        const std::size_t q = slot % st.radix;
-        const std::size_t u = lane + b * tpt;
-        const std::size_t j = u / st.m;
-        const std::size_t k = u % st.m;
-        return k + st.m * (j + st.l * q);
-      };
-
-      // Real parts: write all, then read all (paper's half-footprint
-      // exchange), then the same for imaginary parts.
-      ctx.threads([&](sim::ThreadCtx& t) {
-        const std::size_t sub = t.tid / tpt;
-        const std::size_t lane = t.tid % tpt;
-        if (base + sub >= params_.count) return;
-        const std::size_t shb = sub * sh_per_tx;
-        for (std::size_t s = 0; s < 4; ++s) {
-          sh.store(t, shb + shmem_pad(out_pos(lane, s)),
-                   vals[t.tid * 4 + s].re);
-        }
-      });
-      ctx.threads([&](sim::ThreadCtx& t) {
-        const std::size_t sub = t.tid / tpt;
-        const std::size_t lane = t.tid % tpt;
-        if (base + sub >= params_.count) return;
-        const std::size_t shb = sub * sh_per_tx;
-        for (std::size_t s = 0; s < 4; ++s) {
-          tmp[t.tid * 4 + s] = sh.load(t, shb + shmem_pad(in_pos(lane, s)));
-        }
-      });
-      ctx.threads([&](sim::ThreadCtx& t) {
-        const std::size_t sub = t.tid / tpt;
-        const std::size_t lane = t.tid % tpt;
-        if (base + sub >= params_.count) return;
-        const std::size_t shb = sub * sh_per_tx;
-        for (std::size_t s = 0; s < 4; ++s) {
-          sh.store(t, shb + shmem_pad(out_pos(lane, s)),
-                   vals[t.tid * 4 + s].im);
-        }
-      });
-      ctx.threads([&](sim::ThreadCtx& t) {
-        const std::size_t sub = t.tid / tpt;
-        const std::size_t lane = t.tid % tpt;
-        if (base + sub >= params_.count) return;
-        const std::size_t shb = sub * sh_per_tx;
-        // Assemble the next stage's inputs and run its butterflies.
-        cx<T> next[4];
-        for (std::size_t s = 0; s < 4; ++s) {
-          next[s] = cx<T>{tmp[t.tid * 4 + s],
-                          sh.load(t, shb + shmem_pad(in_pos(lane, s)))};
-        }
-        for (std::size_t b = 0; b < bpt; ++b) {
-          const std::size_t u = lane + b * tpt;
-          butterfly(t, st, u, next + b * st.radix);
-        }
-        for (std::size_t s = 0; s < 4; ++s) {
-          vals[t.tid * 4 + s] = next[s];
-        }
-        (void)bpt_prev;
-      });
-    }
-
-    // ---- final store to global (coalesced) ----
-    {
-      const Stage& st = sts.back();
-      ctx.threads([&](sim::ThreadCtx& t) {
-        const std::size_t sub = t.tid / tpt;
-        const std::size_t lane = t.tid % tpt;
-        const std::size_t tx = base + sub;
-        if (tx >= params_.count) return;
-        const std::size_t gbase = tx * n;
-        const std::size_t bpt = 4 / st.radix;
-        for (std::size_t b = 0; b < bpt; ++b) {
-          const std::size_t u = lane + b * tpt;
-          const std::size_t j = u / st.m;
-          const std::size_t k = u % st.m;
-          for (std::size_t r = 0; r < st.radix; ++r) {
-            out.store(t, gbase + k + st.m * (st.radix * j + r),
-                      vals[t.tid * 4 + b * st.radix + r]);
-          }
-        }
-      });
-    }
+    run_fine_stages<T>(
+        ctx, sts, n, sign, sh, sh_per_tx, base, params_.count, vals.data(),
+        tmp.data(),
+        [&](sim::ThreadCtx& t, std::size_t tx, std::size_t pos) {
+          return in.load(t, tx * n + pos);
+        },
+        [&](sim::ThreadCtx& t, std::size_t tx, std::size_t pos,
+            const cx<T>& v) { out.store(t, tx * n + pos, v); },
+        twiddle);
   }
 }
 

@@ -15,6 +15,7 @@
 #pragma once
 
 #include "gpufft/smallfft.h"
+#include "gpufft/stage_engine.h"
 #include "gpufft/types.h"
 
 namespace repro::gpufft {
@@ -49,13 +50,6 @@ class FineFftKernelT final : public sim::Kernel {
   [[nodiscard]] static double flops_per_transform(std::size_t n);
 
  private:
-  struct Stage {
-    std::size_t radix;
-    std::size_t l;  ///< twiddle groups
-    std::size_t m;  ///< butterfly span
-  };
-  [[nodiscard]] std::vector<Stage> stages() const;
-
   DeviceBuffer<cx<T>>& in_;
   DeviceBuffer<cx<T>>& out_;
   FineKernelParams params_;
@@ -68,9 +62,5 @@ extern template class FineFftKernelT<double>;
 
 /// Single-precision alias (the paper's configuration).
 using FineFftKernel = FineFftKernelT<float>;
-
-/// Padded shared-memory index: insert one word every 16 so that the
-/// power-of-two strides of the butterfly exchange spread across banks.
-constexpr std::size_t shmem_pad(std::size_t i) { return i + i / 16; }
 
 }  // namespace repro::gpufft

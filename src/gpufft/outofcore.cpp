@@ -8,13 +8,15 @@
 namespace repro::gpufft {
 
 ZPencilFftKernel::ZPencilFftKernel(DeviceBuffer<cxf>& data, Shape3 slab,
-                                   Direction dir, unsigned grid_blocks)
+                                   Direction dir, unsigned grid_blocks,
+                                   std::size_t elem_offset)
     : data_(data),
       slab_(slab),
       dir_(dir),
       roots_(make_roots<float>(slab.nz, dir)),
-      grid_(grid_blocks) {
-  REPRO_CHECK(data_.size() >= slab_.volume());
+      grid_(grid_blocks),
+      offset_(elem_offset) {
+  REPRO_CHECK(data_.size() >= offset_ + slab_.volume());
   REPRO_CHECK(slab_.nz >= 2 && slab_.nz <= kMaxFactor);
 }
 
@@ -36,7 +38,7 @@ sim::LaunchConfig ZPencilFftKernel::config() const {
 void ZPencilFftKernel::run_block(sim::BlockCtx& ctx) {
   const std::size_t items = slab_.nx * slab_.ny;
   const int sign = fft::direction_sign(dir_);
-  auto d = ctx.global(data_);
+  auto d = ctx.global(data_, offset_);
   ctx.threads([&](sim::ThreadCtx& t) {
     cxf v[kMaxFactor];
     for (std::size_t w = t.global_id(); w < items; w += t.total_threads()) {
@@ -54,13 +56,15 @@ void ZPencilFftKernel::run_block(sim::BlockCtx& ctx) {
 
 SlabTwiddleKernel::SlabTwiddleKernel(DeviceBuffer<cxf>& data, Shape3 slab,
                                      std::size_t n, std::size_t residue,
-                                     Direction dir, unsigned grid_blocks)
+                                     Direction dir, unsigned grid_blocks,
+                                     std::size_t elem_offset)
     : data_(data),
       slab_(slab),
       roots_n_(make_roots<float>(n, dir)),
       residue_(residue),
-      grid_(grid_blocks) {
-  REPRO_CHECK(data_.size() >= slab_.volume());
+      grid_(grid_blocks),
+      offset_(elem_offset) {
+  REPRO_CHECK(data_.size() >= offset_ + slab_.volume());
   REPRO_CHECK(residue_ * (slab_.nz - 1) < n);
 }
 
@@ -78,7 +82,7 @@ sim::LaunchConfig SlabTwiddleKernel::config() const {
 void SlabTwiddleKernel::run_block(sim::BlockCtx& ctx) {
   const std::size_t plane = slab_.nx * slab_.ny;
   const std::size_t volume = slab_.volume();
-  auto d = ctx.global(data_);
+  auto d = ctx.global(data_, offset_);
   ctx.threads([&](sim::ThreadCtx& t) {
     for (std::size_t i = t.global_id(); i < volume;
          i += t.total_threads()) {

@@ -39,8 +39,10 @@ namespace repro::gpufft {
 /// one per (x, y) pencil.
 class ZPencilFftKernel final : public sim::Kernel {
  public:
+  /// `elem_offset` shifts the slab view into `data` (the sharded real plan
+  /// runs the Nyquist tail region through a second instance at its offset).
   ZPencilFftKernel(DeviceBuffer<cxf>& data, Shape3 slab, Direction dir,
-                   unsigned grid_blocks);
+                   unsigned grid_blocks, std::size_t elem_offset = 0);
 
   [[nodiscard]] sim::LaunchConfig config() const override;
   void run_block(sim::BlockCtx& ctx) override;
@@ -51,6 +53,7 @@ class ZPencilFftKernel final : public sim::Kernel {
   Direction dir_;
   std::vector<cxf> roots_;
   unsigned grid_;
+  std::size_t offset_;
 };
 
 /// Multiply plane k' of an (nx, ny, nk) slab by W_n^(residue * k')
@@ -58,7 +61,8 @@ class ZPencilFftKernel final : public sim::Kernel {
 class SlabTwiddleKernel final : public sim::Kernel {
  public:
   SlabTwiddleKernel(DeviceBuffer<cxf>& data, Shape3 slab, std::size_t n,
-                    std::size_t residue, Direction dir, unsigned grid_blocks);
+                    std::size_t residue, Direction dir, unsigned grid_blocks,
+                    std::size_t elem_offset = 0);
 
   [[nodiscard]] sim::LaunchConfig config() const override;
   void run_block(sim::BlockCtx& ctx) override;
@@ -69,6 +73,7 @@ class SlabTwiddleKernel final : public sim::Kernel {
   std::vector<cxf> roots_n_;
   std::size_t residue_;
   unsigned grid_;
+  std::size_t offset_;
 };
 
 /// Phase-level timing breakdown (Table 12 columns). The buckets sum each

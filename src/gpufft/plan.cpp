@@ -42,6 +42,47 @@ BandwidthFft3DT<T>::BandwidthFft3DT(Device& dev, Shape3 shape, Direction dir,
 }
 
 template <typename T>
+void run_coarse_ranks(Device& dev, DeviceBuffer<cx<T>>& data,
+                      DeviceBuffer<cx<T>>& work, Shape3 shape, AxisSplit sy,
+                      AxisSplit sz, const RankKernelParams& base,
+                      const DeviceBuffer<cx<T>>* tw_y,
+                      const DeviceBuffer<cx<T>>* tw_z,
+                      const RankStepRecorder& record) {
+  const std::size_t ex = shape.nx;  // row pitch, any extent
+  const auto [f1y, f2y] = sy;
+  const auto [f1z, f2z] = sz;
+  RankKernelParams p = base;
+
+  // Step 1: Z-axis rank 1.  (ex, f1y, f2y, f1z, f2z) -> (ex, f2z, f1y, f2y, f1z)
+  p.in_shape = Shape5{{ex, f1y, f2y, f1z, f2z}};
+  {
+    Rank1KernelT<T> k(data, work, p, shape.nz, tw_z);
+    record("Z rank1", dev.launch(k));
+  }
+
+  // Step 2: Z-axis rank 2.  -> (ex, f2z, f1z, f1y, f2y)
+  p.in_shape = Shape5{{ex, f2z, f1y, f2y, f1z}};
+  {
+    Rank2KernelT<T> k(work, data, p);
+    record("Z rank2", dev.launch(k));
+  }
+
+  // Step 3: Y-axis rank 1.  -> (ex, f2y, f2z, f1z, f1y)
+  p.in_shape = Shape5{{ex, f2z, f1z, f1y, f2y}};
+  {
+    Rank1KernelT<T> k(data, work, p, shape.ny, tw_y);
+    record("Y rank1", dev.launch(k));
+  }
+
+  // Step 4: Y-axis rank 2.  -> (ex, f2y, f1y, f2z, f1z) == natural order.
+  p.in_shape = Shape5{{ex, f2y, f2z, f1z, f1y}};
+  {
+    Rank2KernelT<T> k(work, data, p);
+    record("Y rank2", dev.launch(k));
+  }
+}
+
+template <typename T>
 std::vector<StepTiming> BandwidthFft3DT<T>::execute(
     DeviceBuffer<cx<T>>& data) {
   const Shape3 shape = this->desc_.shape;
@@ -51,14 +92,12 @@ std::vector<StepTiming> BandwidthFft3DT<T>::execute(
   auto ws = ResourceCache::of(this->dev_).template lease<T>(shape.volume());
   auto& work = ws.buffer();
   const std::size_t nx = shape.nx;
-  const auto [f1y, f2y] = sy_;
-  const auto [f1z, f2z] = sz_;
   std::vector<StepTiming> steps;
   steps.reserve(5);
   auto record = [&](const char* name, const LaunchResult& r) {
     steps.push_back(StepTiming{
-        name, r.total_ms,
-        useful_gbs(shape.volume(), r.total_ms, sizeof(cx<T>))});
+        "step" + std::to_string(steps.size() + 1) + " (" + name + ")",
+        r.total_ms, useful_gbs(shape.volume(), r.total_ms, sizeof(cx<T>))});
   };
 
   RankKernelParams p;
@@ -66,33 +105,9 @@ std::vector<StepTiming> BandwidthFft3DT<T>::execute(
   p.twiddles = opt_.coarse_twiddles;
   p.grid_blocks = opt_.grid_blocks;
 
-  // Step 1: Z-axis rank 1.  (nx, f1y, f2y, f1z, f2z) -> (nx, f2z, f1y, f2y, f1z)
-  p.in_shape = Shape5{{nx, f1y, f2y, f1z, f2z}};
-  {
-    Rank1KernelT<T> k(data, work, p, shape.nz, tw_z_.get());
-    record("step1 (Z rank1)", this->dev_.launch(k));
-  }
-
-  // Step 2: Z-axis rank 2.  -> (nx, f2z, f1z, f1y, f2y)
-  p.in_shape = Shape5{{nx, f2z, f1y, f2y, f1z}};
-  {
-    Rank2KernelT<T> k(work, data, p);
-    record("step2 (Z rank2)", this->dev_.launch(k));
-  }
-
-  // Step 3: Y-axis rank 1.  -> (nx, f2y, f2z, f1z, f1y)
-  p.in_shape = Shape5{{nx, f2z, f1z, f1y, f2y}};
-  {
-    Rank1KernelT<T> k(data, work, p, shape.ny, tw_y_.get());
-    record("step3 (Y rank1)", this->dev_.launch(k));
-  }
-
-  // Step 4: Y-axis rank 2.  -> (nx, f2y, f1y, f2z, f1z) == natural order.
-  p.in_shape = Shape5{{nx, f2y, f2z, f1z, f1y}};
-  {
-    Rank2KernelT<T> k(work, data, p);
-    record("step4 (Y rank2)", this->dev_.launch(k));
-  }
+  // Steps 1-4: the Z/Y coarse rank pairs.
+  run_coarse_ranks<T>(this->dev_, data, work, shape, sy_, sz_, p,
+                      tw_y_.get(), tw_z_.get(), record);
 
   // Step 5: X-axis fine-grained in-place transform.
   {
@@ -107,7 +122,7 @@ std::vector<StepTiming> BandwidthFft3DT<T>::execute(
     fp.threads_per_block = static_cast<unsigned>(
         std::max<std::size_t>(nx / 4, kDefaultThreadsPerBlock));
     FineFftKernelT<T> k(data, data, fp, tw_x_.get());
-    record("step5 (X fine)", this->dev_.launch(k));
+    record("X fine", this->dev_.launch(k));
   }
 
   this->finish(steps);
@@ -145,6 +160,16 @@ void ScaleKernelT<T>::run_block(sim::BlockCtx& ctx) {
   });
 }
 
+template void run_coarse_ranks<float>(
+    Device&, DeviceBuffer<cx<float>>&, DeviceBuffer<cx<float>>&, Shape3,
+    AxisSplit, AxisSplit, const RankKernelParams&,
+    const DeviceBuffer<cx<float>>*, const DeviceBuffer<cx<float>>*,
+    const RankStepRecorder&);
+template void run_coarse_ranks<double>(
+    Device&, DeviceBuffer<cx<double>>&, DeviceBuffer<cx<double>>&, Shape3,
+    AxisSplit, AxisSplit, const RankKernelParams&,
+    const DeviceBuffer<cx<double>>*, const DeviceBuffer<cx<double>>*,
+    const RankStepRecorder&);
 template class BandwidthFft3DT<float>;
 template class BandwidthFft3DT<double>;
 template class ScaleKernelT<float>;

@@ -16,6 +16,7 @@
 #pragma once
 
 #include <array>
+#include <functional>
 #include <memory>
 
 #include "gpufft/fft_plan.h"
@@ -31,6 +32,38 @@ struct BandwidthPlanOptions {
   TwiddleSource fine_twiddles{TwiddleSource::Texture};      // step 5
   unsigned grid_blocks{0};  ///< 0 = 3 blocks per SM (the paper's choice)
 };
+
+/// Callback invoked once per coarse-rank launch with a short step name
+/// ("Z rank1", ...) and the launch's timing.
+using RankStepRecorder =
+    std::function<void(const char*, const LaunchResult&)>;
+
+/// Steps 1-4 of the five-step plan — the Z-axis then Y-axis coarse rank
+/// pairs — over an (ex, ny, nz) volume. The x-extent `ex` = shape.nx is a
+/// free row pitch, not required to be a power of two: this is what lets
+/// the real plans (real3d.h) run the identical kernels over half-spectrum
+/// (nx/2+1) pencils. Data ping-pongs data -> work -> data -> work -> data,
+/// so on return the Z/Y-transformed volume is back in `data` in natural
+/// order. `base` supplies dir/twiddle-source/grid; in_shape is overwritten
+/// per step.
+template <typename T>
+void run_coarse_ranks(Device& dev, DeviceBuffer<cx<T>>& data,
+                      DeviceBuffer<cx<T>>& work, Shape3 shape, AxisSplit sy,
+                      AxisSplit sz, const RankKernelParams& base,
+                      const DeviceBuffer<cx<T>>* tw_y,
+                      const DeviceBuffer<cx<T>>* tw_z,
+                      const RankStepRecorder& record);
+
+extern template void run_coarse_ranks<float>(
+    Device&, DeviceBuffer<cx<float>>&, DeviceBuffer<cx<float>>&, Shape3,
+    AxisSplit, AxisSplit, const RankKernelParams&,
+    const DeviceBuffer<cx<float>>*, const DeviceBuffer<cx<float>>*,
+    const RankStepRecorder&);
+extern template void run_coarse_ranks<double>(
+    Device&, DeviceBuffer<cx<double>>&, DeviceBuffer<cx<double>>&, Shape3,
+    AxisSplit, AxisSplit, const RankKernelParams&,
+    const DeviceBuffer<cx<double>>*, const DeviceBuffer<cx<double>>*,
+    const RankStepRecorder&);
 
 /// Five-step 3-D FFT executing on a simulated device. Plan once, execute
 /// many; twiddle tables are shared through the ResourceCache and the work

@@ -27,6 +27,7 @@ enum class PlanKind {
   OutOfCore,       ///< host-resident streamed 3-D FFT (outofcore.h)
   Convolution,     ///< FFT convolution/correlation pipeline (convolution.h)
   Sharded3D,       ///< multi-device Z-decimated 3-D FFT (sharded.h)
+  Real3D,          ///< r2c/c2r five-step plan, half-spectrum (real3d.h)
 };
 
 inline const char* plan_kind_name(PlanKind k) {
@@ -38,8 +39,22 @@ inline const char* plan_kind_name(PlanKind k) {
     case PlanKind::Batch1D: return "batch1d";
     case PlanKind::OutOfCore: return "outofcore";
     case PlanKind::Sharded3D: return "sharded3d";
+    case PlanKind::Real3D: return "real3d";
     default: return "convolution";
   }
+}
+
+/// Element layout of the buffer a plan transforms. Layout is part of the
+/// plan identity: a Sharded3D plan over a RealHalfSpectrum buffer is a
+/// different executor (and moves half the bytes) than the same shape in
+/// Complex layout.
+enum class Layout {
+  Complex,           ///< interleaved complex, shape.volume() elements
+  RealHalfSpectrum,  ///< padded r2c rows: (nx/2+1)*ny*nz complex elements
+};
+
+inline const char* layout_name(Layout l) {
+  return l == Layout::Complex ? "complex" : "half-spectrum";
 }
 
 /// Scalar precision of a plan (the paper runs float; double is its
@@ -67,6 +82,7 @@ struct PlanDesc {
   unsigned grid_blocks{0};  ///< 0 = 3 blocks per SM (the paper's choice)
   TransposeStrategy transpose{TransposeStrategy::Naive};  ///< Conventional3D
   std::size_t splits{0};  ///< OutOfCore / Sharded3D decimation factor
+  Layout layout{Layout::Complex};  ///< element layout (Real3D: half-spectrum)
 
   friend bool operator==(const PlanDesc& a, const PlanDesc& b) {
     return a.kind == b.kind && a.shape == b.shape && a.dir == b.dir &&
@@ -74,7 +90,7 @@ struct PlanDesc {
            a.coarse_twiddles == b.coarse_twiddles &&
            a.fine_twiddles == b.fine_twiddles &&
            a.grid_blocks == b.grid_blocks && a.transpose == b.transpose &&
-           a.splits == b.splits;
+           a.splits == b.splits && a.layout == b.layout;
   }
   friend bool operator!=(const PlanDesc& a, const PlanDesc& b) {
     return !(a == b);
@@ -98,7 +114,18 @@ struct PlanDesc {
     mix(grid_blocks);
     mix(static_cast<std::uint64_t>(transpose));
     mix(splits);
+    mix(static_cast<std::uint64_t>(layout));
     return static_cast<std::size_t>(h);
+  }
+
+  /// Elements of the (complex) device buffer this plan transforms: the
+  /// full volume for Complex layout, the padded (nx/2+1)*ny*nz rows for
+  /// RealHalfSpectrum. Shape3 here is always the *logical* real extent.
+  [[nodiscard]] std::size_t buffer_elements() const {
+    if (layout == Layout::RealHalfSpectrum) {
+      return (shape.nx / 2 + 1) * shape.ny * shape.nz;
+    }
+    return shape.volume();
   }
 
   [[nodiscard]] std::string to_string() const {
@@ -109,6 +136,10 @@ struct PlanDesc {
     s += precision_name(precision);
     if (kind == PlanKind::OutOfCore || kind == PlanKind::Sharded3D) {
       s += " splits=" + std::to_string(splits);
+    }
+    if (layout == Layout::RealHalfSpectrum) {
+      s += " ";
+      s += layout_name(layout);
     }
     return s;
   }
@@ -187,11 +218,42 @@ struct PlanDesc {
     return d;
   }
 
-  static PlanDesc convolution(Shape3 shape) {
+  /// Real-input (r2c) / real-output (c2r) five-step plan over a padded
+  /// half-spectrum buffer. `shape` is the logical real extent; the device
+  /// buffer holds (nx/2+1)*ny*nz complex elements (see real3d.h).
+  static PlanDesc real3d(Shape3 shape, Direction dir,
+                         Precision prec = Precision::F32) {
+    PlanDesc d;
+    d.kind = PlanKind::Real3D;
+    d.shape = shape;
+    d.dir = dir;
+    d.precision = prec;
+    d.layout = Layout::RealHalfSpectrum;
+    return d;
+  }
+
+  /// Sharded r2c/c2r cube: same Z-decimated executor family as sharded3d
+  /// but over half-spectrum slabs, so the all-to-all stages half the
+  /// bytes. Layout is the discriminator within PlanKind::Sharded3D.
+  static PlanDesc sharded_real3d(std::size_t n, std::size_t shards,
+                                 Direction dir) {
+    PlanDesc d;
+    d.kind = PlanKind::Sharded3D;
+    d.shape = cube(n);
+    d.dir = dir;
+    d.splits = shards;
+    d.layout = Layout::RealHalfSpectrum;
+    return d;
+  }
+
+  /// FFT correlation engine (convolution.h). Layout::RealHalfSpectrum
+  /// selects the r2c/c2r pipeline over the split layout.
+  static PlanDesc convolution(Shape3 shape, Layout layout = Layout::Complex) {
     PlanDesc d;
     d.kind = PlanKind::Convolution;
     d.shape = shape;
     d.dir = Direction::Forward;
+    d.layout = layout;
     return d;
   }
 };

@@ -34,8 +34,8 @@ Rank1KernelT<T>::Rank1KernelT(DeviceBuffer<cx<T>>& in,
       roots_l_(make_roots<T>(params.in_shape.extent[4], params.dir)),
       roots_n_(make_roots<T>(n, params.dir)),
       device_tw_(device_twiddles) {
-  REPRO_CHECK(in_.size() >= params_.in_shape.volume());
-  REPRO_CHECK(out_.size() >= params_.in_shape.volume());
+  REPRO_CHECK(in_.size() >= params_.elem_offset + params_.in_shape.volume());
+  REPRO_CHECK(out_.size() >= params_.elem_offset + params_.in_shape.volume());
   // Twiddle indexing uses c*k < n: c < extent[3], k < extent[4].
   REPRO_CHECK((params_.in_shape.extent[3] - 1) *
                   (params_.in_shape.extent[4] - 1) <
@@ -90,8 +90,8 @@ void Rank1KernelT<T>::run_block(sim::BlockCtx& ctx) {
   const std::size_t items = nx * na * nb * nc;
   const int sign = fft::direction_sign(params_.dir);
 
-  auto in = ctx.global(in_);
-  auto out = ctx.global(out_);
+  auto in = ctx.global(in_, params_.elem_offset);
+  auto out = ctx.global(out_, params_.elem_offset);
   auto tex_tw = params_.twiddles == TwiddleSource::Texture
                     ? ctx.texture(*device_tw_)
                     : sim::TextureView<cx<T>>(nullptr, nullptr, 0);
@@ -152,8 +152,8 @@ Rank2KernelT<T>::Rank2KernelT(DeviceBuffer<cx<T>>& in,
       out_(out),
       params_(params),
       roots_l_(make_roots<T>(params.in_shape.extent[4], params.dir)) {
-  REPRO_CHECK(in_.size() >= params_.in_shape.volume());
-  REPRO_CHECK(out_.size() >= params_.in_shape.volume());
+  REPRO_CHECK(in_.size() >= params_.elem_offset + params_.in_shape.volume());
+  REPRO_CHECK(out_.size() >= params_.elem_offset + params_.in_shape.volume());
 }
 
 template <typename T>
@@ -195,8 +195,8 @@ void Rank2KernelT<T>::run_block(sim::BlockCtx& ctx) {
   const std::size_t items = nx * na * nb * nc;
   const int sign = fft::direction_sign(params_.dir);
 
-  auto in = ctx.global(in_);
-  auto out = ctx.global(out_);
+  auto in = ctx.global(in_, params_.elem_offset);
+  auto out = ctx.global(out_, params_.elem_offset);
 
   ctx.threads([&](sim::ThreadCtx& t) {
     cx<T> v[kMaxFactor];

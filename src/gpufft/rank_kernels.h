@@ -29,6 +29,9 @@ struct RankKernelParams {
   TwiddleSource twiddles{TwiddleSource::Registers};
   unsigned grid_blocks{48};
   unsigned threads_per_block{kDefaultThreadsPerBlock};
+  /// Element offset of the view into both buffers (the real plan runs the
+  /// Nyquist tail plane through the same kernels at the tail's offset).
+  std::size_t elem_offset{0};
 };
 
 /// Step 1/3 kernel (rank 1 with inter-rank twiddle). Templated over the

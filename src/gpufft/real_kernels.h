@@ -1,0 +1,94 @@
+// Fine-grained X-axis kernels for real-input (r2c) and real-output (c2r)
+// transforms over the split half-spectrum layout (real3d.h).
+//
+// Each row of nx reals is stored packed in a power-of-two-pitch row of
+// nx/2 complex slots in the main block: slot j holds (x[2j], x[2j+1]) in
+// time domain and bin X[j] in frequency domain; the row's Nyquist bin
+// X[nx/2] lives in the tail plane at element (nx/2)*count + row. The
+// power-of-two pitch is what keeps every half-warp of these kernels (and
+// of the coarse ranks that follow) on 16 consecutive, 16-aligned
+// elements — a dense nx/2+1 pitch would break G80 coalescing on every
+// access. The layout lets the classic half-length packing trick of
+// fft/real.* run *in place* on the device: one staged (nx/2)-point
+// transform through the shared stage engine, fused with the Hermitian
+// unpack (r2c) or pack (c2r) pass through shared memory — so a real line
+// costs one half-length FFT plus one extra shared round-trip instead of a
+// full complex line, and global traffic is ~(nx/2+1)/nx of the complex
+// fine kernel's.
+#pragma once
+
+#include "gpufft/smallfft.h"
+#include "gpufft/stage_engine.h"
+#include "gpufft/types.h"
+
+namespace repro::gpufft {
+
+struct RealFineParams {
+  std::size_t nx{256};   ///< real line length (power of two, >= 32)
+  std::size_t count{};   ///< number of lines (ny*nz)
+  TwiddleSource twiddles{TwiddleSource::Texture};
+  unsigned grid_blocks{48};
+  unsigned threads_per_block{kDefaultThreadsPerBlock};
+  double scale{1.0};     ///< c2r only: folded into the pack pass
+};
+
+/// Forward fused kernel: packed real rows -> half-spectrum rows, in place.
+/// Needs two twiddle tables when sourced from texture: the (nx/2)-point
+/// forward roots for the stages and the nx-point forward roots for the
+/// unpack pass.
+template <typename T>
+class RealFineR2CKernelT final : public sim::Kernel {
+ public:
+  RealFineR2CKernelT(DeviceBuffer<cx<T>>& data, const RealFineParams& params,
+                     const DeviceBuffer<cx<T>>* half_twiddles = nullptr,
+                     const DeviceBuffer<cx<T>>* unpack_twiddles = nullptr);
+
+  [[nodiscard]] sim::LaunchConfig config() const override;
+  void run_block(sim::BlockCtx& ctx) override;
+
+  /// Shared bytes one transform group needs: two natural-order scalar
+  /// arrays of nx/2+1 (padded) — exchange reuses the first.
+  [[nodiscard]] static std::size_t shmem_bytes_per_transform(std::size_t nx);
+
+ private:
+  DeviceBuffer<cx<T>>& data_;
+  RealFineParams params_;
+  std::vector<cx<T>> roots_half_;  ///< (nx/2)-point stage roots
+  std::vector<cx<T>> roots_full_;  ///< nx-point unpack roots
+  const DeviceBuffer<cx<T>>* device_tw_half_;
+  const DeviceBuffer<cx<T>>* device_tw_full_;
+};
+
+/// Inverse fused kernel: half-spectrum rows -> packed real rows (the
+/// row's Nyquist tail slot zeroed), in place, scaled by params.scale.
+/// Twiddle tables are the *inverse* roots at both lengths.
+template <typename T>
+class RealFineC2RKernelT final : public sim::Kernel {
+ public:
+  RealFineC2RKernelT(DeviceBuffer<cx<T>>& data, const RealFineParams& params,
+                     const DeviceBuffer<cx<T>>* half_twiddles = nullptr,
+                     const DeviceBuffer<cx<T>>* pack_twiddles = nullptr);
+
+  [[nodiscard]] sim::LaunchConfig config() const override;
+  void run_block(sim::BlockCtx& ctx) override;
+
+  [[nodiscard]] static std::size_t shmem_bytes_per_transform(std::size_t nx);
+
+ private:
+  DeviceBuffer<cx<T>>& data_;
+  RealFineParams params_;
+  std::vector<cx<T>> roots_half_;
+  std::vector<cx<T>> roots_full_;
+  const DeviceBuffer<cx<T>>* device_tw_half_;
+  const DeviceBuffer<cx<T>>* device_tw_full_;
+};
+
+extern template class RealFineR2CKernelT<float>;
+extern template class RealFineR2CKernelT<double>;
+extern template class RealFineC2RKernelT<float>;
+extern template class RealFineC2RKernelT<double>;
+
+using RealFineR2CKernel = RealFineR2CKernelT<float>;
+using RealFineC2RKernel = RealFineC2RKernelT<float>;
+
+}  // namespace repro::gpufft

@@ -6,6 +6,7 @@
 #include "gpufft/outofcore.h"
 #include "gpufft/plan.h"
 #include "gpufft/plan2d.h"
+#include "gpufft/real3d.h"
 #include "gpufft/sharded.h"
 
 namespace repro::gpufft {
@@ -32,6 +33,8 @@ std::shared_ptr<FftPlanT<T>> make_plan(Device& dev, const PlanDesc& desc,
     case PlanKind::Batch1D:
       return std::make_shared<Batch1DFftT<T>>(dev, desc.shape.nx,
                                               desc.shape.ny, desc.dir, opt);
+    case PlanKind::Real3D:
+      return std::make_shared<RealFft3DT<T>>(dev, desc.shape, desc.dir, opt);
     default:
       break;
   }
@@ -51,6 +54,12 @@ std::shared_ptr<FftPlanT<T>> make_plan(Device& dev, const PlanDesc& desc,
         REPRO_CHECK_MSG(group != nullptr,
                         "sharded plans span a device fleet; obtain them "
                         "through PlanRegistry::of(sim::DeviceGroup&)");
+        // Layout discriminates the executor within the kind: half-spectrum
+        // shards move half the exchange bytes.
+        if (desc.layout == Layout::RealHalfSpectrum) {
+          return std::make_shared<ShardedRealFft3DPlan>(
+              *group, desc.shape.nx, desc.splits, desc.dir);
+        }
         return std::make_shared<ShardedFft3DPlan>(*group, desc.shape.nx,
                                                   desc.splits, desc.dir);
       default:

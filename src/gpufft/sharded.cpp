@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "gpufft/cache.h"
+#include "gpufft/real3d.h"
+#include "gpufft/real_kernels.h"
 #include "gpufft/registry.h"
 #include "gpufft/smallfft.h"
 
@@ -213,6 +215,239 @@ std::vector<StepTiming> ShardedFft3DPlan::execute_batch_host(
   }
   last_total_ms_ = group_->elapsed_ms() - t0;
   return total;
+}
+
+ShardedRealFft3DPlan::ShardedRealFft3DPlan(sim::DeviceGroup& group,
+                                           std::size_t n, std::size_t shards,
+                                           Direction dir)
+    : PlanBaseT<float>(group.device(0),
+                       PlanDesc::sharded_real3d(n, shards, dir)),
+      group_(&group),
+      n_(n),
+      shards_(shards),
+      slab_shape_{n, n, n / shards},
+      host_work_((n / 2 + 1) * n * n),
+      staging_lease_(group, (n / 2 + 1) * n * n * sizeof(cxf)) {
+  REPRO_CHECK_MSG(n % shards == 0, "shards must divide n");
+  REPRO_CHECK_MSG(shards >= 2 && shards <= kMaxFactor,
+                  "shards must be a supported small-FFT factor");
+  REPRO_CHECK(is_pow2(n) && is_pow2(shards));
+  REPRO_CHECK_MSG(n >= 32,
+                  "sharded real plans need n >= 32 (the half-length X fine "
+                  "stages need n/2 >= 16)");
+  REPRO_CHECK_MSG(shards % group.size() == 0,
+                  "the group size must divide the shard count");
+  REPRO_CHECK_MSG((n / shards) % group.size() == 0,
+                  "the group size must divide n/shards");
+  for (std::size_t d = 0; d < group.size(); ++d) {
+    auto& dev = group.device(d);
+    if (dir == Direction::Forward) {
+      // Phase 1 runs the whole real slab plan (r2c X + coarse Y/local-Z).
+      slab_plans_.push_back(PlanRegistry::of(dev).get_or_create(
+          PlanDesc::real3d(slab_shape_, dir)));
+    } else {
+      // Phase 2 finishes with the fused c2r pass; share its tables now.
+      tw_half_.push_back(ResourceCache::of(dev).twiddles<float>(n / 2, dir));
+      tw_full_.push_back(ResourceCache::of(dev).twiddles<float>(n, dir));
+    }
+  }
+}
+
+std::vector<StepTiming> ShardedRealFft3DPlan::execute(DeviceBuffer<cxf>&) {
+  REPRO_FAIL(
+      "sharded plans transform host-resident volumes distributed across a "
+      "device group; use execute_host()");
+}
+
+ShardedTiming ShardedRealFft3DPlan::execute(std::span<cxf> host_data) {
+  REPRO_CHECK(host_data.size() == buffer_elements());
+  // Split layout (real3d.h): a logical Z-plane is an (n/2)*n main span
+  // plus an n-element Nyquist tail row; both are contiguous in the host
+  // volume and in each staged slab, so every plane costs two transfers of
+  // mrow + n = (n/2+1)*n elements total.
+  const std::size_t mrow = (n_ / 2) * n_;   // main elements per Z-plane
+  const std::size_t plane = mrow + n_;      // total elements per Z-plane
+  const std::size_t tail = mrow * n_;       // host tail-plane base
+  const std::size_t local_nz = n_ / shards_;
+  const std::size_t nd = group_->size();
+  const bool forward = desc_.dir == Direction::Forward;
+
+  const std::size_t slab_elems = plane * std::max(local_nz, shards_);
+  std::vector<ResourceCache::Lease<float>> leases;
+  std::vector<std::unique_ptr<sim::Stream>> streams;
+  leases.reserve(2 * nd);
+  streams.reserve(2 * nd);
+  for (std::size_t d = 0; d < nd; ++d) {
+    auto& dev = group_->device(d);
+    leases.push_back(ResourceCache::of(dev).lease<float>(slab_elems));
+    leases.push_back(ResourceCache::of(dev).lease<float>(slab_elems));
+    streams.push_back(std::make_unique<sim::Stream>(dev));
+    streams.push_back(std::make_unique<sim::Stream>(dev));
+  }
+  auto slab_of = [&](std::size_t d, std::size_t i) -> DeviceBuffer<cxf>& {
+    return leases[2 * d + i].buffer();
+  };
+  auto stream_of = [&](std::size_t d, std::size_t i) -> sim::Stream& {
+    return *streams[2 * d + i];
+  };
+
+  const double start_ms = group_->elapsed_ms();
+  ShardedTiming timing;
+  timing.devices.resize(nd);
+
+  // ---- Phase 1: residue I on device I mod N ----
+  // Forward: full real slab plan (r2c X + coarse Y/local-Z) + twiddle.
+  // Inverse: coarse Y/local-Z ranks only (the c2r pass needs the full Z
+  // axis, which phase 2 reassembles) + twiddle.
+  for (std::size_t residue = 0; residue < shards_; ++residue) {
+    const std::size_t d = residue % nd;
+    const std::size_t local = residue / nd;
+    auto& dev = group_->device(d);
+    ShardTiming& t = timing.devices[d];
+    sim::Stream& s = stream_of(d, local % 2);
+    auto& slab = slab_of(d, local % 2);
+    const unsigned grid = default_grid_blocks(dev.spec());
+    const std::size_t slab_tail = mrow * local_nz;  // slab tail-region base
+
+    const std::span<const cxf> host_src = host_data;
+    for (std::size_t j = 0; j < local_nz; ++j) {
+      const std::size_t z = residue + shards_ * j;
+      t.h2d1_ms += dev.h2d_async(slab, host_src.subspan(z * mrow, mrow), s,
+                                 j * mrow);
+      t.h2d1_ms += dev.h2d_async(
+          slab, host_src.subspan(tail + z * n_, n_), s, slab_tail + j * n_);
+    }
+
+    if (forward) {
+      for (const auto& step : slab_plans_[d]->execute_async(slab, s)) {
+        t.fft1_ms += step.ms;
+      }
+    } else {
+      const Device::StreamGuard guard(dev, s);
+      t.fft1_ms += run_real_coarse_slab<float>(dev, slab, slab_shape_,
+                                               desc_.dir);
+    }
+
+    // Inter-rank Z twiddles over both layout regions of the slab.
+    SlabTwiddleKernel tw_main(slab, Shape3{n_ / 2, n_, local_nz}, n_,
+                              residue, desc_.dir, grid);
+    t.twiddle_ms += dev.launch_async(tw_main, s).total_ms;
+    SlabTwiddleKernel tw_tail(slab, Shape3{1, n_, local_nz}, n_, residue,
+                              desc_.dir, grid, slab_tail);
+    t.twiddle_ms += dev.launch_async(tw_tail, s).total_ms;
+
+    // The download IS the all-to-all send — and it carries (n/2+1)/n of
+    // the complex plan's bytes, the point of the real layout.
+    for (std::size_t k = 0; k < local_nz; ++k) {
+      const std::size_t z = residue + shards_ * k;
+      t.d2h1_ms += dev.d2h_async(
+          std::span<cxf>(host_work_).subspan(z * mrow, mrow), slab, s,
+          k * mrow);
+      t.d2h1_ms += dev.d2h_async(
+          std::span<cxf>(host_work_).subspan(tail + z * n_, n_), slab, s,
+          slab_tail + k * n_);
+      t.exchange_bytes += plane * sizeof(cxf);
+    }
+  }
+
+  // Group-wide phase boundary (see ShardedFft3DPlan::execute).
+  double barrier = start_ms;
+  for (const auto& s : streams) barrier = std::max(barrier, s->ready_ms());
+  for (auto& s : streams) s->wait_until_ms(barrier);
+  timing.barrier_ms = barrier - start_ms;
+
+  // ---- Phase 2: contiguous block of plane groups per device ----
+  const std::size_t groups_per_dev = local_nz / nd;
+  const std::size_t slab2_tail = mrow * shards_;  // slab tail-region base
+  for (std::size_t e = 0; e < nd; ++e) {
+    auto& dev = group_->device(e);
+    ShardTiming& t = timing.devices[e];
+    const unsigned grid = default_grid_blocks(dev.spec());
+    for (std::size_t g = 0; g < groups_per_dev; ++g) {
+      const std::size_t k = e * groups_per_dev + g;
+      sim::Stream& s = stream_of(e, g % 2);
+      auto& slab = slab_of(e, g % 2);
+
+      t.h2d2_ms += dev.h2d_async(
+          slab,
+          std::span<const cxf>(host_work_)
+              .subspan(shards_ * k * mrow, shards_ * mrow),
+          s);
+      t.h2d2_ms += dev.h2d_async(
+          slab,
+          std::span<const cxf>(host_work_)
+              .subspan(tail + shards_ * k * n_, shards_ * n_),
+          s, slab2_tail);
+      t.exchange_bytes += shards_ * plane * sizeof(cxf);
+
+      ZPencilFftKernel fft_main(slab, Shape3{n_ / 2, n_, shards_},
+                                desc_.dir, grid);
+      t.fft2_ms += dev.launch_async(fft_main, s).total_ms;
+      ZPencilFftKernel fft_tail(slab, Shape3{1, n_, shards_}, desc_.dir,
+                                grid, slab2_tail);
+      t.fft2_ms += dev.launch_async(fft_tail, s).total_ms;
+
+      if (!forward) {
+        // Z is whole again: finish with the fused c2r pass, folding the
+        // full 1/(n/2 * n * n) normalization (true inverse).
+        RealFineParams fp;
+        fp.nx = n_;
+        fp.count = n_ * shards_;
+        fp.grid_blocks = grid;
+        fp.threads_per_block = static_cast<unsigned>(
+            std::max<std::size_t>(n_ / 8, kDefaultThreadsPerBlock));
+        fp.scale = 1.0 / (static_cast<double>(n_ / 2) *
+                          static_cast<double>(n_) * static_cast<double>(n_));
+        RealFineC2RKernel c2r(slab, fp, tw_half_[e].get(), tw_full_[e].get());
+        t.fft2_ms += dev.launch_async(c2r, s).total_ms;
+      }
+
+      for (std::size_t k2 = 0; k2 < shards_; ++k2) {
+        const std::size_t z = k + local_nz * k2;
+        t.d2h2_ms += dev.d2h_async(host_data.subspan(z * mrow, mrow), slab,
+                                   s, k2 * mrow);
+        t.d2h2_ms += dev.d2h_async(host_data.subspan(tail + z * n_, n_),
+                                   slab, s, slab2_tail + k2 * n_);
+      }
+    }
+  }
+
+  group_->sync_all();
+  timing.makespan_ms = group_->elapsed_ms() - start_ms;
+  last_timing_ = timing;
+  last_total_ms_ = timing.makespan_ms;
+  return timing;
+}
+
+std::vector<StepTiming> ShardedRealFft3DPlan::execute_host(
+    std::span<cxf> data) {
+  const ShardedTiming t = execute(data);
+  ShardTiming sum;
+  for (const auto& d : t.devices) {
+    sum.h2d1_ms += d.h2d1_ms;
+    sum.fft1_ms += d.fft1_ms;
+    sum.twiddle_ms += d.twiddle_ms;
+    sum.d2h1_ms += d.d2h1_ms;
+    sum.h2d2_ms += d.h2d2_ms;
+    sum.fft2_ms += d.fft2_ms;
+    sum.d2h2_ms += d.d2h2_ms;
+  }
+  const double bytes = static_cast<double>(buffer_elements()) * sizeof(cxf);
+  auto row = [&](const char* name, double ms) {
+    return StepTiming{name, ms, ms > 0.0 ? 2.0 * bytes / (ms * 1e6) : 0.0};
+  };
+  std::vector<StepTiming> steps{
+      row("phase1 send", sum.h2d1_ms),
+      row("phase1 slab FFT", sum.fft1_ms),
+      row("phase1 twiddle", sum.twiddle_ms),
+      row("exchange receive", sum.d2h1_ms),
+      row("exchange send", sum.h2d2_ms),
+      row("phase2 pencil FFT", sum.fft2_ms),
+      row("phase2 receive", sum.d2h2_ms),
+  };
+  finish(steps);
+  last_total_ms_ = t.makespan_ms;
+  return steps;
 }
 
 ShardPhases probe_shard_phases(const sim::GpuSpec& spec, std::size_t n,

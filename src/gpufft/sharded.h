@@ -150,6 +150,73 @@ class ShardedFft3DPlan final : public PlanBaseT<float> {
   ShardedTiming last_timing_{};
 };
 
+/// Sharded r2c/c2r cube over the split half-spectrum layout (real3d.h):
+/// the same Z-decimated schedule as ShardedFft3DPlan, but every staged
+/// plane is (n/2+1)*n complex elements (a contiguous (n/2)*n main span
+/// plus its n-element Nyquist tail row), so the host-staged all-to-all
+/// moves (n/2+1)/n (~half) of the complex exchange bytes — directly
+/// attacking the bridge bound that is ~40% of the complex makespan.
+///
+/// Forward phase 1 runs the registry-obtained real slab plan (fused r2c
+/// X fine + coarse Y/local-Z ranks) per residue; phase 2 is the usual
+/// pencil Z FFT over both layout regions. The inverse cannot run its c2r
+/// fine pass in phase 1 (the Z axis is still decimated), so phase 1 runs
+/// only the coarse Y/local-Z ranks (run_real_coarse_slab) and phase 2
+/// finishes pencil Z + the fused c2r kernel, which folds the full
+/// normalization — a true inverse, like RealFft3DT. Decimation
+/// arithmetic depends only on `shards`, so results are bit-identical
+/// across device counts and spec mixes.
+class ShardedRealFft3DPlan final : public PlanBaseT<float> {
+ public:
+  /// Same divisibility constraints as ShardedFft3DPlan, plus the real
+  /// X-fine constraint n >= 32 (power of two).
+  ShardedRealFft3DPlan(sim::DeviceGroup& group, std::size_t n,
+                       std::size_t shards, Direction dir);
+
+  /// Transform a host-resident split-layout volume ((n/2+1)*n*n complex
+  /// elements, pack_real_volume layout) in place.
+  ShardedTiming execute(std::span<cxf> host_data);
+
+  /// Unsupported: the volume is distributed, never on one card.
+  std::vector<StepTiming> execute(DeviceBuffer<cxf>& data) override;
+
+  /// The FftPlan host entry point (phase rows summed across devices).
+  std::vector<StepTiming> execute_host(std::span<cxf> data) override;
+
+  [[nodiscard]] std::size_t buffer_elements() const override {
+    return (n_ / 2 + 1) * n_ * n_;
+  }
+
+  /// Two slab staging buffers per member device.
+  [[nodiscard]] std::size_t workspace_bytes() const override {
+    return group_->size() * 2 * (n_ / 2 + 1) * n_ *
+           std::max(n_ / shards_, shards_) * sizeof(cxf);
+  }
+
+  [[nodiscard]] sim::DeviceGroup& group() const { return *group_; }
+  [[nodiscard]] std::size_t n() const { return n_; }
+  [[nodiscard]] std::size_t shards() const { return shards_; }
+
+  /// Breakdown of the last execute()/execute_host().
+  [[nodiscard]] const ShardedTiming& last_timing() const {
+    return last_timing_;
+  }
+
+ private:
+  sim::DeviceGroup* group_;
+  std::size_t n_;
+  std::size_t shards_;
+  Shape3 slab_shape_;         ///< logical real slab (n, n, n/shards)
+  /// Forward only: one registry real slab plan per device.
+  std::vector<std::shared_ptr<FftPlan>> slab_plans_;
+  /// Inverse only: per-device c2r twiddle tables (n/2 stages, n pack).
+  std::vector<std::shared_ptr<const DeviceBuffer<cxf>>> tw_half_;
+  std::vector<std::shared_ptr<const DeviceBuffer<cxf>>> tw_full_;
+  std::vector<cxf> host_work_;
+  sim::DeviceGroup::HostStagingLease staging_lease_;
+  ShardedTiming last_timing_{};
+};
+
 /// Serially-measured durations of the seven per-iteration phases of the
 /// sharded schedule, probed on a scratch device (pass the group member's
 /// bridge-derated spec). up1/fft1/twiddle/dn1 are per phase-1 residue;

@@ -1,0 +1,233 @@
+// Staged Stockham machinery shared by the fine-grained X-axis kernels.
+//
+// One n-point transform is computed cooperatively by n/4 threads, each
+// holding four complex values in registers; stages are radix-4 (radix-2
+// fixup for n = 2*4^k) ranks, and between stages the values cross threads
+// through shared memory exchanging all real parts first, then all
+// imaginary parts (Section 3.2's half-footprint exchange). The complex
+// step-5 kernel (fine_kernel.*) and the real pack/unpack kernels
+// (real_kernels.*) differ only in how stage-0 inputs are produced and
+// where the natural-order outputs go, so run_fine_stages() takes those as
+// callbacks and keeps every butterfly, twiddle index, and shared-memory
+// access pattern in one place.
+#pragma once
+
+#include <cmath>
+#include <vector>
+
+#include "gpufft/smallfft.h"
+#include "gpufft/types.h"
+
+namespace repro::gpufft {
+
+/// Padded shared-memory index: insert one word every 16 so that the
+/// power-of-two strides of the butterfly exchange spread across banks.
+constexpr std::size_t shmem_pad(std::size_t i) { return i + i / 16; }
+
+/// Addressing/loop cycles per thread per stage of one transform.
+inline constexpr double kFineAddressingCyclesPerStage = 22.0;
+
+/// One Stockham rank of the staged fine-grained FFT.
+struct FineStage {
+  std::size_t radix;
+  std::size_t l;  ///< twiddle groups
+  std::size_t m;  ///< butterfly span
+};
+
+/// Radix-4/2 stage decomposition of an n-point transform (n a power of
+/// two, >= 16 so every thread owns exactly four values).
+inline std::vector<FineStage> fine_stages(std::size_t n) {
+  std::vector<FineStage> sts;
+  std::size_t m = 1;
+  while (m < n) {
+    const std::size_t rem = n / m;
+    const std::size_t radix = rem % 4 == 0 ? 4 : 2;
+    sts.push_back(FineStage{radix, rem / radix, m});
+    m *= radix;
+  }
+  return sts;
+}
+
+/// FP operations of one staged n-point transform as implemented.
+inline double fine_flops_per_transform(std::size_t n) {
+  double flops = 0.0;
+  std::size_t m = 1;
+  while (m < n) {
+    const std::size_t radix = (n / m) % 4 == 0 ? 4 : 2;
+    const double butterflies = static_cast<double>(n / radix);
+    flops += butterflies *
+             (radix == 4 ? fft::kFft4Flops + 3.0 * 6.0 : 4.0 + 6.0);
+    m *= radix;
+  }
+  return flops;
+}
+
+/// Minimum per-transform element stride of the exchange window in shared
+/// memory (n scalars plus anti-bank-conflict padding).
+constexpr std::size_t fine_min_sh_stride(std::size_t n) {
+  return shmem_pad(n - 1) + 1;
+}
+
+/// Run every stage of one wave of transforms: the block's `txs_pb`
+/// transform groups starting at group index `base` (groups past `count`
+/// are idle). Callbacks:
+///   load(t, tx, pos)      -> cx<T>   stage-0 input `pos` of transform tx
+///   store(t, tx, pos, v)             natural-order output `pos`
+///   twiddle(t, idx)       -> cx<T>   W_n^idx through the kernel's path
+/// `sh` is the exchange window (stride `sh_stride` >= fine_min_sh_stride(n)
+/// elements per transform); `vals`/`tmp` are the emulated per-thread
+/// registers (4 per thread), allocated once by the caller across waves.
+/// The callbacks run inside barrier phases: `load` may read shared data
+/// written in a phase before this call, and `store` may overwrite the
+/// exchange window (the final phase no longer reads it).
+template <typename T, typename Load, typename Store, typename Twiddle>
+void run_fine_stages(sim::BlockCtx& ctx, const std::vector<FineStage>& sts,
+                     std::size_t n, int sign, sim::SharedView<T>& sh,
+                     std::size_t sh_stride, std::size_t base,
+                     std::size_t count, cx<T>* vals, T* tmp, Load&& load,
+                     Store&& store, Twiddle&& twiddle) {
+  const std::size_t tpt = n / 4;
+  const std::size_t n_stages = sts.size();
+
+  // Butterfly of stage `st` for work unit u, reading from v[0..radix) and
+  // writing the twiddled outputs back into v.
+  auto butterfly = [&](sim::ThreadCtx& t, const FineStage& st,
+                       std::size_t u, cx<T>* v) {
+    const std::size_t j = u / st.m;
+    if (st.radix == 4) {
+      fft::fft4(v, sign);
+      for (std::size_t r = 1; r < 4; ++r) {
+        v[r] = twiddle(t, j * st.m * r) * v[r];
+      }
+    } else {
+      const cx<T> d = v[0] - v[1];
+      v[0] = v[0] + v[1];
+      v[1] = twiddle(t, j * st.m) * d;
+    }
+  };
+
+  // ---- stage 0: load through the caller (coalesced: lane-consecutive) ----
+  {
+    const FineStage& st = sts[0];
+    const std::size_t bpt = 4 / st.radix;
+    ctx.threads([&](sim::ThreadCtx& t) {
+      const std::size_t sub = t.tid / tpt;
+      const std::size_t lane = t.tid % tpt;
+      const std::size_t tx = base + sub;
+      if (tx >= count) return;
+      for (std::size_t b = 0; b < bpt; ++b) {
+        const std::size_t u = lane + b * tpt;
+        const std::size_t j = u / st.m;
+        const std::size_t k = u % st.m;
+        cx<T> v[4];
+        for (std::size_t q = 0; q < st.radix; ++q) {
+          v[q] = load(t, tx, k + st.m * (j + st.l * q));
+        }
+        butterfly(t, st, u, v);
+        for (std::size_t r = 0; r < st.radix; ++r) {
+          vals[t.tid * 4 + b * st.radix + r] = v[r];
+        }
+      }
+    });
+  }
+
+  // ---- inter-stage exchanges through shared memory ----
+  for (std::size_t si = 1; si < n_stages; ++si) {
+    const FineStage& prev = sts[si - 1];
+    const FineStage& st = sts[si];
+    const std::size_t bpt = 4 / st.radix;
+
+    // Positions this thread's current values occupy (previous stage's
+    // outputs) and the positions it needs next.
+    auto out_pos = [&](std::size_t lane, std::size_t slot) {
+      const std::size_t b = slot / prev.radix;
+      const std::size_t r = slot % prev.radix;
+      const std::size_t u = lane + b * tpt;
+      const std::size_t j = u / prev.m;
+      const std::size_t k = u % prev.m;
+      return k + prev.m * (prev.radix * j + r);
+    };
+    auto in_pos = [&](std::size_t lane, std::size_t slot) {
+      const std::size_t b = slot / st.radix;
+      const std::size_t q = slot % st.radix;
+      const std::size_t u = lane + b * tpt;
+      const std::size_t j = u / st.m;
+      const std::size_t k = u % st.m;
+      return k + st.m * (j + st.l * q);
+    };
+
+    // Real parts: write all, then read all (paper's half-footprint
+    // exchange), then the same for imaginary parts.
+    ctx.threads([&](sim::ThreadCtx& t) {
+      const std::size_t sub = t.tid / tpt;
+      const std::size_t lane = t.tid % tpt;
+      if (base + sub >= count) return;
+      const std::size_t shb = sub * sh_stride;
+      for (std::size_t s = 0; s < 4; ++s) {
+        sh.store(t, shb + shmem_pad(out_pos(lane, s)),
+                 vals[t.tid * 4 + s].re);
+      }
+    });
+    ctx.threads([&](sim::ThreadCtx& t) {
+      const std::size_t sub = t.tid / tpt;
+      const std::size_t lane = t.tid % tpt;
+      if (base + sub >= count) return;
+      const std::size_t shb = sub * sh_stride;
+      for (std::size_t s = 0; s < 4; ++s) {
+        tmp[t.tid * 4 + s] = sh.load(t, shb + shmem_pad(in_pos(lane, s)));
+      }
+    });
+    ctx.threads([&](sim::ThreadCtx& t) {
+      const std::size_t sub = t.tid / tpt;
+      const std::size_t lane = t.tid % tpt;
+      if (base + sub >= count) return;
+      const std::size_t shb = sub * sh_stride;
+      for (std::size_t s = 0; s < 4; ++s) {
+        sh.store(t, shb + shmem_pad(out_pos(lane, s)),
+                 vals[t.tid * 4 + s].im);
+      }
+    });
+    ctx.threads([&](sim::ThreadCtx& t) {
+      const std::size_t sub = t.tid / tpt;
+      const std::size_t lane = t.tid % tpt;
+      if (base + sub >= count) return;
+      const std::size_t shb = sub * sh_stride;
+      // Assemble the next stage's inputs and run its butterflies.
+      cx<T> next[4];
+      for (std::size_t s = 0; s < 4; ++s) {
+        next[s] = cx<T>{tmp[t.tid * 4 + s],
+                        sh.load(t, shb + shmem_pad(in_pos(lane, s)))};
+      }
+      for (std::size_t b = 0; b < bpt; ++b) {
+        const std::size_t u = lane + b * tpt;
+        butterfly(t, st, u, next + b * st.radix);
+      }
+      for (std::size_t s = 0; s < 4; ++s) {
+        vals[t.tid * 4 + s] = next[s];
+      }
+    });
+  }
+
+  // ---- final store through the caller (coalesced) ----
+  {
+    const FineStage& st = sts.back();
+    ctx.threads([&](sim::ThreadCtx& t) {
+      const std::size_t sub = t.tid / tpt;
+      const std::size_t lane = t.tid % tpt;
+      const std::size_t tx = base + sub;
+      if (tx >= count) return;
+      const std::size_t bpt = 4 / st.radix;
+      for (std::size_t b = 0; b < bpt; ++b) {
+        const std::size_t u = lane + b * tpt;
+        const std::size_t j = u / st.m;
+        const std::size_t k = u % st.m;
+        for (std::size_t r = 0; r < st.radix; ++r) {
+          store(t, tx, k + st.m * (st.radix * j + r),
+                vals[t.tid * 4 + b * st.radix + r]);
+        }
+      }
+    });
+  }
+}
+
+}  // namespace repro::gpufft

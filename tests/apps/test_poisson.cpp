@@ -62,6 +62,47 @@ TEST(Poisson, GpuMatchesHost) {
   EXPECT_LT(rel_l2_error<float>(gpu, host), 1e-4);
 }
 
+TEST(Poisson, RealSolverMatchesComplexSolver) {
+  // The r2c/c2r path must reproduce the complex-plan solve on real input
+  // (both run on the same device so the registry serves both plan kinds).
+  const Shape3 shape = cube(32);
+  auto f = random_complex<float>(shape.volume(), 11);
+  cxd mean{0, 0};
+  for (auto& v : f) {
+    v.im = 0.0f;
+    mean += cxd{v.re, 0.0};
+  }
+  const float m = static_cast<float>(mean.re / static_cast<double>(f.size()));
+  for (auto& v : f) v.re -= m;
+  std::vector<float> fr(f.size());
+  for (std::size_t i = 0; i < f.size(); ++i) fr[i] = f[i].re;
+
+  sim::Device dev(sim::geforce_8800_gts());
+  for (const auto eig : {Eigenvalues::Spectral, Eigenvalues::Discrete}) {
+    const auto real = solve_poisson_gpu_real(dev, shape, fr, eig);
+    const auto cplx = solve_poisson_gpu(dev, shape, f, eig);
+    std::vector<cxf> rc(real.size());
+    for (std::size_t i = 0; i < real.size(); ++i) rc[i] = {real[i], 0.0f};
+    std::vector<cxf> cc(cplx.size());
+    for (std::size_t i = 0; i < cplx.size(); ++i) cc[i] = {cplx[i].re, 0.0f};
+    EXPECT_LT(rel_l2_error<float>(rc, cc), 1e-5);
+  }
+}
+
+TEST(Poisson, RealSolverLeavesTinyStencilResidual) {
+  const Shape3 shape = cube(32);
+  const auto f = sine_mode(shape, 1, 2, 0);
+  std::vector<float> fr(f.size());
+  for (std::size_t i = 0; i < f.size(); ++i) fr[i] = f[i].re;
+
+  sim::Device dev(sim::geforce_8800_gtx());
+  const auto u = solve_poisson_gpu_real(dev, shape, fr,
+                                        Eigenvalues::Discrete);
+  std::vector<cxf> uc(u.size());
+  for (std::size_t i = 0; i < u.size(); ++i) uc[i] = {u[i], 0.0f};
+  EXPECT_LT(discrete_residual(shape, uc, f), 1e-4);
+}
+
 TEST(Poisson, DiscreteEigenvaluesGiveTinyStencilResidual) {
   const Shape3 shape = cube(16);
   const auto f = sine_mode(shape, 1, 2, 0);

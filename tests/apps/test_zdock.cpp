@@ -163,15 +163,55 @@ TEST(Docking, MultiRotationSweepConfinesTraffic) {
 
   EXPECT_EQ(result.per_rotation.size(), 4u);
   EXPECT_GT(result.device_ms, 0.0);
-  // Confinement: uploads are one ligand grid per rotation; downloads are
-  // only the tiny argmax candidate lists.
+  // Confinement: uploads are one ligand grid per rotation — in the
+  // (default) real pipeline a split half-spectrum grid, (nx/2+1)*ny*nz
+  // complex elements, ~half the complex volume — and downloads are only
+  // the tiny argmax candidate lists.
+  EXPECT_TRUE(engine.uses_real_plans());
   const std::uint64_t volume_bytes = shape.volume() * sizeof(cxf);
-  EXPECT_EQ(result.h2d_bytes, rots.size() * volume_bytes);
+  const std::uint64_t grid_bytes =
+      (shape.nx / 2 + 1) * shape.ny * shape.nz * sizeof(cxf);
+  EXPECT_LT(grid_bytes, volume_bytes * 0.6);
+  EXPECT_EQ(result.h2d_bytes, rots.size() * grid_bytes);
   EXPECT_LT(result.d2h_bytes, volume_bytes / 10);
   // Global best is the max over rotations.
   for (const auto& p : result.per_rotation) {
     EXPECT_LE(p.score, result.best.score + 1e-6);
   }
+}
+
+TEST(Docking, RealAndComplexPipelinesAgree) {
+  // The r2c/c2r engine must report the same poses as the complex one —
+  // same translations, same scores to FFT rounding — while uploading
+  // roughly half the bytes per rotation.
+  const Shape3 shape = cube(32);
+  const auto receptor = make_chain_molecule(26, 8.5, 12, 2.0);
+  const auto ligand = make_chain_molecule(7, 4.0, 13, 2.0);
+  const auto rots = rotation_sweep(3);
+
+  sim::Device dev(sim::geforce_8800_gts());
+  DockingEngine real_engine(dev, shape);
+  EXPECT_TRUE(real_engine.uses_real_plans());
+  real_engine.set_receptor(receptor);
+  dev.reset_clock();
+  const auto real_result = real_engine.dock(ligand, rots);
+
+  DockingEngine cplx_engine(dev, shape, GridParams{}, /*use_real=*/false);
+  EXPECT_FALSE(cplx_engine.uses_real_plans());
+  cplx_engine.set_receptor(receptor);
+  const auto cplx_result = cplx_engine.dock(ligand, rots);
+
+  ASSERT_EQ(real_result.per_rotation.size(), cplx_result.per_rotation.size());
+  for (std::size_t r = 0; r < rots.size(); ++r) {
+    const auto& a = real_result.per_rotation[r];
+    const auto& b = cplx_result.per_rotation[r];
+    EXPECT_EQ(a.tx, b.tx) << "rotation " << r;
+    EXPECT_EQ(a.ty, b.ty) << "rotation " << r;
+    EXPECT_EQ(a.tz, b.tz) << "rotation " << r;
+    EXPECT_NEAR(a.score, b.score, 1e-2 * (1.0 + std::abs(b.score)));
+  }
+  EXPECT_LT(real_result.h2d_bytes,
+            cplx_result.h2d_bytes * 0.6);
 }
 
 }  // namespace

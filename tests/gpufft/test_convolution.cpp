@@ -119,6 +119,101 @@ TEST(Convolution, ArgmaxMatchesHostScan) {
               1e-3f * std::abs(volume[host_best].re) + 1e-3f);
 }
 
+TEST(Convolution, RealModeMatchesComplexMode) {
+  // Real-valued grids through the r2c/c2r pipeline must score like the
+  // complex pipeline (both FFT paths carry ~1e-6 relative rounding).
+  const Shape3 shape = cube(32);
+  SplitMix64 rng(17);
+  std::vector<float> signal(shape.volume());
+  std::vector<float> filter(shape.volume());
+  for (auto& v : signal) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+  for (auto& v : filter) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+  std::vector<cxf> csignal(shape.volume());
+  std::vector<cxf> cfilter(shape.volume());
+  for (std::size_t i = 0; i < shape.volume(); ++i) {
+    csignal[i] = {signal[i], 0.0f};
+    cfilter[i] = {filter[i], 0.0f};
+  }
+
+  Device dev(sim::geforce_8800_gts());
+  Convolution3D cconv(dev, shape);
+  cconv.set_filter(cfilter);
+  const auto cscores = cconv.correlate(csignal);
+
+  Convolution3D rconv(dev, shape, Layout::RealHalfSpectrum);
+  rconv.set_filter_real(filter);
+  const auto rscores = rconv.correlate_real(signal);
+
+  std::vector<cxf> rc(rscores.size());
+  for (std::size_t i = 0; i < rscores.size(); ++i) rc[i] = {rscores[i], 0.0f};
+  std::vector<cxf> cc(cscores.size());
+  for (std::size_t i = 0; i < cscores.size(); ++i) cc[i] = {cscores[i].re, 0.0f};
+  EXPECT_LT(rel_l2_error<float>(rc, cc), 1e-4);
+}
+
+TEST(Convolution, RealBestTranslationFindsPlantedPeak) {
+  // Odd X offset on purpose: the winning score then sits in a packed
+  // slot's .im half, exercising the packed argmax's index reconstruction.
+  const Shape3 shape = cube(32);
+  const std::size_t off_x = 7;
+  const std::size_t off_y = 12;
+  const std::size_t off_z = 21;
+
+  SplitMix64 rng(34);
+  std::vector<float> filter(shape.volume());
+  for (std::size_t i = 0; i < 200; ++i) {
+    filter[rng.below(shape.volume())] = 1.0f;
+  }
+  std::vector<float> signal(shape.volume());
+  for (std::size_t z = 0; z < shape.nz; ++z) {
+    for (std::size_t y = 0; y < shape.ny; ++y) {
+      for (std::size_t x = 0; x < shape.nx; ++x) {
+        signal[shape.at((x + off_x) % shape.nx, (y + off_y) % shape.ny,
+                        (z + off_z) % shape.nz)] = filter[shape.at(x, y, z)];
+      }
+    }
+  }
+
+  Device dev(sim::geforce_8800_gt());
+  Convolution3D conv(dev, shape, Layout::RealHalfSpectrum);
+  conv.set_filter_real(filter);
+  const BestMatch best = conv.best_translation_real(signal);
+  EXPECT_EQ(best.index, shape.at(off_x, off_y, off_z));
+}
+
+TEST(Convolution, RealPackedArgmaxMatchesHostScan) {
+  const Shape3 shape = cube(32);
+  SplitMix64 rng(35);
+  std::vector<float> signal(shape.volume());
+  std::vector<float> filter(shape.volume());
+  for (auto& v : signal) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+  for (auto& v : filter) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+
+  Device dev(sim::geforce_8800_gtx());
+  Convolution3D conv(dev, shape, Layout::RealHalfSpectrum);
+  conv.set_filter_real(filter);
+  const auto volume = conv.correlate_real(signal);
+  const BestMatch best = conv.best_translation_real(signal);
+  std::size_t host_best = 0;
+  for (std::size_t i = 1; i < volume.size(); ++i) {
+    if (volume[i] > volume[host_best]) host_best = i;
+  }
+  EXPECT_EQ(best.index, host_best);
+  EXPECT_NEAR(best.score, volume[host_best],
+              1e-3f * std::abs(volume[host_best]) + 1e-3f);
+}
+
+TEST(Convolution, LayoutGuardsEntryPoints) {
+  const Shape3 shape = cube(32);
+  Device dev(sim::geforce_8800_gt());
+  Convolution3D cconv(dev, shape);
+  Convolution3D rconv(dev, shape, Layout::RealHalfSpectrum);
+  const std::vector<float> reals(shape.volume());
+  const std::vector<cxf> cplx(shape.volume());
+  EXPECT_THROW(cconv.set_filter_real(reals), Error);
+  EXPECT_THROW(rconv.set_filter(cplx), Error);
+}
+
 TEST(PointwiseMultiply, ConjugateOption) {
   Device dev(sim::geforce_8800_gt());
   const std::size_t n = 1024;
