@@ -1,15 +1,40 @@
 // Numerical-accuracy metrics used by tests and the verification paths of the
-// examples: relative L2 error and max absolute error between complex arrays.
+// examples (relative L2 error, max absolute error), plus the process-wide
+// recovery counters the fault-recovery policies report through.
 #pragma once
 
 #include <cmath>
 #include <cstddef>
+#include <cstdint>
 #include <span>
 
 #include "common/check.h"
 #include "common/complex.h"
 
 namespace repro {
+
+/// How often each recovery policy had to act. Process-wide running totals
+/// (the simulator is single-threaded): the staging layer counts transient
+/// re-stages and checksum-failure re-stages, the registry/cache count
+/// watermark and out-of-memory evictions and post-eviction retries, and
+/// the sharded plans count device-lost failovers. Tests read deltas around
+/// the operation under test; reset() re-zeroes everything.
+struct RecoveryCounters {
+  std::uint64_t transient_retries = 0;      ///< re-stages after a transient
+  std::uint64_t corruption_restages = 0;    ///< re-stages after bad checksum
+  std::uint64_t oom_evictions = 0;          ///< plans/blocks evicted on OOM
+  std::uint64_t oom_retries = 0;            ///< allocations retried post-evict
+  std::uint64_t watermark_evictions = 0;    ///< evictions to hold a watermark
+  std::uint64_t device_lost_failovers = 0;  ///< sharded re-shard recoveries
+
+  void reset() { *this = RecoveryCounters{}; }
+};
+
+/// The process-wide counter instance.
+inline RecoveryCounters& recovery_counters() {
+  static RecoveryCounters counters;
+  return counters;
+}
 
 /// ||a - b||_2 / ||b||_2 (b is the reference). Accumulates in double.
 template <typename T>

@@ -19,14 +19,25 @@
 //
 // One cache lives on each sim::Device (Device::local<ResourceCache>());
 // use ResourceCache::of(dev).
+//
+// Memory pressure: set_byte_watermark(bytes) arms a device-memory budget.
+// Before any allocation that would push Device::allocated_bytes() past the
+// watermark the cache evicts its idle resources (unleased arena blocks,
+// twiddle tables no live plan references) instead of growing, and any
+// allocation that still lands on OutOfDeviceMemory triggers one
+// evict-and-retry before the error propagates. With the watermark off
+// (the default) the arena behaves exactly as before — grow-in-place,
+// never shrink — so existing peak statistics are undisturbed.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <map>
 #include <memory>
 #include <utility>
 #include <vector>
 
+#include "common/metrics.h"
 #include "gpufft/plan_desc.h"
 #include "gpufft/smallfft.h"
 #include "gpufft/types.h"
@@ -80,8 +91,12 @@ class ResourceCache {
       return it->second;
     }
     ++twiddle_uploads_;
+    if (watermark_ != 0 &&
+        dev_.allocated_bytes() + n * sizeof(cx<T>) > watermark_) {
+      recovery_counters().watermark_evictions += trim_idle().items;
+    }
     auto table = std::make_shared<const DeviceBuffer<cx<T>>>(
-        upload_roots<T>(dev_, n, dir));
+        upload_roots_with_retry<T>(n, dir));
     map.emplace(key, table);
     return table;
   }
@@ -157,41 +172,37 @@ class ResourceCache {
   /// Lease a workspace of at least `count` elements of cx<T>.
   template <typename T>
   Lease<T> lease(std::size_t count) {
-    auto& pool = workspace_pool<T>();
     ++workspace_leases_;
-    // Smallest free block that fits.
-    std::shared_ptr<Block<T>>* best = nullptr;
-    std::shared_ptr<Block<T>>* largest_free = nullptr;
-    for (auto& b : pool) {
-      if (b->in_use) continue;
-      if (!largest_free ||
-          b->buf.size() > (*largest_free)->buf.size()) {
-        largest_free = &b;
-      }
-      if (b->buf.size() >= count &&
-          (!best || b->buf.size() < (*best)->buf.size())) {
-        best = &b;
-      }
-    }
-    std::shared_ptr<Block<T>> block;
-    if (best != nullptr) {
-      block = *best;
-    } else if (largest_free != nullptr) {
-      // Grow an idle block in place of allocating another: the arena
-      // converges on the high-water-mark footprint.
-      (*largest_free)->buf = dev_.alloc<cx<T>>(count);
-      ++workspace_allocs_;
-      block = *largest_free;
-    } else {
-      block = std::make_shared<Block<T>>();
-      block->buf = dev_.alloc<cx<T>>(count);
-      ++workspace_allocs_;
-      pool.push_back(block);
-    }
+    std::shared_ptr<Block<T>> block = acquire_block<T>(count);
     block->in_use = true;
     leased_bytes_ += block->buf.size() * sizeof(cx<T>);
     high_water_bytes_ = std::max(high_water_bytes_, leased_bytes_);
     return Lease<T>(this, std::move(block));
+  }
+
+  // ---- Memory watermark ----
+
+  /// Arm (or with 0, disarm) a device-memory budget in bytes: allocations
+  /// that would push Device::allocated_bytes() past it evict idle cache
+  /// resources first, and OutOfDeviceMemory triggers one evict-and-retry.
+  void set_byte_watermark(std::size_t bytes) { watermark_ = bytes; }
+  [[nodiscard]] std::size_t byte_watermark() const { return watermark_; }
+
+  struct TrimResult {
+    std::size_t bytes = 0;  ///< device bytes freed
+    std::size_t items = 0;  ///< blocks + tables evicted
+  };
+
+  /// Free every idle arena block and every twiddle table no plan holds a
+  /// reference to. Leased blocks and referenced tables are untouched, so
+  /// this is always safe to call; it only costs re-allocation later.
+  TrimResult trim_idle() {
+    TrimResult r;
+    trim_pool(pool_f32_, r);
+    trim_pool(pool_f64_, r);
+    trim_twiddles(tw_f32_, r);
+    trim_twiddles(tw_f64_, r);
+    return r;
   }
 
   /// Bytes currently leased out.
@@ -251,6 +262,105 @@ class ResourceCache {
     }
   }
 
+  /// Find or create a block of >= count elements, honouring the watermark
+  /// and recovering from OutOfDeviceMemory by evicting idle resources.
+  template <typename T>
+  std::shared_ptr<Block<T>> acquire_block(std::size_t count) {
+    auto& pool = workspace_pool<T>();
+    // Smallest free block that fits.
+    std::shared_ptr<Block<T>>* best = nullptr;
+    std::shared_ptr<Block<T>>* largest_free = nullptr;
+    for (auto& b : pool) {
+      if (b->in_use) continue;
+      if (!largest_free || b->buf.size() > (*largest_free)->buf.size()) {
+        largest_free = &b;
+      }
+      if (b->buf.size() >= count &&
+          (!best || b->buf.size() < (*best)->buf.size())) {
+        best = &b;
+      }
+    }
+    if (best != nullptr) return *best;
+
+    auto alloc_with_recovery = [&] {
+      try {
+        return dev_.alloc<cx<T>>(count);
+      } catch (const sim::OutOfDeviceMemory&) {
+        const TrimResult t = trim_idle();
+        if (t.items == 0) throw;
+        recovery_counters().oom_evictions += t.items;
+        ++recovery_counters().oom_retries;
+        return dev_.alloc<cx<T>>(count);  // a second failure propagates
+      }
+    };
+
+    if (largest_free != nullptr) {
+      // Grow an idle block in place of allocating another: the arena
+      // converges on the high-water-mark footprint. Hold the block by
+      // value — a recovery trim erases idle blocks from the pool, which
+      // would invalidate the scan pointers.
+      std::shared_ptr<Block<T>> block = *largest_free;
+      if (watermark_ != 0) {
+        // Under a watermark, free the stale buffer before growing so the
+        // transient footprint never holds old + new at once.
+        block->buf = DeviceBuffer<cx<T>>();
+        if (dev_.allocated_bytes() + count * sizeof(cx<T>) > watermark_) {
+          recovery_counters().watermark_evictions += trim_idle().items;
+        }
+      }
+      block->buf = alloc_with_recovery();
+      ++workspace_allocs_;
+      if (std::find(pool.begin(), pool.end(), block) == pool.end()) {
+        pool.push_back(block);  // a trim dropped it; re-adopt
+      }
+      return block;
+    }
+
+    if (watermark_ != 0 &&
+        dev_.allocated_bytes() + count * sizeof(cx<T>) > watermark_) {
+      recovery_counters().watermark_evictions += trim_idle().items;
+    }
+    auto block = std::make_shared<Block<T>>();
+    block->buf = alloc_with_recovery();
+    ++workspace_allocs_;
+    pool.push_back(block);
+    return block;
+  }
+
+  template <typename T>
+  DeviceBuffer<cx<T>> upload_roots_with_retry(std::size_t n, Direction dir) {
+    try {
+      return upload_roots<T>(dev_, n, dir);
+    } catch (const sim::OutOfDeviceMemory&) {
+      const TrimResult t = trim_idle();
+      if (t.items == 0) throw;
+      recovery_counters().oom_evictions += t.items;
+      ++recovery_counters().oom_retries;
+      return upload_roots<T>(dev_, n, dir);
+    }
+  }
+
+  template <typename T>
+  void trim_pool(std::vector<std::shared_ptr<Block<T>>>& pool,
+                 TrimResult& r) {
+    std::erase_if(pool, [&](const std::shared_ptr<Block<T>>& b) {
+      if (b->in_use || !b->buf.valid()) return false;
+      r.bytes += b->buf.size() * sizeof(cx<T>);
+      ++r.items;
+      return true;
+    });
+  }
+
+  template <typename T>
+  void trim_twiddles(TwiddleMap<T>& map, TrimResult& r) {
+    std::erase_if(map, [&](const auto& entry) {
+      if (entry.second.use_count() != 1) return false;  // a plan holds it
+      r.bytes += entry.second->size() * sizeof(cx<T>);
+      ++r.items;
+      return true;
+    });
+  }
+
   Device& dev_;
   TwiddleMap<float> tw_f32_;
   TwiddleMap<double> tw_f64_;
@@ -258,6 +368,7 @@ class ResourceCache {
   std::vector<std::shared_ptr<Block<double>>> pool_f64_;
   std::size_t leased_bytes_ = 0;
   std::size_t high_water_bytes_ = 0;
+  std::size_t watermark_ = 0;  // 0 = no budget
   std::uint64_t twiddle_uploads_ = 0;
   std::uint64_t twiddle_hits_ = 0;
   std::uint64_t workspace_leases_ = 0;

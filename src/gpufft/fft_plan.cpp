@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "gpufft/cache.h"
+#include "gpufft/staging.h"
 
 namespace repro::gpufft {
 namespace {
@@ -63,19 +64,30 @@ std::vector<StepTiming> FftPlanT<T>::execute_batch(
 
 template <typename T>
 std::vector<StepTiming> FftPlanT<T>::execute_host(std::span<cx<T>> data) {
-  Device& dev = device();
-  auto lease = ResourceCache::of(dev).template lease<T>(data.size());
-  auto& staging = lease.buffer();
-  dev.h2d(staging, std::span<const cx<T>>(data.data(), data.size()));
-  auto steps = execute(staging);
-  dev.d2h(data, staging);
-  return steps;
+  return with_plan_context(desc(), [&] {
+    Device& dev = device();
+    auto lease = ResourceCache::of(dev).template lease<T>(data.size());
+    auto& staging = lease.buffer();
+    staged_h2d(dev, staging,
+               std::span<const cx<T>>(data.data(), data.size()));
+    auto steps = execute(staging);
+    staged_d2h(dev, data, staging);
+    return steps;
+  });
 }
 
 template <typename T>
 std::vector<StepTiming> FftPlanT<T>::execute_batch_host(
     std::span<const std::span<cx<T>>> volumes) {
   REPRO_CHECK(!volumes.empty());
+  return with_plan_context(desc(), [&] {
+    return execute_batch_host_impl(volumes);
+  });
+}
+
+template <typename T>
+std::vector<StepTiming> FftPlanT<T>::execute_batch_host_impl(
+    std::span<const std::span<cx<T>>> volumes) {
   Device& dev = device();
   const std::size_t jobs = volumes.size();
   const std::size_t count = volumes[0].size();
@@ -94,9 +106,9 @@ std::vector<StepTiming> FftPlanT<T>::execute_batch_host(
   sim::Stream* streams[2] = {&stream0, &stream1};
 
   auto upload = [&](std::size_t i) {
-    dev.h2d_async(*staging[i % 2],
-                  std::span<const cx<T>>(volumes[i].data(), count),
-                  *streams[i % 2]);
+    staged_h2d(dev, *staging[i % 2],
+               std::span<const cx<T>>(volumes[i].data(), count),
+               streams[i % 2]);
   };
 
   std::vector<StepTiming> total;
@@ -106,7 +118,7 @@ std::vector<StepTiming> FftPlanT<T>::execute_batch_host(
   for (std::size_t i = 0; i < jobs; ++i) {
     accumulate_steps(total, traffic,
                      execute_async(*staging[i % 2], *streams[i % 2]));
-    dev.d2h_async(volumes[i], *staging[i % 2], *streams[i % 2]);
+    staged_d2h(dev, volumes[i], *staging[i % 2], streams[i % 2]);
     if (i + 2 < jobs) upload(i + 2);
   }
   finish_accumulation(total, traffic);

@@ -28,8 +28,24 @@
 
 #include "gpufft/plan_desc.h"
 #include "gpufft/types.h"
+#include "sim/errors.h"
 
 namespace repro::gpufft {
+
+/// Run `fn`, stamping any escaping sim error with the plan's label so a
+/// failure deep in a kernel pipeline names the transform it broke
+/// ("plan[outofcore 512x512x512 fwd f32 splits=4]: 8800 GTS: ...").
+/// The error object is mutated in flight and rethrown — no slicing, the
+/// typed fields stay intact for the recovery layers above.
+template <typename F>
+auto with_plan_context(const PlanDesc& desc, F&& fn) {
+  try {
+    return fn();
+  } catch (sim::SimError& e) {
+    e.add_context("plan[" + desc.to_string() + "]");
+    throw;
+  }
+}
 
 template <typename T>
 class FftPlanT {
@@ -90,6 +106,10 @@ class FftPlanT {
 
   /// Total simulated milliseconds of the last execute()/execute_batch().
   [[nodiscard]] virtual double last_total_ms() const = 0;
+
+ private:
+  std::vector<StepTiming> execute_batch_host_impl(
+      std::span<const std::span<cx<T>>> volumes);
 };
 
 using FftPlan = FftPlanT<float>;

@@ -4,6 +4,7 @@
 
 #include "gpufft/cache.h"
 #include "gpufft/registry.h"
+#include "gpufft/staging.h"
 
 namespace repro::gpufft {
 
@@ -114,6 +115,10 @@ std::vector<StepTiming> OutOfCoreFft3D::execute(DeviceBuffer<cxf>&) {
 }
 
 OutOfCoreTiming OutOfCoreFft3D::execute(std::span<cxf> host_data) {
+  return with_plan_context(desc_, [&] { return execute_impl(host_data); });
+}
+
+OutOfCoreTiming OutOfCoreFft3D::execute_impl(std::span<cxf> host_data) {
   REPRO_CHECK(host_data.size() == n_ * n_ * n_);
   const std::size_t plane = n_ * n_;
   const std::size_t local_nz = n_ / splits_;
@@ -142,7 +147,7 @@ OutOfCoreTiming OutOfCoreFft3D::execute(std::span<cxf> host_data) {
     for (std::size_t j = 0; j < local_nz; ++j) {
       const std::size_t z = residue + splits_ * j;
       const std::span<const cxf> src = host_data.subspan(z * plane, plane);
-      timing.h2d1_ms += dev_.h2d_async(slab, src, s, j * plane);
+      timing.h2d1_ms += staged_h2d(dev_, slab, src, &s, j * plane);
     }
 
     for (const auto& step : slab_plan_->execute_async(slab, s)) {
@@ -154,9 +159,9 @@ OutOfCoreTiming OutOfCoreFft3D::execute(std::span<cxf> host_data) {
 
     for (std::size_t k = 0; k < local_nz; ++k) {
       const std::size_t z = residue + splits_ * k;
-      timing.d2h1_ms += dev_.d2h_async(
-          std::span<cxf>(host_work_).subspan(z * plane, plane), slab, s,
-          k * plane);
+      timing.d2h1_ms += staged_d2h(
+          dev_, std::span<cxf>(host_work_).subspan(z * plane, plane), slab,
+          &s, k * plane);
     }
   }
 
@@ -174,19 +179,19 @@ OutOfCoreTiming OutOfCoreFft3D::execute(std::span<cxf> host_data) {
   for (std::size_t k = 0; k < local_nz; ++k) {
     sim::Stream& s = *streams[k % 2];
     auto& slab = *slabs[k % 2];
-    timing.h2d2_ms += dev_.h2d_async(
-        slab,
+    timing.h2d2_ms += staged_h2d(
+        dev_, slab,
         std::span<const cxf>(host_work_)
             .subspan(splits_ * k * plane, splits_ * plane),
-        s);
+        &s);
 
     ZPencilFftKernel fft(slab, pencil_slab, desc_.dir, grid);
     timing.fft2_ms += dev_.launch_async(fft, s).total_ms;
 
     for (std::size_t k2 = 0; k2 < splits_; ++k2) {
       const std::size_t z = k + local_nz * k2;
-      timing.d2h2_ms += dev_.d2h_async(host_data.subspan(z * plane, plane),
-                                       slab, s, k2 * plane);
+      timing.d2h2_ms += staged_d2h(dev_, host_data.subspan(z * plane, plane),
+                                   slab, &s, k2 * plane);
     }
   }
 

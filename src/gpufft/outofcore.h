@@ -131,6 +131,8 @@ class OutOfCoreFft3D final : public PlanBaseT<float> {
   }
 
  private:
+  OutOfCoreTiming execute_impl(std::span<cxf> host_data);
+
   std::size_t n_;
   std::size_t splits_;
   Shape3 slab_shape_;

@@ -1,5 +1,7 @@
 #include "gpufft/registry.h"
 
+#include <algorithm>
+
 #include "gpufft/batch1d.h"
 #include "gpufft/conventional3d.h"
 #include "gpufft/naive.h"
@@ -80,9 +82,118 @@ std::shared_ptr<FftPlanT<T>> PlanRegistry::get_or_create_as(
     return std::static_pointer_cast<FftPlanT<T>>(*slot);
   }
   ++misses_;
-  auto plan = make_plan<T>(dev_, desc, group_);
+  auto plan = build_plan<T>(desc);
   insert(desc, plan);
   return plan;
+}
+
+template <typename T>
+std::shared_ptr<FftPlanT<T>> PlanRegistry::build_plan(const PlanDesc& desc) {
+  if (watermark_ != 0) {
+    // Pre-emptive enforcement: make room for the new plan's working set
+    // before construction starts allocating, so the device's *peak*
+    // footprint — not just the steady state — stays under the budget.
+    const std::size_t headroom = plan_headroom_bytes(desc);
+    while (footprint_bytes() + headroom > watermark_ &&
+           evict_for_memory(/*watermark_driven=*/true)) {
+    }
+  }
+  for (;;) {
+    try {
+      return make_plan<T>(dev_, desc, group_);
+    } catch (sim::OutOfDeviceMemory& e) {
+      // Partially-built plans release their allocations via RAII; evict
+      // the least-recently-used plan (and idle cache resources) and try
+      // again until there is nothing left to give back.
+      if (!evict_for_memory(/*watermark_driven=*/false)) {
+        e.add_context("while building plan [" + desc.to_string() + "]");
+        throw;
+      }
+      ++recovery_counters().oom_retries;
+    }
+  }
+}
+
+std::size_t PlanRegistry::footprint_bytes() const {
+  if (group_ == nullptr) return dev_.allocated_bytes();
+  // Group working set, mirroring peak_bytes_in_flight(): the largest
+  // per-member device footprint (each card has its own memory) plus the
+  // host staging the resident sharded plans hold for their lifetime.
+  std::size_t bytes = 0;
+  for (std::size_t i = 0; i < group_->size(); ++i) {
+    bytes = std::max(bytes, group_->device(i).allocated_bytes());
+  }
+  return bytes + group_->host_staging_bytes();
+}
+
+std::size_t PlanRegistry::plan_headroom_bytes(const PlanDesc& desc) {
+  const std::size_t esize = desc.precision == Precision::F64
+                                ? sizeof(cx<double>)
+                                : sizeof(cxf);
+  std::size_t elems = desc.buffer_elements();
+  std::size_t host_staging = 0;
+  if ((desc.kind == PlanKind::OutOfCore ||
+       desc.kind == PlanKind::Sharded3D) &&
+      desc.splits != 0) {
+    // Streaming plans never hold the full volume on a card: their device
+    // working set is the double-buffered slab pair. Sharded plans do hold
+    // the full exchange volume in host staging for their lifetime, which
+    // the group footprint counts.
+    if (desc.kind == PlanKind::Sharded3D) {
+      host_staging = elems * esize;
+    }
+    const std::size_t n = desc.shape.nx;
+    elems = n * n * std::max(n / desc.splits, desc.splits);
+  }
+  // Data (or slab pair) plus an equal-size workspace lease.
+  return 2 * elems * esize + host_staging;
+}
+
+bool PlanRegistry::evict_for_memory(bool watermark_driven) {
+  ResourceCache::TrimResult trimmed;
+  bool dropped_plan = false;
+  if (!lru_.empty()) {
+    index_.erase(lru_.back().desc);
+    lru_.pop_back();  // the plan dies here unless a caller still holds it
+    ++evictions_;
+    ++byte_evictions_;
+    dropped_plan = true;
+  }
+  // Trim after the drop: the evicted plan's twiddle references are gone,
+  // so its tables are now reclaimable.
+  trim_caches(trimmed);
+  const std::size_t items = trimmed.items + (dropped_plan ? 1 : 0);
+  if (watermark_driven) {
+    recovery_counters().watermark_evictions += items;
+  } else {
+    recovery_counters().oom_evictions += items;
+  }
+  return dropped_plan || trimmed.items != 0;
+}
+
+void PlanRegistry::trim_caches(ResourceCache::TrimResult& total) {
+  auto add = [&total](const ResourceCache::TrimResult& r) {
+    total.bytes += r.bytes;
+    total.items += r.items;
+  };
+  if (group_ == nullptr) {
+    add(ResourceCache::of(dev_).trim_idle());
+    return;
+  }
+  for (std::size_t i = 0; i < group_->size(); ++i) {
+    add(ResourceCache::of(group_->device(i)).trim_idle());
+  }
+}
+
+void PlanRegistry::set_byte_watermark(std::size_t bytes) {
+  watermark_ = bytes;
+  if (group_ == nullptr) {
+    ResourceCache::of(dev_).set_byte_watermark(bytes);
+    return;
+  }
+  for (std::size_t i = 0; i < group_->size(); ++i) {
+    ResourceCache::of(group_->device(i)).set_byte_watermark(bytes);
+  }
 }
 
 std::shared_ptr<void>* PlanRegistry::find(const PlanDesc& desc) {

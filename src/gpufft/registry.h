@@ -14,6 +14,16 @@
 // `capacity()` plans, evicting the least-recently-used — holders of an
 // evicted shared_ptr keep a working plan; the registry just stops handing
 // it out. Hit/miss/eviction counters feed the bench_plan_cache report.
+//
+// Memory budget: set_byte_watermark(bytes) arms a device-memory watermark
+// across the registry and its devices' ResourceCaches (every member for a
+// group registry). Plan construction that would push the footprint past
+// the watermark first evicts LRU plans and trims idle cache resources,
+// and a build that still hits OutOfDeviceMemory evicts and retries until
+// there is nothing left to evict — only then does the error propagate,
+// enriched with the plan label. This is what keeps
+// DeviceGroup::peak_bytes_in_flight() under a byte budget in many-shape
+// workloads: old plans fall out instead of the new one throwing.
 #pragma once
 
 #include <cstdint>
@@ -21,6 +31,7 @@
 #include <memory>
 #include <unordered_map>
 
+#include "gpufft/cache.h"
 #include "gpufft/fft_plan.h"
 #include "gpufft/plan_desc.h"
 #include "sim/device_group.h"
@@ -72,6 +83,17 @@ class PlanRegistry {
   /// Shrink/grow the LRU window (evicts immediately when shrinking).
   void set_capacity(std::size_t capacity);
 
+  /// Arm (0: disarm) a device-memory byte watermark. Propagates to the
+  /// ResourceCache of every device this registry builds on, so arena and
+  /// twiddle growth respect the same budget as plan construction.
+  void set_byte_watermark(std::size_t bytes);
+  [[nodiscard]] std::size_t byte_watermark() const { return watermark_; }
+  /// Plans evicted for memory (watermark or OOM recovery), a subset of
+  /// evictions().
+  [[nodiscard]] std::uint64_t byte_evictions() const {
+    return byte_evictions_;
+  }
+
   /// Whether a plan for `desc` is currently resident (does not touch the
   /// LRU order or counters).
   [[nodiscard]] bool contains(const PlanDesc& desc) const {
@@ -92,15 +114,32 @@ class PlanRegistry {
   void insert(const PlanDesc& desc, std::shared_ptr<void> plan);
   void evict_to_capacity();
 
+  /// Build a plan for `desc`, evicting LRU plans and trimming caches on
+  /// memory pressure (watermark and OutOfDeviceMemory recovery).
+  template <typename T>
+  std::shared_ptr<FftPlanT<T>> build_plan(const PlanDesc& desc);
+
+  /// Device bytes currently allocated across the registry's devices (the
+  /// max over group members, since each card has its own memory).
+  [[nodiscard]] std::size_t footprint_bytes() const;
+  /// Rough device bytes building + executing `desc` will need.
+  [[nodiscard]] static std::size_t plan_headroom_bytes(const PlanDesc& desc);
+  /// Drop the LRU plan and trim idle cache resources; false when there was
+  /// nothing left to release.
+  bool evict_for_memory(bool watermark_driven);
+  void trim_caches(ResourceCache::TrimResult& total);
+
   Device& dev_;
   sim::DeviceGroup* group_ = nullptr;  // non-null for group registries
   std::list<Entry> lru_;  // most-recently-used first
   std::unordered_map<PlanDesc, std::list<Entry>::iterator, PlanDescHash>
       index_;
   std::size_t capacity_ = 32;
+  std::size_t watermark_ = 0;  // 0 = no byte budget
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
   std::uint64_t evictions_ = 0;
+  std::uint64_t byte_evictions_ = 0;
 };
 
 /// Construct a fresh plan for `desc` outside the registry (the registry's

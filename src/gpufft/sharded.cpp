@@ -1,14 +1,62 @@
 #include "gpufft/sharded.h"
 
 #include <algorithm>
+#include <utility>
 
+#include "common/metrics.h"
 #include "gpufft/cache.h"
 #include "gpufft/real3d.h"
 #include "gpufft/real_kernels.h"
 #include "gpufft/registry.h"
 #include "gpufft/smallfft.h"
+#include "gpufft/staging.h"
 
 namespace repro::gpufft {
+namespace {
+
+/// Largest prefix of `alive` whose size divides both phase extents
+/// (shards for phase 1, n/shards for phase 2). Size 1 always qualifies —
+/// a single survivor runs the out-of-core schedule on one card.
+std::vector<std::size_t> usable_members(std::vector<std::size_t> alive,
+                                        std::size_t shards,
+                                        std::size_t local_nz) {
+  std::size_t k = alive.size();
+  while (k > 1 && (shards % k != 0 || local_nz % k != 0)) --k;
+  alive.resize(k);
+  return alive;
+}
+
+/// Device-loss failover shared by both sharded plans: run the schedule
+/// over the usable members, and when a card dies mid-run restore the
+/// input from the snapshot, re-shard over the survivors, and run again.
+/// Decimation arithmetic depends only on `shards`, so the recovered
+/// result is bit-identical to an undisturbed run. The snapshot is taken
+/// only while faults are armed — phase 2 overwrites `data` in place and
+/// an armed injector is the only way a run can stop halfway — so the
+/// fault-free path pays nothing for the safety net.
+template <typename RunFn>
+ShardedTiming run_with_failover(sim::DeviceGroup& group, std::span<cxf> data,
+                                std::size_t shards, std::size_t local_nz,
+                                RunFn&& run) {
+  auto members = usable_members(group.alive_members(), shards, local_nz);
+  REPRO_CHECK_MSG(!members.empty(),
+                  "every device in the group has been lost");
+  std::vector<cxf> snapshot;
+  if (group.any_faults_armed()) snapshot.assign(data.begin(), data.end());
+  for (;;) {
+    try {
+      return run(members);
+    } catch (const sim::DeviceLostError&) {
+      auto alive = usable_members(group.alive_members(), shards, local_nz);
+      if (alive.empty() || snapshot.empty()) throw;
+      ++recovery_counters().device_lost_failovers;
+      std::copy(snapshot.begin(), snapshot.end(), data.begin());
+      members = std::move(alive);
+    }
+  }
+}
+
+}  // namespace
 
 ShardedFft3DPlan::ShardedFft3DPlan(sim::DeviceGroup& group, std::size_t n,
                                    std::size_t shards, Direction dir)
@@ -43,50 +91,65 @@ std::vector<StepTiming> ShardedFft3DPlan::execute(DeviceBuffer<cxf>&) {
 
 ShardedTiming ShardedFft3DPlan::execute(std::span<cxf> host_data) {
   REPRO_CHECK(host_data.size() == n_ * n_ * n_);
+  return with_plan_context(desc_, [&] {
+    return run_with_failover(*group_, host_data, shards_, n_ / shards_,
+                             [&](const std::vector<std::size_t>& members) {
+                               return run_on(members, host_data);
+                             });
+  });
+}
+
+ShardedTiming ShardedFft3DPlan::run_on(
+    const std::vector<std::size_t>& members, std::span<cxf> host_data) {
   const std::size_t plane = n_ * n_;
   const std::size_t local_nz = n_ / shards_;
-  const std::size_t nd = group_->size();
+  const std::size_t nm = members.size();
 
-  // Per device: two slab leases + two streams, exactly the out-of-core
+  // Per member: two slab leases + two streams, exactly the out-of-core
   // double-buffering — each card overlaps its own iterations as its DMA
-  // engines allow, independent of the other cards' engines.
+  // engines allow, independent of the other cards' engines. Leases and
+  // streams are RAII, so an error unwinding through this frame releases
+  // every arena block and folds every stream timeline.
   const std::size_t slab_elems = plane * std::max(local_nz, shards_);
   std::vector<ResourceCache::Lease<float>> leases;
   std::vector<std::unique_ptr<sim::Stream>> streams;
-  leases.reserve(2 * nd);
-  streams.reserve(2 * nd);
-  for (std::size_t d = 0; d < nd; ++d) {
-    auto& dev = group_->device(d);
+  leases.reserve(2 * nm);
+  streams.reserve(2 * nm);
+  for (std::size_t mi = 0; mi < nm; ++mi) {
+    auto& dev = group_->device(members[mi]);
     leases.push_back(ResourceCache::of(dev).lease<float>(slab_elems));
     leases.push_back(ResourceCache::of(dev).lease<float>(slab_elems));
     streams.push_back(std::make_unique<sim::Stream>(dev));
     streams.push_back(std::make_unique<sim::Stream>(dev));
   }
-  auto slab_of = [&](std::size_t d, std::size_t i) -> DeviceBuffer<cxf>& {
-    return leases[2 * d + i].buffer();
+  auto slab_of = [&](std::size_t mi, std::size_t i) -> DeviceBuffer<cxf>& {
+    return leases[2 * mi + i].buffer();
   };
-  auto stream_of = [&](std::size_t d, std::size_t i) -> sim::Stream& {
-    return *streams[2 * d + i];
+  auto stream_of = [&](std::size_t mi, std::size_t i) -> sim::Stream& {
+    return *streams[2 * mi + i];
   };
 
   const double start_ms = group_->elapsed_ms();
   ShardedTiming timing;
-  timing.devices.resize(nd);
+  // Buckets stay indexed by group ordinal (stable reporting across
+  // failovers); a lost card simply keeps zero rows.
+  timing.devices.resize(group_->size());
 
-  // ---- Phase 1: residue I on device I mod N (slab FFT + twiddle) ----
+  // ---- Phase 1: residue I on member I mod nm (slab FFT + twiddle) ----
   for (std::size_t residue = 0; residue < shards_; ++residue) {
-    const std::size_t d = residue % nd;
-    const std::size_t local = residue / nd;
+    const std::size_t mi = residue % nm;
+    const std::size_t d = members[mi];
+    const std::size_t local = residue / nm;
     auto& dev = group_->device(d);
     ShardTiming& t = timing.devices[d];
-    sim::Stream& s = stream_of(d, local % 2);
-    auto& slab = slab_of(d, local % 2);
+    sim::Stream& s = stream_of(mi, local % 2);
+    auto& slab = slab_of(mi, local % 2);
     const unsigned grid = default_grid_blocks(dev.spec());
 
     for (std::size_t j = 0; j < local_nz; ++j) {
       const std::size_t z = residue + shards_ * j;
       const std::span<const cxf> src = host_data.subspan(z * plane, plane);
-      t.h2d1_ms += dev.h2d_async(slab, src, s, j * plane);
+      t.h2d1_ms += staged_h2d(dev, slab, src, &s, j * plane);
     }
 
     for (const auto& step : slab_plans_[d]->execute_async(slab, s)) {
@@ -100,9 +163,9 @@ ShardedTiming ShardedFft3DPlan::execute(std::span<cxf> host_data) {
     // staging volume that every card's phase 2 reads back.
     for (std::size_t k = 0; k < local_nz; ++k) {
       const std::size_t z = residue + shards_ * k;
-      t.d2h1_ms += dev.d2h_async(
-          std::span<cxf>(host_work_).subspan(z * plane, plane), slab, s,
-          k * plane);
+      t.d2h1_ms += staged_d2h(
+          dev, std::span<cxf>(host_work_).subspan(z * plane, plane), slab,
+          &s, k * plane);
       t.exchange_bytes += plane * sizeof(cxf);
     }
   }
@@ -117,23 +180,24 @@ ShardedTiming ShardedFft3DPlan::execute(std::span<cxf> host_data) {
   for (auto& s : streams) s->wait_until_ms(barrier);
   timing.barrier_ms = barrier - start_ms;
 
-  // ---- Phase 2: contiguous block of plane groups per device ----
+  // ---- Phase 2: contiguous block of plane groups per member ----
   const Shape3 pencil_slab{n_, n_, shards_};
-  const std::size_t groups_per_dev = local_nz / nd;
-  for (std::size_t e = 0; e < nd; ++e) {
+  const std::size_t groups_per_dev = local_nz / nm;
+  for (std::size_t mi = 0; mi < nm; ++mi) {
+    const std::size_t e = members[mi];
     auto& dev = group_->device(e);
     ShardTiming& t = timing.devices[e];
     const unsigned grid = default_grid_blocks(dev.spec());
     for (std::size_t g = 0; g < groups_per_dev; ++g) {
-      const std::size_t k = e * groups_per_dev + g;
-      sim::Stream& s = stream_of(e, g % 2);
-      auto& slab = slab_of(e, g % 2);
+      const std::size_t k = mi * groups_per_dev + g;
+      sim::Stream& s = stream_of(mi, g % 2);
+      auto& slab = slab_of(mi, g % 2);
 
-      t.h2d2_ms += dev.h2d_async(
-          slab,
+      t.h2d2_ms += staged_h2d(
+          dev, slab,
           std::span<const cxf>(host_work_)
               .subspan(shards_ * k * plane, shards_ * plane),
-          s);
+          &s);
       t.exchange_bytes += shards_ * plane * sizeof(cxf);
 
       ZPencilFftKernel fft(slab, pencil_slab, desc_.dir, grid);
@@ -141,8 +205,8 @@ ShardedTiming ShardedFft3DPlan::execute(std::span<cxf> host_data) {
 
       for (std::size_t k2 = 0; k2 < shards_; ++k2) {
         const std::size_t z = k + local_nz * k2;
-        t.d2h2_ms += dev.d2h_async(host_data.subspan(z * plane, plane),
-                                   slab, s, k2 * plane);
+        t.d2h2_ms += staged_d2h(dev, host_data.subspan(z * plane, plane),
+                                slab, &s, k2 * plane);
       }
     }
   }
@@ -261,6 +325,16 @@ std::vector<StepTiming> ShardedRealFft3DPlan::execute(DeviceBuffer<cxf>&) {
 
 ShardedTiming ShardedRealFft3DPlan::execute(std::span<cxf> host_data) {
   REPRO_CHECK(host_data.size() == buffer_elements());
+  return with_plan_context(desc_, [&] {
+    return run_with_failover(*group_, host_data, shards_, n_ / shards_,
+                             [&](const std::vector<std::size_t>& members) {
+                               return run_on(members, host_data);
+                             });
+  });
+}
+
+ShardedTiming ShardedRealFft3DPlan::run_on(
+    const std::vector<std::size_t>& members, std::span<cxf> host_data) {
   // Split layout (real3d.h): a logical Z-plane is an (n/2)*n main span
   // plus an n-element Nyquist tail row; both are contiguous in the host
   // volume and in each staged slab, so every plane costs two transfers of
@@ -269,53 +343,54 @@ ShardedTiming ShardedRealFft3DPlan::execute(std::span<cxf> host_data) {
   const std::size_t plane = mrow + n_;      // total elements per Z-plane
   const std::size_t tail = mrow * n_;       // host tail-plane base
   const std::size_t local_nz = n_ / shards_;
-  const std::size_t nd = group_->size();
+  const std::size_t nm = members.size();
   const bool forward = desc_.dir == Direction::Forward;
 
   const std::size_t slab_elems = plane * std::max(local_nz, shards_);
   std::vector<ResourceCache::Lease<float>> leases;
   std::vector<std::unique_ptr<sim::Stream>> streams;
-  leases.reserve(2 * nd);
-  streams.reserve(2 * nd);
-  for (std::size_t d = 0; d < nd; ++d) {
-    auto& dev = group_->device(d);
+  leases.reserve(2 * nm);
+  streams.reserve(2 * nm);
+  for (std::size_t mi = 0; mi < nm; ++mi) {
+    auto& dev = group_->device(members[mi]);
     leases.push_back(ResourceCache::of(dev).lease<float>(slab_elems));
     leases.push_back(ResourceCache::of(dev).lease<float>(slab_elems));
     streams.push_back(std::make_unique<sim::Stream>(dev));
     streams.push_back(std::make_unique<sim::Stream>(dev));
   }
-  auto slab_of = [&](std::size_t d, std::size_t i) -> DeviceBuffer<cxf>& {
-    return leases[2 * d + i].buffer();
+  auto slab_of = [&](std::size_t mi, std::size_t i) -> DeviceBuffer<cxf>& {
+    return leases[2 * mi + i].buffer();
   };
-  auto stream_of = [&](std::size_t d, std::size_t i) -> sim::Stream& {
-    return *streams[2 * d + i];
+  auto stream_of = [&](std::size_t mi, std::size_t i) -> sim::Stream& {
+    return *streams[2 * mi + i];
   };
 
   const double start_ms = group_->elapsed_ms();
   ShardedTiming timing;
-  timing.devices.resize(nd);
+  timing.devices.resize(group_->size());
 
-  // ---- Phase 1: residue I on device I mod N ----
+  // ---- Phase 1: residue I on member I mod nm ----
   // Forward: full real slab plan (r2c X + coarse Y/local-Z) + twiddle.
   // Inverse: coarse Y/local-Z ranks only (the c2r pass needs the full Z
   // axis, which phase 2 reassembles) + twiddle.
   for (std::size_t residue = 0; residue < shards_; ++residue) {
-    const std::size_t d = residue % nd;
-    const std::size_t local = residue / nd;
+    const std::size_t mi = residue % nm;
+    const std::size_t d = members[mi];
+    const std::size_t local = residue / nm;
     auto& dev = group_->device(d);
     ShardTiming& t = timing.devices[d];
-    sim::Stream& s = stream_of(d, local % 2);
-    auto& slab = slab_of(d, local % 2);
+    sim::Stream& s = stream_of(mi, local % 2);
+    auto& slab = slab_of(mi, local % 2);
     const unsigned grid = default_grid_blocks(dev.spec());
     const std::size_t slab_tail = mrow * local_nz;  // slab tail-region base
 
     const std::span<const cxf> host_src = host_data;
     for (std::size_t j = 0; j < local_nz; ++j) {
       const std::size_t z = residue + shards_ * j;
-      t.h2d1_ms += dev.h2d_async(slab, host_src.subspan(z * mrow, mrow), s,
-                                 j * mrow);
-      t.h2d1_ms += dev.h2d_async(
-          slab, host_src.subspan(tail + z * n_, n_), s, slab_tail + j * n_);
+      t.h2d1_ms += staged_h2d(dev, slab, host_src.subspan(z * mrow, mrow),
+                              &s, j * mrow);
+      t.h2d1_ms += staged_h2d(dev, slab, host_src.subspan(tail + z * n_, n_),
+                              &s, slab_tail + j * n_);
     }
 
     if (forward) {
@@ -340,44 +415,45 @@ ShardedTiming ShardedRealFft3DPlan::execute(std::span<cxf> host_data) {
     // the complex plan's bytes, the point of the real layout.
     for (std::size_t k = 0; k < local_nz; ++k) {
       const std::size_t z = residue + shards_ * k;
-      t.d2h1_ms += dev.d2h_async(
-          std::span<cxf>(host_work_).subspan(z * mrow, mrow), slab, s,
+      t.d2h1_ms += staged_d2h(
+          dev, std::span<cxf>(host_work_).subspan(z * mrow, mrow), slab, &s,
           k * mrow);
-      t.d2h1_ms += dev.d2h_async(
-          std::span<cxf>(host_work_).subspan(tail + z * n_, n_), slab, s,
-          slab_tail + k * n_);
+      t.d2h1_ms += staged_d2h(
+          dev, std::span<cxf>(host_work_).subspan(tail + z * n_, n_), slab,
+          &s, slab_tail + k * n_);
       t.exchange_bytes += plane * sizeof(cxf);
     }
   }
 
-  // Group-wide phase boundary (see ShardedFft3DPlan::execute).
+  // Group-wide phase boundary (see ShardedFft3DPlan::run_on).
   double barrier = start_ms;
   for (const auto& s : streams) barrier = std::max(barrier, s->ready_ms());
   for (auto& s : streams) s->wait_until_ms(barrier);
   timing.barrier_ms = barrier - start_ms;
 
-  // ---- Phase 2: contiguous block of plane groups per device ----
-  const std::size_t groups_per_dev = local_nz / nd;
+  // ---- Phase 2: contiguous block of plane groups per member ----
+  const std::size_t groups_per_dev = local_nz / nm;
   const std::size_t slab2_tail = mrow * shards_;  // slab tail-region base
-  for (std::size_t e = 0; e < nd; ++e) {
+  for (std::size_t mi = 0; mi < nm; ++mi) {
+    const std::size_t e = members[mi];
     auto& dev = group_->device(e);
     ShardTiming& t = timing.devices[e];
     const unsigned grid = default_grid_blocks(dev.spec());
     for (std::size_t g = 0; g < groups_per_dev; ++g) {
-      const std::size_t k = e * groups_per_dev + g;
-      sim::Stream& s = stream_of(e, g % 2);
-      auto& slab = slab_of(e, g % 2);
+      const std::size_t k = mi * groups_per_dev + g;
+      sim::Stream& s = stream_of(mi, g % 2);
+      auto& slab = slab_of(mi, g % 2);
 
-      t.h2d2_ms += dev.h2d_async(
-          slab,
+      t.h2d2_ms += staged_h2d(
+          dev, slab,
           std::span<const cxf>(host_work_)
               .subspan(shards_ * k * mrow, shards_ * mrow),
-          s);
-      t.h2d2_ms += dev.h2d_async(
-          slab,
+          &s);
+      t.h2d2_ms += staged_h2d(
+          dev, slab,
           std::span<const cxf>(host_work_)
               .subspan(tail + shards_ * k * n_, shards_ * n_),
-          s, slab2_tail);
+          &s, slab2_tail);
       t.exchange_bytes += shards_ * plane * sizeof(cxf);
 
       ZPencilFftKernel fft_main(slab, Shape3{n_ / 2, n_, shards_},
@@ -404,10 +480,10 @@ ShardedTiming ShardedRealFft3DPlan::execute(std::span<cxf> host_data) {
 
       for (std::size_t k2 = 0; k2 < shards_; ++k2) {
         const std::size_t z = k + local_nz * k2;
-        t.d2h2_ms += dev.d2h_async(host_data.subspan(z * mrow, mrow), slab,
-                                   s, k2 * mrow);
-        t.d2h2_ms += dev.d2h_async(host_data.subspan(tail + z * n_, n_),
-                                   slab, s, slab2_tail + k2 * n_);
+        t.d2h2_ms += staged_d2h(dev, host_data.subspan(z * mrow, mrow),
+                                slab, &s, k2 * mrow);
+        t.d2h2_ms += staged_d2h(dev, host_data.subspan(tail + z * n_, n_),
+                                slab, &s, slab2_tail + k2 * n_);
       }
     }
   }

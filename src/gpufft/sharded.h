@@ -32,6 +32,14 @@
 // test, and decimation arithmetic depends only on `shards`, so results are
 // bit-identical across any device count and any spec mix.
 //
+// Losing a card mid-run (sim/fault.h DeviceLost) is survivable: execute()
+// restores the input from a pre-run snapshot (taken only while faults are
+// armed — the fault-free path pays nothing), re-shards over the surviving
+// members, and reruns — falling back to fewer cards (ultimately one, the
+// out-of-core schedule) when the survivor count stops dividing the phase
+// extents. Results stay bit-identical because decimation arithmetic
+// depends only on `shards`, never on the member count.
+//
 // probe_shard_phases/sharded_model_ms give the closed-form pipeline model
 // the bench cross-checks the scheduler against (the bench_async_overlap
 // pattern): serial chains on 1-DMA cards, depth-2 double-buffered rates on
@@ -140,6 +148,12 @@ class ShardedFft3DPlan final : public PlanBaseT<float> {
   }
 
  private:
+  /// One full run over the device subset `members` (indices into the
+  /// group). The failover wrapper in execute() re-invokes this with the
+  /// surviving members when a card is lost mid-run.
+  ShardedTiming run_on(const std::vector<std::size_t>& members,
+                       std::span<cxf> host_data);
+
   sim::DeviceGroup* group_;
   std::size_t n_;
   std::size_t shards_;
@@ -203,6 +217,11 @@ class ShardedRealFft3DPlan final : public PlanBaseT<float> {
   }
 
  private:
+  /// One full run over the device subset `members` (indices into the
+  /// group); re-invoked on the survivors after a device loss.
+  ShardedTiming run_on(const std::vector<std::size_t>& members,
+                       std::span<cxf> host_data);
+
   sim::DeviceGroup* group_;
   std::size_t n_;
   std::size_t shards_;

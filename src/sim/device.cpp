@@ -1,7 +1,8 @@
 #include "sim/device.h"
 
 #include <algorithm>
-#include <sstream>
+#include <exception>
+#include <utility>
 
 namespace repro::sim {
 
@@ -17,11 +18,18 @@ Device::~Device() {
 }
 
 Allocation Device::allocate_raw(std::size_t bytes) {
+  if (faults_ != nullptr) {
+    check_alive();
+    if (faults_->fire(FaultKind::AllocFail)) {
+      throw OutOfDeviceMemory(device_ref(), bytes,
+                              spec_.device_memory_bytes - allocated_bytes_,
+                              spec_.device_memory_bytes, /*injected=*/true);
+    }
+  }
   if (allocated_bytes_ + bytes > spec_.device_memory_bytes) {
-    std::ostringstream os;
-    os << spec_.name << ": device memory exhausted (" << allocated_bytes_
-       << " + " << bytes << " > " << spec_.device_memory_bytes << " bytes)";
-    throw OutOfDeviceMemory(os.str());
+    throw OutOfDeviceMemory(device_ref(), bytes,
+                            spec_.device_memory_bytes - allocated_bytes_,
+                            spec_.device_memory_bytes);
   }
   // Bump allocator over a virtual address space, 256-byte aligned so the
   // coalescing alignment rules behave as on real allocations.
@@ -102,6 +110,13 @@ LaunchResult Device::launch(Kernel& kernel) {
   const LaunchConfig cfg = kernel.config();
   REPRO_CHECK(cfg.grid_blocks > 0 && cfg.threads_per_block > 0);
 
+  if (faults_ != nullptr && !launch_admitted(cfg.name)) {
+    // Rejected at dispatch: the kernel never ran, no time is charged.
+    // Synchronous rejections throw from launch_admitted; this path is the
+    // asynchronous one, where the stream now carries the sticky error.
+    return LaunchResult{};
+  }
+
   LaunchStats stats;
   stats.total_threads =
       static_cast<std::uint64_t>(cfg.grid_blocks) * cfg.threads_per_block;
@@ -136,12 +151,20 @@ double Device::submit_timed(Stream& stream, Engine engine, double ms,
 
 void Device::sync(Stream& stream) {
   clock_ns_ = std::max(clock_ns_, stream.ready_ns_);
+  // Surface the stream's sticky async error (cudaStreamSynchronize). The
+  // clock is folded first: the failed attempt's time stays charged.
+  if (stream.poisoned()) std::rethrow_exception(stream.error());
 }
 
 void Device::sync_all() {
+  std::exception_ptr first_error;
   for (const Stream* s : streams_) {
     clock_ns_ = std::max(clock_ns_, s->ready_ns_);
+    if (first_error == nullptr && s->error_ != nullptr) {
+      first_error = s->error_;
+    }
   }
+  if (first_error != nullptr) std::rethrow_exception(first_error);
 }
 
 double Device::elapsed_ms() const {
@@ -168,6 +191,59 @@ void Device::reset_clock() {
 void Device::reset_peak_stats() {
   peak_allocated_bytes_ = allocated_bytes_;
   alloc_count_ = 0;
+}
+
+void Device::check_stream_ok() const {
+  // CUDA semantics: work submitted to a failed stream is rejected at the
+  // API call, before it reaches the hardware — it does not count as an
+  // occurrence for the injector.
+  if (active_stream_ != nullptr && active_stream_->poisoned()) {
+    std::rethrow_exception(active_stream_->error());
+  }
+}
+
+void Device::check_alive() {
+  if (lost_) throw DeviceLostError(device_ref());
+  if (faults_->fire(FaultKind::DeviceLost)) {
+    lost_ = true;
+    throw DeviceLostError(device_ref());
+  }
+}
+
+bool Device::transfer_admitted(TransferDir dir, std::size_t bytes) {
+  check_stream_ok();
+  check_alive();
+  if (!faults_->fire(FaultKind::TransferTransient)) return true;
+  // The failed attempt still occupied the link: charge its full PCIe time
+  // (and byte accounting) before reporting the loss of the payload.
+  record_transfer(dir, bytes);
+  TransientTransferError err(
+      device_ref(), dir == TransferDir::HostToDevice ? "h2d" : "d2h", bytes);
+  if (active_stream_ != nullptr) {
+    active_stream_->fail(std::make_exception_ptr(std::move(err)));
+    return false;
+  }
+  throw err;
+}
+
+bool Device::launch_admitted(const std::string& kernel_name) {
+  check_stream_ok();
+  check_alive();
+  if (!faults_->fire(FaultKind::LaunchFail)) return true;
+  KernelLaunchError err(device_ref(), kernel_name);
+  if (active_stream_ != nullptr) {
+    active_stream_->fail(std::make_exception_ptr(std::move(err)));
+    return false;
+  }
+  throw err;
+}
+
+void Device::maybe_corrupt(void* payload, std::size_t bytes) {
+  // fire() first so the occurrence is counted even for empty payloads.
+  if (!faults_->fire(FaultKind::TransferCorrupt) || bytes == 0) return;
+  // A single bit flip mid-payload: delivered, wrong, and invisible until
+  // someone verifies — exactly what the checksummed staging layer is for.
+  static_cast<unsigned char*>(payload)[bytes / 2] ^= 0x40u;
 }
 
 }  // namespace repro::sim

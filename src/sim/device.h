@@ -21,6 +21,15 @@
 // queue and every live stream. Default-queue operations synchronize with
 // all streams first (CUDA legacy default-stream semantics), which reduces
 // to the old serial behaviour bit-for-bit when no streams are in flight.
+//
+// Fault model (see fault.h / errors.h): a FaultInjector can be attached
+// with faults(); until then every hook below is one null-pointer test and
+// the device is bit-identical — in results AND simulated timeline — to a
+// build without the fault machinery. Failed operations on the serial
+// queue throw typed sim errors; failed asynchronous operations poison
+// their stream CUDA-style (stream.h) and surface at sync(). A fired
+// DeviceLost is sticky: lost() flips on and every subsequent allocation,
+// transfer, or launch throws DeviceLostError.
 #pragma once
 
 #include <cstdint>
@@ -33,6 +42,8 @@
 
 #include "common/check.h"
 #include "sim/buffer.h"
+#include "sim/errors.h"
+#include "sim/fault.h"
 #include "sim/kernel.h"
 #include "sim/pcie.h"
 #include "sim/spec.h"
@@ -41,13 +52,6 @@
 
 namespace repro::sim {
 
-/// Thrown when an allocation exceeds the card's device memory — the
-/// condition that forces the paper's out-of-core 512^3 algorithm.
-class OutOfDeviceMemory : public Error {
- public:
-  using Error::Error;
-};
-
 class Device {
  public:
   explicit Device(GpuSpec spec);
@@ -55,6 +59,31 @@ class Device {
 
   [[nodiscard]] const GpuSpec& spec() const { return spec_; }
   [[nodiscard]] SimOptions& options() { return options_; }
+
+  /// Position of this device within its DeviceGroup (-1 outside a group).
+  /// Set by DeviceGroup at construction; carried in every typed error.
+  [[nodiscard]] int ordinal() const { return ordinal_; }
+  void set_ordinal(int ordinal) { ordinal_ = ordinal; }
+  [[nodiscard]] DeviceRef device_ref() const {
+    return DeviceRef{spec_.name, ordinal_};
+  }
+
+  /// The device's fault injector, created lazily on first use. A device
+  /// that never calls this carries no injector at all and pays nothing.
+  FaultInjector& faults() {
+    if (faults_ == nullptr) faults_ = std::make_unique<FaultInjector>();
+    return *faults_;
+  }
+  /// True when an injector exists and has at least one fault armed. The
+  /// staging layer gates its host-side checksum verification on this, so
+  /// fault-free runs skip that real-CPU cost entirely.
+  [[nodiscard]] bool fault_injection_armed() const {
+    return faults_ != nullptr && faults_->armed();
+  }
+  /// True once an injected DeviceLost has fired: the card fell off the
+  /// bus and every further operation throws DeviceLostError. Freeing
+  /// memory stays allowed so RAII cleanup never throws.
+  [[nodiscard]] bool lost() const { return lost_; }
 
   /// Allocate n elements of T; throws OutOfDeviceMemory past capacity.
   template <typename T>
@@ -98,13 +127,21 @@ class Device {
 
   /// Host-to-device copy into `dst` starting at element `dst_offset`;
   /// the PCIe transfer time lands on the active stream (default: the
-  /// serial queue, advancing the clock synchronously).
+  /// serial queue, advancing the clock synchronously). With an injector
+  /// attached a transfer can fail transiently (time charged, payload
+  /// undelivered) or deliver a corrupted payload — see fault.h.
   template <typename T>
   void h2d(DeviceBuffer<T>& dst, std::span<const T> src,
            std::size_t dst_offset = 0) {
     REPRO_CHECK(dst_offset + src.size() <= dst.size());
+    const std::size_t bytes = src.size() * sizeof(T);
+    if (faults_ != nullptr &&
+        !transfer_admitted(TransferDir::HostToDevice, bytes)) {
+      return;  // transient fault: time charged, payload not delivered
+    }
     std::copy(src.begin(), src.end(), dst.data() + dst_offset);
-    record_transfer(TransferDir::HostToDevice, src.size() * sizeof(T));
+    record_transfer(TransferDir::HostToDevice, bytes);
+    if (faults_ != nullptr) maybe_corrupt(dst.data() + dst_offset, bytes);
   }
 
   /// Device-to-host copy from `src` starting at element `src_offset`.
@@ -112,9 +149,15 @@ class Device {
   void d2h(std::span<T> dst, const DeviceBuffer<T>& src,
            std::size_t src_offset = 0) {
     REPRO_CHECK(src_offset + dst.size() <= src.size());
+    const std::size_t bytes = dst.size() * sizeof(T);
+    if (faults_ != nullptr &&
+        !transfer_admitted(TransferDir::DeviceToHost, bytes)) {
+      return;
+    }
     std::copy(src.data() + src_offset, src.data() + src_offset + dst.size(),
               dst.begin());
-    record_transfer(TransferDir::DeviceToHost, dst.size() * sizeof(T));
+    record_transfer(TransferDir::DeviceToHost, bytes);
+    if (faults_ != nullptr) maybe_corrupt(dst.data(), bytes);
   }
 
   /// Asynchronous copies: enqueue the transfer on `stream` (the data
@@ -216,6 +259,13 @@ class Device {
   void record_transfer(TransferDir dir, std::uint64_t bytes);
   [[nodiscard]] double& engine_free_ns(Engine e);
 
+  // Fault hooks — only reached when faults_ != nullptr.
+  void check_stream_ok() const;  ///< fail fast on a poisoned stream
+  void check_alive();            ///< lost-state check + DeviceLost fire
+  bool transfer_admitted(TransferDir dir, std::size_t bytes);
+  bool launch_admitted(const std::string& kernel_name);
+  void maybe_corrupt(void* payload, std::size_t bytes);
+
   GpuSpec spec_;
   SimOptions options_;
   std::uint64_t next_addr_ = 512;  // leave address 0 unused
@@ -234,6 +284,11 @@ class Device {
   Stream* active_stream_ = nullptr;
   std::vector<Stream*> streams_;
   double last_op_ms_ = 0.0;  ///< duration of the last scheduled op
+  int ordinal_ = -1;
+  bool lost_ = false;
+  // Null until faults() is first called; every hook above gates on this,
+  // so the injector-free path is a single pointer test (no #ifdef needed).
+  std::unique_ptr<FaultInjector> faults_;
   // Last member so the slots (which may own DeviceBuffers) are destroyed
   // while the allocator bookkeeping above is still alive.
   std::unordered_map<std::type_index, std::shared_ptr<void>> locals_;

@@ -30,6 +30,7 @@ DeviceGroup::DeviceGroup(std::vector<GpuSpec> specs, GroupTopology topo)
   for (const GpuSpec& s : specs) {
     devices_.push_back(
         std::make_unique<Device>(derate_for_bridge(s, topo_, specs.size())));
+    devices_.back()->set_ordinal(static_cast<int>(devices_.size()) - 1);
   }
 }
 
@@ -65,6 +66,26 @@ void DeviceGroup::add_host_staging(std::size_t bytes) {
 void DeviceGroup::remove_host_staging(std::size_t bytes) {
   REPRO_CHECK(bytes <= host_staging_bytes_);
   host_staging_bytes_ -= bytes;
+}
+
+bool DeviceGroup::any_faults_armed() const {
+  for (const auto& d : devices_) {
+    if (d->fault_injection_armed()) return true;
+  }
+  return false;
+}
+
+std::vector<std::size_t> DeviceGroup::alive_members() const {
+  std::vector<std::size_t> alive;
+  alive.reserve(devices_.size());
+  for (std::size_t i = 0; i < devices_.size(); ++i) {
+    if (!devices_[i]->lost()) alive.push_back(i);
+  }
+  return alive;
+}
+
+std::size_t DeviceGroup::alive_count() const {
+  return alive_members().size();
 }
 
 std::size_t DeviceGroup::peak_bytes_in_flight() const {

@@ -78,6 +78,17 @@ class DeviceGroup {
   }
   [[nodiscard]] const GroupTopology& topology() const { return topo_; }
 
+  /// Convenience: member i's fault injector (created lazily).
+  FaultInjector& faults(std::size_t i) { return device(i).faults(); }
+  /// Whether any member has at least one fault armed — the group-level
+  /// gate for the staging layer's checksum verification.
+  [[nodiscard]] bool any_faults_armed() const;
+
+  /// Indices of members that have not been lost to an injected
+  /// DeviceLost; the survivor set sharded plans re-shard over.
+  [[nodiscard]] std::vector<std::size_t> alive_members() const;
+  [[nodiscard]] std::size_t alive_count() const;
+
   /// Makespan across the fleet: the members share one time origin, so the
   /// group's elapsed time is the slowest member's.
   [[nodiscard]] double elapsed_ms() const;

@@ -1,0 +1,84 @@
+#include "sim/errors.h"
+
+#include <sstream>
+
+namespace repro::sim {
+namespace {
+
+std::string oom_message(const DeviceRef& dev, std::size_t requested,
+                        std::size_t free_bytes, std::size_t capacity,
+                        bool injected) {
+  std::ostringstream os;
+  os << dev.to_string() << ": device memory exhausted"
+     << (injected ? " (injected fault)" : "") << " — requested " << requested
+     << " bytes, free " << free_bytes << " of " << capacity << " bytes";
+  return os.str();
+}
+
+std::string transfer_message(const DeviceRef& dev, const char* op,
+                             std::size_t bytes) {
+  std::ostringstream os;
+  os << dev.to_string() << ": transient " << op << " failure after " << bytes
+     << " bytes were claimed by the link; payload not delivered";
+  return os.str();
+}
+
+std::string corruption_message(const DeviceRef& dev, const char* op,
+                               std::size_t bytes, int attempts) {
+  std::ostringstream os;
+  os << dev.to_string() << ": " << op << " payload of " << bytes
+     << " bytes failed checksum verification after " << attempts
+     << " staging attempts";
+  return os.str();
+}
+
+}  // namespace
+
+std::string DeviceRef::to_string() const {
+  if (ordinal < 0) return name;
+  return name + " (device " + std::to_string(ordinal) + ")";
+}
+
+OutOfDeviceMemory::OutOfDeviceMemory(DeviceRef device,
+                                     std::size_t requested_bytes,
+                                     std::size_t free_bytes,
+                                     std::size_t capacity_bytes, bool injected)
+    : SimError(oom_message(device, requested_bytes, free_bytes,
+                           capacity_bytes, injected)),
+      device_(std::move(device)),
+      requested_(requested_bytes),
+      free_(free_bytes),
+      capacity_(capacity_bytes),
+      injected_(injected) {}
+
+TransientTransferError::TransientTransferError(DeviceRef device,
+                                               const char* op,
+                                               std::size_t bytes)
+    : SimError(transfer_message(device, op, bytes)),
+      device_(std::move(device)),
+      op_(op),
+      bytes_(bytes) {}
+
+TransferCorruptionError::TransferCorruptionError(DeviceRef device,
+                                                 const char* op,
+                                                 std::size_t bytes,
+                                                 int attempts)
+    : SimError(corruption_message(device, op, bytes, attempts)),
+      device_(std::move(device)),
+      op_(op),
+      bytes_(bytes),
+      attempts_(attempts) {}
+
+KernelLaunchError::KernelLaunchError(DeviceRef device, std::string kernel)
+    : SimError(device.to_string() + ": kernel launch of '" + kernel +
+               "' rejected at dispatch"),
+      device_(std::move(device)),
+      kernel_(std::move(kernel)) {}
+
+DeviceLostError::DeviceLostError(DeviceRef device)
+    : SimError(device.to_string() +
+               ": device lost — the card no longer responds; all further "
+               "operations on it will fail"),
+      device_(std::move(device)) {}
+
+}  // namespace repro::sim

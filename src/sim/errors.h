@@ -1,0 +1,151 @@
+// The simulator's typed error taxonomy.
+//
+// Every recoverable fault the simulated hardware can raise has a concrete
+// exception type carrying the structured facts a recovery policy needs
+// (which device, how many bytes, how much was free) in addition to a
+// human-readable message. All types derive from SimError, which itself
+// derives from repro::Error, so existing catch (const Error&) sites keep
+// working while the gpufft execution layer can write targeted handlers:
+//
+//   OutOfDeviceMemory       allocation past capacity (or injected memory
+//                           pressure) — recoverable by evicting idle plans
+//                           and arena blocks and retrying (registry.h)
+//   TransientTransferError  a PCIe h2d/d2h attempt that failed in flight —
+//                           recoverable by re-staging (gpufft/staging.h)
+//   TransferCorruptionError a staged transfer whose payload failed its
+//                           checksum even after bounded re-stages
+//   KernelLaunchError       a launch the device rejected at dispatch
+//   DeviceLostError         the card fell off the bus; every later
+//                           operation on it fails — recoverable only by
+//                           re-sharding onto surviving devices (sharded.h)
+//
+// SimError carries its own message buffer so higher layers can prepend
+// context (the plan label, the phase) with add_context() and rethrow the
+// same object without slicing the structured fields.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "common/check.h"
+
+namespace repro::sim {
+
+/// Base of the simulator's typed errors. Owns a mutable message so
+/// add_context() can enrich an in-flight exception (catch by non-const
+/// reference, add context, `throw;`).
+class SimError : public Error {
+ public:
+  explicit SimError(std::string msg) : Error(msg), msg_(std::move(msg)) {}
+
+  [[nodiscard]] const char* what() const noexcept override {
+    return msg_.c_str();
+  }
+
+  /// Prepend "`ctx`: " to the message (outermost context first).
+  void add_context(const std::string& ctx) { msg_ = ctx + ": " + msg_; }
+
+ private:
+  std::string msg_;
+};
+
+/// Identifies the device an error originated on: the spec name plus the
+/// group ordinal (-1 for a device outside any DeviceGroup).
+struct DeviceRef {
+  std::string name;
+  int ordinal{-1};
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Thrown when an allocation exceeds the card's device memory — the
+/// condition that forces the paper's out-of-core 512^3 algorithm — or when
+/// the fault injector simulates memory pressure. Carries the full
+/// allocator picture so pressure policies can size their response.
+class OutOfDeviceMemory : public SimError {
+ public:
+  OutOfDeviceMemory(DeviceRef device, std::size_t requested_bytes,
+                    std::size_t free_bytes, std::size_t capacity_bytes,
+                    bool injected = false);
+
+  [[nodiscard]] const DeviceRef& device() const { return device_; }
+  [[nodiscard]] std::size_t requested_bytes() const { return requested_; }
+  [[nodiscard]] std::size_t free_bytes() const { return free_; }
+  [[nodiscard]] std::size_t capacity_bytes() const { return capacity_; }
+  /// True when raised by the fault injector rather than real exhaustion.
+  [[nodiscard]] bool injected() const { return injected_; }
+
+ private:
+  DeviceRef device_;
+  std::size_t requested_;
+  std::size_t free_;
+  std::size_t capacity_;
+  bool injected_;
+};
+
+/// A PCIe transfer attempt that failed in flight. The attempt still
+/// occupied the link (its simulated time is charged); the payload was not
+/// delivered. Recover by re-staging the same transfer.
+class TransientTransferError : public SimError {
+ public:
+  TransientTransferError(DeviceRef device, const char* op,
+                         std::size_t bytes);
+
+  [[nodiscard]] const DeviceRef& device() const { return device_; }
+  /// "h2d" or "d2h".
+  [[nodiscard]] const char* op() const { return op_; }
+  [[nodiscard]] std::size_t bytes() const { return bytes_; }
+
+ private:
+  DeviceRef device_;
+  const char* op_;
+  std::size_t bytes_;
+};
+
+/// A staged transfer whose payload failed verification even after the
+/// recovery policy's bounded re-stages (gpufft/staging.h).
+class TransferCorruptionError : public SimError {
+ public:
+  TransferCorruptionError(DeviceRef device, const char* op,
+                          std::size_t bytes, int attempts);
+
+  [[nodiscard]] const DeviceRef& device() const { return device_; }
+  [[nodiscard]] const char* op() const { return op_; }
+  [[nodiscard]] std::size_t bytes() const { return bytes_; }
+  [[nodiscard]] int attempts() const { return attempts_; }
+
+ private:
+  DeviceRef device_;
+  const char* op_;
+  std::size_t bytes_;
+  int attempts_;
+};
+
+/// A kernel launch the device rejected at dispatch; the kernel did not
+/// run.
+class KernelLaunchError : public SimError {
+ public:
+  KernelLaunchError(DeviceRef device, std::string kernel);
+
+  [[nodiscard]] const DeviceRef& device() const { return device_; }
+  [[nodiscard]] const std::string& kernel() const { return kernel_; }
+
+ private:
+  DeviceRef device_;
+  std::string kernel_;
+};
+
+/// The card fell off the bus. Sticky: every subsequent operation on the
+/// device throws this again. Multi-device plans recover by re-sharding
+/// across the surviving group members.
+class DeviceLostError : public SimError {
+ public:
+  explicit DeviceLostError(DeviceRef device);
+
+  [[nodiscard]] const DeviceRef& device() const { return device_; }
+
+ private:
+  DeviceRef device_;
+};
+
+}  // namespace repro::sim

@@ -1,0 +1,93 @@
+#include "sim/fault.h"
+
+#include "common/check.h"
+
+namespace repro::sim {
+
+const char* fault_kind_name(FaultKind k) {
+  switch (k) {
+    case FaultKind::AllocFail: return "alloc-fail";
+    case FaultKind::TransferTransient: return "transfer-transient";
+    case FaultKind::TransferCorrupt: return "transfer-corrupt";
+    case FaultKind::LaunchFail: return "launch-fail";
+    default: return "device-lost";
+  }
+}
+
+void FaultInjector::arm(FaultKind kind, std::uint64_t nth,
+                        std::uint64_t count) {
+  REPRO_CHECK_MSG(nth >= 1, "fault occurrences are 1-based");
+  REPRO_CHECK(count >= 1);
+  Slot& s = slots_[index(kind)];
+  s.armed = true;
+  s.seeded = false;
+  // Window is relative to the occurrences already seen, so arming after a
+  // warm-up phase targets the *next* nth occurrence.
+  s.nth = s.occurrences + nth;
+  s.count = count;
+  armed_mask_ |= 1u << index(kind);
+}
+
+void FaultInjector::arm_seeded(FaultKind kind, double probability,
+                               std::uint64_t seed, std::uint64_t max_fires) {
+  REPRO_CHECK(probability >= 0.0 && probability <= 1.0);
+  Slot& s = slots_[index(kind)];
+  s.armed = true;
+  s.seeded = true;
+  s.probability = probability;
+  s.rng = SplitMix64(seed);
+  s.max_fires = max_fires;
+  s.fired = 0;
+  armed_mask_ |= 1u << index(kind);
+}
+
+void FaultInjector::disarm(FaultKind kind) {
+  slots_[index(kind)].armed = false;
+  armed_mask_ &= ~(1u << index(kind));
+}
+
+void FaultInjector::disarm_all() {
+  for (auto& s : slots_) s.armed = false;
+  armed_mask_ = 0;
+}
+
+bool FaultInjector::armed(FaultKind kind) const {
+  return (armed_mask_ & (1u << index(kind))) != 0;
+}
+
+bool FaultInjector::fire(FaultKind kind) {
+  Slot& s = slots_[index(kind)];
+  ++s.occurrences;
+  if (!s.armed) return false;
+  bool hit;
+  if (s.seeded) {
+    hit = s.fired < s.max_fires && s.rng.uniform() < s.probability;
+  } else {
+    hit = s.occurrences >= s.nth && s.occurrences < s.nth + s.count;
+  }
+  if (hit) ++s.fired;
+  return hit;
+}
+
+std::uint64_t FaultInjector::occurrences(FaultKind kind) const {
+  return slots_[index(kind)].occurrences;
+}
+
+std::uint64_t FaultInjector::fired(FaultKind kind) const {
+  return slots_[index(kind)].fired;
+}
+
+std::uint64_t FaultInjector::total_fired() const {
+  std::uint64_t n = 0;
+  for (const auto& s : slots_) n += s.fired;
+  return n;
+}
+
+void FaultInjector::reset_counters() {
+  for (auto& s : slots_) {
+    s.occurrences = 0;
+    s.fired = 0;
+  }
+}
+
+}  // namespace repro::sim

@@ -1,0 +1,109 @@
+// Deterministic fault injection for the simulated device stack.
+//
+// A FaultInjector is attached lazily to a Device (Device::faults()); until
+// the first call the device holds no injector at all, and every fault hook
+// in the hot paths is a single null-pointer test — the disabled path adds
+// zero simulated time and produces bit-identical results and timelines
+// (bench_fault_overhead pins this).
+//
+// Faults are armed per FaultKind against an occurrence counter: the
+// injector counts every matching operation on the device (allocations for
+// AllocFail, transfers for the transfer kinds, launches for LaunchFail,
+// all of the above for DeviceLost) and fires on a chosen window of
+// occurrences, or — in seeded mode — on a deterministic Bernoulli draw per
+// occurrence. Both modes are exactly reproducible run-to-run: the
+// simulator has no real-world entropy anywhere.
+//
+// What each kind does when it fires (see device.h for the hook sites):
+//   AllocFail          the allocation throws OutOfDeviceMemory (marked
+//                      injected) as if the card were full
+//   TransferTransient  the h2d/d2h claims its PCIe time but delivers no
+//                      data; sync paths throw TransientTransferError,
+//                      async paths poison the stream (sticky, CUDA-style)
+//   TransferCorrupt    the transfer completes but one byte of the payload
+//                      is flipped; nothing throws — detection is the
+//                      recovery layer's job (checksummed re-stage)
+//   LaunchFail         the kernel does not run; sync launches throw
+//                      KernelLaunchError, async launches poison the stream
+//   DeviceLost         the device enters the lost state; this and every
+//                      later operation throw DeviceLostError
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.h"
+
+namespace repro::sim {
+
+enum class FaultKind {
+  AllocFail,
+  TransferTransient,
+  TransferCorrupt,
+  LaunchFail,
+  DeviceLost,
+};
+
+inline constexpr std::size_t kFaultKindCount = 5;
+
+[[nodiscard]] const char* fault_kind_name(FaultKind k);
+
+class FaultInjector {
+ public:
+  FaultInjector() = default;
+
+  /// Fire on occurrences [nth, nth + count) of `kind` (1-based: nth == 1
+  /// fires on the very next matching operation).
+  void arm(FaultKind kind, std::uint64_t nth, std::uint64_t count = 1);
+
+  /// Fire each occurrence of `kind` independently with `probability`,
+  /// drawn from a SplitMix64 stream seeded with `seed` (deterministic),
+  /// up to `max_fires` total fires.
+  void arm_seeded(FaultKind kind, double probability, std::uint64_t seed,
+                  std::uint64_t max_fires = UINT64_MAX);
+
+  void disarm(FaultKind kind);
+  void disarm_all();
+
+  /// Whether any kind is currently armed. Gates the (host-side) checksum
+  /// verification in the staging layer, so a disarmed injector costs
+  /// nothing there either.
+  [[nodiscard]] bool armed() const { return armed_mask_ != 0; }
+  [[nodiscard]] bool armed(FaultKind kind) const;
+
+  /// Record one occurrence of `kind`; returns true when the armed fault
+  /// plan says this occurrence fails. Counters advance even when nothing
+  /// is armed for `kind`, so occurrence indices are stable observables.
+  bool fire(FaultKind kind);
+
+  /// Matching operations seen / faults actually fired since construction
+  /// (or the last reset_counters()).
+  [[nodiscard]] std::uint64_t occurrences(FaultKind kind) const;
+  [[nodiscard]] std::uint64_t fired(FaultKind kind) const;
+  [[nodiscard]] std::uint64_t total_fired() const;
+
+  /// Zero the occurrence/fired counters; armed plans stay armed (their
+  /// occurrence windows re-anchor to the reset).
+  void reset_counters();
+
+ private:
+  struct Slot {
+    bool armed = false;
+    bool seeded = false;
+    std::uint64_t nth = 0;
+    std::uint64_t count = 0;
+    double probability = 0.0;
+    SplitMix64 rng{0};
+    std::uint64_t max_fires = 0;
+    std::uint64_t occurrences = 0;
+    std::uint64_t fired = 0;
+  };
+
+  [[nodiscard]] static std::size_t index(FaultKind kind) {
+    return static_cast<std::size_t>(kind);
+  }
+
+  Slot slots_[kFaultKindCount];
+  unsigned armed_mask_ = 0;
+};
+
+}  // namespace repro::sim

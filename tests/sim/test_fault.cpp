@@ -1,0 +1,304 @@
+// The fault injector and the typed error / sticky-stream semantics it
+// drives (sim/fault.h, sim/errors.h, stream.h poison machinery).
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "sim/device.h"
+#include "sim/event.h"
+
+namespace repro::sim {
+namespace {
+
+/// Doubles every element of a float buffer — a minimal functional kernel
+/// so launch faults can be checked against real data effects.
+class DoubleKernel final : public Kernel {
+ public:
+  explicit DoubleKernel(DeviceBuffer<float>& data) : data_(data) {}
+
+  [[nodiscard]] LaunchConfig config() const override {
+    LaunchConfig c;
+    c.name = "double";
+    return c;
+  }
+
+  void run_block(BlockCtx& ctx) override {
+    auto d = ctx.global(data_);
+    ctx.threads([&](ThreadCtx& t) {
+      for (std::size_t i = t.global_id(); i < data_.size();
+           i += t.total_threads()) {
+        d.store(t, i, 2.0f * d.load(t, i));
+      }
+    });
+  }
+
+ private:
+  DeviceBuffer<float>& data_;
+};
+
+std::vector<float> iota_host(std::size_t n) {
+  std::vector<float> v(n);
+  std::iota(v.begin(), v.end(), 1.0f);
+  return v;
+}
+
+TEST(FaultInjector, NthWindowFiresExactly) {
+  FaultInjector inj;
+  inj.arm(FaultKind::TransferTransient, 2, 2);  // occurrences 2 and 3
+  EXPECT_FALSE(inj.fire(FaultKind::TransferTransient));
+  EXPECT_TRUE(inj.fire(FaultKind::TransferTransient));
+  EXPECT_TRUE(inj.fire(FaultKind::TransferTransient));
+  EXPECT_FALSE(inj.fire(FaultKind::TransferTransient));
+  EXPECT_EQ(inj.occurrences(FaultKind::TransferTransient), 4u);
+  EXPECT_EQ(inj.fired(FaultKind::TransferTransient), 2u);
+  EXPECT_EQ(inj.total_fired(), 2u);
+}
+
+TEST(FaultInjector, KindsCountIndependently) {
+  FaultInjector inj;
+  inj.arm(FaultKind::AllocFail, 1);
+  EXPECT_FALSE(inj.fire(FaultKind::LaunchFail));  // different kind
+  EXPECT_TRUE(inj.fire(FaultKind::AllocFail));
+  EXPECT_FALSE(inj.fire(FaultKind::AllocFail));  // window exhausted
+  EXPECT_TRUE(inj.armed());  // armed() reports the plan, not remaining fires
+  inj.disarm_all();
+  EXPECT_FALSE(inj.armed());
+}
+
+TEST(FaultInjector, SeededDrawsAreReproducible) {
+  auto pattern = [](std::uint64_t seed) {
+    FaultInjector inj;
+    inj.arm_seeded(FaultKind::TransferTransient, 0.3, seed);
+    std::vector<bool> fires;
+    fires.reserve(64);
+    for (int i = 0; i < 64; ++i) {
+      fires.push_back(inj.fire(FaultKind::TransferTransient));
+    }
+    return fires;
+  };
+  EXPECT_EQ(pattern(42), pattern(42));
+  EXPECT_NE(pattern(42), pattern(43));
+}
+
+TEST(FaultInjector, SeededMaxFiresBounds) {
+  FaultInjector inj;
+  inj.arm_seeded(FaultKind::TransferTransient, 1.0, 7, /*max_fires=*/3);
+  int fired = 0;
+  for (int i = 0; i < 16; ++i) {
+    if (inj.fire(FaultKind::TransferTransient)) ++fired;
+  }
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(FaultAlloc, InjectedOomCarriesAllocatorPicture) {
+  Device dev(geforce_8800_gts());
+  auto held = dev.alloc<float>(1024);  // so free < capacity
+  dev.faults().arm(FaultKind::AllocFail, 1);
+  try {
+    auto b = dev.alloc<float>(256);
+    FAIL() << "expected injected OutOfDeviceMemory";
+  } catch (const OutOfDeviceMemory& e) {
+    EXPECT_TRUE(e.injected());
+    EXPECT_EQ(e.requested_bytes(), 1024u);
+    EXPECT_EQ(e.capacity_bytes(), dev.memory_capacity());
+    EXPECT_EQ(e.free_bytes(), dev.memory_capacity() - 4096u);
+    EXPECT_EQ(e.device().name, dev.spec().name);
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("8800 GTS"), std::string::npos);
+    EXPECT_NE(msg.find("requested 1024 bytes"), std::string::npos);
+    EXPECT_NE(msg.find("injected"), std::string::npos);
+  }
+  // The window is spent: the device works again and leaked nothing.
+  auto ok = dev.alloc<float>(256);
+  EXPECT_EQ(dev.allocated_bytes(), 5120u);
+}
+
+TEST(FaultErrors, AddContextPrepends) {
+  TransientTransferError e(DeviceRef{"8800 GTS", 2}, "h2d", 4096);
+  const std::string base = e.what();
+  EXPECT_NE(base.find("8800 GTS (device 2)"), std::string::npos);
+  EXPECT_NE(base.find("h2d"), std::string::npos);
+  EXPECT_NE(base.find("4096"), std::string::npos);
+  e.add_context("plan[test]");
+  EXPECT_EQ(std::string(e.what()), "plan[test]: " + base);
+  EXPECT_EQ(e.bytes(), 4096u);  // typed fields survive the rewrite
+}
+
+TEST(FaultTransfer, SerialTransientThrowsChargesTimeDeliversNothing) {
+  Device dev(geforce_8800_gts());
+  auto buf = dev.alloc<float>(64);
+  const auto host = iota_host(64);
+  dev.h2d(buf, std::span<const float>(host));  // occurrence 1, clean
+  std::vector<float> baseline(64);
+  dev.d2h(std::span<float>(baseline), buf);  // occurrence 2, clean
+
+  dev.faults().arm(FaultKind::TransferTransient, 1);
+  const double before_ms = dev.elapsed_ms();
+  const auto poison = std::vector<float>(64, -1.0f);
+  EXPECT_THROW(dev.h2d(buf, std::span<const float>(poison)),
+               TransientTransferError);
+  // The attempt occupied the link...
+  EXPECT_GT(dev.elapsed_ms(), before_ms);
+  // ...but delivered nothing: the buffer still holds the old payload.
+  std::vector<float> now(64);
+  dev.d2h(std::span<float>(now), buf);
+  EXPECT_EQ(now, baseline);
+}
+
+TEST(FaultTransfer, CorruptionFlipsOneByteSilently) {
+  Device dev(geforce_8800_gts());
+  auto buf = dev.alloc<float>(64);
+  const auto host = iota_host(64);
+  dev.faults().arm(FaultKind::TransferCorrupt, 1);
+  EXPECT_NO_THROW(dev.h2d(buf, std::span<const float>(host)));
+  std::vector<float> now(64);
+  dev.d2h(std::span<float>(now), buf);
+  int mismatches = 0;
+  for (std::size_t i = 0; i < now.size(); ++i) {
+    if (now[i] != host[i]) ++mismatches;
+  }
+  EXPECT_EQ(mismatches, 1);  // exactly one element damaged
+}
+
+TEST(FaultStream, AsyncTransientPoisonsAndSticks) {
+  Device dev(geforce_8800_gts());
+  auto buf = dev.alloc<float>(64);
+  const auto host = iota_host(64);
+  Stream s(dev);
+  dev.faults().arm(FaultKind::TransferTransient, 1);
+
+  // The enqueue itself does not throw — the error is sticky on the stream.
+  EXPECT_NO_THROW(dev.h2d_async(buf, std::span<const float>(host), s));
+  EXPECT_TRUE(s.poisoned());
+
+  // Later work on the poisoned stream fails fast, without running and
+  // without consuming an injector occurrence.
+  const auto occ_before = dev.faults().occurrences(FaultKind::TransferTransient);
+  EXPECT_THROW(dev.h2d_async(buf, std::span<const float>(host), s),
+               TransientTransferError);
+  EXPECT_EQ(dev.faults().occurrences(FaultKind::TransferTransient),
+            occ_before);
+
+  // Synchronize surfaces the first error; clear_error() is the explicit
+  // recovery point after which the stream works again.
+  EXPECT_THROW(dev.sync(s), TransientTransferError);
+  s.clear_error();
+  dev.faults().disarm_all();
+  EXPECT_NO_THROW(dev.h2d_async(buf, std::span<const float>(host), s));
+  EXPECT_NO_THROW(dev.sync(s));
+  std::vector<float> now(64);
+  dev.d2h(std::span<float>(now), buf);
+  EXPECT_EQ(now, host);
+}
+
+TEST(FaultStream, EventsCarryAndPropagateErrors) {
+  Device dev(geforce_8800_gts());
+  auto buf = dev.alloc<float>(16);
+  const auto host = iota_host(16);
+  Stream bad(dev);
+  Stream good(dev);
+  dev.faults().arm(FaultKind::TransferTransient, 1);
+  dev.h2d_async(buf, std::span<const float>(host), bad);
+  ASSERT_TRUE(bad.poisoned());
+
+  Event e;
+  bad.record(e);
+  EXPECT_TRUE(e.recorded());
+  EXPECT_FALSE(e.ok());
+
+  // Waiting on a failed event adopts the error (the dependency can never
+  // be satisfied), poisoning the waiting stream too.
+  good.wait(e);
+  EXPECT_TRUE(good.poisoned());
+  EXPECT_THROW(dev.sync(good), TransientTransferError);
+  good.clear_error();
+  bad.clear_error();
+}
+
+TEST(FaultLaunch, SerialLaunchFailThrowsAndRunsNothing) {
+  Device dev(geforce_8800_gts());
+  auto buf = dev.alloc<float>(64);
+  const auto host = iota_host(64);
+  dev.h2d(buf, std::span<const float>(host));
+  DoubleKernel k(buf);
+  dev.faults().arm(FaultKind::LaunchFail, 1);
+  EXPECT_THROW(dev.launch(k), KernelLaunchError);
+  // The kernel must not have touched the data.
+  std::vector<float> now(64);
+  dev.d2h(std::span<float>(now), buf);
+  EXPECT_EQ(now, host);
+  // The next launch works and doubles everything.
+  dev.launch(k);
+  dev.d2h(std::span<float>(now), buf);
+  for (std::size_t i = 0; i < now.size(); ++i) {
+    EXPECT_EQ(now[i], 2.0f * host[i]);
+  }
+}
+
+TEST(FaultLaunch, AsyncLaunchFailPoisonsStream) {
+  Device dev(geforce_8800_gts());
+  auto buf = dev.alloc<float>(64);
+  const auto host = iota_host(64);
+  dev.h2d(buf, std::span<const float>(host));
+  DoubleKernel k(buf);
+  Stream s(dev);
+  dev.faults().arm(FaultKind::LaunchFail, 1);
+  const LaunchResult r = dev.launch_async(k, s);
+  EXPECT_EQ(r.total_ms, 0.0);  // rejected at dispatch: no time charged
+  EXPECT_TRUE(s.poisoned());
+  EXPECT_THROW(dev.sync(s), KernelLaunchError);
+  s.clear_error();
+}
+
+TEST(FaultDeviceLost, LostIsSticky) {
+  Device dev(geforce_8800_gts());
+  auto buf = dev.alloc<float>(64);
+  const auto host = iota_host(64);
+  dev.faults().arm(FaultKind::DeviceLost, 2);  // 2nd op: the h2d below
+  std::vector<float> scratch(64);
+  dev.d2h(std::span<float>(scratch), buf);
+  EXPECT_FALSE(dev.lost());
+  EXPECT_THROW(dev.h2d(buf, std::span<const float>(host)), DeviceLostError);
+  EXPECT_TRUE(dev.lost());
+  // Every further operation fails, disarmed or not...
+  dev.faults().disarm_all();
+  EXPECT_THROW(dev.alloc<float>(4), DeviceLostError);
+  std::vector<float> out(64);
+  EXPECT_THROW(dev.d2h(std::span<float>(out), buf), DeviceLostError);
+  DoubleKernel k(buf);
+  EXPECT_THROW(dev.launch(k), DeviceLostError);
+  // ...except freeing, so RAII cleanup cannot throw.
+  EXPECT_NO_THROW(buf = DeviceBuffer<float>());
+  EXPECT_EQ(dev.allocated_bytes(), 0u);
+}
+
+TEST(FaultOverhead, DisarmedInjectorIsBitIdenticalToNone) {
+  // The same little workload on a pristine device and on one that carried
+  // an injector (armed, then disarmed) must agree bit-for-bit in results
+  // AND simulated time — the zero-overhead contract of the null check.
+  auto workload = [](Device& dev) {
+    auto buf = dev.alloc<float>(4096);
+    const auto host = iota_host(4096);
+    dev.h2d(buf, std::span<const float>(host));
+    DoubleKernel k(buf);
+    Stream s(dev);
+    dev.launch_async(k, s);
+    dev.sync(s);
+    std::vector<float> out(4096);
+    dev.d2h(std::span<float>(out), buf);
+    return std::make_pair(dev.elapsed_ms(), out);
+  };
+  Device plain(geforce_8800_gts());
+  Device carried(geforce_8800_gts());
+  carried.faults().arm(FaultKind::TransferTransient, 1);
+  carried.faults().disarm_all();
+  EXPECT_FALSE(carried.fault_injection_armed());
+  const auto a = workload(plain);
+  const auto b = workload(carried);
+  EXPECT_EQ(a.first, b.first);
+  EXPECT_EQ(a.second, b.second);
+}
+
+}  // namespace
+}  // namespace repro::sim
