@@ -1,0 +1,87 @@
+// The plan-time autotuner (DESIGN.md "planning & wisdom"): model time of
+// the paper's Table-2 default against the tuner's argmin on the stock
+// cards and on mutated specs, plus the warm-wisdom path. All numbers come
+// from the closed-form cost model — no plan executes.
+#include "bench_util.h"
+#include "gpufft/planner.h"
+#include "gpufft/registry.h"
+
+int main(int argc, char** argv) {
+  using namespace repro;
+  using gpufft::PlanDesc;
+  bench::init(&argc, argv);
+  bench::banner("Plan-time autotuner — Table-2 rediscovery and divergence");
+
+  const std::size_t n = bench::pick<std::size_t>(256, 64);
+  const PlanDesc b3d =
+      PlanDesc::bandwidth3d(cube(n), gpufft::Direction::Forward);
+  const PlanDesc oc =
+      PlanDesc::out_of_core(512, 8, gpufft::Direction::Forward);
+
+  struct Case {
+    std::string name;
+    sim::GpuSpec spec;
+    PlanDesc desc;
+  };
+  std::vector<Case> cases;
+  cases.push_back({"8800GTX stock", sim::geforce_8800_gtx(), b3d});
+  {
+    auto s = sim::geforce_8800_gtx();
+    s.registers_per_sm = 6144;
+    cases.push_back({"regs/SM 8192->6144", s, b3d});
+  }
+  if (!bench::smoke()) {
+    cases.push_back({"8800GTS stock", sim::geforce_8800_gts(), b3d});
+    {
+      auto s = sim::geforce_8800_gtx();
+      s.shmem_banks = 8;
+      cases.push_back({"shmem banks 16->8", s, b3d});
+    }
+    {
+      auto s = sim::geforce_8800_gtx();
+      s.texture_cache_bytes = 512;
+      cases.push_back({"tex cache 8K->512B", s, b3d});
+    }
+    {
+      auto s = sim::geforce_8800_gtx();
+      s.device_memory_bytes = 256ull << 20;
+      cases.push_back({"256MB card, oc512/8", s, oc});
+    }
+  }
+
+  TextTable t;
+  t.header({"Spec / plan", "default ms", "tuned ms", "evals",
+            "winner vs Table 2"});
+  for (const Case& c : cases) {
+    const gpufft::TuneResult r = gpufft::tune_plan(c.spec, c.desc);
+    const std::string verdict =
+        r.best == gpufft::TuneConfig{} ? "Table 2 (default)"
+                                       : r.best.to_string();
+    t.row({c.name, TextTable::fmt(r.default_ms, 3),
+           TextTable::fmt(r.model_ms, 3), std::to_string(r.evaluated),
+           verdict});
+    bench::add_row({"autotune/" + c.name + "/default", r.default_ms, {}});
+    bench::add_row({"autotune/" + c.name + "/tuned", r.model_ms, {}});
+  }
+  t.print(std::cout);
+
+  // Warm-wisdom path: a registry that imported wisdom never searches.
+  {
+    std::string wisdom;
+    {
+      sim::Device dev(sim::geforce_8800_gtx());
+      auto& reg = gpufft::PlanRegistry::of(dev);
+      reg.tuned_config(b3d);
+      wisdom = reg.export_wisdom();
+    }
+    sim::Device dev(sim::geforce_8800_gtx());
+    auto& reg = gpufft::PlanRegistry::of(dev);
+    const std::size_t loaded = reg.import_wisdom(wisdom);
+    reg.tuned_config(b3d);
+    std::cout << "\nwarm wisdom: imported " << loaded
+              << " entries, candidate evaluations on warm lookup: "
+              << reg.tune_evaluations() << " (cold search: "
+              << gpufft::tune_plan(dev.spec(), b3d).evaluated << ")\n";
+  }
+  return bench::run_benchmarks(argc, argv);
+}

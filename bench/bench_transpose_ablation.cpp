@@ -27,7 +27,8 @@ int main(int argc, char** argv) {
       sim::Device dev(spec);
       auto data = dev.alloc<cxf>(shape.volume());
       gpufft::ConventionalFft3D plan(dev, shape, gpufft::Direction::Forward,
-                                     0, gpufft::TransposeStrategy::Naive);
+                                     gpufft::TuneConfig{},
+                                     gpufft::TransposeStrategy::Naive);
       plan.execute(data);
       naive_ms = plan.last_total_ms();
     }
@@ -35,7 +36,8 @@ int main(int argc, char** argv) {
       sim::Device dev(spec);
       auto data = dev.alloc<cxf>(shape.volume());
       gpufft::ConventionalFft3D plan(dev, shape, gpufft::Direction::Forward,
-                                     0, gpufft::TransposeStrategy::Tiled);
+                                     gpufft::TuneConfig{},
+                                     gpufft::TransposeStrategy::Tiled);
       plan.execute(data);
       tiled_ms = plan.last_total_ms();
     }

@@ -17,12 +17,11 @@ Batch1DFftT<T>::Batch1DFftT(Device& dev, std::size_t n, std::size_t count,
   REPRO_CHECK_MSG(is_pow2(n) && n >= 16 && n <= 512,
                   "line length must be a power of two in [16, 512]");
   REPRO_CHECK(count > 0);
-  this->desc_.coarse_twiddles = opt_.coarse_twiddles;
-  this->desc_.fine_twiddles = opt_.fine_twiddles;
-  this->desc_.grid_blocks = opt_.grid_blocks;
-  if (opt_.grid_blocks == 0) {
-    opt_.grid_blocks = default_grid_blocks(dev.spec());
-  }
+  REPRO_CHECK_MSG(options.executable_patterns(),
+                  "only the paper's read-D/write-A coarse pattern pairing "
+                  "is implemented; other pairs are model-only knobs");
+  this->desc_.tune = options;
+  opt_.grid_blocks = opt_.grid_for(dev.spec());
 }
 
 template <typename T>
@@ -38,7 +37,8 @@ std::vector<StepTiming> Batch1DFftT<T>::execute(DeviceBuffer<cx<T>>& data) {
   p.twiddles = opt_.fine_twiddles;
   p.grid_blocks = opt_.grid_blocks;
   p.threads_per_block = static_cast<unsigned>(
-      std::max<std::size_t>(n / 4, kDefaultThreadsPerBlock));
+      std::max<std::size_t>(n / 4, opt_.threads_per_block));
+  p.shmem_pad_words = opt_.shmem_pad_words;
   FineFftKernelT<T> k(data, data, p, tw_.get());
   const auto r = this->dev_.launch(k);
 

@@ -119,16 +119,20 @@ void TiledTransposeKernel::run_block(sim::BlockCtx& ctx) {
 }
 
 ConventionalFft3D::ConventionalFft3D(Device& dev, Shape3 shape, Direction dir,
-                                     unsigned grid_blocks,
+                                     TuneConfig tune,
                                      TransposeStrategy transpose)
     : PlanBaseT<float>(dev,
                        PlanDesc::conventional3d(shape, dir, transpose)),
-      grid_(grid_blocks == 0 ? default_grid_blocks(dev.spec()) : grid_blocks),
+      opt_(tune),
+      grid_(tune.grid_for(dev.spec())),
       transpose_(transpose),
       tw_x_(ResourceCache::of(dev).twiddles<float>(shape.nx, dir)),
       tw_y_(ResourceCache::of(dev).twiddles<float>(shape.ny, dir)),
       tw_z_(ResourceCache::of(dev).twiddles<float>(shape.nz, dir)) {
-  desc_.grid_blocks = grid_blocks;
+  REPRO_CHECK_MSG(tune.executable_patterns(),
+                  "only the paper's read-D/write-A coarse pattern pairing "
+                  "is implemented; other pairs are model-only knobs");
+  desc_.tune = tune;
 }
 
 std::vector<StepTiming> ConventionalFft3D::execute(DeviceBuffer<cxf>& data) {
@@ -151,18 +155,20 @@ std::vector<StepTiming> ConventionalFft3D::execute(DeviceBuffer<cxf>& data) {
     p.count = shape.volume() / n;
     p.dir = desc_.dir;
     p.grid_blocks = grid_;
-    p.threads_per_block =
-        static_cast<unsigned>(std::max<std::size_t>(n / 4, 64));
+    p.threads_per_block = static_cast<unsigned>(
+        std::max<std::size_t>(n / 4, opt_.threads_per_block));
+    p.shmem_pad_words = opt_.shmem_pad_words;
     FineFftKernel k(in, out, p, &tw);
     record(name, dev_.launch(k));
   };
   auto transpose = [&](DeviceBuffer<cxf>& in, DeviceBuffer<cxf>& out,
                        Shape3 s, const char* name) {
     if (transpose_ == TransposeStrategy::Tiled) {
+      // The tiled kernel's 16x16 tiles hard-require 64-thread blocks.
       TiledTransposeKernel k(in, out, s, grid_);
       record(name, dev_.launch(k));
     } else {
-      TransposeKernel k(in, out, s, grid_);
+      TransposeKernel k(in, out, s, grid_, opt_.threads_per_block);
       record(name, dev_.launch(k));
     }
   };

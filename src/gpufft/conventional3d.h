@@ -14,6 +14,7 @@
 
 #include "gpufft/fft_plan.h"
 #include "gpufft/fine_kernel.h"
+#include "gpufft/tuning.h"
 #include "gpufft/types.h"
 
 namespace repro::gpufft {
@@ -66,7 +67,7 @@ class TiledTransposeKernel final : public sim::Kernel {
 class ConventionalFft3D final : public PlanBaseT<float> {
  public:
   ConventionalFft3D(Device& dev, Shape3 shape, Direction dir,
-                    unsigned grid_blocks = 0,
+                    TuneConfig tune = {},
                     TransposeStrategy transpose = TransposeStrategy::Naive);
 
   std::vector<StepTiming> execute(DeviceBuffer<cxf>& data) override;
@@ -78,6 +79,7 @@ class ConventionalFft3D final : public PlanBaseT<float> {
   [[nodiscard]] Shape3 shape() const { return desc_.shape; }
 
  private:
+  TuneConfig opt_;
   unsigned grid_;
   TransposeStrategy transpose_;
   std::shared_ptr<const DeviceBuffer<cxf>> tw_x_;

@@ -16,6 +16,7 @@
 #pragma once
 
 #include "gpufft/smallfft.h"
+#include "gpufft/tuning.h"
 #include "gpufft/types.h"
 
 namespace repro::gpufft {

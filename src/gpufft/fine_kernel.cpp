@@ -27,8 +27,9 @@ FineFftKernelT<T>::FineFftKernelT(DeviceBuffer<cx<T>>& in,
 }
 
 template <typename T>
-std::size_t FineFftKernelT<T>::shmem_bytes_per_transform(std::size_t n) {
-  return fine_min_sh_stride(n) * sizeof(T);
+std::size_t FineFftKernelT<T>::shmem_bytes_per_transform(
+    std::size_t n, std::size_t pad_words) {
+  return fine_min_sh_stride(n, pad_words) * sizeof(T);
 }
 
 template <typename T>
@@ -47,9 +48,15 @@ sim::LaunchConfig FineFftKernelT<T>::config() const {
   c.regs_per_thread =
       std::is_same_v<T, double> ? 20 : 10;  // 4 complex values + temps
   c.fp64 = std::is_same_v<T, double>;
-  c.shmem_per_block = txs_pb * shmem_bytes_per_transform(params_.n);
-  c.total_flops =
-      static_cast<double>(params_.count) * flops_per_transform(params_.n);
+  c.shmem_per_block =
+      txs_pb * shmem_bytes_per_transform(params_.n, params_.shmem_pad_words);
+  double per_tx = flops_per_transform(params_.n);
+  if (params_.twiddles == TwiddleSource::Recompute) {
+    // sin/cos per fetched twiddle, same charge as the rank kernels — a
+    // recomputing config must not look free to the cost model.
+    per_tx += 32.0 * fine_twiddle_fetches(params_.n);
+  }
+  c.total_flops = static_cast<double>(params_.count) * per_tx;
   c.fma_fraction = 0.5;
   const double groups_per_wave =
       static_cast<double>(c.grid_blocks) * static_cast<double>(txs_pb);
@@ -67,7 +74,8 @@ void FineFftKernelT<T>::run_block(sim::BlockCtx& ctx) {
   const std::size_t tpt = n / 4;
   const unsigned block_dim = params_.threads_per_block;
   const std::size_t txs_pb = block_dim / tpt;
-  const std::size_t sh_per_tx = fine_min_sh_stride(n);
+  const std::size_t pad = params_.shmem_pad_words;
+  const std::size_t sh_per_tx = fine_min_sh_stride(n, pad);
   const int sign = fft::direction_sign(params_.dir);
   const auto sts = fine_stages(n);
 
@@ -108,8 +116,8 @@ void FineFftKernelT<T>::run_block(sim::BlockCtx& ctx) {
        base < params_.count;
        base += groups_per_wave) {
     run_fine_stages<T>(
-        ctx, sts, n, sign, sh, sh_per_tx, base, params_.count, vals.data(),
-        tmp.data(),
+        ctx, sts, n, sign, sh, sh_per_tx, pad, base, params_.count,
+        vals.data(), tmp.data(),
         [&](sim::ThreadCtx& t, std::size_t tx, std::size_t pos) {
           return in.load(t, tx * n + pos);
         },

@@ -16,6 +16,7 @@
 
 #include "gpufft/smallfft.h"
 #include "gpufft/stage_engine.h"
+#include "gpufft/tuning.h"
 #include "gpufft/types.h"
 
 namespace repro::gpufft {
@@ -27,6 +28,8 @@ struct FineKernelParams {
   TwiddleSource twiddles{TwiddleSource::Texture};
   unsigned grid_blocks{48};
   unsigned threads_per_block{kDefaultThreadsPerBlock};
+  /// Shared-exchange pad stride in words (TuneConfig knob; 0 = none).
+  unsigned shmem_pad_words{kDefaultShmemPadWords};
 };
 
 /// Cooperative n-point FFT over `count` contiguous lines; in-place when
@@ -44,7 +47,8 @@ class FineFftKernelT final : public sim::Kernel {
   void run_block(sim::BlockCtx& ctx) override;
 
   /// Shared-memory bytes one transform group needs (n scalars + padding).
-  [[nodiscard]] static std::size_t shmem_bytes_per_transform(std::size_t n);
+  [[nodiscard]] static std::size_t shmem_bytes_per_transform(
+      std::size_t n, std::size_t pad_words = kDefaultShmemPadWords);
 
   /// FP operations of one n-point transform as implemented (all stages).
   [[nodiscard]] static double flops_per_transform(std::size_t n);

@@ -219,7 +219,7 @@ NaiveFft3D::NaiveFft3D(Device& dev, Shape3 shape, Direction dir,
     : PlanBaseT<float>(dev, PlanDesc::naive3d(shape, dir)),
       grid_(grid_blocks == 0 ? default_grid_blocks(dev.spec())
                              : grid_blocks) {
-  desc_.grid_blocks = grid_blocks;
+  desc_.tune.grid_blocks = grid_blocks;
 }
 
 std::vector<StepTiming> NaiveFft3D::execute(DeviceBuffer<cxf>& data) {

@@ -10,13 +10,15 @@ namespace repro::gpufft {
 
 ZPencilFftKernel::ZPencilFftKernel(DeviceBuffer<cxf>& data, Shape3 slab,
                                    Direction dir, unsigned grid_blocks,
-                                   std::size_t elem_offset)
+                                   std::size_t elem_offset,
+                                   unsigned threads_per_block)
     : data_(data),
       slab_(slab),
       dir_(dir),
       roots_(make_roots<float>(slab.nz, dir)),
       grid_(grid_blocks),
-      offset_(elem_offset) {
+      offset_(elem_offset),
+      threads_(threads_per_block) {
   REPRO_CHECK(data_.size() >= offset_ + slab_.volume());
   REPRO_CHECK(slab_.nz >= 2 && slab_.nz <= kMaxFactor);
 }
@@ -26,7 +28,7 @@ sim::LaunchConfig ZPencilFftKernel::config() const {
   sim::LaunchConfig c;
   c.name = "zpencil_fft" + std::to_string(slab_.nz);
   c.grid_blocks = grid_;
-  c.threads_per_block = kDefaultThreadsPerBlock;
+  c.threads_per_block = threads_;
   c.regs_per_thread = 28;
   c.total_flops = static_cast<double>(items) * fft_small_flops(slab_.nz);
   c.fma_fraction = 0.5;
@@ -58,13 +60,15 @@ void ZPencilFftKernel::run_block(sim::BlockCtx& ctx) {
 SlabTwiddleKernel::SlabTwiddleKernel(DeviceBuffer<cxf>& data, Shape3 slab,
                                      std::size_t n, std::size_t residue,
                                      Direction dir, unsigned grid_blocks,
-                                     std::size_t elem_offset)
+                                     std::size_t elem_offset,
+                                     unsigned threads_per_block)
     : data_(data),
       slab_(slab),
       roots_n_(make_roots<float>(n, dir)),
       residue_(residue),
       grid_(grid_blocks),
-      offset_(elem_offset) {
+      offset_(elem_offset),
+      threads_(threads_per_block) {
   REPRO_CHECK(data_.size() >= offset_ + slab_.volume());
   REPRO_CHECK(residue_ * (slab_.nz - 1) < n);
 }
@@ -73,7 +77,7 @@ sim::LaunchConfig SlabTwiddleKernel::config() const {
   sim::LaunchConfig c;
   c.name = "slab_twiddle";
   c.grid_blocks = grid_;
-  c.threads_per_block = kDefaultThreadsPerBlock;
+  c.threads_per_block = threads_;
   c.regs_per_thread = 10;
   c.total_flops = 6.0 * static_cast<double>(slab_.volume());
   c.fma_fraction = 0.5;
@@ -93,19 +97,40 @@ void SlabTwiddleKernel::run_block(sim::BlockCtx& ctx) {
   });
 }
 
+namespace {
+
+/// The TuneConfig slab-depth knob overrides the plan's `splits` when set.
+std::size_t effective_splits(std::size_t splits, const TuneConfig& tune) {
+  return tune.slab_depth != 0 ? tune.slab_depth : splits;
+}
+
+/// Inner slab-FFT description: carries the tuned knobs, but not the slab
+/// decimation itself (the slab plan must not re-decimate).
+PlanDesc slab_plan_desc(Shape3 slab, Direction dir, TuneConfig tune) {
+  PlanDesc d = PlanDesc::bandwidth3d(slab, dir, Precision::F32);
+  tune.slab_depth = 0;
+  d.tune = tune;
+  return d;
+}
+
+}  // namespace
+
 OutOfCoreFft3D::OutOfCoreFft3D(Device& dev, std::size_t n, std::size_t splits,
-                               Direction dir)
-    : PlanBaseT<float>(dev, PlanDesc::out_of_core(n, splits, dir)),
+                               Direction dir, TuneConfig tune)
+    : PlanBaseT<float>(
+          dev, PlanDesc::out_of_core(n, effective_splits(splits, tune), dir)),
+      opt_(tune),
       n_(n),
-      splits_(splits),
-      slab_shape_{n, n, n / splits},
+      splits_(effective_splits(splits, tune)),
+      slab_shape_{n, n, n / splits_},
       slab_plan_(PlanRegistry::of(dev).get_or_create(
-          PlanDesc::bandwidth3d(slab_shape_, dir, Precision::F32))),
+          slab_plan_desc(slab_shape_, dir, tune))),
       host_work_(n * n * n) {
-  REPRO_CHECK_MSG(n % splits == 0, "splits must divide n");
-  REPRO_CHECK_MSG(splits >= 2 && splits <= kMaxFactor,
+  REPRO_CHECK_MSG(n % splits_ == 0, "splits must divide n");
+  REPRO_CHECK_MSG(splits_ >= 2 && splits_ <= kMaxFactor,
                   "splits must be a supported small-FFT factor");
-  REPRO_CHECK(is_pow2(n) && is_pow2(splits));
+  REPRO_CHECK(is_pow2(n) && is_pow2(splits_));
+  desc_.tune = tune;
 }
 
 std::vector<StepTiming> OutOfCoreFft3D::execute(DeviceBuffer<cxf>&) {
@@ -122,7 +147,7 @@ OutOfCoreTiming OutOfCoreFft3D::execute_impl(std::span<cxf> host_data) {
   REPRO_CHECK(host_data.size() == n_ * n_ * n_);
   const std::size_t plane = n_ * n_;
   const std::size_t local_nz = n_ / splits_;
-  const unsigned grid = default_grid_blocks(dev_.spec());
+  const unsigned grid = opt_.grid_for(dev_.spec());
 
   // Phase 1 stages n/splits planes, phase 2 stages `splits` planes; two
   // arena leases (held only for the duration of the run) double-buffer
@@ -154,7 +179,8 @@ OutOfCoreTiming OutOfCoreFft3D::execute_impl(std::span<cxf> host_data) {
       timing.fft1_ms += step.ms;
     }
 
-    SlabTwiddleKernel tw(slab, slab_shape_, n_, residue, desc_.dir, grid);
+    SlabTwiddleKernel tw(slab, slab_shape_, n_, residue, desc_.dir, grid, 0,
+                         opt_.threads_per_block);
     timing.twiddle_ms += dev_.launch_async(tw, s).total_ms;
 
     for (std::size_t k = 0; k < local_nz; ++k) {
@@ -185,7 +211,8 @@ OutOfCoreTiming OutOfCoreFft3D::execute_impl(std::span<cxf> host_data) {
             .subspan(splits_ * k * plane, splits_ * plane),
         &s);
 
-    ZPencilFftKernel fft(slab, pencil_slab, desc_.dir, grid);
+    ZPencilFftKernel fft(slab, pencil_slab, desc_.dir, grid, 0,
+                         opt_.threads_per_block);
     timing.fft2_ms += dev_.launch_async(fft, s).total_ms;
 
     for (std::size_t k2 = 0; k2 < splits_; ++k2) {

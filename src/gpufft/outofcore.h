@@ -42,7 +42,8 @@ class ZPencilFftKernel final : public sim::Kernel {
   /// `elem_offset` shifts the slab view into `data` (the sharded real plan
   /// runs the Nyquist tail region through a second instance at its offset).
   ZPencilFftKernel(DeviceBuffer<cxf>& data, Shape3 slab, Direction dir,
-                   unsigned grid_blocks, std::size_t elem_offset = 0);
+                   unsigned grid_blocks, std::size_t elem_offset = 0,
+                   unsigned threads_per_block = kDefaultThreadsPerBlock);
 
   [[nodiscard]] sim::LaunchConfig config() const override;
   void run_block(sim::BlockCtx& ctx) override;
@@ -54,6 +55,7 @@ class ZPencilFftKernel final : public sim::Kernel {
   std::vector<cxf> roots_;
   unsigned grid_;
   std::size_t offset_;
+  unsigned threads_;
 };
 
 /// Multiply plane k' of an (nx, ny, nk) slab by W_n^(residue * k')
@@ -62,7 +64,8 @@ class SlabTwiddleKernel final : public sim::Kernel {
  public:
   SlabTwiddleKernel(DeviceBuffer<cxf>& data, Shape3 slab, std::size_t n,
                     std::size_t residue, Direction dir, unsigned grid_blocks,
-                    std::size_t elem_offset = 0);
+                    std::size_t elem_offset = 0,
+                    unsigned threads_per_block = kDefaultThreadsPerBlock);
 
   [[nodiscard]] sim::LaunchConfig config() const override;
   void run_block(sim::BlockCtx& ctx) override;
@@ -74,6 +77,7 @@ class SlabTwiddleKernel final : public sim::Kernel {
   std::size_t residue_;
   unsigned grid_;
   std::size_t offset_;
+  unsigned threads_;
 };
 
 /// Phase-level timing breakdown (Table 12 columns). The buckets sum each
@@ -99,8 +103,9 @@ struct OutOfCoreTiming {
 class OutOfCoreFft3D final : public PlanBaseT<float> {
  public:
   /// `splits` must divide n; the slab (2 buffers) must fit on the card.
+  /// A non-zero tune.slab_depth overrides `splits` (the TuneConfig knob).
   OutOfCoreFft3D(Device& dev, std::size_t n, std::size_t splits,
-                 Direction dir);
+                 Direction dir, TuneConfig tune = {});
 
   OutOfCoreTiming execute(std::span<cxf> host_data);
 
@@ -133,6 +138,7 @@ class OutOfCoreFft3D final : public PlanBaseT<float> {
  private:
   OutOfCoreTiming execute_impl(std::span<cxf> host_data);
 
+  TuneConfig opt_;
   std::size_t n_;
   std::size_t splits_;
   Shape3 slab_shape_;

@@ -26,19 +26,18 @@ BandwidthFft3DT<T>::BandwidthFft3DT(Device& dev, Shape3 shape, Direction dir,
                                              ? Precision::F32
                                              : Precision::F64)),
       opt_(options),
-      sy_(split_axis(shape.ny)),
-      sz_(split_axis(shape.nz)),
+      sy_(split_axis(shape.ny, options.coarse_radix)),
+      sz_(split_axis(shape.nz, options.coarse_radix)),
       tw_x_(ResourceCache::of(dev).twiddles<T>(shape.nx, dir)),
       tw_y_(ResourceCache::of(dev).twiddles<T>(shape.ny, dir)),
       tw_z_(ResourceCache::of(dev).twiddles<T>(shape.nz, dir)) {
   REPRO_CHECK_MSG(is_pow2(shape.nx) && shape.nx >= 16 && shape.nx <= 512,
                   "X extent must be a power of two in [16, 512]");
-  this->desc_.coarse_twiddles = opt_.coarse_twiddles;
-  this->desc_.fine_twiddles = opt_.fine_twiddles;
-  this->desc_.grid_blocks = opt_.grid_blocks;
-  if (opt_.grid_blocks == 0) {
-    opt_.grid_blocks = default_grid_blocks(dev.spec());
-  }
+  REPRO_CHECK_MSG(options.executable_patterns(),
+                  "only the paper's read-D/write-A coarse pattern pairing "
+                  "is implemented; other pairs are model-only knobs");
+  this->desc_.tune = options;
+  opt_.grid_blocks = opt_.grid_for(dev.spec());
 }
 
 template <typename T>
@@ -104,6 +103,7 @@ std::vector<StepTiming> BandwidthFft3DT<T>::execute(
   p.dir = this->desc_.dir;
   p.twiddles = opt_.coarse_twiddles;
   p.grid_blocks = opt_.grid_blocks;
+  p.threads_per_block = opt_.threads_per_block;
 
   // Steps 1-4: the Z/Y coarse rank pairs.
   run_coarse_ranks<T>(this->dev_, data, work, shape, sy_, sz_, p,
@@ -120,7 +120,8 @@ std::vector<StepTiming> BandwidthFft3DT<T>::execute(
     // A block must hold whole transform groups: 512-point lines need
     // 128-thread blocks (nx/4 threads per transform).
     fp.threads_per_block = static_cast<unsigned>(
-        std::max<std::size_t>(nx / 4, kDefaultThreadsPerBlock));
+        std::max<std::size_t>(nx / 4, opt_.threads_per_block));
+    fp.shmem_pad_words = opt_.shmem_pad_words;
     FineFftKernelT<T> k(data, data, fp, tw_x_.get());
     record("X fine", this->dev_.launch(k));
   }

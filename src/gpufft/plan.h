@@ -22,16 +22,14 @@
 #include "gpufft/fft_plan.h"
 #include "gpufft/fine_kernel.h"
 #include "gpufft/rank_kernels.h"
+#include "gpufft/tuning.h"
 #include "gpufft/types.h"
 
 namespace repro::gpufft {
 
-/// Options of the bandwidth-intensive plan.
-struct BandwidthPlanOptions {
-  TwiddleSource coarse_twiddles{TwiddleSource::Registers};  // steps 1-4
-  TwiddleSource fine_twiddles{TwiddleSource::Texture};      // step 5
-  unsigned grid_blocks{0};  ///< 0 = 3 blocks per SM (the paper's choice)
-};
+// The plan options are the tuning knobs themselves: BandwidthPlanOptions
+// is an alias of TuneConfig (gpufft/tuning.h), so a default-constructed
+// option block still reproduces the paper's configuration exactly.
 
 /// Callback invoked once per coarse-rank launch with a short step name
 /// ("Z rank1", ...) and the launch's timing.

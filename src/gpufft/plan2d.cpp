@@ -15,17 +15,16 @@ BandwidthFft2DT<T>::BandwidthFft2DT(Device& dev, Shape2 shape, Direction dir,
                                              ? Precision::F32
                                              : Precision::F64)),
       opt_(options),
-      sy_(split_axis(shape.ny)),
+      sy_(split_axis(shape.ny, options.coarse_radix)),
       tw_x_(ResourceCache::of(dev).twiddles<T>(shape.nx, dir)),
       tw_y_(ResourceCache::of(dev).twiddles<T>(shape.ny, dir)) {
   REPRO_CHECK_MSG(is_pow2(shape.nx) && shape.nx >= 16 && shape.nx <= 512,
                   "X extent must be a power of two in [16, 512]");
-  this->desc_.coarse_twiddles = opt_.coarse_twiddles;
-  this->desc_.fine_twiddles = opt_.fine_twiddles;
-  this->desc_.grid_blocks = opt_.grid_blocks;
-  if (opt_.grid_blocks == 0) {
-    opt_.grid_blocks = default_grid_blocks(dev.spec());
-  }
+  REPRO_CHECK_MSG(options.executable_patterns(),
+                  "only the paper's read-D/write-A coarse pattern pairing "
+                  "is implemented; other pairs are model-only knobs");
+  this->desc_.tune = options;
+  opt_.grid_blocks = opt_.grid_for(dev.spec());
 }
 
 template <typename T>
@@ -49,6 +48,7 @@ std::vector<StepTiming> BandwidthFft2DT<T>::execute(
   p.dir = this->desc_.dir;
   p.twiddles = opt_.coarse_twiddles;
   p.grid_blocks = opt_.grid_blocks;
+  p.threads_per_block = opt_.threads_per_block;
 
   // Y axis rank 1: view (nx, 1, 1, f1, f2), transform the high digit.
   p.in_shape = Shape5{{nx, 1, 1, f1, f2}};
@@ -71,7 +71,8 @@ std::vector<StepTiming> BandwidthFft2DT<T>::execute(
     fp.twiddles = opt_.fine_twiddles;
     fp.grid_blocks = opt_.grid_blocks;
     fp.threads_per_block = static_cast<unsigned>(
-        std::max<std::size_t>(nx / 4, kDefaultThreadsPerBlock));
+        std::max<std::size_t>(nx / 4, opt_.threads_per_block));
+    fp.shmem_pad_words = opt_.shmem_pad_words;
     FineFftKernelT<T> k(data, data, fp, tw_x_.get());
     record("X fine", this->dev_.launch(k));
   }

@@ -13,6 +13,7 @@
 #include <functional>
 #include <string>
 
+#include "gpufft/tuning.h"
 #include "gpufft/types.h"
 
 namespace repro::gpufft {
@@ -77,20 +78,19 @@ struct PlanDesc {
   Shape3 shape{};
   Direction dir{Direction::Forward};
   Precision precision{Precision::F32};
-  TwiddleSource coarse_twiddles{TwiddleSource::Registers};  ///< steps 1-4
-  TwiddleSource fine_twiddles{TwiddleSource::Texture};      ///< step 5
-  unsigned grid_blocks{0};  ///< 0 = 3 blocks per SM (the paper's choice)
+  /// Tunable knobs (twiddle placement, grid, block size, radix, pad,
+  /// slab depth, pattern pair). Part of the identity: a tuned plan and a
+  /// default-config plan of the same shape are different registry entries.
+  TuneConfig tune{};
   TransposeStrategy transpose{TransposeStrategy::Naive};  ///< Conventional3D
   std::size_t splits{0};  ///< OutOfCore / Sharded3D decimation factor
   Layout layout{Layout::Complex};  ///< element layout (Real3D: half-spectrum)
 
   friend bool operator==(const PlanDesc& a, const PlanDesc& b) {
     return a.kind == b.kind && a.shape == b.shape && a.dir == b.dir &&
-           a.precision == b.precision &&
-           a.coarse_twiddles == b.coarse_twiddles &&
-           a.fine_twiddles == b.fine_twiddles &&
-           a.grid_blocks == b.grid_blocks && a.transpose == b.transpose &&
-           a.splits == b.splits && a.layout == b.layout;
+           a.precision == b.precision && a.tune == b.tune &&
+           a.transpose == b.transpose && a.splits == b.splits &&
+           a.layout == b.layout;
   }
   friend bool operator!=(const PlanDesc& a, const PlanDesc& b) {
     return !(a == b);
@@ -109,9 +109,7 @@ struct PlanDesc {
     mix(shape.nz);
     mix(static_cast<std::uint64_t>(dir));
     mix(static_cast<std::uint64_t>(precision));
-    mix(static_cast<std::uint64_t>(coarse_twiddles));
-    mix(static_cast<std::uint64_t>(fine_twiddles));
-    mix(grid_blocks);
+    mix(tune.hash());
     mix(static_cast<std::uint64_t>(transpose));
     mix(splits);
     mix(static_cast<std::uint64_t>(layout));
@@ -140,6 +138,9 @@ struct PlanDesc {
     if (layout == Layout::RealHalfSpectrum) {
       s += " ";
       s += layout_name(layout);
+    }
+    if (tune != TuneConfig{}) {
+      s += " [" + tune.to_string() + "]";
     }
     return s;
   }

@@ -1,0 +1,828 @@
+#include "gpufft/planner.h"
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <cmath>
+#include <cstdio>
+#include <exception>
+#include <limits>
+#include <unordered_map>
+#include <vector>
+
+#include "gpufft/rank_kernels.h"
+#include "gpufft/smallfft.h"
+#include "gpufft/stage_engine.h"
+#include "sim/coalesce.h"
+#include "sim/occupancy.h"
+#include "sim/pcie.h"
+#include "sim/timing.h"
+
+namespace repro::gpufft {
+namespace {
+
+constexpr double kInfeasible = std::numeric_limits<double>::infinity();
+
+/// Memoized per-step scores: many candidates share coarse or fine
+/// sub-configurations, so each distinct synthetic launch is costed once.
+using Memo = std::unordered_map<std::uint64_t, double>;
+
+std::uint64_t mix_key(std::initializer_list<std::uint64_t> vs) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const std::uint64_t v : vs) {
+    h ^= v;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+/// Miss bytes of `fetch_bytes` of twiddle fetches against the per-SM
+/// direct-mapped texture cache: one cold fill of the table footprint per
+/// block, plus capacity misses when the table aliases (a table larger than
+/// the cache keeps evicting itself — BlockCtx's line-tag model thrashes on
+/// every aliased stride, so roughly the non-resident fraction of every
+/// fetch misses).
+std::uint64_t texture_miss_bytes(const sim::GpuSpec& spec,
+                                 std::uint64_t table_bytes,
+                                 std::uint64_t fetch_bytes, unsigned grid) {
+  const auto cache = static_cast<std::uint64_t>(spec.texture_cache_bytes);
+  std::uint64_t miss = static_cast<std::uint64_t>(grid) *
+                       std::min<std::uint64_t>(table_bytes, cache);
+  if (table_bytes > cache && table_bytes > 0) {
+    const double resident =
+        static_cast<double>(cache) / static_cast<double>(table_bytes);
+    miss += static_cast<std::uint64_t>(
+        (1.0 - resident) * static_cast<double>(fetch_bytes));
+  }
+  return miss;
+}
+
+// ---------------------------------------------------------------------------
+// Coarse (rank-kernel) step model
+// ---------------------------------------------------------------------------
+
+/// One of the four coarse steps: a rank kernel over `items` work items,
+/// each an `l`-point per-thread FFT. `table_n` is the inter-rank twiddle
+/// table length (rank-1 steps only).
+struct CoarseStep {
+  std::array<std::size_t, 4> items{};  ///< (x, a, b, c) extents
+  std::size_t l{};
+  bool rank1{};
+  std::size_t table_n{};
+};
+
+/// 5-D view with the transform extent at `pos` (the Table-2 pattern value,
+/// 1..4) and the item extents at the remaining dims in order. pos 4 with
+/// items (x,a,b,c) is exactly the rank kernels' in_shape walk.
+Shape5 view_with_l(const std::array<std::size_t, 4>& items, std::size_t l,
+                   std::size_t pos) {
+  Shape5 s;
+  std::size_t ii = 0;
+  for (std::size_t d = 0; d < 5; ++d) {
+    s.extent[d] = d == pos ? l : items[ii++];
+  }
+  return s;
+}
+
+std::size_t index_with_l(const Shape5& s, std::size_t pos,
+                         const std::array<std::size_t, 4>& it,
+                         std::size_t q) {
+  std::array<std::size_t, 5> idx{};
+  std::size_t ii = 0;
+  for (std::size_t d = 0; d < 5; ++d) idx[d] = d == pos ? q : it[ii++];
+  return s.at(idx[0], idx[1], idx[2], idx[3], idx[4]);
+}
+
+/// Score one coarse step by replaying a synthetic sample of its memory
+/// behaviour through sim::estimate_launch: per-warp transaction streams
+/// built from the kernels' x-innermost item walk, loads along the read
+/// pattern's dimension and stores along the write pattern's.
+double coarse_step_ms(const sim::GpuSpec& spec, const CoarseStep& st,
+                      const TuneConfig& cfg, bool fp64) {
+  const std::size_t esize = fp64 ? 16 : 8;  // sizeof(cx<T>)
+  const std::size_t items_total =
+      st.items[0] * st.items[1] * st.items[2] * st.items[3];
+  const std::size_t volume = items_total * st.l;
+  const unsigned grid = cfg.grid_for(spec);
+  const unsigned tpb = cfg.threads_per_block;
+  const TwiddleSource tw =
+      st.rank1 ? cfg.coarse_twiddles : TwiddleSource::Registers;
+
+  sim::LaunchConfig c;
+  c.name = "model_rank";
+  c.grid_blocks = grid;
+  c.threads_per_block = tpb;
+  c.regs_per_thread = rank_kernel_regs(tw, st.l, fp64);
+  c.fp64 = fp64;
+  try {
+    sim::compute_occupancy(
+        spec, sim::BlockResources{static_cast<int>(tpb), c.regs_per_thread,
+                                  0});
+  } catch (const std::exception&) {
+    return kInfeasible;  // the block cannot run on this spec at all
+  }
+
+  double per_item = fft_small_flops(st.l);
+  if (st.rank1) {
+    per_item += 6.0 * static_cast<double>(st.l - 1);
+    if (tw == TwiddleSource::Recompute) {
+      per_item += 32.0 * static_cast<double>(st.l);
+    }
+  }
+  c.total_flops = static_cast<double>(items_total) * per_item;
+  c.fma_fraction = 0.5;
+  const double total_threads = static_cast<double>(grid) * tpb;
+  c.extra_cycles_per_thread =
+      kRankAddressingCyclesPerItem *
+      (static_cast<double>(items_total) / total_threads);
+
+  sim::LaunchStats stats;
+  stats.total_threads = static_cast<std::uint64_t>(grid) * tpb;
+  stats.elem_bytes_loaded = volume * esize;
+  stats.elem_bytes_stored = volume * esize;
+
+  const auto rd = static_cast<std::size_t>(cfg.coarse_read);
+  const auto wr = static_cast<std::size_t>(cfg.coarse_write);
+  const Shape5 rview = view_with_l(st.items, st.l, rd);
+  const Shape5 wview = view_with_l(st.items, st.l, wr);
+  const std::uint64_t in_base = 0;
+  const std::uint64_t out_base = (volume * esize + 255) / 256 * 256;
+
+  const unsigned wpb = (tpb + 31) / 32;
+  const std::size_t total_warps = static_cast<std::size_t>(grid) * wpb;
+  const std::size_t sampled_warps = std::min<std::size_t>(total_warps, 64);
+  stats.warp_streams.resize(sampled_warps);
+  const auto threads = static_cast<std::size_t>(grid) * tpb;
+  const std::size_t per_thread = (items_total + threads - 1) / threads;
+  const std::size_t rounds = std::min<std::size_t>(per_thread, 6);
+
+  std::vector<sim::LaneAccess> lanes;
+  std::array<std::size_t, 4> it{};
+  for (std::size_t w = 0; w < sampled_warps; ++w) {
+    auto& stream = stats.warp_streams[w];
+    for (std::size_t r = 0; r < rounds; ++r) {
+      for (unsigned half = 0; half < 2; ++half) {
+        const std::size_t gid0 = w * 32 + half * 16;
+        // One item per lane; the kernels issue the l loads, then the l
+        // stores, slot-aligned across the half-warp.
+        auto emit = [&](const Shape5& view, std::size_t pos,
+                        std::uint64_t base) {
+          for (std::size_t q = 0; q < st.l; ++q) {
+            lanes.clear();
+            for (unsigned ln = 0; ln < 16; ++ln) {
+              const std::size_t widx = gid0 + ln + r * threads;
+              if (widx >= items_total) continue;
+              it[0] = widx % st.items[0];
+              it[1] = (widx / st.items[0]) % st.items[1];
+              it[2] = (widx / (st.items[0] * st.items[1])) % st.items[2];
+              it[3] = widx / (st.items[0] * st.items[1] * st.items[2]);
+              const std::uint64_t addr =
+                  base + index_with_l(view, pos, it, q) * esize;
+              lanes.push_back(sim::LaneAccess{
+                  static_cast<int>(ln), addr,
+                  static_cast<std::uint32_t>(esize)});
+            }
+            if (lanes.empty()) continue;
+            stats.sampled_elem_bytes += lanes.size() * esize;
+            sim::CoalesceResult cr = sim::coalesce_half_warp(lanes);
+            if (cr.coalesced) {
+              ++stats.coalesced_slots;
+            } else {
+              ++stats.uncoalesced_slots;
+            }
+            for (const sim::Transaction& t : cr.transactions) {
+              stats.sampled_txn_bytes += t.bytes;
+              stream.push_back(t);
+            }
+            if (st.rank1 && tw == TwiddleSource::Constant) {
+              // Inter-rank twiddle W^(c*k): c is constant across the
+              // x-consecutive half-warp, so the constant load broadcasts.
+              stats.const_thread_cycles += lanes.size();
+            }
+          }
+        };
+        emit(rview, rd, in_base);
+        emit(wview, wr, out_base);
+      }
+    }
+  }
+  if (st.rank1 && tw == TwiddleSource::Texture) {
+    stats.tex_elem_bytes = items_total * (st.l - 1) * esize;
+    stats.sampled_tex_elem_bytes = stats.tex_elem_bytes;
+    stats.sampled_tex_miss_bytes = texture_miss_bytes(
+        spec, st.table_n * esize, stats.tex_elem_bytes, grid);
+  }
+  return sim::estimate_launch(spec, c, stats).total_ms;
+}
+
+double coarse_step_ms_memo(const sim::GpuSpec& spec, const CoarseStep& st,
+                           const TuneConfig& cfg, bool fp64, Memo& memo) {
+  const std::uint64_t key = mix_key(
+      {1, st.items[0], st.items[1], st.items[2], st.items[3], st.l,
+       static_cast<std::uint64_t>(st.rank1), st.table_n, cfg.grid_for(spec),
+       cfg.threads_per_block,
+       static_cast<std::uint64_t>(st.rank1 ? cfg.coarse_twiddles
+                                           : TwiddleSource::Registers),
+       static_cast<std::uint64_t>(cfg.coarse_read),
+       static_cast<std::uint64_t>(cfg.coarse_write),
+       static_cast<std::uint64_t>(fp64)});
+  const auto it = memo.find(key);
+  if (it != memo.end()) return it->second;
+  const double ms = coarse_step_ms(spec, st, cfg, fp64);
+  memo.emplace(key, ms);
+  return ms;
+}
+
+// ---------------------------------------------------------------------------
+// Fine (step-5) kernel model
+// ---------------------------------------------------------------------------
+
+/// Shape of a fine-grained cooperative step: the complex X kernel, or the
+/// real pack/unpack kernels (same staged exchange over the half length
+/// plus a fused pass).
+struct FineModel {
+  std::size_t n{};          ///< staged transform length (fine_stages(n))
+  std::size_t count{};      ///< transforms in the launch
+  std::size_t tpt{};        ///< threads per transform
+  std::size_t sh_stride{};  ///< exchange window stride, elements
+  std::size_t shmem_per_tx{};  ///< bytes of shared memory per transform
+  int regs{};
+  std::size_t io_elems{};   ///< complex elements loaded (== stored)
+  double flops_per_tx{};    ///< butterflies plus any fused pass
+  double twiddle_fetches{};  ///< twiddle reads per transform
+  std::size_t table_n{};    ///< twiddle table length (texture footprint)
+  double extra_stages{};    ///< addressing passes beyond the stage count
+};
+
+/// Shared-memory serialization cycles of one block executing one wave,
+/// computed with the real accessor arithmetic of run_fine_stages() and
+/// the real conflict counter — this is where a mutated bank count changes
+/// the landscape the tuner sees.
+std::uint64_t fine_shmem_cycles_per_block(const FineModel& fm, unsigned tpb,
+                                          unsigned pad, int banks,
+                                          bool fp64) {
+  const auto sts = fine_stages(fm.n);
+  const std::size_t tpt = fm.tpt;
+  const std::uint32_t words = fp64 ? 2 : 1;
+  std::uint64_t cycles = 0;
+  std::vector<sim::ShmemLaneAccess> lanes;
+  const unsigned halfwarps = (tpb + 15) / 16;
+  for (std::size_t si = 1; si < sts.size(); ++si) {
+    const FineStage& prev = sts[si - 1];
+    const FineStage& st = sts[si];
+    auto out_pos = [&](std::size_t lane, std::size_t slot) {
+      const std::size_t b = slot / prev.radix;
+      const std::size_t r = slot % prev.radix;
+      const std::size_t u = lane + b * tpt;
+      return u % prev.m + prev.m * (prev.radix * (u / prev.m) + r);
+    };
+    auto in_pos = [&](std::size_t lane, std::size_t slot) {
+      const std::size_t b = slot / st.radix;
+      const std::size_t q = slot % st.radix;
+      const std::size_t u = lane + b * tpt;
+      return u % st.m + st.m * (u / st.m + st.l * q);
+    };
+    for (unsigned hw = 0; hw < halfwarps; ++hw) {
+      // Four phases per exchange (store re, load re, store im, load im),
+      // four slots per thread per phase.
+      for (int phase = 0; phase < 4; ++phase) {
+        const bool use_out = phase % 2 == 0;
+        for (std::size_t s = 0; s < 4; ++s) {
+          lanes.clear();
+          for (unsigned ln = 0; ln < 16 && hw * 16 + ln < tpb; ++ln) {
+            const unsigned tid = hw * 16 + ln;
+            const std::size_t sub = tid / tpt;
+            const std::size_t lane_tx = tid % tpt;
+            const std::size_t p =
+                use_out ? out_pos(lane_tx, s) : in_pos(lane_tx, s);
+            lanes.push_back(sim::ShmemLaneAccess{
+                static_cast<int>(ln),
+                (sub * fm.sh_stride + shmem_pad(p, pad)) * words, words});
+          }
+          cycles += static_cast<std::uint64_t>(
+                        sim::shmem_conflict_degree(lanes, banks)) *
+                    lanes.size();
+        }
+      }
+    }
+  }
+  return cycles;
+}
+
+/// Constant-cache serialization cycles of one block-wave: distinct twiddle
+/// indices per half-warp butterfly slot serialize (32 bits per cycle).
+std::uint64_t fine_const_cycles_per_block(const FineModel& fm,
+                                          unsigned tpb) {
+  const auto sts = fine_stages(fm.n);
+  const std::size_t tpt = fm.tpt;
+  std::uint64_t cycles = 0;
+  std::vector<std::uint64_t> idxs;
+  const unsigned halfwarps = (tpb + 15) / 16;
+  for (const FineStage& st : sts) {
+    const std::size_t bpt = 4 / st.radix;
+    for (unsigned hw = 0; hw < halfwarps; ++hw) {
+      for (std::size_t b = 0; b < bpt; ++b) {
+        for (std::size_t r = 1; r < st.radix; ++r) {
+          idxs.clear();
+          for (unsigned ln = 0; ln < 16 && hw * 16 + ln < tpb; ++ln) {
+            const std::size_t u = (hw * 16 + ln) % tpt + b * tpt;
+            idxs.push_back(u / st.m * st.m * r);
+          }
+          const std::size_t lanes_in_slot = idxs.size();
+          std::sort(idxs.begin(), idxs.end());
+          idxs.erase(std::unique(idxs.begin(), idxs.end()), idxs.end());
+          cycles += idxs.size() * lanes_in_slot;
+        }
+      }
+    }
+  }
+  return cycles;
+}
+
+/// Score a fine step. Global traffic is contiguous per line (the sim
+/// measures it fully coalesced), so the memory side uses the ideal-stream
+/// bandwidth path; shared/constant/texture serialization enters as exact
+/// closed-form launch totals.
+double fine_step_ms(const sim::GpuSpec& spec, const FineModel& fm,
+                    const TuneConfig& cfg, bool fp64) {
+  const std::size_t esize = fp64 ? 16 : 8;
+  const unsigned tpb = static_cast<unsigned>(std::max<std::size_t>(
+      fm.tpt, cfg.threads_per_block));
+  if (tpb % fm.tpt != 0) return kInfeasible;
+  const std::size_t txs_pb = tpb / fm.tpt;
+
+  sim::LaunchConfig c;
+  c.name = "model_fine";
+  c.grid_blocks = cfg.grid_for(spec);
+  c.threads_per_block = tpb;
+  c.regs_per_thread = fm.regs;
+  c.fp64 = fp64;
+  c.shmem_per_block = txs_pb * fm.shmem_per_tx;
+  try {
+    sim::compute_occupancy(
+        spec, sim::BlockResources{static_cast<int>(tpb), fm.regs,
+                                  c.shmem_per_block});
+  } catch (const std::exception&) {
+    return kInfeasible;
+  }
+
+  double per_tx = fm.flops_per_tx;
+  if (cfg.fine_twiddles == TwiddleSource::Recompute) {
+    per_tx += 32.0 * fm.twiddle_fetches;
+  }
+  c.total_flops = static_cast<double>(fm.count) * per_tx;
+  c.fma_fraction = 0.5;
+  const double groups_per_wave =
+      static_cast<double>(c.grid_blocks) * static_cast<double>(txs_pb);
+  const double iterations =
+      std::ceil(static_cast<double>(fm.count) / groups_per_wave);
+  c.extra_cycles_per_thread =
+      iterations *
+      (static_cast<double>(fine_stages(fm.n).size()) + fm.extra_stages) *
+      kFineAddressingCyclesPerStage;
+
+  sim::LaunchStats stats;
+  stats.total_threads = static_cast<std::uint64_t>(c.grid_blocks) * tpb;
+  stats.elem_bytes_loaded = fm.io_elems * esize;
+  stats.elem_bytes_stored = fm.io_elems * esize;
+  // No sampled streams: sampled_elem_bytes stays 0, so estimate_launch
+  // takes the ideal-bandwidth path and applies the serialization totals
+  // below unscaled (scale == 1).
+  stats.shmem_thread_cycles = static_cast<std::uint64_t>(
+      static_cast<double>(fine_shmem_cycles_per_block(
+          fm, tpb, cfg.shmem_pad_words, spec.shmem_banks, fp64)) *
+      (static_cast<double>(fm.count) / static_cast<double>(txs_pb)));
+  if (cfg.fine_twiddles == TwiddleSource::Constant) {
+    stats.const_thread_cycles = static_cast<std::uint64_t>(
+        static_cast<double>(fine_const_cycles_per_block(fm, tpb)) *
+        (static_cast<double>(fm.count) / static_cast<double>(txs_pb)));
+  } else if (cfg.fine_twiddles == TwiddleSource::Texture) {
+    stats.tex_elem_bytes = static_cast<std::uint64_t>(
+        static_cast<double>(fm.count) * fm.twiddle_fetches) * esize;
+    stats.sampled_tex_elem_bytes = stats.tex_elem_bytes;
+    stats.sampled_tex_miss_bytes = texture_miss_bytes(
+        spec, fm.table_n * esize, stats.tex_elem_bytes, c.grid_blocks);
+  }
+  return sim::estimate_launch(spec, c, stats).total_ms;
+}
+
+double fine_step_ms_memo(const sim::GpuSpec& spec, const FineModel& fm,
+                         const TuneConfig& cfg, bool fp64, Memo& memo) {
+  const std::uint64_t key = mix_key(
+      {2, fm.n, fm.count, fm.tpt, fm.sh_stride, fm.shmem_per_tx,
+       static_cast<std::uint64_t>(fm.regs), fm.io_elems,
+       static_cast<std::uint64_t>(fm.flops_per_tx),
+       static_cast<std::uint64_t>(fm.twiddle_fetches), fm.table_n,
+       static_cast<std::uint64_t>(fm.extra_stages), cfg.grid_for(spec),
+       cfg.threads_per_block, cfg.shmem_pad_words,
+       static_cast<std::uint64_t>(cfg.fine_twiddles),
+       static_cast<std::uint64_t>(fp64)});
+  const auto it = memo.find(key);
+  if (it != memo.end()) return it->second;
+  const double ms = fine_step_ms(spec, fm, cfg, fp64);
+  memo.emplace(key, ms);
+  return ms;
+}
+
+// ---------------------------------------------------------------------------
+// Plan-level composition
+// ---------------------------------------------------------------------------
+
+std::array<CoarseStep, 4> coarse_steps(std::size_t ex, std::size_t ny,
+                                       std::size_t nz, AxisSplit sy,
+                                       AxisSplit sz) {
+  // The 5-D item walks of plan.cpp's run_coarse_ranks, steps 1-4.
+  return {CoarseStep{{ex, sy.f1, sy.f2, sz.f1}, sz.f2, true, nz},
+          CoarseStep{{ex, sz.f2, sy.f1, sy.f2}, sz.f1, false, 0},
+          CoarseStep{{ex, sz.f2, sz.f1, sy.f1}, sy.f2, true, ny},
+          CoarseStep{{ex, sy.f2, sz.f2, sz.f1}, sy.f1, false, 0}};
+}
+
+double bandwidth3d_ms(const sim::GpuSpec& spec, Shape3 shape, bool fp64,
+                      const TuneConfig& cfg, Memo& memo) {
+  AxisSplit sy{};
+  AxisSplit sz{};
+  try {
+    sy = split_axis(shape.ny, cfg.coarse_radix);
+    sz = split_axis(shape.nz, cfg.coarse_radix);
+  } catch (const std::exception&) {
+    return kInfeasible;
+  }
+  double total = 0.0;
+  for (const CoarseStep& st :
+       coarse_steps(shape.nx, shape.ny, shape.nz, sy, sz)) {
+    total += coarse_step_ms_memo(spec, st, cfg, fp64, memo);
+  }
+  FineModel fm;
+  fm.n = shape.nx;
+  fm.count = shape.ny * shape.nz;
+  fm.tpt = shape.nx / 4;
+  fm.sh_stride = fine_min_sh_stride(shape.nx, cfg.shmem_pad_words);
+  fm.shmem_per_tx = fm.sh_stride * (fp64 ? 8 : 4);
+  fm.regs = fp64 ? 20 : 10;
+  fm.io_elems = shape.volume();
+  fm.flops_per_tx = fine_flops_per_transform(shape.nx);
+  fm.twiddle_fetches = fine_twiddle_fetches(shape.nx);
+  fm.table_n = shape.nx;
+  total += fine_step_ms_memo(spec, fm, cfg, fp64, memo);
+  return total;
+}
+
+double real3d_ms(const sim::GpuSpec& spec, Shape3 shape, Direction dir,
+                 bool fp64, const TuneConfig& cfg, Memo& memo) {
+  const std::size_t m = shape.nx / 2;
+  if (m < 16) return kInfeasible;
+  AxisSplit sy{};
+  AxisSplit sz{};
+  try {
+    sy = split_axis(shape.ny, cfg.coarse_radix);
+    sz = split_axis(shape.nz, cfg.coarse_radix);
+  } catch (const std::exception&) {
+    return kInfeasible;
+  }
+  double total = 0.0;
+  for (const CoarseStep& st : coarse_steps(m, shape.ny, shape.nz, sy, sz)) {
+    total += coarse_step_ms_memo(spec, st, cfg, fp64, memo);
+  }
+  // The 1-wide Nyquist tail pencils re-run the four ranks at ~1/m of the
+  // work; their cost is dominated by the four extra launch overheads.
+  total += 4.0 * spec.launch_overhead_us * 1e-3;
+
+  FineModel fm;
+  fm.n = m;
+  fm.count = shape.ny * shape.nz;
+  fm.tpt = m / 4;
+  fm.sh_stride = shmem_pad(m, cfg.shmem_pad_words) + 1;
+  fm.shmem_per_tx = 2 * fm.sh_stride * (fp64 ? 8 : 4);
+  fm.regs = fp64 ? 24 : 12;
+  fm.io_elems = (m + 1) * shape.ny * shape.nz;
+  fm.flops_per_tx =
+      fine_flops_per_transform(m) +
+      (dir == Direction::Forward ? 14.0 * static_cast<double>(m + 1)
+                                 : 18.0 * static_cast<double>(m));
+  fm.twiddle_fetches =
+      fine_twiddle_fetches(m) + static_cast<double>(m);  // + fused pass
+  fm.table_n = shape.nx;
+  fm.extra_stages = 1.0;
+  total += fine_step_ms_memo(spec, fm, cfg, fp64, memo);
+  return total;
+}
+
+/// Device-resident working set of a streamed slab (data + workspace).
+bool slab_fits(const sim::GpuSpec& spec, std::size_t n, std::size_t splits,
+               std::size_t esize) {
+  const std::size_t slab_bytes = n * n * (n / splits) * esize;
+  return 4 * slab_bytes <= spec.device_memory_bytes;
+}
+
+bool valid_splits(std::size_t n, std::size_t s) {
+  return s >= 2 && s <= kMaxFactor && is_pow2(s) && n % s == 0 &&
+         n / s >= 1;
+}
+
+double outofcore_ms(const sim::GpuSpec& spec, const PlanDesc& desc,
+                    const TuneConfig& cfg, Memo& memo) {
+  const std::size_t n = desc.shape.nx;
+  const std::size_t splits =
+      cfg.slab_depth != 0 ? cfg.slab_depth : desc.splits;
+  if (!valid_splits(n, splits) || !slab_fits(spec, n, splits, 8)) {
+    return kInfeasible;
+  }
+  TuneConfig slab_cfg = cfg;
+  slab_cfg.slab_depth = 0;  // the slab plan must not re-decimate
+  const Shape3 slab{n, n, n / splits};
+  const double slab_ms =
+      bandwidth3d_ms(spec, slab, /*fp64=*/false, slab_cfg, memo);
+  if (!std::isfinite(slab_ms)) return kInfeasible;
+  const std::size_t slab_bytes = slab.volume() * 8;
+  // Per slab: upload, inter-slab twiddle sweep (one read+write of the slab
+  // at stream bandwidth plus a launch), the five-step slab FFT, download.
+  const double tw_ms =
+      spec.launch_overhead_us * 1e-3 +
+      2.0 * static_cast<double>(slab_bytes) /
+          (spec.peak_bandwidth_gbs() * spec.dram.peak_efficiency) * 1e-6;
+  const double pcie_ms =
+      (sim::pcie_transfer_ns(spec.pcie, sim::TransferDir::HostToDevice,
+                             slab_bytes) +
+       sim::pcie_transfer_ns(spec.pcie, sim::TransferDir::DeviceToHost,
+                             slab_bytes)) *
+      1e-6;
+  return static_cast<double>(splits) * (slab_ms + tw_ms + pcie_ms);
+}
+
+double sharded_ms(const sim::GpuSpec& spec, const PlanDesc& desc,
+                  const TuneConfig& cfg, Memo& memo) {
+  const std::size_t n = desc.shape.nx;
+  const std::size_t shards =
+      cfg.slab_depth != 0 ? cfg.slab_depth : desc.splits;
+  // A depth override must keep the fleet mapping valid (each card's shard
+  // count stays integral), so only multiples of the described shards are
+  // searchable.
+  if (cfg.slab_depth != 0 && desc.splits != 0 &&
+      cfg.slab_depth % desc.splits != 0) {
+    return kInfeasible;
+  }
+  if (!valid_splits(n, shards)) return kInfeasible;
+  const Shape3 slab{n, n, n / shards};
+  TuneConfig slab_cfg = cfg;
+  slab_cfg.slab_depth = 0;
+  const bool real = desc.layout == Layout::RealHalfSpectrum;
+  const double slab_ms =
+      real ? real3d_ms(spec, slab, desc.dir, /*fp64=*/false, slab_cfg, memo)
+           : bandwidth3d_ms(spec, slab, /*fp64=*/false, slab_cfg, memo);
+  if (!std::isfinite(slab_ms)) return kInfeasible;
+  // Two compute phases around the all-to-all; the exchange stages the
+  // whole (half-spectrum: half the) volume through host memory.
+  const std::size_t vol_bytes =
+      (real ? (n / 2 + 1) * n * n : n * n * n) * 8;
+  const double exchange_ms =
+      (sim::pcie_transfer_ns(spec.pcie, sim::TransferDir::DeviceToHost,
+                             vol_bytes) +
+       sim::pcie_transfer_ns(spec.pcie, sim::TransferDir::HostToDevice,
+                             vol_bytes)) *
+      1e-6;
+  return 2.0 * slab_ms + exchange_ms;
+}
+
+double model_plan_ms_impl(const sim::GpuSpec& spec, const PlanDesc& desc,
+                          const TuneConfig& cfg, Memo& memo) {
+  const bool fp64 = desc.precision == Precision::F64;
+  switch (desc.kind) {
+    case PlanKind::Bandwidth3D:
+      return bandwidth3d_ms(spec, desc.shape, fp64, cfg, memo);
+    case PlanKind::Real3D:
+      return real3d_ms(spec, desc.shape, desc.dir, fp64, cfg, memo);
+    case PlanKind::OutOfCore:
+      return outofcore_ms(spec, desc, cfg, memo);
+    case PlanKind::Sharded3D:
+      return sharded_ms(spec, desc, cfg, memo);
+    default:
+      REPRO_FAIL(
+          "the planner models Bandwidth3D, Real3D, OutOfCore and "
+          "Sharded3D plans");
+  }
+}
+
+}  // namespace
+
+double model_plan_ms(const sim::GpuSpec& spec, const PlanDesc& desc,
+                     const TuneConfig& cfg) {
+  Memo memo;
+  return model_plan_ms_impl(spec, desc, cfg, memo);
+}
+
+TuneResult tune_plan(const sim::GpuSpec& spec, const PlanDesc& desc,
+                     const PlannerOptions& opts) {
+  Memo memo;
+  TuneResult res;
+  const TuneConfig def{};
+  res.default_ms = model_plan_ms_impl(spec, desc, def, memo);
+  res.best = def;
+  res.model_ms = res.default_ms;
+  res.evaluated = 1;
+
+  const bool streamed =
+      desc.kind == PlanKind::OutOfCore || desc.kind == PlanKind::Sharded3D;
+  std::vector<std::pair<Pattern, Pattern>> patterns;
+  if (opts.executable_only) {
+    patterns = {{Pattern::D, Pattern::A}};
+  } else {
+    // Every Table-2 pairing that contains the unavoidable decimation hop.
+    patterns = {{Pattern::D, Pattern::A}, {Pattern::D, Pattern::B},
+                {Pattern::D, Pattern::C}, {Pattern::D, Pattern::D},
+                {Pattern::A, Pattern::D}, {Pattern::B, Pattern::D},
+                {Pattern::C, Pattern::D}};
+  }
+  const std::vector<std::size_t> slabs =
+      streamed ? opts.slab_depths : std::vector<std::size_t>{0};
+
+  for (const TwiddleSource ctw : opts.coarse_twiddles) {
+    for (const TwiddleSource ftw : opts.fine_twiddles) {
+      for (const auto& [rd, wr] : patterns) {
+        for (const unsigned tpb : opts.threads_per_block) {
+          for (const unsigned bps : opts.blocks_per_sm) {
+            for (const unsigned radix : opts.coarse_radix) {
+              for (const unsigned pad : opts.shmem_pad_words) {
+                for (const std::size_t slab : slabs) {
+                  TuneConfig cfg;
+                  cfg.coarse_twiddles = ctw;
+                  cfg.fine_twiddles = ftw;
+                  cfg.coarse_read = rd;
+                  cfg.coarse_write = wr;
+                  cfg.threads_per_block = tpb;
+                  cfg.blocks_per_sm = bps;
+                  cfg.coarse_radix = radix;
+                  cfg.shmem_pad_words = pad;
+                  cfg.slab_depth = slab;
+                  if (cfg == def) continue;  // scored first, above
+                  const double ms =
+                      model_plan_ms_impl(spec, desc, cfg, memo);
+                  ++res.evaluated;
+                  // Strict-improvement margin: ties within the model's
+                  // resolution keep the earlier candidate, so the paper's
+                  // defaults survive equivalent alternatives.
+                  if (ms <
+                      res.model_ms * (1.0 - opts.improvement_margin)) {
+                    res.best = cfg;
+                    res.model_ms = ms;
+                  }
+                }
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return res;
+}
+
+// ---------------------------------------------------------------------------
+// Wisdom serialization
+// ---------------------------------------------------------------------------
+
+std::uint64_t spec_fingerprint(const sim::GpuSpec& g) {
+  const auto d = [](double v) { return std::bit_cast<std::uint64_t>(v); };
+  return mix_key({static_cast<std::uint64_t>(g.num_sms),
+                  static_cast<std::uint64_t>(g.sps_per_sm), d(g.sp_clock_ghz),
+                  static_cast<std::uint64_t>(g.registers_per_sm),
+                  g.shmem_per_sm, static_cast<std::uint64_t>(g.shmem_banks),
+                  static_cast<std::uint64_t>(g.max_threads_per_sm),
+                  static_cast<std::uint64_t>(g.max_blocks_per_sm),
+                  static_cast<std::uint64_t>(g.warp_size),
+                  g.device_memory_bytes, d(g.mem_clock_mhz),
+                  static_cast<std::uint64_t>(g.bus_width_bits),
+                  static_cast<std::uint64_t>(g.dram.channels),
+                  static_cast<std::uint64_t>(g.dram.banks_per_channel),
+                  g.dram.row_bytes, g.dram.interleave, d(g.dram.row_miss_ns),
+                  d(g.dram.row_cycle_ns), d(g.dram.lookahead_ns),
+                  d(g.dram.activate_channel_ns), g.dram.spread_threshold_bytes,
+                  d(g.dram.spread_penalty_ns), d(g.dram.spread_log_range),
+                  d(g.dram.peak_efficiency),
+                  static_cast<std::uint64_t>(g.pcie.gen), d(g.pcie.h2d_gbs),
+                  d(g.pcie.d2h_gbs), d(g.pcie.latency_us),
+                  static_cast<std::uint64_t>(g.dma_engines), d(g.fp64_ratio),
+                  static_cast<std::uint64_t>(g.threads_to_saturate_mem),
+                  d(g.launch_overhead_us), d(g.texture_cache_bytes),
+                  d(g.compute_efficiency)});
+}
+
+namespace {
+
+std::string hex64(std::uint64_t v) {
+  char buf[19];
+  std::snprintf(buf, sizeof buf, "0x%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+bool parse_kind(const std::string& s, PlanKind& out) {
+  for (const PlanKind k :
+       {PlanKind::Bandwidth3D, PlanKind::Conventional3D, PlanKind::Naive3D,
+        PlanKind::Bandwidth2D, PlanKind::Batch1D, PlanKind::OutOfCore,
+        PlanKind::Convolution, PlanKind::Sharded3D, PlanKind::Real3D}) {
+    if (s == plan_kind_name(k)) {
+      out = k;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+std::string wisdom_header(const sim::GpuSpec& spec) {
+  std::string name = spec.name.empty() ? "unknown" : spec.name;
+  std::replace(name.begin(), name.end(), ' ', '_');
+  return "gpu " + name + " fp=" + hex64(spec_fingerprint(spec));
+}
+
+bool wisdom_header_matches(const std::string& line,
+                           const sim::GpuSpec& spec) {
+  const std::size_t at = line.find("fp=");
+  if (at == std::string::npos) return false;
+  return line.substr(at + 3) == hex64(spec_fingerprint(spec));
+}
+
+std::string wisdom_line(const PlanDesc& desc, const TuneConfig& tune) {
+  std::string s = "plan kind=";
+  s += plan_kind_name(desc.kind);
+  s += " shape=" + std::to_string(desc.shape.nx) + "x" +
+       std::to_string(desc.shape.ny) + "x" + std::to_string(desc.shape.nz);
+  s += desc.dir == Direction::Forward ? " dir=fwd" : " dir=inv";
+  s += " prec=";
+  s += precision_name(desc.precision);
+  s += desc.transpose == TransposeStrategy::Tiled ? " transpose=tiled"
+                                                  : " transpose=naive";
+  s += " splits=" + std::to_string(desc.splits);
+  s += " layout=";
+  s += layout_name(desc.layout);
+  s += " | " + tune.to_string();
+  return s;
+}
+
+bool parse_wisdom_line(const std::string& line, PlanDesc& desc,
+                       TuneConfig& tune) {
+  if (line.rfind("plan ", 0) != 0) return false;
+  const std::size_t bar = line.find(" | ");
+  if (bar == std::string::npos) return false;
+  const std::string left = line.substr(5, bar - 5);
+  if (!parse_tune_config(line.substr(bar + 3), tune)) return false;
+
+  PlanDesc d;
+  std::size_t pos = 0;
+  while (pos < left.size()) {
+    while (pos < left.size() && left[pos] == ' ') ++pos;
+    const std::size_t end = left.find(' ', pos);
+    const std::string tok = left.substr(
+        pos, end == std::string::npos ? std::string::npos : end - pos);
+    pos = end == std::string::npos ? left.size() : end + 1;
+    if (tok.empty()) continue;
+    const std::size_t eq = tok.find('=');
+    if (eq == std::string::npos) return false;
+    const std::string key = tok.substr(0, eq);
+    const std::string val = tok.substr(eq + 1);
+    try {
+      if (key == "kind") {
+        if (!parse_kind(val, d.kind)) return false;
+      } else if (key == "shape") {
+        const std::size_t x1 = val.find('x');
+        const std::size_t x2 =
+            x1 == std::string::npos ? std::string::npos
+                                    : val.find('x', x1 + 1);
+        if (x2 == std::string::npos) return false;
+        d.shape.nx = std::stoull(val.substr(0, x1));
+        d.shape.ny = std::stoull(val.substr(x1 + 1, x2 - x1 - 1));
+        d.shape.nz = std::stoull(val.substr(x2 + 1));
+      } else if (key == "dir") {
+        if (val != "fwd" && val != "inv") return false;
+        d.dir = val == "fwd" ? Direction::Forward : Direction::Inverse;
+      } else if (key == "prec") {
+        if (val != "f32" && val != "f64") return false;
+        d.precision = val == "f32" ? Precision::F32 : Precision::F64;
+      } else if (key == "transpose") {
+        if (val != "naive" && val != "tiled") return false;
+        d.transpose = val == "naive" ? TransposeStrategy::Naive
+                                     : TransposeStrategy::Tiled;
+      } else if (key == "splits") {
+        d.splits = std::stoull(val);
+      } else if (key == "layout") {
+        if (val == layout_name(Layout::Complex)) {
+          d.layout = Layout::Complex;
+        } else if (val == layout_name(Layout::RealHalfSpectrum)) {
+          d.layout = Layout::RealHalfSpectrum;
+        } else {
+          return false;
+        }
+      } else {
+        return false;
+      }
+    } catch (const std::exception&) {
+      return false;
+    }
+  }
+  desc = d;
+  return true;
+}
+
+}  // namespace repro::gpufft

@@ -1,0 +1,106 @@
+// Plan-time autotuner: search the TuneConfig space with the simulator's
+// own cost model.
+//
+// tune_plan() enumerates every candidate inside PlannerOptions' bounds and
+// scores each one *without executing anything*: per plan step it builds a
+// synthetic sim::LaunchConfig (registers from rank_kernel_regs, flops from
+// the small-FFT tables, shared memory from the fine kernel's layout) plus
+// a synthetic sim::LaunchStats — sampled per-warp DRAM transaction streams
+// that mirror the rank kernels' x-innermost item walk for the coarse
+// steps, and closed-form shared/constant/texture serialization totals for
+// the fine step — and feeds both to sim::estimate_launch. The argmin is
+// the tuned config. Because the scoring path is the very model the
+// simulated Device charges at execute() time, the tuner rediscovers the
+// paper's Table-2 configuration on the 8800-class specs and finds
+// different winners when the spec is mutated (register file, shared-memory
+// bank count, bus width).
+//
+// The default TuneConfig is scored first and a challenger must beat the
+// incumbent by a relative margin, so modeling ties (and sub-resolution
+// differences) resolve to the paper's published configuration.
+//
+// PlanRegistry persists winners as human-readable "wisdom" keyed by a
+// fingerprint of the model-relevant GpuSpec fields; the serialization
+// helpers live here so the registry stays a cache.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gpufft/plan_desc.h"
+#include "sim/spec.h"
+
+namespace repro::gpufft {
+
+/// Search bounds of the tuner. The defaults cover every knob the executors
+/// accept; patterns other than the paper's read-D/write-A pairing are
+/// model-only (the rank kernels do not implement them), so they are
+/// searched only when `executable_only` is lowered — the planner then
+/// demonstrates that D->A is the argmin, as in the paper's Tables 3/4.
+struct PlannerOptions {
+  std::vector<unsigned> threads_per_block{64, 128, 256};
+  std::vector<unsigned> blocks_per_sm{1, 2, 3, 4};
+  std::vector<unsigned> coarse_radix{16, 8};
+  std::vector<unsigned> shmem_pad_words{0, 8, 16};
+  std::vector<TwiddleSource> coarse_twiddles{
+      TwiddleSource::Registers, TwiddleSource::Constant,
+      TwiddleSource::Texture, TwiddleSource::Recompute};
+  /// Registers is deliberately absent: the simulator charges nothing for a
+  /// register-resident table, but the fine kernel's twiddle index depends
+  /// on the stage loop variable, so on real G80 hardware a full-table
+  /// register build would spill — the model-only win is not executable.
+  std::vector<TwiddleSource> fine_twiddles{
+      TwiddleSource::Texture, TwiddleSource::Constant,
+      TwiddleSource::Recompute};
+  /// Slab decimation overrides tried for streamed plans (0 = keep the
+  /// description's splits); ignored for in-core kinds.
+  std::vector<std::size_t> slab_depths{0, 2, 4, 8, 16, 32};
+  /// Restrict the pattern pairing to the executable read-D/write-A choice.
+  /// When false, every Table-2 pair containing the decimation hop D is
+  /// scored (the hop to/from the transform's home dimension is
+  /// unavoidable; pairing it with A, B or C is the design choice).
+  bool executable_only{true};
+  /// A challenger must beat the incumbent by this relative margin; ties
+  /// within the model's resolution keep the earlier (default-first)
+  /// candidate.
+  double improvement_margin{1e-2};
+};
+
+/// Outcome of one tuning search.
+struct TuneResult {
+  TuneConfig best{};
+  double model_ms{0.0};    ///< modeled plan time of `best`
+  double default_ms{0.0};  ///< modeled plan time of the default TuneConfig
+  std::size_t evaluated{0};  ///< candidate configs scored
+};
+
+/// Closed-form model time (ms) of one candidate config for `desc` on
+/// `spec`. Returns +infinity for infeasible candidates (occupancy failure,
+/// indivisible radix or slab depth). Supported kinds: Bandwidth3D, Real3D,
+/// OutOfCore, Sharded3D.
+double model_plan_ms(const sim::GpuSpec& spec, const PlanDesc& desc,
+                     const TuneConfig& cfg);
+
+/// Exhaustive search within `opts` bounds; pure function of (spec, desc,
+/// opts) — deterministic and execution-free.
+TuneResult tune_plan(const sim::GpuSpec& spec, const PlanDesc& desc,
+                     const PlannerOptions& opts = {});
+
+/// FNV-1a fingerprint over the GpuSpec fields the cost model reads.
+/// Wisdom is only valid on the spec it was tuned for.
+std::uint64_t spec_fingerprint(const sim::GpuSpec& spec);
+
+/// "gpu <name> fp=0x<hex>" header line of a wisdom file.
+std::string wisdom_header(const sim::GpuSpec& spec);
+/// True when `line` is a wisdom header whose fingerprint matches `spec`.
+bool wisdom_header_matches(const std::string& line, const sim::GpuSpec& spec);
+
+/// One wisdom entry: "plan <desc fields> | <tune fields>".
+std::string wisdom_line(const PlanDesc& desc, const TuneConfig& tune);
+/// Parse a wisdom_line(); false on malformed input. `desc.tune` is left at
+/// the default (the key side never carries a config).
+bool parse_wisdom_line(const std::string& line, PlanDesc& desc,
+                       TuneConfig& tune);
+
+}  // namespace repro::gpufft

@@ -4,23 +4,16 @@
 #include <type_traits>
 
 namespace repro::gpufft {
-namespace {
-
-/// Addressing/control cycles per 16-point work item beyond FP and memory
-/// (index decomposition of the fused 4-level loop, loop bookkeeping).
-constexpr double kAddressingCyclesPerItem = 48.0;
 
 /// Register budgets matching Section 3.1: the 16-point kernels compile to
 /// 51-52 registers; the texture/constant variants need fewer.
-int regs_for(TwiddleSource tw, std::size_t factor, bool fp64) {
+int rank_kernel_regs(TwiddleSource tw, std::size_t factor, bool fp64) {
   // Data + temporaries: ~3.5 registers per complex value held; double
   // precision needs two 32-bit registers per word.
   const int base = factor == 32 ? 72 : (factor == 16 ? 40 : 24);
   const int regs = tw == TwiddleSource::Registers ? base + 12 : base + 4;
   return fp64 ? 2 * regs : regs;
 }
-
-}  // namespace
 
 template <typename T>
 Rank1KernelT<T>::Rank1KernelT(DeviceBuffer<cx<T>>& in,
@@ -61,7 +54,7 @@ sim::LaunchConfig Rank1KernelT<T>::config() const {
   c.grid_blocks = params_.grid_blocks;
   c.threads_per_block = params_.threads_per_block;
   c.regs_per_thread =
-      regs_for(params_.twiddles, L, std::is_same_v<T, double>);
+      rank_kernel_regs(params_.twiddles, L, std::is_same_v<T, double>);
   c.fp64 = std::is_same_v<T, double>;
   c.shmem_per_block = 0;
   // fft_L + (L-1) twiddle multiplies per item (k = 0 is unity).
@@ -72,7 +65,7 @@ sim::LaunchConfig Rank1KernelT<T>::config() const {
   c.total_flops = static_cast<double>(items) * per_item;
   c.fma_fraction = 0.5;
   c.extra_cycles_per_thread =
-      kAddressingCyclesPerItem *
+      kRankAddressingCyclesPerItem *
       (static_cast<double>(items) /
        (static_cast<double>(c.grid_blocks) * c.threads_per_block));
   return c;
@@ -170,14 +163,14 @@ sim::LaunchConfig Rank2KernelT<T>::config() const {
   c.name = "rank2_fft" + std::to_string(L);
   c.grid_blocks = params_.grid_blocks;
   c.threads_per_block = params_.threads_per_block;
-  c.regs_per_thread = regs_for(TwiddleSource::Registers, L,
-                               std::is_same_v<T, double>);
+  c.regs_per_thread =
+      rank_kernel_regs(TwiddleSource::Registers, L, std::is_same_v<T, double>);
   c.fp64 = std::is_same_v<T, double>;
   c.shmem_per_block = 0;
   c.total_flops = static_cast<double>(items) * fft_small_flops(L);
   c.fma_fraction = 0.5;
   c.extra_cycles_per_thread =
-      kAddressingCyclesPerItem *
+      kRankAddressingCyclesPerItem *
       (static_cast<double>(items) /
        (static_cast<double>(c.grid_blocks) * c.threads_per_block));
   return c;

@@ -18,9 +18,19 @@
 
 #include "common/tensor.h"
 #include "gpufft/smallfft.h"
+#include "gpufft/tuning.h"
 #include "gpufft/types.h"
 
 namespace repro::gpufft {
+
+/// Register budget of a multirow rank kernel (Section 3.1: the 16-point
+/// kernels compile to 51-52 registers). Shared with the planner's
+/// occupancy model so searched candidates charge what the kernels charge.
+int rank_kernel_regs(TwiddleSource tw, std::size_t factor, bool fp64);
+
+/// Addressing/control cycles per rank-kernel work item beyond FP and
+/// memory (index decomposition of the fused 4-level loop).
+inline constexpr double kRankAddressingCyclesPerItem = 48.0;
 
 /// Configuration shared by both rank kernels.
 struct RankKernelParams {

@@ -62,8 +62,8 @@ RealFft3DT<T>::RealFft3DT(Device& dev, Shape3 shape, Direction dir,
                                         ? Precision::F32
                                         : Precision::F64)),
       opt_(options),
-      sy_(split_axis(shape.ny)),
-      sz_(split_axis(shape.nz)),
+      sy_(split_axis(shape.ny, options.coarse_radix)),
+      sz_(split_axis(shape.nz, options.coarse_radix)),
       tw_half_(ResourceCache::of(dev).twiddles<T>(shape.nx / 2, dir)),
       tw_x_(ResourceCache::of(dev).twiddles<T>(shape.nx, dir)),
       tw_y_(ResourceCache::of(dev).twiddles<T>(shape.ny, dir)),
@@ -71,12 +71,11 @@ RealFft3DT<T>::RealFft3DT(Device& dev, Shape3 shape, Direction dir,
   REPRO_CHECK_MSG(is_pow2(shape.nx) && shape.nx >= 32 && shape.nx <= 512,
                   "real plans need an X extent that is a power of two in "
                   "[32, 512] (the half-length fine stages need nx/2 >= 16)");
-  this->desc_.coarse_twiddles = opt_.coarse_twiddles;
-  this->desc_.fine_twiddles = opt_.fine_twiddles;
-  this->desc_.grid_blocks = opt_.grid_blocks;
-  if (opt_.grid_blocks == 0) {
-    opt_.grid_blocks = default_grid_blocks(dev.spec());
-  }
+  REPRO_CHECK_MSG(options.executable_patterns(),
+                  "only the paper's read-D/write-A coarse pattern pairing "
+                  "is implemented; other pairs are model-only knobs");
+  this->desc_.tune = options;
+  opt_.grid_blocks = opt_.grid_for(dev.spec());
 }
 
 template <typename T>
@@ -98,6 +97,7 @@ std::vector<StepTiming> RealFft3DT<T>::execute(DeviceBuffer<cx<T>>& data) {
   p.dir = this->desc_.dir;
   p.twiddles = opt_.coarse_twiddles;
   p.grid_blocks = opt_.grid_blocks;
+  p.threads_per_block = opt_.threads_per_block;
 
   RealFineParams fp;
   fp.nx = shape.nx;
@@ -106,7 +106,8 @@ std::vector<StepTiming> RealFft3DT<T>::execute(DeviceBuffer<cx<T>>& data) {
   fp.grid_blocks = opt_.grid_blocks;
   // nx/8 threads per transform (half-length lines); whole groups per block.
   fp.threads_per_block = static_cast<unsigned>(
-      std::max<std::size_t>(shape.nx / 8, kDefaultThreadsPerBlock));
+      std::max<std::size_t>(shape.nx / 8, opt_.threads_per_block));
+  fp.shmem_pad_words = opt_.shmem_pad_words;
 
   // The coarse ranks run over the (nx/2)-pitch main pencils, then sweep
   // the 1-wide Nyquist tail pencils at their offset — the same four
@@ -171,19 +172,19 @@ double run_real_coarse_slab(Device& dev, DeviceBuffer<cx<T>>& data,
   RankKernelParams p;
   p.dir = dir;
   p.twiddles = opt.coarse_twiddles;
-  p.grid_blocks =
-      opt.grid_blocks != 0 ? opt.grid_blocks : default_grid_blocks(dev.spec());
+  p.grid_blocks = opt.grid_for(dev.spec());
+  p.threads_per_block = opt.threads_per_block;
+  const AxisSplit sy = split_axis(logical.ny, opt.coarse_radix);
+  const AxisSplit sz = split_axis(logical.nz, opt.coarse_radix);
   double total_ms = 0.0;
   const auto add_ms = [&](const char*, const LaunchResult& r) {
     total_ms += r.total_ms;
   };
-  run_coarse_ranks<T>(dev, data, ws.buffer(), main_pencil,
-                      split_axis(logical.ny), split_axis(logical.nz), p,
+  run_coarse_ranks<T>(dev, data, ws.buffer(), main_pencil, sy, sz, p,
                       tw_y.get(), tw_z.get(), add_ms);
   RankKernelParams pt = p;
   pt.elem_offset = m * logical.ny * logical.nz;
-  run_coarse_ranks<T>(dev, data, ws.buffer(), tail_pencil,
-                      split_axis(logical.ny), split_axis(logical.nz), pt,
+  run_coarse_ranks<T>(dev, data, ws.buffer(), tail_pencil, sy, sz, pt,
                       tw_y.get(), tw_z.get(), add_ms);
   return total_ms;
 }

@@ -40,9 +40,16 @@ sim::LaunchConfig real_fine_config(const RealFineParams& p, const char* tag,
   c.regs_per_thread = std::is_same_v<T, double> ? 24 : 12;
   c.fp64 = std::is_same_v<T, double>;
   c.shmem_per_block =
-      txs_pb * RealFineR2CKernelT<T>::shmem_bytes_per_transform(p.nx);
-  c.total_flops = static_cast<double>(p.count) *
-                  (fine_flops_per_transform(m) + fused_flops_per_line);
+      txs_pb *
+      RealFineR2CKernelT<T>::shmem_bytes_per_transform(p.nx,
+                                                       p.shmem_pad_words);
+  double per_line = fine_flops_per_transform(m) + fused_flops_per_line;
+  if (p.twiddles == TwiddleSource::Recompute) {
+    // Stage twiddles plus one full-length twiddle per fused-pass bin;
+    // same sin/cos charge as the rank kernels.
+    per_line += 32.0 * (fine_twiddle_fetches(m) + static_cast<double>(m));
+  }
+  c.total_flops = static_cast<double>(p.count) * per_line;
   c.fma_fraction = 0.5;
   const double groups_per_wave =
       static_cast<double>(c.grid_blocks) * static_cast<double>(txs_pb);
@@ -72,15 +79,17 @@ RealFineR2CKernelT<T>::RealFineR2CKernelT(
 }
 
 template <typename T>
-std::size_t RealFineR2CKernelT<T>::shmem_bytes_per_transform(std::size_t nx) {
+std::size_t RealFineR2CKernelT<T>::shmem_bytes_per_transform(
+    std::size_t nx, std::size_t pad_words) {
   // Two scalar arrays (re, im) of the natural-order half-length spectrum,
   // slots 0..nx/2, padded; the stage exchange reuses the first array.
-  return 2 * (shmem_pad(nx / 2) + 1) * sizeof(T);
+  return 2 * (shmem_pad(nx / 2, pad_words) + 1) * sizeof(T);
 }
 
 template <typename T>
-std::size_t RealFineC2RKernelT<T>::shmem_bytes_per_transform(std::size_t nx) {
-  return RealFineR2CKernelT<T>::shmem_bytes_per_transform(nx);
+std::size_t RealFineC2RKernelT<T>::shmem_bytes_per_transform(
+    std::size_t nx, std::size_t pad_words) {
+  return RealFineR2CKernelT<T>::shmem_bytes_per_transform(nx, pad_words);
 }
 
 template <typename T>
@@ -134,7 +143,8 @@ void RealFineR2CKernelT<T>::run_block(sim::BlockCtx& ctx) {
   const std::size_t tpt = m / 4;
   const unsigned block_dim = params_.threads_per_block;
   const std::size_t txs_pb = block_dim / tpt;
-  const std::size_t arr = shmem_pad(m) + 1;  // per-transform array stride
+  const std::size_t pad = params_.shmem_pad_words;
+  const std::size_t arr = shmem_pad(m, pad) + 1;  // per-transform stride
   const std::size_t nyq = m * params_.count;  // Nyquist tail plane base
   const int sign = fft::direction_sign(Direction::Forward);
   const auto sts = fine_stages(m);
@@ -166,7 +176,7 @@ void RealFineR2CKernelT<T>::run_block(sim::BlockCtx& ctx) {
     // Z lands in the shared arrays (the final stage no longer reads the
     // exchange window, so the store may overwrite it).
     run_fine_stages<T>(
-        ctx, sts, m, sign, sh_re, arr, base, params_.count, vals.data(),
+        ctx, sts, m, sign, sh_re, arr, pad, base, params_.count, vals.data(),
         tmp.data(),
         [&](sim::ThreadCtx& t, std::size_t tx, std::size_t pos) {
           return data.load(t, tx * m + pos);
@@ -174,8 +184,8 @@ void RealFineR2CKernelT<T>::run_block(sim::BlockCtx& ctx) {
         [&](sim::ThreadCtx& t, std::size_t /*tx*/, std::size_t pos,
             const cx<T>& v) {
           const std::size_t shb = (t.tid / tpt) * arr;
-          sh_re.store(t, shb + shmem_pad(pos), v.re);
-          sh_im.store(t, shb + shmem_pad(pos), v.im);
+          sh_re.store(t, shb + shmem_pad(pos, pad), v.re);
+          sh_im.store(t, shb + shmem_pad(pos, pad), v.im);
         },
         tw_half);
 
@@ -188,8 +198,8 @@ void RealFineR2CKernelT<T>::run_block(sim::BlockCtx& ctx) {
       if (tx >= params_.count) return;
       const std::size_t shb = sub * arr;
       for (std::size_t k = lane; k <= m; k += tpt) {
-        const std::size_t ki = shmem_pad(k % m);
-        const std::size_t mi = shmem_pad((m - k) % m);
+        const std::size_t ki = shmem_pad(k % m, pad);
+        const std::size_t mi = shmem_pad((m - k) % m, pad);
         const cx<T> zk{sh_re.load(t, shb + ki), sh_im.load(t, shb + ki)};
         const cx<T> zmk =
             cx<T>{sh_re.load(t, shb + mi), sh_im.load(t, shb + mi)}.conj();
@@ -226,7 +236,8 @@ void RealFineC2RKernelT<T>::run_block(sim::BlockCtx& ctx) {
   const std::size_t tpt = m / 4;
   const unsigned block_dim = params_.threads_per_block;
   const std::size_t txs_pb = block_dim / tpt;
-  const std::size_t arr = shmem_pad(m) + 1;
+  const std::size_t pad = params_.shmem_pad_words;
+  const std::size_t arr = shmem_pad(m, pad) + 1;
   const std::size_t nyq = m * params_.count;  // Nyquist tail plane base
   const int sign = fft::direction_sign(Direction::Inverse);
   const auto sts = fine_stages(m);
@@ -265,8 +276,8 @@ void RealFineC2RKernelT<T>::run_block(sim::BlockCtx& ctx) {
       const std::size_t shb = sub * arr;
       for (std::size_t k = lane; k <= m; k += tpt) {
         const cx<T> v = data.load(t, k == m ? nyq + tx : tx * m + k);
-        sh_re.store(t, shb + shmem_pad(k), v.re);
-        sh_im.store(t, shb + shmem_pad(k), v.im);
+        sh_re.store(t, shb + shmem_pad(k, pad), v.re);
+        sh_im.store(t, shb + shmem_pad(k, pad), v.im);
       }
     });
 
@@ -274,12 +285,12 @@ void RealFineC2RKernelT<T>::run_block(sim::BlockCtx& ctx) {
     // roots (fft/real.* algebra), then the half-length inverse transform
     // writes the packed real row back in natural order.
     run_fine_stages<T>(
-        ctx, sts, m, sign, sh_re, arr, base, params_.count, vals.data(),
+        ctx, sts, m, sign, sh_re, arr, pad, base, params_.count, vals.data(),
         tmp.data(),
         [&](sim::ThreadCtx& t, std::size_t /*tx*/, std::size_t pos) {
           const std::size_t shb = (t.tid / tpt) * arr;
-          const std::size_t ki = shmem_pad(pos);
-          const std::size_t mi = shmem_pad(m - pos);
+          const std::size_t ki = shmem_pad(pos, pad);
+          const std::size_t mi = shmem_pad(m - pos, pad);
           const cx<T> xk{sh_re.load(t, shb + ki), sh_im.load(t, shb + ki)};
           const cx<T> xmk =
               cx<T>{sh_re.load(t, shb + mi), sh_im.load(t, shb + mi)}.conj();

@@ -19,6 +19,7 @@
 
 #include "gpufft/smallfft.h"
 #include "gpufft/stage_engine.h"
+#include "gpufft/tuning.h"
 #include "gpufft/types.h"
 
 namespace repro::gpufft {
@@ -29,6 +30,8 @@ struct RealFineParams {
   TwiddleSource twiddles{TwiddleSource::Texture};
   unsigned grid_blocks{48};
   unsigned threads_per_block{kDefaultThreadsPerBlock};
+  /// Shared-exchange pad stride in words (TuneConfig knob; 0 = none).
+  unsigned shmem_pad_words{kDefaultShmemPadWords};
   double scale{1.0};     ///< c2r only: folded into the pack pass
 };
 
@@ -48,7 +51,8 @@ class RealFineR2CKernelT final : public sim::Kernel {
 
   /// Shared bytes one transform group needs: two natural-order scalar
   /// arrays of nx/2+1 (padded) — exchange reuses the first.
-  [[nodiscard]] static std::size_t shmem_bytes_per_transform(std::size_t nx);
+  [[nodiscard]] static std::size_t shmem_bytes_per_transform(
+      std::size_t nx, std::size_t pad_words = kDefaultShmemPadWords);
 
  private:
   DeviceBuffer<cx<T>>& data_;
@@ -72,7 +76,8 @@ class RealFineC2RKernelT final : public sim::Kernel {
   [[nodiscard]] sim::LaunchConfig config() const override;
   void run_block(sim::BlockCtx& ctx) override;
 
-  [[nodiscard]] static std::size_t shmem_bytes_per_transform(std::size_t nx);
+  [[nodiscard]] static std::size_t shmem_bytes_per_transform(
+      std::size_t nx, std::size_t pad_words = kDefaultShmemPadWords);
 
  private:
   DeviceBuffer<cx<T>>& data_;

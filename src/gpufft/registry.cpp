@@ -1,6 +1,8 @@
 #include "gpufft/registry.h"
 
 #include <algorithm>
+#include <fstream>
+#include <sstream>
 
 #include "gpufft/batch1d.h"
 #include "gpufft/conventional3d.h"
@@ -20,10 +22,7 @@ std::shared_ptr<FftPlanT<T>> make_plan(Device& dev, const PlanDesc& desc,
   REPRO_CHECK_MSG(desc.precision ==
                       (is_f32 ? Precision::F32 : Precision::F64),
                   "plan description precision does not match the request");
-  BandwidthPlanOptions opt;
-  opt.coarse_twiddles = desc.coarse_twiddles;
-  opt.fine_twiddles = desc.fine_twiddles;
-  opt.grid_blocks = desc.grid_blocks;
+  const BandwidthPlanOptions& opt = desc.tune;
 
   switch (desc.kind) {
     case PlanKind::Bandwidth3D:
@@ -45,13 +44,13 @@ std::shared_ptr<FftPlanT<T>> make_plan(Device& dev, const PlanDesc& desc,
     switch (desc.kind) {
       case PlanKind::Conventional3D:
         return std::make_shared<ConventionalFft3D>(
-            dev, desc.shape, desc.dir, desc.grid_blocks, desc.transpose);
+            dev, desc.shape, desc.dir, desc.tune, desc.transpose);
       case PlanKind::Naive3D:
         return std::make_shared<NaiveFft3D>(dev, desc.shape, desc.dir,
-                                            desc.grid_blocks);
+                                            desc.tune.grid_blocks);
       case PlanKind::OutOfCore:
-        return std::make_shared<OutOfCoreFft3D>(dev, desc.shape.nx,
-                                                desc.splits, desc.dir);
+        return std::make_shared<OutOfCoreFft3D>(
+            dev, desc.shape.nx, desc.splits, desc.dir, desc.tune);
       case PlanKind::Sharded3D:
         REPRO_CHECK_MSG(group != nullptr,
                         "sharded plans span a device fleet; obtain them "
@@ -60,10 +59,10 @@ std::shared_ptr<FftPlanT<T>> make_plan(Device& dev, const PlanDesc& desc,
         // shards move half the exchange bytes.
         if (desc.layout == Layout::RealHalfSpectrum) {
           return std::make_shared<ShardedRealFft3DPlan>(
-              *group, desc.shape.nx, desc.splits, desc.dir);
+              *group, desc.shape.nx, desc.splits, desc.dir, desc.tune);
         }
-        return std::make_shared<ShardedFft3DPlan>(*group, desc.shape.nx,
-                                                  desc.splits, desc.dir);
+        return std::make_shared<ShardedFft3DPlan>(
+            *group, desc.shape.nx, desc.splits, desc.dir, desc.tune);
       default:
         REPRO_FAIL(
             "convolution plans hold a resident filter; construct "
@@ -85,6 +84,85 @@ std::shared_ptr<FftPlanT<T>> PlanRegistry::get_or_create_as(
   auto plan = build_plan<T>(desc);
   insert(desc, plan);
   return plan;
+}
+
+template <typename T>
+std::shared_ptr<FftPlanT<T>> PlanRegistry::get_or_create_tuned_as(
+    const PlanDesc& desc) {
+  PlanDesc tuned = desc;
+  tuned.tune = tuned_config(desc);
+  return get_or_create_as<T>(tuned);
+}
+
+const TuneConfig& PlanRegistry::tuned_config(const PlanDesc& desc,
+                                             const PlannerOptions& opts) {
+  REPRO_CHECK_MSG(desc.tune == TuneConfig{},
+                  "tuned lookups take a default-tune description; the "
+                  "tuner owns the knobs");
+  const auto it = wisdom_.find(desc);
+  if (it != wisdom_.end()) return it->second;
+  const TuneResult r = tune_plan(dev_.spec(), desc, opts);
+  ++tune_searches_;
+  tune_evaluations_ += r.evaluated;
+  return wisdom_.emplace(desc, r.best).first->second;
+}
+
+std::string PlanRegistry::export_wisdom() const {
+  std::string out = "# repro-gpufft wisdom v1\n";
+  out += wisdom_header(dev_.spec());
+  out += "\n";
+  // Deterministic order: sort the serialized lines.
+  std::vector<std::string> lines;
+  lines.reserve(wisdom_.size());
+  for (const auto& [desc, tune] : wisdom_) {
+    lines.push_back(wisdom_line(desc, tune));
+  }
+  std::sort(lines.begin(), lines.end());
+  for (const auto& l : lines) {
+    out += l;
+    out += "\n";
+  }
+  return out;
+}
+
+std::size_t PlanRegistry::import_wisdom(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  bool spec_ok = false;
+  std::vector<std::pair<PlanDesc, TuneConfig>> parsed;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    if (line.rfind("gpu ", 0) == 0) {
+      // All-or-nothing: wisdom tuned for a different card is worse than
+      // no wisdom, so a fingerprint mismatch rejects the whole file.
+      if (!wisdom_header_matches(line, dev_.spec())) return 0;
+      spec_ok = true;
+      continue;
+    }
+    PlanDesc desc;
+    TuneConfig tune;
+    if (!parse_wisdom_line(line, desc, tune)) return 0;
+    parsed.emplace_back(desc, tune);
+  }
+  if (!spec_ok) return 0;
+  for (auto& [desc, tune] : parsed) {
+    wisdom_.insert_or_assign(desc, tune);
+  }
+  return parsed.size();
+}
+
+void PlanRegistry::save_wisdom(const std::string& path) const {
+  std::ofstream f(path);
+  REPRO_CHECK_MSG(f.good(), "cannot open wisdom file for writing: " + path);
+  f << export_wisdom();
+}
+
+std::size_t PlanRegistry::load_wisdom(const std::string& path) {
+  std::ifstream f(path);
+  if (!f.good()) return 0;
+  std::ostringstream buf;
+  buf << f.rdbuf();
+  return import_wisdom(buf.str());
 }
 
 template <typename T>
@@ -236,5 +314,9 @@ template std::shared_ptr<FftPlanT<float>>
 PlanRegistry::get_or_create_as<float>(const PlanDesc&);
 template std::shared_ptr<FftPlanT<double>>
 PlanRegistry::get_or_create_as<double>(const PlanDesc&);
+template std::shared_ptr<FftPlanT<float>>
+PlanRegistry::get_or_create_tuned_as<float>(const PlanDesc&);
+template std::shared_ptr<FftPlanT<double>>
+PlanRegistry::get_or_create_tuned_as<double>(const PlanDesc&);
 
 }  // namespace repro::gpufft

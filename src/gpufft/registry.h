@@ -34,6 +34,7 @@
 #include "gpufft/cache.h"
 #include "gpufft/fft_plan.h"
 #include "gpufft/plan_desc.h"
+#include "gpufft/planner.h"
 #include "sim/device_group.h"
 
 namespace repro::gpufft {
@@ -73,6 +74,47 @@ class PlanRegistry {
   /// Precision-typed lookup; desc.precision must match T.
   template <typename T>
   std::shared_ptr<FftPlanT<T>> get_or_create_as(const PlanDesc& desc);
+
+  /// Autotuned front door: `desc` must carry the default TuneConfig (the
+  /// tuner owns the knobs). Looks up the wisdom entry for this device —
+  /// searching the TuneConfig space with the closed-form cost model on
+  /// first use — and returns the plan built with the winning config. A
+  /// warm registry (wisdom loaded or already searched) performs zero
+  /// candidate evaluations.
+  std::shared_ptr<FftPlan> get_or_create_tuned(const PlanDesc& desc) {
+    return get_or_create_tuned_as<float>(desc);
+  }
+  template <typename T>
+  std::shared_ptr<FftPlanT<T>> get_or_create_tuned_as(const PlanDesc& desc);
+
+  /// The TuneConfig the tuner chose for `desc` on this registry's device
+  /// (searches and caches on first call; `desc.tune` must be default).
+  const TuneConfig& tuned_config(const PlanDesc& desc,
+                                 const PlannerOptions& opts = {});
+
+  // ---- wisdom: persisted tuning results (FFTW-style) ----
+
+  /// Serialize every cached tuning decision as human-readable text. The
+  /// header carries a fingerprint of the device's model-relevant GpuSpec
+  /// fields; import on a different spec rejects the file.
+  [[nodiscard]] std::string export_wisdom() const;
+  /// Merge wisdom text into the cache. Returns the number of entries
+  /// accepted; 0 (and no mutation) when the GpuSpec fingerprint does not
+  /// match this registry's device.
+  std::size_t import_wisdom(const std::string& text);
+  /// File forms of export_wisdom/import_wisdom.
+  void save_wisdom(const std::string& path) const;
+  std::size_t load_wisdom(const std::string& path);
+
+  /// Tuning searches run (wisdom misses) and candidate configurations
+  /// scored by the cost model. A process warm-started from wisdom shows
+  /// zero on both.
+  [[nodiscard]] std::uint64_t tune_searches() const { return tune_searches_; }
+  [[nodiscard]] std::uint64_t tune_evaluations() const {
+    return tune_evaluations_;
+  }
+  /// Resident wisdom entries.
+  [[nodiscard]] std::size_t wisdom_size() const { return wisdom_.size(); }
 
   [[nodiscard]] std::uint64_t hits() const { return hits_; }
   [[nodiscard]] std::uint64_t misses() const { return misses_; }
@@ -131,6 +173,11 @@ class PlanRegistry {
 
   Device& dev_;
   sim::DeviceGroup* group_ = nullptr;  // non-null for group registries
+  /// Tuning wisdom, keyed by the default-tune description (the tuned
+  /// config is the value, never part of the key).
+  std::unordered_map<PlanDesc, TuneConfig, PlanDescHash> wisdom_;
+  std::uint64_t tune_searches_ = 0;
+  std::uint64_t tune_evaluations_ = 0;
   std::list<Entry> lru_;  // most-recently-used first
   std::unordered_map<PlanDesc, std::list<Entry>::iterator, PlanDescHash>
       index_;
@@ -157,5 +204,9 @@ extern template std::shared_ptr<FftPlanT<float>>
 PlanRegistry::get_or_create_as<float>(const PlanDesc&);
 extern template std::shared_ptr<FftPlanT<double>>
 PlanRegistry::get_or_create_as<double>(const PlanDesc&);
+extern template std::shared_ptr<FftPlanT<float>>
+PlanRegistry::get_or_create_tuned_as<float>(const PlanDesc&);
+extern template std::shared_ptr<FftPlanT<double>>
+PlanRegistry::get_or_create_tuned_as<double>(const PlanDesc&);
 
 }  // namespace repro::gpufft

@@ -56,30 +56,50 @@ ShardedTiming run_with_failover(sim::DeviceGroup& group, std::span<cxf> data,
   }
 }
 
+/// The TuneConfig slab-depth knob overrides the plan's `shards` when set.
+std::size_t effective_shards(std::size_t shards, const TuneConfig& tune) {
+  return tune.slab_depth != 0 ? tune.slab_depth : shards;
+}
+
+/// Inner slab-plan description carrying the tuned knobs but not the slab
+/// decimation itself (the slab plan must not re-decimate).
+PlanDesc tuned_slab_desc(PlanDesc d, TuneConfig tune) {
+  tune.slab_depth = 0;
+  d.tune = tune;
+  return d;
+}
+
 }  // namespace
 
 ShardedFft3DPlan::ShardedFft3DPlan(sim::DeviceGroup& group, std::size_t n,
-                                   std::size_t shards, Direction dir)
-    : PlanBaseT<float>(group.device(0), PlanDesc::sharded3d(n, shards, dir)),
+                                   std::size_t shards, Direction dir,
+                                   TuneConfig tune)
+    : PlanBaseT<float>(
+          group.device(0),
+          PlanDesc::sharded3d(n, effective_shards(shards, tune), dir)),
       group_(&group),
+      opt_(tune),
       n_(n),
-      shards_(shards),
-      slab_shape_{n, n, n / shards},
+      shards_(effective_shards(shards, tune)),
+      slab_shape_{n, n, n / shards_},
       host_work_(n * n * n),
       staging_lease_(group, n * n * n * sizeof(cxf)) {
-  REPRO_CHECK_MSG(n % shards == 0, "shards must divide n");
-  REPRO_CHECK_MSG(shards >= 2 && shards <= kMaxFactor,
+  REPRO_CHECK_MSG(n % shards_ == 0, "shards must divide n");
+  REPRO_CHECK_MSG(shards_ >= 2 && shards_ <= kMaxFactor,
                   "shards must be a supported small-FFT factor");
-  REPRO_CHECK(is_pow2(n) && is_pow2(shards));
-  REPRO_CHECK_MSG(shards % group.size() == 0,
+  REPRO_CHECK(is_pow2(n) && is_pow2(shards_));
+  REPRO_CHECK_MSG(shards_ % group.size() == 0,
                   "the group size must divide the shard count");
-  REPRO_CHECK_MSG((n / shards) % group.size() == 0,
+  REPRO_CHECK_MSG((n / shards_) % group.size() == 0,
                   "the group size must divide n/shards");
+  desc_.tune = tune;
   slab_plans_.reserve(group.size());
   for (std::size_t d = 0; d < group.size(); ++d) {
-    slab_plans_.push_back(PlanRegistry::of(group.device(d))
-                              .get_or_create(PlanDesc::bandwidth3d(
-                                  slab_shape_, dir, Precision::F32)));
+    slab_plans_.push_back(
+        PlanRegistry::of(group.device(d))
+            .get_or_create(tuned_slab_desc(
+                PlanDesc::bandwidth3d(slab_shape_, dir, Precision::F32),
+                tune)));
   }
 }
 
@@ -144,7 +164,7 @@ ShardedTiming ShardedFft3DPlan::run_on(
     ShardTiming& t = timing.devices[d];
     sim::Stream& s = stream_of(mi, local % 2);
     auto& slab = slab_of(mi, local % 2);
-    const unsigned grid = default_grid_blocks(dev.spec());
+    const unsigned grid = opt_.grid_for(dev.spec());
 
     for (std::size_t j = 0; j < local_nz; ++j) {
       const std::size_t z = residue + shards_ * j;
@@ -156,7 +176,8 @@ ShardedTiming ShardedFft3DPlan::run_on(
       t.fft1_ms += step.ms;
     }
 
-    SlabTwiddleKernel tw(slab, slab_shape_, n_, residue, desc_.dir, grid);
+    SlabTwiddleKernel tw(slab, slab_shape_, n_, residue, desc_.dir, grid, 0,
+                         opt_.threads_per_block);
     t.twiddle_ms += dev.launch_async(tw, s).total_ms;
 
     // The download IS the all-to-all send: the planes land in the host
@@ -187,7 +208,7 @@ ShardedTiming ShardedFft3DPlan::run_on(
     const std::size_t e = members[mi];
     auto& dev = group_->device(e);
     ShardTiming& t = timing.devices[e];
-    const unsigned grid = default_grid_blocks(dev.spec());
+    const unsigned grid = opt_.grid_for(dev.spec());
     for (std::size_t g = 0; g < groups_per_dev; ++g) {
       const std::size_t k = mi * groups_per_dev + g;
       sim::Stream& s = stream_of(mi, g % 2);
@@ -200,7 +221,8 @@ ShardedTiming ShardedFft3DPlan::run_on(
           &s);
       t.exchange_bytes += shards_ * plane * sizeof(cxf);
 
-      ZPencilFftKernel fft(slab, pencil_slab, desc_.dir, grid);
+      ZPencilFftKernel fft(slab, pencil_slab, desc_.dir, grid, 0,
+                           opt_.threads_per_block);
       t.fft2_ms += dev.launch_async(fft, s).total_ms;
 
       for (std::size_t k2 = 0; k2 < shards_; ++k2) {
@@ -283,32 +305,35 @@ std::vector<StepTiming> ShardedFft3DPlan::execute_batch_host(
 
 ShardedRealFft3DPlan::ShardedRealFft3DPlan(sim::DeviceGroup& group,
                                            std::size_t n, std::size_t shards,
-                                           Direction dir)
-    : PlanBaseT<float>(group.device(0),
-                       PlanDesc::sharded_real3d(n, shards, dir)),
+                                           Direction dir, TuneConfig tune)
+    : PlanBaseT<float>(
+          group.device(0),
+          PlanDesc::sharded_real3d(n, effective_shards(shards, tune), dir)),
       group_(&group),
+      opt_(tune),
       n_(n),
-      shards_(shards),
-      slab_shape_{n, n, n / shards},
+      shards_(effective_shards(shards, tune)),
+      slab_shape_{n, n, n / shards_},
       host_work_((n / 2 + 1) * n * n),
       staging_lease_(group, (n / 2 + 1) * n * n * sizeof(cxf)) {
-  REPRO_CHECK_MSG(n % shards == 0, "shards must divide n");
-  REPRO_CHECK_MSG(shards >= 2 && shards <= kMaxFactor,
+  REPRO_CHECK_MSG(n % shards_ == 0, "shards must divide n");
+  REPRO_CHECK_MSG(shards_ >= 2 && shards_ <= kMaxFactor,
                   "shards must be a supported small-FFT factor");
-  REPRO_CHECK(is_pow2(n) && is_pow2(shards));
+  REPRO_CHECK(is_pow2(n) && is_pow2(shards_));
   REPRO_CHECK_MSG(n >= 32,
                   "sharded real plans need n >= 32 (the half-length X fine "
                   "stages need n/2 >= 16)");
-  REPRO_CHECK_MSG(shards % group.size() == 0,
+  REPRO_CHECK_MSG(shards_ % group.size() == 0,
                   "the group size must divide the shard count");
-  REPRO_CHECK_MSG((n / shards) % group.size() == 0,
+  REPRO_CHECK_MSG((n / shards_) % group.size() == 0,
                   "the group size must divide n/shards");
+  desc_.tune = tune;
   for (std::size_t d = 0; d < group.size(); ++d) {
     auto& dev = group.device(d);
     if (dir == Direction::Forward) {
       // Phase 1 runs the whole real slab plan (r2c X + coarse Y/local-Z).
       slab_plans_.push_back(PlanRegistry::of(dev).get_or_create(
-          PlanDesc::real3d(slab_shape_, dir)));
+          tuned_slab_desc(PlanDesc::real3d(slab_shape_, dir), tune)));
     } else {
       // Phase 2 finishes with the fused c2r pass; share its tables now.
       tw_half_.push_back(ResourceCache::of(dev).twiddles<float>(n / 2, dir));
@@ -381,7 +406,7 @@ ShardedTiming ShardedRealFft3DPlan::run_on(
     ShardTiming& t = timing.devices[d];
     sim::Stream& s = stream_of(mi, local % 2);
     auto& slab = slab_of(mi, local % 2);
-    const unsigned grid = default_grid_blocks(dev.spec());
+    const unsigned grid = opt_.grid_for(dev.spec());
     const std::size_t slab_tail = mrow * local_nz;  // slab tail-region base
 
     const std::span<const cxf> host_src = host_data;
@@ -400,15 +425,17 @@ ShardedTiming ShardedRealFft3DPlan::run_on(
     } else {
       const Device::StreamGuard guard(dev, s);
       t.fft1_ms += run_real_coarse_slab<float>(dev, slab, slab_shape_,
-                                               desc_.dir);
+                                               desc_.dir, opt_);
     }
 
     // Inter-rank Z twiddles over both layout regions of the slab.
     SlabTwiddleKernel tw_main(slab, Shape3{n_ / 2, n_, local_nz}, n_,
-                              residue, desc_.dir, grid);
+                              residue, desc_.dir, grid, 0,
+                              opt_.threads_per_block);
     t.twiddle_ms += dev.launch_async(tw_main, s).total_ms;
     SlabTwiddleKernel tw_tail(slab, Shape3{1, n_, local_nz}, n_, residue,
-                              desc_.dir, grid, slab_tail);
+                              desc_.dir, grid, slab_tail,
+                              opt_.threads_per_block);
     t.twiddle_ms += dev.launch_async(tw_tail, s).total_ms;
 
     // The download IS the all-to-all send — and it carries (n/2+1)/n of
@@ -438,7 +465,7 @@ ShardedTiming ShardedRealFft3DPlan::run_on(
     const std::size_t e = members[mi];
     auto& dev = group_->device(e);
     ShardTiming& t = timing.devices[e];
-    const unsigned grid = default_grid_blocks(dev.spec());
+    const unsigned grid = opt_.grid_for(dev.spec());
     for (std::size_t g = 0; g < groups_per_dev; ++g) {
       const std::size_t k = mi * groups_per_dev + g;
       sim::Stream& s = stream_of(mi, g % 2);
@@ -457,10 +484,10 @@ ShardedTiming ShardedRealFft3DPlan::run_on(
       t.exchange_bytes += shards_ * plane * sizeof(cxf);
 
       ZPencilFftKernel fft_main(slab, Shape3{n_ / 2, n_, shards_},
-                                desc_.dir, grid);
+                                desc_.dir, grid, 0, opt_.threads_per_block);
       t.fft2_ms += dev.launch_async(fft_main, s).total_ms;
       ZPencilFftKernel fft_tail(slab, Shape3{1, n_, shards_}, desc_.dir,
-                                grid, slab2_tail);
+                                grid, slab2_tail, opt_.threads_per_block);
       t.fft2_ms += dev.launch_async(fft_tail, s).total_ms;
 
       if (!forward) {
@@ -469,9 +496,11 @@ ShardedTiming ShardedRealFft3DPlan::run_on(
         RealFineParams fp;
         fp.nx = n_;
         fp.count = n_ * shards_;
+        fp.twiddles = opt_.fine_twiddles;
         fp.grid_blocks = grid;
         fp.threads_per_block = static_cast<unsigned>(
-            std::max<std::size_t>(n_ / 8, kDefaultThreadsPerBlock));
+            std::max<std::size_t>(n_ / 8, opt_.threads_per_block));
+        fp.shmem_pad_words = opt_.shmem_pad_words;
         fp.scale = 1.0 / (static_cast<double>(n_ / 2) *
                           static_cast<double>(n_) * static_cast<double>(n_));
         RealFineC2RKernel c2r(slab, fp, tw_half_[e].get(), tw_full_[e].get());

@@ -115,9 +115,10 @@ class ShardedFft3DPlan final : public PlanBaseT<float> {
  public:
   /// Requires shards | n, shards a supported small-FFT factor, and the
   /// group size dividing both `shards` and `n/shards` (so both phases
-  /// split evenly across the cards).
+  /// split evenly across the cards). A non-zero tune.slab_depth overrides
+  /// `shards` (the TuneConfig knob).
   ShardedFft3DPlan(sim::DeviceGroup& group, std::size_t n,
-                   std::size_t shards, Direction dir);
+                   std::size_t shards, Direction dir, TuneConfig tune = {});
 
   ShardedTiming execute(std::span<cxf> host_data);
 
@@ -155,6 +156,7 @@ class ShardedFft3DPlan final : public PlanBaseT<float> {
                        std::span<cxf> host_data);
 
   sim::DeviceGroup* group_;
+  TuneConfig opt_;
   std::size_t n_;
   std::size_t shards_;
   Shape3 slab_shape_;
@@ -185,7 +187,8 @@ class ShardedRealFft3DPlan final : public PlanBaseT<float> {
   /// Same divisibility constraints as ShardedFft3DPlan, plus the real
   /// X-fine constraint n >= 32 (power of two).
   ShardedRealFft3DPlan(sim::DeviceGroup& group, std::size_t n,
-                       std::size_t shards, Direction dir);
+                       std::size_t shards, Direction dir,
+                       TuneConfig tune = {});
 
   /// Transform a host-resident split-layout volume ((n/2+1)*n*n complex
   /// elements, pack_real_volume layout) in place.
@@ -223,6 +226,7 @@ class ShardedRealFft3DPlan final : public PlanBaseT<float> {
                        std::span<cxf> host_data);
 
   sim::DeviceGroup* group_;
+  TuneConfig opt_;
   std::size_t n_;
   std::size_t shards_;
   Shape3 slab_shape_;         ///< logical real slab (n, n, n/shards)

@@ -81,12 +81,15 @@ struct AxisSplit {
   std::size_t f2;  ///< high digit (rank-1 factor)
 };
 
-inline AxisSplit split_axis(std::size_t n) {
+/// `preferred_f1` (a tuning knob; 16 is the paper's register-budget sweet
+/// spot) is tried first, then the default ladder — so an infeasible
+/// preference degrades to the paper's split instead of failing.
+inline AxisSplit split_axis(std::size_t n, std::size_t preferred_f1 = 16) {
   REPRO_CHECK_MSG(n >= 4 && n <= 512,
                   "axis length must be in [4, 512] for the two-rank split");
-  for (std::size_t f1 :
-       {std::size_t{16}, std::size_t{8}, std::size_t{4}, std::size_t{2}}) {
-    if (n % f1 == 0 && n / f1 <= kMaxFactor && n / f1 >= 2) {
+  for (std::size_t f1 : {preferred_f1, std::size_t{16}, std::size_t{8},
+                         std::size_t{4}, std::size_t{2}}) {
+    if (f1 >= 2 && n % f1 == 0 && n / f1 <= kMaxFactor && n / f1 >= 2) {
       return {f1, n / f1};
     }
   }

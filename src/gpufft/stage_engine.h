@@ -20,9 +20,14 @@
 
 namespace repro::gpufft {
 
-/// Padded shared-memory index: insert one word every 16 so that the
-/// power-of-two strides of the butterfly exchange spread across banks.
-constexpr std::size_t shmem_pad(std::size_t i) { return i + i / 16; }
+/// Padded shared-memory index: insert one word every `pad_words` so that
+/// the power-of-two strides of the butterfly exchange spread across banks.
+/// `pad_words` is a tuning knob (TuneConfig::shmem_pad_words); 0 disables
+/// padding, 16 is the paper's choice for the 16-bank G80.
+constexpr std::size_t shmem_pad(std::size_t i, std::size_t pad_words) {
+  return pad_words == 0 ? i : i + i / pad_words;
+}
+constexpr std::size_t shmem_pad(std::size_t i) { return shmem_pad(i, 16); }
 
 /// Addressing/loop cycles per thread per stage of one transform.
 inline constexpr double kFineAddressingCyclesPerStage = 22.0;
@@ -62,10 +67,27 @@ inline double fine_flops_per_transform(std::size_t n) {
   return flops;
 }
 
+/// Twiddle fetches of one staged n-point transform: every butterfly of a
+/// radix-r stage multiplies r-1 values by a table (or recomputed) twiddle.
+/// The planner and the kernels' cost configs share this count so a
+/// recomputing candidate is charged the same work the executor models.
+inline double fine_twiddle_fetches(std::size_t n) {
+  double fetches = 0.0;
+  std::size_t m = 1;
+  while (m < n) {
+    const std::size_t radix = (n / m) % 4 == 0 ? 4 : 2;
+    fetches += static_cast<double>(n / radix) *
+               static_cast<double>(radix - 1);
+    m *= radix;
+  }
+  return fetches;
+}
+
 /// Minimum per-transform element stride of the exchange window in shared
 /// memory (n scalars plus anti-bank-conflict padding).
-constexpr std::size_t fine_min_sh_stride(std::size_t n) {
-  return shmem_pad(n - 1) + 1;
+constexpr std::size_t fine_min_sh_stride(std::size_t n,
+                                         std::size_t pad_words = 16) {
+  return shmem_pad(n - 1, pad_words) + 1;
 }
 
 /// Run every stage of one wave of transforms: the block's `txs_pb`
@@ -83,9 +105,9 @@ constexpr std::size_t fine_min_sh_stride(std::size_t n) {
 template <typename T, typename Load, typename Store, typename Twiddle>
 void run_fine_stages(sim::BlockCtx& ctx, const std::vector<FineStage>& sts,
                      std::size_t n, int sign, sim::SharedView<T>& sh,
-                     std::size_t sh_stride, std::size_t base,
-                     std::size_t count, cx<T>* vals, T* tmp, Load&& load,
-                     Store&& store, Twiddle&& twiddle) {
+                     std::size_t sh_stride, std::size_t pad_words,
+                     std::size_t base, std::size_t count, cx<T>* vals,
+                     T* tmp, Load&& load, Store&& store, Twiddle&& twiddle) {
   const std::size_t tpt = n / 4;
   const std::size_t n_stages = sts.size();
 
@@ -164,7 +186,7 @@ void run_fine_stages(sim::BlockCtx& ctx, const std::vector<FineStage>& sts,
       if (base + sub >= count) return;
       const std::size_t shb = sub * sh_stride;
       for (std::size_t s = 0; s < 4; ++s) {
-        sh.store(t, shb + shmem_pad(out_pos(lane, s)),
+        sh.store(t, shb + shmem_pad(out_pos(lane, s), pad_words),
                  vals[t.tid * 4 + s].re);
       }
     });
@@ -174,7 +196,8 @@ void run_fine_stages(sim::BlockCtx& ctx, const std::vector<FineStage>& sts,
       if (base + sub >= count) return;
       const std::size_t shb = sub * sh_stride;
       for (std::size_t s = 0; s < 4; ++s) {
-        tmp[t.tid * 4 + s] = sh.load(t, shb + shmem_pad(in_pos(lane, s)));
+        tmp[t.tid * 4 + s] =
+            sh.load(t, shb + shmem_pad(in_pos(lane, s), pad_words));
       }
     });
     ctx.threads([&](sim::ThreadCtx& t) {
@@ -183,7 +206,7 @@ void run_fine_stages(sim::BlockCtx& ctx, const std::vector<FineStage>& sts,
       if (base + sub >= count) return;
       const std::size_t shb = sub * sh_stride;
       for (std::size_t s = 0; s < 4; ++s) {
-        sh.store(t, shb + shmem_pad(out_pos(lane, s)),
+        sh.store(t, shb + shmem_pad(out_pos(lane, s), pad_words),
                  vals[t.tid * 4 + s].im);
       }
     });
@@ -196,7 +219,8 @@ void run_fine_stages(sim::BlockCtx& ctx, const std::vector<FineStage>& sts,
       cx<T> next[4];
       for (std::size_t s = 0; s < 4; ++s) {
         next[s] = cx<T>{tmp[t.tid * 4 + s],
-                        sh.load(t, shb + shmem_pad(in_pos(lane, s)))};
+                        sh.load(t, shb + shmem_pad(in_pos(lane, s),
+                                                   pad_words))};
       }
       for (std::size_t b = 0; b < bpt; ++b) {
         const std::size_t u = lane + b * tpt;

@@ -1,0 +1,112 @@
+#include "gpufft/tuning.h"
+
+#include <exception>
+
+namespace repro::gpufft {
+
+const char* twiddle_source_name(TwiddleSource t) {
+  switch (t) {
+    case TwiddleSource::Registers: return "registers";
+    case TwiddleSource::Constant: return "constant";
+    case TwiddleSource::Texture: return "texture";
+    default: return "recompute";
+  }
+}
+
+bool parse_twiddle_source(const std::string& s, TwiddleSource& out) {
+  if (s == "registers") {
+    out = TwiddleSource::Registers;
+  } else if (s == "constant") {
+    out = TwiddleSource::Constant;
+  } else if (s == "texture") {
+    out = TwiddleSource::Texture;
+  } else if (s == "recompute") {
+    out = TwiddleSource::Recompute;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+bool parse_pattern(const std::string& s, Pattern& out) {
+  if (s == "A") {
+    out = Pattern::A;
+  } else if (s == "B") {
+    out = Pattern::B;
+  } else if (s == "C") {
+    out = Pattern::C;
+  } else if (s == "D") {
+    out = Pattern::D;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+bool parse_tune_config(const std::string& s, TuneConfig& out) {
+  TuneConfig cfg;
+  std::size_t pos = 0;
+  while (pos < s.size()) {
+    while (pos < s.size() && s[pos] == ' ') ++pos;
+    const std::size_t end = s.find(' ', pos);
+    const std::string tok =
+        s.substr(pos, end == std::string::npos ? std::string::npos
+                                               : end - pos);
+    pos = end == std::string::npos ? s.size() : end + 1;
+    if (tok.empty()) continue;
+    const std::size_t eq = tok.find('=');
+    if (eq == std::string::npos) return false;
+    const std::string key = tok.substr(0, eq);
+    const std::string val = tok.substr(eq + 1);
+    try {
+      if (key == "ctw") {
+        if (!parse_twiddle_source(val, cfg.coarse_twiddles)) return false;
+      } else if (key == "ftw") {
+        if (!parse_twiddle_source(val, cfg.fine_twiddles)) return false;
+      } else if (key == "grid") {
+        cfg.grid_blocks = static_cast<unsigned>(std::stoul(val));
+      } else if (key == "bps") {
+        cfg.blocks_per_sm = static_cast<unsigned>(std::stoul(val));
+      } else if (key == "tpb") {
+        cfg.threads_per_block = static_cast<unsigned>(std::stoul(val));
+      } else if (key == "radix") {
+        cfg.coarse_radix = static_cast<unsigned>(std::stoul(val));
+      } else if (key == "pad") {
+        cfg.shmem_pad_words = static_cast<unsigned>(std::stoul(val));
+      } else if (key == "slab") {
+        cfg.slab_depth = static_cast<std::size_t>(std::stoull(val));
+      } else if (key == "read") {
+        if (!parse_pattern(val, cfg.coarse_read)) return false;
+      } else if (key == "write") {
+        if (!parse_pattern(val, cfg.coarse_write)) return false;
+      } else {
+        return false;
+      }
+    } catch (const std::exception&) {
+      return false;  // stoul on a non-numeric value
+    }
+  }
+  out = cfg;
+  return true;
+}
+
+std::string TuneConfig::to_string() const {
+  std::string s;
+  s += "ctw=";
+  s += twiddle_source_name(coarse_twiddles);
+  s += " ftw=";
+  s += twiddle_source_name(fine_twiddles);
+  s += " grid=" + std::to_string(grid_blocks);
+  s += " bps=" + std::to_string(blocks_per_sm);
+  s += " tpb=" + std::to_string(threads_per_block);
+  s += " radix=" + std::to_string(coarse_radix);
+  s += " pad=" + std::to_string(shmem_pad_words);
+  s += " slab=" + std::to_string(slab_depth);
+  s += " read=";
+  s += pattern_name(coarse_read);
+  s += " write=";
+  s += pattern_name(coarse_write);
+  return s;
+}
+
+}  // namespace repro::gpufft

@@ -1,0 +1,121 @@
+// Tunable plan parameters: the paper's Table-2 constants as one value type.
+//
+// Every knob the five-step plans used to hard-code — twiddle placement,
+// grid shape, threads per block, the coarse radix split, the fine kernel's
+// anti-bank-conflict pad, the streamed plans' slab depth, and the Table-2
+// access-pattern pairing — lives in TuneConfig. A default-constructed
+// TuneConfig reproduces the paper's published configuration bit-for-bit;
+// the planner (planner.h) searches this space per (GpuSpec, PlanDesc) and
+// the registry persists winners as human-readable wisdom. TuneConfig is
+// part of PlanDesc identity, so tuned and default plans of the same shape
+// can never alias in the PlanRegistry.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "gpufft/types.h"
+
+namespace repro::gpufft {
+
+/// The paper's block size for every non-cooperative kernel (Section 3.1).
+/// Single source of truth — kernels default their threads_per_block here.
+inline constexpr unsigned kDefaultThreadsPerBlock = 64;
+
+/// Fine-kernel shared-exchange pad stride: one extra word every 16 keeps
+/// the power-of-two butterfly strides off a 16-bank conflict (Section 3.2).
+inline constexpr unsigned kDefaultShmemPadWords = 16;
+
+/// One point in the plan tuning space. Defaults are the paper's Table-2
+/// choices; the planner treats each field as a searched dimension.
+struct TuneConfig {
+  TwiddleSource coarse_twiddles{TwiddleSource::Registers};  ///< steps 1-4
+  TwiddleSource fine_twiddles{TwiddleSource::Texture};      ///< step 5
+  /// Explicit grid size; 0 defers to blocks_per_sm (the normal case).
+  unsigned grid_blocks{0};
+  /// Grid = blocks_per_sm * num_sms when grid_blocks is 0 (paper: 3).
+  unsigned blocks_per_sm{3};
+  /// Block size of the coarse/rank kernels; the fine kernel raises it to
+  /// nx/4 when one transform group needs more threads.
+  unsigned threads_per_block{kDefaultThreadsPerBlock};
+  /// Preferred rank-2 factor f1 of the n = f1*f2 coarse split (paper: 16,
+  /// the register-budget sweet spot of Section 3.1).
+  unsigned coarse_radix{16};
+  /// Fine-kernel shared-memory pad stride in words (0 = no padding).
+  unsigned shmem_pad_words{kDefaultShmemPadWords};
+  /// Streamed plans (out-of-core / sharded): slab decimation override;
+  /// 0 = the plan description's own `splits`.
+  std::size_t slab_depth{0};
+  /// Table-2 access-pattern pairing of the coarse steps. Only the paper's
+  /// read-D/write-A pairing is executable; the planner scores the others
+  /// closed-form to show D->A is the argmin (Tables 3/4).
+  Pattern coarse_read{Pattern::D};
+  Pattern coarse_write{Pattern::A};
+
+  friend bool operator==(const TuneConfig& a, const TuneConfig& b) {
+    return a.coarse_twiddles == b.coarse_twiddles &&
+           a.fine_twiddles == b.fine_twiddles &&
+           a.grid_blocks == b.grid_blocks &&
+           a.blocks_per_sm == b.blocks_per_sm &&
+           a.threads_per_block == b.threads_per_block &&
+           a.coarse_radix == b.coarse_radix &&
+           a.shmem_pad_words == b.shmem_pad_words &&
+           a.slab_depth == b.slab_depth &&
+           a.coarse_read == b.coarse_read &&
+           a.coarse_write == b.coarse_write;
+  }
+  friend bool operator!=(const TuneConfig& a, const TuneConfig& b) {
+    return !(a == b);
+  }
+
+  /// FNV-1a over the fields (mixed into PlanDesc::hash()).
+  [[nodiscard]] std::size_t hash() const {
+    std::uint64_t h = 1469598103934665603ull;
+    auto mix = [&h](std::uint64_t v) {
+      h ^= v;
+      h *= 1099511628211ull;
+    };
+    mix(static_cast<std::uint64_t>(coarse_twiddles));
+    mix(static_cast<std::uint64_t>(fine_twiddles));
+    mix(grid_blocks);
+    mix(blocks_per_sm);
+    mix(threads_per_block);
+    mix(coarse_radix);
+    mix(shmem_pad_words);
+    mix(slab_depth);
+    mix(static_cast<std::uint64_t>(coarse_read));
+    mix(static_cast<std::uint64_t>(coarse_write));
+    return static_cast<std::size_t>(h);
+  }
+
+  /// Grid size on `gpu`: the explicit override, or blocks_per_sm per SM.
+  [[nodiscard]] unsigned grid_for(const sim::GpuSpec& gpu) const {
+    if (grid_blocks != 0) return grid_blocks;
+    return blocks_per_sm * static_cast<unsigned>(gpu.num_sms);
+  }
+
+  /// True for the paper's read-D/write-A pairing — the only one the rank
+  /// kernels implement (the rest exist for the planner's pattern model).
+  [[nodiscard]] bool executable_patterns() const {
+    return coarse_read == Pattern::D && coarse_write == Pattern::A;
+  }
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Twiddle-source short names used by to_string and the wisdom format.
+const char* twiddle_source_name(TwiddleSource t);
+/// Parse a twiddle_source_name (returns false on unknown token).
+bool parse_twiddle_source(const std::string& s, TwiddleSource& out);
+/// Parse a pattern_name ("A".."D").
+bool parse_pattern(const std::string& s, Pattern& out);
+
+/// Round-trip parse of TuneConfig::to_string() (the wisdom format).
+/// Missing tokens keep their defaults; an unknown token fails the parse.
+bool parse_tune_config(const std::string& s, TuneConfig& out);
+
+/// Historical name of the bandwidth-plan option block; the fields moved
+/// into TuneConfig unchanged, so existing call sites keep compiling.
+using BandwidthPlanOptions = TuneConfig;
+
+}  // namespace repro::gpufft

@@ -57,6 +57,7 @@ inline unsigned default_grid_blocks(const sim::GpuSpec& gpu) {
   return static_cast<unsigned>(3 * gpu.num_sms);
 }
 
-inline constexpr unsigned kDefaultThreadsPerBlock = 64;
+// kDefaultThreadsPerBlock moved to gpufft/tuning.h — the single source of
+// truth for every tunable constant the plans used to hard-code.
 
 }  // namespace repro::gpufft

@@ -9,6 +9,8 @@ namespace repro::sim {
 Device::Device(GpuSpec spec) : spec_(std::move(spec)) {
   REPRO_CHECK_MSG(spec_.dma_engines == 1 || spec_.dma_engines == 2,
                   "GpuSpec.dma_engines must be 1 or 2");
+  REPRO_CHECK_MSG(spec_.shmem_banks > 0, "GpuSpec.shmem_banks must be > 0");
+  options_.shmem_banks = spec_.shmem_banks;
 }
 
 Device::~Device() {

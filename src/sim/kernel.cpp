@@ -114,7 +114,7 @@ void BlockCtx::end_phase() {
                                              slog_[t][s].words});
         }
       }
-      const int degree = shmem_conflict_degree(sh_lanes);
+      const int degree = shmem_conflict_degree(sh_lanes, opt_.shmem_banks);
       ++stats_.shmem_slots;
       stats_.shmem_thread_cycles +=
           static_cast<std::uint64_t>(degree) * sh_lanes.size();

@@ -85,6 +85,9 @@ struct LaunchStats {
 struct SimOptions {
   std::uint32_t sample_accesses_per_thread = 1536;
   std::uint32_t max_sampled_blocks = 256;
+  /// Shared-memory bank count for conflict accounting; the Device ctor
+  /// copies it from GpuSpec::shmem_banks.
+  int shmem_banks = 16;
 };
 
 /// Per-thread identity passed to the phase function.

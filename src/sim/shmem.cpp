@@ -5,14 +5,17 @@
 
 namespace repro::sim {
 
-int shmem_conflict_degree(std::span<const ShmemLaneAccess> accesses) {
+int shmem_conflict_degree(std::span<const ShmemLaneAccess> accesses,
+                          int banks) {
   // Distinct words per bank; identical words broadcast.
-  std::array<std::vector<std::uint64_t>, kShmemBanks> words_per_bank;
+  std::vector<std::vector<std::uint64_t>> words_per_bank(
+      static_cast<std::size_t>(banks > 0 ? banks : kShmemBanks));
+  if (banks <= 0) banks = kShmemBanks;
   for (const auto& a : accesses) {
     for (std::uint32_t w = 0; w < a.words; ++w) {
       const std::uint64_t word = a.word + w;
       auto& v = words_per_bank[static_cast<std::size_t>(
-          shmem_bank_of_word(word))];
+          shmem_bank_of_word(word, banks))];
       if (std::find(v.begin(), v.end(), word) == v.end()) {
         v.push_back(word);
       }

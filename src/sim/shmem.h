@@ -20,8 +20,9 @@ inline constexpr int kShmemBanks = 16;
 inline constexpr std::uint32_t kShmemWordBytes = 4;
 
 /// Banks touched by a 4-byte word address (element offset in words).
-constexpr int shmem_bank_of_word(std::uint64_t word_index) {
-  return static_cast<int>(word_index % kShmemBanks);
+constexpr int shmem_bank_of_word(std::uint64_t word_index,
+                                 int banks = kShmemBanks) {
+  return static_cast<int>(word_index % static_cast<std::uint64_t>(banks));
 }
 
 /// One lane's shared-memory access within a half-warp slot, in words.
@@ -33,7 +34,12 @@ struct ShmemLaneAccess {
 
 /// Serialization degree of one half-warp shared access: the maximum number
 /// of distinct words mapped to any single bank (>= 1). Lanes reading the
-/// exact same word broadcast and count once.
-int shmem_conflict_degree(std::span<const ShmemLaneAccess> accesses);
+/// exact same word broadcast and count once. `banks` lets mutated specs
+/// (GpuSpec::shmem_banks) model narrower or wider bank fabrics.
+int shmem_conflict_degree(std::span<const ShmemLaneAccess> accesses,
+                          int banks);
+inline int shmem_conflict_degree(std::span<const ShmemLaneAccess> accesses) {
+  return shmem_conflict_degree(accesses, kShmemBanks);
+}
 
 }  // namespace repro::sim

@@ -67,6 +67,7 @@ struct GpuSpec {
   // Per-SM resources (CUDA 1.x / compute capability 1.0-1.1).
   int registers_per_sm{8192};
   std::size_t shmem_per_sm{16 * 1024};
+  int shmem_banks{16};  ///< shared-memory bank count (half-warp fabric)
   int max_threads_per_sm{768};
   int max_blocks_per_sm{8};
   int warp_size{32};

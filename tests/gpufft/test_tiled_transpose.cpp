@@ -72,7 +72,7 @@ TEST(TiledTranspose, SixStepPlanStaysCorrectWithTiling) {
   Device dev(sim::geforce_8800_gts());
   auto data = dev.alloc<cxf>(shape.volume());
   dev.h2d(data, std::span<const cxf>(input));
-  ConventionalFft3D plan(dev, shape, Direction::Forward, 0,
+  ConventionalFft3D plan(dev, shape, Direction::Forward, TuneConfig{},
                          TransposeStrategy::Tiled);
   plan.execute(data);
   std::vector<cxf> out(shape.volume());
@@ -89,7 +89,7 @@ TEST(TiledTranspose, FiveStepStillBeatsTiledSixStep) {
   auto data = dev.alloc<cxf>(shape.volume());
   BandwidthFft3D ours(dev, shape, Direction::Forward);
   ours.execute(data);
-  ConventionalFft3D tiled(dev, shape, Direction::Forward, 0,
+  ConventionalFft3D tiled(dev, shape, Direction::Forward, TuneConfig{},
                           TransposeStrategy::Tiled);
   tiled.execute(data);
   EXPECT_LT(ours.last_total_ms(), tiled.last_total_ms());
