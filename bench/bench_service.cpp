@@ -1,0 +1,98 @@
+// Throughput study of the FFT serving front end (serve::FftService): a
+// seeded many-client mixed workload (complex sharded, real half-spectrum,
+// and out-of-core volumes with exponential inter-arrival gaps) drained
+// through a device group, reported as volumes/sec and p50/p99 latency at
+// fleet sizes 1, 2, 4, 8. A second table re-runs the fleet-of-4 workload
+// with a DeviceLost fault injected mid-stream: capacity degrades, nothing
+// admitted is dropped.
+#include "bench_util.h"
+#include "serve/fft_service.h"
+#include "serve/workload.h"
+#include "sim/fault.h"
+
+int main(int argc, char** argv) {
+  using namespace repro;
+  bench::init(&argc, argv);
+
+  const serve::WorkloadSpec spec = bench::smoke()
+                                       ? serve::WorkloadSpec::smoke()
+                                       : serve::WorkloadSpec::full();
+  const std::vector<std::size_t> fleets =
+      bench::smoke() ? std::vector<std::size_t>{1, 2}
+                     : std::vector<std::size_t>{1, 2, 4, 8};
+  bench::banner("FFT service throughput (" + std::to_string(spec.requests) +
+                " mixed requests, seed " + std::to_string(spec.seed) + ")");
+
+  auto run_one = [&](std::size_t nd, bool inject) -> serve::ServiceReport {
+    sim::DeviceGroup group(nd, sim::geforce_8800_gts());
+    if (inject) {
+      // Deep enough that the stream is mid-flight when the card dies.
+      group.faults(nd / 2).arm(sim::FaultKind::DeviceLost, 64);
+    }
+    serve::FftService service(group);
+    serve::Workload workload(spec);
+    std::size_t rejected = 0;
+    for (const auto& req : workload.requests()) {
+      if (service.submit(req) != serve::Admission::Accepted) ++rejected;
+    }
+    auto rep = service.run();
+    REPRO_CHECK_MSG(rep.completed + rejected == spec.requests,
+                    "an admitted request was dropped");
+    return rep;
+  };
+
+  TextTable t;
+  t.header({"devices", "completed", "rejected", "makespan ms", "vol/s",
+            "p50 ms", "p99 ms", "max queue"});
+  for (const std::size_t nd : fleets) {
+    const auto rep = run_one(nd, /*inject=*/false);
+    t.row({std::to_string(nd), std::to_string(rep.completed),
+           std::to_string(rep.rejected_queue_full + rep.rejected_bytes),
+           TextTable::fmt(rep.makespan_ms, 1),
+           TextTable::fmt(rep.volumes_per_sec, 0),
+           TextTable::fmt(rep.latency.p50_ms, 2),
+           TextTable::fmt(rep.latency.p99_ms, 2),
+           std::to_string(rep.max_queue_depth)});
+    bench::add_row({"service/devices:" + std::to_string(nd),
+                    rep.makespan_ms,
+                    {{"volumes_per_sec", rep.volumes_per_sec},
+                     {"p50_ms", rep.latency.p50_ms},
+                     {"p99_ms", rep.latency.p99_ms}}});
+  }
+  t.print(std::cout);
+  std::cout << "\n";
+
+  // Fault A/B on the mid-sized fleet: same seeded workload, one card
+  // lost mid-stream.
+  const std::size_t nd = bench::smoke() ? 2 : 4;
+  const auto healthy = run_one(nd, /*inject=*/false);
+  const auto degraded = run_one(nd, /*inject=*/true);
+  TextTable f;
+  f.header({"fleet of " + std::to_string(nd), "completed", "vol/s",
+            "p99 ms", "failovers"});
+  f.row({"healthy", std::to_string(healthy.completed),
+         TextTable::fmt(healthy.volumes_per_sec, 0),
+         TextTable::fmt(healthy.latency.p99_ms, 2),
+         std::to_string(healthy.device_lost_failovers)});
+  f.row({"one card lost", std::to_string(degraded.completed),
+         TextTable::fmt(degraded.volumes_per_sec, 0),
+         TextTable::fmt(degraded.latency.p99_ms, 2),
+         std::to_string(degraded.device_lost_failovers)});
+  f.print(std::cout);
+  bench::add_row({"service/faulted/devices:" + std::to_string(nd),
+                  degraded.makespan_ms,
+                  {{"volumes_per_sec", degraded.volumes_per_sec},
+                   {"failovers",
+                    static_cast<double>(degraded.device_lost_failovers)}}});
+
+  std::cout
+      << "\nThe service fuses same-shape requests into batches and picks "
+         "deal vs shard per batch from the closed-form models: bursts of "
+         "whole volumes are dealt round-robin to the members, lone "
+         "arrivals are sharded across the fleet for latency. Volumes/sec "
+         "grows sublinearly with fleet size for the same reason the "
+         "sharded sweep does (one shared host bridge); p99 tracks the "
+         "queue depth the arrival process builds up. Losing a card "
+         "mid-stream costs capacity, never admitted requests.\n";
+  return bench::run_benchmarks(argc, argv);
+}

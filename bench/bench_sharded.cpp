@@ -76,6 +76,64 @@ int main(int argc, char** argv) {
     sweep(sim::geforce_gtx_280(), {1, 2, 4});
   }
 
+  // ---- Batched volumes: serial vs pipelined all-to-all overlap ----
+  //
+  // The pipelined schedule overlaps volume k's exchange with volume
+  // k+1's phase-1 decimation. On 1-DMA cards the single copy engine's
+  // FIFO makes this a wash (the next upload queues behind the previous
+  // download); on 2-DMA GT200 cards it hides most of the exchange.
+  auto batch_sweep = [&](const sim::GpuSpec& spec, std::size_t nd,
+                         const std::vector<std::size_t>& batches) {
+    sim::DeviceGroup group(nd, spec);
+    gpufft::ShardedFft3DPlan plan(group, n, shards,
+                                  gpufft::Direction::Forward);
+    const auto phases = gpufft::probe_shard_phases(
+        group.device(0).spec(), n, shards, gpufft::Direction::Forward);
+    std::cout << spec.name << " x" << nd << " batched volumes ("
+              << spec.dma_engines << " DMA engine(s) per card)\n";
+    TextTable t;
+    t.header({"batch", "serial ms", "pipelined ms", "gain", "model ms",
+              "err", "vol/s", "exch occ", "comp occ"});
+    for (const std::size_t b : batches) {
+      std::vector<std::vector<cxf>> volumes(b,
+                                            std::vector<cxf>(n * n * n));
+      std::vector<std::span<cxf>> spans(volumes.begin(), volumes.end());
+      const auto serial =
+          plan.execute_batch(spans, gpufft::BatchMode::Serial);
+      const auto piped =
+          plan.execute_batch(spans, gpufft::BatchMode::Pipelined);
+      const double gain = serial.makespan_ms / piped.makespan_ms;
+      const double model = gpufft::sharded_batch_model_ms(
+          phases, group.device(0).spec(), n, shards, nd, b,
+          gpufft::BatchMode::Pipelined);
+      const double err = 100.0 * (piped.makespan_ms / model - 1.0);
+      t.row({std::to_string(b), TextTable::fmt(serial.makespan_ms, 1),
+             TextTable::fmt(piped.makespan_ms, 1),
+             TextTable::fmt(gain, 2) + "x", TextTable::fmt(model, 1),
+             TextTable::fmt(err, 2) + "%",
+             TextTable::fmt(piped.volumes_per_sec(), 0),
+             TextTable::fmt(100.0 * piped.exchange_occupancy(), 0) + "%",
+             TextTable::fmt(100.0 * piped.compute_occupancy(), 0) + "%"});
+      bench::add_row({"sharded_batch/" + spec.name + "/x" +
+                          std::to_string(nd) + "/batch:" +
+                          std::to_string(b),
+                      piped.makespan_ms,
+                      {{"pipeline_gain", gain},
+                       {"volumes_per_sec", piped.volumes_per_sec()},
+                       {"model_err_pct", err}}});
+    }
+    t.print(std::cout);
+    std::cout << "\n";
+  };
+
+  if (bench::smoke()) {
+    batch_sweep(sim::geforce_8800_gts(), 2, {1, 2});
+    batch_sweep(sim::geforce_gtx_280(), 2, {1, 2, 4});
+  } else {
+    batch_sweep(sim::geforce_8800_gts(), 4, {1, 2, 4});
+    batch_sweep(sim::geforce_gtx_280(), 4, {1, 2, 4});
+  }
+
   std::cout
       << "Speedup is sublinear by construction and the table says why: the "
          "volume crosses the host bridge twice each way regardless of the "
@@ -86,6 +144,10 @@ int main(int argc, char** argv) {
          "already bridge-bound. The closed-form model tracks the "
          "scheduler within the 5% acceptance band — exactly (<0.1%) on "
          "1-DMA cards, where the single copy engine serializes each "
-         "chain.\n";
+         "chain. The batch table shows where pipelining pays: 1-DMA "
+         "cards gain nothing (the copy engine FIFO queues the next "
+         "volume's upload behind the previous download), while 2-DMA "
+         "GT200 fleets overlap the exchange with the next volume's "
+         "phase 1 for >=1.2x at batch 4.\n";
   return bench::run_benchmarks(argc, argv);
 }

@@ -3,10 +3,12 @@
 // recovery counters the fault-recovery policies report through.
 #pragma once
 
+#include <algorithm>
 #include <cmath>
 #include <cstddef>
 #include <cstdint>
 #include <span>
+#include <vector>
 
 #include "common/check.h"
 #include "common/complex.h"
@@ -35,6 +37,40 @@ inline RecoveryCounters& recovery_counters() {
   static RecoveryCounters counters;
   return counters;
 }
+
+/// Order statistic of `samples` (copied: the input is left unsorted).
+/// `q` in [0, 1]; linear interpolation between ranks, so q=0.5 on an even
+/// count averages the two middle samples. Empty input returns 0.
+inline double percentile(std::vector<double> samples, double q) {
+  if (samples.empty()) return 0.0;
+  REPRO_CHECK(q >= 0.0 && q <= 1.0);
+  std::sort(samples.begin(), samples.end());
+  const double rank = q * static_cast<double>(samples.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, samples.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return samples[lo] * (1.0 - frac) + samples[hi] * frac;
+}
+
+/// p50/p99/max of a latency population, the triple every serving report
+/// quotes. Computed once from the full sample set (no streaming sketch:
+/// the simulator's request counts are small).
+struct LatencySummary {
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double max_ms = 0.0;
+  std::size_t count = 0;
+
+  static LatencySummary of(const std::vector<double>& samples) {
+    LatencySummary s;
+    s.count = samples.size();
+    if (samples.empty()) return s;
+    s.p50_ms = percentile(samples, 0.5);
+    s.p99_ms = percentile(samples, 0.99);
+    s.max_ms = *std::max_element(samples.begin(), samples.end());
+    return s;
+  }
+};
 
 /// ||a - b||_2 / ||b||_2 (b is the reference). Accumulates in double.
 template <typename T>

@@ -29,6 +29,7 @@ enum class PlanKind {
   Convolution,     ///< FFT convolution/correlation pipeline (convolution.h)
   Sharded3D,       ///< multi-device Z-decimated 3-D FFT (sharded.h)
   Real3D,          ///< r2c/c2r five-step plan, half-spectrum (real3d.h)
+  BatchSharded3D,  ///< whole volumes dealt to group members (batch_sharded.h)
 };
 
 inline const char* plan_kind_name(PlanKind k) {
@@ -41,6 +42,7 @@ inline const char* plan_kind_name(PlanKind k) {
     case PlanKind::OutOfCore: return "outofcore";
     case PlanKind::Sharded3D: return "sharded3d";
     case PlanKind::Real3D: return "real3d";
+    case PlanKind::BatchSharded3D: return "batchsharded3d";
     default: return "convolution";
   }
 }
@@ -128,19 +130,27 @@ struct PlanDesc {
 
   [[nodiscard]] std::string to_string() const {
     std::string s = plan_kind_name(kind);
-    s += " " + std::to_string(shape.nx) + "x" + std::to_string(shape.ny) +
-         "x" + std::to_string(shape.nz);
+    s += ' ';
+    s += std::to_string(shape.nx);
+    s += 'x';
+    s += std::to_string(shape.ny);
+    s += 'x';
+    s += std::to_string(shape.nz);
     s += dir == Direction::Forward ? " fwd " : " inv ";
     s += precision_name(precision);
-    if (kind == PlanKind::OutOfCore || kind == PlanKind::Sharded3D) {
-      s += " splits=" + std::to_string(splits);
+    if (kind == PlanKind::OutOfCore || kind == PlanKind::Sharded3D ||
+        kind == PlanKind::BatchSharded3D) {
+      s += " splits=";
+      s += std::to_string(splits);
     }
     if (layout == Layout::RealHalfSpectrum) {
-      s += " ";
+      s += ' ';
       s += layout_name(layout);
     }
     if (tune != TuneConfig{}) {
-      s += " [" + tune.to_string() + "]";
+      s += " [";
+      s += tune.to_string();
+      s += ']';
     }
     return s;
   }
@@ -213,6 +223,22 @@ struct PlanDesc {
                             Direction dir) {
     PlanDesc d;
     d.kind = PlanKind::Sharded3D;
+    d.shape = cube(n);
+    d.dir = dir;
+    d.splits = shards;
+    return d;
+  }
+
+  /// Whole volumes dealt round-robin to the members of a sim::DeviceGroup
+  /// — no inter-device exchange at all; each member runs the single-card
+  /// out-of-core schedule with decimation `shards`, so results are
+  /// bit-identical to sharded3d of the same (n, shards, dir). Only
+  /// constructible through a group-attached PlanRegistry. The batch front
+  /// door is BatchShardedFft3DPlan::execute_batch.
+  static PlanDesc batch_sharded3d(std::size_t n, std::size_t shards,
+                                  Direction dir) {
+    PlanDesc d;
+    d.kind = PlanKind::BatchSharded3D;
     d.shape = cube(n);
     d.dir = dir;
     d.splits = shards;

@@ -596,10 +596,16 @@ double model_plan_ms_impl(const sim::GpuSpec& spec, const PlanDesc& desc,
       return outofcore_ms(spec, desc, cfg, memo);
     case PlanKind::Sharded3D:
       return sharded_ms(spec, desc, cfg, memo);
+    case PlanKind::BatchSharded3D: {
+      // Per member the dealt schedule IS the single-card out-of-core one.
+      PlanDesc oc = desc;
+      oc.kind = PlanKind::OutOfCore;
+      return outofcore_ms(spec, oc, cfg, memo);
+    }
     default:
       REPRO_FAIL(
-          "the planner models Bandwidth3D, Real3D, OutOfCore and "
-          "Sharded3D plans");
+          "the planner models Bandwidth3D, Real3D, OutOfCore, Sharded3D "
+          "and BatchSharded3D plans");
   }
 }
 
@@ -720,7 +726,8 @@ bool parse_kind(const std::string& s, PlanKind& out) {
   for (const PlanKind k :
        {PlanKind::Bandwidth3D, PlanKind::Conventional3D, PlanKind::Naive3D,
         PlanKind::Bandwidth2D, PlanKind::Batch1D, PlanKind::OutOfCore,
-        PlanKind::Convolution, PlanKind::Sharded3D, PlanKind::Real3D}) {
+        PlanKind::Convolution, PlanKind::Sharded3D, PlanKind::Real3D,
+        PlanKind::BatchSharded3D}) {
     if (s == plan_kind_name(k)) {
       out = k;
       return true;

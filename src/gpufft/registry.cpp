@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "gpufft/batch1d.h"
+#include "gpufft/batch_sharded.h"
 #include "gpufft/conventional3d.h"
 #include "gpufft/naive.h"
 #include "gpufft/outofcore.h"
@@ -63,6 +64,12 @@ std::shared_ptr<FftPlanT<T>> make_plan(Device& dev, const PlanDesc& desc,
         }
         return std::make_shared<ShardedFft3DPlan>(
             *group, desc.shape.nx, desc.splits, desc.dir, desc.tune);
+      case PlanKind::BatchSharded3D:
+        REPRO_CHECK_MSG(group != nullptr,
+                        "batch-sharded plans span a device fleet; obtain "
+                        "them through PlanRegistry::of(sim::DeviceGroup&)");
+        return std::make_shared<BatchShardedFft3DPlan>(
+            *group, desc.shape.nx, desc.splits, desc.dir, desc.tune);
       default:
         REPRO_FAIL(
             "convolution plans hold a resident filter; construct "
@@ -101,10 +108,40 @@ const TuneConfig& PlanRegistry::tuned_config(const PlanDesc& desc,
                   "tuner owns the knobs");
   const auto it = wisdom_.find(desc);
   if (it != wisdom_.end()) return it->second;
-  const TuneResult r = tune_plan(dev_.spec(), desc, opts);
-  ++tune_searches_;
-  tune_evaluations_ += r.evaluated;
-  return wisdom_.emplace(desc, r.best).first->second;
+  if (group_ == nullptr) {
+    const TuneResult r = tune_plan(dev_.spec(), desc, opts);
+    ++tune_searches_;
+    tune_evaluations_ += r.evaluated;
+    return wisdom_.emplace(desc, r.best).first->second;
+  }
+  // Group registry: tuning depends only on the GpuSpec, so same-spec
+  // members share one search. Run at most one tune_plan per distinct
+  // member fingerprint (reusing a member's warm wisdom when present) and
+  // seed the shared entry into every same-fingerprint member registry —
+  // a group of four identical cards costs one search, and the members'
+  // own registries stay at zero.
+  std::unordered_map<std::uint64_t, TuneConfig> by_fp;
+  for (std::size_t i = 0; i < group_->size(); ++i) {
+    auto& dev = group_->device(i);
+    const std::uint64_t fp = spec_fingerprint(dev.spec());
+    PlanRegistry& member = PlanRegistry::of(dev);
+    auto found = by_fp.find(fp);
+    if (found == by_fp.end()) {
+      const auto warm = member.wisdom_.find(desc);
+      if (warm != member.wisdom_.end()) {
+        found = by_fp.emplace(fp, warm->second).first;
+      } else {
+        const TuneResult r = tune_plan(dev.spec(), desc, opts);
+        ++tune_searches_;
+        tune_evaluations_ += r.evaluated;
+        found = by_fp.emplace(fp, r.best).first;
+      }
+    }
+    member.wisdom_.emplace(desc, found->second);
+  }
+  return wisdom_
+      .emplace(desc, by_fp.at(spec_fingerprint(dev_.spec())))
+      .first->second;
 }
 
 std::string PlanRegistry::export_wisdom() const {
@@ -211,7 +248,8 @@ std::size_t PlanRegistry::plan_headroom_bytes(const PlanDesc& desc) {
   std::size_t elems = desc.buffer_elements();
   std::size_t host_staging = 0;
   if ((desc.kind == PlanKind::OutOfCore ||
-       desc.kind == PlanKind::Sharded3D) &&
+       desc.kind == PlanKind::Sharded3D ||
+       desc.kind == PlanKind::BatchSharded3D) &&
       desc.splits != 0) {
     // Streaming plans never hold the full volume on a card: their device
     // working set is the double-buffered slab pair. Sharded plans do hold

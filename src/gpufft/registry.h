@@ -89,6 +89,11 @@ class PlanRegistry {
 
   /// The TuneConfig the tuner chose for `desc` on this registry's device
   /// (searches and caches on first call; `desc.tune` must be default).
+  /// On a group registry, same-fingerprint members share one search: the
+  /// first member with each distinct GpuSpec fingerprint is searched (or
+  /// its warm wisdom reused) and the winning config is seeded into every
+  /// matching member's wisdom, so a homogeneous group of N costs one
+  /// evaluation instead of N.
   const TuneConfig& tuned_config(const PlanDesc& desc,
                                  const PlannerOptions& opts = {});
 
@@ -145,6 +150,12 @@ class PlanRegistry {
   /// Drop every cached plan (outstanding shared_ptrs stay valid).
   void clear();
 
+  /// Rough device bytes building + executing `desc` will need — the
+  /// figure the watermark enforcement reserves before construction, and
+  /// the one the FFT service's admission control compares against the
+  /// byte watermark before accepting a request.
+  [[nodiscard]] static std::size_t plan_headroom_bytes(const PlanDesc& desc);
+
  private:
   struct Entry {
     PlanDesc desc;
@@ -164,8 +175,6 @@ class PlanRegistry {
   /// Device bytes currently allocated across the registry's devices (the
   /// max over group members, since each card has its own memory).
   [[nodiscard]] std::size_t footprint_bytes() const;
-  /// Rough device bytes building + executing `desc` will need.
-  [[nodiscard]] static std::size_t plan_headroom_bytes(const PlanDesc& desc);
   /// Drop the LRU plan and trim idle cache resources; false when there was
   /// nothing left to release.
   bool evict_for_memory(bool watermark_driven);

@@ -1,6 +1,7 @@
 #include "gpufft/sharded.h"
 
 #include <algorithm>
+#include <array>
 #include <utility>
 
 #include "common/metrics.h"
@@ -61,6 +62,26 @@ std::size_t effective_shards(std::size_t shards, const TuneConfig& tune) {
   return tune.slab_depth != 0 ? tune.slab_depth : shards;
 }
 
+/// Sum `t`'s duration buckets into `into` (batch totals across volumes).
+void accumulate(ShardedTiming& into, const ShardedTiming& t) {
+  if (into.devices.size() < t.devices.size()) {
+    into.devices.resize(t.devices.size());
+  }
+  for (std::size_t d = 0; d < t.devices.size(); ++d) {
+    ShardTiming& a = into.devices[d];
+    const ShardTiming& b = t.devices[d];
+    a.h2d1_ms += b.h2d1_ms;
+    a.fft1_ms += b.fft1_ms;
+    a.twiddle_ms += b.twiddle_ms;
+    a.d2h1_ms += b.d2h1_ms;
+    a.h2d2_ms += b.h2d2_ms;
+    a.fft2_ms += b.fft2_ms;
+    a.d2h2_ms += b.d2h2_ms;
+    a.exchange_bytes += b.exchange_bytes;
+  }
+  into.barrier_ms += t.barrier_ms;
+}
+
 /// Inner slab-plan description carrying the tuned knobs but not the slab
 /// decimation itself (the slab plan must not re-decimate).
 PlanDesc tuned_slab_desc(PlanDesc d, TuneConfig tune) {
@@ -88,13 +109,19 @@ ShardedFft3DPlan::ShardedFft3DPlan(sim::DeviceGroup& group, std::size_t n,
   REPRO_CHECK_MSG(shards_ >= 2 && shards_ <= kMaxFactor,
                   "shards must be a supported small-FFT factor");
   REPRO_CHECK(is_pow2(n) && is_pow2(shards_));
-  REPRO_CHECK_MSG(shards_ % group.size() == 0,
-                  "the group size must divide the shard count");
-  REPRO_CHECK_MSG((n / shards_) % group.size() == 0,
-                  "the group size must divide n/shards");
+  // Group sizes that divide neither phase extent are allowed: execution
+  // falls back to the largest member prefix that does (usable_members),
+  // exactly as the failover path does after losing a card. The batch
+  // planner's deal-vs-shard rule models the same prefix.
   desc_.tune = tune;
   slab_plans_.reserve(group.size());
   for (std::size_t d = 0; d < group.size(); ++d) {
+    // A member already lost to a fault gets no slab plan (building one
+    // would throw); the schedule never assigns work to lost members.
+    if (group.device(d).lost()) {
+      slab_plans_.push_back(nullptr);
+      continue;
+    }
     slab_plans_.push_back(
         PlanRegistry::of(group.device(d))
             .get_or_create(tuned_slab_desc(
@@ -119,51 +146,76 @@ ShardedTiming ShardedFft3DPlan::execute(std::span<cxf> host_data) {
   });
 }
 
-ShardedTiming ShardedFft3DPlan::run_on(
-    const std::vector<std::size_t>& members, std::span<cxf> host_data) {
-  const std::size_t plane = n_ * n_;
-  const std::size_t local_nz = n_ / shards_;
-  const std::size_t nm = members.size();
-
-  // Per member: two slab leases + two streams, exactly the out-of-core
-  // double-buffering — each card overlaps its own iterations as its DMA
-  // engines allow, independent of the other cards' engines. Leases and
-  // streams are RAII, so an error unwinding through this frame releases
-  // every arena block and folds every stream timeline.
-  const std::size_t slab_elems = plane * std::max(local_nz, shards_);
+/// One pair of slab leases + streams per member — the out-of-core
+/// double-buffering generalized to the fleet. Leases and streams are
+/// RAII, so an error unwinding through a frame holding a ctx releases
+/// every arena block and folds every stream timeline; the pipelined batch
+/// keeps kPipelineContexts contexts alive so consecutive volumes overlap.
+struct ShardedFft3DPlan::VolumeCtx {
+  std::vector<std::size_t> members;  ///< group ordinals this ctx spans
   std::vector<ResourceCache::Lease<float>> leases;
   std::vector<std::unique_ptr<sim::Stream>> streams;
-  leases.reserve(2 * nm);
-  streams.reserve(2 * nm);
-  for (std::size_t mi = 0; mi < nm; ++mi) {
-    auto& dev = group_->device(members[mi]);
-    leases.push_back(ResourceCache::of(dev).lease<float>(slab_elems));
-    leases.push_back(ResourceCache::of(dev).lease<float>(slab_elems));
-    streams.push_back(std::make_unique<sim::Stream>(dev));
-    streams.push_back(std::make_unique<sim::Stream>(dev));
-  }
-  auto slab_of = [&](std::size_t mi, std::size_t i) -> DeviceBuffer<cxf>& {
-    return leases[2 * mi + i].buffer();
-  };
-  auto stream_of = [&](std::size_t mi, std::size_t i) -> sim::Stream& {
-    return *streams[2 * mi + i];
-  };
 
-  const double start_ms = group_->elapsed_ms();
-  ShardedTiming timing;
-  // Buckets stay indexed by group ordinal (stable reporting across
-  // failovers); a lost card simply keeps zero rows.
-  timing.devices.resize(group_->size());
+  DeviceBuffer<cxf>& slab(std::size_t mi, std::size_t i) {
+    return leases[2 * mi + i].buffer();
+  }
+  sim::Stream& stream(std::size_t mi, std::size_t i) {
+    return *streams[2 * mi + i];
+  }
+  [[nodiscard]] double max_tail_ms() const {
+    double ms = 0.0;
+    for (const auto& s : streams) ms = std::max(ms, s->ready_ms());
+    return ms;
+  }
+  void fence(double ms) {
+    for (auto& s : streams) s->wait_until_ms(ms);
+  }
+};
+
+std::unique_ptr<ShardedFft3DPlan::VolumeCtx> ShardedFft3DPlan::make_ctx(
+    const std::vector<std::size_t>& members) {
+  const std::size_t slab_elems =
+      n_ * n_ * std::max(n_ / shards_, shards_);
+  auto ctx = std::make_unique<VolumeCtx>();
+  ctx->members = members;
+  ctx->leases.reserve(2 * members.size());
+  ctx->streams.reserve(2 * members.size());
+  for (std::size_t mi = 0; mi < members.size(); ++mi) {
+    auto& dev = group_->device(members[mi]);
+    ctx->leases.push_back(ResourceCache::of(dev).lease<float>(slab_elems));
+    ctx->leases.push_back(ResourceCache::of(dev).lease<float>(slab_elems));
+    ctx->streams.push_back(std::make_unique<sim::Stream>(dev));
+    ctx->streams.push_back(std::make_unique<sim::Stream>(dev));
+  }
+  return ctx;
+}
+
+void ShardedFft3DPlan::enqueue_volume(VolumeCtx& ctx,
+                                      std::span<cxf> host_data,
+                                      std::span<cxf> host_work,
+                                      double vol_start_ms,
+                                      ShardedTiming& timing) {
+  enqueue_phase1(ctx, host_data, host_work, timing);
+  enqueue_phase2(ctx, host_data, host_work, vol_start_ms, timing);
+}
+
+void ShardedFft3DPlan::enqueue_phase1(VolumeCtx& ctx,
+                                      std::span<cxf> host_data,
+                                      std::span<cxf> host_work,
+                                      ShardedTiming& timing) {
+  const std::size_t plane = n_ * n_;
+  const std::size_t local_nz = n_ / shards_;
+  const std::size_t nm = ctx.members.size();
 
   // ---- Phase 1: residue I on member I mod nm (slab FFT + twiddle) ----
   for (std::size_t residue = 0; residue < shards_; ++residue) {
     const std::size_t mi = residue % nm;
-    const std::size_t d = members[mi];
+    const std::size_t d = ctx.members[mi];
     const std::size_t local = residue / nm;
     auto& dev = group_->device(d);
     ShardTiming& t = timing.devices[d];
-    sim::Stream& s = stream_of(mi, local % 2);
-    auto& slab = slab_of(mi, local % 2);
+    sim::Stream& s = ctx.stream(mi, local % 2);
+    auto& slab = ctx.slab(mi, local % 2);
     const unsigned grid = opt_.grid_for(dev.spec());
 
     for (std::size_t j = 0; j < local_nz; ++j) {
@@ -185,38 +237,50 @@ ShardedTiming ShardedFft3DPlan::run_on(
     for (std::size_t k = 0; k < local_nz; ++k) {
       const std::size_t z = residue + shards_ * k;
       t.d2h1_ms += staged_d2h(
-          dev, std::span<cxf>(host_work_).subspan(z * plane, plane), slab,
+          dev, std::span<cxf>(host_work).subspan(z * plane, plane), slab,
           &s, k * plane);
       t.exchange_bytes += plane * sizeof(cxf);
     }
   }
+}
+
+void ShardedFft3DPlan::enqueue_phase2(VolumeCtx& ctx,
+                                      std::span<cxf> host_data,
+                                      std::span<cxf> host_work,
+                                      double vol_start_ms,
+                                      ShardedTiming& timing) {
+  const std::size_t plane = n_ * n_;
+  const std::size_t local_nz = n_ / shards_;
+  const std::size_t nm = ctx.members.size();
 
   // Group-wide phase boundary: every phase-2 group gathers one plane from
   // each phase-1 residue — i.e. from every card — so all streams fence at
   // the maximum stream tail. The members share one time origin, which is
   // what makes the absolute wait_until meaningful across devices; for a
   // group of one this degenerates to the out-of-core event pair exactly.
-  double barrier = start_ms;
-  for (const auto& s : streams) barrier = std::max(barrier, s->ready_ms());
-  for (auto& s : streams) s->wait_until_ms(barrier);
-  timing.barrier_ms = barrier - start_ms;
+  double barrier = vol_start_ms;
+  for (const auto& s : ctx.streams) {
+    barrier = std::max(barrier, s->ready_ms());
+  }
+  ctx.fence(barrier);
+  timing.barrier_ms = barrier - vol_start_ms;
 
   // ---- Phase 2: contiguous block of plane groups per member ----
   const Shape3 pencil_slab{n_, n_, shards_};
   const std::size_t groups_per_dev = local_nz / nm;
   for (std::size_t mi = 0; mi < nm; ++mi) {
-    const std::size_t e = members[mi];
+    const std::size_t e = ctx.members[mi];
     auto& dev = group_->device(e);
     ShardTiming& t = timing.devices[e];
     const unsigned grid = opt_.grid_for(dev.spec());
     for (std::size_t g = 0; g < groups_per_dev; ++g) {
       const std::size_t k = mi * groups_per_dev + g;
-      sim::Stream& s = stream_of(mi, g % 2);
-      auto& slab = slab_of(mi, g % 2);
+      sim::Stream& s = ctx.stream(mi, g % 2);
+      auto& slab = ctx.slab(mi, g % 2);
 
       t.h2d2_ms += staged_h2d(
           dev, slab,
-          std::span<const cxf>(host_work_)
+          std::span<const cxf>(host_work)
               .subspan(shards_ * k * plane, shards_ * plane),
           &s);
       t.exchange_bytes += shards_ * plane * sizeof(cxf);
@@ -232,7 +296,17 @@ ShardedTiming ShardedFft3DPlan::run_on(
       }
     }
   }
+}
 
+ShardedTiming ShardedFft3DPlan::run_on(
+    const std::vector<std::size_t>& members, std::span<cxf> host_data) {
+  auto ctx = make_ctx(members);
+  const double start_ms = group_->elapsed_ms();
+  ShardedTiming timing;
+  // Buckets stay indexed by group ordinal (stable reporting across
+  // failovers); a lost card simply keeps zero rows.
+  timing.devices.resize(group_->size());
+  enqueue_volume(*ctx, host_data, host_work_, start_ms, timing);
   group_->sync_all();
   timing.makespan_ms = group_->elapsed_ms() - start_ms;
   last_timing_ = timing;
@@ -273,34 +347,280 @@ std::vector<StepTiming> ShardedFft3DPlan::execute_host(std::span<cxf> data) {
   return steps;
 }
 
+double ShardedBatchTiming::exchange_occupancy() const {
+  std::size_t active = 0;
+  double exch = 0.0;
+  for (const auto& d : total.devices) {
+    if (d.busy_ms() > 0.0) {
+      ++active;
+      exch += d.exchange_ms();
+    }
+  }
+  return active > 0 && makespan_ms > 0.0
+             ? exch / (static_cast<double>(active) * makespan_ms)
+             : 0.0;
+}
+
+double ShardedBatchTiming::compute_occupancy() const {
+  std::size_t active = 0;
+  double comp = 0.0;
+  for (const auto& d : total.devices) {
+    if (d.busy_ms() > 0.0) {
+      ++active;
+      comp += d.compute_ms();
+    }
+  }
+  return active > 0 && makespan_ms > 0.0
+             ? comp / (static_cast<double>(active) * makespan_ms)
+             : 0.0;
+}
+
+namespace {
+
+/// Replay the pipelined batch schedule's queueing discipline on one
+/// representative card with closed-form phase times — no simulated
+/// device, just the same start-at-max(stream tail, engine free) rule the
+/// engine scheduler applies, in the same issue order. `lookahead` is the
+/// software-pipeline depth: 0 issues whole volumes back to back (two
+/// WAR-fenced contexts still overlap across the volume boundary), 1
+/// issues volume k+1's phase 1 before volume k's phase 2. Every member
+/// runs the same per-volume work, so one card's timeline is the group's.
+double replay_pipelined_ms(const ShardPhases& p, bool one_dma,
+                           std::size_t residues, std::size_t groups,
+                           std::size_t batch, std::size_t lookahead) {
+  double up_free = 0.0, dn_free = 0.0, comp_free = 0.0;
+  // kPipelineContexts contexts of two streams each, reused WAR-fenced
+  // as the scheduler does: tails[ctx][stream].
+  double tails[kPipelineContexts][2] = {};
+  double makespan = 0.0;
+  std::size_t p1 = 0, p2 = 0;
+  while (p2 < batch) {
+    if (p1 < batch && p1 <= p2 + lookahead) {
+      double* t = tails[p1 % kPipelineContexts];
+      // Reuse fence: both streams wait for the context's previous
+      // volume.
+      t[0] = t[1] = std::max(t[0], t[1]);
+      for (std::size_t j = 0; j < residues; ++j) {
+        double& s = t[j % 2];
+        s = std::max(s, up_free) + p.up1_ms;
+        up_free = s;
+        if (one_dma) dn_free = s;
+        s = std::max(s, comp_free) + p.fft1_ms + p.twiddle_ms;
+        comp_free = s;
+        s = std::max(s, dn_free) + p.dn1_ms;
+        dn_free = s;
+        if (one_dma) up_free = s;
+      }
+      ++p1;
+    } else {
+      double* t = tails[p2 % kPipelineContexts];
+      const double barrier = std::max(t[0], t[1]);
+      t[0] = t[1] = barrier;
+      for (std::size_t g = 0; g < groups; ++g) {
+        double& s = t[g % 2];
+        s = std::max(s, up_free) + p.up2_ms;
+        up_free = s;
+        if (one_dma) dn_free = s;
+        s = std::max(s, comp_free) + p.fft2_ms;
+        comp_free = s;
+        s = std::max(s, dn_free) + p.dn2_ms;
+        dn_free = s;
+        if (one_dma) up_free = s;
+      }
+      makespan = std::max({makespan, t[0], t[1]});
+      ++p2;
+    }
+  }
+  return makespan;
+}
+
+}  // namespace
+
+ShardedBatchTiming ShardedFft3DPlan::execute_batch(
+    std::span<const std::span<cxf>> volumes, BatchMode mode) {
+  REPRO_CHECK(!volumes.empty());
+  for (const auto& v : volumes) REPRO_CHECK(v.size() == n_ * n_ * n_);
+  return with_plan_context(desc_, [&] {
+    ShardedBatchTiming bt;
+    bt.total.devices.resize(group_->size());
+    const double t0 = group_->elapsed_ms();
+
+    if (mode == BatchMode::Serial) {
+      // PR 3 behavior: full group drain between volumes (each volume
+      // carries its own failover via execute()).
+      for (const auto& v : volumes) {
+        accumulate(bt.total, execute(v));
+        bt.volume_done_ms.push_back(group_->elapsed_ms() - t0);
+      }
+      bt.makespan_ms = group_->elapsed_ms() - t0;
+      bt.total.makespan_ms = bt.makespan_ms;
+      last_timing_ = bt.total;
+      last_total_ms_ = bt.makespan_ms;
+      return bt;
+    }
+
+    // ---- Pipelined: software-pipelined issue order over a rotation of
+    // kPipelineContexts contexts; volume k stages through staging slot
+    // k % kPipelineContexts. The engine FIFOs dispatch in submission
+    // order, so the issue order IS the schedule: issuing volume k+1's
+    // phase 1 before volume k's phase 2 lets the copy engines run k+1's
+    // uploads while k's exchange waits on its group-wide barrier, but it
+    // also queues k's exchange upload behind k+1's phase-1 transfers.
+    // How far ahead to run depends on the phase balance (exchange-heavy
+    // sizes want deep lookahead, phase-1-heavy sizes want none), so the
+    // depth comes from replaying every candidate order through the
+    // closed-form model below and taking the argmin. Functional effects
+    // apply at enqueue in program order
+    // and the interleaved stages touch disjoint buffers, so either
+    // order is bit-identical to the Serial schedule.
+    const std::size_t local_nz = n_ / shards_;
+    if (host_work_extra_[0].empty()) {
+      for (std::size_t i = 0; i + 1 < kPipelineContexts; ++i) {
+        host_work_extra_[i].resize(n_ * n_ * n_);
+        staging_lease_extra_[i] = sim::DeviceGroup::HostStagingLease(
+            *group_, n_ * n_ * n_ * sizeof(cxf));
+      }
+    }
+    auto members =
+        usable_members(group_->alive_members(), shards_, local_nz);
+    REPRO_CHECK_MSG(!members.empty(),
+                    "every device in the group has been lost");
+    const bool armed = group_->any_faults_armed();
+    std::vector<cxf> snapshot;
+    std::array<std::unique_ptr<VolumeCtx>, kPipelineContexts> ctx;
+    std::array<ShardedTiming, kPipelineContexts> vt;
+    std::array<double, kPipelineContexts> vstart;
+    vstart.fill(t0);
+    const auto work = [&](std::size_t k) {
+      const std::size_t slot = k % kPipelineContexts;
+      return slot == 0 ? std::span<cxf>(host_work_)
+                       : std::span<cxf>(host_work_extra_[slot - 1]);
+    };
+    if (!probe_phases_) {
+      probe_phases_ = probe_shard_phases(
+          group_->device(members[0]).spec(), n_, shards_, desc_.dir);
+    }
+    const std::size_t nd = members.size();
+    const bool one_dma =
+        group_->device(members[0]).spec().dma_engines == 1;
+    std::size_t lookahead = 0;
+    {
+      // Issue order = argmin over the replayed candidates (lookahead L
+      // keeps at most L+1 contexts live, so L < kPipelineContexts).
+      double best = replay_pipelined_ms(*probe_phases_, one_dma,
+                                        shards_ / nd, local_nz / nd,
+                                        volumes.size(), 0);
+      for (std::size_t la = 1;
+           la < kPipelineContexts && la < volumes.size(); ++la) {
+        const double m =
+            replay_pipelined_ms(*probe_phases_, one_dma, shards_ / nd,
+                                local_nz / nd, volumes.size(), la);
+        if (m < best) {
+          best = m;
+          lookahead = la;
+        }
+      }
+    }
+    std::size_t p1 = 0;  // next volume to enter phase 1
+    std::size_t p2 = 0;  // next volume to enter phase 2
+    while (p2 < volumes.size()) {
+      // Phase 1 runs at most `lookahead` volumes ahead; each staging
+      // slot must survive until phase 2 of its volume has been issued.
+      const bool do_p1 = p1 < volumes.size() && p1 <= p2 + lookahead;
+      try {
+        if (!ctx[0]) {
+          for (auto& c : ctx) c = make_ctx(members);
+        }
+        if (do_p1) {
+          const std::size_t slot = p1 % kPipelineContexts;
+          VolumeCtx& c = *ctx[slot];
+          // WAR fence: volume p1 - kPipelineContexts read this
+          // context's staging volume and slabs during its phase 2;
+          // those ops must retire before phase 1 overwrites them. Fresh
+          // contexts have zero tails, so the fence is a no-op on the
+          // first rotation.
+          c.fence(c.max_tail_ms());
+          vstart[slot] = std::max(t0, c.max_tail_ms());
+          vt[slot] = ShardedTiming{};
+          vt[slot].devices.resize(group_->size());
+          enqueue_phase1(c, volumes[p1], work(p1), vt[slot]);
+          ++p1;
+        } else {
+          const std::size_t slot = p2 % kPipelineContexts;
+          VolumeCtx& c = *ctx[slot];
+          // Phase 2 is the only stage that overwrites the caller's
+          // volume, so it is the only stage that can tear one mid-run.
+          if (armed) {
+            snapshot.assign(volumes[p2].begin(), volumes[p2].end());
+          }
+          enqueue_phase2(c, volumes[p2], work(p2), vstart[slot],
+                         vt[slot]);
+          accumulate(bt.total, vt[slot]);
+          bt.volume_done_ms.push_back(c.max_tail_ms() - t0);
+          ++p2;
+        }
+      } catch (const sim::DeviceLostError&) {
+        auto alive =
+            usable_members(group_->alive_members(), shards_, local_nz);
+        if (alive.empty() || (!do_p1 && snapshot.empty())) throw;
+        ++recovery_counters().device_lost_failovers;
+        // The lost card's streams are dead; drop every context (RAII
+        // folds the surviving timelines) and rebuild on the survivors.
+        for (auto& c : ctx) c.reset();
+        members = std::move(alive);
+        if (!do_p1) {
+          // Phase 2 may have torn volume p2 mid-overwrite; restore it.
+          // Its staged planes in host_work are host memory fully written
+          // when its phase 1 was enqueued, so only phase 2 re-runs.
+          std::copy(snapshot.begin(), snapshot.end(),
+                    volumes[p2].begin());
+        }
+        // A failed phase 1 only read its volume; the retry rewrites the
+        // staging buffer from scratch on the surviving members.
+      }
+    }
+    for (auto& c : ctx) c.reset();
+    group_->sync_all();
+    bt.makespan_ms = group_->elapsed_ms() - t0;
+    bt.total.makespan_ms = bt.makespan_ms;
+    last_timing_ = bt.total;
+    last_total_ms_ = bt.makespan_ms;
+    return bt;
+  });
+}
+
 std::vector<StepTiming> ShardedFft3DPlan::execute_batch_host(
     std::span<const std::span<cxf>> volumes) {
-  REPRO_CHECK(!volumes.empty());
-  // Each volume occupies the whole fleet, so volumes run back-to-back;
-  // every run already overlaps internally on each card.
-  const double t0 = group_->elapsed_ms();
-  std::vector<StepTiming> total;
-  std::vector<double> traffic;
-  for (const auto& volume : volumes) {
-    const auto steps = execute_host(volume);
-    if (total.empty()) {
-      total = steps;
-      traffic.resize(steps.size());
-      for (std::size_t i = 0; i < steps.size(); ++i) {
-        traffic[i] = steps[i].gbs * steps[i].ms;
-      }
-      continue;
-    }
-    for (std::size_t i = 0; i < steps.size(); ++i) {
-      total[i].ms += steps[i].ms;
-      traffic[i] += steps[i].gbs * steps[i].ms;
-    }
+  const ShardedBatchTiming bt = execute_batch(volumes);
+  ShardTiming sum;
+  for (const auto& d : bt.total.devices) {
+    sum.h2d1_ms += d.h2d1_ms;
+    sum.fft1_ms += d.fft1_ms;
+    sum.twiddle_ms += d.twiddle_ms;
+    sum.d2h1_ms += d.d2h1_ms;
+    sum.h2d2_ms += d.h2d2_ms;
+    sum.fft2_ms += d.fft2_ms;
+    sum.d2h2_ms += d.d2h2_ms;
   }
-  for (std::size_t i = 0; i < total.size(); ++i) {
-    total[i].gbs = total[i].ms > 0.0 ? traffic[i] / total[i].ms : 0.0;
-  }
-  last_total_ms_ = group_->elapsed_ms() - t0;
-  return total;
+  const double bytes = static_cast<double>(volumes.size()) *
+                       static_cast<double>(n_ * n_ * n_) * sizeof(cxf);
+  auto row = [&](const char* name, double ms) {
+    return StepTiming{name, ms, ms > 0.0 ? 2.0 * bytes / (ms * 1e6) : 0.0};
+  };
+  std::vector<StepTiming> steps{
+      row("phase1 send", sum.h2d1_ms),
+      row("phase1 slab FFT", sum.fft1_ms),
+      row("phase1 twiddle", sum.twiddle_ms),
+      row("exchange receive", sum.d2h1_ms),
+      row("exchange send", sum.h2d2_ms),
+      row("phase2 pencil FFT", sum.fft2_ms),
+      row("phase2 receive", sum.d2h2_ms),
+  };
+  finish(steps);
+  // The rows are duration sums across the batch; the cost of the run is
+  // the overlapped (pipelined) batch makespan.
+  last_total_ms_ = bt.makespan_ms;
+  return steps;
 }
 
 ShardedRealFft3DPlan::ShardedRealFft3DPlan(sim::DeviceGroup& group,
@@ -323,13 +643,22 @@ ShardedRealFft3DPlan::ShardedRealFft3DPlan(sim::DeviceGroup& group,
   REPRO_CHECK_MSG(n >= 32,
                   "sharded real plans need n >= 32 (the half-length X fine "
                   "stages need n/2 >= 16)");
-  REPRO_CHECK_MSG(shards_ % group.size() == 0,
-                  "the group size must divide the shard count");
-  REPRO_CHECK_MSG((n / shards_) % group.size() == 0,
-                  "the group size must divide n/shards");
+  // As with the complex plan, non-dividing group sizes run on the
+  // largest usable member prefix.
   desc_.tune = tune;
   for (std::size_t d = 0; d < group.size(); ++d) {
     auto& dev = group.device(d);
+    if (dev.lost()) {
+      // No per-member resources for a member that is already gone; the
+      // schedule only touches alive members.
+      if (dir == Direction::Forward) {
+        slab_plans_.push_back(nullptr);
+      } else {
+        tw_half_.emplace_back();
+        tw_full_.emplace_back();
+      }
+      continue;
+    }
     if (dir == Direction::Forward) {
       // Phase 1 runs the whole real slab plan (r2c X + coarse Y/local-Z).
       slab_plans_.push_back(PlanRegistry::of(dev).get_or_create(
@@ -555,6 +884,36 @@ std::vector<StepTiming> ShardedRealFft3DPlan::execute_host(
   return steps;
 }
 
+std::vector<StepTiming> ShardedRealFft3DPlan::execute_batch_host(
+    std::span<const std::span<cxf>> volumes) {
+  REPRO_CHECK(!volumes.empty());
+  // Half-spectrum volumes run back-to-back; each already overlaps
+  // internally per card. (The complex plan owns the pipelined path.)
+  const double t0 = group_->elapsed_ms();
+  std::vector<StepTiming> total;
+  std::vector<double> traffic;
+  for (const auto& volume : volumes) {
+    const auto steps = execute_host(volume);
+    if (total.empty()) {
+      total = steps;
+      traffic.resize(steps.size());
+      for (std::size_t i = 0; i < steps.size(); ++i) {
+        traffic[i] = steps[i].gbs * steps[i].ms;
+      }
+      continue;
+    }
+    for (std::size_t i = 0; i < steps.size(); ++i) {
+      total[i].ms += steps[i].ms;
+      traffic[i] += steps[i].gbs * steps[i].ms;
+    }
+  }
+  for (std::size_t i = 0; i < total.size(); ++i) {
+    total[i].gbs = total[i].ms > 0.0 ? traffic[i] / total[i].ms : 0.0;
+  }
+  last_total_ms_ = group_->elapsed_ms() - t0;
+  return total;
+}
+
 ShardPhases probe_shard_phases(const sim::GpuSpec& spec, std::size_t n,
                                std::size_t shards, Direction dir) {
   Device dev(spec);
@@ -635,6 +994,33 @@ double sharded_model_ms(const ShardPhases& p, const sim::GpuSpec& spec,
       std::max({p.up2_ms, p.fft2_ms, p.dn2_ms, chain2 / 2.0});
   return chain1 + (residues - 1.0) * rate1 + chain2 +
          (groups - 1.0) * rate2;
+}
+
+double sharded_batch_model_ms(const ShardPhases& p, const sim::GpuSpec& spec,
+                              std::size_t n, std::size_t shards,
+                              std::size_t devices, std::size_t batch,
+                              BatchMode mode) {
+  const double m1 = sharded_model_ms(p, spec, n, shards, devices);
+  if (mode == BatchMode::Serial || batch <= 1) {
+    return static_cast<double>(batch) * m1;
+  }
+  // Every candidate issue order (phase-1 lookahead 0..contexts-1)
+  // replayed through the scheduler's queueing discipline; the scheduler
+  // picks its order from the same replays, so the minimum is what
+  // actually runs. The replay captures
+  // what a busiest-engine rate cannot: on a 1-DMA card the single copy
+  // engine's FIFO serializes every transfer so pipelining recovers only
+  // compute shadow, while on a 2-DMA card the lookahead order fills the
+  // barrier gap the exchange leaves on the upload engine.
+  const std::size_t residues = shards / devices;
+  const std::size_t groups = (n / shards) / devices;
+  const bool one_dma = spec.dma_engines == 1;
+  double best = replay_pipelined_ms(p, one_dma, residues, groups, batch, 0);
+  for (std::size_t la = 1; la < kPipelineContexts && la < batch; ++la) {
+    best = std::min(
+        best, replay_pipelined_ms(p, one_dma, residues, groups, batch, la));
+  }
+  return best;
 }
 
 }  // namespace repro::gpufft

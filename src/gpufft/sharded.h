@@ -46,8 +46,10 @@
 // 2-DMA cards.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "gpufft/fft_plan.h"
@@ -69,6 +71,9 @@ struct ShardTiming {
            d2h2_ms;
   }
   [[nodiscard]] double exchange_ms() const { return d2h1_ms + h2d2_ms; }
+  [[nodiscard]] double compute_ms() const {
+    return fft1_ms + twiddle_ms + fft2_ms;
+  }
 };
 
 /// Group-level timing of one sharded run.
@@ -99,7 +104,42 @@ struct ShardedTiming {
   }
 };
 
-/// 3-D FFT of a host-resident cube sharded across the devices of a group.
+/// How ShardedFft3DPlan::execute_batch schedules consecutive volumes.
+enum class BatchMode {
+  /// Volume k+1 starts only after volume k fully drains (the PR 3
+  /// behavior): a group-wide sync between volumes.
+  Serial,
+  /// Volume k's host-staged all-to-all and phase 2 overlap volume k+1's
+  /// phase-1 Z-decimation: volumes rotate over kPipelineContexts
+  /// disjoint stream sets and host staging buffers, so the only
+  /// inter-volume fences are the per-slot WAR fences — the
+  /// shared-bridge exchange hides under the next volume's compute. The
+  /// issue order (how many volumes of phase 1 run ahead of the oldest
+  /// pending exchange) is picked per run from the replay model.
+  /// Results are bit-identical to Serial (the simulator applies
+  /// functional effects in program order; only the timeline changes).
+  Pipelined,
+};
+
+/// Timing of one batched sharded run.
+struct ShardedBatchTiming {
+  ShardedTiming total;  ///< per-device buckets summed across volumes
+  std::vector<double> volume_done_ms;  ///< completion offsets from batch start
+  double makespan_ms{};                ///< batch wall-clock across the fleet
+
+  [[nodiscard]] double volumes_per_sec() const {
+    return makespan_ms > 0.0
+               ? 1e3 * static_cast<double>(volume_done_ms.size()) /
+                     makespan_ms
+               : 0.0;
+  }
+  /// Fraction of (active devices x makespan) the all-to-all legs kept DMA
+  /// engines busy. "Active" = devices with nonzero buckets, so a failover
+  /// mid-batch does not dilute the figure with lost cards' zero rows.
+  [[nodiscard]] double exchange_occupancy() const;
+  /// Same denominator, numerator = kernel time (fft1 + twiddle + fft2).
+  [[nodiscard]] double compute_occupancy() const;
+};
 /// `shards` is the Z-decimation factor S (the out-of-core `splits`,
 /// decoupled from the device count so results are bit-identical for every
 /// N); each device owns shards/N residues in phase 1 and a contiguous
@@ -111,6 +151,27 @@ struct ShardedTiming {
 ///   auto plan = gpufft::PlanRegistry::of(group).get_or_create(
 ///       gpufft::PlanDesc::sharded3d(256, 8, gpufft::Direction::Forward));
 ///   plan->execute_host(volume);
+/// Volume contexts the pipelined batch keeps in flight (slab leases,
+/// streams, and host staging rotate over this many slots). Two is the
+/// minimum for any cross-volume overlap, but the context count also
+/// bounds the phase-1 lookahead: with L volumes' phase 1 issued ahead of
+/// the oldest pending phase 2, L+1 staging slots are live at once. Four
+/// slots let a batch of four issue every phase 1 before the first
+/// exchange — on dual-DMA cards that is the order the replay model picks
+/// at exchange-heavy sizes, and fewer slots re-serialize the pipe: with
+/// two, volume k's phase-1 WAR fence waits for volume k-2's entire
+/// phase 2 from the third volume on.
+inline constexpr std::size_t kPipelineContexts = 4;
+
+/// Serially-measured durations of the seven per-iteration phases of the
+/// sharded schedule, probed on a scratch device (pass the group member's
+/// bridge-derated spec). up1/fft1/twiddle/dn1 are per phase-1 residue;
+/// up2/fft2/dn2 per phase-2 plane group.
+struct ShardPhases {
+  double up1_ms{}, fft1_ms{}, twiddle_ms{}, dn1_ms{};
+  double up2_ms{}, fft2_ms{}, dn2_ms{};
+};
+
 class ShardedFft3DPlan final : public PlanBaseT<float> {
  public:
   /// Requires shards | n, shards a supported small-FFT factor, and the
@@ -129,7 +190,19 @@ class ShardedFft3DPlan final : public PlanBaseT<float> {
   /// last_total_ms() afterwards reports the fleet makespan.
   std::vector<StepTiming> execute_host(std::span<cxf> data) override;
 
-  /// Volumes run back-to-back; each already overlaps internally per card.
+  /// Many volumes through the fleet. Pipelined (the default) overlaps
+  /// volume k's exchange + phase 2 with volume k+1's phase 1; Serial is
+  /// the PR 3 back-to-back schedule (kept for A/B tests and the model
+  /// cross-check). Both are bit-identical. Survives DeviceLost mid-batch:
+  /// completed volumes keep their results, the failing volume restores
+  /// from its snapshot and re-shards over the survivors, and the rest of
+  /// the batch continues on the reduced fleet.
+  ShardedBatchTiming execute_batch(std::span<const std::span<cxf>> volumes,
+                                   BatchMode mode = BatchMode::Pipelined);
+
+  /// FftPlan batch entry point: runs the Pipelined schedule; the rows are
+  /// duration sums across volumes and last_total_ms() is the overlapped
+  /// batch makespan.
   std::vector<StepTiming> execute_batch_host(
       std::span<const std::span<cxf>> volumes) override;
 
@@ -149,6 +222,37 @@ class ShardedFft3DPlan final : public PlanBaseT<float> {
   }
 
  private:
+  /// The per-run execution context: one pair of slab leases + streams per
+  /// member. The pipelined batch keeps kPipelineContexts of these alive
+  /// so consecutive volumes overlap without the WAR reuse fence binding;
+  /// the single-volume path owns exactly one, reproducing the PR 3
+  /// schedule op for op.
+  struct VolumeCtx;
+
+  [[nodiscard]] std::unique_ptr<VolumeCtx> make_ctx(
+      const std::vector<std::size_t>& members);
+
+  /// Enqueue one full volume (phase 1, group-wide exchange fence, phase
+  /// 2) on `ctx`'s streams without draining them. Buckets accumulate into
+  /// `timing` (indexed by group ordinal); `vol_start_ms` anchors the
+  /// barrier bookkeeping.
+  void enqueue_volume(VolumeCtx& ctx, std::span<cxf> host_data,
+                      std::span<cxf> host_work, double vol_start_ms,
+                      ShardedTiming& timing);
+
+  /// The two halves of enqueue_volume, split so the pipelined batch can
+  /// issue volume k+1's phase 1 *before* volume k's phase 2: the engine
+  /// FIFOs dispatch in submission order, so whole-volume issue order
+  /// would head-of-line block the next volume's uploads behind this
+  /// volume's barrier-gated exchange. Phase 1 only reads `host_data` and
+  /// writes `host_work`; phase 2 (which opens with the group-wide fence)
+  /// reads `host_work` and overwrites `host_data`.
+  void enqueue_phase1(VolumeCtx& ctx, std::span<cxf> host_data,
+                      std::span<cxf> host_work, ShardedTiming& timing);
+  void enqueue_phase2(VolumeCtx& ctx, std::span<cxf> host_data,
+                      std::span<cxf> host_work, double vol_start_ms,
+                      ShardedTiming& timing);
+
   /// One full run over the device subset `members` (indices into the
   /// group). The failover wrapper in execute() re-invokes this with the
   /// surviving members when a card is lost mid-run.
@@ -163,6 +267,16 @@ class ShardedFft3DPlan final : public PlanBaseT<float> {
   std::vector<std::shared_ptr<FftPlan>> slab_plans_;  ///< one per device
   std::vector<cxf> host_work_;
   sim::DeviceGroup::HostStagingLease staging_lease_;
+  /// Extra staging volumes for the pipelined batch (slots 1..N-1 of the
+  /// kPipelineContexts rotation; slot 0 is host_work_), so a volume's
+  /// phase-1 downloads never land in a buffer an earlier volume's phase
+  /// 2 is still reading. Allocated lazily on the first batch.
+  std::array<std::vector<cxf>, kPipelineContexts - 1> host_work_extra_;
+  std::array<sim::DeviceGroup::HostStagingLease, kPipelineContexts - 1>
+      staging_lease_extra_;
+  /// Phase durations probed once on the first pipelined batch (member
+  /// 0's spec) to pick the issue order from the replay model.
+  std::optional<ShardPhases> probe_phases_;
   ShardedTiming last_timing_{};
 };
 
@@ -199,6 +313,11 @@ class ShardedRealFft3DPlan final : public PlanBaseT<float> {
 
   /// The FftPlan host entry point (phase rows summed across devices).
   std::vector<StepTiming> execute_host(std::span<cxf> data) override;
+
+  /// Half-spectrum volumes run back-to-back (the base-class batch would
+  /// route through the unsupported device-buffer execute()).
+  std::vector<StepTiming> execute_batch_host(
+      std::span<const std::span<cxf>> volumes) override;
 
   [[nodiscard]] std::size_t buffer_elements() const override {
     return (n_ / 2 + 1) * n_ * n_;
@@ -240,15 +359,6 @@ class ShardedRealFft3DPlan final : public PlanBaseT<float> {
   ShardedTiming last_timing_{};
 };
 
-/// Serially-measured durations of the seven per-iteration phases of the
-/// sharded schedule, probed on a scratch device (pass the group member's
-/// bridge-derated spec). up1/fft1/twiddle/dn1 are per phase-1 residue;
-/// up2/fft2/dn2 per phase-2 plane group.
-struct ShardPhases {
-  double up1_ms{}, fft1_ms{}, twiddle_ms{}, dn1_ms{};
-  double up2_ms{}, fft2_ms{}, dn2_ms{};
-};
-
 ShardPhases probe_shard_phases(const sim::GpuSpec& spec, std::size_t n,
                                std::size_t shards, Direction dir);
 
@@ -263,5 +373,19 @@ ShardPhases probe_shard_phases(const sim::GpuSpec& spec, std::size_t n,
 double sharded_model_ms(const ShardPhases& p, const sim::GpuSpec& spec,
                         std::size_t n, std::size_t shards,
                         std::size_t devices);
+
+/// Closed-form makespan of `batch` volumes through the sharded schedule
+/// on a homogeneous group. Serial: batch x the single-volume model.
+/// Pipelined: every candidate issue order (phase-1 lookahead 0 — whole
+/// volumes back to back — through kPipelineContexts-1 volumes of
+/// phase 1 issued ahead of the oldest pending exchange) is replayed
+/// through the engine scheduler's queueing discipline and the minimum is
+/// returned — the scheduler picks its order from the same replays, so
+/// the minimum is what actually runs. Cross-checked against the
+/// scheduler by bench_sharded and the batch tests.
+double sharded_batch_model_ms(const ShardPhases& p, const sim::GpuSpec& spec,
+                              std::size_t n, std::size_t shards,
+                              std::size_t devices, std::size_t batch,
+                              BatchMode mode = BatchMode::Pipelined);
 
 }  // namespace repro::gpufft

@@ -1,0 +1,167 @@
+#include "serve/fft_service.h"
+
+#include <algorithm>
+
+namespace repro::serve {
+
+using gpufft::BatchStrategy;
+using gpufft::PlanDesc;
+using gpufft::PlanKind;
+using gpufft::PlanRegistry;
+
+FftService::FftService(sim::DeviceGroup& group, ServiceConfig cfg)
+    : group_(group), cfg_(cfg) {
+  REPRO_CHECK(cfg_.max_queue_depth > 0 && cfg_.max_batch > 0);
+  if (cfg_.byte_watermark != 0) {
+    PlanRegistry::of(group_).set_byte_watermark(cfg_.byte_watermark);
+  }
+}
+
+Admission FftService::submit(const FftRequest& req) {
+  REPRO_CHECK_MSG(req.data.size() == req.desc.buffer_elements(),
+                  "request volume does not match its plan description");
+  if (queue_.size() >= cfg_.max_queue_depth) {
+    ++rejected_queue_full_;
+    return Admission::RejectedQueueFull;
+  }
+  if (cfg_.byte_watermark != 0 &&
+      PlanRegistry::plan_headroom_bytes(req.desc) > cfg_.byte_watermark) {
+    ++rejected_bytes_;
+    return Admission::RejectedBytes;
+  }
+  queue_.push_back(req);
+  peak_queue_depth_ = std::max(peak_queue_depth_, queue_.size());
+  return Admission::Accepted;
+}
+
+const gpufft::ShardPhases& FftService::phases_for(const PlanDesc& desc) {
+  PlanDesc key = desc;
+  key.kind = PlanKind::Sharded3D;  // probes are shard-schedule phases
+  auto it = phases_.find(key);
+  if (it == phases_.end()) {
+    it = phases_
+             .emplace(key, gpufft::probe_shard_phases(
+                               group_.device(0).spec(), desc.shape.nx,
+                               desc.splits, desc.dir))
+             .first;
+  }
+  return it->second;
+}
+
+void FftService::run_batch(const std::vector<FftRequest>& batch,
+                           ServiceReport& rep) {
+  const PlanDesc& desc = batch.front().desc;
+  const std::size_t n = desc.shape.nx;
+  const double t0 = group_.elapsed_ms();
+  auto& reg = PlanRegistry::of(group_);
+
+  std::vector<std::span<cxf>> spans;
+  spans.reserve(batch.size());
+  for (const auto& r : batch) spans.push_back(r.data);
+
+  std::vector<double> done;  // per-volume offsets from t0
+  BatchStrategy strategy = BatchStrategy::Shard;
+
+  if (desc.kind == PlanKind::Sharded3D &&
+      desc.layout == gpufft::Layout::RealHalfSpectrum) {
+    // Real transforms: the sharded real plan, one volume at a time (its
+    // half-spectrum exchange has no pipelined variant).
+    auto plan = std::dynamic_pointer_cast<gpufft::ShardedRealFft3DPlan>(
+        reg.get_or_create(desc));
+    REPRO_CHECK(plan != nullptr);
+    for (const auto s : spans) {
+      plan->execute(s);
+      done.push_back(group_.elapsed_ms() - t0);
+    }
+  } else if (desc.kind == PlanKind::OutOfCore ||
+             desc.kind == PlanKind::BatchSharded3D) {
+    // Single-card volumes: deal them to the members round-robin.
+    strategy = BatchStrategy::Deal;
+    auto plan = std::dynamic_pointer_cast<gpufft::BatchShardedFft3DPlan>(
+        reg.get_or_create(
+            PlanDesc::batch_sharded3d(n, desc.splits, desc.dir)));
+    REPRO_CHECK(plan != nullptr);
+    done = plan->execute_batch(spans).volume_done_ms;
+  } else if (desc.kind == PlanKind::Sharded3D) {
+    // Complex fleet volumes: the modeled deal-vs-shard choice.
+    const gpufft::BatchChoice choice = gpufft::choose_batch_strategy(
+        phases_for(desc), group_.device(0).spec(), n, desc.splits,
+        group_.alive_count(), batch.size(), cfg_.mode);
+    strategy = choice.strategy;
+    if (choice.strategy == BatchStrategy::Deal) {
+      auto plan = std::dynamic_pointer_cast<gpufft::BatchShardedFft3DPlan>(
+          reg.get_or_create(
+              PlanDesc::batch_sharded3d(n, desc.splits, desc.dir)));
+      REPRO_CHECK(plan != nullptr);
+      done = plan->execute_batch(spans).volume_done_ms;
+    } else {
+      auto plan = std::dynamic_pointer_cast<gpufft::ShardedFft3DPlan>(
+          reg.get_or_create(desc));
+      REPRO_CHECK(plan != nullptr);
+      done = plan->execute_batch(spans, cfg_.mode).volume_done_ms;
+    }
+  } else {
+    REPRO_FAIL("FftService serves Sharded3D, BatchSharded3D and OutOfCore "
+               "descriptions; got " +
+               desc.to_string());
+  }
+
+  REPRO_CHECK(done.size() == batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    CompletionRecord c;
+    c.id = batch[i].id;
+    c.done_ms = t0 + done[i];
+    c.latency_ms = c.done_ms - batch[i].arrival_ms;
+    c.strategy = strategy;
+    rep.completions.push_back(c);
+  }
+}
+
+ServiceReport FftService::run() {
+  ServiceReport rep;
+  rep.rejected_queue_full = rejected_queue_full_;
+  rep.rejected_bytes = rejected_bytes_;
+  rep.max_queue_depth = peak_queue_depth_;
+  const double t_begin = group_.elapsed_ms();
+  const std::uint64_t failovers0 =
+      recovery_counters().device_lost_failovers;
+
+  while (!queue_.empty()) {
+    // Idle the fleet until the oldest queued request has arrived, then
+    // fuse every already-arrived request with the same description (in
+    // queue order, up to max_batch) into one batch execution.
+    const PlanDesc desc = queue_.front().desc;
+    group_.advance_to_ms(queue_.front().arrival_ms);
+    const double now = group_.elapsed_ms();
+    std::vector<FftRequest> batch;
+    for (auto it = queue_.begin();
+         it != queue_.end() && batch.size() < cfg_.max_batch;) {
+      if (it->desc == desc && it->arrival_ms <= now) {
+        batch.push_back(*it);
+        it = queue_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    run_batch(batch, rep);
+  }
+
+  rep.completed = rep.completions.size();
+  rep.makespan_ms = group_.elapsed_ms() - t_begin;
+  if (rep.makespan_ms > 0.0) {
+    rep.volumes_per_sec =
+        static_cast<double>(rep.completed) / (rep.makespan_ms * 1e-3);
+  }
+  std::vector<double> latencies;
+  latencies.reserve(rep.completions.size());
+  for (const auto& c : rep.completions) latencies.push_back(c.latency_ms);
+  rep.latency = LatencySummary::of(latencies);
+  rep.device_lost_failovers =
+      recovery_counters().device_lost_failovers - failovers0;
+  rejected_queue_full_ = 0;
+  rejected_bytes_ = 0;
+  peak_queue_depth_ = 0;
+  return rep;
+}
+
+}  // namespace repro::serve

@@ -1,0 +1,124 @@
+// A throughput-oriented FFT serving front end over a device group.
+//
+// FftService accepts transform requests from many (simulated) clients —
+// mixed shapes and kinds: complex sharded volumes, real half-spectrum
+// volumes, single-card out-of-core volumes — admits them against a queue
+// bound and the registry's device-memory byte watermark, and drains the
+// queue through PlanRegistry::of(group) plans:
+//
+//   - complex 3-D requests are fused into batches of identical
+//     descriptions and routed by choose_batch_strategy(): small batches
+//     shard one volume across the fleet (latency), fleet-sized batches
+//     deal whole volumes to members (throughput), with the pipelined
+//     all-to-all overlap when sharding;
+//   - out-of-core requests are dealt round-robin to members through the
+//     batch-sharded plan (its members ARE single-card out-of-core plans);
+//   - real-transform requests run the sharded real plan per volume.
+//
+// Time is simulated end to end: a request whose arrival is in the future
+// idles the fleet via DeviceGroup::advance_to_ms, so the report's
+// volumes/sec and p50/p99 latencies include genuine queueing delay, not
+// just service time. Mid-stream DeviceLost faults degrade capacity (the
+// plans fail over to the surviving members) without dropping any admitted
+// request; the report carries the failover count observed during the run.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/metrics.h"
+#include "gpufft/batch_sharded.h"
+#include "gpufft/registry.h"
+#include "gpufft/sharded.h"
+#include "sim/device_group.h"
+
+namespace repro::serve {
+
+/// One client transform request: a caller-owned host volume plus the plan
+/// description to apply. `data.size()` must equal `desc.buffer_elements()`.
+struct FftRequest {
+  std::uint64_t id = 0;
+  gpufft::PlanDesc desc;
+  std::span<cxf> data;
+  double arrival_ms = 0.0;  ///< on the group's shared simulated timeline
+};
+
+/// What happened to a submit() call.
+enum class Admission {
+  Accepted,
+  RejectedQueueFull,  ///< queue_depth() was at max_queue_depth
+  RejectedBytes,      ///< plan headroom exceeds the byte watermark
+};
+
+struct ServiceConfig {
+  std::size_t max_queue_depth = 64;
+  /// Device-memory budget (bytes, 0 = unlimited): armed on the group
+  /// registry (PR 5 watermark semantics) and used as the admission gate —
+  /// a request whose plan headroom alone exceeds it can never run.
+  std::size_t byte_watermark = 0;
+  /// Most volumes fused into one batch execution.
+  std::size_t max_batch = 8;
+  /// Schedule for sharded batches (Pipelined overlaps the all-to-all).
+  gpufft::BatchMode mode = gpufft::BatchMode::Pipelined;
+};
+
+/// One drained request with its timing, for callers that want the ledger.
+struct CompletionRecord {
+  std::uint64_t id = 0;
+  double done_ms = 0.0;     ///< completion instant on the group timeline
+  double latency_ms = 0.0;  ///< done - arrival (queueing + service)
+  gpufft::BatchStrategy strategy = gpufft::BatchStrategy::Shard;
+};
+
+struct ServiceReport {
+  std::size_t completed = 0;
+  std::size_t rejected_queue_full = 0;
+  std::size_t rejected_bytes = 0;
+  std::size_t max_queue_depth = 0;  ///< high-water mark of queued requests
+  double makespan_ms = 0.0;         ///< drain start to last completion
+  double volumes_per_sec = 0.0;
+  LatencySummary latency;
+  std::uint64_t device_lost_failovers = 0;  ///< during this run
+  std::vector<CompletionRecord> completions;
+};
+
+class FftService {
+ public:
+  explicit FftService(sim::DeviceGroup& group, ServiceConfig cfg = {});
+
+  /// Admission control only — no execution happens here. Accepted
+  /// requests are queued in arrival order; rejected ones are counted in
+  /// the next run()'s report and never touched again.
+  Admission submit(const FftRequest& req);
+
+  /// Drain the queue: advance simulated time to each arrival, fuse
+  /// batches, execute, and account latencies. Returns the run's report
+  /// and clears the queue and rejection counters.
+  ServiceReport run();
+
+  [[nodiscard]] std::size_t queue_depth() const { return queue_.size(); }
+  [[nodiscard]] const ServiceConfig& config() const { return cfg_; }
+
+ private:
+  /// Phase probes are pure functions of (spec, n, shards, dir); cache
+  /// them so steady-state serving pays no repeated probing.
+  const gpufft::ShardPhases& phases_for(const gpufft::PlanDesc& desc);
+
+  /// Execute one same-description batch, appending completion records.
+  void run_batch(const std::vector<FftRequest>& batch, ServiceReport& rep);
+
+  sim::DeviceGroup& group_;
+  ServiceConfig cfg_;
+  std::deque<FftRequest> queue_;
+  std::size_t rejected_queue_full_ = 0;
+  std::size_t rejected_bytes_ = 0;
+  std::size_t peak_queue_depth_ = 0;
+  std::unordered_map<gpufft::PlanDesc, gpufft::ShardPhases,
+                     gpufft::PlanDescHash>
+      phases_;
+};
+
+}  // namespace repro::serve

@@ -1,0 +1,93 @@
+// Synthetic many-client workloads for the FFT service: a seeded stream of
+// mixed-shape, mixed-kind requests with exponential inter-arrival gaps.
+// The workload owns the request volumes (FftRequest carries spans), so
+// keep the Workload alive until the service run completes. Everything is
+// derived from the 64-bit seed — two Workloads with equal specs produce
+// bit-identical requests, which is what makes the service benches and the
+// fault A/B comparisons reproducible.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "serve/fft_service.h"
+
+namespace repro::serve {
+
+struct WorkloadSpec {
+  std::uint64_t seed = 20081115;  ///< SC'08 vintage, but any seed works
+  std::size_t requests = 24;
+  double mean_gap_ms = 0.5;  ///< exponential inter-arrival mean
+  /// Request menu, sampled uniformly per request.
+  std::vector<gpufft::PlanDesc> menu;
+
+  /// CI-sized mix: small complex sharded volumes, a real transform, and
+  /// single-card out-of-core volumes.
+  [[nodiscard]] static WorkloadSpec smoke() {
+    WorkloadSpec s;
+    s.requests = 12;
+    s.mean_gap_ms = 0.2;
+    s.menu = {
+        gpufft::PlanDesc::sharded3d(32, 4, gpufft::Direction::Forward),
+        gpufft::PlanDesc::sharded_real3d(32, 4,
+                                         gpufft::Direction::Forward),
+        gpufft::PlanDesc::out_of_core(32, 4, gpufft::Direction::Forward),
+    };
+    return s;
+  }
+
+  /// Bench-sized mix at the paper's volume scales.
+  [[nodiscard]] static WorkloadSpec full() {
+    WorkloadSpec s;
+    s.requests = 32;
+    s.mean_gap_ms = 2.0;
+    s.menu = {
+        gpufft::PlanDesc::sharded3d(64, 8, gpufft::Direction::Forward),
+        gpufft::PlanDesc::sharded3d(128, 8, gpufft::Direction::Forward),
+        gpufft::PlanDesc::sharded_real3d(64, 8,
+                                         gpufft::Direction::Forward),
+        gpufft::PlanDesc::out_of_core(64, 8, gpufft::Direction::Forward),
+    };
+    return s;
+  }
+};
+
+class Workload {
+ public:
+  explicit Workload(const WorkloadSpec& spec) {
+    REPRO_CHECK(!spec.menu.empty() && spec.requests > 0);
+    SplitMix64 rng(spec.seed);
+    storage_.reserve(spec.requests);
+    requests_.reserve(spec.requests);
+    double t = 0.0;
+    for (std::size_t i = 0; i < spec.requests; ++i) {
+      // Exponential gap: -mean * ln(1 - U), U in [0, 1).
+      t += -spec.mean_gap_ms * std::log1p(-rng.uniform());
+      const auto& desc = spec.menu[rng.below(spec.menu.size())];
+      storage_.push_back(
+          random_complex<float>(desc.buffer_elements(), rng.next()));
+      FftRequest req;
+      req.id = i;
+      req.desc = desc;
+      req.data = std::span<cxf>(storage_.back());
+      req.arrival_ms = t;
+      requests_.push_back(req);
+    }
+  }
+
+  [[nodiscard]] const std::vector<FftRequest>& requests() const {
+    return requests_;
+  }
+  /// The volume submitted for request `id` (mutated in place by the run).
+  [[nodiscard]] std::span<cxf> volume(std::size_t id) {
+    return std::span<cxf>(storage_[id]);
+  }
+
+ private:
+  std::vector<std::vector<cxf>> storage_;
+  std::vector<FftRequest> requests_;
+};
+
+}  // namespace repro::serve

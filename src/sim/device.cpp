@@ -190,6 +190,10 @@ void Device::reset_clock() {
   }
 }
 
+void Device::advance_clock_to_ms(double ms) {
+  clock_ns_ = std::max(clock_ns_, ms * 1e6);
+}
+
 void Device::reset_peak_stats() {
   peak_allocated_bytes_ = allocated_bytes_;
   alloc_count_ = 0;

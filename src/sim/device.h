@@ -216,6 +216,12 @@ class Device {
   /// are NOT touched — use reset_peak_stats() for those.
   void reset_clock();
 
+  /// Advance the submission clock to at least `ms` (no-op when already
+  /// past). Models host-side idle time: work submitted afterwards starts
+  /// no earlier than `ms`, which is how the FFT service anchors a
+  /// request's processing to its simulated arrival time.
+  void advance_clock_to_ms(double ms);
+
   /// Per-launch records since the last reset (for per-step tables).
   [[nodiscard]] const std::vector<LaunchResult>& history() const {
     return history_;

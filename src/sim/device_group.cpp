@@ -44,6 +44,10 @@ double DeviceGroup::elapsed_ms() const {
   return ms;
 }
 
+void DeviceGroup::advance_to_ms(double ms) {
+  for (auto& d : devices_) d->advance_clock_to_ms(ms);
+}
+
 void DeviceGroup::reset_clocks() {
   for (auto& d : devices_) d->reset_clock();
 }

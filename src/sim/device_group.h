@@ -93,6 +93,11 @@ class DeviceGroup {
   /// group's elapsed time is the slowest member's.
   [[nodiscard]] double elapsed_ms() const;
 
+  /// Advance every member's submission clock to at least `ms` (the shared
+  /// time origin makes the instant meaningful fleet-wide). Models the host
+  /// idling until a request arrives; see Device::advance_clock_to_ms.
+  void advance_to_ms(double ms);
+
   /// Reset every member's clock (timelines re-anchor to a common zero).
   void reset_clocks();
   /// cudaDeviceSynchronize on every member.

@@ -250,6 +250,42 @@ TEST(TunedPlans, TunedLookupsShareOnePlan) {
   EXPECT_EQ(reg.tune_searches(), 1u) << "one search per (spec, desc)";
 }
 
+TEST(TunedPlans, GroupTunedConfigSearchesOncePerFingerprint) {
+  sim::DeviceGroup group(4, sim::geforce_8800_gts());
+  auto& reg = PlanRegistry::of(group);
+  const auto desc = PlanDesc::bandwidth3d(cube(64), Direction::Forward);
+  const TuneConfig cfg = reg.tuned_config(desc);
+  EXPECT_EQ(reg.tune_searches(), 1u)
+      << "a homogeneous fleet shares one tuning search";
+  // The winner was seeded into every member's wisdom: member registries
+  // (which build the per-card slab plans) answer warm.
+  for (std::size_t d = 0; d < group.size(); ++d) {
+    auto& member = PlanRegistry::of(group.device(d));
+    EXPECT_EQ(member.wisdom_size(), 1u) << "member " << d;
+    EXPECT_EQ(member.tuned_config(desc), cfg) << "member " << d;
+    EXPECT_EQ(member.tune_searches(), 0u) << "member " << d;
+  }
+  // And the group's own second lookup is warm too.
+  (void)reg.tuned_config(desc);
+  EXPECT_EQ(reg.tune_searches(), 1u);
+}
+
+TEST(TunedPlans, GroupTunedConfigSearchesPerDistinctSpec) {
+  // Two distinct specs in the fleet: exactly two searches, with the
+  // duplicate 8800 GT reusing the first GT's result.
+  sim::DeviceGroup group({sim::geforce_8800_gt(), sim::geforce_gtx_280(),
+                          sim::geforce_8800_gt()});
+  auto& reg = PlanRegistry::of(group);
+  const auto desc = PlanDesc::bandwidth3d(cube(64), Direction::Forward);
+  (void)reg.tuned_config(desc);
+  EXPECT_EQ(reg.tune_searches(), 2u);
+  for (std::size_t d = 0; d < group.size(); ++d) {
+    auto& member = PlanRegistry::of(group.device(d));
+    (void)member.tuned_config(desc);
+    EXPECT_EQ(member.tune_searches(), 0u) << "member " << d;
+  }
+}
+
 TEST(TunedPlans, TunedLookupRejectsPreTunedDescriptions) {
   Device dev(sim::geforce_8800_gtx());
   auto& reg = PlanRegistry::of(dev);

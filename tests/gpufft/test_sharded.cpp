@@ -220,11 +220,19 @@ TEST(Sharded, RejectsBadGeometry) {
   // Non-pow2 n, bad factor: as out-of-core.
   EXPECT_THROW(ShardedFft3DPlan(group, 63, 4, Direction::Forward), Error);
   EXPECT_THROW(ShardedFft3DPlan(group, 64, 3, Direction::Forward), Error);
-  // The fleet must divide both phases' work.
+  // A fleet that divides neither phase's work is not an error: the plan
+  // runs on the largest usable member prefix (here 2 of 3), exactly as
+  // the failover path would after losing a card.
   sim::DeviceGroup three(3, sim::geforce_8800_gt());
-  EXPECT_THROW(ShardedFft3DPlan(three, 64, 4, Direction::Forward), Error);
-  sim::DeviceGroup four(4, sim::geforce_8800_gt());
-  EXPECT_THROW(ShardedFft3DPlan(four, 64, 2, Direction::Forward), Error);
+  ShardedFft3DPlan prefix(three, 64, 4, Direction::Forward);
+  auto input = random_complex<float>(64 * 64 * 64, 99);
+  auto expect = input;
+  ShardedFft3DPlan pair(group, 64, 4, Direction::Forward);
+  pair.execute(std::span<cxf>(expect));
+  auto got = input;
+  const auto t = prefix.execute(std::span<cxf>(got));
+  EXPECT_TRUE(bit_identical(got, expect));
+  EXPECT_EQ(t.devices[2].busy_ms(), 0.0);  // the third card sat idle
   // Device-resident execute is not a thing for a distributed volume.
   ShardedFft3DPlan plan(group, 64, 4, Direction::Forward);
   auto buf = group.device(0).alloc<cxf>(64);
