@@ -180,4 +180,31 @@ BatchChoice choose_batch_strategy(const ShardPhases& p,
   return c;
 }
 
+BatchChoice choose_batch_strategy(const ShardPhases& p,
+                                  const sim::GpuSpec& spec,
+                                  const sim::Topology& topo, Direction dir,
+                                  std::size_t n, std::size_t shards,
+                                  std::size_t devices, std::size_t batch,
+                                  BatchMode mode) {
+  const ShardLayout lay =
+      shard_layout(topo, n, shards, devices, Decomposition::Pencil);
+  if (lay.exchange == Exchange::HostStaged) {
+    // No peer path: the host-staged models (including the exact
+    // pipelined replay) already describe this fabric.
+    return choose_batch_strategy(p, spec, n, shards, devices, batch, mode);
+  }
+  BatchChoice c;
+  c.deal_ms = batch_model_ms(p, spec, n, shards, devices, batch);
+  const Decomposition d =
+      choose_decomposition(topo, spec, n, shards, devices, dir);
+  // Back-to-back volumes: a serial upper bound on the pipelined
+  // schedule, so Shard only wins when it genuinely wins.
+  c.shard_ms =
+      static_cast<double>(batch) *
+      topology_model_ms(p, spec, topo, n, shards, devices, d, dir);
+  c.strategy =
+      c.deal_ms <= c.shard_ms ? BatchStrategy::Deal : BatchStrategy::Shard;
+  return c;
+}
+
 }  // namespace repro::gpufft

@@ -143,4 +143,19 @@ BatchChoice choose_batch_strategy(const ShardPhases& p,
                                   std::size_t batch,
                                   BatchMode mode = BatchMode::Pipelined);
 
+/// Topology-aware variant: when the fabric resolves a peer layout, the
+/// shard side is modeled with topology_model_ms over the decomposition
+/// the planner would pick (slab or pencil, direct legs, bisection
+/// floor), as `batch` back-to-back volumes — an upper bound on the
+/// pipelined schedule, which can only overlap more, so a Shard verdict
+/// under it is safe. Host-staged fabrics delegate to the overload above
+/// (whose pipelined replay is exact). This is the rule the FFT service
+/// applies on peer-capable groups.
+BatchChoice choose_batch_strategy(const ShardPhases& p,
+                                  const sim::GpuSpec& spec,
+                                  const sim::Topology& topo, Direction dir,
+                                  std::size_t n, std::size_t shards,
+                                  std::size_t devices, std::size_t batch,
+                                  BatchMode mode = BatchMode::Pipelined);
+
 }  // namespace repro::gpufft

@@ -832,4 +832,19 @@ bool parse_wisdom_line(const std::string& line, PlanDesc& desc,
   return true;
 }
 
+Decomposition choose_decomposition(const sim::Topology& topo,
+                                   const sim::GpuSpec& spec, std::size_t n,
+                                   std::size_t shards, std::size_t devices,
+                                   Direction dir) {
+  const ShardLayout pencil =
+      shard_layout(topo, n, shards, devices, Decomposition::Pencil);
+  if (pencil.decomp != Decomposition::Pencil) return Decomposition::Slab;
+  const ShardPhases p = probe_shard_phases(spec, n, shards, dir);
+  const double slab_ms = topology_model_ms(p, spec, topo, n, shards, devices,
+                                           Decomposition::Slab, dir);
+  const double pencil_ms = topology_model_ms(
+      p, spec, topo, n, shards, devices, Decomposition::Pencil, dir);
+  return pencil_ms < slab_ms ? Decomposition::Pencil : Decomposition::Slab;
+}
+
 }  // namespace repro::gpufft

@@ -29,9 +29,18 @@
 #include <vector>
 
 #include "gpufft/plan_desc.h"
+#include "gpufft/sharded.h"
 #include "sim/spec.h"
 
 namespace repro::gpufft {
+
+/// Version of the wisdom schema / cost model. Bumped whenever a tuned
+/// config's meaning changes (a new knob, a re-derived cost term): stale
+/// wisdom would silently pin yesterday's winners, so import_wisdom
+/// rejects any file whose schema line is missing (pre-versioned files
+/// from older builds) or different — all-or-nothing, like a GpuSpec
+/// fingerprint mismatch.
+inline constexpr int kWisdomSchemaVersion = 2;
 
 /// Search bounds of the tuner. The defaults cover every knob the executors
 /// accept; patterns other than the paper's read-D/write-A pairing are
@@ -102,5 +111,16 @@ std::string wisdom_line(const PlanDesc& desc, const TuneConfig& tune);
 /// the default (the key side never carries a config).
 bool parse_wisdom_line(const std::string& line, PlanDesc& desc,
                        TuneConfig& tune);
+
+/// The planner's slab-vs-pencil call for a sharded 3-D plan of `devices`
+/// cards on `topo`: both feasible decompositions are scored with
+/// topology_model_ms (whose exchange cost is keyed on the fabric's link
+/// model and bisection_gbs()) and the argmin wins. Fabrics where pencil
+/// cannot resolve (host-staged trees, too few devices) return Slab
+/// without probing.
+Decomposition choose_decomposition(const sim::Topology& topo,
+                                   const sim::GpuSpec& spec, std::size_t n,
+                                   std::size_t shards, std::size_t devices,
+                                   Direction dir);
 
 }  // namespace repro::gpufft

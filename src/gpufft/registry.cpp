@@ -1,6 +1,7 @@
 #include "gpufft/registry.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 
@@ -145,7 +146,8 @@ const TuneConfig& PlanRegistry::tuned_config(const PlanDesc& desc,
 }
 
 std::string PlanRegistry::export_wisdom() const {
-  std::string out = "# repro-gpufft wisdom v1\n";
+  std::string out = "# repro-gpufft wisdom\n";
+  out += "schema " + std::to_string(kWisdomSchemaVersion) + "\n";
   out += wisdom_header(dev_.spec());
   out += "\n";
   // Deterministic order: sort the serialized lines.
@@ -162,26 +164,62 @@ std::string PlanRegistry::export_wisdom() const {
   return out;
 }
 
-std::size_t PlanRegistry::import_wisdom(const std::string& text) {
+std::size_t PlanRegistry::import_wisdom(const std::string& text,
+                                        std::string* reject_reason) {
+  const auto reject = [&](const std::string& why) -> std::size_t {
+    if (reject_reason != nullptr) *reject_reason = why;
+    return 0;
+  };
   std::istringstream in(text);
   std::string line;
+  bool schema_ok = false;
   bool spec_ok = false;
   std::vector<std::pair<PlanDesc, TuneConfig>> parsed;
   while (std::getline(in, line)) {
     if (line.empty() || line[0] == '#') continue;
+    if (line.rfind("schema ", 0) == 0) {
+      // Versioned cost model: wisdom tuned under a different schema would
+      // silently pin an older model's winners, so any mismatch rejects
+      // the whole file — same all-or-nothing rule as the fingerprint.
+      const int found = std::atoi(line.c_str() + 7);
+      if (found != kWisdomSchemaVersion) {
+        return reject("wisdom schema " + std::to_string(found) +
+                      " does not match this build's schema " +
+                      std::to_string(kWisdomSchemaVersion) +
+                      " (cost model changed; re-tune and re-save)");
+      }
+      schema_ok = true;
+      continue;
+    }
+    if (!schema_ok) {
+      // Pre-versioned files put the gpu header (or a plan line) first.
+      return reject(
+          "pre-versioned wisdom (no schema line): tuned under an older "
+          "cost model; re-tune and re-save");
+    }
     if (line.rfind("gpu ", 0) == 0) {
       // All-or-nothing: wisdom tuned for a different card is worse than
       // no wisdom, so a fingerprint mismatch rejects the whole file.
-      if (!wisdom_header_matches(line, dev_.spec())) return 0;
+      if (!wisdom_header_matches(line, dev_.spec())) {
+        return reject("gpu fingerprint does not match this device (" +
+                      wisdom_header(dev_.spec()) + ")");
+      }
       spec_ok = true;
       continue;
     }
     PlanDesc desc;
     TuneConfig tune;
-    if (!parse_wisdom_line(line, desc, tune)) return 0;
+    if (!parse_wisdom_line(line, desc, tune)) {
+      return reject("malformed wisdom line: " + line);
+    }
     parsed.emplace_back(desc, tune);
   }
-  if (!spec_ok) return 0;
+  if (!schema_ok) {
+    return reject(
+        "pre-versioned wisdom (no schema line): tuned under an older "
+        "cost model; re-tune and re-save");
+  }
+  if (!spec_ok) return reject("missing gpu header line");
   for (auto& [desc, tune] : parsed) {
     wisdom_.insert_or_assign(desc, tune);
   }
@@ -194,12 +232,18 @@ void PlanRegistry::save_wisdom(const std::string& path) const {
   f << export_wisdom();
 }
 
-std::size_t PlanRegistry::load_wisdom(const std::string& path) {
+std::size_t PlanRegistry::load_wisdom(const std::string& path,
+                                      std::string* reject_reason) {
   std::ifstream f(path);
-  if (!f.good()) return 0;
+  if (!f.good()) {
+    if (reject_reason != nullptr) {
+      *reject_reason = "cannot open wisdom file: " + path;
+    }
+    return 0;
+  }
   std::ostringstream buf;
   buf << f.rdbuf();
-  return import_wisdom(buf.str());
+  return import_wisdom(buf.str(), reject_reason);
 }
 
 template <typename T>

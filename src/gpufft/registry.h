@@ -100,16 +100,21 @@ class PlanRegistry {
   // ---- wisdom: persisted tuning results (FFTW-style) ----
 
   /// Serialize every cached tuning decision as human-readable text. The
-  /// header carries a fingerprint of the device's model-relevant GpuSpec
-  /// fields; import on a different spec rejects the file.
+  /// file carries a `schema` line (kWisdomSchemaVersion, the cost-model
+  /// version) and a header with a fingerprint of the device's
+  /// model-relevant GpuSpec fields; import on a different schema or spec
+  /// rejects the file.
   [[nodiscard]] std::string export_wisdom() const;
   /// Merge wisdom text into the cache. Returns the number of entries
-  /// accepted; 0 (and no mutation) when the GpuSpec fingerprint does not
-  /// match this registry's device.
-  std::size_t import_wisdom(const std::string& text);
+  /// accepted; 0 (and no mutation) when the schema version or the GpuSpec
+  /// fingerprint does not match — all-or-nothing, with the reason written
+  /// to `reject_reason` when non-null.
+  std::size_t import_wisdom(const std::string& text,
+                            std::string* reject_reason = nullptr);
   /// File forms of export_wisdom/import_wisdom.
   void save_wisdom(const std::string& path) const;
-  std::size_t load_wisdom(const std::string& path);
+  std::size_t load_wisdom(const std::string& path,
+                          std::string* reject_reason = nullptr);
 
   /// Tuning searches run (wisdom misses) and candidate configurations
   /// scored by the cost model. A process warm-started from wisdom shows

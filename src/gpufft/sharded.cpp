@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <array>
+#include <map>
 #include <utility>
 
 #include "common/metrics.h"
@@ -27,32 +28,101 @@ std::vector<std::size_t> usable_members(std::vector<std::size_t> alive,
   return alive;
 }
 
+/// True when every ordered pair of `members` has a fabric route whose
+/// hop devices (including forwarders outside the member set) are all
+/// alive. `group == nullptr` skips the aliveness check (the planning
+/// oracle assumes a healthy fleet).
+bool peer_route_ok(const sim::Topology& topo, const sim::DeviceGroup* group,
+                   std::span<const std::size_t> members) {
+  if (members.size() < 2 || !topo.peer_capable()) return false;
+  for (std::size_t a : members) {
+    for (std::size_t b : members) {
+      if (a == b) continue;
+      const auto hops = topo.route(a, b);
+      if (hops.size() < 2) return false;
+      if (group != nullptr) {
+        for (std::size_t h : hops) {
+          if (group->device(h).lost()) return false;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+/// The member set plus the geometry it runs (shard_layout against the
+/// live group). Pencil wants the largest alive prefix k = local_nz * py
+/// (py >= 2 a divisor of n) that is fully peer-routable; anything else
+/// falls back to the slab prefix rule, with the exchange going direct
+/// when the fabric can route it and through host staging otherwise. A
+/// single member is always host-staged — that degenerate path is pinned
+/// to the out-of-core timeline by test.
+struct ResolvedShard {
+  std::vector<std::size_t> members;
+  ShardLayout layout;
+};
+
+ResolvedShard resolve_shard(const sim::Topology& topo,
+                            const sim::DeviceGroup* group,
+                            std::vector<std::size_t> alive, std::size_t n,
+                            std::size_t shards, Decomposition preferred) {
+  const std::size_t local_nz = n / shards;
+  ResolvedShard r;
+  if (alive.empty()) return r;
+  if (preferred == Decomposition::Pencil) {
+    for (std::size_t k = alive.size(); k >= 2 * local_nz; --k) {
+      if (k % local_nz != 0) continue;
+      const std::size_t py = k / local_nz;
+      if (py < 2 || n % py != 0) continue;
+      if (!peer_route_ok(topo, group,
+                         std::span<const std::size_t>(alive.data(), k))) {
+        continue;
+      }
+      // Phase 1 still assigns whole residues: the largest divisor of
+      // `shards` that fits the member count owns them round-robin.
+      std::size_t p1 = std::min(k, shards);
+      while (shards % p1 != 0) --p1;
+      r.members.assign(alive.begin(),
+                       alive.begin() + static_cast<std::ptrdiff_t>(k));
+      r.layout = {Decomposition::Pencil, Exchange::Peer, k, p1, py};
+      return r;
+    }
+  }
+  r.members = usable_members(std::move(alive), shards, local_nz);
+  const std::size_t k = r.members.size();
+  const bool peer = peer_route_ok(topo, group, r.members);
+  r.layout = {Decomposition::Slab,
+              peer ? Exchange::Peer : Exchange::HostStaged, k, k, 1};
+  return r;
+}
+
 /// Device-loss failover shared by both sharded plans: run the schedule
-/// over the usable members, and when a card dies mid-run restore the
-/// input from the snapshot, re-shard over the survivors, and run again.
-/// Decimation arithmetic depends only on `shards`, so the recovered
-/// result is bit-identical to an undisturbed run. The snapshot is taken
-/// only while faults are armed — phase 2 overwrites `data` in place and
-/// an armed injector is the only way a run can stop halfway — so the
-/// fault-free path pays nothing for the safety net.
-template <typename RunFn>
+/// over the resolved members, and when a card dies mid-run restore the
+/// input from the snapshot, re-resolve the layout over the survivors
+/// (possibly dropping from pencil to slab, or from peer legs to host
+/// staging when a torus forwarder died), and run again. Decimation
+/// arithmetic depends only on `shards`, so the recovered result is
+/// bit-identical to an undisturbed run. The snapshot is taken only while
+/// faults are armed — phase 2 overwrites `data` in place and an armed
+/// injector is the only way a run can stop halfway — so the fault-free
+/// path pays nothing for the safety net.
+template <typename ResolveFn, typename RunFn>
 ShardedTiming run_with_failover(sim::DeviceGroup& group, std::span<cxf> data,
-                                std::size_t shards, std::size_t local_nz,
-                                RunFn&& run) {
-  auto members = usable_members(group.alive_members(), shards, local_nz);
-  REPRO_CHECK_MSG(!members.empty(),
+                                ResolveFn&& resolve, RunFn&& run) {
+  ResolvedShard r = resolve(group.alive_members());
+  REPRO_CHECK_MSG(!r.members.empty(),
                   "every device in the group has been lost");
   std::vector<cxf> snapshot;
   if (group.any_faults_armed()) snapshot.assign(data.begin(), data.end());
   for (;;) {
     try {
-      return run(members);
+      return run(r.members, r.layout);
     } catch (const sim::DeviceLostError&) {
-      auto alive = usable_members(group.alive_members(), shards, local_nz);
-      if (alive.empty() || snapshot.empty()) throw;
+      ResolvedShard next = resolve(group.alive_members());
+      if (next.members.empty() || snapshot.empty()) throw;
       ++recovery_counters().device_lost_failovers;
       std::copy(snapshot.begin(), snapshot.end(), data.begin());
-      members = std::move(alive);
+      r = std::move(next);
     }
   }
 }
@@ -128,6 +198,13 @@ ShardedFft3DPlan::ShardedFft3DPlan(sim::DeviceGroup& group, std::size_t n,
                 PlanDesc::bandwidth3d(slab_shape_, dir, Precision::F32),
                 tune)));
   }
+  // Peer-capable fabrics get the planner's slab-vs-pencil call (keyed on
+  // bisection bandwidth via topology_model_ms); the tree has no choice
+  // to make, so its construction cost is unchanged.
+  if (group.size() > 1 && group.topo().peer_capable()) {
+    decomp_ = choose_decomposition(group.topo(), group.device(0).spec(), n_,
+                                   shards_, group.size(), dir);
+  }
 }
 
 std::vector<StepTiming> ShardedFft3DPlan::execute(DeviceBuffer<cxf>&) {
@@ -139,10 +216,16 @@ std::vector<StepTiming> ShardedFft3DPlan::execute(DeviceBuffer<cxf>&) {
 ShardedTiming ShardedFft3DPlan::execute(std::span<cxf> host_data) {
   REPRO_CHECK(host_data.size() == n_ * n_ * n_);
   return with_plan_context(desc_, [&] {
-    return run_with_failover(*group_, host_data, shards_, n_ / shards_,
-                             [&](const std::vector<std::size_t>& members) {
-                               return run_on(members, host_data);
-                             });
+    return run_with_failover(
+        *group_, host_data,
+        [&](std::vector<std::size_t> alive) {
+          return resolve_shard(group_->topo(), group_, std::move(alive), n_,
+                               shards_, decomp_);
+        },
+        [&](const std::vector<std::size_t>& members,
+            const ShardLayout& layout) {
+          return run_on(members, layout, host_data);
+        });
   });
 }
 
@@ -153,11 +236,21 @@ ShardedTiming ShardedFft3DPlan::execute(std::span<cxf> host_data) {
 /// keeps kPipelineContexts contexts alive so consecutive volumes overlap.
 struct ShardedFft3DPlan::VolumeCtx {
   std::vector<std::size_t> members;  ///< group ordinals this ctx spans
+  ShardLayout layout;
   std::vector<ResourceCache::Lease<float>> leases;
   std::vector<std::unique_ptr<sim::Stream>> streams;
+  /// Peer exchanges only: one exchange stream per *group ordinal* (the
+  /// d2d_async indexing — torus routes forward through devices that are
+  /// not members), and one Event per member marking its last receive.
+  std::vector<sim::Stream*> exch;
+  std::vector<sim::Event> recv_done;
 
   DeviceBuffer<cxf>& slab(std::size_t mi, std::size_t i) {
     return leases[2 * mi + i].buffer();
+  }
+  /// Peer receive buffer of member `mi` (appended after the slab pairs).
+  DeviceBuffer<cxf>& recv(std::size_t mi) {
+    return leases[2 * members.size() + mi].buffer();
   }
   sim::Stream& stream(std::size_t mi, std::size_t i) {
     return *streams[2 * mi + i];
@@ -173,19 +266,44 @@ struct ShardedFft3DPlan::VolumeCtx {
 };
 
 std::unique_ptr<ShardedFft3DPlan::VolumeCtx> ShardedFft3DPlan::make_ctx(
-    const std::vector<std::size_t>& members) {
+    const std::vector<std::size_t>& members, const ShardLayout& layout) {
   const std::size_t slab_elems =
       n_ * n_ * std::max(n_ / shards_, shards_);
   auto ctx = std::make_unique<VolumeCtx>();
   ctx->members = members;
-  ctx->leases.reserve(2 * members.size());
-  ctx->streams.reserve(2 * members.size());
-  for (std::size_t mi = 0; mi < members.size(); ++mi) {
+  ctx->layout = layout;
+  const std::size_t nm = members.size();
+  const bool peer = layout.exchange == Exchange::Peer;
+  ctx->leases.reserve(2 * nm + (peer ? nm : 0));
+  ctx->streams.reserve(2 * nm + (peer ? group_->size() : 0));
+  for (std::size_t mi = 0; mi < nm; ++mi) {
     auto& dev = group_->device(members[mi]);
     ctx->leases.push_back(ResourceCache::of(dev).lease<float>(slab_elems));
     ctx->leases.push_back(ResourceCache::of(dev).lease<float>(slab_elems));
     ctx->streams.push_back(std::make_unique<sim::Stream>(dev));
     ctx->streams.push_back(std::make_unique<sim::Stream>(dev));
+  }
+  if (peer) {
+    // Per-member receive buffer: the member's whole phase-2 working set
+    // (slab: its block of plane groups; pencil: its (group, Y-block)
+    // unit) lands here directly and phase 2 runs in place — no host
+    // staging volume on the peer path.
+    const std::size_t recv_elems =
+        layout.decomp == Decomposition::Pencil
+            ? shards_ * (n_ / layout.y_blocks) * n_
+            : (n_ / shards_) / nm * shards_ * n_ * n_;
+    for (std::size_t mi = 0; mi < nm; ++mi) {
+      auto& dev = group_->device(members[mi]);
+      ctx->leases.push_back(ResourceCache::of(dev).lease<float>(recv_elems));
+    }
+    ctx->recv_done.resize(nm);
+    ctx->exch.assign(group_->size(), nullptr);
+    for (std::size_t d = 0; d < group_->size(); ++d) {
+      if (group_->device(d).lost()) continue;
+      ctx->streams.push_back(
+          std::make_unique<sim::Stream>(group_->device(d)));
+      ctx->exch[d] = ctx->streams.back().get();
+    }
   }
   return ctx;
 }
@@ -206,12 +324,27 @@ void ShardedFft3DPlan::enqueue_phase1(VolumeCtx& ctx,
   const std::size_t plane = n_ * n_;
   const std::size_t local_nz = n_ / shards_;
   const std::size_t nm = ctx.members.size();
+  const bool peer = ctx.layout.exchange == Exchange::Peer;
+  const std::size_t nm1 = peer ? ctx.layout.phase1_members : nm;
+  // Slab: member emi owns plane groups [emi*gpd, (emi+1)*gpd) — the same
+  // contiguous blocks host-staged phase 2 reads. Pencil: member emi owns
+  // (plane group emi / py, Y block emi % py).
+  const std::size_t gpd =
+      ctx.layout.decomp == Decomposition::Slab ? local_nz / nm : 0;
+  const std::size_t py = ctx.layout.y_blocks;
+  const std::size_t ny = n_ / py;
+  auto charge = [&timing](const std::vector<sim::PeerLeg>& legs) {
+    for (const auto& leg : legs) {
+      timing.devices[leg.from].d2h1_ms += leg.dur_ms;
+      if (leg.to != leg.from) timing.devices[leg.to].h2d2_ms += leg.dur_ms;
+    }
+  };
 
-  // ---- Phase 1: residue I on member I mod nm (slab FFT + twiddle) ----
+  // ---- Phase 1: residue I on member I mod nm1 (slab FFT + twiddle) ----
   for (std::size_t residue = 0; residue < shards_; ++residue) {
-    const std::size_t mi = residue % nm;
+    const std::size_t mi = residue % nm1;
     const std::size_t d = ctx.members[mi];
-    const std::size_t local = residue / nm;
+    const std::size_t local = residue / nm1;
     auto& dev = group_->device(d);
     ShardTiming& t = timing.devices[d];
     sim::Stream& s = ctx.stream(mi, local % 2);
@@ -232,14 +365,56 @@ void ShardedFft3DPlan::enqueue_phase1(VolumeCtx& ctx,
                          opt_.threads_per_block);
     t.twiddle_ms += dev.launch_async(tw, s).total_ms;
 
-    // The download IS the all-to-all send: the planes land in the host
-    // staging volume that every card's phase 2 reads back.
-    for (std::size_t k = 0; k < local_nz; ++k) {
-      const std::size_t z = residue + shards_ * k;
-      t.d2h1_ms += staged_d2h(
-          dev, std::span<cxf>(host_work).subspan(z * plane, plane), slab,
-          &s, k * plane);
-      t.exchange_bytes += plane * sizeof(cxf);
+    if (!peer) {
+      // The download IS the all-to-all send: the planes land in the host
+      // staging volume that every card's phase 2 reads back.
+      for (std::size_t k = 0; k < local_nz; ++k) {
+        const std::size_t z = residue + shards_ * k;
+        t.d2h1_ms += staged_d2h(
+            dev, std::span<cxf>(host_work).subspan(z * plane, plane), slab,
+            &s, k * plane);
+        t.exchange_bytes += plane * sizeof(cxf);
+      }
+      continue;
+    }
+
+    // Peer exchange: the planes leave the producer as direct d2d legs in
+    // ring order starting at the owner (self-copy first, then mi+1, ...)
+    // so concurrent residues drive different links first and the
+    // per-link FIFOs fill instead of hot-spotting member 0.
+    if (ctx.layout.decomp == Decomposition::Slab) {
+      for (std::size_t r = 0; r < nm; ++r) {
+        const std::size_t emi = (mi + r) % nm;
+        const std::size_t e = ctx.members[emi];
+        for (std::size_t gl = 0; gl < gpd; ++gl) {
+          const std::size_t j = emi * gpd + gl;  // slab plane == group k
+          charge(group_->d2d_async(
+              d, e, slab, j * plane, ctx.recv(emi),
+              (gl * shards_ + residue) * plane, plane, s,
+              std::span<sim::Stream* const>(ctx.exch)));
+          t.exchange_bytes += plane * sizeof(cxf);
+        }
+      }
+    } else {
+      for (std::size_t r = 0; r < nm; ++r) {
+        const std::size_t emi = (mi + r) % nm;
+        const std::size_t e = ctx.members[emi];
+        const std::size_t g = emi / py;  // plane group owned by emi
+        const std::size_t p = emi % py;  // Y block owned by emi
+        charge(group_->d2d_async(
+            d, e, slab, g * plane + p * ny * n_, ctx.recv(emi),
+            residue * ny * n_, ny * n_, s,
+            std::span<sim::Stream* const>(ctx.exch)));
+        t.exchange_bytes += ny * n_ * sizeof(cxf);
+      }
+    }
+  }
+
+  if (peer) {
+    // Per-member receive fence: an Event on each member's exchange
+    // stream marks its last receive (and any forwarding it carried).
+    for (std::size_t mi = 0; mi < nm; ++mi) {
+      ctx.exch[ctx.members[mi]]->record(ctx.recv_done[mi]);
     }
   }
 }
@@ -252,55 +427,128 @@ void ShardedFft3DPlan::enqueue_phase2(VolumeCtx& ctx,
   const std::size_t plane = n_ * n_;
   const std::size_t local_nz = n_ / shards_;
   const std::size_t nm = ctx.members.size();
-
-  // Group-wide phase boundary: every phase-2 group gathers one plane from
-  // each phase-1 residue — i.e. from every card — so all streams fence at
-  // the maximum stream tail. The members share one time origin, which is
-  // what makes the absolute wait_until meaningful across devices; for a
-  // group of one this degenerates to the out-of-core event pair exactly.
-  double barrier = vol_start_ms;
-  for (const auto& s : ctx.streams) {
-    barrier = std::max(barrier, s->ready_ms());
-  }
-  ctx.fence(barrier);
-  timing.barrier_ms = barrier - vol_start_ms;
-
-  // ---- Phase 2: contiguous block of plane groups per member ----
   const Shape3 pencil_slab{n_, n_, shards_};
-  const std::size_t groups_per_dev = local_nz / nm;
+
+  if (ctx.layout.exchange == Exchange::HostStaged) {
+    // Group-wide phase boundary: every phase-2 group gathers one plane
+    // from each phase-1 residue — i.e. from every card — so all streams
+    // fence at the maximum stream tail. The members share one time
+    // origin, which is what makes the absolute wait_until meaningful
+    // across devices; for a group of one this degenerates to the
+    // out-of-core event pair exactly.
+    double barrier = vol_start_ms;
+    for (const auto& s : ctx.streams) {
+      barrier = std::max(barrier, s->ready_ms());
+    }
+    ctx.fence(barrier);
+    timing.barrier_ms = barrier - vol_start_ms;
+
+    // ---- Phase 2: contiguous block of plane groups per member ----
+    const std::size_t groups_per_dev = local_nz / nm;
+    for (std::size_t mi = 0; mi < nm; ++mi) {
+      const std::size_t e = ctx.members[mi];
+      auto& dev = group_->device(e);
+      ShardTiming& t = timing.devices[e];
+      const unsigned grid = opt_.grid_for(dev.spec());
+      for (std::size_t g = 0; g < groups_per_dev; ++g) {
+        const std::size_t k = mi * groups_per_dev + g;
+        sim::Stream& s = ctx.stream(mi, g % 2);
+        auto& slab = ctx.slab(mi, g % 2);
+
+        t.h2d2_ms += staged_h2d(
+            dev, slab,
+            std::span<const cxf>(host_work)
+                .subspan(shards_ * k * plane, shards_ * plane),
+            &s);
+        t.exchange_bytes += shards_ * plane * sizeof(cxf);
+
+        ZPencilFftKernel fft(slab, pencil_slab, desc_.dir, grid, 0,
+                             opt_.threads_per_block);
+        t.fft2_ms += dev.launch_async(fft, s).total_ms;
+
+        for (std::size_t k2 = 0; k2 < shards_; ++k2) {
+          const std::size_t z = k + local_nz * k2;
+          t.d2h2_ms += staged_d2h(dev, host_data.subspan(z * plane, plane),
+                                  slab, &s, k2 * plane);
+        }
+      }
+    }
+    return;
+  }
+
+  // Peer exchange: no group-wide barrier. Each member fences its own two
+  // streams on (a) its own phase-1 tails (its slabs fed the self-copies)
+  // and (b) its receive Event — the last d2d leg landing in its receive
+  // buffer. barrier_ms reports the latest member fence for continuity
+  // with the host-staged breakdown.
+  double latest = vol_start_ms;
+  for (std::size_t mi = 0; mi < nm; ++mi) {
+    sim::Stream& s0 = ctx.stream(mi, 0);
+    sim::Stream& s1 = ctx.stream(mi, 1);
+    const double own = std::max(s0.ready_ms(), s1.ready_ms());
+    s0.wait(ctx.recv_done[mi]);
+    s1.wait(ctx.recv_done[mi]);
+    s0.wait_until_ms(own);
+    s1.wait_until_ms(own);
+    latest = std::max({latest, own, ctx.recv_done[mi].time_ms()});
+  }
+  timing.barrier_ms = latest - vol_start_ms;
+
+  if (ctx.layout.decomp == Decomposition::Slab) {
+    // ---- Phase 2 in place on the receive buffer, no upload leg ----
+    const std::size_t gpd = local_nz / nm;
+    for (std::size_t mi = 0; mi < nm; ++mi) {
+      const std::size_t e = ctx.members[mi];
+      auto& dev = group_->device(e);
+      ShardTiming& t = timing.devices[e];
+      const unsigned grid = opt_.grid_for(dev.spec());
+      for (std::size_t gl = 0; gl < gpd; ++gl) {
+        const std::size_t k = mi * gpd + gl;
+        sim::Stream& s = ctx.stream(mi, gl % 2);
+        ZPencilFftKernel fft(ctx.recv(mi), pencil_slab, desc_.dir, grid,
+                             gl * shards_ * plane, opt_.threads_per_block);
+        t.fft2_ms += dev.launch_async(fft, s).total_ms;
+        for (std::size_t k2 = 0; k2 < shards_; ++k2) {
+          const std::size_t z = k + local_nz * k2;
+          t.d2h2_ms += staged_d2h(dev, host_data.subspan(z * plane, plane),
+                                  ctx.recv(mi), &s,
+                                  gl * shards_ * plane + k2 * plane);
+        }
+      }
+    }
+    return;
+  }
+
+  // ---- Pencil phase 2: one (plane-group, Y-block) unit per member ----
+  // The receive buffer is already pencil-shaped — shards Z-planes of
+  // (ny, n) rows, z-major by residue — so the kernel runs in place and
+  // the downloads scatter each output plane's Y-block rows.
+  const std::size_t py = ctx.layout.y_blocks;
+  const std::size_t ny = n_ / py;
   for (std::size_t mi = 0; mi < nm; ++mi) {
     const std::size_t e = ctx.members[mi];
+    const std::size_t g = mi / py;
+    const std::size_t p = mi % py;
     auto& dev = group_->device(e);
     ShardTiming& t = timing.devices[e];
     const unsigned grid = opt_.grid_for(dev.spec());
-    for (std::size_t g = 0; g < groups_per_dev; ++g) {
-      const std::size_t k = mi * groups_per_dev + g;
-      sim::Stream& s = ctx.stream(mi, g % 2);
-      auto& slab = ctx.slab(mi, g % 2);
-
-      t.h2d2_ms += staged_h2d(
-          dev, slab,
-          std::span<const cxf>(host_work)
-              .subspan(shards_ * k * plane, shards_ * plane),
-          &s);
-      t.exchange_bytes += shards_ * plane * sizeof(cxf);
-
-      ZPencilFftKernel fft(slab, pencil_slab, desc_.dir, grid, 0,
-                           opt_.threads_per_block);
-      t.fft2_ms += dev.launch_async(fft, s).total_ms;
-
-      for (std::size_t k2 = 0; k2 < shards_; ++k2) {
-        const std::size_t z = k + local_nz * k2;
-        t.d2h2_ms += staged_d2h(dev, host_data.subspan(z * plane, plane),
-                                slab, &s, k2 * plane);
-      }
+    sim::Stream& s = ctx.stream(mi, 0);
+    ZPencilFftKernel fft(ctx.recv(mi), Shape3{n_, ny, shards_}, desc_.dir,
+                         grid, 0, opt_.threads_per_block);
+    t.fft2_ms += dev.launch_async(fft, s).total_ms;
+    for (std::size_t k2 = 0; k2 < shards_; ++k2) {
+      const std::size_t z = g + local_nz * k2;
+      t.d2h2_ms += staged_d2h(
+          dev, host_data.subspan(z * plane + p * ny * n_, ny * n_),
+          ctx.recv(mi), &s, k2 * ny * n_);
     }
   }
 }
 
 ShardedTiming ShardedFft3DPlan::run_on(
-    const std::vector<std::size_t>& members, std::span<cxf> host_data) {
-  auto ctx = make_ctx(members);
+    const std::vector<std::size_t>& members, const ShardLayout& layout,
+    std::span<cxf> host_data) {
+  auto ctx = make_ctx(members, layout);
   const double start_ms = group_->elapsed_ms();
   ShardedTiming timing;
   // Buckets stay indexed by group ordinal (stable reporting across
@@ -309,6 +557,7 @@ ShardedTiming ShardedFft3DPlan::run_on(
   enqueue_volume(*ctx, host_data, host_work_, start_ms, timing);
   group_->sync_all();
   timing.makespan_ms = group_->elapsed_ms() - start_ms;
+  last_layout_ = layout;
   last_timing_ = timing;
   last_total_ms_ = timing.makespan_ms;
   return timing;
@@ -474,17 +723,27 @@ ShardedBatchTiming ShardedFft3DPlan::execute_batch(
     // and the interleaved stages touch disjoint buffers, so either
     // order is bit-identical to the Serial schedule.
     const std::size_t local_nz = n_ / shards_;
-    if (host_work_extra_[0].empty()) {
-      for (std::size_t i = 0; i + 1 < kPipelineContexts; ++i) {
-        host_work_extra_[i].resize(n_ * n_ * n_);
-        staging_lease_extra_[i] = sim::DeviceGroup::HostStagingLease(
-            *group_, n_ * n_ * n_ * sizeof(cxf));
-      }
-    }
-    auto members =
-        usable_members(group_->alive_members(), shards_, local_nz);
-    REPRO_CHECK_MSG(!members.empty(),
+    const auto resolve = [&](std::vector<std::size_t> alive) {
+      return resolve_shard(group_->topo(), group_, std::move(alive), n_,
+                           shards_, decomp_);
+    };
+    ResolvedShard shard = resolve(group_->alive_members());
+    REPRO_CHECK_MSG(!shard.members.empty(),
                     "every device in the group has been lost");
+    // Peer exchanges stage on the cards (the per-ctx receive buffers), so
+    // the extra host staging volumes are only grown for host-staged runs
+    // — including a mid-batch failover that falls back to host staging.
+    const auto ensure_staging = [&] {
+      if (shard.layout.exchange == Exchange::HostStaged &&
+          host_work_extra_[0].empty()) {
+        for (std::size_t i = 0; i + 1 < kPipelineContexts; ++i) {
+          host_work_extra_[i].resize(n_ * n_ * n_);
+          staging_lease_extra_[i] = sim::DeviceGroup::HostStagingLease(
+              *group_, n_ * n_ * n_ * sizeof(cxf));
+        }
+      }
+    };
+    ensure_staging();
     const bool armed = group_->any_faults_armed();
     std::vector<cxf> snapshot;
     std::array<std::unique_ptr<VolumeCtx>, kPipelineContexts> ctx;
@@ -498,23 +757,28 @@ ShardedBatchTiming ShardedFft3DPlan::execute_batch(
     };
     if (!probe_phases_) {
       probe_phases_ = probe_shard_phases(
-          group_->device(members[0]).spec(), n_, shards_, desc_.dir);
+          group_->device(shard.members[0]).spec(), n_, shards_, desc_.dir);
     }
-    const std::size_t nd = members.size();
     const bool one_dma =
-        group_->device(members[0]).spec().dma_engines == 1;
+        group_->device(shard.members[0]).spec().dma_engines == 1;
+    // The replay's phase extents follow the resolved layout: phase-1
+    // residues per owner, and one phase-2 unit per member on pencil.
+    const std::size_t rep_res = shards_ / shard.layout.phase1_members;
+    const std::size_t rep_grp =
+        shard.layout.decomp == Decomposition::Pencil
+            ? 1
+            : local_nz / shard.members.size();
     std::size_t lookahead = 0;
     {
       // Issue order = argmin over the replayed candidates (lookahead L
       // keeps at most L+1 contexts live, so L < kPipelineContexts).
-      double best = replay_pipelined_ms(*probe_phases_, one_dma,
-                                        shards_ / nd, local_nz / nd,
-                                        volumes.size(), 0);
+      double best = replay_pipelined_ms(*probe_phases_, one_dma, rep_res,
+                                        rep_grp, volumes.size(), 0);
       for (std::size_t la = 1;
            la < kPipelineContexts && la < volumes.size(); ++la) {
-        const double m =
-            replay_pipelined_ms(*probe_phases_, one_dma, shards_ / nd,
-                                local_nz / nd, volumes.size(), la);
+        const double m = replay_pipelined_ms(*probe_phases_, one_dma,
+                                             rep_res, rep_grp,
+                                             volumes.size(), la);
         if (m < best) {
           best = m;
           lookahead = la;
@@ -529,7 +793,7 @@ ShardedBatchTiming ShardedFft3DPlan::execute_batch(
       const bool do_p1 = p1 < volumes.size() && p1 <= p2 + lookahead;
       try {
         if (!ctx[0]) {
-          for (auto& c : ctx) c = make_ctx(members);
+          for (auto& c : ctx) c = make_ctx(shard.members, shard.layout);
         }
         if (do_p1) {
           const std::size_t slot = p1 % kPipelineContexts;
@@ -560,23 +824,32 @@ ShardedBatchTiming ShardedFft3DPlan::execute_batch(
           ++p2;
         }
       } catch (const sim::DeviceLostError&) {
-        auto alive =
-            usable_members(group_->alive_members(), shards_, local_nz);
-        if (alive.empty() || (!do_p1 && snapshot.empty())) throw;
+        ResolvedShard next = resolve(group_->alive_members());
+        if (next.members.empty() || (!do_p1 && snapshot.empty())) throw;
         ++recovery_counters().device_lost_failovers;
         // The lost card's streams are dead; drop every context (RAII
         // folds the surviving timelines) and rebuild on the survivors.
         for (auto& c : ctx) c.reset();
-        members = std::move(alive);
+        const bool staged =
+            shard.layout.exchange == Exchange::HostStaged;
+        shard = std::move(next);
+        ensure_staging();
         if (!do_p1) {
           // Phase 2 may have torn volume p2 mid-overwrite; restore it.
-          // Its staged planes in host_work are host memory fully written
-          // when its phase 1 was enqueued, so only phase 2 re-runs.
           std::copy(snapshot.begin(), snapshot.end(),
                     volumes[p2].begin());
         }
-        // A failed phase 1 only read its volume; the retry rewrites the
-        // staging buffer from scratch on the surviving members.
+        if (staged) {
+          // Host-staged: volume p2's staged planes in host_work are host
+          // memory fully written when its phase 1 was enqueued, so only
+          // phase 2 re-runs; a failed phase 1 only read its volume.
+        } else {
+          // Peer: phase-1 results lived in the dropped receive buffers,
+          // so every volume that has not finished phase 2 re-runs phase
+          // 1 too. Those volumes' host data is intact — phase 1 only
+          // reads it, and p2's overwrite was just restored.
+          p1 = p2;
+        }
       }
     }
     for (auto& c : ctx) c.reset();
@@ -680,15 +953,22 @@ std::vector<StepTiming> ShardedRealFft3DPlan::execute(DeviceBuffer<cxf>&) {
 ShardedTiming ShardedRealFft3DPlan::execute(std::span<cxf> host_data) {
   REPRO_CHECK(host_data.size() == buffer_elements());
   return with_plan_context(desc_, [&] {
-    return run_with_failover(*group_, host_data, shards_, n_ / shards_,
-                             [&](const std::vector<std::size_t>& members) {
-                               return run_on(members, host_data);
-                             });
+    return run_with_failover(
+        *group_, host_data,
+        [&](std::vector<std::size_t> alive) {
+          return resolve_shard(group_->topo(), group_, std::move(alive), n_,
+                               shards_, Decomposition::Slab);
+        },
+        [&](const std::vector<std::size_t>& members,
+            const ShardLayout& layout) {
+          return run_on(members, layout, host_data);
+        });
   });
 }
 
 ShardedTiming ShardedRealFft3DPlan::run_on(
-    const std::vector<std::size_t>& members, std::span<cxf> host_data) {
+    const std::vector<std::size_t>& members, const ShardLayout& layout,
+    std::span<cxf> host_data) {
   // Split layout (real3d.h): a logical Z-plane is an (n/2)*n main span
   // plus an n-element Nyquist tail row; both are contiguous in the host
   // volume and in each staged slab, so every plane costs two transfers of
@@ -719,9 +999,41 @@ ShardedTiming ShardedRealFft3DPlan::run_on(
     return *streams[2 * mi + i];
   };
 
+  // Peer exchange state: each member's receive buffer mirrors its slice
+  // of the host staging volume (main region of gpd*shards Z-plane main
+  // spans, then the packed Nyquist tail rows), so phase 2 gathers its
+  // plane group out of it with local d2d copies and runs the existing
+  // kernels on the slab unchanged.
+  const bool peer = layout.exchange == Exchange::Peer;
+  const std::size_t gpd = local_nz / nm;
+  const std::size_t recv_tail = gpd * shards_ * mrow;  // tail region base
+  std::vector<ResourceCache::Lease<float>> recv_leases;
+  std::vector<std::unique_ptr<sim::Stream>> exch_owned;
+  std::vector<sim::Stream*> exch(group_->size(), nullptr);
+  std::vector<sim::Event> recv_done(nm);
+  if (peer) {
+    for (std::size_t mi = 0; mi < nm; ++mi) {
+      auto& dev = group_->device(members[mi]);
+      recv_leases.push_back(
+          ResourceCache::of(dev).lease<float>(gpd * shards_ * plane));
+    }
+    for (std::size_t d = 0; d < group_->size(); ++d) {
+      if (group_->device(d).lost()) continue;
+      exch_owned.push_back(
+          std::make_unique<sim::Stream>(group_->device(d)));
+      exch[d] = exch_owned.back().get();
+    }
+  }
+
   const double start_ms = group_->elapsed_ms();
   ShardedTiming timing;
   timing.devices.resize(group_->size());
+  auto charge = [&timing](const std::vector<sim::PeerLeg>& legs) {
+    for (const auto& leg : legs) {
+      timing.devices[leg.from].d2h1_ms += leg.dur_ms;
+      if (leg.to != leg.from) timing.devices[leg.to].h2d2_ms += leg.dur_ms;
+    }
+  };
 
   // ---- Phase 1: residue I on member I mod nm ----
   // Forward: full real slab plan (r2c X + coarse Y/local-Z) + twiddle.
@@ -767,25 +1079,67 @@ ShardedTiming ShardedRealFft3DPlan::run_on(
                               opt_.threads_per_block);
     t.twiddle_ms += dev.launch_async(tw_tail, s).total_ms;
 
-    // The download IS the all-to-all send — and it carries (n/2+1)/n of
-    // the complex plan's bytes, the point of the real layout.
-    for (std::size_t k = 0; k < local_nz; ++k) {
-      const std::size_t z = residue + shards_ * k;
-      t.d2h1_ms += staged_d2h(
-          dev, std::span<cxf>(host_work_).subspan(z * mrow, mrow), slab, &s,
-          k * mrow);
-      t.d2h1_ms += staged_d2h(
-          dev, std::span<cxf>(host_work_).subspan(tail + z * n_, n_), slab,
-          &s, slab_tail + k * n_);
-      t.exchange_bytes += plane * sizeof(cxf);
+    if (!peer) {
+      // The download IS the all-to-all send — and it carries (n/2+1)/n
+      // of the complex plan's bytes, the point of the real layout.
+      for (std::size_t k = 0; k < local_nz; ++k) {
+        const std::size_t z = residue + shards_ * k;
+        t.d2h1_ms += staged_d2h(
+            dev, std::span<cxf>(host_work_).subspan(z * mrow, mrow), slab,
+            &s, k * mrow);
+        t.d2h1_ms += staged_d2h(
+            dev, std::span<cxf>(host_work_).subspan(tail + z * n_, n_),
+            slab, &s, slab_tail + k * n_);
+        t.exchange_bytes += plane * sizeof(cxf);
+      }
+      continue;
+    }
+
+    // Peer exchange in ring order (see ShardedFft3DPlan): two legs per
+    // plane, the main span and its Nyquist tail row, landing at the
+    // consumer's host-staging-mirroring offsets.
+    for (std::size_t r = 0; r < nm; ++r) {
+      const std::size_t emi = (mi + r) % nm;
+      const std::size_t e = members[emi];
+      auto& rbuf = recv_leases[emi].buffer();
+      for (std::size_t gl = 0; gl < gpd; ++gl) {
+        const std::size_t j = emi * gpd + gl;  // slab plane == group k
+        charge(group_->d2d_async(d, e, slab, j * mrow, rbuf,
+                                 (gl * shards_ + residue) * mrow, mrow, s,
+                                 std::span<sim::Stream* const>(exch)));
+        charge(group_->d2d_async(
+            d, e, slab, slab_tail + j * n_, rbuf,
+            recv_tail + (gl * shards_ + residue) * n_, n_, s,
+            std::span<sim::Stream* const>(exch)));
+        t.exchange_bytes += plane * sizeof(cxf);
+      }
     }
   }
 
-  // Group-wide phase boundary (see ShardedFft3DPlan::run_on).
-  double barrier = start_ms;
-  for (const auto& s : streams) barrier = std::max(barrier, s->ready_ms());
-  for (auto& s : streams) s->wait_until_ms(barrier);
-  timing.barrier_ms = barrier - start_ms;
+  if (peer) {
+    // Per-member receive fence (see ShardedFft3DPlan::enqueue_phase1).
+    for (std::size_t mi = 0; mi < nm; ++mi) {
+      exch[members[mi]]->record(recv_done[mi]);
+    }
+    double latest = start_ms;
+    for (std::size_t mi = 0; mi < nm; ++mi) {
+      sim::Stream& s0 = stream_of(mi, 0);
+      sim::Stream& s1 = stream_of(mi, 1);
+      const double own = std::max(s0.ready_ms(), s1.ready_ms());
+      s0.wait(recv_done[mi]);
+      s1.wait(recv_done[mi]);
+      s0.wait_until_ms(own);
+      s1.wait_until_ms(own);
+      latest = std::max({latest, own, recv_done[mi].time_ms()});
+    }
+    timing.barrier_ms = latest - start_ms;
+  } else {
+    // Group-wide phase boundary (see ShardedFft3DPlan::run_on).
+    double barrier = start_ms;
+    for (const auto& s : streams) barrier = std::max(barrier, s->ready_ms());
+    for (auto& s : streams) s->wait_until_ms(barrier);
+    timing.barrier_ms = barrier - start_ms;
+  }
 
   // ---- Phase 2: contiguous block of plane groups per member ----
   const std::size_t groups_per_dev = local_nz / nm;
@@ -800,17 +1154,36 @@ ShardedTiming ShardedRealFft3DPlan::run_on(
       sim::Stream& s = stream_of(mi, g % 2);
       auto& slab = slab_of(mi, g % 2);
 
-      t.h2d2_ms += staged_h2d(
-          dev, slab,
-          std::span<const cxf>(host_work_)
-              .subspan(shards_ * k * mrow, shards_ * mrow),
-          &s);
-      t.h2d2_ms += staged_h2d(
-          dev, slab,
-          std::span<const cxf>(host_work_)
-              .subspan(tail + shards_ * k * n_, shards_ * n_),
-          &s, slab2_tail);
-      t.exchange_bytes += shards_ * plane * sizeof(cxf);
+      if (!peer) {
+        t.h2d2_ms += staged_h2d(
+            dev, slab,
+            std::span<const cxf>(host_work_)
+                .subspan(shards_ * k * mrow, shards_ * mrow),
+            &s);
+        t.h2d2_ms += staged_h2d(
+            dev, slab,
+            std::span<const cxf>(host_work_)
+                .subspan(tail + shards_ * k * n_, shards_ * n_),
+            &s, slab2_tail);
+        t.exchange_bytes += shards_ * plane * sizeof(cxf);
+      } else {
+        // Gather this plane group out of the receive buffer with local
+        // d2d copies (both layout regions), then run the unchanged
+        // phase-2 kernels on the slab. The gather is the receive half
+        // of the exchange, so its time lands in the h2d2 bucket.
+        auto& rbuf = recv_leases[mi].buffer();
+        for (const auto& leg : group_->d2d_async(
+                 e, e, rbuf, g * shards_ * mrow, slab, 0, shards_ * mrow,
+                 s, std::span<sim::Stream* const>(exch))) {
+          t.h2d2_ms += leg.dur_ms;
+        }
+        for (const auto& leg : group_->d2d_async(
+                 e, e, rbuf, recv_tail + g * shards_ * n_, slab,
+                 slab2_tail, shards_ * n_, s,
+                 std::span<sim::Stream* const>(exch))) {
+          t.h2d2_ms += leg.dur_ms;
+        }
+      }
 
       ZPencilFftKernel fft_main(slab, Shape3{n_ / 2, n_, shards_},
                                 desc_.dir, grid, 0, opt_.threads_per_block);
@@ -912,6 +1285,18 @@ std::vector<StepTiming> ShardedRealFft3DPlan::execute_batch_host(
   }
   last_total_ms_ = group_->elapsed_ms() - t0;
   return total;
+}
+
+ShardLayout shard_layout(const sim::Topology& topo, std::size_t n,
+                         std::size_t shards, std::size_t devices,
+                         Decomposition preferred) {
+  REPRO_CHECK(devices >= 1);
+  REPRO_CHECK_MSG(devices <= topo.size(),
+                  "devices exceeds the topology's span");
+  std::vector<std::size_t> all(devices);
+  for (std::size_t i = 0; i < devices; ++i) all[i] = i;
+  return resolve_shard(topo, nullptr, std::move(all), n, shards, preferred)
+      .layout;
 }
 
 ShardPhases probe_shard_phases(const sim::GpuSpec& spec, std::size_t n,
@@ -1021,6 +1406,163 @@ double sharded_batch_model_ms(const ShardPhases& p, const sim::GpuSpec& spec,
         best, replay_pipelined_ms(p, one_dma, residues, groups, batch, la));
   }
   return best;
+}
+
+namespace {
+
+/// Pencil-geometry phase-2 durations (the slab probe covers everything
+/// else): the (n, n/py, shards) pencil kernel and one ny*n-row download.
+struct PencilPhases {
+  double fft2_ms{}, dn2_ms{};
+};
+
+PencilPhases probe_pencil_phases(const sim::GpuSpec& spec, std::size_t n,
+                                 std::size_t py, std::size_t shards,
+                                 Direction dir) {
+  Device dev(spec);
+  const std::size_t ny = n / py;
+  auto buf = dev.alloc<cxf>(shards * ny * n);
+  std::vector<cxf> host(ny * n);
+  PencilPhases p;
+  dev.reset_clock();
+  ZPencilFftKernel fft(buf, Shape3{n, ny, shards}, dir,
+                       default_grid_blocks(spec));
+  dev.launch(fft);
+  p.fft2_ms = dev.elapsed_ms();
+  dev.reset_clock();
+  dev.d2h(std::span<cxf>(host), buf, 0);
+  p.dn2_ms = dev.elapsed_ms();
+  return p;
+}
+
+}  // namespace
+
+double topology_model_ms(const ShardPhases& p, const sim::GpuSpec& spec,
+                         const sim::Topology& topo, std::size_t n,
+                         std::size_t shards, std::size_t devices,
+                         Decomposition decomp, Direction dir) {
+  const ShardLayout lay = shard_layout(topo, n, shards, devices, decomp);
+  if (lay.exchange == Exchange::HostStaged) {
+    return sharded_model_ms(p, spec, n, shards, lay.members);
+  }
+  const std::size_t local_nz = n / shards;
+  const std::size_t nm = lay.members;
+  const std::size_t nm1 = lay.phase1_members;
+  const std::size_t plane = n * n;
+  const std::size_t gpd =
+      lay.decomp == Decomposition::Slab ? local_nz / nm : 0;
+  const std::size_t py = lay.y_blocks;
+  const std::size_t ny = n / py;
+  const double up1p = p.up1_ms / static_cast<double>(local_nz);
+  const double dn2p = p.dn2_ms / static_cast<double>(shards);
+
+  // Deterministic replay of the exact enqueue order through the
+  // scheduler's start-at-max(stream tail, engine free, link free) rule:
+  // per-member double-buffered stream tails, one exchange-stream tail
+  // per ordinal (torus forwarders included), per-ordinal engine frees
+  // (1-DMA cards alias the two copy directions onto one engine, exactly
+  // as sim::Device maps them), and a private link-FIFO map.
+  const bool one_dma = spec.dma_engines == 1;
+  const std::size_t span = topo.size();
+  std::vector<std::array<double, 2>> tails(nm, {0.0, 0.0});
+  std::vector<double> ex(span, 0.0), comp(span, 0.0);
+  std::vector<double> up_free(span, 0.0), dn_free(span, 0.0);
+  std::map<std::pair<std::size_t, std::size_t>, double> link;
+  auto up_engine = [&](std::size_t d) -> double& { return up_free[d]; };
+  auto dn_engine = [&](std::size_t d) -> double& {
+    return one_dma ? up_free[d] : dn_free[d];
+  };
+  std::uint64_t fabric_bytes = 0;
+  auto send_payload = [&](std::size_t src, std::size_t dst, double& s,
+                          std::size_t bytes) {
+    fabric_bytes += bytes;
+    if (src == dst) {
+      double& eng = dn_engine(src);
+      const double start = std::max(s, eng);
+      s = start + sim::local_copy_ms(spec, bytes);
+      eng = s;
+      return;
+    }
+    const auto hops = topo.route(src, dst);
+    for (std::size_t h = 0; h + 1 < hops.size(); ++h) {
+      const std::size_t a = hops[h];
+      const std::size_t b = hops[h + 1];
+      double& ss = h == 0 ? s : ex[a];
+      const double dur = topo.leg_ms(a, b, bytes);
+      double& lf = link[{a, b}];
+      const double start = std::max({ss, dn_engine(a), lf});
+      lf = start + dur;
+      ss = start + dur;
+      dn_engine(a) = start + dur;
+      const double r0 = std::max({ex[b], start, up_engine(b)});
+      ex[b] = r0 + dur;
+      up_engine(b) = r0 + dur;
+    }
+  };
+
+  // ---- Phase 1: per-plane uploads, lumped compute, ring sends ----
+  for (std::size_t residue = 0; residue < shards; ++residue) {
+    const std::size_t mi = residue % nm1;
+    double& s = tails[mi][(residue / nm1) % 2];
+    for (std::size_t j = 0; j < local_nz; ++j) {
+      double& eng = up_engine(mi);
+      s = std::max(s, eng) + up1p;
+      eng = s;
+    }
+    s = std::max(s, comp[mi]) + p.fft1_ms + p.twiddle_ms;
+    comp[mi] = s;
+    for (std::size_t r = 0; r < nm; ++r) {
+      const std::size_t emi = (mi + r) % nm;
+      if (lay.decomp == Decomposition::Slab) {
+        for (std::size_t gl = 0; gl < gpd; ++gl) {
+          send_payload(mi, emi, s, plane * sizeof(cxf));
+        }
+      } else {
+        send_payload(mi, emi, s, ny * n * sizeof(cxf));
+      }
+    }
+  }
+
+  // ---- Per-member receive fence, then slab or pencil phase 2 ----
+  PencilPhases pp;
+  if (lay.decomp == Decomposition::Pencil) {
+    pp = probe_pencil_phases(spec, n, py, shards, dir);
+  }
+  double makespan = 0.0;
+  for (std::size_t mi = 0; mi < nm; ++mi) {
+    const double fence = std::max({tails[mi][0], tails[mi][1], ex[mi]});
+    tails[mi][0] = tails[mi][1] = fence;
+    if (lay.decomp == Decomposition::Slab) {
+      for (std::size_t gl = 0; gl < gpd; ++gl) {
+        double& s = tails[mi][gl % 2];
+        s = std::max(s, comp[mi]) + p.fft2_ms;
+        comp[mi] = s;
+        for (std::size_t k2 = 0; k2 < shards; ++k2) {
+          double& eng = dn_engine(mi);
+          s = std::max(s, eng) + dn2p;
+          eng = s;
+        }
+      }
+    } else {
+      double& s = tails[mi][0];
+      s = std::max(s, comp[mi]) + pp.fft2_ms;
+      comp[mi] = s;
+      for (std::size_t k2 = 0; k2 < shards; ++k2) {
+        double& eng = dn_engine(mi);
+        s = std::max(s, eng) + pp.dn2_ms;
+        eng = s;
+      }
+    }
+    makespan = std::max({makespan, tails[mi][0], tails[mi][1]});
+  }
+  for (std::size_t d = 0; d < span; ++d) {
+    makespan = std::max(makespan, ex[d]);
+  }
+  // Aggregate floor: half the fabric bytes must cross the worst even
+  // cut, whatever the schedule.
+  const double floor_ms = static_cast<double>(fabric_bytes) / 2.0 /
+                          (topo.bisection_gbs() * 1e6);
+  return std::max(makespan, floor_ms);
 }
 
 }  // namespace repro::gpufft

@@ -14,13 +14,33 @@
 //   Phase 2 (device e, groups k' in e's block): as out-of-core steps 2A-2C
 //
 // Every phase-2 group gathers one plane from each phase-1 residue, i.e.
-// from every card — an all-to-all. The simulated G8x cards have no
-// peer-to-peer path (as in 2008), so the exchange is host-staged: phase
-// 1's downloads land in one host work volume and phase 2's uploads read it
-// back, each leg costed through the owning card's (bridge-derated) PCIe
-// model. No extra copies are needed beyond what out-of-core already does —
-// the exchange is the d2h1/h2d2 traffic itself, so its cost is those two
-// buckets and the phase-boundary fence.
+// from every card — an all-to-all. How that all-to-all moves depends on
+// the group's interconnect (sim/topology/):
+//
+//   * PCIe tree (the default; G8x cards had no peer path, as in 2008):
+//     host-staged — phase 1's downloads land in one host work volume and
+//     phase 2's uploads read it back, each leg costed through the owning
+//     card's (bridge-derated) PCIe model. No extra copies beyond what
+//     out-of-core already does: the exchange IS the d2h1/h2d2 traffic.
+//   * Peer fabrics (mesh, torus): direct — each residue's planes leave
+//     the producer over DeviceGroup::d2d_async in ring order (member
+//     mi sends to mi, mi+1, ... mod N), landing in a per-member receive
+//     buffer; on the torus each transfer store-and-forwards along its
+//     dimension-ordered route, occupying every intermediate hop's DMA
+//     engines and the per-link FIFOs. Phase 2 then runs in place on the
+//     receive buffer — no host staging, no global barrier; each member
+//     starts when its own receives (tracked by a per-member Event) and
+//     its own phase-1 tails are done.
+//
+// On peer fabrics the plan also supports a *pencil* decomposition
+// (Decomposition::Pencil): each member owns one (plane-group, Y-block)
+// unit, so N can grow to local_nz * (n / ny) instead of saturating at
+// min(shards, local_nz). The slab-vs-pencil choice is made by the
+// planner (choose_decomposition, planner.h) from topology_model_ms,
+// which is keyed on the topology's bisection_gbs(). Both decompositions
+// are bit-identical to the host reference: the phase-2 pencil kernel is
+// independent per (x, y) pencil, so splitting its slab along Y changes
+// nothing functionally.
 //
 // Per device the schedule is exactly the out-of-core one: two slab leases,
 // two streams, residues (and phase-2 groups) alternating between them, so
@@ -59,8 +79,48 @@
 
 namespace repro::gpufft {
 
+/// How the Z-decimated volume is split across members for phase 2.
+enum class Decomposition {
+  /// Each member owns a contiguous block of whole plane groups (the PR 3
+  /// scheme). Member count saturates at min(shards, n/shards).
+  Slab,
+  /// Each member owns one (plane group, Y block) unit: nm = local_nz *
+  /// y_blocks members, each running the phase-2 pencil FFT over an
+  /// (n, n/y_blocks, shards) sub-slab. Peer fabrics only — the finer
+  /// units would multiply host-staged traffic, but direct legs pay only
+  /// wire time. Scales to N = 64 and beyond.
+  Pencil,
+};
+
+/// How the all-to-all between the phases physically moves.
+enum class Exchange {
+  HostStaged,  ///< through the host work volume (the only tree option)
+  Peer,        ///< DeviceGroup::d2d_async legs over the fabric
+};
+
+/// The geometry one sharded run actually uses: resolved from the
+/// topology, the preferred decomposition, and the alive member set.
+struct ShardLayout {
+  Decomposition decomp{Decomposition::Slab};
+  Exchange exchange{Exchange::HostStaged};
+  std::size_t members{1};         ///< phase-2 workers (prefix of alive)
+  std::size_t phase1_members{1};  ///< phase-1 residue owners
+  std::size_t y_blocks{1};        ///< pencil: Y splits per plane group
+};
+
+/// Resolve the layout `devices` cards would use on `topo` (all assumed
+/// alive) for the preferred decomposition; falls back to Slab (and to
+/// HostStaged) when the preference is infeasible. The plans apply the
+/// same rules against the live group, so this is also the model's
+/// geometry oracle.
+ShardLayout shard_layout(const sim::Topology& topo, std::size_t n,
+                         std::size_t shards, std::size_t devices,
+                         Decomposition preferred);
+
 /// Per-device timing buckets of one sharded run (duration sums, schedule
-/// independent; the exchange is the d2h1 + h2d2 legs).
+/// independent; the exchange is the d2h1 + h2d2 legs — for peer
+/// exchanges, a leg's send side lands in d2h1 and its receive side in
+/// h2d2, so the buckets keep their meaning across topologies).
 struct ShardTiming {
   double h2d1_ms{}, fft1_ms{}, twiddle_ms{}, d2h1_ms{};
   double h2d2_ms{}, fft2_ms{}, d2h2_ms{};
@@ -216,6 +276,17 @@ class ShardedFft3DPlan final : public PlanBaseT<float> {
   [[nodiscard]] std::size_t n() const { return n_; }
   [[nodiscard]] std::size_t shards() const { return shards_; }
 
+  /// The decomposition the next run will prefer. The constructor seeds
+  /// it from choose_decomposition (planner.h) on peer-capable groups;
+  /// the setter exists for A/B studies (bench_topology) and tests.
+  [[nodiscard]] Decomposition decomposition() const { return decomp_; }
+  void set_decomposition(Decomposition d) { decomp_ = d; }
+
+  /// Geometry the last execute()/execute_host() actually ran with.
+  [[nodiscard]] const ShardLayout& last_layout() const {
+    return last_layout_;
+  }
+
   /// Breakdown of the last execute()/execute_host().
   [[nodiscard]] const ShardedTiming& last_timing() const {
     return last_timing_;
@@ -230,7 +301,7 @@ class ShardedFft3DPlan final : public PlanBaseT<float> {
   struct VolumeCtx;
 
   [[nodiscard]] std::unique_ptr<VolumeCtx> make_ctx(
-      const std::vector<std::size_t>& members);
+      const std::vector<std::size_t>& members, const ShardLayout& layout);
 
   /// Enqueue one full volume (phase 1, group-wide exchange fence, phase
   /// 2) on `ctx`'s streams without draining them. Buckets accumulate into
@@ -254,15 +325,18 @@ class ShardedFft3DPlan final : public PlanBaseT<float> {
                       ShardedTiming& timing);
 
   /// One full run over the device subset `members` (indices into the
-  /// group). The failover wrapper in execute() re-invokes this with the
-  /// surviving members when a card is lost mid-run.
+  /// group) with the resolved `layout`. The failover wrapper in
+  /// execute() re-invokes this with the surviving members (and their
+  /// re-resolved layout) when a card is lost mid-run.
   ShardedTiming run_on(const std::vector<std::size_t>& members,
-                       std::span<cxf> host_data);
+                       const ShardLayout& layout, std::span<cxf> host_data);
 
   sim::DeviceGroup* group_;
   TuneConfig opt_;
   std::size_t n_;
   std::size_t shards_;
+  Decomposition decomp_{Decomposition::Slab};
+  ShardLayout last_layout_{};
   Shape3 slab_shape_;
   std::vector<std::shared_ptr<FftPlan>> slab_plans_;  ///< one per device
   std::vector<cxf> host_work_;
@@ -340,9 +414,11 @@ class ShardedRealFft3DPlan final : public PlanBaseT<float> {
 
  private:
   /// One full run over the device subset `members` (indices into the
-  /// group); re-invoked on the survivors after a device loss.
+  /// group) with the resolved `layout` (always Slab — the split real
+  /// layout's per-plane tail rows make pencil Y-splitting not worth the
+  /// scatter); re-invoked on the survivors after a device loss.
   ShardedTiming run_on(const std::vector<std::size_t>& members,
-                       std::span<cxf> host_data);
+                       const ShardLayout& layout, std::span<cxf> host_data);
 
   sim::DeviceGroup* group_;
   TuneConfig opt_;
@@ -387,5 +463,24 @@ double sharded_batch_model_ms(const ShardPhases& p, const sim::GpuSpec& spec,
                               std::size_t n, std::size_t shards,
                               std::size_t devices, std::size_t batch,
                               BatchMode mode = BatchMode::Pipelined);
+
+/// Closed-form makespan of the topology-aware sharded schedule for
+/// `devices` homogeneous cards on `topo`, preferring `decomp`. Resolves
+/// the same ShardLayout the plan would (shard_layout); a host-staged
+/// layout delegates to sharded_model_ms, a peer layout replays the
+/// exact enqueue order — per-plane uploads, lumped compute, ring-ordered
+/// d2d legs through per-link FIFOs and both endpoints' DMA engines,
+/// per-member receive fences, pencil or slab phase 2 — through the
+/// scheduler's start-at-max(stream tail, engine free, link free) rule,
+/// then applies the aggregate bisection floor: half the exchanged bytes
+/// must cross the worst even cut, so makespan >= exchange_bytes / 2 /
+/// bisection_gbs(). Pass the probe for the *slab* geometry
+/// (probe_shard_phases); pencil-specific kernel times are probed
+/// internally. Cross-checked against the scheduler by bench_topology
+/// (<= 5%).
+double topology_model_ms(const ShardPhases& p, const sim::GpuSpec& spec,
+                         const sim::Topology& topo, std::size_t n,
+                         std::size_t shards, std::size_t devices,
+                         Decomposition decomp, Direction dir);
 
 }  // namespace repro::gpufft

@@ -83,10 +83,11 @@ void FftService::run_batch(const std::vector<FftRequest>& batch,
     REPRO_CHECK(plan != nullptr);
     done = plan->execute_batch(spans).volume_done_ms;
   } else if (desc.kind == PlanKind::Sharded3D) {
-    // Complex fleet volumes: the modeled deal-vs-shard choice.
+    // Complex fleet volumes: the modeled deal-vs-shard choice, keyed on
+    // the fabric (peer layouts shard wider and skip the bridge).
     const gpufft::BatchChoice choice = gpufft::choose_batch_strategy(
-        phases_for(desc), group_.device(0).spec(), n, desc.splits,
-        group_.alive_count(), batch.size(), cfg_.mode);
+        phases_for(desc), group_.device(0).spec(), group_.topo(), desc.dir,
+        n, desc.splits, group_.alive_count(), batch.size(), cfg_.mode);
     strategy = choice.strategy;
     if (choice.strategy == BatchStrategy::Deal) {
       auto plan = std::dynamic_pointer_cast<gpufft::BatchShardedFft3DPlan>(
@@ -119,6 +120,8 @@ void FftService::run_batch(const std::vector<FftRequest>& batch,
 
 ServiceReport FftService::run() {
   ServiceReport rep;
+  rep.topology = group_.topo().kind();
+  rep.bisection_gbs = group_.topo().bisection_gbs();
   rep.rejected_queue_full = rejected_queue_full_;
   rep.rejected_bytes = rejected_bytes_;
   rep.max_queue_depth = peak_queue_depth_;

@@ -26,6 +26,7 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -82,6 +83,10 @@ struct ServiceReport {
   double volumes_per_sec = 0.0;
   LatencySummary latency;
   std::uint64_t device_lost_failovers = 0;  ///< during this run
+  /// The fleet's interconnect, for dashboards correlating throughput
+  /// with the fabric: Topology::kind() and its closed-form bisection.
+  std::string topology;
+  double bisection_gbs = 0.0;
   std::vector<CompletionRecord> completions;
 };
 

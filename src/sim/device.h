@@ -32,6 +32,7 @@
 // transfer, or launch throws DeviceLostError.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
 #include <span>
@@ -206,6 +207,27 @@ class Device {
   /// clock joined with every live stream's timeline. Identical to the old
   /// serial clock when no streams are used.
   [[nodiscard]] double elapsed_ms() const;
+
+  /// Earliest time a new op could start on `e`, ignoring stream tails:
+  /// the engine FIFO's free point joined with the submission clock.
+  /// DeviceGroup::d2d_async uses this to reserve topology links at the
+  /// moment the sending DMA engine can actually drive them.
+  [[nodiscard]] double next_free_ms(Engine e) const {
+    double ns = clock_ns_;
+    switch (e) {
+      case Engine::Compute:
+        ns = std::max(ns, compute_free_ns_);
+        break;
+      case Engine::DmaH2D:
+        ns = std::max(ns, dma_free_ns_[0]);
+        break;
+      default:
+        ns = std::max(ns, dma_free_ns_[spec_.dma_engines == 2 ? 1 : 0]);
+        break;
+    }
+    return ns * 1e-6;
+  }
+
   [[nodiscard]] double h2d_ms() const { return h2d_ns_ * 1e-6; }
   [[nodiscard]] double d2h_ms() const { return d2h_ns_ * 1e-6; }
   [[nodiscard]] std::uint64_t h2d_bytes() const { return h2d_bytes_; }

@@ -1,17 +1,17 @@
 #include "sim/device_group.h"
 
+#include "sim/topology/pcie_tree.h"
+
 namespace repro::sim {
 
 namespace {
 
-/// Derate one card's PCIe link against the shared bridge: with `n` cards
-/// active, each can sustain at most aggregate/n per direction.
-GpuSpec derate_for_bridge(GpuSpec spec, const GroupTopology& topo,
-                          std::size_t n) {
-  const double share_h2d = topo.aggregate_h2d_gbs / static_cast<double>(n);
-  const double share_d2h = topo.aggregate_d2h_gbs / static_cast<double>(n);
-  spec.pcie.h2d_gbs = std::min(spec.pcie.h2d_gbs, share_h2d);
-  spec.pcie.d2h_gbs = std::min(spec.pcie.d2h_gbs, share_d2h);
+/// Derate one card's PCIe link against the shared host bridge: with N
+/// cards active each can sustain at most aggregate/N per direction
+/// (Topology::host_share_*, the PR 3 rule).
+GpuSpec derate_for_bridge(GpuSpec spec, const Topology& topo) {
+  spec.pcie.h2d_gbs = topo.host_share_h2d_gbs(spec.pcie.h2d_gbs);
+  spec.pcie.d2h_gbs = topo.host_share_d2h_gbs(spec.pcie.d2h_gbs);
   return spec;
 }
 
@@ -20,23 +20,51 @@ std::vector<GpuSpec> replicate(std::size_t count, const GpuSpec& spec) {
   return std::vector<GpuSpec>(count, spec);
 }
 
+/// Wrap the legacy aggregate-bandwidth struct into the tree topology it
+/// always described (the Topology base checks positivity).
+std::shared_ptr<Topology> wrap_legacy(const GroupTopology& topo,
+                                      std::size_t n) {
+  return std::make_shared<PcieTreeTopology>(n, topo.aggregate_h2d_gbs,
+                                            topo.aggregate_d2h_gbs);
+}
+
 }  // namespace
 
-DeviceGroup::DeviceGroup(std::vector<GpuSpec> specs, GroupTopology topo)
-    : topo_(topo) {
+DeviceGroup::DeviceGroup(std::vector<GpuSpec> specs, GroupTopology topo) {
   REPRO_CHECK(!specs.empty());
-  REPRO_CHECK(topo_.aggregate_h2d_gbs > 0.0 && topo_.aggregate_d2h_gbs > 0.0);
-  devices_.reserve(specs.size());
-  for (const GpuSpec& s : specs) {
-    devices_.push_back(
-        std::make_unique<Device>(derate_for_bridge(s, topo_, specs.size())));
-    devices_.back()->set_ordinal(static_cast<int>(devices_.size()) - 1);
-  }
+  REPRO_CHECK(topo.aggregate_h2d_gbs > 0.0 && topo.aggregate_d2h_gbs > 0.0);
+  interconnect_ = wrap_legacy(topo, specs.size());
+  build(std::move(specs));
 }
 
 DeviceGroup::DeviceGroup(std::size_t count, const GpuSpec& spec,
                          GroupTopology topo)
     : DeviceGroup(replicate(count, spec), topo) {}
+
+DeviceGroup::DeviceGroup(std::vector<GpuSpec> specs,
+                         std::shared_ptr<Topology> topo)
+    : interconnect_(std::move(topo)) {
+  REPRO_CHECK(!specs.empty());
+  REPRO_CHECK(interconnect_ != nullptr);
+  REPRO_CHECK_MSG(interconnect_->size() == specs.size(),
+                  "topology size must match the device count");
+  build(std::move(specs));
+}
+
+DeviceGroup::DeviceGroup(std::size_t count, const GpuSpec& spec,
+                         std::shared_ptr<Topology> topo)
+    : DeviceGroup(replicate(count, spec), std::move(topo)) {}
+
+void DeviceGroup::build(std::vector<GpuSpec> specs) {
+  topo_ = {interconnect_->aggregate_h2d_gbs(),
+           interconnect_->aggregate_d2h_gbs()};
+  devices_.reserve(specs.size());
+  for (const GpuSpec& s : specs) {
+    devices_.push_back(
+        std::make_unique<Device>(derate_for_bridge(s, *interconnect_)));
+    devices_.back()->set_ordinal(static_cast<int>(devices_.size()) - 1);
+  }
+}
 
 double DeviceGroup::elapsed_ms() const {
   double ms = 0.0;
@@ -50,6 +78,7 @@ void DeviceGroup::advance_to_ms(double ms) {
 
 void DeviceGroup::reset_clocks() {
   for (auto& d : devices_) d->reset_clock();
+  interconnect_->reset_links();
 }
 
 void DeviceGroup::sync_all() {

@@ -1,23 +1,26 @@
-// A fleet of simulated devices behind one host bridge.
+// A fleet of simulated devices behind a pluggable interconnect.
 //
 // DeviceGroup owns N sim::Device instances (homogeneous or mixed GpuSpecs)
 // that share a single simulated timeline: every member's clock starts at
 // the same origin, so "time t on card A" and "time t on card B" name the
 // same instant and cross-device ordering reduces to
-// Stream::wait_until_ms. There is no peer-to-peer link between the
-// simulated cards — G8x-era CUDA had none — so all inter-device traffic is
-// host-staged: a d2h on the producer, host memory, an h2d on the consumer,
-// each costed through the per-card PCIe model.
+// Stream::wait_until_ms. How the cards reach *each other* is a Topology
+// (sim/topology/): the default PcieTreeTopology has no peer links —
+// G8x-era CUDA had none — so all inter-device traffic is host-staged (a
+// d2h on the producer, host memory, an h2d on the consumer, each costed
+// through the per-card PCIe model), while the peer fabrics
+// (PeerMeshTopology, Torus2DTopology) route direct device-to-device legs
+// through d2d_async below.
 //
-// The cards do share the host's chipset, and N concurrent PCIe links
-// cannot each sustain their full rate through one bridge. GroupTopology
-// models that: each member's effective per-direction PCIe bandwidth is
-// derated at construction to min(card rate, aggregate rate / N). With the
-// default PCIe-2.0 chipset (12.8 GB/s per direction) a single 8800-class
-// card (≈5.2 GB/s) is unaffected — a group of one is bit- and
-// timeline-identical to a bare Device — while four cards are bridge-bound
-// at 3.2 GB/s each, which is exactly the honest sublinearity the sharded
-// FFT benches report.
+// The cards may share the host's chipset, and N concurrent PCIe links
+// cannot each sustain their full rate through one bridge. The topology's
+// aggregate host bandwidth models that: each member's effective
+// per-direction PCIe bandwidth is derated at construction to min(card
+// rate, aggregate rate / N). With the default PCIe-2.0 chipset
+// (12.8 GB/s per direction) a single 8800-class card (≈5.2 GB/s) is
+// unaffected — a group of one is bit- and timeline-identical to a bare
+// Device — while four cards are bridge-bound at 3.2 GB/s each, which is
+// exactly the honest sublinearity the sharded FFT benches report.
 //
 // The group also accounts host staging buffers (the exchange volumes a
 // sharded plan keeps in host memory) so peak_bytes_in_flight() can check
@@ -28,13 +31,17 @@
 #include <algorithm>
 #include <cstddef>
 #include <memory>
+#include <span>
 #include <typeindex>
 #include <unordered_map>
 #include <vector>
 
 #include "common/check.h"
 #include "sim/device.h"
+#include "sim/errors.h"
 #include "sim/spec.h"
+#include "sim/stream.h"
+#include "sim/topology/topology.h"
 
 namespace repro::sim {
 
@@ -50,7 +57,31 @@ struct GroupTopology {
 
   /// No shared-bridge contention: every card keeps its full link rate
   /// regardless of group size (an idealized topology for A/B studies).
-  [[nodiscard]] static GroupTopology unshared() { return {1e12, 1e12}; }
+  /// kUnconstrainedGBs makes min(card rate, aggregate/N) always pick
+  /// the card's own rate without overflowing downstream arithmetic.
+  [[nodiscard]] static GroupTopology unshared() {
+    return {kUnconstrainedGBs, kUnconstrainedGBs};
+  }
+};
+
+/// Simulated duration of an on-device (cudaMemcpyDeviceToDevice) copy:
+/// the payload crosses DRAM twice (read + write) at the card's effective
+/// stream bandwidth. Used for the self-legs of a peer exchange, where a
+/// member's own planes never leave the card.
+inline double local_copy_ms(const GpuSpec& spec, std::size_t bytes) {
+  const double gbs =
+      spec.peak_bandwidth_gbs() * spec.dram.peak_efficiency / 2.0;
+  return static_cast<double>(bytes) / (gbs * 1e6);
+}
+
+/// One timed hop of a d2d_async transfer, for callers that account per
+/// device (ordinals are group ordinals; from == to marks a local copy).
+struct PeerLeg {
+  std::size_t from{};
+  std::size_t to{};
+  double start_ms{};  ///< when the send engine begins driving the link
+  double dur_ms{};    ///< wire time of this hop
+  double done_ms{};   ///< when the receive engine has the payload
 };
 
 class DeviceGroup {
@@ -63,6 +94,13 @@ class DeviceGroup {
   /// Homogeneous convenience: `count` copies of `spec`.
   DeviceGroup(std::size_t count, const GpuSpec& spec,
               GroupTopology topo = GroupTopology::pcie2_chipset());
+
+  /// Pluggable-interconnect constructors: the topology must span exactly
+  /// the group's device count. Host-bridge derating goes through
+  /// Topology::host_share_*; peer fabrics additionally enable d2d_async.
+  DeviceGroup(std::vector<GpuSpec> specs, std::shared_ptr<Topology> topo);
+  DeviceGroup(std::size_t count, const GpuSpec& spec,
+              std::shared_ptr<Topology> topo);
 
   DeviceGroup(const DeviceGroup&) = delete;
   DeviceGroup& operator=(const DeviceGroup&) = delete;
@@ -77,6 +115,85 @@ class DeviceGroup {
     return *devices_[i];
   }
   [[nodiscard]] const GroupTopology& topology() const { return topo_; }
+
+  /// The interconnect model (never null; legacy GroupTopology ctors wrap
+  /// into a PcieTreeTopology). Mutable because link-FIFO reservations are
+  /// timing state, like the engine FIFOs inside Device.
+  [[nodiscard]] Topology& topo() { return *interconnect_; }
+  [[nodiscard]] const Topology& topo() const { return *interconnect_; }
+
+  /// Direct device-to-device copy of `count` elements over the fabric,
+  /// asynchronous on the participating streams.
+  ///
+  /// The route comes from topo().route(src, dst); each hop occupies the
+  /// sender's D2H DMA engine and the receiver's H2D DMA engine for the
+  /// leg's wire time, serialized through the per-link FIFO
+  /// (Topology::reserve_link) so concurrent legs over one wire queue.
+  /// The first hop sends on `send_stream` (the caller's producing
+  /// stream, so the leg orders after the data it carries); forwarding
+  /// hops send on the intermediate device's entry in `exch_streams`
+  /// (indexed by group ordinal). Because a forwarder's receive of hop i
+  /// and send of hop i+1 land on the same exchange stream, stream FIFO
+  /// order gives store-and-forward fencing for free.
+  ///
+  /// src == dst is a local on-device copy (one D2H-engine op at DRAM
+  /// copy rate, no link crossed). Functionally the payload moves once,
+  /// on the final hop; intermediate hops carry timed occupancy only.
+  /// Throws DeviceLostError if any device on the route is lost — legs
+  /// are not injector occurrence points themselves; aliveness is
+  /// checked so failover re-routes around dead forwarders.
+  template <typename T>
+  std::vector<PeerLeg> d2d_async(std::size_t src, std::size_t dst,
+                                 const DeviceBuffer<T>& sbuf,
+                                 std::size_t soff, DeviceBuffer<T>& dbuf,
+                                 std::size_t doff, std::size_t count,
+                                 Stream& send_stream,
+                                 std::span<Stream* const> exch_streams) {
+    REPRO_CHECK(src < size() && dst < size());
+    REPRO_CHECK(soff + count <= sbuf.size());
+    REPRO_CHECK(doff + count <= dbuf.size());
+    const std::size_t bytes = count * sizeof(T);
+    std::vector<PeerLeg> legs;
+    if (src == dst) {
+      Device& dev = device(src);
+      if (dev.lost()) throw DeviceLostError(dev.device_ref());
+      const double dur = local_copy_ms(dev.spec(), bytes);
+      const double start =
+          dev.submit_timed(send_stream, Engine::DmaD2H, dur, "d2d local");
+      std::copy(sbuf.data() + soff, sbuf.data() + soff + count,
+                dbuf.data() + doff);
+      legs.push_back({src, dst, start, dur, start + dur});
+      return legs;
+    }
+    const std::vector<std::size_t> hops = interconnect_->route(src, dst);
+    REPRO_CHECK_MSG(hops.size() >= 2,
+                    "topology has no peer path between these members");
+    legs.reserve(hops.size() - 1);
+    for (std::size_t h = 0; h + 1 < hops.size(); ++h) {
+      const std::size_t a = hops[h];
+      const std::size_t b = hops[h + 1];
+      Device& da = device(a);
+      Device& db = device(b);
+      if (da.lost()) throw DeviceLostError(da.device_ref());
+      if (db.lost()) throw DeviceLostError(db.device_ref());
+      REPRO_CHECK_MSG(b < exch_streams.size() && exch_streams[b] != nullptr,
+                      "exchange stream missing for route hop");
+      Stream& ss = h == 0 ? send_stream : *exch_streams[a];
+      Stream& rs = *exch_streams[b];
+      const double dur = interconnect_->leg_ms(a, b, bytes);
+      const double ready =
+          std::max(ss.ready_ms(), da.next_free_ms(Engine::DmaD2H));
+      const double start = interconnect_->reserve_link(a, b, ready, dur);
+      ss.wait_until_ms(start);
+      const double s0 = da.submit_timed(ss, Engine::DmaD2H, dur, "d2d send");
+      rs.wait_until_ms(s0);
+      const double r0 = db.submit_timed(rs, Engine::DmaH2D, dur, "d2d recv");
+      legs.push_back({a, b, s0, dur, r0 + dur});
+    }
+    std::copy(sbuf.data() + soff, sbuf.data() + soff + count,
+              dbuf.data() + doff);
+    return legs;
+  }
 
   /// Convenience: member i's fault injector (created lazily).
   FaultInjector& faults(std::size_t i) { return device(i).faults(); }
@@ -179,7 +296,10 @@ class DeviceGroup {
   };
 
  private:
-  GroupTopology topo_;
+  void build(std::vector<GpuSpec> specs);
+
+  GroupTopology topo_;  ///< legacy aggregate view, mirrors interconnect_
+  std::shared_ptr<Topology> interconnect_;
   // unique_ptr: Device is pinned (streams and buffers hold raw pointers).
   std::vector<std::unique_ptr<Device>> devices_;
   std::size_t host_staging_bytes_ = 0;

@@ -1,0 +1,61 @@
+// NVLink-like all-to-all peer mesh.
+#pragma once
+
+#include "sim/topology/topology.h"
+
+namespace repro::sim {
+
+/// Every pair of cards has a dedicated full-duplex link (an NVLink-/
+/// NVSwitch-style fabric), and each card keeps its own full-rate host
+/// link (aggregate defaults to kUnconstrainedGBs: per-card root
+/// complexes, no shared chipset).
+class PeerMeshTopology final : public Topology {
+ public:
+  explicit PeerMeshTopology(std::size_t size, double link_gbs = 16.0,
+                            double link_latency_us = 2.0,
+                            double aggregate_h2d_gbs = kUnconstrainedGBs,
+                            double aggregate_d2h_gbs = kUnconstrainedGBs)
+      : Topology(size, aggregate_h2d_gbs, aggregate_d2h_gbs),
+        link_gbs_(link_gbs),
+        link_latency_ms_(link_latency_us * 1e-3) {
+    REPRO_CHECK_MSG(link_gbs_ > 0.0, "mesh link rate must be positive");
+  }
+
+  [[nodiscard]] std::string kind() const override { return "peer-mesh"; }
+  [[nodiscard]] bool peer_capable() const override { return size() > 1; }
+
+  [[nodiscard]] bool has_peer_path(std::size_t a,
+                                   std::size_t b) const override {
+    return a != b && a < size() && b < size();
+  }
+
+  [[nodiscard]] std::vector<std::size_t> route(std::size_t a,
+                                               std::size_t b) const override {
+    if (!has_peer_path(a, b)) return {};
+    return {a, b};
+  }
+
+  [[nodiscard]] double link_gbs(std::size_t a, std::size_t b) const override {
+    REPRO_CHECK_MSG(has_peer_path(a, b), "not a mesh link");
+    return link_gbs_;
+  }
+  [[nodiscard]] double link_latency_ms(std::size_t a,
+                                       std::size_t b) const override {
+    REPRO_CHECK_MSG(has_peer_path(a, b), "not a mesh link");
+    return link_latency_ms_;
+  }
+
+  /// floor(N/2) * link: although floor(N/2)*ceil(N/2) wires cross any
+  /// even cut, each card drives its links through one send port (one
+  /// DMA engine per direction in the simulator), so the smaller half's
+  /// port count bounds the crossing rate.
+  [[nodiscard]] double bisection_gbs() const override {
+    return static_cast<double>(size() / 2) * link_gbs_;
+  }
+
+ private:
+  double link_gbs_;
+  double link_latency_ms_;
+};
+
+}  // namespace repro::sim

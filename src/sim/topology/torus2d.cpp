@@ -1,0 +1,74 @@
+#include "sim/topology/torus2d.h"
+
+namespace repro::sim {
+namespace {
+
+/// One dimension-ordered walk along a ring of length `len`, from `from`
+/// to `to`, appending every node visited after the start.  Shorter wrap
+/// direction wins; ties go forward.
+template <typename NodeFn>
+void walk_ring(std::size_t from, std::size_t to, std::size_t len,
+               const NodeFn& node, std::vector<std::size_t>* out) {
+  if (from == to || len < 2) return;
+  const std::size_t fwd = (to + len - from) % len;
+  const std::size_t bwd = (from + len - to) % len;
+  const bool forward = fwd <= bwd;
+  const std::size_t steps = forward ? fwd : bwd;
+  std::size_t c = from;
+  for (std::size_t i = 0; i < steps; ++i) {
+    c = forward ? (c + 1) % len : (c + len - 1) % len;
+    out->push_back(node(c));
+  }
+}
+
+}  // namespace
+
+std::vector<std::size_t> Torus2DTopology::route(std::size_t a,
+                                                std::size_t b) const {
+  if (!has_peer_path(a, b)) return {};
+  const std::size_t ra = a / cols_;
+  const std::size_t ca = a % cols_;
+  const std::size_t rb = b / cols_;
+  const std::size_t cb = b % cols_;
+  std::vector<std::size_t> hops{a};
+  // X first (within the source row), then Y (within the dest column).
+  walk_ring(ca, cb, cols_,
+            [&](std::size_t c) { return ra * cols_ + c; }, &hops);
+  walk_ring(ra, rb, rows_,
+            [&](std::size_t r) { return r * cols_ + cb; }, &hops);
+  return hops;
+}
+
+bool Torus2DTopology::adjacent(std::size_t a, std::size_t b) const {
+  if (a == b || a >= size() || b >= size()) return false;
+  const std::size_t ra = a / cols_;
+  const std::size_t ca = a % cols_;
+  const std::size_t rb = b / cols_;
+  const std::size_t cb = b % cols_;
+  if (ra == rb && cols_ > 1) {
+    if (cb == (ca + 1) % cols_ || ca == (cb + 1) % cols_) return true;
+  }
+  if (ca == cb && rows_ > 1) {
+    if (rb == (ra + 1) % rows_ || ra == (rb + 1) % rows_) return true;
+  }
+  return false;
+}
+
+double Torus2DTopology::bisection_gbs() const {
+  double best = 0.0;
+  bool any = false;
+  const auto consider = [&](std::size_t dim, std::size_t other) {
+    if (dim < 2) return;
+    const double rings = dim == 2 ? 1.0 : 2.0;
+    const double cut = rings * static_cast<double>(other) * link_gbs_;
+    if (!any || cut < best) best = cut;
+    any = true;
+  };
+  consider(cols_, rows_);
+  consider(rows_, cols_);
+  // Degenerate 1x1 "torus": no cut exists; report the single link rate
+  // so downstream ratios stay finite.
+  return any ? best : link_gbs_;
+}
+
+}  // namespace repro::sim

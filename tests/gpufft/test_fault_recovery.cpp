@@ -4,6 +4,7 @@
 // throws, and the registry/cache byte watermark.
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -13,6 +14,7 @@
 #include "gpufft/outofcore.h"
 #include "gpufft/registry.h"
 #include "gpufft/sharded.h"
+#include "sim/topology/peer_mesh.h"
 
 namespace repro::gpufft {
 namespace {
@@ -223,6 +225,61 @@ TEST(FaultRecovery, DeviceLostFallsBackToDividingSurvivorSubset) {
   EXPECT_GT(t.devices[1].busy_ms(), 0.0);
   EXPECT_EQ(t.devices[2].busy_ms(), 0.0);
   EXPECT_EQ(t.devices[3].busy_ms(), 0.0);
+}
+
+TEST(FaultRecovery, DeviceLostReshardsOverPeerMeshExchange) {
+  // The failover path on a peer fabric: the all-to-all rides d2d legs,
+  // and a card dying mid-exchange must re-shard onto a surviving subset
+  // that still routes peer-to-peer (mesh {0, 2} after losing 1).
+  const std::size_t n = 32;
+  const std::size_t shards = 4;
+  const auto input = random_complex<float>(n * n * n, 109);
+
+  // Probe the occurrence domain and the reference on an identical mesh
+  // (peer runs count different ops than host-staged ones).
+  std::vector<cxf> ref;
+  std::uint64_t ops = 0;
+  {
+    sim::DeviceGroup mesh(4, sim::geforce_8800_gts(),
+                          std::make_shared<sim::PeerMeshTopology>(4));
+    ShardedFft3DPlan plan(mesh, n, shards, Direction::Forward);
+    auto& inj = mesh.faults(1);
+    inj.reset_counters();
+    std::vector<cxf> data = input;
+    plan.execute(std::span<cxf>(data));
+    ASSERT_EQ(plan.last_layout().exchange, Exchange::Peer);
+    ref = std::move(data);
+    ops = inj.occurrences(FaultKind::DeviceLost);
+  }
+  ASSERT_GT(ops, 2u);
+
+  for (const std::uint64_t nth : {std::uint64_t{1}, ops / 2, ops}) {
+    sim::DeviceGroup mesh(4, sim::geforce_8800_gts(),
+                          std::make_shared<sim::PeerMeshTopology>(4));
+    ShardedFft3DPlan plan(mesh, n, shards, Direction::Forward);
+    const RecoveryCounters before = recovery_counters();
+    mesh.faults(1).arm(FaultKind::DeviceLost, nth);
+    std::vector<cxf> data = input;
+    const ShardedTiming t = plan.execute(std::span<cxf>(data));
+    const RecoveryCounters after = recovery_counters();
+
+    EXPECT_TRUE(bit_identical(data, ref)) << "nth=" << nth;
+    EXPECT_GE(after.device_lost_failovers - before.device_lost_failovers,
+              1u);
+    EXPECT_TRUE(mesh.device(1).lost());
+    // The rerun still used direct legs over the surviving pair — not a
+    // silent host-staged downgrade.
+    EXPECT_EQ(plan.last_layout().exchange, Exchange::Peer);
+    EXPECT_EQ(plan.last_layout().members, 2u);
+    ASSERT_EQ(t.devices.size(), 4u);
+    EXPECT_GT(t.devices[0].busy_ms(), 0.0);
+    EXPECT_EQ(t.devices[1].busy_ms(), 0.0);
+
+    // The reduced fleet keeps serving volumes.
+    std::vector<cxf> again = input;
+    plan.execute(std::span<cxf>(again));
+    EXPECT_TRUE(bit_identical(again, ref)) << "nth=" << nth;
+  }
 }
 
 TEST(FaultRecovery, ShardedRealDeviceLostFailsOver) {

@@ -197,6 +197,46 @@ TEST(Wisdom, WrongSpecIsRejectedWhole) {
   EXPECT_EQ(reg.wisdom_size(), 0u);
 }
 
+TEST(Wisdom, SchemaVersionRoundTripsAndStaleIsRejectedWhole) {
+  const auto desc = PlanDesc::bandwidth3d(cube(64), Direction::Forward);
+  std::string wisdom;
+  {
+    Device dev(sim::geforce_8800_gtx());
+    auto& reg = PlanRegistry::of(dev);
+    reg.tuned_config(desc);
+    wisdom = reg.export_wisdom();
+  }
+  // Export stamps the current schema, and a same-build import accepts it.
+  EXPECT_NE(wisdom.find("schema " + std::to_string(kWisdomSchemaVersion)),
+            std::string::npos);
+  Device dev(sim::geforce_8800_gtx());
+  auto& reg = PlanRegistry::of(dev);
+  ASSERT_EQ(reg.import_wisdom(wisdom), 1u);
+  reg.clear();
+
+  // Wisdom from an older cost model (schema line with a different
+  // number) is rejected all-or-nothing with a clear message.
+  Device dev2(sim::geforce_8800_gtx());
+  auto& reg2 = PlanRegistry::of(dev2);
+  std::string stale = wisdom;
+  const auto pos = stale.find("schema ");
+  stale.replace(pos, std::string("schema ").size() + 1, "schema 1");
+  std::string reason;
+  EXPECT_EQ(reg2.import_wisdom(stale, &reason), 0u);
+  EXPECT_EQ(reg2.wisdom_size(), 0u);
+  EXPECT_NE(reason.find("schema 1"), std::string::npos);
+  EXPECT_NE(reason.find("re-tune"), std::string::npos);
+
+  // A pre-versioned file (no schema line at all) is rejected too.
+  std::string legacy = wisdom;
+  const auto line_end = legacy.find('\n', legacy.find("schema "));
+  legacy.erase(legacy.find("schema "), line_end - legacy.find("schema ") + 1);
+  reason.clear();
+  EXPECT_EQ(reg2.import_wisdom(legacy, &reason), 0u);
+  EXPECT_EQ(reg2.wisdom_size(), 0u);
+  EXPECT_NE(reason.find("older"), std::string::npos);
+}
+
 TEST(Wisdom, FileRoundTrip) {
   const auto desc = PlanDesc::bandwidth3d(cube(64), Direction::Forward);
   const std::string path =

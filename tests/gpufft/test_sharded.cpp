@@ -6,10 +6,16 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+
 #include "common/metrics.h"
 #include "common/rng.h"
 #include "fft/plan.h"
+#include "gpufft/real3d.h"
 #include "gpufft/registry.h"
+#include "sim/topology/pcie_tree.h"
+#include "sim/topology/peer_mesh.h"
+#include "sim/topology/torus2d.h"
 
 namespace repro::gpufft {
 namespace {
@@ -285,6 +291,263 @@ TEST(Sharded, BatchHostRunsVolumesBackToBack) {
   EXPECT_TRUE(bit_identical(v0, s0));
   EXPECT_TRUE(bit_identical(v1, s1));
   EXPECT_GT(plan.last_total_ms(), 0.0);
+}
+
+// ---------------------------------------------------------------------
+// Interconnect topologies: peer exchange and the pencil decomposition
+// ---------------------------------------------------------------------
+
+/// rows x cols covering `devices` exactly, squarest-first.
+std::shared_ptr<sim::Torus2DTopology> torus_for(std::size_t devices) {
+  std::size_t rows = 1;
+  for (std::size_t r = 1; r * r <= devices; ++r) {
+    if (devices % r == 0) rows = r;
+  }
+  return std::make_shared<sim::Torus2DTopology>(rows, devices / rows);
+}
+
+TEST(ShardedTopology, PeerFabricsBitIdenticalAcrossDeviceCounts) {
+  // The tentpole acceptance sweep: every topology, every fleet size,
+  // bit-identical to the single-device out-of-core reference. shards=16
+  // on n=64 gives local_nz=4, so slab saturates at 4 members and the
+  // larger meshes/tori exercise the pencil decomposition (py up to 16).
+  const std::size_t n = 64;
+  const std::size_t shards = 16;
+  const auto input = random_complex<float>(n * n * n, 41);
+  const auto ref =
+      out_of_core_reference(n, shards, Direction::Forward, input);
+  for (const std::size_t devices : {1u, 2u, 4u, 8u, 16u, 64u}) {
+    {
+      sim::DeviceGroup mesh(devices, sim::geforce_8800_gts(),
+                            std::make_shared<sim::PeerMeshTopology>(devices));
+      const auto out = sharded_run(mesh, n, shards, Direction::Forward, input);
+      EXPECT_TRUE(bit_identical(out, ref)) << "mesh devices=" << devices;
+    }
+    {
+      sim::DeviceGroup torus(devices, sim::geforce_8800_gts(),
+                             torus_for(devices));
+      const auto out =
+          sharded_run(torus, n, shards, Direction::Forward, input);
+      EXPECT_TRUE(bit_identical(out, ref)) << "torus devices=" << devices;
+    }
+  }
+}
+
+TEST(ShardedTopology, NonDividingFleetsFallBackToThePrefixBitIdentically) {
+  // N = 3, 5, 6 divide neither shards=4 nor local_nz: the plan runs on
+  // the largest usable prefix (2 or 4 cards) with peer legs, and the
+  // result must not care.
+  const std::size_t n = 64;
+  const std::size_t shards = 4;
+  const auto input = random_complex<float>(n * n * n, 42);
+  for (const Direction dir : {Direction::Forward, Direction::Inverse}) {
+    const auto ref = out_of_core_reference(n, shards, dir, input);
+    for (const std::size_t devices : {3u, 5u, 6u}) {
+      sim::DeviceGroup mesh(devices, sim::geforce_8800_gts(),
+                            std::make_shared<sim::PeerMeshTopology>(devices));
+      EXPECT_TRUE(bit_identical(sharded_run(mesh, n, shards, dir, input), ref))
+          << "mesh devices=" << devices;
+      sim::DeviceGroup torus(devices, sim::geforce_8800_gts(),
+                             torus_for(devices));
+      EXPECT_TRUE(
+          bit_identical(sharded_run(torus, n, shards, dir, input), ref))
+          << "torus devices=" << devices;
+    }
+  }
+}
+
+TEST(ShardedTopology, SlabAndPencilAgreeBitForBit) {
+  // The decomposition is a timing choice only: force both on the same
+  // mesh and compare against the reference and each other.
+  const std::size_t n = 64;
+  const std::size_t shards = 16;
+  const auto input = random_complex<float>(n * n * n, 43);
+  const auto ref =
+      out_of_core_reference(n, shards, Direction::Forward, input);
+  sim::DeviceGroup mesh(8, sim::geforce_8800_gts(),
+                        std::make_shared<sim::PeerMeshTopology>(8));
+  ShardedFft3DPlan plan(mesh, n, shards, Direction::Forward);
+
+  plan.set_decomposition(Decomposition::Slab);
+  auto a = input;
+  plan.execute(std::span<cxf>(a));
+  EXPECT_EQ(plan.last_layout().decomp, Decomposition::Slab);
+  EXPECT_EQ(plan.last_layout().exchange, Exchange::Peer);
+  EXPECT_EQ(plan.last_layout().members, 4u);  // slab caps at local_nz
+
+  plan.set_decomposition(Decomposition::Pencil);
+  auto b = input;
+  plan.execute(std::span<cxf>(b));
+  EXPECT_EQ(plan.last_layout().decomp, Decomposition::Pencil);
+  EXPECT_EQ(plan.last_layout().members, 8u);  // pencil uses the full mesh
+  EXPECT_EQ(plan.last_layout().y_blocks, 2u);
+
+  EXPECT_TRUE(bit_identical(a, ref));
+  EXPECT_TRUE(bit_identical(b, ref));
+}
+
+TEST(ShardedTopology, LayoutResolutionFollowsTheTopology) {
+  const std::size_t n = 64;
+  const std::size_t shards = 16;
+  // Trees never see peer legs, whatever the preference.
+  const sim::PcieTreeTopology tree(8);
+  const ShardLayout lt = shard_layout(tree, n, shards, 8,
+                                      Decomposition::Pencil);
+  EXPECT_EQ(lt.decomp, Decomposition::Slab);
+  EXPECT_EQ(lt.exchange, Exchange::HostStaged);
+  EXPECT_EQ(lt.members, 4u);
+  // A mesh of 64 resolves the full pencil grid.
+  const sim::PeerMeshTopology mesh(64);
+  const ShardLayout lm = shard_layout(mesh, n, shards, 64,
+                                      Decomposition::Pencil);
+  EXPECT_EQ(lm.decomp, Decomposition::Pencil);
+  EXPECT_EQ(lm.members, 64u);
+  EXPECT_EQ(lm.y_blocks, 16u);
+  EXPECT_EQ(lm.phase1_members, 16u);
+  // A single card is always the host-staged degenerate layout.
+  const ShardLayout l1 = shard_layout(mesh, n, shards, 1,
+                                      Decomposition::Pencil);
+  EXPECT_EQ(l1.members, 1u);
+  EXPECT_EQ(l1.exchange, Exchange::HostStaged);
+}
+
+TEST(ShardedTopology, PlannerPrefersPencilWhereItScales) {
+  // On a 16-wide mesh the slab layout strands 12 of 16 cards; the model
+  // must steer the constructor to pencil. A 4-wide mesh has no pencil
+  // option at all.
+  const sim::GpuSpec spec = sim::geforce_8800_gts();
+  const sim::PeerMeshTopology mesh16(16);
+  EXPECT_EQ(choose_decomposition(mesh16, spec, 64, 16, 16,
+                                 Direction::Forward),
+            Decomposition::Pencil);
+  const sim::PeerMeshTopology mesh4(4);
+  EXPECT_EQ(choose_decomposition(mesh4, spec, 64, 16, 4,
+                                 Direction::Forward),
+            Decomposition::Slab);
+  // The constructor applies the same call on peer-capable groups.
+  sim::DeviceGroup group(16, spec, std::make_shared<sim::PeerMeshTopology>(16));
+  ShardedFft3DPlan plan(group, 64, 16, Direction::Forward);
+  EXPECT_EQ(plan.decomposition(), Decomposition::Pencil);
+}
+
+TEST(ShardedTopology, TopologyModelTracksPeerMakespans) {
+  // The replayed model must stay within 5% of the scheduler on peer
+  // fabrics, for both decompositions.
+  const std::size_t n = 64;
+  const std::size_t shards = 16;
+  auto data = random_complex<float>(n * n * n, 44);
+  const sim::GpuSpec spec = sim::geforce_8800_gts();
+  const auto phases = probe_shard_phases(spec, n, shards, Direction::Forward);
+
+  struct Case {
+    std::shared_ptr<sim::Topology> topo;
+    std::size_t devices;
+    Decomposition decomp;
+  };
+  const Case cases[] = {
+      {std::make_shared<sim::PeerMeshTopology>(4), 4, Decomposition::Slab},
+      {std::make_shared<sim::PeerMeshTopology>(8), 8, Decomposition::Pencil},
+      {std::make_shared<sim::Torus2DTopology>(2, 4), 8, Decomposition::Pencil},
+  };
+  for (const Case& c : cases) {
+    sim::DeviceGroup group(c.devices, spec, c.topo);
+    ShardedFft3DPlan plan(group, n, shards, Direction::Forward);
+    plan.set_decomposition(c.decomp);
+    auto run = data;
+    const auto t = plan.execute(std::span<cxf>(run));
+    const double model = topology_model_ms(phases, spec, *c.topo, n, shards,
+                                           c.devices, c.decomp,
+                                           Direction::Forward);
+    EXPECT_NEAR(t.makespan_ms, model, 0.05 * model)
+        << c.topo->kind() << " x" << c.devices;
+  }
+}
+
+TEST(ShardedTopology, PeerExchangeSkipsTheHostBridge) {
+  // On the mesh the all-to-all rides d2d legs: the PCIe counters see
+  // exactly one volume up (phase 1) and one down (phase 2), not two.
+  const std::size_t n = 64;
+  const std::size_t shards = 4;
+  const std::uint64_t volume_bytes = n * n * n * sizeof(cxf);
+  auto data = random_complex<float>(n * n * n, 45);
+  sim::DeviceGroup mesh(4, sim::geforce_8800_gts(),
+                        std::make_shared<sim::PeerMeshTopology>(4));
+  ShardedFft3DPlan plan(mesh, n, shards, Direction::Forward);
+  mesh.reset_clocks();
+  const auto t = plan.execute(std::span<cxf>(data));
+  EXPECT_EQ(plan.last_layout().exchange, Exchange::Peer);
+  std::uint64_t up = 0;
+  std::uint64_t down = 0;
+  for (std::size_t d = 0; d < mesh.size(); ++d) {
+    up += mesh.device(d).h2d_bytes();
+    down += mesh.device(d).d2h_bytes();
+  }
+  EXPECT_EQ(up, volume_bytes);
+  EXPECT_EQ(down, volume_bytes);
+  EXPECT_GT(t.exchange_bytes(), 0u);
+}
+
+TEST(ShardedTopology, RealPlanRunsPeerExchangeBitIdentically) {
+  const std::size_t n = 64;
+  const std::size_t shards = 4;
+  const Shape3 shape = cube(n);
+  std::vector<float> reals(shape.volume());
+  SplitMix64 rng(46);
+  for (auto& x : reals) x = static_cast<float>(rng.uniform(-1.0, 1.0));
+  const auto padded = pack_real_volume<float>(reals, shape);
+  for (const Direction dir : {Direction::Forward, Direction::Inverse}) {
+    // Reference: the host-staged tree fleet (the PR 3 behavior).
+    sim::DeviceGroup tree(2, sim::geforce_8800_gts());
+    ShardedRealFft3DPlan ref_plan(tree, n, shards, dir);
+    auto ref = padded;
+    ref_plan.execute(std::span<cxf>(ref));
+
+    for (const std::size_t devices : {2u, 4u}) {
+      sim::DeviceGroup mesh(devices, sim::geforce_8800_gts(),
+                            std::make_shared<sim::PeerMeshTopology>(devices));
+      ShardedRealFft3DPlan plan(mesh, n, shards, dir);
+      auto got = padded;
+      plan.execute(std::span<cxf>(got));
+      EXPECT_TRUE(bit_identical(got, ref))
+          << "devices=" << devices
+          << " dir=" << (dir == Direction::Forward ? "fwd" : "inv");
+    }
+  }
+}
+
+TEST(ShardedTopology, BatchPipelinesOverThePeerFabric) {
+  const std::size_t n = 32;
+  const std::size_t shards = 4;
+  sim::DeviceGroup mesh(4, sim::geforce_8800_gts(),
+                        std::make_shared<sim::PeerMeshTopology>(4));
+  ShardedFft3DPlan plan(mesh, n, shards, Direction::Forward);
+  auto v0 = random_complex<float>(n * n * n, 47);
+  auto v1 = random_complex<float>(n * n * n, 48);
+  auto v2 = random_complex<float>(n * n * n, 49);
+  auto s0 = v0;
+  auto s1 = v1;
+  auto s2 = v2;
+  for (auto* s : {&s0, &s1, &s2}) plan.execute(std::span<cxf>(*s));
+
+  std::vector<std::span<cxf>> volumes{std::span<cxf>(v0), std::span<cxf>(v1),
+                                      std::span<cxf>(v2)};
+  const auto t = plan.execute_batch(volumes, BatchMode::Pipelined);
+  EXPECT_TRUE(bit_identical(v0, s0));
+  EXPECT_TRUE(bit_identical(v1, s1));
+  EXPECT_TRUE(bit_identical(v2, s2));
+  ASSERT_EQ(t.volume_done_ms.size(), 3u);
+  EXPECT_GT(t.makespan_ms, 0.0);
+  // Pipelining must not be slower than three serial volumes.
+  sim::DeviceGroup mesh2(4, sim::geforce_8800_gts(),
+                         std::make_shared<sim::PeerMeshTopology>(4));
+  ShardedFft3DPlan serial(mesh2, n, shards, Direction::Forward);
+  auto w0 = s0;
+  auto w1 = s1;
+  auto w2 = s2;
+  std::vector<std::span<cxf>> wv{std::span<cxf>(w0), std::span<cxf>(w1),
+                                 std::span<cxf>(w2)};
+  const auto ts = serial.execute_batch(wv, BatchMode::Serial);
+  EXPECT_LE(t.makespan_ms, ts.makespan_ms * (1.0 + 1e-9));
 }
 
 }  // namespace

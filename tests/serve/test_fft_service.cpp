@@ -4,9 +4,12 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+
 #include "common/rng.h"
 #include "serve/workload.h"
 #include "sim/fault.h"
+#include "sim/topology/peer_mesh.h"
 
 namespace repro::serve {
 namespace {
@@ -41,6 +44,9 @@ TEST(FftService, DrainsMixedSmokeWorkload) {
   EXPECT_GE(rep.latency.p99_ms, rep.latency.p50_ms);
   EXPECT_GE(rep.latency.max_ms, rep.latency.p99_ms);
   EXPECT_EQ(rep.max_queue_depth, workload.requests().size());
+  // The report names the fabric it served over (the default tree here).
+  EXPECT_EQ(rep.topology, "pcie-tree");
+  EXPECT_DOUBLE_EQ(rep.bisection_gbs, 12.8 / 2.0);
   // Every request completed at or after its arrival.
   std::vector<bool> seen(workload.requests().size(), false);
   for (const auto& c : rep.completions) {
@@ -79,6 +85,42 @@ TEST(FftService, ResultsMatchDirectExecution) {
   }
   const ServiceReport rep = service.run();
   EXPECT_EQ(rep.completed, volumes.size());
+  for (std::size_t k = 0; k < volumes.size(); ++k) {
+    EXPECT_TRUE(bit_identical(volumes[k], expect[k])) << k;
+  }
+}
+
+TEST(FftService, ServesOverPeerFabricsAndReportsTheTopology) {
+  // Same requests over a mesh fleet: identical results (the exchange
+  // path is functionally invisible) and the report names the fabric.
+  const std::size_t n = 32;
+  const auto desc = PlanDesc::sharded3d(n, 4, Direction::Forward);
+  std::vector<std::vector<cxf>> volumes;
+  for (std::size_t k = 0; k < 2; ++k) {
+    volumes.push_back(random_complex<float>(n * n * n, 60 + k));
+  }
+  std::vector<std::vector<cxf>> expect = volumes;
+  {
+    sim::DeviceGroup ref_group(2, sim::geforce_8800_gts());
+    gpufft::ShardedFft3DPlan ref(ref_group, n, 4, Direction::Forward);
+    for (auto& v : expect) ref.execute(std::span<cxf>(v));
+  }
+
+  sim::DeviceGroup mesh(4, sim::geforce_8800_gts(),
+                        std::make_shared<sim::PeerMeshTopology>(4));
+  FftService service(mesh);
+  for (std::size_t k = 0; k < volumes.size(); ++k) {
+    FftRequest req;
+    req.id = k;
+    req.desc = desc;
+    req.data = std::span<cxf>(volumes[k]);
+    req.arrival_ms = 0.1 * static_cast<double>(k);
+    ASSERT_EQ(service.submit(req), Admission::Accepted);
+  }
+  const ServiceReport rep = service.run();
+  EXPECT_EQ(rep.completed, volumes.size());
+  EXPECT_EQ(rep.topology, "peer-mesh");
+  EXPECT_DOUBLE_EQ(rep.bisection_gbs, 2.0 * 16.0);
   for (std::size_t k = 0; k < volumes.size(); ++k) {
     EXPECT_TRUE(bit_identical(volumes[k], expect[k])) << k;
   }
