@@ -1,36 +1,46 @@
-// Supplementary sweep (extension): the five-step kernel's GFLOPS and
-// achieved bandwidth across the whole supported cube range, filling in the
-// curve between the paper's three figure sizes. The paper's reading —
-// achieved bandwidth stays roughly flat while GFLOPS grows with the
-// flop:byte ratio (log N) — should be visible directly.
+// Supplementary sweep (extension): GFLOPS and achieved bandwidth across
+// the whole cube range, filling in the curve between the paper's three
+// figure sizes. The paper's reading — achieved bandwidth stays roughly
+// flat while GFLOPS grows with the flop:byte ratio (log N) — should be
+// visible directly. Non-pow2 points ride the same router the library
+// uses (PlanDesc::dense3d): pow2 edges run the five-step kernel, the
+// rest run the mixed-radix plan, so the sweep also shows the cost of
+// leaving the pow2 lattice.
 #include "bench_util.h"
+#include "common/rng.h"
 #include "gpufft/plan.h"
+#include "gpufft/registry.h"
 
 int main(int argc, char** argv) {
   using namespace repro;
   bench::init(&argc, argv);
-  bench::banner("Size sweep — five-step kernel, 16^3 .. 256^3");
+  bench::banner("Size sweep — dense cubes, 16^3 .. 256^3 (incl. non-pow2)");
 
   TextTable t;
   t.header({"N", "GT GFLOPS / GB/s", "GTS GFLOPS / GB/s",
             "GTX GFLOPS / GB/s"});
   const std::vector<std::size_t> sizes =
-      bench::smoke() ? std::vector<std::size_t>{16, 32}
-                     : std::vector<std::size_t>{16, 32, 64, 128, 256};
+      bench::smoke() ? std::vector<std::size_t>{16, 20, 32}
+                     : std::vector<std::size_t>{16, 20, 32, 60, 64, 100,
+                                                128, 240, 256};
   for (std::size_t n : sizes) {
     const Shape3 shape = cube(n);
     std::vector<std::string> cells{std::to_string(n) + "^3"};
     for (const auto& spec : sim::all_gpus()) {
       sim::Device dev(spec);
-      auto data = dev.alloc<cxf>(shape.volume());
-      gpufft::BandwidthFft3D plan(dev, shape, gpufft::Direction::Forward);
-      plan.execute(data);
-      const double ms = plan.last_total_ms();
+      auto plan = gpufft::PlanRegistry::of(dev).get_or_create(
+          gpufft::PlanDesc::dense3d(shape, gpufft::Direction::Forward));
+      auto data = random_complex<float>(shape.volume(), 3 + n);
+      plan->execute_host(std::span<cxf>(data));
+      const double ms = plan->last_total_ms();
       const double gflops = bench::reported_gflops(shape, ms);
-      // Useful traffic: 5 passes, read+write each.
+      // Useful traffic: read+write per pass — 5 passes for the
+      // five-step kernel, 3 axis passes for the mixed-radix plan.
+      const double passes =
+          plan->desc().kind == gpufft::PlanKind::Bandwidth3D ? 5.0 : 3.0;
       const double gbs =
-          10.0 * static_cast<double>(shape.volume()) * sizeof(cxf) /
-          (ms * 1e6);
+          2.0 * passes * static_cast<double>(shape.volume()) *
+          sizeof(cxf) / (ms * 1e6);
       cells.push_back(TextTable::fmt(gflops) + " / " + TextTable::fmt(gbs));
       bench::add_row({"sweep/" + std::to_string(n) + "/" + spec.name, ms,
                       {{"GFLOPS", gflops}, {"GBps", gbs}}});

@@ -2,7 +2,9 @@
 // verify the result against the host library, and look at the per-step
 // timing the paper's Table 7 reports.
 //
-//   $ ./quickstart [n]        (default n = 128; power of two in [16,256])
+//   $ ./quickstart [n]        (default n = 128; any n — pow2 runs the
+//                              five-step kernel, other sizes the
+//                              mixed-radix/Bluestein plan)
 #include <cstdlib>
 #include <iostream>
 
@@ -26,12 +28,14 @@ int main(int argc, char** argv) {
   const auto input = random_complex<float>(shape.volume(), 2008);
   dev.h2d(data, std::span<const cxf>(input));
 
-  // 2. Get a plan from the per-device registry and execute. A second
-  // get_or_create with the same description is a cache hit — twiddle
-  // tables and workspace are shared across every plan on the device.
+  // 2. Get a plan from the per-device registry and execute. dense3d is
+  // the size router: pow2 X picks the paper's five-step plan, anything
+  // else the mixed-radix/Bluestein plan. A second get_or_create with the
+  // same description is a cache hit — twiddle tables and workspace are
+  // shared across every plan on the device.
   auto& registry = gpufft::PlanRegistry::of(dev);
   auto plan = registry.get_or_create(
-      gpufft::PlanDesc::bandwidth3d(shape, gpufft::Direction::Forward));
+      gpufft::PlanDesc::dense3d(shape, gpufft::Direction::Forward));
   const auto steps = plan->execute(data);
 
   // 3. Download and verify against the host FFT library.

@@ -17,8 +17,8 @@ void scale_all(std::span<cx<T>> data, std::size_t n_points) {
 
 template <typename T>
 Plan1D<T>::Plan1D(std::size_t n, Direction dir, Scaling scaling)
-    : n_(n), scaling_(scaling), tw_(n, dir), scratch_(n) {
-  REPRO_CHECK_MSG(is_pow2(n), "Plan1D requires a power-of-two size");
+    : n_(n), scaling_(scaling), axis_(n, dir), scratch_(n) {
+  REPRO_CHECK_MSG(n >= 1, "Plan1D needs a positive size");
 }
 
 template <typename T>
@@ -32,7 +32,7 @@ void Plan1D<T>::execute(std::span<cx<T>> data, std::size_t batch) {
   // batched via the multirow row loop (row_stride = n).
   const MultirowLayout lo{n_, /*point_stride=*/1, /*nrows=*/batch,
                           /*row_stride=*/n_};
-  stockham_multirow<T>(data.data(), scratch_.data(), lo, tw_);
+  axis_.run(data.data(), scratch_.data(), lo);
   if (scaling_ == Scaling::ByN) {
     scale_all(data, n_);
   }
@@ -42,12 +42,11 @@ template <typename T>
 Plan3D<T>::Plan3D(Shape3 shape, Direction dir, Scaling scaling)
     : shape_(shape),
       scaling_(scaling),
-      twx_(shape.nx, dir),
-      twy_(shape.ny, dir),
-      twz_(shape.nz, dir),
+      ax_(shape.nx, dir),
+      ay_(shape.ny, dir),
+      az_(shape.nz, dir),
       scratch_(shape.volume()) {
-  REPRO_CHECK_MSG(is_pow2(shape.nx) && is_pow2(shape.ny) && is_pow2(shape.nz),
-                  "Plan3D requires power-of-two extents");
+  REPRO_CHECK_MSG(shape.volume() >= 1, "Plan3D needs a non-empty shape");
 }
 
 template <typename T>
@@ -58,18 +57,17 @@ void Plan3D<T>::execute(std::span<cx<T>> data) {
   const auto [nx, ny, nz] = shape_;
 
   // X axis: points unit-stride, one multirow call over all ny*nz lines.
-  stockham_multirow<T>(d, s, MultirowLayout{nx, 1, ny * nz, nx}, twx_);
+  ax_.run(d, s, MultirowLayout{nx, 1, ny * nz, nx});
 
   // Y axis: per z-plane, points stride nx, rows down x (unit stride) — the
   // classic multirow pattern that keeps the inner loop sequential in memory.
   for (std::size_t z = 0; z < nz; ++z) {
     const std::size_t off = z * nx * ny;
-    stockham_multirow<T>(d + off, s + off, MultirowLayout{ny, nx, nx, 1},
-                         twy_);
+    ay_.run(d + off, s + off, MultirowLayout{ny, nx, nx, 1});
   }
 
   // Z axis: points stride nx*ny, rows over the whole XY plane (unit stride).
-  stockham_multirow<T>(d, s, MultirowLayout{nz, nx * ny, nx * ny, 1}, twz_);
+  az_.run(d, s, MultirowLayout{nz, nx * ny, nx * ny, 1});
 
   if (scaling_ == Scaling::ByN) {
     scale_all(data, shape_.volume());

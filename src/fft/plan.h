@@ -1,6 +1,11 @@
-// User-facing host FFT plans (1-D, 2-D, 3-D; float and double; power-of-two
-// sizes). A plan owns its twiddle tables and scratch so repeated executions
+// User-facing host FFT plans (1-D, 2-D, 3-D; float and double; any sizes).
+// A plan owns its twiddle tables and scratch so repeated executions
 // allocate nothing — the FFTW-style "plan once, execute many" idiom.
+//
+// Sizes: every axis length is supported. 7-smooth lengths (factors 2/3/5/7)
+// run the mixed-radix Stockham engine directly; lengths with a larger prime
+// factor take the Bluestein/chirp-z fallback (bluestein.h). Both paths are
+// the bit-for-bit reference the simulated GPU plans are tested against.
 //
 // Conventions: Forward = exp(-2*pi*i*...), unscaled. Inverse = conjugate
 // kernel; Scaling::ByN divides by the transform volume so that
@@ -13,6 +18,7 @@
 
 #include "common/complex.h"
 #include "common/tensor.h"
+#include "fft/bluestein.h"
 #include "fft/stockham.h"
 #include "fft/twiddle.h"
 
@@ -34,12 +40,12 @@ class Plan1D {
   void execute(std::span<cx<T>> data, std::size_t batch = 1);
 
   [[nodiscard]] std::size_t size() const { return n_; }
-  [[nodiscard]] Direction direction() const { return tw_.direction(); }
+  [[nodiscard]] Direction direction() const { return axis_.direction(); }
 
  private:
   std::size_t n_;
   Scaling scaling_;
-  TwiddleTable<T> tw_;
+  AxisFft<T> axis_;
   std::vector<cx<T>> scratch_;
 };
 
@@ -53,14 +59,14 @@ class Plan3D {
   void execute(std::span<cx<T>> data);
 
   [[nodiscard]] Shape3 shape() const { return shape_; }
-  [[nodiscard]] Direction direction() const { return twx_.direction(); }
+  [[nodiscard]] Direction direction() const { return ax_.direction(); }
 
  private:
   Shape3 shape_;
   Scaling scaling_;
-  TwiddleTable<T> twx_;
-  TwiddleTable<T> twy_;
-  TwiddleTable<T> twz_;
+  AxisFft<T> ax_;
+  AxisFft<T> ay_;
+  AxisFft<T> az_;
   std::vector<cx<T>> scratch_;
 };
 

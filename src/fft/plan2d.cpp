@@ -8,11 +8,10 @@ template <typename T>
 Plan2D<T>::Plan2D(Shape2 shape, Direction dir, Scaling scaling)
     : shape_(shape),
       scaling_(scaling),
-      twx_(shape.nx, dir),
-      twy_(shape.ny, dir),
+      ax_(shape.nx, dir),
+      ay_(shape.ny, dir),
       scratch_(shape.area()) {
-  REPRO_CHECK_MSG(is_pow2(shape.nx) && is_pow2(shape.ny),
-                  "Plan2D requires power-of-two extents");
+  REPRO_CHECK_MSG(shape.area() >= 1, "Plan2D needs a non-empty shape");
 }
 
 template <typename T>
@@ -22,13 +21,9 @@ void Plan2D<T>::execute(std::span<cx<T>> data) {
   cx<T>* s = scratch_.data();
 
   // X axis: unit-stride points, one multirow call over all rows.
-  stockham_multirow<T>(d, s, MultirowLayout{shape_.nx, 1, shape_.ny,
-                                            shape_.nx},
-                       twx_);
+  ax_.run(d, s, MultirowLayout{shape_.nx, 1, shape_.ny, shape_.nx});
   // Y axis: points stride nx, rows down x (multirow).
-  stockham_multirow<T>(d, s, MultirowLayout{shape_.ny, shape_.nx, shape_.nx,
-                                            1},
-                       twy_);
+  ay_.run(d, s, MultirowLayout{shape_.ny, shape_.nx, shape_.nx, 1});
 
   if (scaling_ == Scaling::ByN) {
     const T f = static_cast<T>(1.0 / static_cast<double>(shape_.area()));

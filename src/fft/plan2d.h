@@ -24,7 +24,8 @@ struct Shape2 {
   }
 };
 
-/// 2-D complex-to-complex plan.
+/// 2-D complex-to-complex plan (any axis lengths; 7-smooth sizes run the
+/// mixed-radix Stockham engine, others the Bluestein fallback).
 template <typename T>
 class Plan2D {
  public:
@@ -38,8 +39,8 @@ class Plan2D {
  private:
   Shape2 shape_;
   Scaling scaling_;
-  TwiddleTable<T> twx_;
-  TwiddleTable<T> twy_;
+  AxisFft<T> ax_;
+  AxisFft<T> ay_;
   std::vector<cx<T>> scratch_;
 };
 

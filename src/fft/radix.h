@@ -47,6 +47,92 @@ inline void fft4(cx<T> v[4], int sign) {
 /// Real additions performed by fft4 (rot90 is a sign flip, not arithmetic).
 inline constexpr std::size_t kFft4Flops = 16;
 
+/// Natural-order 3-point DFT of v[0..2], in place. Winograd-style form:
+/// the constants are the real/imaginary parts of omega_3 to double
+/// precision, so host and device (which share this routine) agree
+/// bit-for-bit.
+template <typename T>
+inline void fft3(cx<T> v[3], int sign) {
+  constexpr double kSin3 = 0.8660254037844386467637232;  // sin(2*pi/3)
+  const cx<T> t = v[1] + v[2];
+  const cx<T> d = v[1] - v[2];
+  const cx<T> u = v[0] - t * static_cast<T>(0.5);
+  const cx<T> w = rot90(d * static_cast<T>(kSin3), sign);
+  v[0] = v[0] + t;
+  v[1] = u + w;
+  v[2] = u - w;
+}
+
+inline constexpr std::size_t kFft3Flops = 16;
+
+/// Natural-order 5-point DFT of v[0..4], in place, via the conjugate-pair
+/// symmetry X_{5-k} = u_k - i*s*w_k (real input pairs t/d).
+template <typename T>
+inline void fft5(cx<T> v[5], int sign) {
+  constexpr double kC1 = 0.3090169943749474241023;   // cos(2*pi/5)
+  constexpr double kS1 = 0.9510565162951535721164;   // sin(2*pi/5)
+  constexpr double kC2 = -0.8090169943749474241023;  // cos(4*pi/5)
+  constexpr double kS2 = 0.5877852522924731291687;   // sin(4*pi/5)
+  const cx<T> t1 = v[1] + v[4];
+  const cx<T> t2 = v[2] + v[3];
+  const cx<T> d1 = v[1] - v[4];
+  const cx<T> d2 = v[2] - v[3];
+  const cx<T> u1 = v[0] + t1 * static_cast<T>(kC1) + t2 * static_cast<T>(kC2);
+  const cx<T> u2 = v[0] + t1 * static_cast<T>(kC2) + t2 * static_cast<T>(kC1);
+  const cx<T> w1 =
+      rot90(d1 * static_cast<T>(kS1) + d2 * static_cast<T>(kS2), sign);
+  const cx<T> w2 =
+      rot90(d1 * static_cast<T>(kS2) - d2 * static_cast<T>(kS1), sign);
+  v[0] = v[0] + t1 + t2;
+  v[1] = u1 + w1;
+  v[4] = u1 - w1;
+  v[2] = u2 + w2;
+  v[3] = u2 - w2;
+}
+
+inline constexpr std::size_t kFft5Flops = 48;
+
+/// Natural-order 7-point DFT of v[0..6], in place (three conjugate pairs).
+template <typename T>
+inline void fft7(cx<T> v[7], int sign) {
+  constexpr double kC1 = 0.6234898018587335305251;   // cos(2*pi/7)
+  constexpr double kS1 = 0.7818314824680298087084;   // sin(2*pi/7)
+  constexpr double kC2 = -0.2225209339563144042889;  // cos(4*pi/7)
+  constexpr double kS2 = 0.9749279121818236070181;   // sin(4*pi/7)
+  constexpr double kC3 = -0.9009688679024191262361;  // cos(6*pi/7)
+  constexpr double kS3 = 0.4338837391175581204758;   // sin(6*pi/7)
+  const cx<T> t1 = v[1] + v[6];
+  const cx<T> t2 = v[2] + v[5];
+  const cx<T> t3 = v[3] + v[4];
+  const cx<T> d1 = v[1] - v[6];
+  const cx<T> d2 = v[2] - v[5];
+  const cx<T> d3 = v[3] - v[4];
+  const cx<T> u1 = v[0] + t1 * static_cast<T>(kC1) + t2 * static_cast<T>(kC2) +
+                   t3 * static_cast<T>(kC3);
+  const cx<T> u2 = v[0] + t1 * static_cast<T>(kC2) + t2 * static_cast<T>(kC3) +
+                   t3 * static_cast<T>(kC1);
+  const cx<T> u3 = v[0] + t1 * static_cast<T>(kC3) + t2 * static_cast<T>(kC1) +
+                   t3 * static_cast<T>(kC2);
+  const cx<T> w1 = rot90(d1 * static_cast<T>(kS1) + d2 * static_cast<T>(kS2) +
+                             d3 * static_cast<T>(kS3),
+                         sign);
+  const cx<T> w2 = rot90(d1 * static_cast<T>(kS2) - d2 * static_cast<T>(kS3) -
+                             d3 * static_cast<T>(kS1),
+                         sign);
+  const cx<T> w3 = rot90(d1 * static_cast<T>(kS3) - d2 * static_cast<T>(kS1) +
+                             d3 * static_cast<T>(kS2),
+                         sign);
+  v[0] = v[0] + t1 + t2 + t3;
+  v[1] = u1 + w1;
+  v[6] = u1 - w1;
+  v[2] = u2 + w2;
+  v[5] = u2 - w2;
+  v[3] = u3 + w3;
+  v[4] = u3 - w3;
+}
+
+inline constexpr std::size_t kFft7Flops = 96;
+
 /// Natural-order 8-point DFT, via 2x4 Cooley-Tukey with the size-8 twiddle
 /// table `w8` (w8[k] = exp(sign*2*pi*i*k/8)).
 template <typename T>

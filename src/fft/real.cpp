@@ -5,16 +5,21 @@
 
 #include "common/check.h"
 #include "common/tensor.h"
+#include "fft/factor.h"
 
 namespace repro::fft {
 namespace {
 
 /// Validate n before any member plan is built, so a bad length fails with
-/// this message rather than whichever sub-plan check trips first.
+/// this message rather than whichever sub-plan check trips first. The
+/// even-odd split trick needs an even n; the half-length complex plan
+/// handles any n/2 (mixed-radix or Bluestein).
 std::size_t checked_real_size(std::size_t n, const char* plan) {
-  REPRO_CHECK_MSG(is_pow2(n) && n >= 2,
-                  std::string(plan) + " needs a power of two >= 2, got " +
-                      std::to_string(n));
+  REPRO_CHECK_MSG(n >= 2 && n % 2 == 0,
+                  std::string(plan) + " needs an even size >= 2, got " +
+                      describe_size(n) +
+                      " — pad the real axis to an even length (the "
+                      "even/odd packing halves it)");
   return n;
 }
 
@@ -110,8 +115,9 @@ PlanR2C3D<T>::PlanR2C3D(Shape3 shape)
       pz_(shape.nz, Direction::Forward),
       line_(std::max(shape.ny, shape.nz)),
       rowbuf_(shape.nx / 2 + 1) {
-  REPRO_CHECK_MSG(is_pow2(shape.ny) && is_pow2(shape.nz),
-                  "PlanR2C3D needs power-of-two Y/Z extents");
+  // Y/Z extents are unrestricted: the line transforms route through the
+  // mixed-radix/Bluestein Plan1D. Only the real X axis must be even
+  // (checked by the PlanR2C member above).
 }
 
 template <typename T>
@@ -165,8 +171,8 @@ PlanC2R3D<T>::PlanC2R3D(Shape3 shape)
       line_(std::max(shape.ny, shape.nz)),
       rowbuf_(shape.nx / 2 + 1),
       spectrum_((shape.nx / 2 + 1) * shape.ny * shape.nz) {
-  REPRO_CHECK_MSG(is_pow2(shape.ny) && is_pow2(shape.nz),
-                  "PlanC2R3D needs power-of-two Y/Z extents");
+  // Y/Z extents are unrestricted (mixed-radix/Bluestein line transforms);
+  // the even-X requirement is checked by the PlanC2R member above.
 }
 
 template <typename T>

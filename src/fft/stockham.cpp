@@ -1,10 +1,12 @@
 #include "fft/stockham.h"
 
 #include <algorithm>
+#include <string>
 #include <utility>
 
 #include "common/check.h"
 #include "common/tensor.h"
+#include "fft/factor.h"
 #include "fft/radix.h"
 
 namespace repro::fft {
@@ -38,13 +40,23 @@ void stage(const cx<T>* src, cx<T>* dst, const MultirowLayout& lo,
           dst[ro + out0] = a + b;
           dst[ro + out0 + rs] = w[1] * (a - b);
         } else {
-          cx<T> v[4] = {src[ro + in0], src[ro + in0 + qs],
-                        src[ro + in0 + 2 * qs], src[ro + in0 + 3 * qs]};
-          fft4(v, sign);
+          cx<T> v[R];
+          for (std::size_t q = 0; q < R; ++q) {
+            v[q] = src[ro + in0 + q * qs];
+          }
+          if constexpr (R == 3) {
+            fft3(v, sign);
+          } else if constexpr (R == 4) {
+            fft4(v, sign);
+          } else if constexpr (R == 5) {
+            fft5(v, sign);
+          } else {
+            fft7(v, sign);
+          }
           dst[ro + out0] = v[0];
-          dst[ro + out0 + rs] = w[1] * v[1];
-          dst[ro + out0 + 2 * rs] = w[2] * v[2];
-          dst[ro + out0 + 3 * rs] = w[3] * v[3];
+          for (std::size_t r = 1; r < R; ++r) {
+            dst[ro + out0 + r * rs] = w[r] * v[r];
+          }
         }
       }
     }
@@ -56,11 +68,16 @@ void stage(const cx<T>* src, cx<T>* dst, const MultirowLayout& lo,
 template <typename T>
 void stockham_multirow(cx<T>* data, cx<T>* scratch, const MultirowLayout& lo,
                        const TwiddleTable<T>& tw) {
-  REPRO_CHECK(is_pow2(lo.n));
   REPRO_CHECK(tw.size() == lo.n);
   if (lo.n == 1) {
     return;
   }
+  const auto stages = radix_schedule(lo.n);
+  REPRO_CHECK_MSG(!stages.empty(),
+                  "stockham_multirow handles 7-smooth lengths only; got n=" +
+                      describe_size(lo.n) +
+                      " — route sizes with a prime factor > 7 through the "
+                      "Bluestein fallback (fft/bluestein.h)");
   const int sign = direction_sign(tw.direction());
 
   const cx<T>* src = data;
@@ -68,15 +85,23 @@ void stockham_multirow(cx<T>* data, cx<T>* scratch, const MultirowLayout& lo,
   cx<T>* ping = data;
   cx<T>* pong = scratch;
 
-  std::size_t m = 1;
-  while (m < lo.n) {
-    const std::size_t rem = lo.n / m;
-    if (rem % 4 == 0) {
-      stage<T, 4>(src, dst, lo, rem / 4, m, tw, sign);
-      m *= 4;
-    } else {
-      stage<T, 2>(src, dst, lo, rem / 2, m, tw, sign);
-      m *= 2;
+  for (const StageSpec& st : stages) {
+    switch (st.radix) {
+      case 2:
+        stage<T, 2>(src, dst, lo, st.l, st.m, tw, sign);
+        break;
+      case 3:
+        stage<T, 3>(src, dst, lo, st.l, st.m, tw, sign);
+        break;
+      case 4:
+        stage<T, 4>(src, dst, lo, st.l, st.m, tw, sign);
+        break;
+      case 5:
+        stage<T, 5>(src, dst, lo, st.l, st.m, tw, sign);
+        break;
+      default:
+        stage<T, 7>(src, dst, lo, st.l, st.m, tw, sign);
+        break;
     }
     std::swap(ping, pong);
     src = ping;

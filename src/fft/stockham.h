@@ -1,4 +1,4 @@
-// Iterative Stockham autosort FFT engine (mixed radix 4/2), with multirow
+// Iterative Stockham autosort FFT engine (mixed radix 4/2/3/5/7), with multirow
 // batching in the style of the vector-machine FFTs the paper builds on
 // (Swarztrauber'84, Van Loan'92): many independent transforms advance in
 // lockstep so the innermost loop runs down a unit-stride "row" dimension.
@@ -18,7 +18,7 @@ namespace repro::fft {
 /// Layout of a multirow transform: `nrows` independent length-`n` transforms.
 /// Point p of row r lives at data[r*row_stride + p*point_stride].
 struct MultirowLayout {
-  std::size_t n{};             ///< transform length (power of two)
+  std::size_t n{};             ///< transform length (any 7-smooth size)
   std::size_t point_stride{};  ///< element stride between successive points
   std::size_t nrows{1};        ///< number of independent rows
   std::size_t row_stride{1};   ///< element stride between rows

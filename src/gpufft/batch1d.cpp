@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "fft/factor.h"
+
 namespace repro::gpufft {
 
 template <typename T>
@@ -15,7 +17,10 @@ Batch1DFftT<T>::Batch1DFftT(Device& dev, std::size_t n, std::size_t count,
       opt_(options),
       tw_(ResourceCache::of(dev).twiddles<T>(n, dir)) {
   REPRO_CHECK_MSG(is_pow2(n) && n >= 16 && n <= 512,
-                  "line length must be a power of two in [16, 512]");
+                  "batched lines run the fine radix-4/2 kernel, so the "
+                  "length must be a power of two in [16, 512]; got n=" +
+                      fft::describe_size(n) +
+                      " — the host fft::PlanBatch1D accepts any size");
   REPRO_CHECK(count > 0);
   REPRO_CHECK_MSG(options.executable_patterns(),
                   "only the paper's read-D/write-A coarse pattern pairing "

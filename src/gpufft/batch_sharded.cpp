@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
 
 #include "common/metrics.h"
+#include "fft/factor.h"
 #include "gpufft/registry.h"
 #include "gpufft/smallfft.h"
 
@@ -57,10 +59,16 @@ BatchShardedFft3DPlan::BatchShardedFft3DPlan(sim::DeviceGroup& group,
       group_(&group),
       n_(n),
       shards_(deal_shards(shards, tune)) {
-  REPRO_CHECK_MSG(n % shards_ == 0, "shards must divide n");
+  REPRO_CHECK_MSG(n % shards_ == 0,
+                  "shards must divide n; got n=" + fft::describe_size(n) +
+                      " shards=" + std::to_string(shards_));
   REPRO_CHECK_MSG(shards_ >= 2 && shards_ <= kMaxFactor,
                   "shards must be a supported small-FFT factor");
-  REPRO_CHECK(is_pow2(n) && is_pow2(shards_));
+  REPRO_CHECK_MSG(is_pow2(shards_),
+                  "the dealt out-of-core schedule decimates z with one "
+                  "power-of-two small-FFT rank; got shards=" +
+                      std::to_string(shards_) +
+                      " (n itself may be non-pow2)");
   desc_.tune = tune;
   // No group-divisibility constraints: dealing works for any member count
   // because each volume runs whole on one card.

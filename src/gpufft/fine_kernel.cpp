@@ -15,7 +15,12 @@ FineFftKernelT<T>::FineFftKernelT(DeviceBuffer<cx<T>>& in,
       params_(params),
       roots_n_(make_roots<T>(params.n, params.dir)),
       device_tw_(device_twiddles) {
-  REPRO_CHECK(is_pow2(params_.n) && params_.n >= 16);
+  REPRO_CHECK_MSG(is_pow2(params_.n) && params_.n >= 16,
+                  "the fine X-axis kernel runs radix-4/2 stages over "
+                  "power-of-two lengths in [16, 512]; got n=" +
+                      fft::describe_size(params_.n) +
+                      " — route non-pow2 X axes through the Mixed3D plan's "
+                      "MixedAxisKernelT (rank_kernels.h)");
   REPRO_CHECK_MSG(params_.threads_per_block % (params_.n / 4) == 0,
                   "block must hold whole transform groups");
   REPRO_CHECK(in_.size() >= params_.n * params_.count);

@@ -1,0 +1,107 @@
+#include "gpufft/mixed3d.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "fft/factor.h"
+#include "gpufft/cache.h"
+#include "gpufft/staging.h"
+
+namespace repro::gpufft {
+namespace {
+
+double useful_gbs(std::size_t volume, double ms, std::size_t esize) {
+  return 2.0 * static_cast<double>(volume) * static_cast<double>(esize) /
+         (ms * 1e6);
+}
+
+constexpr Precision precision_of(bool fp64) {
+  return fp64 ? Precision::F64 : Precision::F32;
+}
+
+}  // namespace
+
+template <typename T>
+MixedFft3DT<T>::MixedFft3DT(Device& dev, Shape3 shape, Direction dir,
+                            const TuneConfig& options)
+    : PlanBaseT<T>(
+          dev, PlanDesc::mixed3d(shape, dir,
+                                 precision_of(std::is_same_v<T, double>))),
+      tx_(MixedAxisTablesT<T>::make(shape.nx, dir)),
+      ty_(MixedAxisTablesT<T>::make(shape.ny, dir)),
+      tz_(MixedAxisTablesT<T>::make(shape.nz, dir)) {
+  REPRO_CHECK_MSG(
+      shape.volume() >= 1,
+      "Mixed3D needs a non-empty shape; got " + std::to_string(shape.nx) +
+          "x" + std::to_string(shape.ny) + "x" + std::to_string(shape.nz));
+  desc_.tune = options;
+  grid_ = options.grid_for(dev.spec());
+}
+
+template <typename T>
+std::vector<StepTiming> MixedFft3DT<T>::execute(DeviceBuffer<cx<T>>& data) {
+  const Shape3 shape = desc_.shape;
+  const std::size_t pitch = desc_.row_pitch();
+  REPRO_CHECK_MSG(data.size() >= desc_.buffer_elements(),
+                  "Mixed3D buffer too small: the " +
+                      std::string(pitch_mode_name(desc_.tune.pitch)) +
+                      " layout needs " +
+                      std::to_string(desc_.buffer_elements()) + " elements");
+  std::vector<StepTiming> steps;
+  const auto run_axis = [&](MixedAxis axis, const MixedAxisTablesT<T>& tb) {
+    if (tb.n <= 1) return;  // a length-1 axis is the identity
+    MixedAxisKernelT<T> k(data, shape, pitch, axis, tb, desc_.dir, grid_,
+                          desc_.tune.threads_per_block);
+    const auto r = dev_.launch(k);
+    const std::string name =
+        std::string(mixed_axis_name(axis)) +
+        (tb.bluestein() ? " (Bluestein lines, m=" + std::to_string(tb.conv_n) +
+                              ")"
+                        : " (mixed-radix lines)");
+    steps.push_back(StepTiming{
+        name, r.total_ms,
+        useful_gbs(shape.volume(), r.total_ms, sizeof(cx<T>))});
+  };
+  run_axis(MixedAxis::X, tx_);
+  run_axis(MixedAxis::Y, ty_);
+  run_axis(MixedAxis::Z, tz_);
+  this->finish(steps);
+  return steps;
+}
+
+template <typename T>
+std::vector<StepTiming> MixedFft3DT<T>::execute_host(std::span<cx<T>> data) {
+  const Shape3 shape = desc_.shape;
+  const std::size_t pitch = desc_.row_pitch();
+  if (pitch == shape.nx) {
+    return FftPlanT<T>::execute_host(data);  // dense: stage verbatim
+  }
+  REPRO_CHECK_MSG(data.size() == shape.volume(),
+                  "padded Mixed3D plans take a dense host volume and "
+                  "re-pitch it internally");
+  return with_plan_context(desc_, [&] {
+    std::vector<cx<T>> padded(desc_.buffer_elements(), cx<T>{0, 0});
+    const std::size_t rows = shape.ny * shape.nz;
+    for (std::size_t r = 0; r < rows; ++r) {
+      std::copy_n(data.data() + r * shape.nx, shape.nx,
+                  padded.data() + r * pitch);
+    }
+    auto lease =
+        ResourceCache::of(dev_).template lease<T>(desc_.buffer_elements());
+    auto& staging = lease.buffer();
+    staged_h2d(dev_, staging, std::span<const cx<T>>(padded));
+    auto steps = execute(staging);
+    staged_d2h(dev_, std::span<cx<T>>(padded), staging);
+    for (std::size_t r = 0; r < rows; ++r) {
+      std::copy_n(padded.data() + r * pitch, shape.nx,
+                  data.data() + r * shape.nx);
+    }
+    return steps;
+  });
+}
+
+template class MixedFft3DT<float>;
+template class MixedFft3DT<double>;
+
+}  // namespace repro::gpufft

@@ -1,0 +1,61 @@
+// Arbitrary-size 3-D FFT plan: mixed-radix line kernels with a Bluestein
+// fallback per axis.
+//
+// The paper's five-step executor is locked to pow2 extents by its coarse
+// f1*f2 split and its fine kernel's radix-4/2 stages. This plan lifts that
+// restriction: each axis is transformed by one MixedAxisKernelT pass
+// walking the shared fft::radix_schedule (radix 2/3/4/5/7), and an axis
+// with a prime factor larger than 7 runs the Bluestein chirp-z transform —
+// two pow2 convolution FFTs through the same staged engine, with every
+// table lifted from the host fft::Bluestein so host and device agree
+// bit-for-bit for every size.
+//
+// Non-pow2 rows misalign G80's 128-byte coalescing segments; whether to
+// pad each row up to a 16-element boundary (TuneConfig::pitch) is a
+// planner decision, scored against the simulator's coalescing model. The
+// kernels only change addresses between the two layouts, so results are
+// identical elementwise.
+#pragma once
+
+#include "gpufft/fft_plan.h"
+#include "gpufft/rank_kernels.h"
+
+namespace repro::gpufft {
+
+/// Arbitrary-size dense 3-D transform (PlanKind::Mixed3D).
+template <typename T>
+class MixedFft3DT final : public PlanBaseT<T> {
+ public:
+  MixedFft3DT(Device& dev, Shape3 shape, Direction dir,
+              const TuneConfig& options = {});
+
+  std::vector<StepTiming> execute(DeviceBuffer<cx<T>>& data) override;
+
+  /// Dense layouts stage the volume verbatim; a padded layout packs each
+  /// X row at the tuned pitch on upload and unpacks on download, so
+  /// callers always hand over (and get back) a dense volume.
+  std::vector<StepTiming> execute_host(std::span<cx<T>> data) override;
+
+  /// Per-line working state lives in thread-local storage; no global
+  /// workspace is leased.
+  [[nodiscard]] std::size_t workspace_bytes() const override { return 0; }
+
+  /// Element pitch between consecutive X rows (the tuned layout).
+  [[nodiscard]] std::size_t row_pitch() const { return this->desc_.row_pitch(); }
+
+ private:
+  using PlanBaseT<T>::desc_;
+  using PlanBaseT<T>::dev_;
+
+  MixedAxisTablesT<T> tx_;
+  MixedAxisTablesT<T> ty_;
+  MixedAxisTablesT<T> tz_;
+  unsigned grid_;
+};
+
+extern template class MixedFft3DT<float>;
+extern template class MixedFft3DT<double>;
+
+using MixedFft3D = MixedFft3DT<float>;
+
+}  // namespace repro::gpufft

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "fft/factor.h"
 #include "gpufft/cache.h"
 
 namespace repro::gpufft {
@@ -24,7 +25,10 @@ Naive1DFftKernel::Naive1DFftKernel(DeviceBuffer<cxf>& in,
       dir_(dir),
       roots_(make_roots<float>(n, dir)),
       grid_(grid_blocks) {
-  REPRO_CHECK(is_pow2(n_) && n_ >= 8);
+  REPRO_CHECK_MSG(is_pow2(n_) && n_ >= 8,
+                  "the naive baseline ladders radix-2 stages, so it needs a "
+                  "power-of-two n >= 8; got n=" + fft::describe_size(n_) +
+                      " — arbitrary sizes go through the Mixed3D plan");
   REPRO_CHECK(in_.size() >= n_ * count_);
   REPRO_CHECK(out_.size() >= n_ * count_);
 }

@@ -1,7 +1,9 @@
 #include "gpufft/outofcore.h"
 
 #include <algorithm>
+#include <string>
 
+#include "fft/factor.h"
 #include "gpufft/cache.h"
 #include "gpufft/registry.h"
 #include "gpufft/staging.h"
@@ -105,10 +107,13 @@ std::size_t effective_splits(std::size_t splits, const TuneConfig& tune) {
 }
 
 /// Inner slab-FFT description: carries the tuned knobs, but not the slab
-/// decimation itself (the slab plan must not re-decimate).
+/// decimation itself (the slab plan must not re-decimate). dense3d routes
+/// a non-pow2 slab to the mixed-radix plan; the pitch knob is cleared
+/// because the streamed staging copies assume densely packed slabs.
 PlanDesc slab_plan_desc(Shape3 slab, Direction dir, TuneConfig tune) {
-  PlanDesc d = PlanDesc::bandwidth3d(slab, dir, Precision::F32);
   tune.slab_depth = 0;
+  tune.pitch = PitchMode::Dense;
+  PlanDesc d = PlanDesc::dense3d(slab, dir, Precision::F32);
   d.tune = tune;
   return d;
 }
@@ -126,10 +131,17 @@ OutOfCoreFft3D::OutOfCoreFft3D(Device& dev, std::size_t n, std::size_t splits,
       slab_plan_(PlanRegistry::of(dev).get_or_create(
           slab_plan_desc(slab_shape_, dir, tune))),
       host_work_(n * n * n) {
-  REPRO_CHECK_MSG(n % splits_ == 0, "splits must divide n");
+  REPRO_CHECK_MSG(n % splits_ == 0,
+                  "out-of-core splits must divide n; got n=" +
+                      fft::describe_size(n) + " splits=" +
+                      std::to_string(splits_));
   REPRO_CHECK_MSG(splits_ >= 2 && splits_ <= kMaxFactor,
                   "splits must be a supported small-FFT factor");
-  REPRO_CHECK(is_pow2(n) && is_pow2(splits_));
+  REPRO_CHECK_MSG(is_pow2(splits_),
+                  "the z decimation runs one power-of-two small-FFT rank "
+                  "across slabs; got splits=" + std::to_string(splits_) +
+                      " (any n that such a split divides is fine — the "
+                      "slab itself may be non-pow2)");
   desc_.tune = tune;
 }
 

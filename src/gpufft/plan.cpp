@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <type_traits>
 
+#include "fft/factor.h"
 #include "gpufft/cache.h"
 
 namespace repro::gpufft {
@@ -32,7 +33,10 @@ BandwidthFft3DT<T>::BandwidthFft3DT(Device& dev, Shape3 shape, Direction dir,
       tw_y_(ResourceCache::of(dev).twiddles<T>(shape.ny, dir)),
       tw_z_(ResourceCache::of(dev).twiddles<T>(shape.nz, dir)) {
   REPRO_CHECK_MSG(is_pow2(shape.nx) && shape.nx >= 16 && shape.nx <= 512,
-                  "X extent must be a power of two in [16, 512]");
+                  "the five-step plan needs a power-of-two X extent in "
+                  "[16, 512]; got nx=" + fft::describe_size(shape.nx) +
+                      " — PlanDesc::dense3d routes such shapes to the "
+                      "mixed-radix plan instead");
   REPRO_CHECK_MSG(options.executable_patterns(),
                   "only the paper's read-D/write-A coarse pattern pairing "
                   "is implemented; other pairs are model-only knobs");

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "fft/factor.h"
 #include "gpufft/cache.h"
 
 namespace repro::gpufft {
@@ -19,7 +20,9 @@ BandwidthFft2DT<T>::BandwidthFft2DT(Device& dev, Shape2 shape, Direction dir,
       tw_x_(ResourceCache::of(dev).twiddles<T>(shape.nx, dir)),
       tw_y_(ResourceCache::of(dev).twiddles<T>(shape.ny, dir)) {
   REPRO_CHECK_MSG(is_pow2(shape.nx) && shape.nx >= 16 && shape.nx <= 512,
-                  "X extent must be a power of two in [16, 512]");
+                  "the 2-D plan needs a power-of-two X extent in [16, 512]; "
+                  "got nx=" + fft::describe_size(shape.nx) +
+                      " — the host fft::Plan2D accepts any size");
   REPRO_CHECK_MSG(options.executable_patterns(),
                   "only the paper's read-D/write-A coarse pattern pairing "
                   "is implemented; other pairs are model-only knobs");

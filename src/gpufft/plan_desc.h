@@ -30,6 +30,7 @@ enum class PlanKind {
   Sharded3D,       ///< multi-device Z-decimated 3-D FFT (sharded.h)
   Real3D,          ///< r2c/c2r five-step plan, half-spectrum (real3d.h)
   BatchSharded3D,  ///< whole volumes dealt to group members (batch_sharded.h)
+  Mixed3D,         ///< arbitrary-size mixed-radix/Bluestein plan (mixed3d.h)
 };
 
 inline const char* plan_kind_name(PlanKind k) {
@@ -43,8 +44,20 @@ inline const char* plan_kind_name(PlanKind k) {
     case PlanKind::Sharded3D: return "sharded3d";
     case PlanKind::Real3D: return "real3d";
     case PlanKind::BatchSharded3D: return "batchsharded3d";
+    case PlanKind::Mixed3D: return "mixed3d";
     default: return "convolution";
   }
+}
+
+/// True when `shape` fits the paper's five-step Bandwidth3D executor: every
+/// extent a power of two, X in the fine kernel's [16, 512] window and Y/Z
+/// in the coarse split's [4, 512] window. Anything else routes to Mixed3D.
+inline bool five_step_supported(Shape3 s) {
+  const auto coarse_ok = [](std::size_t n) {
+    return is_pow2(n) && n >= 4 && n <= 512;
+  };
+  return is_pow2(s.nx) && s.nx >= 16 && s.nx <= 512 && coarse_ok(s.ny) &&
+         coarse_ok(s.nz);
 }
 
 /// Element layout of the buffer a plan transforms. Layout is part of the
@@ -118,14 +131,24 @@ struct PlanDesc {
     return static_cast<std::size_t>(h);
   }
 
+  /// Element pitch between consecutive X rows of the device buffer. Equal
+  /// to nx except for Mixed3D plans whose tuner chose the padded layout.
+  [[nodiscard]] std::size_t row_pitch() const {
+    if (kind == PlanKind::Mixed3D && tune.pitch == PitchMode::Padded) {
+      return padded_row_pitch(shape.nx);
+    }
+    return shape.nx;
+  }
+
   /// Elements of the (complex) device buffer this plan transforms: the
-  /// full volume for Complex layout, the padded (nx/2+1)*ny*nz rows for
-  /// RealHalfSpectrum. Shape3 here is always the *logical* real extent.
+  /// full (possibly row-padded) volume for Complex layout, the padded
+  /// (nx/2+1)*ny*nz rows for RealHalfSpectrum. Shape3 here is always the
+  /// *logical* real extent.
   [[nodiscard]] std::size_t buffer_elements() const {
     if (layout == Layout::RealHalfSpectrum) {
       return (shape.nx / 2 + 1) * shape.ny * shape.nz;
     }
-    return shape.volume();
+    return row_pitch() * shape.ny * shape.nz;
   }
 
   [[nodiscard]] std::string to_string() const {
@@ -184,6 +207,29 @@ struct PlanDesc {
     d.shape = shape;
     d.dir = dir;
     return d;
+  }
+
+  /// Arbitrary-size 3-D transform: mixed-radix (2/3/4/5/7) line kernels
+  /// with a Bluestein fallback per axis (mixed3d.h). The only kind whose
+  /// row pitch is a tunable (TuneConfig::pitch).
+  static PlanDesc mixed3d(Shape3 shape, Direction dir,
+                          Precision prec = Precision::F32) {
+    PlanDesc d;
+    d.kind = PlanKind::Mixed3D;
+    d.shape = shape;
+    d.dir = dir;
+    d.precision = prec;
+    return d;
+  }
+
+  /// Size-based router for dense single-card 3-D transforms: the paper's
+  /// five-step executor when the shape fits it, the mixed-radix/Bluestein
+  /// executor otherwise. This is how the streamed/sharded plans pick their
+  /// per-slab engine, so arbitrary sizes flow through every path.
+  static PlanDesc dense3d(Shape3 shape, Direction dir,
+                          Precision prec = Precision::F32) {
+    return five_step_supported(shape) ? bandwidth3d(shape, dir, prec)
+                                      : mixed3d(shape, dir, prec);
   }
 
   static PlanDesc bandwidth2d(std::size_t nx, std::size_t ny, Direction dir,

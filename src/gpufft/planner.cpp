@@ -508,6 +508,197 @@ double real3d_ms(const sim::GpuSpec& spec, Shape3 shape, Direction dir,
   return total;
 }
 
+// ---------------------------------------------------------------------------
+// Mixed-radix (arbitrary-size) plan model
+// ---------------------------------------------------------------------------
+
+/// Element pitch the Mixed3D executor uses under `cfg`'s layout knob.
+std::size_t mixed_model_pitch(const Shape3& shape, const TuneConfig& cfg) {
+  return cfg.pitch == PitchMode::Padded ? padded_row_pitch(shape.nx)
+                                        : shape.nx;
+}
+
+/// Synthetic launch of one MixedAxisKernelT pass: flops and addressing
+/// mirror the kernel's config(), and the sampled half-warp streams replay
+/// its thread-per-line gather/scatter so the coalescing model sees exactly
+/// how a dense non-pow2 row pitch breaks G80's segment alignment on the
+/// Y/Z passes — the signal behind the planner's pitch decision.
+struct MixedAxisSample {
+  sim::LaunchConfig c;
+  sim::LaunchStats stats;
+  bool feasible{};
+};
+
+MixedAxisSample mixed_axis_sample(const sim::GpuSpec& spec, Shape3 shape,
+                                  std::size_t pitch, MixedAxis axis,
+                                  bool fp64, const TuneConfig& cfg) {
+  MixedAxisSample out;
+  const std::size_t esize = fp64 ? 16 : 8;
+  const std::size_t n = axis == MixedAxis::X
+                            ? shape.nx
+                            : (axis == MixedAxis::Y ? shape.ny : shape.nz);
+  const std::size_t lines = axis == MixedAxis::X
+                                ? shape.ny * shape.nz
+                                : (axis == MixedAxis::Y
+                                       ? shape.nx * shape.nz
+                                       : shape.nx * shape.ny);
+  // The Y/Z thread walk spans the pitch, idling the pad slots, exactly as
+  // MixedAxisKernelT::line_base does — that keeps padded half-warps on
+  // segment boundaries, which is what this sampler must observe.
+  const std::size_t slots = axis == MixedAxis::X
+                                ? lines
+                                : (axis == MixedAxis::Y
+                                       ? pitch * shape.nz
+                                       : pitch * shape.ny);
+  const std::size_t stride =
+      axis == MixedAxis::X ? 1
+                           : (axis == MixedAxis::Y ? pitch
+                                                   : pitch * shape.ny);
+  auto line_base = [&](std::size_t li) -> std::size_t {
+    switch (axis) {
+      case MixedAxis::X:
+        return li * pitch;
+      case MixedAxis::Y: {
+        const std::size_t x = li % pitch;
+        if (x >= shape.nx) return SIZE_MAX;
+        return (li / pitch) * shape.ny * pitch + x;
+      }
+      default: {
+        const std::size_t x = li % pitch;
+        if (x >= shape.nx) return SIZE_MAX;
+        return (li / pitch) * pitch + x;
+      }
+    }
+  };
+
+  const bool blue = !fft::is_7smooth(n);
+  const std::size_t conv_n = blue ? fft::bluestein_length(n) : 0;
+  const std::size_t line_elems = blue ? conv_n : n;
+  const std::size_t n_stages =
+      blue ? 2 * fft::radix_schedule(conv_n).size()
+           : fft::radix_schedule(n).size();
+
+  const unsigned grid = cfg.grid_for(spec);
+  const unsigned tpb = cfg.threads_per_block;
+  sim::LaunchConfig& c = out.c;
+  c.name = "model_mixed_axis";
+  c.grid_blocks = grid;
+  c.threads_per_block = tpb;
+  c.regs_per_thread = fp64 ? 64 : 32;
+  c.fp64 = fp64;
+  try {
+    sim::compute_occupancy(
+        spec, sim::BlockResources{static_cast<int>(tpb), c.regs_per_thread,
+                                  0});
+  } catch (const std::exception&) {
+    return out;  // feasible stays false
+  }
+  const double per_line =
+      blue ? 2.0 * mixed_line_flops(conv_n) +
+                 6.0 * static_cast<double>(conv_n + 2 * n)
+           : mixed_line_flops(n);
+  c.total_flops = static_cast<double>(lines) * per_line;
+  c.fma_fraction = 0.5;
+  const double threads = static_cast<double>(grid) * tpb;
+  const double iters =
+      std::ceil(static_cast<double>(slots) / std::max(threads, 1.0));
+  c.extra_cycles_per_thread = iters * static_cast<double>(n_stages) *
+                              static_cast<double>(line_elems) * 4.0;
+
+  sim::LaunchStats& stats = out.stats;
+  stats.total_threads = static_cast<std::uint64_t>(grid) * tpb;
+  stats.elem_bytes_loaded = lines * n * esize;
+  stats.elem_bytes_stored = lines * n * esize;
+
+  const unsigned wpb = (tpb + 31) / 32;
+  const std::size_t total_warps = static_cast<std::size_t>(grid) * wpb;
+  const std::size_t sampled_warps = std::min<std::size_t>(total_warps, 64);
+  stats.warp_streams.resize(sampled_warps);
+  const auto all_threads = static_cast<std::size_t>(grid) * tpb;
+  const std::size_t per_thread = (slots + all_threads - 1) / all_threads;
+  const std::size_t rounds = std::min<std::size_t>(per_thread, 4);
+  // Sample a handful of in-line positions: with a dense non-pow2 pitch
+  // the row start walks every residue mod 16, so the positions must too.
+  const std::size_t n_pos = std::min<std::size_t>(n, 8);
+
+  std::vector<sim::LaneAccess> lanes;
+  for (std::size_t w = 0; w < sampled_warps; ++w) {
+    auto& stream = stats.warp_streams[w];
+    for (std::size_t r = 0; r < rounds; ++r) {
+      for (unsigned half = 0; half < 2; ++half) {
+        const std::size_t gid0 = w * 32 + half * 16;
+        for (std::size_t pi = 0; pi < n_pos; ++pi) {
+          const std::size_t p = pi * n / n_pos;
+          lanes.clear();
+          for (unsigned ln = 0; ln < 16; ++ln) {
+            const std::size_t li = gid0 + ln + r * all_threads;
+            if (li >= slots) continue;
+            const std::size_t base = line_base(li);
+            if (base == SIZE_MAX) continue;  // idle pad-slot lane
+            const std::uint64_t addr = (base + p * stride) * esize;
+            lanes.push_back(sim::LaneAccess{
+                static_cast<int>(ln), addr,
+                static_cast<std::uint32_t>(esize)});
+          }
+          if (lanes.empty()) continue;
+          // The kernel gathers the line then scatters it back in place:
+          // the load and the store slot see the same addresses.
+          for (int pass = 0; pass < 2; ++pass) {
+            stats.sampled_elem_bytes += lanes.size() * esize;
+            sim::CoalesceResult cr = sim::coalesce_half_warp(lanes);
+            if (cr.coalesced) {
+              ++stats.coalesced_slots;
+            } else {
+              ++stats.uncoalesced_slots;
+            }
+            for (const sim::Transaction& t : cr.transactions) {
+              stats.sampled_txn_bytes += t.bytes;
+              stream.push_back(t);
+            }
+          }
+        }
+      }
+    }
+  }
+  out.feasible = true;
+  return out;
+}
+
+double mixed_axis_ms(const sim::GpuSpec& spec, Shape3 shape,
+                     std::size_t pitch, MixedAxis axis, bool fp64,
+                     const TuneConfig& cfg, Memo& memo) {
+  const std::uint64_t key = mix_key(
+      {4, shape.nx, shape.ny, shape.nz, pitch,
+       static_cast<std::uint64_t>(axis), cfg.grid_for(spec),
+       cfg.threads_per_block, static_cast<std::uint64_t>(fp64)});
+  const auto it = memo.find(key);
+  if (it != memo.end()) return it->second;
+  const MixedAxisSample s =
+      mixed_axis_sample(spec, shape, pitch, axis, fp64, cfg);
+  const double ms =
+      s.feasible ? sim::estimate_launch(spec, s.c, s.stats).total_ms
+                 : kInfeasible;
+  memo.emplace(key, ms);
+  return ms;
+}
+
+double mixed3d_ms(const sim::GpuSpec& spec, Shape3 shape, bool fp64,
+                  const TuneConfig& cfg, Memo& memo) {
+  const std::size_t pitch = mixed_model_pitch(shape, cfg);
+  double total = 0.0;
+  for (const MixedAxis axis : {MixedAxis::X, MixedAxis::Y, MixedAxis::Z}) {
+    const std::size_t n = axis == MixedAxis::X
+                              ? shape.nx
+                              : (axis == MixedAxis::Y ? shape.ny : shape.nz);
+    if (n <= 1) continue;  // the executor skips identity axes too
+    const double ms = mixed_axis_ms(spec, shape, pitch, axis, fp64, cfg,
+                                    memo);
+    if (!std::isfinite(ms)) return kInfeasible;
+    total += ms;
+  }
+  return total;
+}
+
 /// Device-resident working set of a streamed slab (data + workspace).
 bool slab_fits(const sim::GpuSpec& spec, std::size_t n, std::size_t splits,
                std::size_t esize) {
@@ -518,6 +709,19 @@ bool slab_fits(const sim::GpuSpec& spec, std::size_t n, std::size_t splits,
 bool valid_splits(std::size_t n, std::size_t s) {
   return s >= 2 && s <= kMaxFactor && is_pow2(s) && n % s == 0 &&
          n / s >= 1;
+}
+
+/// Streamed slab cost: the five-step model when the slab is pow2-capable,
+/// else the mixed-radix passes. Streamed exchanges assume densely packed
+/// slabs, so the mixed fallback is always scored at Dense pitch.
+double dense_slab_ms(const sim::GpuSpec& spec, Shape3 slab, bool fp64,
+                     const TuneConfig& cfg, Memo& memo) {
+  if (five_step_supported(slab)) {
+    return bandwidth3d_ms(spec, slab, fp64, cfg, memo);
+  }
+  TuneConfig dense_cfg = cfg;
+  dense_cfg.pitch = PitchMode::Dense;
+  return mixed3d_ms(spec, slab, fp64, dense_cfg, memo);
 }
 
 double outofcore_ms(const sim::GpuSpec& spec, const PlanDesc& desc,
@@ -532,7 +736,7 @@ double outofcore_ms(const sim::GpuSpec& spec, const PlanDesc& desc,
   slab_cfg.slab_depth = 0;  // the slab plan must not re-decimate
   const Shape3 slab{n, n, n / splits};
   const double slab_ms =
-      bandwidth3d_ms(spec, slab, /*fp64=*/false, slab_cfg, memo);
+      dense_slab_ms(spec, slab, /*fp64=*/false, slab_cfg, memo);
   if (!std::isfinite(slab_ms)) return kInfeasible;
   const std::size_t slab_bytes = slab.volume() * 8;
   // Per slab: upload, inter-slab twiddle sweep (one read+write of the slab
@@ -569,7 +773,7 @@ double sharded_ms(const sim::GpuSpec& spec, const PlanDesc& desc,
   const bool real = desc.layout == Layout::RealHalfSpectrum;
   const double slab_ms =
       real ? real3d_ms(spec, slab, desc.dir, /*fp64=*/false, slab_cfg, memo)
-           : bandwidth3d_ms(spec, slab, /*fp64=*/false, slab_cfg, memo);
+           : dense_slab_ms(spec, slab, /*fp64=*/false, slab_cfg, memo);
   if (!std::isfinite(slab_ms)) return kInfeasible;
   // Two compute phases around the all-to-all; the exchange stages the
   // whole (half-spectrum: half the) volume through host memory.
@@ -590,6 +794,8 @@ double model_plan_ms_impl(const sim::GpuSpec& spec, const PlanDesc& desc,
   switch (desc.kind) {
     case PlanKind::Bandwidth3D:
       return bandwidth3d_ms(spec, desc.shape, fp64, cfg, memo);
+    case PlanKind::Mixed3D:
+      return mixed3d_ms(spec, desc.shape, fp64, cfg, memo);
     case PlanKind::Real3D:
       return real3d_ms(spec, desc.shape, desc.dir, fp64, cfg, memo);
     case PlanKind::OutOfCore:
@@ -604,8 +810,8 @@ double model_plan_ms_impl(const sim::GpuSpec& spec, const PlanDesc& desc,
     }
     default:
       REPRO_FAIL(
-          "the planner models Bandwidth3D, Real3D, OutOfCore, Sharded3D "
-          "and BatchSharded3D plans");
+          "the planner models Bandwidth3D, Mixed3D, Real3D, OutOfCore, "
+          "Sharded3D and BatchSharded3D plans");
   }
 }
 
@@ -615,6 +821,23 @@ double model_plan_ms(const sim::GpuSpec& spec, const PlanDesc& desc,
                      const TuneConfig& cfg) {
   Memo memo;
   return model_plan_ms_impl(spec, desc, cfg, memo);
+}
+
+double mixed_pitch_amplification(const sim::GpuSpec& spec, Shape3 shape,
+                                 PitchMode pitch) {
+  TuneConfig cfg;
+  cfg.pitch = pitch;
+  // The Y pass is the pitch-sensitive one: consecutive threads walk
+  // consecutive X, so every half-warp slot starts where the row pitch
+  // puts it. (The X pass gathers with a pitch-sized lane stride and never
+  // coalesces; it would mask the layout signal.)
+  const MixedAxisSample s =
+      mixed_axis_sample(spec, shape, mixed_model_pitch(shape, cfg),
+                        MixedAxis::Y, /*fp64=*/false, cfg);
+  REPRO_CHECK_MSG(s.feasible && s.stats.sampled_elem_bytes > 0,
+                  "the amplification probe needs a launchable Y pass");
+  return static_cast<double>(s.stats.sampled_txn_bytes) /
+         static_cast<double>(s.stats.sampled_elem_bytes);
 }
 
 TuneResult tune_plan(const sim::GpuSpec& spec, const PlanDesc& desc,
@@ -641,6 +864,13 @@ TuneResult tune_plan(const sim::GpuSpec& spec, const PlanDesc& desc,
   }
   const std::vector<std::size_t> slabs =
       streamed ? opts.slab_depths : std::vector<std::size_t>{0};
+  // The row-pitch knob only exists for the mixed-radix executor; every
+  // other kind keeps the dense default so their candidate counts (and the
+  // wisdom they pin) are untouched by this dimension.
+  const std::vector<PitchMode> pitches =
+      desc.kind == PlanKind::Mixed3D ? opts.pitch_modes
+                                     : std::vector<PitchMode>{
+                                           PitchMode::Dense};
 
   for (const TwiddleSource ctw : opts.coarse_twiddles) {
     for (const TwiddleSource ftw : opts.fine_twiddles) {
@@ -650,27 +880,30 @@ TuneResult tune_plan(const sim::GpuSpec& spec, const PlanDesc& desc,
             for (const unsigned radix : opts.coarse_radix) {
               for (const unsigned pad : opts.shmem_pad_words) {
                 for (const std::size_t slab : slabs) {
-                  TuneConfig cfg;
-                  cfg.coarse_twiddles = ctw;
-                  cfg.fine_twiddles = ftw;
-                  cfg.coarse_read = rd;
-                  cfg.coarse_write = wr;
-                  cfg.threads_per_block = tpb;
-                  cfg.blocks_per_sm = bps;
-                  cfg.coarse_radix = radix;
-                  cfg.shmem_pad_words = pad;
-                  cfg.slab_depth = slab;
-                  if (cfg == def) continue;  // scored first, above
-                  const double ms =
-                      model_plan_ms_impl(spec, desc, cfg, memo);
-                  ++res.evaluated;
-                  // Strict-improvement margin: ties within the model's
-                  // resolution keep the earlier candidate, so the paper's
-                  // defaults survive equivalent alternatives.
-                  if (ms <
-                      res.model_ms * (1.0 - opts.improvement_margin)) {
-                    res.best = cfg;
-                    res.model_ms = ms;
+                  for (const PitchMode pitch : pitches) {
+                    TuneConfig cfg;
+                    cfg.coarse_twiddles = ctw;
+                    cfg.fine_twiddles = ftw;
+                    cfg.coarse_read = rd;
+                    cfg.coarse_write = wr;
+                    cfg.threads_per_block = tpb;
+                    cfg.blocks_per_sm = bps;
+                    cfg.coarse_radix = radix;
+                    cfg.shmem_pad_words = pad;
+                    cfg.slab_depth = slab;
+                    cfg.pitch = pitch;
+                    if (cfg == def) continue;  // scored first, above
+                    const double ms =
+                        model_plan_ms_impl(spec, desc, cfg, memo);
+                    ++res.evaluated;
+                    // Strict-improvement margin: ties within the model's
+                    // resolution keep the earlier candidate, so the
+                    // paper's defaults survive equivalent alternatives.
+                    if (ms <
+                        res.model_ms * (1.0 - opts.improvement_margin)) {
+                      res.best = cfg;
+                      res.model_ms = ms;
+                    }
                   }
                 }
               }
@@ -727,7 +960,7 @@ bool parse_kind(const std::string& s, PlanKind& out) {
        {PlanKind::Bandwidth3D, PlanKind::Conventional3D, PlanKind::Naive3D,
         PlanKind::Bandwidth2D, PlanKind::Batch1D, PlanKind::OutOfCore,
         PlanKind::Convolution, PlanKind::Sharded3D, PlanKind::Real3D,
-        PlanKind::BatchSharded3D}) {
+        PlanKind::BatchSharded3D, PlanKind::Mixed3D}) {
     if (s == plan_kind_name(k)) {
       out = k;
       return true;

@@ -40,7 +40,7 @@ namespace repro::gpufft {
 /// rejects any file whose schema line is missing (pre-versioned files
 /// from older builds) or different — all-or-nothing, like a GpuSpec
 /// fingerprint mismatch.
-inline constexpr int kWisdomSchemaVersion = 2;
+inline constexpr int kWisdomSchemaVersion = 3;
 
 /// Search bounds of the tuner. The defaults cover every knob the executors
 /// accept; patterns other than the paper's read-D/write-A pairing are
@@ -65,6 +65,10 @@ struct PlannerOptions {
   /// Slab decimation overrides tried for streamed plans (0 = keep the
   /// description's splits); ignored for in-core kinds.
   std::vector<std::size_t> slab_depths{0, 2, 4, 8, 16, 32};
+  /// Row layouts tried for Mixed3D plans: dense rows versus rows padded to
+  /// a 16-element pitch so every row start lands on a coalescing segment
+  /// boundary. Other kinds always keep the dense default.
+  std::vector<PitchMode> pitch_modes{PitchMode::Dense, PitchMode::Padded};
   /// Restrict the pattern pairing to the executable read-D/write-A choice.
   /// When false, every Table-2 pair containing the decimation hop D is
   /// scored (the hop to/from the transform's home dimension is
@@ -86,10 +90,19 @@ struct TuneResult {
 
 /// Closed-form model time (ms) of one candidate config for `desc` on
 /// `spec`. Returns +infinity for infeasible candidates (occupancy failure,
-/// indivisible radix or slab depth). Supported kinds: Bandwidth3D, Real3D,
-/// OutOfCore, Sharded3D.
+/// indivisible radix or slab depth). Supported kinds: Bandwidth3D,
+/// Mixed3D, Real3D, OutOfCore, Sharded3D, BatchSharded3D.
 double model_plan_ms(const sim::GpuSpec& spec, const PlanDesc& desc,
                      const TuneConfig& cfg);
+
+/// Modeled DRAM byte amplification (bytes moved / bytes useful) of the
+/// Mixed3D plan's pitch-sensitive Y-axis pass under `pitch` — the very
+/// ratio tune_plan weighs when deciding whether to pad non-pow2 rows.
+/// Dense non-pow2 rows start off G80's 64/128-byte segment boundaries, so
+/// most half-warp slots fall back to sixteen 32-byte transactions (4x for
+/// a cx<float>); a padded 16-element pitch restores segment transfers.
+double mixed_pitch_amplification(const sim::GpuSpec& spec, Shape3 shape,
+                                 PitchMode pitch);
 
 /// Exhaustive search within `opts` bounds; pure function of (spec, desc,
 /// opts) — deterministic and execution-free.

@@ -1,7 +1,13 @@
 #include "gpufft/rank_kernels.h"
 
+#include <cmath>
+#include <cstdint>
 #include <numbers>
+#include <string>
 #include <type_traits>
+
+#include "fft/bluestein.h"
+#include "gpufft/stage_engine.h"
 
 namespace repro::gpufft {
 
@@ -214,5 +220,172 @@ template class Rank1KernelT<float>;
 template class Rank1KernelT<double>;
 template class Rank2KernelT<float>;
 template class Rank2KernelT<double>;
+
+// ---- Mixed-radix / Bluestein line kernels ----
+
+template <typename T>
+MixedAxisTablesT<T> MixedAxisTablesT<T>::make(std::size_t n, Direction dir) {
+  MixedAxisTablesT<T> tb;
+  tb.n = n;
+  if (n <= 1) return tb;
+  if (fft::is_7smooth(n)) {
+    tb.stages = fft::radix_schedule(n);
+    tb.roots = make_roots<T>(n, dir);
+    return tb;
+  }
+  // Lift the host Bluestein engine's tables verbatim: same chirp, same
+  // pre-scaled kernel spectrum, same pow2 convolution roots — the device
+  // convolution then reproduces the host fallback bit-for-bit.
+  const fft::Bluestein<T> blue(n, dir);
+  tb.conv_n = blue.conv_size();
+  tb.conv_stages = fft::radix_schedule(tb.conv_n);
+  tb.chirp.assign(blue.chirp().begin(), blue.chirp().end());
+  tb.kernel_fft.assign(blue.kernel_fft().begin(), blue.kernel_fft().end());
+  tb.conv_fwd = make_roots<T>(tb.conv_n, Direction::Forward);
+  tb.conv_inv = make_roots<T>(tb.conv_n, Direction::Inverse);
+  return tb;
+}
+
+template <typename T>
+MixedAxisKernelT<T>::MixedAxisKernelT(DeviceBuffer<cx<T>>& data, Shape3 shape,
+                                      std::size_t row_pitch, MixedAxis axis,
+                                      const MixedAxisTablesT<T>& tables,
+                                      Direction dir, unsigned grid_blocks,
+                                      unsigned threads_per_block)
+    : data_(data),
+      shape_(shape),
+      pitch_(row_pitch),
+      axis_(axis),
+      tables_(tables),
+      dir_(dir),
+      grid_(grid_blocks),
+      tpb_(threads_per_block) {
+  REPRO_CHECK(pitch_ >= shape_.nx);
+  REPRO_CHECK(data_.size() >= pitch_ * shape_.ny * shape_.nz);
+  switch (axis_) {
+    case MixedAxis::X:
+      REPRO_CHECK(tables_.n == shape_.nx);
+      lines_ = shape_.ny * shape_.nz;
+      slots_ = lines_;
+      stride_ = 1;
+      break;
+    case MixedAxis::Y:
+      REPRO_CHECK(tables_.n == shape_.ny);
+      lines_ = shape_.nx * shape_.nz;
+      slots_ = pitch_ * shape_.nz;
+      stride_ = pitch_;
+      break;
+    default:
+      REPRO_CHECK(tables_.n == shape_.nz);
+      lines_ = shape_.nx * shape_.ny;
+      slots_ = pitch_ * shape_.ny;
+      stride_ = pitch_ * shape_.ny;
+      break;
+  }
+}
+
+template <typename T>
+std::size_t MixedAxisKernelT<T>::line_base(std::size_t li) const {
+  switch (axis_) {
+    case MixedAxis::X:
+      return li * pitch_;
+    case MixedAxis::Y: {
+      // li = (z, x), x fastest over the pitch: consecutive threads walk
+      // consecutive X and every pitch-aligned group shares one row phase.
+      const std::size_t x = li % pitch_;
+      if (x >= shape_.nx) return SIZE_MAX;  // pad slot, idle thread
+      return (li / pitch_) * shape_.ny * pitch_ + x;
+    }
+    default: {
+      const std::size_t x = li % pitch_;
+      if (x >= shape_.nx) return SIZE_MAX;
+      return (li / pitch_) * pitch_ + x;
+    }
+  }
+}
+
+template <typename T>
+sim::LaunchConfig MixedAxisKernelT<T>::config() const {
+  const bool blue = tables_.bluestein();
+  const std::size_t n = tables_.n;
+  sim::LaunchConfig c;
+  c.name = std::string(blue ? "bluestein_axis_" : "mixed_axis_") +
+           mixed_axis_name(axis_) + std::to_string(n);
+  c.grid_blocks = grid_;
+  c.threads_per_block = tpb_;
+  c.fp64 = std::is_same_v<T, double>;
+  // Whole lines live in thread-local (spilled) storage, so the register
+  // file holds loop state plus one butterfly, not the line.
+  c.regs_per_thread = c.fp64 ? 64 : 32;
+  const double per_line =
+      blue ? 2.0 * mixed_line_flops(tables_.conv_n) +
+                 6.0 * static_cast<double>(tables_.conv_n + 2 * n)
+           : mixed_line_flops(n);
+  c.total_flops = static_cast<double>(lines_) * per_line;
+  c.fma_fraction = 0.5;
+  const double threads = static_cast<double>(grid_) * tpb_;
+  const double iters =
+      std::ceil(static_cast<double>(slots_) / std::max(threads, 1.0));
+  const std::size_t n_stages =
+      blue ? 2 * tables_.conv_stages.size() : tables_.stages.size();
+  c.extra_cycles_per_thread = iters * static_cast<double>(n_stages) *
+                              static_cast<double>(tables_.line_elems()) * 4.0;
+  return c;
+}
+
+template <typename T>
+void MixedAxisKernelT<T>::run_block(sim::BlockCtx& ctx) {
+  auto buf = ctx.global(data_);
+  const MixedAxisTablesT<T>& tb = tables_;
+  const std::size_t n = tb.n;
+  const std::size_t work = tb.line_elems();
+  const int sign = fft::direction_sign(dir_);
+  // The Bluestein convolution runs a fixed Forward/Inverse pair whatever
+  // the user direction (the chirp carries the sign) — as on the host.
+  const int fwd_sign = fft::direction_sign(Direction::Forward);
+  const int inv_sign = fft::direction_sign(Direction::Inverse);
+
+  ctx.threads([&](sim::ThreadCtx& t) {
+    std::vector<cx<T>> u(work);
+    std::vector<cx<T>> v(work);
+    for (std::size_t li = t.global_id(); li < slots_;
+         li += t.total_threads()) {
+      const std::size_t base = line_base(li);
+      if (base == SIZE_MAX) continue;  // pad slot of the padded layout
+      if (!tb.bluestein()) {
+        for (std::size_t p = 0; p < n; ++p) {
+          u[p] = buf.load(t, base + p * stride_);
+        }
+        cx<T>* res =
+            run_mixed_line<T>(tb.stages, u.data(), v.data(), tb.roots, sign);
+        for (std::size_t p = 0; p < n; ++p) {
+          buf.store(t, base + p * stride_, res[p]);
+        }
+      } else {
+        // Chirp-premultiply into the zero-padded convolution line.
+        for (std::size_t j = 0; j < n; ++j) {
+          u[j] = buf.load(t, base + j * stride_) * tb.chirp[j];
+        }
+        for (std::size_t j = n; j < work; ++j) u[j] = cx<T>{0, 0};
+        cx<T>* res = run_mixed_line<T>(tb.conv_stages, u.data(), v.data(),
+                                       tb.conv_fwd, fwd_sign);
+        for (std::size_t i = 0; i < work; ++i) {
+          res[i] = res[i] * tb.kernel_fft[i];
+        }
+        cx<T>* other = res == u.data() ? v.data() : u.data();
+        res = run_mixed_line<T>(tb.conv_stages, res, other, tb.conv_inv,
+                                inv_sign);
+        for (std::size_t k = 0; k < n; ++k) {
+          buf.store(t, base + k * stride_, res[k] * tb.chirp[k]);
+        }
+      }
+    }
+  });
+}
+
+template struct MixedAxisTablesT<float>;
+template struct MixedAxisTablesT<double>;
+template class MixedAxisKernelT<float>;
+template class MixedAxisKernelT<double>;
 
 }  // namespace repro::gpufft

@@ -17,6 +17,7 @@
 #pragma once
 
 #include "common/tensor.h"
+#include "fft/factor.h"
 #include "gpufft/smallfft.h"
 #include "gpufft/tuning.h"
 #include "gpufft/types.h"
@@ -99,5 +100,94 @@ extern template class Rank2KernelT<double>;
 /// Single-precision aliases (the paper's configuration).
 using Rank1Kernel = Rank1KernelT<float>;
 using Rank2Kernel = Rank2KernelT<float>;
+
+// ---- Mixed-radix / Bluestein line kernels (the Mixed3D plan's ranks) ----
+
+/// Which volume axis a mixed-radix line kernel transforms.
+enum class MixedAxis { X, Y, Z };
+
+inline const char* mixed_axis_name(MixedAxis a) {
+  return a == MixedAxis::X ? "X" : (a == MixedAxis::Y ? "Y" : "Z");
+}
+
+/// Host-precomputed tables driving one axis of the Mixed3D plan. For a
+/// 7-smooth axis: the shared radix schedule plus the axis-length roots.
+/// Otherwise the Bluestein fallback's chirp and convolution tables, lifted
+/// verbatim from the host fft::Bluestein engine so device results stay
+/// bit-for-bit against the host reference.
+template <typename T>
+struct MixedAxisTablesT {
+  std::size_t n{1};                    ///< axis length
+  std::vector<fft::StageSpec> stages;  ///< 7-smooth schedule (empty: Bluestein)
+  std::vector<cx<T>> roots;            ///< n roots for the user direction
+  // Bluestein fallback (n has a prime factor > 7):
+  std::size_t conv_n{0};                    ///< pow2 convolution length m
+  std::vector<fft::StageSpec> conv_stages;  ///< schedule of m
+  std::vector<cx<T>> chirp;                 ///< a_j (signed by user dir)
+  std::vector<cx<T>> kernel_fft;            ///< FFT_m(b) / m
+  std::vector<cx<T>> conv_fwd;              ///< m roots, forward
+  std::vector<cx<T>> conv_inv;              ///< m roots, inverse
+
+  [[nodiscard]] bool bluestein() const { return conv_n != 0; }
+  /// Length of the per-line working buffer a kernel needs.
+  [[nodiscard]] std::size_t line_elems() const {
+    return bluestein() ? conv_n : n;
+  }
+
+  static MixedAxisTablesT make(std::size_t n, Direction dir);
+};
+
+/// One whole-axis pass of the Mixed3D plan: every line along `axis` is
+/// transformed in place by one thread (gather -> staged mixed-radix FFT in
+/// thread-local storage -> scatter; Bluestein lines run the chirp-multiply
+/// and both pow2 convolution FFTs inside the same pass). Rows are
+/// `row_pitch` elements apart, so the same kernel serves the dense and the
+/// padded layout — the planner's PitchMode only moves the addresses.
+///
+/// The Y and Z passes walk their x-major line index over the row *pitch*
+/// rather than nx, idling the threads that land in the pad: with a padded
+/// 16-element pitch every half-warp therefore starts on a coalescing
+/// segment boundary, which is the whole point of padding. Dense layouts
+/// have pitch == nx and the walk degenerates to the obvious one.
+template <typename T>
+class MixedAxisKernelT final : public sim::Kernel {
+ public:
+  MixedAxisKernelT(DeviceBuffer<cx<T>>& data, Shape3 shape,
+                   std::size_t row_pitch, MixedAxis axis,
+                   const MixedAxisTablesT<T>& tables, Direction dir,
+                   unsigned grid_blocks, unsigned threads_per_block);
+
+  [[nodiscard]] sim::LaunchConfig config() const override;
+  void run_block(sim::BlockCtx& ctx) override;
+
+  /// Lines this pass transforms (the axis' cross-section).
+  [[nodiscard]] std::size_t lines() const { return lines_; }
+
+  /// Thread-index domain: lines() for the X pass; for Y/Z the x-major
+  /// walk spans the pitch, so pad slots are indexed but skipped.
+  [[nodiscard]] std::size_t line_slots() const { return slots_; }
+
+ private:
+  /// Element offset of line `li`'s first point, or SIZE_MAX when `li`
+  /// addresses a pad slot (x >= nx) and the thread must idle.
+  [[nodiscard]] std::size_t line_base(std::size_t li) const;
+
+  DeviceBuffer<cx<T>>& data_;
+  Shape3 shape_;
+  std::size_t pitch_;
+  MixedAxis axis_;
+  const MixedAxisTablesT<T>& tables_;
+  Direction dir_;
+  unsigned grid_;
+  unsigned tpb_;
+  std::size_t lines_;
+  std::size_t slots_;   ///< indexed thread-walk domain (>= lines_)
+  std::size_t stride_;  ///< element stride between points of one line
+};
+
+extern template struct MixedAxisTablesT<float>;
+extern template struct MixedAxisTablesT<double>;
+extern template class MixedAxisKernelT<float>;
+extern template class MixedAxisKernelT<double>;
 
 }  // namespace repro::gpufft

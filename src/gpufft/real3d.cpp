@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <type_traits>
 
+#include "fft/factor.h"
 #include "gpufft/cache.h"
 
 namespace repro::gpufft {
@@ -70,7 +71,10 @@ RealFft3DT<T>::RealFft3DT(Device& dev, Shape3 shape, Direction dir,
       tw_z_(ResourceCache::of(dev).twiddles<T>(shape.nz, dir)) {
   REPRO_CHECK_MSG(is_pow2(shape.nx) && shape.nx >= 32 && shape.nx <= 512,
                   "real plans need an X extent that is a power of two in "
-                  "[32, 512] (the half-length fine stages need nx/2 >= 16)");
+                  "[32, 512] (the half-length fine stages need nx/2 >= 16); "
+                  "got nx=" + fft::describe_size(shape.nx) +
+                      " — transform a complex copy through the Mixed3D "
+                      "plan for other sizes");
   REPRO_CHECK_MSG(options.executable_patterns(),
                   "only the paper's read-D/write-A coarse pattern pairing "
                   "is implemented; other pairs are model-only knobs");

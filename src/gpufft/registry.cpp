@@ -8,6 +8,7 @@
 #include "gpufft/batch1d.h"
 #include "gpufft/batch_sharded.h"
 #include "gpufft/conventional3d.h"
+#include "gpufft/mixed3d.h"
 #include "gpufft/naive.h"
 #include "gpufft/outofcore.h"
 #include "gpufft/plan.h"
@@ -38,6 +39,8 @@ std::shared_ptr<FftPlanT<T>> make_plan(Device& dev, const PlanDesc& desc,
                                               desc.shape.ny, desc.dir, opt);
     case PlanKind::Real3D:
       return std::make_shared<RealFft3DT<T>>(dev, desc.shape, desc.dir, opt);
+    case PlanKind::Mixed3D:
+      return std::make_shared<MixedFft3DT<T>>(dev, desc.shape, desc.dir, opt);
     default:
       break;
   }

@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <array>
 #include <map>
+#include <string>
 #include <utility>
 
 #include "common/metrics.h"
+#include "fft/factor.h"
 #include "gpufft/cache.h"
 #include "gpufft/real3d.h"
 #include "gpufft/real_kernels.h"
@@ -153,9 +155,12 @@ void accumulate(ShardedTiming& into, const ShardedTiming& t) {
 }
 
 /// Inner slab-plan description carrying the tuned knobs but not the slab
-/// decimation itself (the slab plan must not re-decimate).
+/// decimation itself (the slab plan must not re-decimate). The pitch knob
+/// is cleared too: the exchange stages densely packed slabs, so a padded
+/// mixed-radix slab layout never leaves one device.
 PlanDesc tuned_slab_desc(PlanDesc d, TuneConfig tune) {
   tune.slab_depth = 0;
+  tune.pitch = PitchMode::Dense;
   d.tune = tune;
   return d;
 }
@@ -175,10 +180,16 @@ ShardedFft3DPlan::ShardedFft3DPlan(sim::DeviceGroup& group, std::size_t n,
       slab_shape_{n, n, n / shards_},
       host_work_(n * n * n),
       staging_lease_(group, n * n * n * sizeof(cxf)) {
-  REPRO_CHECK_MSG(n % shards_ == 0, "shards must divide n");
+  REPRO_CHECK_MSG(n % shards_ == 0,
+                  "shards must divide n; got n=" + fft::describe_size(n) +
+                      " shards=" + std::to_string(shards_));
   REPRO_CHECK_MSG(shards_ >= 2 && shards_ <= kMaxFactor,
                   "shards must be a supported small-FFT factor");
-  REPRO_CHECK(is_pow2(n) && is_pow2(shards_));
+  REPRO_CHECK_MSG(is_pow2(shards_),
+                  "the z decimation runs one power-of-two small-FFT rank "
+                  "across shards; got shards=" + std::to_string(shards_) +
+                      " (n itself may be non-pow2 — those slabs run the "
+                      "mixed-radix plan)");
   // Group sizes that divide neither phase extent are allowed: execution
   // falls back to the largest member prefix that does (usable_members),
   // exactly as the failover path does after losing a card. The batch
@@ -195,13 +206,16 @@ ShardedFft3DPlan::ShardedFft3DPlan(sim::DeviceGroup& group, std::size_t n,
     slab_plans_.push_back(
         PlanRegistry::of(group.device(d))
             .get_or_create(tuned_slab_desc(
-                PlanDesc::bandwidth3d(slab_shape_, dir, Precision::F32),
+                PlanDesc::dense3d(slab_shape_, dir, Precision::F32),
                 tune)));
   }
   // Peer-capable fabrics get the planner's slab-vs-pencil call (keyed on
   // bisection bandwidth via topology_model_ms); the tree has no choice
-  // to make, so its construction cost is unchanged.
-  if (group.size() > 1 && group.topo().peer_capable()) {
+  // to make, so its construction cost is unchanged. Non-pow2 extents
+  // always take the slab decomposition: its phase-2 unit is a whole slab
+  // that the mixed-radix plan can transform, while the pencil phase-2
+  // kernels keep their pow2-only X machinery.
+  if (group.size() > 1 && group.topo().peer_capable() && is_pow2(n_)) {
     decomp_ = choose_decomposition(group.topo(), group.device(0).spec(), n_,
                                    shards_, group.size(), dir);
   }
@@ -909,10 +923,17 @@ ShardedRealFft3DPlan::ShardedRealFft3DPlan(sim::DeviceGroup& group,
       slab_shape_{n, n, n / shards_},
       host_work_((n / 2 + 1) * n * n),
       staging_lease_(group, (n / 2 + 1) * n * n * sizeof(cxf)) {
-  REPRO_CHECK_MSG(n % shards_ == 0, "shards must divide n");
+  REPRO_CHECK_MSG(n % shards_ == 0,
+                  "shards must divide n; got n=" + fft::describe_size(n) +
+                      " shards=" + std::to_string(shards_));
   REPRO_CHECK_MSG(shards_ >= 2 && shards_ <= kMaxFactor,
                   "shards must be a supported small-FFT factor");
-  REPRO_CHECK(is_pow2(n) && is_pow2(shards_));
+  REPRO_CHECK_MSG(is_pow2(n) && is_pow2(shards_),
+                  "sharded real plans still need power-of-two extents (the "
+                  "packed half-length X pass runs the radix-4/2 fine "
+                  "kernel); got n=" + fft::describe_size(n) +
+                      " — transform a complex copy through the sharded "
+                      "complex plan, which accepts any n");
   REPRO_CHECK_MSG(n >= 32,
                   "sharded real plans need n >= 32 (the half-length X fine "
                   "stages need n/2 >= 16)");
@@ -1312,7 +1333,7 @@ ShardPhases probe_shard_phases(const sim::GpuSpec& spec, std::size_t n,
   std::vector<cxf> host(slab_elems);
   // Build the slab plan (twiddle uploads etc.) before the stopwatch.
   auto plan = PlanRegistry::of(dev).get_or_create(
-      PlanDesc::bandwidth3d(slab_shape, dir, Precision::F32));
+      PlanDesc::dense3d(slab_shape, dir, Precision::F32));
 
   // Timing is data-value independent, so each phase is measured once,
   // serially, with reset_clock deltas (the measure_offload pattern).

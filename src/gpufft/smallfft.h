@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstddef>
+#include <string>
 #include <vector>
 
 #include "common/check.h"
@@ -20,17 +21,26 @@ namespace repro::gpufft {
 /// Largest per-thread transform factor the kernels support.
 inline constexpr std::size_t kMaxFactor = 32;
 
-/// In-place natural-order FFT of v[0..len) for len in {2,4,8,16}.
+/// In-place natural-order FFT of v[0..len) for len in {2,3,4,5,7,8,16,32}.
 /// `w` must hold the len-th roots for the direction (w[k] = omega_len^k);
-/// unused for len <= 4.
+/// unused for len <= 7 (those butterflies carry their constants inline).
 template <typename T>
 inline void fft_small(cx<T>* v, std::size_t len, int sign, const cx<T>* w) {
   switch (len) {
     case 2:
       fft::fft2(v[0], v[1]);
       break;
+    case 3:
+      fft::fft3(v, sign);
+      break;
     case 4:
       fft::fft4(v, sign);
+      break;
+    case 5:
+      fft::fft5(v, sign);
+      break;
+    case 7:
+      fft::fft7(v, sign);
       break;
     case 8:
       fft::fft8(v, sign, w);
@@ -42,7 +52,8 @@ inline void fft_small(cx<T>* v, std::size_t len, int sign, const cx<T>* w) {
       fft::fft32(v, sign, w);
       break;
     default:
-      REPRO_FAIL("unsupported small-FFT factor");
+      REPRO_FAIL("unsupported small-FFT factor " + std::to_string(len) +
+                 " — supported factors are 2/3/4/5/7/8/16/32");
   }
 }
 
@@ -51,8 +62,14 @@ inline double fft_small_flops(std::size_t len) {
   switch (len) {
     case 2:
       return 4.0;
+    case 3:
+      return static_cast<double>(fft::kFft3Flops);
     case 4:
       return static_cast<double>(fft::kFft4Flops);
+    case 5:
+      return static_cast<double>(fft::kFft5Flops);
+    case 7:
+      return static_cast<double>(fft::kFft7Flops);
     case 8:
       return static_cast<double>(fft::kFft8Flops);
     case 16:
@@ -60,7 +77,8 @@ inline double fft_small_flops(std::size_t len) {
     case 32:
       return static_cast<double>(fft::kFft32Flops);
     default:
-      REPRO_FAIL("unsupported small-FFT factor");
+      REPRO_FAIL("unsupported small-FFT factor " + std::to_string(len) +
+                 " — supported factors are 2/3/4/5/7/8/16/32");
   }
 }
 

@@ -79,6 +79,14 @@ bool parse_tune_config(const std::string& s, TuneConfig& out) {
         if (!parse_pattern(val, cfg.coarse_read)) return false;
       } else if (key == "write") {
         if (!parse_pattern(val, cfg.coarse_write)) return false;
+      } else if (key == "pitch") {
+        if (val == "dense") {
+          cfg.pitch = PitchMode::Dense;
+        } else if (val == "padded") {
+          cfg.pitch = PitchMode::Padded;
+        } else {
+          return false;
+        }
       } else {
         return false;
       }
@@ -106,6 +114,8 @@ std::string TuneConfig::to_string() const {
   s += pattern_name(coarse_read);
   s += " write=";
   s += pattern_name(coarse_write);
+  s += " pitch=";
+  s += pitch_mode_name(pitch);
   return s;
 }
 

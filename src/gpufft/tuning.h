@@ -26,6 +26,21 @@ inline constexpr unsigned kDefaultThreadsPerBlock = 64;
 /// the power-of-two butterfly strides off a 16-bank conflict (Section 3.2).
 inline constexpr unsigned kDefaultShmemPadWords = 16;
 
+/// Row-pitch layout of a non-pow2 (Mixed3D) volume — a planner decision.
+/// Dense packs rows back-to-back; Padded rounds each X row up to a
+/// 16-element (128-byte at cxf) boundary so every row starts on a G80
+/// coalescing segment, trading footprint for aligned half-warp accesses.
+enum class PitchMode { Dense, Padded };
+
+inline const char* pitch_mode_name(PitchMode p) {
+  return p == PitchMode::Dense ? "dense" : "padded";
+}
+
+/// Padded row pitch in elements: nx rounded up to a multiple of 16.
+inline constexpr std::size_t padded_row_pitch(std::size_t nx) {
+  return (nx + 15) / 16 * 16;
+}
+
 /// One point in the plan tuning space. Defaults are the paper's Table-2
 /// choices; the planner treats each field as a searched dimension.
 struct TuneConfig {
@@ -51,6 +66,10 @@ struct TuneConfig {
   /// closed-form to show D->A is the argmin (Tables 3/4).
   Pattern coarse_read{Pattern::D};
   Pattern coarse_write{Pattern::A};
+  /// Row-pitch layout of Mixed3D (non-pow2) volumes. Searched by the
+  /// planner for that kind only; pow2 kinds keep Dense (their rows are
+  /// already segment-aligned), so default plans stay bit-identical.
+  PitchMode pitch{PitchMode::Dense};
 
   friend bool operator==(const TuneConfig& a, const TuneConfig& b) {
     return a.coarse_twiddles == b.coarse_twiddles &&
@@ -62,7 +81,7 @@ struct TuneConfig {
            a.shmem_pad_words == b.shmem_pad_words &&
            a.slab_depth == b.slab_depth &&
            a.coarse_read == b.coarse_read &&
-           a.coarse_write == b.coarse_write;
+           a.coarse_write == b.coarse_write && a.pitch == b.pitch;
   }
   friend bool operator!=(const TuneConfig& a, const TuneConfig& b) {
     return !(a == b);
@@ -85,6 +104,7 @@ struct TuneConfig {
     mix(slab_depth);
     mix(static_cast<std::uint64_t>(coarse_read));
     mix(static_cast<std::uint64_t>(coarse_write));
+    mix(static_cast<std::uint64_t>(pitch));
     return static_cast<std::size_t>(h);
   }
 

@@ -23,8 +23,10 @@ struct WorkloadSpec {
   /// Request menu, sampled uniformly per request.
   std::vector<gpufft::PlanDesc> menu;
 
-  /// CI-sized mix: small complex sharded volumes, a real transform, and
-  /// single-card out-of-core volumes.
+  /// CI-sized mix: small complex sharded volumes, a real transform,
+  /// single-card out-of-core volumes, and non-pow2 extents whose slabs
+  /// run the mixed-radix plan (shard/split counts stay pow2 — that is
+  /// the streamed plans' contract; the cube edge need not be).
   [[nodiscard]] static WorkloadSpec smoke() {
     WorkloadSpec s;
     s.requests = 12;
@@ -34,11 +36,15 @@ struct WorkloadSpec {
         gpufft::PlanDesc::sharded_real3d(32, 4,
                                          gpufft::Direction::Forward),
         gpufft::PlanDesc::out_of_core(32, 4, gpufft::Direction::Forward),
+        gpufft::PlanDesc::sharded3d(48, 4, gpufft::Direction::Forward),
+        gpufft::PlanDesc::out_of_core(36, 4, gpufft::Direction::Inverse),
     };
     return s;
   }
 
-  /// Bench-sized mix at the paper's volume scales.
+  /// Bench-sized mix at the paper's volume scales, plus the non-pow2
+  /// sizes real traffic brings (tomography/imaging edges like 96, 100,
+  /// 120 — 7-smooth and 2^2*5^2 rows through the mixed-radix kernels).
   [[nodiscard]] static WorkloadSpec full() {
     WorkloadSpec s;
     s.requests = 32;
@@ -49,6 +55,9 @@ struct WorkloadSpec {
         gpufft::PlanDesc::sharded_real3d(64, 8,
                                          gpufft::Direction::Forward),
         gpufft::PlanDesc::out_of_core(64, 8, gpufft::Direction::Forward),
+        gpufft::PlanDesc::sharded3d(96, 8, gpufft::Direction::Forward),
+        gpufft::PlanDesc::sharded3d(120, 8, gpufft::Direction::Forward),
+        gpufft::PlanDesc::out_of_core(100, 4, gpufft::Direction::Forward),
     };
     return s;
   }

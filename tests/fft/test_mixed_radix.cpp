@@ -1,0 +1,221 @@
+// Property tests of the mixed-radix and Bluestein paths: every new size
+// class (3/5/7-smooth, composite with large prime factors, primes) is held
+// to the same invariants as the pow2 engine, against the O(N^2) reference.
+#include <gtest/gtest.h>
+
+#include "common/metrics.h"
+#include "common/rng.h"
+#include "fft/bluestein.h"
+#include "fft/dft_ref.h"
+#include "fft/factor.h"
+#include "fft/plan.h"
+#include "fft/plan2d.h"
+
+namespace repro::fft {
+namespace {
+
+// The ISSUE's size list: 7-smooth composites, the decimal sizes the target
+// workloads use, and primes that force the Bluestein fallback.
+class MixedRadix : public ::testing::TestWithParam<std::size_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Sizes, MixedRadix,
+                         ::testing::Values(6, 12, 15, 97, 100, 120, 251,
+                                           1000));
+
+TEST(RadixSchedule, CoversSmoothSizesAndPreservesPow2Order) {
+  // Pow2 decomposition identical to the historic radix-4/2 rule.
+  const auto s32 = radix_schedule(32);
+  ASSERT_EQ(s32.size(), 3u);
+  EXPECT_EQ(s32[0].radix, 4u);
+  EXPECT_EQ(s32[1].radix, 4u);
+  EXPECT_EQ(s32[2].radix, 2u);
+
+  const auto s1000 = radix_schedule(1000);  // 2^3 * 5^3
+  std::size_t prod = 1;
+  for (const auto& st : s1000) {
+    EXPECT_EQ(st.radix * st.l * st.m, 1000u);
+    prod *= st.radix;
+  }
+  EXPECT_EQ(prod, 1000u);
+
+  EXPECT_TRUE(radix_schedule(97).empty());  // prime > 7
+  EXPECT_TRUE(is_7smooth(2 * 3 * 5 * 7 * 8 * 9));
+  EXPECT_FALSE(is_7smooth(97));
+  EXPECT_EQ(factorization_string(1000), "2^3*5^3");
+  EXPECT_EQ(factorization_string(97), "97");
+  EXPECT_EQ(bluestein_length(97), 256u);
+  EXPECT_EQ(bluestein_length(251), 512u);
+}
+
+TEST_P(MixedRadix, MatchesDftReference) {
+  const std::size_t n = GetParam();
+  auto x = random_complex<double>(n, 2026 + n);
+  auto ref = x;
+  Plan1D<double> plan(n, Direction::Forward);
+  plan.execute(x);
+  ref = dft_1d<double>(ref, Direction::Forward);
+  EXPECT_LT(rel_l2_error<double>(x, ref), fft_error_bound<double>(n));
+}
+
+TEST_P(MixedRadix, InverseMatchesDftReference) {
+  const std::size_t n = GetParam();
+  auto x = random_complex<double>(n, 4052 + n);
+  auto ref = x;
+  Plan1D<double> plan(n, Direction::Inverse);
+  plan.execute(x);
+  ref = dft_1d<double>(ref, Direction::Inverse);
+  EXPECT_LT(rel_l2_error<double>(x, ref), fft_error_bound<double>(n));
+}
+
+TEST_P(MixedRadix, RoundTrip) {
+  const std::size_t n = GetParam();
+  const auto orig = random_complex<double>(n, 11 + n);
+  auto x = orig;
+  Plan1D<double>(n, Direction::Forward).execute(x);
+  Plan1D<double>(n, Direction::Inverse, Scaling::ByN).execute(x);
+  EXPECT_LT(rel_l2_error<double>(x, orig), fft_error_bound<double>(n));
+}
+
+TEST_P(MixedRadix, Linearity) {
+  const std::size_t n = GetParam();
+  auto a = random_complex<double>(n, 21 + n);
+  auto b = random_complex<double>(n, 22 + n);
+  const cx<double> alpha{0.75, -1.5};
+  std::vector<cx<double>> combo(n);
+  for (std::size_t i = 0; i < n; ++i) combo[i] = a[i] + alpha * b[i];
+  Plan1D<double> plan(n, Direction::Forward);
+  plan.execute(a);
+  plan.execute(b);
+  plan.execute(combo);
+  std::vector<cx<double>> expect(n);
+  for (std::size_t i = 0; i < n; ++i) expect[i] = a[i] + alpha * b[i];
+  EXPECT_LT(rel_l2_error<double>(combo, expect), fft_error_bound<double>(n));
+}
+
+TEST_P(MixedRadix, Parseval) {
+  const std::size_t n = GetParam();
+  auto x = random_complex<double>(n, 31 + n);
+  double e_time = 0.0;
+  for (const auto& z : x) e_time += z.norm2();
+  Plan1D<double>(n, Direction::Forward).execute(x);
+  double e_freq = 0.0;
+  for (const auto& z : x) e_freq += z.norm2();
+  EXPECT_NEAR(e_freq / (static_cast<double>(n) * e_time), 1.0, 1e-10);
+}
+
+TEST_P(MixedRadix, ConvolutionTheorem) {
+  const std::size_t n = GetParam();
+  const auto a = random_complex<double>(n, 41 + n);
+  const auto b = random_complex<double>(n, 42 + n);
+
+  // Direct O(n^2) circular convolution.
+  std::vector<cx<double>> direct(n, cx<double>{0, 0});
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      direct[(i + j) % n] += a[i] * b[j];
+    }
+  }
+
+  // FFT route: IFFT(FFT(a) .* FFT(b)).
+  auto fa = a;
+  auto fb = b;
+  Plan1D<double> fwd(n, Direction::Forward);
+  fwd.execute(fa);
+  fwd.execute(fb);
+  std::vector<cx<double>> prod(n);
+  for (std::size_t i = 0; i < n; ++i) prod[i] = fa[i] * fb[i];
+  Plan1D<double>(n, Direction::Inverse, Scaling::ByN).execute(prod);
+
+  EXPECT_LT(rel_l2_error<double>(prod, direct), fft_error_bound<double>(n));
+}
+
+TEST_P(MixedRadix, BatchedRowsMatchSingleRows) {
+  const std::size_t n = GetParam();
+  const std::size_t batch = 3;
+  auto data = random_complex<double>(n * batch, 51 + n);
+  auto rows = data;
+  Plan1D<double> plan(n, Direction::Forward);
+  plan.execute(data, batch);
+  for (std::size_t r = 0; r < batch; ++r) {
+    plan.execute(std::span<cx<double>>(rows.data() + r * n, n));
+  }
+  // Bit-for-bit: the batched path runs the same stages over each row.
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    EXPECT_EQ(data[i].re, rows[i].re);
+    EXPECT_EQ(data[i].im, rows[i].im);
+  }
+}
+
+TEST(MixedRadix3D, SmallVolumeMatchesDftReference) {
+  const Shape3 shape{20, 12, 6};  // 2^2*5, 2^2*3, 2*3 — all smooth
+  auto x = random_complex<double>(shape.volume(), 61);
+  auto ref = x;
+  fft_3d_inplace<double>(x, shape, Direction::Forward);
+  ref = dft_3d<double>(ref, shape, Direction::Forward);
+  EXPECT_LT(rel_l2_error<double>(x, ref),
+            fft_error_bound<double>(shape.volume()));
+}
+
+TEST(MixedRadix3D, BluesteinAxisVolumeMatchesDftReference) {
+  const Shape3 shape{11, 6, 13};  // two Bluestein axes, one smooth
+  auto x = random_complex<double>(shape.volume(), 62);
+  auto ref = x;
+  fft_3d_inplace<double>(x, shape, Direction::Forward);
+  ref = dft_3d<double>(ref, shape, Direction::Forward);
+  EXPECT_LT(rel_l2_error<double>(x, ref),
+            fft_error_bound<double>(shape.volume()));
+}
+
+TEST(MixedRadix2D, NonPow2PlaneMatchesDftReference) {
+  const Shape2 shape{15, 9};
+  auto x = random_complex<double>(shape.area(), 63);
+  auto ref = x;
+  Plan2D<double>(shape, Direction::Forward).execute(x);
+  ref = dft_3d<double>(ref, Shape3{shape.nx, shape.ny, 1}, Direction::Forward);
+  EXPECT_LT(rel_l2_error<double>(x, ref),
+            fft_error_bound<double>(shape.area()));
+}
+
+TEST(MixedRadixFloat, SinglePrecisionRoundTrip) {
+  for (const std::size_t n : {15u, 97u, 100u, 120u}) {
+    const auto orig = random_complex<float>(n, 71 + n);
+    auto x = orig;
+    Plan1D<float>(n, Direction::Forward).execute(x);
+    Plan1D<float>(n, Direction::Inverse, Scaling::ByN).execute(x);
+    EXPECT_LT(rel_l2_error<float>(x, orig), fft_error_bound<float>(n))
+        << "n=" << n;
+  }
+}
+
+TEST(Bluestein, TablesAreDeterministicAndScaled) {
+  Bluestein<float> a(97, Direction::Forward);
+  Bluestein<float> b(97, Direction::Forward);
+  EXPECT_EQ(a.conv_size(), 256u);
+  ASSERT_EQ(a.chirp().size(), 97u);
+  ASSERT_EQ(a.kernel_fft().size(), 256u);
+  for (std::size_t i = 0; i < a.chirp().size(); ++i) {
+    EXPECT_EQ(a.chirp()[i].re, b.chirp()[i].re);
+    EXPECT_EQ(a.chirp()[i].im, b.chirp()[i].im);
+  }
+  for (std::size_t i = 0; i < a.kernel_fft().size(); ++i) {
+    EXPECT_EQ(a.kernel_fft()[i].re, b.kernel_fft()[i].re);
+    EXPECT_EQ(a.kernel_fft()[i].im, b.kernel_fft()[i].im);
+  }
+}
+
+TEST(StockhamErrors, NonSmoothSizeNamesFactorizationAndFallback) {
+  try {
+    std::vector<cx<float>> x(22), s(22);
+    TwiddleTable<float> tw(22, Direction::Forward);
+    stockham_multirow<float>(x.data(), s.data(),
+                             MultirowLayout{22, 1, 1, 22}, tw);
+    FAIL() << "expected unsupported-size error";
+  } catch (const std::exception& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("2*11"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("Bluestein"), std::string::npos) << msg;
+  }
+}
+
+}  // namespace
+}  // namespace repro::fft

@@ -47,8 +47,11 @@ TEST(Plan1D, BatchedExecution) {
   EXPECT_LT(rel_l2_error<double>(data, expect), fft_error_bound<double>(n));
 }
 
-TEST(Plan1D, RejectsNonPow2) {
-  EXPECT_THROW(Plan1D<float>(24, Direction::Forward), Error);
+TEST(Plan1D, AcceptsAnySizeRejectsZero) {
+  // Non-pow2 sizes route through the mixed-radix/Bluestein engines.
+  EXPECT_NO_THROW(Plan1D<float>(24, Direction::Forward));
+  EXPECT_NO_THROW(Plan1D<float>(97, Direction::Forward));
+  EXPECT_THROW(Plan1D<float>(0, Direction::Forward), Error);
 }
 
 TEST(Plan1D, RejectsWrongSpanSize) {
@@ -93,8 +96,9 @@ TEST(Plan3D, RoundTrip) {
             fft_error_bound<float>(shape.volume()));
 }
 
-TEST(Plan3D, RejectsNonPow2Extent) {
-  EXPECT_THROW(Plan3D<float>(Shape3{12, 16, 16}, Direction::Forward), Error);
+TEST(Plan3D, AcceptsNonPow2ExtentRejectsEmpty) {
+  EXPECT_NO_THROW(Plan3D<float>(Shape3{12, 16, 16}, Direction::Forward));
+  EXPECT_THROW(Plan3D<float>(Shape3{0, 16, 16}, Direction::Forward), Error);
 }
 
 TEST(OneShotHelpers, Work) {

@@ -72,8 +72,9 @@ TEST(Plan2D, ParsevalHolds) {
   EXPECT_NEAR(e_out / (static_cast<double>(s.area()) * e_in), 1.0, 1e-12);
 }
 
-TEST(Plan2D, RejectsNonPow2) {
-  EXPECT_THROW(Plan2D<float>(Shape2{12, 8}, Direction::Forward), Error);
+TEST(Plan2D, AcceptsNonPow2RejectsEmpty) {
+  EXPECT_NO_THROW(Plan2D<float>(Shape2{12, 8}, Direction::Forward));
+  EXPECT_THROW(Plan2D<float>(Shape2{0, 8}, Direction::Forward), Error);
 }
 
 }  // namespace

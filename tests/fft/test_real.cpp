@@ -103,29 +103,30 @@ TEST(R2C, CosineHitsSingleBin) {
 }
 
 TEST(R2C, RejectsBadSizes) {
-  EXPECT_THROW(PlanR2C<float>(12), Error);
+  // Even non-pow2 sizes are fine now (half-length plan is mixed-radix).
+  EXPECT_NO_THROW(PlanR2C<float>(12));
   EXPECT_THROW(PlanC2R<float>(0), Error);
 }
 
 TEST(R2C, RejectsOddSizesWithClearMessage) {
-  // The half-length packing trick needs an even (here: power-of-two) n;
-  // odd lengths must fail loudly, not mis-transform.
+  // The half-length packing trick needs an even n; odd lengths must fail
+  // loudly — naming the factorization and the fix — not mis-transform.
   for (const std::size_t n : {std::size_t{1}, std::size_t{9},
                               std::size_t{15}}) {
     try {
       PlanR2C<float> plan(n);
       FAIL() << "PlanR2C accepted n=" << n;
     } catch (const Error& e) {
-      EXPECT_NE(std::string(e.what()).find("power of two"),
-                std::string::npos)
+      EXPECT_NE(std::string(e.what()).find("even size"), std::string::npos)
+          << "n=" << n << " message: " << e.what();
+      EXPECT_NE(std::string(e.what()).find("pad"), std::string::npos)
           << "n=" << n << " message: " << e.what();
     }
     try {
       PlanC2R<double> plan(n);
       FAIL() << "PlanC2R accepted n=" << n;
     } catch (const Error& e) {
-      EXPECT_NE(std::string(e.what()).find("power of two"),
-                std::string::npos)
+      EXPECT_NE(std::string(e.what()).find("even size"), std::string::npos)
           << "n=" << n << " message: " << e.what();
     }
   }

@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "common/metrics.h"
 #include "common/rng.h"
 #include "fft/plan.h"
@@ -51,6 +53,75 @@ TEST(Tuner, RediscoversDefaultForRealPlans) {
       tune_plan(sim::geforce_8800_gtx(),
                 PlanDesc::real3d(cube(256), Direction::Forward));
   EXPECT_EQ(r.best, TuneConfig{});
+}
+
+// ---------------------------------------------------------------------------
+// Mixed-radix plans: the padded-pitch layout decision
+// ---------------------------------------------------------------------------
+
+TEST(Tuner, PadsNonPow2RowsOnPaperHardware) {
+  // cube(100) rows are 100 complex floats: dense, most Y/Z half-warp
+  // slots start off G80's 128-byte segments and degrade to sixteen
+  // 32-byte transactions. The tuner must discover that a 16-element
+  // padded pitch is worth the footprint — on every paper card.
+  const auto desc = PlanDesc::mixed3d(cube(100), Direction::Forward);
+  for (const auto& spec :
+       {sim::geforce_8800_gtx(), sim::geforce_8800_gts()}) {
+    const TuneResult r = tune_plan(spec, desc);
+    EXPECT_EQ(r.best.pitch, PitchMode::Padded)
+        << spec.name << " picked " << r.best.to_string();
+    EXPECT_LT(r.model_ms, r.default_ms);
+  }
+}
+
+TEST(Tuner, ModeledDramAmplificationJustifiesThePad) {
+  // Pin the signal behind the decision, not just the argmin: the modeled
+  // bytes-moved / bytes-useful ratio of the pitch-sensitive Y pass.
+  const auto spec = sim::geforce_8800_gtx();
+  const double dense =
+      mixed_pitch_amplification(spec, cube(100), PitchMode::Dense);
+  const double padded =
+      mixed_pitch_amplification(spec, cube(100), PitchMode::Padded);
+  EXPECT_GE(dense, 2.0) << "dense non-pow2 rows must look uncoalesced";
+  EXPECT_LT(padded, 1.5) << "padded rows must coalesce";
+  EXPECT_GE(dense / padded, 2.0);
+}
+
+TEST(Tuner, Pow2ShapesKeepTheDensePitch) {
+  // Pow2 rows are already segment-aligned; padding buys nothing, and the
+  // strict-improvement margin must keep the dense default.
+  const TuneResult r =
+      tune_plan(sim::geforce_8800_gtx(),
+                PlanDesc::mixed3d(cube(64), Direction::Forward));
+  EXPECT_EQ(r.best.pitch, PitchMode::Dense)
+      << "picked " << r.best.to_string();
+  const auto spec = sim::geforce_8800_gtx();
+  EXPECT_LT(mixed_pitch_amplification(spec, cube(64), PitchMode::Dense),
+            1.5);
+}
+
+TEST(Tuner, PitchKnobDoesNotWidenOtherKindsSearch) {
+  // The pitch dimension exists only for Mixed3D: the five-step search
+  // space (and therefore its wisdom) is exactly what it was before.
+  const TuneResult mixed = tune_plan(
+      sim::geforce_8800_gtx(),
+      PlanDesc::mixed3d(cube(100), Direction::Forward));
+  const TuneResult five = tune_plan(
+      sim::geforce_8800_gtx(),
+      PlanDesc::bandwidth3d(cube(256), Direction::Forward));
+  EXPECT_EQ(mixed.evaluated, 2u * five.evaluated)
+      << "mixed plans score both layouts per candidate";
+}
+
+TEST(Tuner, ModelsMixedAndNonPow2StreamedPlans) {
+  const auto spec = sim::geforce_8800_gtx();
+  EXPECT_TRUE(std::isfinite(model_plan_ms(
+      spec, PlanDesc::mixed3d(Shape3{33, 8, 8}, Direction::Forward),
+      TuneConfig{})));
+  // A non-pow2 out-of-core volume is modeled through the mixed slab path.
+  EXPECT_TRUE(std::isfinite(model_plan_ms(
+      spec, PlanDesc::out_of_core(96, 4, Direction::Forward),
+      TuneConfig{})));
 }
 
 // ---------------------------------------------------------------------------
@@ -122,11 +193,13 @@ TEST(Wisdom, TuneConfigLineRoundTrips) {
   cfg.coarse_radix = 8;
   cfg.shmem_pad_words = 0;
   cfg.slab_depth = 16;
+  cfg.pitch = PitchMode::Padded;
   TuneConfig back;
   ASSERT_TRUE(parse_tune_config(cfg.to_string(), back));
   EXPECT_EQ(back, cfg);
   EXPECT_FALSE(parse_tune_config("tpb=sixtyfour", back));
   EXPECT_FALSE(parse_tune_config("warp=32", back));
+  EXPECT_FALSE(parse_tune_config("pitch=ragged", back));
 }
 
 TEST(Wisdom, PlanLineRoundTrips) {
