@@ -85,6 +85,56 @@ int main(int argc, char** argv) {
                    {"failovers",
                     static_cast<double>(degraded.device_lost_failovers)}}});
 
+  // SDC defense: the smoke mix with its deterministic fault schedule
+  // (a hot streak of silent kernel corruption on one member, sparse
+  // seeded corruption on another, one transient) served under Parseval
+  // verification on a fleet of 4 — detection, bounded recompute, and the
+  // quarantine/probe/reinstate loop all fire, and nothing admitted is
+  // dropped or silently wrong.
+  const serve::WorkloadSpec chaos_spec = serve::WorkloadSpec::smoke_faulty();
+  sim::DeviceGroup chaos_group(4, sim::geforce_8800_gts());
+  serve::arm_faults(chaos_group, chaos_spec.faults);
+  serve::ServiceConfig chaos_cfg;
+  chaos_cfg.exec.verify = gpufft::VerifyPolicy::Parseval;
+  // Smoke-sized traffic spreads the hot streak over few sweeps, so a
+  // tighter window/streak than the defaults keeps the quarantine →
+  // probe → reinstate loop visible in CI.
+  chaos_cfg.health.quarantine_threshold = 2;
+  chaos_cfg.health.clean_probes_to_reinstate = 1;
+  serve::FftService chaos_service(chaos_group, chaos_cfg);
+  serve::Workload chaos_workload(chaos_spec);
+  std::size_t chaos_rejected = 0;
+  for (const auto& req : chaos_workload.requests()) {
+    if (chaos_service.submit(req) != serve::Admission::Accepted) {
+      ++chaos_rejected;
+    }
+  }
+  const auto chaos = chaos_service.run();
+  REPRO_CHECK_MSG(chaos.completed + chaos.failures.size() + chaos_rejected ==
+                      chaos_spec.requests,
+                  "an admitted request was dropped");
+  REPRO_CHECK_MSG(chaos.verify_failures > 0,
+                  "the armed corruption was never detected");
+  REPRO_CHECK_MSG(chaos.quarantines >= 1 && chaos.reinstatements >= 1,
+                  "the quarantine/probe/reinstate loop did not fire");
+  TextTable c;
+  c.header({"SDC defense (fleet of 4)", "completed", "failed typed",
+            "verify fails", "recomputes", "quarantined", "reinstated"});
+  c.row({"smoke_faulty + Parseval", std::to_string(chaos.completed),
+         std::to_string(chaos.failures.size()),
+         std::to_string(chaos.verify_failures),
+         std::to_string(chaos.verify_recomputes),
+         std::to_string(chaos.quarantines),
+         std::to_string(chaos.reinstatements)});
+  c.print(std::cout);
+  bench::add_row({"service/sdc_defense",
+                  chaos.makespan_ms,
+                  {{"verify_failures",
+                    static_cast<double>(chaos.verify_failures)},
+                   {"quarantines", static_cast<double>(chaos.quarantines)},
+                   {"reinstatements",
+                    static_cast<double>(chaos.reinstatements)}}});
+
   std::cout
       << "\nThe service fuses same-shape requests into batches and picks "
          "deal vs shard per batch from the closed-form models: bursts of "

@@ -30,7 +30,7 @@ Batch1DFftT<T>::Batch1DFftT(Device& dev, std::size_t n, std::size_t count,
 }
 
 template <typename T>
-std::vector<StepTiming> Batch1DFftT<T>::execute(DeviceBuffer<cx<T>>& data) {
+std::vector<StepTiming> Batch1DFftT<T>::execute_impl(DeviceBuffer<cx<T>>& data) {
   const std::size_t n = this->n();
   const std::size_t count = this->count();
   REPRO_CHECK(data.size() >= n * count);

@@ -19,7 +19,7 @@ class Batch1DFftT final : public PlanBaseT<T> {
   Batch1DFftT(Device& dev, std::size_t n, std::size_t count, Direction dir,
               BandwidthPlanOptions options = {});
 
-  std::vector<StepTiming> execute(DeviceBuffer<cx<T>>& data) override;
+  std::vector<StepTiming> execute_impl(DeviceBuffer<cx<T>>& data) override;
 
   /// No ping-pong buffer: the fine kernel exchanges through shared memory.
   [[nodiscard]] std::size_t workspace_bytes() const override { return 0; }

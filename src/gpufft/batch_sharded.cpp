@@ -86,7 +86,7 @@ BatchShardedFft3DPlan::BatchShardedFft3DPlan(sim::DeviceGroup& group,
   }
 }
 
-std::vector<StepTiming> BatchShardedFft3DPlan::execute(DeviceBuffer<cxf>&) {
+std::vector<StepTiming> BatchShardedFft3DPlan::execute_impl(DeviceBuffer<cxf>&) {
   REPRO_FAIL(
       "batch-sharded plans deal host-resident volumes across a device "
       "group; use execute_batch()/execute_batch_host()");
@@ -97,9 +97,16 @@ BatchDealTiming BatchShardedFft3DPlan::execute_batch(
   REPRO_CHECK(!volumes.empty());
   for (const auto& v : volumes) REPRO_CHECK(v.size() == n_ * n_ * n_);
   return with_plan_context(desc_, [&] {
-    auto alive = group_->alive_members();
+    auto alive = group_->schedulable_members();
     REPRO_CHECK_MSG(!alive.empty(),
                     "every device in the group has been lost");
+    // Propagate the batch plan's policy so every dealt volume verifies
+    // inside its member's out-of-core execute — per-volume bounded
+    // recompute with the running member attributed. (Member plans are
+    // registry-shared; the policy is per-plan state, set fresh here.)
+    for (std::size_t d : alive) {
+      member_plans_[d]->set_exec_policy(this->exec_policy());
+    }
     const double t0 = group_->elapsed_ms();
     const bool armed = group_->any_faults_armed();
     BatchDealTiming bt;
@@ -123,7 +130,7 @@ BatchDealTiming BatchShardedFft3DPlan::execute_batch(
           bt.volume_done_ms[k] = group_->device(d).elapsed_ms() - t0;
           break;
         } catch (const sim::DeviceLostError&) {
-          alive = group_->alive_members();
+          alive = group_->schedulable_members();
           if (alive.empty() || snapshot.empty()) throw;
           ++recovery_counters().device_lost_failovers;
           std::copy(snapshot.begin(), snapshot.end(), data.begin());

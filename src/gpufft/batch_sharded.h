@@ -70,7 +70,7 @@ class BatchShardedFft3DPlan final : public PlanBaseT<float> {
   BatchDealTiming execute_batch(std::span<const std::span<cxf>> volumes);
 
   /// Unsupported: the batch is host-resident by construction.
-  std::vector<StepTiming> execute(DeviceBuffer<cxf>& data) override;
+  std::vector<StepTiming> execute_impl(DeviceBuffer<cxf>& data) override;
 
   /// One volume dealt to the least-loaded alive member.
   std::vector<StepTiming> execute_host(std::span<cxf> data) override;

@@ -135,7 +135,7 @@ ConventionalFft3D::ConventionalFft3D(Device& dev, Shape3 shape, Direction dir,
   desc_.tune = tune;
 }
 
-std::vector<StepTiming> ConventionalFft3D::execute(DeviceBuffer<cxf>& data) {
+std::vector<StepTiming> ConventionalFft3D::execute_impl(DeviceBuffer<cxf>& data) {
   const Shape3 shape = desc_.shape;
   REPRO_CHECK(data.size() >= shape.volume());
   auto ws = ResourceCache::of(dev_).lease<float>(shape.volume());

@@ -70,7 +70,7 @@ class ConventionalFft3D final : public PlanBaseT<float> {
                     TuneConfig tune = {},
                     TransposeStrategy transpose = TransposeStrategy::Naive);
 
-  std::vector<StepTiming> execute(DeviceBuffer<cxf>& data) override;
+  std::vector<StepTiming> execute_impl(DeviceBuffer<cxf>& data) override;
 
   [[nodiscard]] std::size_t workspace_bytes() const override {
     return desc_.shape.volume() * sizeof(cxf);

@@ -200,7 +200,7 @@ void Convolution3D::set_filter_real(std::span<const float> filter) {
   filter_set_ = true;
 }
 
-std::vector<StepTiming> Convolution3D::execute(DeviceBuffer<cxf>& data) {
+std::vector<StepTiming> Convolution3D::execute_impl(DeviceBuffer<cxf>& data) {
   REPRO_CHECK_MSG(filter_set_, "set_filter must be called first");
   const std::size_t elems = desc_.buffer_elements();
   REPRO_CHECK(data.size() >= elems);

@@ -106,7 +106,7 @@ class Convolution3D final : public PlanBaseT<float> {
 
   /// In-place correlation of a device-resident signal against the
   /// resident filter: leaves the score volume in `data`.
-  std::vector<StepTiming> execute(DeviceBuffer<cxf>& data) override;
+  std::vector<StepTiming> execute_impl(DeviceBuffer<cxf>& data) override;
 
   /// Correlate `signal` against the resident filter and return the full
   /// score volume (downloads the whole volume: the non-confined path).

@@ -1,5 +1,6 @@
 #include "gpufft/fft_plan.h"
 
+#include <cstring>
 #include <utility>
 
 #include "gpufft/cache.h"
@@ -38,6 +39,74 @@ void finish_accumulation(std::vector<StepTiming>& total,
 }  // namespace
 
 template <typename T>
+std::vector<StepTiming> FftPlanT<T>::execute(DeviceBuffer<cx<T>>& data) {
+  if (policy_.verify == VerifyPolicy::Off) return execute_impl(data);
+  return execute_verified(data);
+}
+
+template <typename T>
+std::vector<StepTiming> FftPlanT<T>::execute_verified(
+    DeviceBuffer<cx<T>>& data) {
+  Device& dev = device();
+  const PlanDesc& d = desc();
+  const std::size_t elems = std::min(this->buffer_elements(), data.size());
+  // Retain the input host-side so a failed check can recompute; the
+  // restore below is a real (timed) re-upload of the caller's data.
+  const std::vector<cx<T>> input(data.data(), data.data() + elems);
+  const auto spec = parseval_spec(d);
+  double e_in = 0.0;
+  if (policy_.verify == VerifyPolicy::Parseval && spec.has_value()) {
+    e_in = side_energy<T>(input.data(), d, spec->in_hermitian);
+  }
+  const std::size_t points = d.shape.volume();
+  auto restore = [&] { dev.h2d(data, std::span<const cx<T>>(input)); };
+
+  for (int attempt = 1;; ++attempt) {
+    std::vector<StepTiming> steps;
+    double expected = 0.0;
+    double observed = 0.0;
+    const char* failed_check;
+    try {
+      steps = execute_impl(data);
+      if (policy_.verify == VerifyPolicy::Parseval) {
+        // A plan without a closed-form invariant passes trivially.
+        if (!spec.has_value()) return steps;
+        expected = spec->scale * e_in;
+        observed = side_energy<T>(data.data(), d, spec->out_hermitian);
+        if (parseval_ok<T>(expected, observed, points)) return steps;
+        failed_check = "parseval";
+      } else {
+        // Full: run it again from the retained input and require the two
+        // outputs to agree bitwise. Twice the time, total certainty.
+        const std::vector<cx<T>> first(data.data(), data.data() + elems);
+        restore();
+        execute_impl(data);
+        if (std::memcmp(first.data(), data.data(),
+                        elems * sizeof(cx<T>)) == 0) {
+          return steps;
+        }
+        failed_check = "full-recompute";
+      }
+    } catch (const sim::ResultVerificationError&) {
+      // A per-pass check deep in a streamed pipeline already failed and
+      // attributed the incident; recompute from the retained input.
+      if (attempt >= policy_.verify_attempts) throw;
+      ++recovery_counters().verify_recomputes;
+      restore();
+      continue;
+    }
+    ++dev.health().verify_failures;
+    ++recovery_counters().verify_failures;
+    if (attempt >= policy_.verify_attempts) {
+      throw sim::ResultVerificationError(dev.device_ref(), failed_check,
+                                         expected, observed, attempt);
+    }
+    ++recovery_counters().verify_recomputes;
+    restore();
+  }
+}
+
+template <typename T>
 std::vector<StepTiming> FftPlanT<T>::execute_async(DeviceBuffer<cx<T>>& data,
                                                    sim::Stream& stream) {
   // Route every transfer/launch of the plan's execute() to `stream`; the
@@ -69,9 +138,11 @@ std::vector<StepTiming> FftPlanT<T>::execute_host(std::span<cx<T>> data) {
     auto lease = ResourceCache::of(dev).template lease<T>(data.size());
     auto& staging = lease.buffer();
     staged_h2d(dev, staging,
-               std::span<const cx<T>>(data.data(), data.size()));
+               std::span<const cx<T>>(data.data(), data.size()),
+               /*stream=*/nullptr, /*dst_offset=*/0, policy_.staging);
     auto steps = execute(staging);
-    staged_d2h(dev, data, staging);
+    staged_d2h(dev, data, staging, /*stream=*/nullptr, /*src_offset=*/0,
+               policy_.staging);
     return steps;
   });
 }
@@ -108,7 +179,7 @@ std::vector<StepTiming> FftPlanT<T>::execute_batch_host_impl(
   auto upload = [&](std::size_t i) {
     staged_h2d(dev, *staging[i % 2],
                std::span<const cx<T>>(volumes[i].data(), count),
-               streams[i % 2]);
+               streams[i % 2], /*dst_offset=*/0, policy_.staging);
   };
 
   std::vector<StepTiming> total;
@@ -118,7 +189,8 @@ std::vector<StepTiming> FftPlanT<T>::execute_batch_host_impl(
   for (std::size_t i = 0; i < jobs; ++i) {
     accumulate_steps(total, traffic,
                      execute_async(*staging[i % 2], *streams[i % 2]));
-    staged_d2h(dev, volumes[i], *staging[i % 2], streams[i % 2]);
+    staged_d2h(dev, volumes[i], *staging[i % 2], streams[i % 2],
+               /*src_offset=*/0, policy_.staging);
     if (i + 2 < jobs) upload(i + 2);
   }
   finish_accumulation(total, traffic);

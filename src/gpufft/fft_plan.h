@@ -28,6 +28,7 @@
 
 #include "gpufft/plan_desc.h"
 #include "gpufft/types.h"
+#include "gpufft/verify.h"
 #include "sim/errors.h"
 
 namespace repro::gpufft {
@@ -53,8 +54,21 @@ class FftPlanT {
   virtual ~FftPlanT() = default;
 
   /// Transform `data` (device-resident, natural x-fastest layout) in
-  /// place. Returns per-step timings (Table 6/7 rows).
-  virtual std::vector<StepTiming> execute(DeviceBuffer<cx<T>>& data) = 0;
+  /// place. Returns per-step timings (Table 6/7 rows). Non-virtual: this
+  /// is the verification seam — with ExecPolicy::verify enabled the
+  /// result is checked against the plan's ABFT invariant and recomputed
+  /// (bounded) on a failure before ResultVerificationError surfaces; with
+  /// the default VerifyPolicy::Off it is a direct call to the plan body,
+  /// bit-identical in results and timeline to the unverified stack.
+  std::vector<StepTiming> execute(DeviceBuffer<cx<T>>& data);
+
+  /// Set per-execute options (verification + staging policy). Throws
+  /// sim::InvalidPolicyError (naming the field) on invalid values.
+  void set_exec_policy(const ExecPolicy& policy) {
+    validate_policy(policy);
+    policy_ = policy;
+  }
+  [[nodiscard]] const ExecPolicy& exec_policy() const { return policy_; }
 
   /// Enqueue the transform's kernels on `stream` instead of the serial
   /// default queue. Functional effects are immediate (results are
@@ -107,9 +121,18 @@ class FftPlanT {
   /// Total simulated milliseconds of the last execute()/execute_batch().
   [[nodiscard]] virtual double last_total_ms() const = 0;
 
+ protected:
+  /// The plan body: one unverified in-place transform. Concrete plans
+  /// override this (not execute()); the public entry point applies the
+  /// ExecPolicy around it.
+  virtual std::vector<StepTiming> execute_impl(DeviceBuffer<cx<T>>& data) = 0;
+
  private:
+  std::vector<StepTiming> execute_verified(DeviceBuffer<cx<T>>& data);
   std::vector<StepTiming> execute_batch_host_impl(
       std::span<const std::span<cx<T>>> volumes);
+
+  ExecPolicy policy_;
 };
 
 using FftPlan = FftPlanT<float>;

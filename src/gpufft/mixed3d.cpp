@@ -40,7 +40,7 @@ MixedFft3DT<T>::MixedFft3DT(Device& dev, Shape3 shape, Direction dir,
 }
 
 template <typename T>
-std::vector<StepTiming> MixedFft3DT<T>::execute(DeviceBuffer<cx<T>>& data) {
+std::vector<StepTiming> MixedFft3DT<T>::execute_impl(DeviceBuffer<cx<T>>& data) {
   const Shape3 shape = desc_.shape;
   const std::size_t pitch = desc_.row_pitch();
   REPRO_CHECK_MSG(data.size() >= desc_.buffer_elements(),
@@ -91,7 +91,7 @@ std::vector<StepTiming> MixedFft3DT<T>::execute_host(std::span<cx<T>> data) {
         ResourceCache::of(dev_).template lease<T>(desc_.buffer_elements());
     auto& staging = lease.buffer();
     staged_h2d(dev_, staging, std::span<const cx<T>>(padded));
-    auto steps = execute(staging);
+    auto steps = this->execute(staging);
     staged_d2h(dev_, std::span<cx<T>>(padded), staging);
     for (std::size_t r = 0; r < rows; ++r) {
       std::copy_n(padded.data() + r * pitch, shape.nx,

@@ -29,7 +29,7 @@ class MixedFft3DT final : public PlanBaseT<T> {
   MixedFft3DT(Device& dev, Shape3 shape, Direction dir,
               const TuneConfig& options = {});
 
-  std::vector<StepTiming> execute(DeviceBuffer<cx<T>>& data) override;
+  std::vector<StepTiming> execute_impl(DeviceBuffer<cx<T>>& data) override;
 
   /// Dense layouts stage the volume verbatim; a padded layout packs each
   /// X row at the tuned pitch on upload and unpacks on download, so

@@ -226,7 +226,7 @@ NaiveFft3D::NaiveFft3D(Device& dev, Shape3 shape, Direction dir,
   desc_.tune.grid_blocks = grid_blocks;
 }
 
-std::vector<StepTiming> NaiveFft3D::execute(DeviceBuffer<cxf>& data) {
+std::vector<StepTiming> NaiveFft3D::execute_impl(DeviceBuffer<cxf>& data) {
   const Shape3 shape = desc_.shape;
   REPRO_CHECK(data.size() >= shape.volume());
   auto ws = ResourceCache::of(dev_).lease<float>(shape.volume());

@@ -94,7 +94,7 @@ class NaiveFft3D final : public PlanBaseT<float> {
   NaiveFft3D(Device& dev, Shape3 shape, Direction dir,
              unsigned grid_blocks = 0);
 
-  std::vector<StepTiming> execute(DeviceBuffer<cxf>& data) override;
+  std::vector<StepTiming> execute_impl(DeviceBuffer<cxf>& data) override;
 
   [[nodiscard]] std::size_t workspace_bytes() const override {
     return desc_.shape.volume() * sizeof(cxf);

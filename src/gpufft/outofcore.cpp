@@ -145,14 +145,18 @@ OutOfCoreFft3D::OutOfCoreFft3D(Device& dev, std::size_t n, std::size_t splits,
   desc_.tune = tune;
 }
 
-std::vector<StepTiming> OutOfCoreFft3D::execute(DeviceBuffer<cxf>&) {
+std::vector<StepTiming> OutOfCoreFft3D::execute_impl(DeviceBuffer<cxf>&) {
   REPRO_FAIL(
       "out-of-core plans transform host-resident volumes that exceed device "
       "memory; use execute_host()");
 }
 
 OutOfCoreTiming OutOfCoreFft3D::execute(std::span<cxf> host_data) {
-  return with_plan_context(desc_, [&] { return execute_impl(host_data); });
+  return with_plan_context(desc_, [&] {
+    return verified_span_run<float>(dev_, this->exec_policy(), desc_,
+                                    host_data,
+                                    [&] { return execute_impl(host_data); });
+  });
 }
 
 OutOfCoreTiming OutOfCoreFft3D::execute_impl(std::span<cxf> host_data) {
@@ -160,6 +164,7 @@ OutOfCoreTiming OutOfCoreFft3D::execute_impl(std::span<cxf> host_data) {
   const std::size_t plane = n_ * n_;
   const std::size_t local_nz = n_ / splits_;
   const unsigned grid = opt_.grid_for(dev_.spec());
+  const StagePolicy& sp = this->exec_policy().staging;
 
   // Phase 1 stages n/splits planes, phase 2 stages `splits` planes; two
   // arena leases (held only for the duration of the run) double-buffer
@@ -184,7 +189,7 @@ OutOfCoreTiming OutOfCoreFft3D::execute_impl(std::span<cxf> host_data) {
     for (std::size_t j = 0; j < local_nz; ++j) {
       const std::size_t z = residue + splits_ * j;
       const std::span<const cxf> src = host_data.subspan(z * plane, plane);
-      timing.h2d1_ms += staged_h2d(dev_, slab, src, &s, j * plane);
+      timing.h2d1_ms += staged_h2d(dev_, slab, src, &s, j * plane, sp);
     }
 
     for (const auto& step : slab_plan_->execute_async(slab, s)) {
@@ -199,7 +204,7 @@ OutOfCoreTiming OutOfCoreFft3D::execute_impl(std::span<cxf> host_data) {
       const std::size_t z = residue + splits_ * k;
       timing.d2h1_ms += staged_d2h(
           dev_, std::span<cxf>(host_work_).subspan(z * plane, plane), slab,
-          &s, k * plane);
+          &s, k * plane, sp);
     }
   }
 
@@ -221,7 +226,7 @@ OutOfCoreTiming OutOfCoreFft3D::execute_impl(std::span<cxf> host_data) {
         dev_, slab,
         std::span<const cxf>(host_work_)
             .subspan(splits_ * k * plane, splits_ * plane),
-        &s);
+        &s, /*dst_offset=*/0, sp);
 
     ZPencilFftKernel fft(slab, pencil_slab, desc_.dir, grid, 0,
                          opt_.threads_per_block);
@@ -230,7 +235,7 @@ OutOfCoreTiming OutOfCoreFft3D::execute_impl(std::span<cxf> host_data) {
     for (std::size_t k2 = 0; k2 < splits_; ++k2) {
       const std::size_t z = k + local_nz * k2;
       timing.d2h2_ms += staged_d2h(dev_, host_data.subspan(z * plane, plane),
-                                   slab, &s, k2 * plane);
+                                   slab, &s, k2 * plane, sp);
     }
   }
 

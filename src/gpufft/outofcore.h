@@ -108,10 +108,12 @@ class OutOfCoreFft3D final : public PlanBaseT<float> {
                  Direction dir, TuneConfig tune = {});
 
   OutOfCoreTiming execute(std::span<cxf> host_data);
+  /// Re-expose the device-resident entry point the span overload hides.
+  using FftPlanT<float>::execute;
 
   /// Unsupported: the whole point of this plan is that the volume does
   /// not fit in device memory.
-  std::vector<StepTiming> execute(DeviceBuffer<cxf>& data) override;
+  std::vector<StepTiming> execute_impl(DeviceBuffer<cxf>& data) override;
 
   /// The FftPlan host entry point (phase-level rows of Table 12).
   /// last_total_ms() afterwards reports the overlapped makespan.

@@ -86,7 +86,7 @@ void run_coarse_ranks(Device& dev, DeviceBuffer<cx<T>>& data,
 }
 
 template <typename T>
-std::vector<StepTiming> BandwidthFft3DT<T>::execute(
+std::vector<StepTiming> BandwidthFft3DT<T>::execute_impl(
     DeviceBuffer<cx<T>>& data) {
   const Shape3 shape = this->desc_.shape;
   // >= rather than ==: the out-of-core driver reuses one oversized staging

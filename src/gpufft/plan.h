@@ -77,7 +77,7 @@ class BandwidthFft3DT final : public PlanBaseT<T> {
 
   /// Transform `data` (natural x-fastest volume on the device) in place.
   /// Returns per-step timings (Table 7 rows).
-  std::vector<StepTiming> execute(DeviceBuffer<cx<T>>& data) override;
+  std::vector<StepTiming> execute_impl(DeviceBuffer<cx<T>>& data) override;
 
   /// One full-volume ping-pong buffer, leased during execute().
   [[nodiscard]] std::size_t workspace_bytes() const override {

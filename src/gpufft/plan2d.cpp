@@ -31,7 +31,7 @@ BandwidthFft2DT<T>::BandwidthFft2DT(Device& dev, Shape2 shape, Direction dir,
 }
 
 template <typename T>
-std::vector<StepTiming> BandwidthFft2DT<T>::execute(
+std::vector<StepTiming> BandwidthFft2DT<T>::execute_impl(
     DeviceBuffer<cx<T>>& data) {
   const std::size_t nx = this->desc_.shape.nx;
   const std::size_t ny = this->desc_.shape.ny;

@@ -26,7 +26,7 @@ class BandwidthFft2DT final : public PlanBaseT<T> {
                   BandwidthPlanOptions options = {});
 
   /// Transform one field (natural x-fastest layout) in place.
-  std::vector<StepTiming> execute(DeviceBuffer<cx<T>>& data) override;
+  std::vector<StepTiming> execute_impl(DeviceBuffer<cx<T>>& data) override;
 
   [[nodiscard]] std::size_t workspace_bytes() const override {
     return this->desc_.shape.volume() * sizeof(cx<T>);

@@ -83,7 +83,7 @@ RealFft3DT<T>::RealFft3DT(Device& dev, Shape3 shape, Direction dir,
 }
 
 template <typename T>
-std::vector<StepTiming> RealFft3DT<T>::execute(DeviceBuffer<cx<T>>& data) {
+std::vector<StepTiming> RealFft3DT<T>::execute_impl(DeviceBuffer<cx<T>>& data) {
   const Shape3 shape = this->desc_.shape;
   const std::size_t elems = half_spectrum_elems(shape);
   REPRO_CHECK(data.size() >= elems);

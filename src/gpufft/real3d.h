@@ -81,7 +81,7 @@ class RealFft3DT final : public PlanBaseT<T> {
 
   /// Transform the split half-spectrum buffer in place. `data` must hold
   /// at least buffer_elements() == (nx/2+1)*ny*nz complex elements.
-  std::vector<StepTiming> execute(DeviceBuffer<cx<T>>& data) override;
+  std::vector<StepTiming> execute_impl(DeviceBuffer<cx<T>>& data) override;
 
   /// One half-spectrum ping-pong buffer, leased during execute().
   [[nodiscard]] std::size_t workspace_bytes() const override {

@@ -111,7 +111,7 @@ ResolvedShard resolve_shard(const sim::Topology& topo,
 template <typename ResolveFn, typename RunFn>
 ShardedTiming run_with_failover(sim::DeviceGroup& group, std::span<cxf> data,
                                 ResolveFn&& resolve, RunFn&& run) {
-  ResolvedShard r = resolve(group.alive_members());
+  ResolvedShard r = resolve(group.schedulable_members());
   REPRO_CHECK_MSG(!r.members.empty(),
                   "every device in the group has been lost");
   std::vector<cxf> snapshot;
@@ -120,7 +120,7 @@ ShardedTiming run_with_failover(sim::DeviceGroup& group, std::span<cxf> data,
     try {
       return run(r.members, r.layout);
     } catch (const sim::DeviceLostError&) {
-      ResolvedShard next = resolve(group.alive_members());
+      ResolvedShard next = resolve(group.schedulable_members());
       if (next.members.empty() || snapshot.empty()) throw;
       ++recovery_counters().device_lost_failovers;
       std::copy(snapshot.begin(), snapshot.end(), data.begin());
@@ -132,6 +132,51 @@ ShardedTiming run_with_failover(sim::DeviceGroup& group, std::span<cxf> data,
 /// The TuneConfig slab-depth knob overrides the plan's `shards` when set.
 std::size_t effective_shards(std::size_t shards, const TuneConfig& tune) {
   return tune.slab_depth != 0 ? tune.slab_depth : shards;
+}
+
+/// Per-member phase-2 plausibility check over the final volume: member
+/// `mi` wrote a known region of `out` (its plane-group block on slab, its
+/// (group, Y-block) unit on pencil), and any legitimate DFT composition
+/// keeps that region's energy within the scale-free pass bound. Runs
+/// after the group drains, so a phase-2 KernelCorrupt is caught with the
+/// producing member attributed before the wrapper's end-to-end check
+/// would blame the plan's primary device.
+void verify_phase2_regions(sim::DeviceGroup& group,
+                           const std::vector<std::size_t>& members,
+                           const ShardLayout& layout, std::size_t n,
+                           std::size_t shards, std::span<const cxf> out,
+                           double e_in) {
+  const std::size_t plane = n * n;
+  const std::size_t local_nz = n / shards;
+  const std::size_t nm = members.size();
+  const std::size_t points = n * n * n;
+  const double bound =
+      4.0 * static_cast<double>(points) * std::max(e_in, 1e-300);
+  for (std::size_t mi = 0; mi < nm; ++mi) {
+    double e = 0.0;
+    if (layout.decomp == Decomposition::Slab) {
+      const std::size_t gpd = local_nz / nm;
+      for (std::size_t gl = 0; gl < gpd; ++gl) {
+        const std::size_t k = mi * gpd + gl;
+        for (std::size_t k2 = 0; k2 < shards; ++k2) {
+          const std::size_t z = k + local_nz * k2;
+          e += span_energy<float>(out.subspan(z * plane, plane));
+        }
+      }
+    } else {
+      const std::size_t py = layout.y_blocks;
+      const std::size_t ny = n / py;
+      const std::size_t g = mi / py;
+      const std::size_t pb = mi % py;
+      for (std::size_t k2 = 0; k2 < shards; ++k2) {
+        const std::size_t z = g + local_nz * k2;
+        e += span_energy<float>(out.subspan(z * plane + pb * ny * n, ny * n));
+      }
+    }
+    if (!pass_energy_plausible(e_in, e, points)) {
+      fail_pass_check(group.device(members[mi]), "phase2-energy", bound, e);
+    }
+  }
 }
 
 /// Sum `t`'s duration buckets into `into` (batch totals across volumes).
@@ -221,7 +266,7 @@ ShardedFft3DPlan::ShardedFft3DPlan(sim::DeviceGroup& group, std::size_t n,
   }
 }
 
-std::vector<StepTiming> ShardedFft3DPlan::execute(DeviceBuffer<cxf>&) {
+std::vector<StepTiming> ShardedFft3DPlan::execute_impl(DeviceBuffer<cxf>&) {
   REPRO_FAIL(
       "sharded plans transform host-resident volumes distributed across a "
       "device group; use execute_host()");
@@ -230,15 +275,18 @@ std::vector<StepTiming> ShardedFft3DPlan::execute(DeviceBuffer<cxf>&) {
 ShardedTiming ShardedFft3DPlan::execute(std::span<cxf> host_data) {
   REPRO_CHECK(host_data.size() == n_ * n_ * n_);
   return with_plan_context(desc_, [&] {
-    return run_with_failover(
-        *group_, host_data,
-        [&](std::vector<std::size_t> alive) {
-          return resolve_shard(group_->topo(), group_, std::move(alive), n_,
-                               shards_, decomp_);
-        },
-        [&](const std::vector<std::size_t>& members,
-            const ShardLayout& layout) {
-          return run_on(members, layout, host_data);
+    return verified_span_run<float>(
+        this->device(), this->exec_policy(), desc_, host_data, [&] {
+          return run_with_failover(
+              *group_, host_data,
+              [&](std::vector<std::size_t> alive) {
+                return resolve_shard(group_->topo(), group_, std::move(alive),
+                                     n_, shards_, decomp_);
+              },
+              [&](const std::vector<std::size_t>& members,
+                  const ShardLayout& layout) {
+                return run_on(members, layout, host_data);
+              });
         });
   });
 }
@@ -347,6 +395,8 @@ void ShardedFft3DPlan::enqueue_phase1(VolumeCtx& ctx,
       ctx.layout.decomp == Decomposition::Slab ? local_nz / nm : 0;
   const std::size_t py = ctx.layout.y_blocks;
   const std::size_t ny = n_ / py;
+  const StagePolicy& sp = this->exec_policy().staging;
+  const bool verify = this->exec_policy().verify != VerifyPolicy::Off;
   auto charge = [&timing](const std::vector<sim::PeerLeg>& legs) {
     for (const auto& leg : legs) {
       timing.devices[leg.from].d2h1_ms += leg.dur_ms;
@@ -368,7 +418,7 @@ void ShardedFft3DPlan::enqueue_phase1(VolumeCtx& ctx,
     for (std::size_t j = 0; j < local_nz; ++j) {
       const std::size_t z = residue + shards_ * j;
       const std::span<const cxf> src = host_data.subspan(z * plane, plane);
-      t.h2d1_ms += staged_h2d(dev, slab, src, &s, j * plane);
+      t.h2d1_ms += staged_h2d(dev, slab, src, &s, j * plane, sp);
     }
 
     for (const auto& step : slab_plans_[d]->execute_async(slab, s)) {
@@ -379,6 +429,27 @@ void ShardedFft3DPlan::enqueue_phase1(VolumeCtx& ctx,
                          opt_.threads_per_block);
     t.twiddle_ms += dev.launch_async(tw, s).total_ms;
 
+    if (verify) {
+      // Per-pass ABFT guard: the residue's slab output is visible now
+      // (functional effects apply at enqueue), so check it before the
+      // exchange spreads one member's corruption across the fleet — and
+      // attribute a failure to the member that computed the pass.
+      double e_res = 0.0;
+      for (std::size_t j = 0; j < local_nz; ++j) {
+        const std::size_t z = residue + shards_ * j;
+        e_res += span_energy<float>(
+            std::span<const cxf>(host_data).subspan(z * plane, plane));
+      }
+      const double e_out = span_energy<float>(
+          std::span<const cxf>(slab.span()).first(local_nz * plane));
+      if (!pass_energy_plausible(e_res, e_out, n_ * n_ * n_)) {
+        fail_pass_check(dev, "pass-energy",
+                        4.0 * static_cast<double>(n_ * n_ * n_) *
+                            std::max(e_res, 1e-300),
+                        e_out);
+      }
+    }
+
     if (!peer) {
       // The download IS the all-to-all send: the planes land in the host
       // staging volume that every card's phase 2 reads back.
@@ -386,7 +457,7 @@ void ShardedFft3DPlan::enqueue_phase1(VolumeCtx& ctx,
         const std::size_t z = residue + shards_ * k;
         t.d2h1_ms += staged_d2h(
             dev, std::span<cxf>(host_work).subspan(z * plane, plane), slab,
-            &s, k * plane);
+            &s, k * plane, sp);
         t.exchange_bytes += plane * sizeof(cxf);
       }
       continue;
@@ -442,6 +513,7 @@ void ShardedFft3DPlan::enqueue_phase2(VolumeCtx& ctx,
   const std::size_t local_nz = n_ / shards_;
   const std::size_t nm = ctx.members.size();
   const Shape3 pencil_slab{n_, n_, shards_};
+  const StagePolicy& sp = this->exec_policy().staging;
 
   if (ctx.layout.exchange == Exchange::HostStaged) {
     // Group-wide phase boundary: every phase-2 group gathers one plane
@@ -473,7 +545,7 @@ void ShardedFft3DPlan::enqueue_phase2(VolumeCtx& ctx,
             dev, slab,
             std::span<const cxf>(host_work)
                 .subspan(shards_ * k * plane, shards_ * plane),
-            &s);
+            &s, /*dst_offset=*/0, sp);
         t.exchange_bytes += shards_ * plane * sizeof(cxf);
 
         ZPencilFftKernel fft(slab, pencil_slab, desc_.dir, grid, 0,
@@ -483,7 +555,7 @@ void ShardedFft3DPlan::enqueue_phase2(VolumeCtx& ctx,
         for (std::size_t k2 = 0; k2 < shards_; ++k2) {
           const std::size_t z = k + local_nz * k2;
           t.d2h2_ms += staged_d2h(dev, host_data.subspan(z * plane, plane),
-                                  slab, &s, k2 * plane);
+                                  slab, &s, k2 * plane, sp);
         }
       }
     }
@@ -526,7 +598,7 @@ void ShardedFft3DPlan::enqueue_phase2(VolumeCtx& ctx,
           const std::size_t z = k + local_nz * k2;
           t.d2h2_ms += staged_d2h(dev, host_data.subspan(z * plane, plane),
                                   ctx.recv(mi), &s,
-                                  gl * shards_ * plane + k2 * plane);
+                                  gl * shards_ * plane + k2 * plane, sp);
         }
       }
     }
@@ -554,7 +626,7 @@ void ShardedFft3DPlan::enqueue_phase2(VolumeCtx& ctx,
       const std::size_t z = g + local_nz * k2;
       t.d2h2_ms += staged_d2h(
           dev, host_data.subspan(z * plane + p * ny * n_, ny * n_),
-          ctx.recv(mi), &s, k2 * ny * n_);
+          ctx.recv(mi), &s, k2 * ny * n_, sp);
     }
   }
 }
@@ -562,6 +634,9 @@ void ShardedFft3DPlan::enqueue_phase2(VolumeCtx& ctx,
 ShardedTiming ShardedFft3DPlan::run_on(
     const std::vector<std::size_t>& members, const ShardLayout& layout,
     std::span<cxf> host_data) {
+  const bool verify = this->exec_policy().verify != VerifyPolicy::Off;
+  const double e_in =
+      verify ? span_energy<float>(std::span<const cxf>(host_data)) : 0.0;
   auto ctx = make_ctx(members, layout);
   const double start_ms = group_->elapsed_ms();
   ShardedTiming timing;
@@ -570,6 +645,10 @@ ShardedTiming ShardedFft3DPlan::run_on(
   timing.devices.resize(group_->size());
   enqueue_volume(*ctx, host_data, host_work_, start_ms, timing);
   group_->sync_all();
+  if (verify) {
+    verify_phase2_regions(*group_, members, layout, n_, shards_, host_data,
+                          e_in);
+  }
   timing.makespan_ms = group_->elapsed_ms() - start_ms;
   last_layout_ = layout;
   last_timing_ = timing;
@@ -703,6 +782,14 @@ ShardedBatchTiming ShardedFft3DPlan::execute_batch(
     std::span<const std::span<cxf>> volumes, BatchMode mode) {
   REPRO_CHECK(!volumes.empty());
   for (const auto& v : volumes) REPRO_CHECK(v.size() == n_ * n_ * n_);
+  // Verified batches drain serially: the pipelined interleave keeps
+  // several volumes in flight, so a failed check could not recompute one
+  // volume without replaying the whole window, while the serial path
+  // gives each volume its own snapshot/recompute loop through execute().
+  // VerifyPolicy::Off keeps the pipelined schedule untouched.
+  if (this->exec_policy().verify != VerifyPolicy::Off) {
+    mode = BatchMode::Serial;
+  }
   return with_plan_context(desc_, [&] {
     ShardedBatchTiming bt;
     bt.total.devices.resize(group_->size());
@@ -741,7 +828,7 @@ ShardedBatchTiming ShardedFft3DPlan::execute_batch(
       return resolve_shard(group_->topo(), group_, std::move(alive), n_,
                            shards_, decomp_);
     };
-    ResolvedShard shard = resolve(group_->alive_members());
+    ResolvedShard shard = resolve(group_->schedulable_members());
     REPRO_CHECK_MSG(!shard.members.empty(),
                     "every device in the group has been lost");
     // Peer exchanges stage on the cards (the per-ctx receive buffers), so
@@ -838,7 +925,7 @@ ShardedBatchTiming ShardedFft3DPlan::execute_batch(
           ++p2;
         }
       } catch (const sim::DeviceLostError&) {
-        ResolvedShard next = resolve(group_->alive_members());
+        ResolvedShard next = resolve(group_->schedulable_members());
         if (next.members.empty() || (!do_p1 && snapshot.empty())) throw;
         ++recovery_counters().device_lost_failovers;
         // The lost card's streams are dead; drop every context (RAII
@@ -965,7 +1052,7 @@ ShardedRealFft3DPlan::ShardedRealFft3DPlan(sim::DeviceGroup& group,
   }
 }
 
-std::vector<StepTiming> ShardedRealFft3DPlan::execute(DeviceBuffer<cxf>&) {
+std::vector<StepTiming> ShardedRealFft3DPlan::execute_impl(DeviceBuffer<cxf>&) {
   REPRO_FAIL(
       "sharded plans transform host-resident volumes distributed across a "
       "device group; use execute_host()");
@@ -974,15 +1061,18 @@ std::vector<StepTiming> ShardedRealFft3DPlan::execute(DeviceBuffer<cxf>&) {
 ShardedTiming ShardedRealFft3DPlan::execute(std::span<cxf> host_data) {
   REPRO_CHECK(host_data.size() == buffer_elements());
   return with_plan_context(desc_, [&] {
-    return run_with_failover(
-        *group_, host_data,
-        [&](std::vector<std::size_t> alive) {
-          return resolve_shard(group_->topo(), group_, std::move(alive), n_,
-                               shards_, Decomposition::Slab);
-        },
-        [&](const std::vector<std::size_t>& members,
-            const ShardLayout& layout) {
-          return run_on(members, layout, host_data);
+    return verified_span_run<float>(
+        this->device(), this->exec_policy(), desc_, host_data, [&] {
+          return run_with_failover(
+              *group_, host_data,
+              [&](std::vector<std::size_t> alive) {
+                return resolve_shard(group_->topo(), group_, std::move(alive),
+                                     n_, shards_, Decomposition::Slab);
+              },
+              [&](const std::vector<std::size_t>& members,
+                  const ShardLayout& layout) {
+                return run_on(members, layout, host_data);
+              });
         });
   });
 }
@@ -1000,6 +1090,10 @@ ShardedTiming ShardedRealFft3DPlan::run_on(
   const std::size_t local_nz = n_ / shards_;
   const std::size_t nm = members.size();
   const bool forward = desc_.dir == Direction::Forward;
+  const StagePolicy& sp = this->exec_policy().staging;
+  const bool verify = this->exec_policy().verify != VerifyPolicy::Off;
+  const double e_in =
+      verify ? span_energy<float>(std::span<const cxf>(host_data)) : 0.0;
 
   const std::size_t slab_elems = plane * std::max(local_nz, shards_);
   std::vector<ResourceCache::Lease<float>> leases;
@@ -1075,9 +1169,9 @@ ShardedTiming ShardedRealFft3DPlan::run_on(
     for (std::size_t j = 0; j < local_nz; ++j) {
       const std::size_t z = residue + shards_ * j;
       t.h2d1_ms += staged_h2d(dev, slab, host_src.subspan(z * mrow, mrow),
-                              &s, j * mrow);
+                              &s, j * mrow, sp);
       t.h2d1_ms += staged_h2d(dev, slab, host_src.subspan(tail + z * n_, n_),
-                              &s, slab_tail + j * n_);
+                              &s, slab_tail + j * n_, sp);
     }
 
     if (forward) {
@@ -1100,6 +1194,28 @@ ShardedTiming ShardedRealFft3DPlan::run_on(
                               opt_.threads_per_block);
     t.twiddle_ms += dev.launch_async(tw_tail, s).total_ms;
 
+    if (verify) {
+      // Per-pass ABFT guard with the producing member attributed (see
+      // the complex plan). The slab's main and tail regions are
+      // contiguous, so one prefix covers both.
+      double e_res = 0.0;
+      for (std::size_t j = 0; j < local_nz; ++j) {
+        const std::size_t z = residue + shards_ * j;
+        e_res += span_energy<float>(
+            std::span<const cxf>(host_data).subspan(z * mrow, mrow));
+        e_res += span_energy<float>(
+            std::span<const cxf>(host_data).subspan(tail + z * n_, n_));
+      }
+      const double e_out = span_energy<float>(
+          std::span<const cxf>(slab.span()).first(local_nz * plane));
+      if (!pass_energy_plausible(e_res, e_out, n_ * n_ * n_)) {
+        fail_pass_check(dev, "pass-energy",
+                        4.0 * static_cast<double>(n_ * n_ * n_) *
+                            std::max(e_res, 1e-300),
+                        e_out);
+      }
+    }
+
     if (!peer) {
       // The download IS the all-to-all send — and it carries (n/2+1)/n
       // of the complex plan's bytes, the point of the real layout.
@@ -1107,10 +1223,10 @@ ShardedTiming ShardedRealFft3DPlan::run_on(
         const std::size_t z = residue + shards_ * k;
         t.d2h1_ms += staged_d2h(
             dev, std::span<cxf>(host_work_).subspan(z * mrow, mrow), slab,
-            &s, k * mrow);
+            &s, k * mrow, sp);
         t.d2h1_ms += staged_d2h(
             dev, std::span<cxf>(host_work_).subspan(tail + z * n_, n_),
-            slab, &s, slab_tail + k * n_);
+            slab, &s, slab_tail + k * n_, sp);
         t.exchange_bytes += plane * sizeof(cxf);
       }
       continue;
@@ -1180,12 +1296,12 @@ ShardedTiming ShardedRealFft3DPlan::run_on(
             dev, slab,
             std::span<const cxf>(host_work_)
                 .subspan(shards_ * k * mrow, shards_ * mrow),
-            &s);
+            &s, /*dst_offset=*/0, sp);
         t.h2d2_ms += staged_h2d(
             dev, slab,
             std::span<const cxf>(host_work_)
                 .subspan(tail + shards_ * k * n_, shards_ * n_),
-            &s, slab2_tail);
+            &s, slab2_tail, sp);
         t.exchange_bytes += shards_ * plane * sizeof(cxf);
       } else {
         // Gather this plane group out of the receive buffer with local
@@ -1233,14 +1349,39 @@ ShardedTiming ShardedRealFft3DPlan::run_on(
       for (std::size_t k2 = 0; k2 < shards_; ++k2) {
         const std::size_t z = k + local_nz * k2;
         t.d2h2_ms += staged_d2h(dev, host_data.subspan(z * mrow, mrow),
-                                slab, &s, k2 * mrow);
+                                slab, &s, k2 * mrow, sp);
         t.d2h2_ms += staged_d2h(dev, host_data.subspan(tail + z * n_, n_),
-                                slab, &s, slab2_tail + k2 * n_);
+                                slab, &s, slab2_tail + k2 * n_, sp);
       }
     }
   }
 
   group_->sync_all();
+  if (verify) {
+    // Per-member phase-2 plausibility over the split output layout:
+    // member mi wrote planes z = k + local_nz*k2 for its plane-group
+    // block, each an mrow main span plus an n-element tail row.
+    const std::size_t points = n_ * n_ * n_;
+    const double bound =
+        4.0 * static_cast<double>(points) * std::max(e_in, 1e-300);
+    for (std::size_t mi = 0; mi < nm; ++mi) {
+      double e = 0.0;
+      for (std::size_t g = 0; g < groups_per_dev; ++g) {
+        const std::size_t k = mi * groups_per_dev + g;
+        for (std::size_t k2 = 0; k2 < shards_; ++k2) {
+          const std::size_t z = k + local_nz * k2;
+          e += span_energy<float>(
+              std::span<const cxf>(host_data).subspan(z * mrow, mrow));
+          e += span_energy<float>(
+              std::span<const cxf>(host_data).subspan(tail + z * n_, n_));
+        }
+      }
+      if (!pass_energy_plausible(e_in, e, points)) {
+        fail_pass_check(group_->device(members[mi]), "phase2-energy", bound,
+                        e);
+      }
+    }
+  }
   timing.makespan_ms = group_->elapsed_ms() - start_ms;
   last_timing_ = timing;
   last_total_ms_ = timing.makespan_ms;

@@ -242,9 +242,11 @@ class ShardedFft3DPlan final : public PlanBaseT<float> {
                    std::size_t shards, Direction dir, TuneConfig tune = {});
 
   ShardedTiming execute(std::span<cxf> host_data);
+  /// Re-expose the device-resident entry point the span overload hides.
+  using FftPlanT<float>::execute;
 
   /// Unsupported: the volume is distributed, never on one card.
-  std::vector<StepTiming> execute(DeviceBuffer<cxf>& data) override;
+  std::vector<StepTiming> execute_impl(DeviceBuffer<cxf>& data) override;
 
   /// The FftPlan host entry point (phase rows summed across devices).
   /// last_total_ms() afterwards reports the fleet makespan.
@@ -381,9 +383,11 @@ class ShardedRealFft3DPlan final : public PlanBaseT<float> {
   /// Transform a host-resident split-layout volume ((n/2+1)*n*n complex
   /// elements, pack_real_volume layout) in place.
   ShardedTiming execute(std::span<cxf> host_data);
+  /// Re-expose the device-resident entry point the span overload hides.
+  using FftPlanT<float>::execute;
 
   /// Unsupported: the volume is distributed, never on one card.
-  std::vector<StepTiming> execute(DeviceBuffer<cxf>& data) override;
+  std::vector<StepTiming> execute_impl(DeviceBuffer<cxf>& data) override;
 
   /// The FftPlan host entry point (phase rows summed across devices).
   std::vector<StepTiming> execute_host(std::span<cxf> data) override;

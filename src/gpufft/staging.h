@@ -70,6 +70,7 @@ double staged_h2d(Device& dev, DeviceBuffer<U>& dst, std::span<const U> src,
       if (stream != nullptr) stream->clear_error();
       if (attempt >= policy.max_attempts) throw;
       ++recovery_counters().transient_retries;
+      ++dev.health().transient_retries;
       delivered = false;
     }
     if (!delivered) continue;
@@ -82,6 +83,7 @@ double staged_h2d(Device& dev, DeviceBuffer<U>& dst, std::span<const U> src,
                                          attempt);
     }
     ++recovery_counters().corruption_restages;
+    ++dev.health().corruption_restages;
   }
 }
 
@@ -110,6 +112,7 @@ double staged_d2h(Device& dev, std::span<U> dst, const DeviceBuffer<U>& src,
       if (stream != nullptr) stream->clear_error();
       if (attempt >= policy.max_attempts) throw;
       ++recovery_counters().transient_retries;
+      ++dev.health().transient_retries;
       delivered = false;
     }
     if (!delivered) continue;
@@ -122,6 +125,7 @@ double staged_d2h(Device& dev, std::span<U> dst, const DeviceBuffer<U>& src,
                                          attempt);
     }
     ++recovery_counters().corruption_restages;
+    ++dev.health().corruption_restages;
   }
 }
 

@@ -1,0 +1,177 @@
+// Deterministic chaos harness for the SDC defense layer.
+//
+// One ChaosSpec names one exactly-reproducible experiment: a seeded
+// mixed-shape workload served by an FftService over a chosen fabric while
+// a seeded schedule covering every FaultKind fires on the members. The
+// harness runs the same workload twice — once on a pristine fleet with
+// verification off (the golden bits), once under the fault schedule with
+// the requested VerifyPolicy — and scores every completion bit-for-bit
+// against gold. The invariant the soak test and bench_chaos assert:
+// every admitted request either completes bit-correct or fails with a
+// typed error in the report. No silent wrong answers, no drops; the
+// simulator's determinism means "no hangs" is pinned by the run
+// finishing at all.
+#pragma once
+
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "serve/fft_service.h"
+#include "serve/workload.h"
+#include "sim/topology/pcie_tree.h"
+#include "sim/topology/peer_mesh.h"
+#include "sim/topology/torus2d.h"
+
+namespace repro::serve {
+
+struct ChaosSpec {
+  std::uint64_t seed = 20081115;
+  std::size_t requests = 24;
+  std::size_t devices = 4;
+  std::string topology = "tree";  ///< "tree" | "mesh" | "torus"
+  gpufft::VerifyPolicy verify = gpufft::VerifyPolicy::Parseval;
+};
+
+struct ChaosOutcome {
+  ServiceReport report;
+  std::size_t admitted = 0;
+  std::size_t rejected = 0;
+  std::size_t bit_correct = 0;   ///< completions matching the golden run
+  std::size_t silent_wrong = 0;  ///< completions differing — must stay 0
+};
+
+inline std::shared_ptr<sim::Topology> chaos_topology(const std::string& kind,
+                                                     std::size_t devices) {
+  if (kind == "mesh") {
+    return std::make_shared<sim::PeerMeshTopology>(devices);
+  }
+  if (kind == "torus") {
+    REPRO_CHECK_MSG(devices % 2 == 0, "torus chaos fleets must be even");
+    return std::make_shared<sim::Torus2DTopology>(2, devices / 2);
+  }
+  REPRO_CHECK_MSG(kind == "tree", "unknown chaos topology: " + kind);
+  return std::make_shared<sim::PcieTreeTopology>(devices);
+}
+
+/// A seeded schedule covering all six FaultKinds. KernelCorrupt appears
+/// twice — one hot windowed streak dense enough to trip quarantine and
+/// exhaust a recompute budget (a typed failure, never a wrong answer),
+/// one sparse seeded corrupter the bounded recompute absorbs. DeviceLost
+/// fires once, mid-stream, never on member 0 (it anchors the plans).
+inline std::vector<FaultScheduleEntry> chaos_schedule(std::uint64_t seed,
+                                                      std::size_t devices) {
+  REPRO_CHECK(devices >= 2);
+  SplitMix64 rng(seed * 0x9E3779B97F4A7C15ULL + 0xC4A05ULL);
+  std::vector<FaultScheduleEntry> sched;
+  for (sim::FaultKind kind : sim::kAllFaultKinds) {
+    FaultScheduleEntry e;
+    e.kind = kind;
+    switch (kind) {
+      case sim::FaultKind::DeviceLost:
+        e.device = 1 + rng.below(devices - 1);
+        e.nth = 300 + rng.below(500);
+        break;
+      case sim::FaultKind::KernelCorrupt:
+        e.device = rng.below(devices);
+        e.nth = 2 + rng.below(12);
+        e.count = 5;
+        break;
+      case sim::FaultKind::AllocFail:
+        e.device = rng.below(devices);
+        e.probability = 0.002;
+        e.seed = rng.next();
+        e.max_fires = 2;
+        break;
+      default:  // TransferTransient, TransferCorrupt, LaunchFail
+        e.device = rng.below(devices);
+        e.probability = 0.004 + 0.004 * static_cast<double>(rng.below(3));
+        e.seed = rng.next();
+        e.max_fires = 3;
+        break;
+    }
+    sched.push_back(e);
+  }
+  FaultScheduleEntry sparse;
+  sparse.kind = sim::FaultKind::KernelCorrupt;
+  sparse.device = rng.below(devices);
+  sparse.probability = 0.01;
+  sparse.seed = rng.next();
+  sparse.max_fires = 4;
+  sched.push_back(sparse);
+  return sched;
+}
+
+/// CI-sized mixed menu on small extents (one non-pow2 edge for the
+/// mixed-radix rows) — the chaos runs repeat many requests, so each one
+/// stays cheap.
+inline WorkloadSpec chaos_workload_spec(std::uint64_t seed,
+                                        std::size_t requests) {
+  WorkloadSpec s;
+  s.seed = seed;
+  s.requests = requests;
+  s.mean_gap_ms = 0.2;
+  s.menu = {
+      gpufft::PlanDesc::sharded3d(16, 4, gpufft::Direction::Forward),
+      gpufft::PlanDesc::out_of_core(16, 4, gpufft::Direction::Forward),
+      gpufft::PlanDesc::sharded_real3d(32, 4, gpufft::Direction::Forward),
+      gpufft::PlanDesc::sharded3d(24, 4, gpufft::Direction::Forward),
+      gpufft::PlanDesc::out_of_core(32, 4, gpufft::Direction::Inverse),
+  };
+  return s;
+}
+
+inline bool chaos_bits_equal(std::span<const cxf> a, std::span<const cxf> b) {
+  return a.size() == b.size() &&
+         std::memcmp(a.data(), b.data(), a.size() * sizeof(cxf)) == 0;
+}
+
+inline ChaosOutcome run_chaos(const ChaosSpec& spec) {
+  WorkloadSpec wspec = chaos_workload_spec(spec.seed, spec.requests);
+  wspec.faults = chaos_schedule(spec.seed, spec.devices);
+
+  ServiceConfig cfg;
+  cfg.max_queue_depth = spec.requests;  // identical admission both runs
+
+  // Golden run: same seeded volumes, pristine fleet, verification off.
+  Workload golden(wspec);
+  {
+    sim::DeviceGroup group(spec.devices, sim::geforce_8800_gts(),
+                           chaos_topology(spec.topology, spec.devices));
+    FftService service(group, cfg);
+    for (const auto& req : golden.requests()) service.submit(req);
+    service.run();
+  }
+
+  // Chaos run: the same workload under the fault schedule.
+  Workload workload(wspec);
+  sim::DeviceGroup group(spec.devices, sim::geforce_8800_gts(),
+                         chaos_topology(spec.topology, spec.devices));
+  arm_faults(group, wspec.faults);
+  cfg.exec.verify = spec.verify;
+  FftService service(group, cfg);
+  ChaosOutcome out;
+  for (const auto& req : workload.requests()) {
+    if (service.submit(req) == Admission::Accepted) {
+      ++out.admitted;
+    } else {
+      ++out.rejected;
+    }
+  }
+  out.report = service.run();
+  REPRO_CHECK_MSG(
+      out.report.completed + out.report.failures.size() == out.admitted,
+      "an admitted request was dropped");
+  for (const auto& c : out.report.completions) {
+    if (chaos_bits_equal(workload.volume(c.id), golden.volume(c.id))) {
+      ++out.bit_correct;
+    } else {
+      ++out.silent_wrong;
+    }
+  }
+  return out;
+}
+
+}  // namespace repro::serve

@@ -34,7 +34,9 @@
 #include "gpufft/batch_sharded.h"
 #include "gpufft/registry.h"
 #include "gpufft/sharded.h"
+#include "gpufft/verify.h"
 #include "sim/device_group.h"
+#include "sim/health.h"
 
 namespace repro::serve {
 
@@ -64,6 +66,16 @@ struct ServiceConfig {
   std::size_t max_batch = 8;
   /// Schedule for sharded batches (Pipelined overlaps the all-to-all).
   gpufft::BatchMode mode = gpufft::BatchMode::Pipelined;
+  /// Execution policy applied to every plan the service runs: the ABFT
+  /// verification mode plus the staging retry budget. Validated at
+  /// construction (sim::InvalidPolicyError names the bad field).
+  gpufft::ExecPolicy exec;
+  /// Quarantine thresholds armed on the group's health scoreboard.
+  sim::HealthPolicy health;
+  /// Cube edge of the probe transform run on quarantined members between
+  /// batches (VerifyPolicy::Full; must be an even pow2-splittable edge).
+  /// 0 disables probing — quarantined members then never reinstate.
+  std::size_t probe_n = 16;
 };
 
 /// One drained request with its timing, for callers that want the ledger.
@@ -72,6 +84,23 @@ struct CompletionRecord {
   double done_ms = 0.0;     ///< completion instant on the group timeline
   double latency_ms = 0.0;  ///< done - arrival (queueing + service)
   gpufft::BatchStrategy strategy = gpufft::BatchStrategy::Shard;
+};
+
+/// One admitted request that could not be completed: its plan raised a
+/// typed sim error even after the recovery layers' bounded retries. The
+/// request's volume is left in an unspecified state; it was never
+/// reported as a completion (no silent wrong answers).
+struct FailureRecord {
+  std::uint64_t id = 0;
+  double done_ms = 0.0;  ///< when the service gave up, group timeline
+  std::string error;     ///< the typed error's message (with context)
+};
+
+/// Health snapshot of one group member at the end of a run.
+struct MemberHealthRecord {
+  sim::DeviceHealth health;
+  bool lost = false;
+  bool quarantined = false;
 };
 
 struct ServiceReport {
@@ -83,11 +112,17 @@ struct ServiceReport {
   double volumes_per_sec = 0.0;
   LatencySummary latency;
   std::uint64_t device_lost_failovers = 0;  ///< during this run
+  std::uint64_t verify_failures = 0;        ///< ABFT checks failed, this run
+  std::uint64_t verify_recomputes = 0;      ///< bounded recomputes, this run
+  std::uint64_t quarantines = 0;            ///< members quarantined, this run
+  std::uint64_t reinstatements = 0;         ///< members reinstated, this run
   /// The fleet's interconnect, for dashboards correlating throughput
   /// with the fabric: Topology::kind() and its closed-form bisection.
   std::string topology;
   double bisection_gbs = 0.0;
   std::vector<CompletionRecord> completions;
+  std::vector<FailureRecord> failures;  ///< typed, per admitted request
+  std::vector<MemberHealthRecord> member_health;  ///< indexed by ordinal
 };
 
 class FftService {
@@ -113,7 +148,21 @@ class FftService {
   const gpufft::ShardPhases& phases_for(const gpufft::PlanDesc& desc);
 
   /// Execute one same-description batch, appending completion records.
+  /// A typed sim error inside the fused execution falls back to
+  /// per-request salvage so one poisoned volume cannot take down its
+  /// batchmates; requests that still fail are appended as FailureRecords.
   void run_batch(const std::vector<FftRequest>& batch, ServiceReport& rep);
+
+  /// One request at a time with the inputs restored from `snapshot`;
+  /// the per-batch salvage path behind run_batch.
+  void run_salvage(const std::vector<FftRequest>& batch,
+                   const std::vector<std::vector<cxf>>& snapshot,
+                   gpufft::BatchStrategy strategy, ServiceReport& rep);
+
+  /// Health maintenance between batches: sweep the scoreboard, then run
+  /// one Full-verify probe transform per quarantined member and feed the
+  /// verdicts back (clean streaks reinstate).
+  void sweep_and_probe();
 
   sim::DeviceGroup& group_;
   ServiceConfig cfg_;
@@ -121,6 +170,7 @@ class FftService {
   std::size_t rejected_queue_full_ = 0;
   std::size_t rejected_bytes_ = 0;
   std::size_t peak_queue_depth_ = 0;
+  std::uint64_t probes_run_ = 0;  ///< seeds the deterministic probe volumes
   std::unordered_map<gpufft::PlanDesc, gpufft::ShardPhases,
                      gpufft::PlanDescHash>
       phases_;

@@ -13,8 +13,37 @@
 
 #include "common/rng.h"
 #include "serve/fft_service.h"
+#include "sim/fault.h"
 
 namespace repro::serve {
+
+/// One fault to arm on one group member before a service run. Windowed
+/// when `nth != 0` (fire on occurrences [nth, nth + count) of the kind);
+/// seeded Bernoulli otherwise. Both modes are exactly reproducible, so a
+/// workload spec with faults still names one deterministic run.
+struct FaultScheduleEntry {
+  std::size_t device = 0;
+  sim::FaultKind kind = sim::FaultKind::KernelCorrupt;
+  std::uint64_t nth = 0;  ///< 0 selects seeded mode below
+  std::uint64_t count = 1;
+  double probability = 0.0;
+  std::uint64_t seed = 1;
+  std::uint64_t max_fires = UINT64_MAX;
+};
+
+/// Arm every schedule entry on its member's injector.
+inline void arm_faults(sim::DeviceGroup& group,
+                       const std::vector<FaultScheduleEntry>& faults) {
+  for (const auto& f : faults) {
+    REPRO_CHECK(f.device < group.size());
+    if (f.nth != 0) {
+      group.faults(f.device).arm(f.kind, f.nth, f.count);
+    } else {
+      group.faults(f.device).arm_seeded(f.kind, f.probability, f.seed,
+                                        f.max_fires);
+    }
+  }
+}
 
 struct WorkloadSpec {
   std::uint64_t seed = 20081115;  ///< SC'08 vintage, but any seed works
@@ -22,6 +51,10 @@ struct WorkloadSpec {
   double mean_gap_ms = 0.5;  ///< exponential inter-arrival mean
   /// Request menu, sampled uniformly per request.
   std::vector<gpufft::PlanDesc> menu;
+  /// Faults to arm before the run (arm_faults); empty = fault-free. The
+  /// A/B comparisons depend on smoke()/full() staying fault-free — use
+  /// the *_faulty() factories for chaos traffic.
+  std::vector<FaultScheduleEntry> faults;
 
   /// CI-sized mix: small complex sharded volumes, a real transform,
   /// single-card out-of-core volumes, and non-pow2 extents whose slabs
@@ -38,6 +71,28 @@ struct WorkloadSpec {
         gpufft::PlanDesc::out_of_core(32, 4, gpufft::Direction::Forward),
         gpufft::PlanDesc::sharded3d(48, 4, gpufft::Direction::Forward),
         gpufft::PlanDesc::out_of_core(36, 4, gpufft::Direction::Inverse),
+    };
+    return s;
+  }
+
+  /// The smoke mix with a deterministic fault schedule layered on: one
+  /// member silently corrupting kernel outputs often enough to trip the
+  /// quarantine threshold, another with scattered seeded corruption the
+  /// bounded recompute absorbs. Run it with VerifyPolicy::Parseval so
+  /// CI's bench_service --smoke exercises detection, recompute, and the
+  /// quarantine/probe/reinstate loop end to end.
+  [[nodiscard]] static WorkloadSpec smoke_faulty() {
+    WorkloadSpec s = smoke();
+    s.faults = {
+        // Member 1: a hot streak of silent kernel corruption — windowed
+        // on launches 4..9, dense enough to quarantine.
+        {1, sim::FaultKind::KernelCorrupt, 4, 6, 0.0, 0, UINT64_MAX},
+        // Member 2: sparse seeded corruption (about 1 launch in 25, at
+        // most 3 total) that detection + recompute absorbs quietly.
+        {2, sim::FaultKind::KernelCorrupt, 0, 1, 0.04, 0xc0ffee, 3},
+        // Member 3: one transient transfer, the staging retry's bread
+        // and butter, to keep the mixed-kind path honest.
+        {3, sim::FaultKind::TransferTransient, 2, 1, 0.0, 0, UINT64_MAX},
     };
     return s;
   }

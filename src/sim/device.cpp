@@ -131,11 +131,24 @@ LaunchResult Device::launch(Kernel& kernel) {
   const auto tex_lines = static_cast<std::size_t>(
       spec_.texture_cache_bytes / kMinTransactionBytes);
 
+  // KernelCorrupt: decide before the blocks run so the last global store
+  // of the launch can be captured; the kernel still runs every block and
+  // claims its full simulated time below — only the data goes wrong.
+  StoreTarget corrupt_target;
+  StoreTarget* capture =
+      faults_ != nullptr && faults_->fire(FaultKind::KernelCorrupt)
+          ? &corrupt_target
+          : nullptr;
+
   for (unsigned b = 0; b < cfg.grid_blocks; ++b) {
     const bool recording = b < sampled_blocks;
     BlockCtx ctx(cfg, stats, options_, b, recording,
-                 static_cast<std::size_t>(b) * warps_per_block, tex_lines);
+                 static_cast<std::size_t>(b) * warps_per_block, tex_lines,
+                 capture);
     kernel.run_block(ctx);
+  }
+  if (capture != nullptr && corrupt_target.valid()) {
+    corrupt_target.corrupt(corrupt_target.ptr);
   }
 
   LaunchResult result = estimate_launch(spec_, cfg, stats);

@@ -45,6 +45,7 @@
 #include "sim/buffer.h"
 #include "sim/errors.h"
 #include "sim/fault.h"
+#include "sim/health.h"
 #include "sim/kernel.h"
 #include "sim/pcie.h"
 #include "sim/spec.h"
@@ -85,6 +86,11 @@ class Device {
   /// bus and every further operation throws DeviceLostError. Freeing
   /// memory stays allowed so RAII cleanup never throws.
   [[nodiscard]] bool lost() const { return lost_; }
+
+  /// The device's health scoreboard (see sim/health.h): incident counters
+  /// the recovery layers attribute here, read by the quarantine sweep.
+  [[nodiscard]] DeviceHealth& health() { return health_; }
+  [[nodiscard]] const DeviceHealth& health() const { return health_; }
 
   /// Allocate n elements of T; throws OutOfDeviceMemory past capacity.
   template <typename T>
@@ -314,6 +320,7 @@ class Device {
   double last_op_ms_ = 0.0;  ///< duration of the last scheduled op
   int ordinal_ = -1;
   bool lost_ = false;
+  DeviceHealth health_;
   // Null until faults() is first called; every hook above gates on this,
   // so the injector-free path is a single pointer test (no #ifdef needed).
   std::unique_ptr<FaultInjector> faults_;

@@ -64,6 +64,7 @@ void DeviceGroup::build(std::vector<GpuSpec> specs) {
         std::make_unique<Device>(derate_for_bridge(s, *interconnect_)));
     devices_.back()->set_ordinal(static_cast<int>(devices_.size()) - 1);
   }
+  member_health_.resize(devices_.size());
 }
 
 double DeviceGroup::elapsed_ms() const {
@@ -119,6 +120,72 @@ std::vector<std::size_t> DeviceGroup::alive_members() const {
 
 std::size_t DeviceGroup::alive_count() const {
   return alive_members().size();
+}
+
+std::vector<std::size_t> DeviceGroup::schedulable_members() const {
+  std::vector<std::size_t> alive = alive_members();
+  std::vector<std::size_t> sched;
+  sched.reserve(alive.size());
+  for (std::size_t i : alive) {
+    if (!member_health_[i].quarantined) sched.push_back(i);
+  }
+  // All survivors quarantined: lift the quarantine for scheduling
+  // purposes (the scoreboard state itself is untouched).
+  return sched.empty() ? alive : sched;
+}
+
+std::size_t DeviceGroup::schedulable_count() const {
+  return schedulable_members().size();
+}
+
+std::vector<std::size_t> DeviceGroup::sweep_health() {
+  std::vector<std::size_t> newly;
+  // Count the would-be survivors first so one sweep cannot quarantine
+  // the whole fleet: quarantining stops once a single schedulable
+  // member would remain.
+  std::size_t schedulable = 0;
+  for (std::size_t i = 0; i < devices_.size(); ++i) {
+    if (!devices_[i]->lost() && !member_health_[i].quarantined) {
+      ++schedulable;
+    }
+  }
+  for (std::size_t i = 0; i < devices_.size(); ++i) {
+    MemberHealthState& st = member_health_[i];
+    const DeviceHealth now = devices_[i]->health();
+    if (!devices_[i]->lost() && !st.quarantined && schedulable > 1 &&
+        now.delta_since(st.window_start) >=
+            health_policy_.quarantine_threshold) {
+      st.quarantined = true;
+      st.clean_probes = 0;
+      ++quarantines_total_;
+      --schedulable;
+      newly.push_back(i);
+    }
+    st.window_start = now;  // the window re-anchors every sweep
+  }
+  return newly;
+}
+
+bool DeviceGroup::note_clean_probe(std::size_t i) {
+  REPRO_CHECK(i < member_health_.size());
+  MemberHealthState& st = member_health_[i];
+  REPRO_CHECK_MSG(st.quarantined, "probe verdict for a healthy member");
+  st.window_start = devices_[i]->health();
+  if (++st.clean_probes < health_policy_.clean_probes_to_reinstate) {
+    return false;
+  }
+  st.quarantined = false;
+  st.clean_probes = 0;
+  ++reinstatements_total_;
+  return true;
+}
+
+void DeviceGroup::note_failed_probe(std::size_t i) {
+  REPRO_CHECK(i < member_health_.size());
+  MemberHealthState& st = member_health_[i];
+  REPRO_CHECK_MSG(st.quarantined, "probe verdict for a healthy member");
+  st.clean_probes = 0;
+  st.window_start = devices_[i]->health();
 }
 
 std::size_t DeviceGroup::peak_bytes_in_flight() const {

@@ -39,11 +39,25 @@
 #include "common/check.h"
 #include "sim/device.h"
 #include "sim/errors.h"
+#include "sim/health.h"
 #include "sim/spec.h"
 #include "sim/stream.h"
 #include "sim/topology/topology.h"
 
 namespace repro::sim {
+
+/// Quarantine policy for the group's health scoreboard. A member whose
+/// DeviceHealth accrues at least `quarantine_threshold` incidents inside
+/// one sweep window (sweep_health() to sweep_health()) is quarantined:
+/// removed from schedulable_members() so plans shard around it exactly
+/// like a DeviceLost re-shard, except the card is still powered and can
+/// be probed. After `clean_probes_to_reinstate` consecutive probe
+/// transforms complete without a single new incident, the member is
+/// reinstated into the schedulable set.
+struct HealthPolicy {
+  std::uint64_t quarantine_threshold = 3;
+  std::uint64_t clean_probes_to_reinstate = 2;
+};
 
 /// Host-side interconnect shared by the members of a group: the chipset's
 /// aggregate PCIe throughput per direction, split evenly across members.
@@ -202,9 +216,52 @@ class DeviceGroup {
   [[nodiscard]] bool any_faults_armed() const;
 
   /// Indices of members that have not been lost to an injected
-  /// DeviceLost; the survivor set sharded plans re-shard over.
+  /// DeviceLost.
   [[nodiscard]] std::vector<std::size_t> alive_members() const;
   [[nodiscard]] std::size_t alive_count() const;
+
+  /// Alive members minus the quarantined ones — the set plans should
+  /// schedule work onto. If every alive member is quarantined (only
+  /// possible when losses shrink the fleet under an active quarantine),
+  /// the alive set is returned instead: serving degraded beats serving
+  /// nothing, and the scoreboard keeps scoring the suspects.
+  [[nodiscard]] std::vector<std::size_t> schedulable_members() const;
+  [[nodiscard]] std::size_t schedulable_count() const;
+
+  /// ---- Health scoreboard (sim/health.h counters, quarantine policy) ----
+  void set_health_policy(const HealthPolicy& policy) {
+    health_policy_ = policy;
+  }
+  [[nodiscard]] const HealthPolicy& health_policy() const {
+    return health_policy_;
+  }
+  [[nodiscard]] bool quarantined(std::size_t i) const {
+    REPRO_CHECK(i < member_health_.size());
+    return member_health_[i].quarantined;
+  }
+
+  /// Score every member's windowed incident delta against the policy and
+  /// quarantine the offenders; every member's window then re-anchors to
+  /// its current health so old incidents age out. The last schedulable
+  /// member is never quarantined — a fleet of suspects still serves.
+  /// Returns the ordinals quarantined by this sweep.
+  std::vector<std::size_t> sweep_health();
+
+  /// Probe verdicts for a quarantined member, reported by whoever ran the
+  /// probe transform (serve::FftService). A clean probe (completed with
+  /// zero new health incidents) counts toward reinstatement; note_clean_
+  /// probe returns true when it reinstates the member. A failed probe
+  /// resets the clean streak and re-anchors the member's health window.
+  bool note_clean_probe(std::size_t i);
+  void note_failed_probe(std::size_t i);
+
+  /// Lifetime totals across sweeps, exported through ServiceReport.
+  [[nodiscard]] std::uint64_t quarantines_total() const {
+    return quarantines_total_;
+  }
+  [[nodiscard]] std::uint64_t reinstatements_total() const {
+    return reinstatements_total_;
+  }
 
   /// Makespan across the fleet: the members share one time origin, so the
   /// group's elapsed time is the slowest member's.
@@ -296,6 +353,15 @@ class DeviceGroup {
   };
 
  private:
+  /// Per-member quarantine state: the health snapshot anchoring the
+  /// current sweep window, the quarantine flag, and the clean-probe
+  /// streak earned toward reinstatement.
+  struct MemberHealthState {
+    DeviceHealth window_start{};
+    bool quarantined = false;
+    std::uint64_t clean_probes = 0;
+  };
+
   void build(std::vector<GpuSpec> specs);
 
   GroupTopology topo_;  ///< legacy aggregate view, mirrors interconnect_
@@ -304,6 +370,10 @@ class DeviceGroup {
   std::vector<std::unique_ptr<Device>> devices_;
   std::size_t host_staging_bytes_ = 0;
   std::size_t peak_host_staging_bytes_ = 0;
+  HealthPolicy health_policy_{};
+  std::vector<MemberHealthState> member_health_;
+  std::uint64_t quarantines_total_ = 0;
+  std::uint64_t reinstatements_total_ = 0;
   // Last member so slots holding plans/buffers die before the devices.
   std::unordered_map<std::type_index, std::shared_ptr<void>> locals_;
 };

@@ -81,4 +81,37 @@ DeviceLostError::DeviceLostError(DeviceRef device)
                "operations on it will fail"),
       device_(std::move(device)) {}
 
+namespace {
+
+std::string verification_message(const DeviceRef& dev, const char* check,
+                                 double expected, double observed,
+                                 int attempts) {
+  std::ostringstream os;
+  os << dev.to_string() << ": result failed " << check
+     << " verification after " << attempts
+     << " attempts — expected " << expected << ", observed " << observed
+     << "; treating as silent data corruption";
+  return os.str();
+}
+
+}  // namespace
+
+ResultVerificationError::ResultVerificationError(DeviceRef device,
+                                                 const char* check,
+                                                 double expected,
+                                                 double observed,
+                                                 int attempts)
+    : SimError(verification_message(device, check, expected, observed,
+                                    attempts)),
+      device_(std::move(device)),
+      check_(check),
+      expected_(expected),
+      observed_(observed),
+      attempts_(attempts) {}
+
+InvalidPolicyError::InvalidPolicyError(const char* field, std::string detail)
+    : SimError(std::string("invalid policy: ") + field + ": " +
+               std::move(detail)),
+      field_(field) {}
+
 }  // namespace repro::sim

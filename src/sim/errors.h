@@ -18,6 +18,11 @@
 //   DeviceLostError         the card fell off the bus; every later
 //                           operation on it fails — recoverable only by
 //                           re-sharding onto surviving devices (sharded.h)
+//   ResultVerificationError a transform result that failed its ABFT
+//                           invariant (gpufft/verify.h) even after bounded
+//                           recompute — the silent-corruption backstop
+//   InvalidPolicyError      a caller-supplied execution policy field that
+//                           fails validation (names the offending field)
 //
 // SimError carries its own message buffer so higher layers can prepend
 // context (the plan label, the phase) with add_context() and rethrow the
@@ -146,6 +151,45 @@ class DeviceLostError : public SimError {
 
  private:
   DeviceRef device_;
+};
+
+/// A transform result that failed its ABFT verification invariant
+/// (gpufft/verify.h) even after the policy's bounded recomputes: the
+/// output's energy disagrees with Parseval's theorem (or, under
+/// VerifyPolicy::Full, a duplicate execution) beyond the numerical
+/// tolerance. This is the silent-data-corruption backstop — it means a
+/// kernel ran, claimed success, and returned wrong data every attempt.
+class ResultVerificationError : public SimError {
+ public:
+  ResultVerificationError(DeviceRef device, const char* check,
+                          double expected, double observed, int attempts);
+
+  [[nodiscard]] const DeviceRef& device() const { return device_; }
+  /// Which invariant failed, e.g. "parseval" or "full-recompute".
+  [[nodiscard]] const char* check() const { return check_; }
+  [[nodiscard]] double expected() const { return expected_; }
+  [[nodiscard]] double observed() const { return observed_; }
+  [[nodiscard]] int attempts() const { return attempts_; }
+
+ private:
+  DeviceRef device_;
+  const char* check_;
+  double expected_;
+  double observed_;
+  int attempts_;
+};
+
+/// A caller-supplied execution policy that fails validation before any
+/// work runs. Carries the offending field's name so callers can fix the
+/// right knob (e.g. "StagePolicy.max_attempts").
+class InvalidPolicyError : public SimError {
+ public:
+  InvalidPolicyError(const char* field, std::string detail);
+
+  [[nodiscard]] const char* field() const { return field_; }
+
+ private:
+  const char* field_;
 };
 
 }  // namespace repro::sim

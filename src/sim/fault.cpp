@@ -1,5 +1,7 @@
 #include "sim/fault.h"
 
+#include <cstring>
+
 #include "common/check.h"
 
 namespace repro::sim {
@@ -10,8 +12,19 @@ const char* fault_kind_name(FaultKind k) {
     case FaultKind::TransferTransient: return "transfer-transient";
     case FaultKind::TransferCorrupt: return "transfer-corrupt";
     case FaultKind::LaunchFail: return "launch-fail";
-    default: return "device-lost";
+    case FaultKind::DeviceLost: return "device-lost";
+    case FaultKind::KernelCorrupt: return "kernel-corrupt";
   }
+  REPRO_CHECK_MSG(false, "unknown FaultKind");
+  return "?";
+}
+
+FaultKind fault_kind_from_name(const char* name) {
+  for (FaultKind k : kAllFaultKinds) {
+    if (std::strcmp(name, fault_kind_name(k)) == 0) return k;
+  }
+  REPRO_CHECK_MSG(false, "unknown fault kind name");
+  return FaultKind::AllocFail;
 }
 
 void FaultInjector::arm(FaultKind kind, std::uint64_t nth,

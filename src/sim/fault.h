@@ -27,9 +27,15 @@
 //                      KernelLaunchError, async launches poison the stream
 //   DeviceLost         the device enters the lost state; this and every
 //                      later operation throw DeviceLostError
+//   KernelCorrupt      the launch completes and claims its full simulated
+//                      time, but one element of the kernel's output buffer
+//                      is perturbed; nothing throws — silent data
+//                      corruption is the verification layer's job to catch
+//                      (gpufft/verify.h Parseval/Full checks)
 #pragma once
 
 #include <cstdint>
+#include <iterator>
 
 #include "common/rng.h"
 
@@ -41,11 +47,25 @@ enum class FaultKind {
   TransferCorrupt,
   LaunchFail,
   DeviceLost,
+  KernelCorrupt,
 };
 
-inline constexpr std::size_t kFaultKindCount = 5;
+inline constexpr std::size_t kFaultKindCount = 6;
+
+/// Every FaultKind, in enum order — the canonical iteration order for
+/// sweeps (chaos schedules, exhaustiveness tests).
+inline constexpr FaultKind kAllFaultKinds[] = {
+    FaultKind::AllocFail,    FaultKind::TransferTransient,
+    FaultKind::TransferCorrupt, FaultKind::LaunchFail,
+    FaultKind::DeviceLost,   FaultKind::KernelCorrupt,
+};
+static_assert(std::size(kAllFaultKinds) == kFaultKindCount,
+              "kAllFaultKinds must enumerate every FaultKind");
 
 [[nodiscard]] const char* fault_kind_name(FaultKind k);
+
+/// Inverse of fault_kind_name; REPRO_CHECK-fails on an unknown name.
+[[nodiscard]] FaultKind fault_kind_from_name(const char* name);
 
 class FaultInjector {
  public:

@@ -1,0 +1,34 @@
+// Per-device health scoreboard.
+//
+// Every Device carries a DeviceHealth — a handful of plain counters, so
+// the always-present member costs nothing on the hot paths. The recovery
+// layers increment it alongside the process-wide RecoveryCounters: the
+// staging retry loops (gpufft/staging.h) attribute transient retries and
+// corruption re-stages to the device they ran on, and the verification
+// layer (gpufft/verify.h) attributes ABFT check failures. DeviceGroup
+// snapshots these per sweep window to decide quarantine (device_group.h),
+// and serve::FftService exports them per member in its ServiceReport.
+#pragma once
+
+#include <cstdint>
+
+namespace repro::sim {
+
+struct DeviceHealth {
+  std::uint64_t verify_failures = 0;      ///< ABFT checks failed on this device
+  std::uint64_t corruption_restages = 0;  ///< checksummed staging re-stages
+  std::uint64_t transient_retries = 0;    ///< transfer attempts retried
+
+  [[nodiscard]] std::uint64_t total() const {
+    return verify_failures + corruption_restages + transient_retries;
+  }
+
+  /// Incident count accrued since `since` (an earlier snapshot); the
+  /// quarantine sweep scores each member by this windowed delta so old
+  /// incidents age out instead of condemning a device forever.
+  [[nodiscard]] std::uint64_t delta_since(const DeviceHealth& since) const {
+    return total() - since.total();
+  }
+};
+
+}  // namespace repro::sim

@@ -7,13 +7,14 @@ namespace repro::sim {
 BlockCtx::BlockCtx(const LaunchConfig& cfg, LaunchStats& stats,
                    const SimOptions& opt, unsigned block_index,
                    bool recording, std::size_t warp_stream_base,
-                   std::size_t tex_cache_lines)
+                   std::size_t tex_cache_lines, StoreTarget* capture)
     : cfg_(cfg),
       stats_(stats),
       opt_(opt),
       block_(block_index),
       recording_(recording),
       warp_stream_base_(warp_stream_base),
+      capture_(capture),
       shmem_(cfg.shmem_per_block) {
   if (recording_) {
     const std::size_t n = cfg.threads_per_block;

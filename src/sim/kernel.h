@@ -26,9 +26,11 @@
 // the sampled measurements by the exact/sampled ratio.
 #pragma once
 
+#include <cmath>
 #include <cstddef>
 #include <cstdint>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 #include "common/check.h"
@@ -37,6 +39,41 @@
 #include "sim/shmem.h"
 
 namespace repro::sim {
+
+/// Type-erased handle to one stored element, captured at the last global
+/// store of a launch when a KernelCorrupt fault fires. Corrupting the
+/// *last* store guarantees the perturbation lands on output the kernel
+/// actually produced — never on a scratch buffer nobody reads again.
+struct StoreTarget {
+  void* ptr = nullptr;
+  void (*corrupt)(void*) = nullptr;
+  [[nodiscard]] bool valid() const { return ptr != nullptr; }
+};
+
+namespace detail {
+/// Perturb one element so grossly that an energy-based (Parseval) check
+/// always sees it: scale by 2^40, or set to 2^40 outright when the value
+/// is small. A mere bit flip can be energy-invisible at large N (one
+/// element is ~1/N of the volume's energy); a 2^80 energy excursion never
+/// is, and an overflow to inf is detected just the same.
+template <typename T>
+void corrupt_element(void* p) {
+  T& v = *static_cast<T*>(p);
+  if constexpr (std::is_floating_point_v<T>) {
+    v = std::abs(v) < T(1) ? T(0x1p40) : v * T(0x1p40);
+  } else if constexpr (requires(T c) { c.re = c.re; c.im; }) {
+    // The repo's cx<T> (aggregate .re/.im members).
+    using R = std::remove_reference_t<decltype(v.re)>;
+    v.re = std::abs(v.re) < R(1) ? R(0x1p40) : v.re * R(0x1p40);
+  } else if constexpr (requires(T c) { c.real(); c.imag(); }) {
+    using R = typename T::value_type;
+    const R re = v.real();
+    v = T(std::abs(re) < R(1) ? R(0x1p40) : re * R(0x1p40), v.imag());
+  } else {
+    reinterpret_cast<unsigned char*>(p)[0] ^= 0x40u;
+  }
+}
+}  // namespace detail
 
 /// Resource and work declaration for one kernel launch.
 struct LaunchConfig {
@@ -170,7 +207,7 @@ class BlockCtx {
  public:
   BlockCtx(const LaunchConfig& cfg, LaunchStats& stats, const SimOptions& opt,
            unsigned block_index, bool recording, std::size_t warp_stream_base,
-           std::size_t tex_cache_lines);
+           std::size_t tex_cache_lines, StoreTarget* capture = nullptr);
 
   [[nodiscard]] unsigned block_index() const { return block_; }
   [[nodiscard]] const LaunchConfig& config() const { return cfg_; }
@@ -234,6 +271,14 @@ class BlockCtx {
   };
 
   [[nodiscard]] bool recording() const { return recording_; }
+  /// True only while a fired KernelCorrupt fault is capturing stores; on
+  /// every other launch this is a null test and the store path is
+  /// unchanged (bench_fault_overhead pins the disabled-injector case).
+  [[nodiscard]] bool capturing() const { return capture_ != nullptr; }
+  inline void capture_store(void* p, void (*fn)(void*)) {
+    capture_->ptr = p;
+    capture_->corrupt = fn;
+  }
 
   inline void note_load_bytes(std::uint64_t b) {
     stats_.elem_bytes_loaded += b;
@@ -284,6 +329,7 @@ class BlockCtx {
   unsigned block_;
   bool recording_;
   std::size_t warp_stream_base_;  ///< index of this block's warp 0 stream
+  StoreTarget* capture_;          ///< non-null only under a fired KernelCorrupt
 
   std::vector<std::byte> shmem_;
 
@@ -333,6 +379,9 @@ inline void GlobalView<T>::store(const ThreadCtx& t, std::size_t i,
                         static_cast<std::uint32_t>(sizeof(T)));
   }
   host_[i] = v;
+  if (ctx_->capturing()) {
+    ctx_->capture_store(&host_[i], &detail::corrupt_element<T>);
+  }
 }
 
 template <typename T>

@@ -238,5 +238,94 @@ TEST(FftService, FusesBatchesUpToMaxBatch) {
   }
 }
 
+// ---- SDC defense through the service ----
+
+TEST(FftService, InvalidExecPolicyIsRejectedTyped) {
+  sim::DeviceGroup group(2, sim::geforce_8800_gts());
+  ServiceConfig cfg;
+  cfg.exec.staging.max_attempts = 0;
+  try {
+    FftService service(group, cfg);
+    FAIL() << "expected InvalidPolicyError";
+  } catch (const sim::InvalidPolicyError& e) {
+    EXPECT_EQ(std::string(e.field()), "StagePolicy.max_attempts");
+  }
+  ServiceConfig cfg2;
+  cfg2.exec.verify_attempts = 0;
+  EXPECT_THROW(FftService(group, cfg2), sim::InvalidPolicyError);
+}
+
+TEST(FftService, FaultyWorkloadDrainsWithVerifiedRepairsAndFullLedger) {
+  // The seeded smoke_faulty schedule: a hot KernelCorrupt window on one
+  // member, a sparse seeded one on another, one transfer transient. With
+  // Parseval on, everything must drain accounted — completed + typed
+  // failures == admitted — with the repairs visible in the report.
+  sim::DeviceGroup group(4, sim::geforce_8800_gts());
+  const WorkloadSpec spec = WorkloadSpec::smoke_faulty();
+  Workload workload(spec);
+  ServiceConfig cfg;
+  cfg.exec.verify = gpufft::VerifyPolicy::Parseval;
+  FftService service(group, cfg);
+  arm_faults(group, spec.faults);
+  std::size_t admitted = 0;
+  for (const auto& req : workload.requests()) {
+    if (service.submit(req) == Admission::Accepted) ++admitted;
+  }
+  const ServiceReport rep = service.run();
+
+  EXPECT_EQ(rep.completed + rep.failures.size(), admitted);
+  EXPECT_GT(rep.completed, 0u);
+  EXPECT_GT(rep.verify_failures, 0u);
+  EXPECT_GT(rep.verify_recomputes, 0u);
+  for (const auto& f : rep.failures) EXPECT_FALSE(f.error.empty());
+  // The scoreboard is exported for every member, and the corrupting
+  // members carry their incidents.
+  ASSERT_EQ(rep.member_health.size(), 4u);
+  std::uint64_t incidents = 0;
+  for (const auto& m : rep.member_health) incidents += m.health.total();
+  EXPECT_GT(incidents, 0u);
+}
+
+TEST(FftService, PersistentCorrupterIsQuarantinedAndReinstated) {
+  // Member 1 corrupts every kernel launch for a long stretch: Parseval
+  // keeps catching it, the windowed score trips the threshold, and the
+  // member leaves the schedulable set while the fleet drains the queue.
+  // The injector window closes before the post-drain probes, so clean
+  // Full-verify probes earn the member its way back in.
+  sim::DeviceGroup group(4, sim::geforce_8800_gts());
+  ServiceConfig cfg;
+  cfg.exec.verify = gpufft::VerifyPolicy::Parseval;
+  cfg.exec.verify_attempts = 4;
+  cfg.health.quarantine_threshold = 2;
+  cfg.health.clean_probes_to_reinstate = 1;
+  FftService service(group, cfg);
+  group.faults(1).arm(sim::FaultKind::KernelCorrupt, 1, 400);
+
+  const PlanDesc desc = PlanDesc::out_of_core(16, 2, Direction::Forward);
+  std::vector<std::vector<cxf>> volumes;
+  for (int i = 0; i < 6; ++i) {
+    volumes.push_back(random_complex<float>(desc.buffer_elements(), 900 + i));
+  }
+  for (std::size_t i = 0; i < volumes.size(); ++i) {
+    FftRequest req;
+    req.id = i;
+    req.desc = desc;
+    req.data = volumes[i];
+    req.arrival_ms = 0.01 * static_cast<double>(i);
+    ASSERT_EQ(service.submit(req), Admission::Accepted);
+  }
+  const ServiceReport rep = service.run();
+
+  EXPECT_EQ(rep.completed + rep.failures.size(), 6u);
+  EXPECT_GT(rep.verify_failures, 0u);
+  EXPECT_GE(rep.quarantines, 1u);
+  EXPECT_GE(rep.reinstatements, 1u);
+  // By run() exit the member is back in the schedulable set.
+  EXPECT_FALSE(group.quarantined(1));
+  EXPECT_EQ(group.schedulable_count(), 4u);
+  ASSERT_EQ(rep.member_health.size(), 4u);
+  EXPECT_GT(rep.member_health[1].health.verify_failures, 0u);
+}
+
 }  // namespace
 }  // namespace repro::serve

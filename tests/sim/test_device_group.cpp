@@ -160,5 +160,92 @@ TEST(DeviceGroup, RejectsEmptyAndBadTopology) {
                Error);
 }
 
+// ---- Health scoreboard & quarantine ----
+
+TEST(DeviceGroupHealth, SweepQuarantinesMembersPastTheWindowedThreshold) {
+  DeviceGroup group(3, geforce_8800_gts());
+  ASSERT_EQ(group.health_policy().quarantine_threshold, 3u);
+
+  // Two incidents inside one window: below the threshold, no action.
+  group.device(1).health().verify_failures += 2;
+  EXPECT_TRUE(group.sweep_health().empty());
+  EXPECT_FALSE(group.quarantined(1));
+
+  // The sweep re-anchored the window, so two more still do not trip it —
+  // old incidents age out instead of condemning a device forever.
+  group.device(1).health().verify_failures += 2;
+  EXPECT_TRUE(group.sweep_health().empty());
+
+  // Three fresh incidents in one window: quarantined.
+  group.device(1).health().verify_failures += 3;
+  const auto newly = group.sweep_health();
+  ASSERT_EQ(newly.size(), 1u);
+  EXPECT_EQ(newly[0], 1u);
+  EXPECT_TRUE(group.quarantined(1));
+  EXPECT_EQ(group.quarantines_total(), 1u);
+
+  // The schedulable set shrinks; alive membership does not.
+  EXPECT_EQ(group.alive_count(), 3u);
+  const auto sched = group.schedulable_members();
+  ASSERT_EQ(sched.size(), 2u);
+  EXPECT_EQ(sched[0], 0u);
+  EXPECT_EQ(sched[1], 2u);
+  EXPECT_EQ(group.schedulable_count(), 2u);
+}
+
+TEST(DeviceGroupHealth, LastSchedulableMemberIsNeverQuarantined) {
+  DeviceGroup group(2, geforce_8800_gts());
+  group.device(0).health().verify_failures += 5;
+  ASSERT_EQ(group.sweep_health().size(), 1u);
+  EXPECT_TRUE(group.quarantined(0));
+
+  // Member 1 now carries the fleet; no matter how it misbehaves, the
+  // sweep must keep one member serving.
+  group.device(1).health().verify_failures += 50;
+  EXPECT_TRUE(group.sweep_health().empty());
+  EXPECT_FALSE(group.quarantined(1));
+  EXPECT_EQ(group.schedulable_count(), 1u);
+}
+
+TEST(DeviceGroupHealth, CleanProbesReinstateAfterTheConfiguredStreak) {
+  HealthPolicy policy;
+  policy.quarantine_threshold = 1;
+  policy.clean_probes_to_reinstate = 2;
+  DeviceGroup group(3, geforce_8800_gts());
+  group.set_health_policy(policy);
+
+  group.device(2).health().transient_retries += 1;
+  ASSERT_EQ(group.sweep_health().size(), 1u);
+  ASSERT_TRUE(group.quarantined(2));
+
+  // One clean probe is not enough; a failed probe resets the streak.
+  EXPECT_FALSE(group.note_clean_probe(2));
+  group.note_failed_probe(2);
+  EXPECT_FALSE(group.note_clean_probe(2));
+  EXPECT_TRUE(group.note_clean_probe(2));
+  EXPECT_FALSE(group.quarantined(2));
+  EXPECT_EQ(group.reinstatements_total(), 1u);
+  EXPECT_EQ(group.schedulable_count(), 3u);
+}
+
+TEST(DeviceGroupHealth, ScheduleFallsBackToAliveWhenAllAreQuarantined) {
+  // Quarantine can only be entered while another member still serves,
+  // but a member can die *after* its peers were quarantined. The
+  // schedulable set must then fall back to the alive set rather than
+  // going empty.
+  HealthPolicy policy;
+  policy.quarantine_threshold = 1;
+  DeviceGroup group(2, geforce_8800_gts());
+  group.set_health_policy(policy);
+  group.device(0).health().verify_failures += 1;
+  ASSERT_EQ(group.sweep_health().size(), 1u);
+  group.faults(1).arm(FaultKind::DeviceLost, 1);
+  EXPECT_THROW(group.device(1).alloc<float>(16), DeviceLostError);
+  ASSERT_TRUE(group.device(1).lost());
+  const auto sched = group.schedulable_members();
+  ASSERT_EQ(sched.size(), 1u);
+  EXPECT_EQ(sched[0], 0u);
+}
+
 }  // namespace
 }  // namespace repro::sim

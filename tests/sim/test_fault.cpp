@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <numeric>
+#include <set>
+#include <string>
 #include <vector>
 
 #include "sim/device.h"
@@ -298,6 +300,23 @@ TEST(FaultOverhead, DisarmedInjectorIsBitIdenticalToNone) {
   const auto b = workload(carried);
   EXPECT_EQ(a.first, b.first);
   EXPECT_EQ(a.second, b.second);
+}
+
+TEST(FaultKinds, NamesRoundTripForEveryKind) {
+  // Exhaustive by construction: kAllFaultKinds is pinned to
+  // kFaultKindCount by a static_assert in sim/fault.h, so iterating it
+  // covers every enumerator — adding a kind without a name (or vice
+  // versa) fails here or fails to compile.
+  std::set<std::string> seen;
+  for (const FaultKind k : kAllFaultKinds) {
+    const char* name = fault_kind_name(k);
+    ASSERT_NE(name, nullptr);
+    EXPECT_STRNE(name, "?");
+    EXPECT_EQ(fault_kind_from_name(name), k) << name;
+    // Names are unique — a duplicate would make the inverse ambiguous.
+    EXPECT_TRUE(seen.insert(name).second) << name;
+  }
+  EXPECT_EQ(seen.size(), kFaultKindCount);
 }
 
 }  // namespace
